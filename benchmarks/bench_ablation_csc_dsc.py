@@ -1,0 +1,63 @@
+"""Ablation — Continuous vs Discrete Step Counting (Sec. IV-B1).
+
+The paper motivates CSC by the "odd time" DSC loses: one or two steps per
+interval, intolerable when an interval only holds a few steps.  This
+bench quantifies that: offset measurement error per hop, motion-database
+offset error, and end-to-end localization accuracy under each counter.
+The timed operation is CSC over one interval's signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.motion.rlm import extract_measurement
+from repro.motion.step_counting import count_steps_csc
+from repro.sim.experiments import evaluate_systems, motion_database_errors
+
+
+def _per_hop_offset_errors(study, counting):
+    errors = []
+    for trace in study.training_traces[:40]:
+        for hop in trace.hops:
+            measurement = extract_measurement(
+                hop.imu,
+                step_length_m=trace.estimated_step_length_m,
+                placement_offset_deg=trace.placement_offset_estimate_deg,
+                counting=counting,
+            )
+            errors.append(abs(measurement.offset_m - hop.imu.true_distance_m))
+    return np.array(errors)
+
+
+def test_ablation_csc_vs_dsc(benchmark, study, report):
+    signal = study.training_traces[0].hops[0].imu.accel
+    benchmark(count_steps_csc, signal)
+
+    rows = []
+    accuracy = {}
+    for counting in ("csc", "dsc"):
+        hop_errors = _per_hop_offset_errors(study, counting)
+        _, db_offsets, _ = motion_database_errors(study, n_aps=6, counting=counting)
+        results = evaluate_systems(study, 6, counting=counting)
+        accuracy[counting] = results["moloc"].accuracy
+        rows.append(
+            [
+                counting.upper(),
+                f"{float(np.mean(hop_errors)):.3f}",
+                f"{float(np.median(db_offsets)):.3f}",
+                f"{results['moloc'].accuracy:.0%}",
+            ]
+        )
+    table = format_table(
+        ["counter", "per-hop offset err (m)", "DB offset err median (m)",
+         "MoLoc accuracy (6 AP)"],
+        rows,
+    )
+    report("Ablation — CSC vs DSC step counting", table)
+
+    csc_err = _per_hop_offset_errors(study, "csc")
+    dsc_err = _per_hop_offset_errors(study, "dsc")
+    assert float(np.mean(csc_err)) < float(np.mean(dsc_err))
+    assert accuracy["csc"] >= accuracy["dsc"] - 0.02

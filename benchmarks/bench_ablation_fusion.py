@@ -1,0 +1,59 @@
+"""Ablation — probabilistic fusion vs alternatives (Sec. I, challenge 2).
+
+The paper rejects summing dissimilarities ("the measurement with wider
+range gets more important") in favor of multiplying independent
+probabilities (Eq. 7).  This bench compares MoLoc against that naive
+additive fusion, the HMM tracker of Liu et al. [23] (which the paper
+argues is prone to initial-estimate error), a Horus-style probabilistic
+matcher, and the plain WiFi baseline.  The timed operation is one HMM
+forward step (the paper's computational-overhead argument).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.motion.rlm import MotionMeasurement
+from repro.sim.evaluation import convergence_statistics
+from repro.sim.experiments import evaluate_systems, make_localizer
+
+_SYSTEMS = ("moloc", "naive-fusion", "hmm", "horus", "particle", "model", "pdr", "wifi")
+
+
+def test_ablation_fusion_strategies(benchmark, study, report):
+    motion_db, _ = study.motion_db(6)
+    hmm = make_localizer("hmm", study.fingerprint_db(6), motion_db)
+    hmm.locate(study.test_traces[0].initial_fingerprint)
+    benchmark(
+        hmm.locate,
+        study.test_traces[0].hops[0].arrival_fingerprint,
+        MotionMeasurement(90.0, 5.7),
+    )
+
+    results = evaluate_systems(study, 6, systems=_SYSTEMS)
+    rows = []
+    for name in _SYSTEMS:
+        result = results[name]
+        try:
+            el = f"{convergence_statistics(result).mean_erroneous_localizations:.2f}"
+        except ValueError:
+            el = "-"
+        rows.append(
+            [
+                name,
+                f"{result.accuracy:.0%}",
+                f"{result.mean_error_m:.2f}",
+                f"{result.max_error_m:.1f}",
+                el,
+            ]
+        )
+    table = format_table(
+        ["system", "accuracy (6 AP)", "mean err (m)", "max err (m)", "EL"],
+        rows,
+    )
+    report("Ablation — fusion strategies and extra baselines", table)
+
+    # MoLoc's probabilistic fusion must beat the additive strawman and
+    # every motion-free baseline.
+    assert results["moloc"].accuracy > results["naive-fusion"].accuracy
+    assert results["moloc"].accuracy > results["horus"].accuracy
+    assert results["moloc"].accuracy > results["wifi"].accuracy

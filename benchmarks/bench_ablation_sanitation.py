@@ -1,0 +1,81 @@
+"""Ablation — data sanitation levels (Sec. IV-B2).
+
+The paper sanitizes crowdsourced RLMs in two stages: a coarse map-based
+filter (removes mislocalized-endpoint measurements) and a fine two-sigma
+filter.  This bench builds the motion database under each combination
+and reports spurious pairs, error statistics, and end-to-end MoLoc
+accuracy.  The timed operation is a full build with both filters on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.builder import MotionDatabaseBuilder
+from repro.core.localizer import MoLocLocalizer
+from repro.sim.crowdsource import observations_from_traces
+from repro.sim.evaluation import evaluate_localizer
+from repro.sim.experiments import motion_database_errors
+
+_LEVELS = [
+    ("none", False, False),
+    ("coarse only", True, False),
+    ("fine only", False, True),
+    ("coarse + fine", True, True),
+]
+
+
+def test_ablation_sanitation_levels(benchmark, study, report):
+    observations = observations_from_traces(
+        study.training_traces, study.fingerprint_db(6)
+    )
+
+    def build_full():
+        builder = MotionDatabaseBuilder(study.scenario.plan, study.config)
+        builder.add_observations(observations)
+        return builder.build()
+
+    benchmark.pedantic(build_full, rounds=3, iterations=1)
+
+    rows = []
+    accuracies = {}
+    for label, coarse, fine in _LEVELS:
+        directions, offsets, spurious = motion_database_errors(
+            study, n_aps=6, coarse_filter=coarse, fine_filter=fine
+        )
+        motion_db, _ = study.motion_db(
+            6, coarse_filter=coarse, fine_filter=fine
+        )
+        localizer = MoLocLocalizer(
+            study.fingerprint_db(6), motion_db, study.config
+        )
+        result = evaluate_localizer(
+            localizer, study.test_traces, study.scenario.plan
+        )
+        accuracies[label] = result.accuracy
+        rows.append(
+            [
+                label,
+                spurious,
+                f"{float(np.median(directions)):.1f}",
+                f"{float(np.max(directions)):.1f}",
+                f"{float(np.median(offsets)):.2f}",
+                f"{result.accuracy:.0%}",
+            ]
+        )
+    table = format_table(
+        ["sanitation", "spurious pairs", "dir err med (deg)",
+         "dir err max (deg)", "offset err med (m)", "MoLoc accuracy"],
+        rows,
+    )
+    report("Ablation — sanitation levels", table)
+
+    # Unsanitized databases must carry spurious (non-adjacent) pairs that
+    # full sanitation removes almost entirely.
+    raw_spurious = motion_database_errors(
+        study, n_aps=6, coarse_filter=False, fine_filter=False
+    )[2]
+    clean_spurious = motion_database_errors(study, n_aps=6)[2]
+    assert raw_spurious > 5 * max(clean_spurious, 1)
+    assert accuracies["coarse + fine"] >= accuracies["none"]

@@ -1,0 +1,99 @@
+"""Extension — operational resilience under injected faults.
+
+Deployments degrade in ways the clean evaluation never shows.  This
+bench replays the held-out walks through four injected faults — an AP
+dying for the whole session, a mid-walk grip change that invalidates the
+heading calibration, a 20%-wrong step-length profile, and a total IMU
+dropout — and reports MoLoc vs WiFi accuracy under each.
+
+Two regimes emerge.  Fingerprint-side faults (AP outage) hit both
+systems but MoLoc keeps its lead: motion evidence substitutes for the
+lost AP.  Motion-side faults (dead accelerometer, stale heading
+calibration) can push MoLoc *below* the WiFi baseline: the algorithm
+trusts its motion measurements (the paper's validity assumption (2),
+Sec. IV-B), and a sensor that confidently lies — "the user is standing
+still" while they walk — is worse than no sensor.  A production system
+needs sensor health checks feeding the ``motion=None`` fallback; the
+assertions pin both regimes.
+
+The timed operation is one AP-outage injection over the test set.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.baselines import WiFiFingerprintingLocalizer
+from repro.core.localizer import MoLocLocalizer
+from repro.sim.evaluation import evaluate_localizer
+from repro.sim.failures import (
+    inject_ap_outage,
+    inject_grip_shift,
+    inject_imu_dropout,
+    inject_step_length_bias,
+)
+
+
+def _conditions(traces):
+    return [
+        ("clean", traces),
+        ("AP 5 down all session", [inject_ap_outage(t, 5) for t in traces]),
+        (
+            "grip change after hop 1",
+            [inject_grip_shift(t, 1, 120.0) for t in traces],
+        ),
+        (
+            "step length 20% wrong",
+            [inject_step_length_bias(t, 1.2) for t in traces],
+        ),
+        (
+            "IMU dead all session",
+            [inject_imu_dropout(t, range(t.n_hops)) for t in traces],
+        ),
+    ]
+
+
+def test_extension_fault_resilience(benchmark, study, report):
+    traces = study.test_traces
+    benchmark(lambda: [inject_ap_outage(t, 5) for t in traces])
+
+    fdb = study.fingerprint_db(6)
+    mdb, _ = study.motion_db(6)
+    plan = study.scenario.plan
+
+    rows = []
+    accuracies = {}
+    for label, degraded in _conditions(traces):
+        moloc = evaluate_localizer(
+            MoLocLocalizer(fdb, mdb, study.config), degraded, plan
+        )
+        wifi = evaluate_localizer(
+            WiFiFingerprintingLocalizer(fdb), degraded, plan
+        )
+        accuracies[label] = (moloc.accuracy, wifi.accuracy)
+        rows.append(
+            [
+                label,
+                f"{moloc.accuracy:.0%}",
+                f"{wifi.accuracy:.0%}",
+                f"{moloc.mean_error_m:.2f}",
+                f"{wifi.mean_error_m:.2f}",
+            ]
+        )
+    table = format_table(
+        ["condition", "MoLoc acc (6 AP)", "WiFi acc", "MoLoc mean err (m)",
+         "WiFi mean err (m)"],
+        rows,
+    )
+    report("Extension — fault resilience", table)
+
+    clean_moloc, _ = accuracies["clean"]
+    for label, (moloc_acc, wifi_acc) in accuracies.items():
+        # Fingerprint-side faults leave MoLoc ahead of the equally
+        # degraded baseline; motion-side faults may not, but can never
+        # crash or zero it out.
+        assert 0.0 < moloc_acc <= 1.0
+        if label in ("clean", "AP 5 down all session"):
+            assert moloc_acc > wifi_acc
+    # No fault should cost MoLoc everything it gained over WiFi.
+    outage_moloc, outage_wifi = accuracies["AP 5 down all session"]
+    assert outage_moloc > outage_wifi + 0.1

@@ -1,0 +1,84 @@
+"""Extension — how much crowdsourcing does the motion database need?
+
+The paper collected 150 training traces "covering over 30 times of each
+reference location" without justifying the volume.  This bench sweeps
+the number of crowdsourced walks and reports motion-database coverage
+(aisle hops with a stored entry) and end-to-end MoLoc accuracy, exposing
+the regime boundary the integration tests pin: an under-trained motion
+database makes MoLoc *worse* than plain WiFi, because wrong pairs soak
+up probability mass that true-but-uncovered hops cannot claim.
+
+The timed operation is the coverage computation for the full database.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.builder import MotionDatabaseBuilder
+from repro.core.localizer import MoLocLocalizer
+from repro.sim.crowdsource import observations_from_traces
+from repro.sim.evaluation import evaluate_localizer
+
+_TRACE_COUNTS = (10, 25, 50, 100, 150)
+
+
+def _motion_db_for(study, n_traces):
+    observations = observations_from_traces(
+        study.training_traces[:n_traces], study.fingerprint_db(6)
+    )
+    builder = MotionDatabaseBuilder(study.scenario.plan, study.config)
+    builder.add_observations(observations)
+    return builder.build()
+
+
+def test_extension_learning_curve(benchmark, study, report):
+    full_db, _ = study.motion_db(6)
+    graph = study.scenario.graph
+
+    def coverage(db):
+        return sum(1 for i, j in graph.edge_list if db.has_pair(i, j))
+
+    benchmark(coverage, full_db)
+
+    wifi_accuracy = None
+    rows = []
+    accuracies = {}
+    for n_traces in _TRACE_COUNTS:
+        motion_db, sanitation = _motion_db_for(study, n_traces)
+        covered = coverage(motion_db)
+        localizer = MoLocLocalizer(
+            study.fingerprint_db(6), motion_db, study.config
+        )
+        result = evaluate_localizer(
+            localizer, study.test_traces, study.scenario.plan
+        )
+        accuracies[n_traces] = result.accuracy
+        rows.append(
+            [
+                n_traces,
+                f"{covered}/{len(graph.edge_list)}",
+                sanitation.pairs_stored,
+                f"{result.accuracy:.0%}",
+                f"{result.mean_error_m:.2f}",
+            ]
+        )
+    if wifi_accuracy is None:
+        from repro.core.baselines import WiFiFingerprintingLocalizer
+
+        wifi_accuracy = evaluate_localizer(
+            WiFiFingerprintingLocalizer(study.fingerprint_db(6)),
+            study.test_traces,
+            study.scenario.plan,
+        ).accuracy
+    rows.append(["(WiFi)", "-", "-", f"{wifi_accuracy:.0%}", "-"])
+
+    table = format_table(
+        ["training walks", "aisle coverage", "pairs stored",
+         "MoLoc accuracy (6 AP)", "mean err (m)"],
+        rows,
+    )
+    report("Extension — motion-database learning curve", table)
+
+    # The curve must rise and eventually clear the WiFi baseline by far.
+    assert accuracies[150] > accuracies[10]
+    assert accuracies[150] > wifi_accuracy + 0.2

@@ -1,0 +1,75 @@
+"""Extension — offline Viterbi smoothing vs online MoLoc.
+
+MoLoc is an online filter; for logged walks the MAP *sequence* can be
+decoded instead (same Eq. 4 emissions and Eq. 5 transitions, Viterbi
+decoding).  Late unambiguous fixes then repair earlier twin confusion
+retroactively — the offline upper bound on MoLoc's evidence.  The timed
+operation is one full-trace Viterbi decode.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.localizer import MoLocLocalizer
+from repro.core.smoothing import ViterbiSmoother
+from repro.motion.rlm import extract_measurement
+from repro.sim.evaluation import evaluate_localizer, evaluate_smoother
+from repro.sim.experiments import AP_COUNTS
+
+
+def test_extension_viterbi_smoothing(benchmark, study, report):
+    fingerprint_db = study.fingerprint_db(6)
+    motion_db, _ = study.motion_db(6)
+    smoother = ViterbiSmoother(fingerprint_db, motion_db, study.config)
+
+    trace = study.test_traces[0]
+    fingerprints = [trace.initial_fingerprint] + [
+        hop.arrival_fingerprint for hop in trace.hops
+    ]
+    motions = [
+        extract_measurement(
+            hop.imu,
+            step_length_m=trace.estimated_step_length_m,
+            placement_offset_deg=trace.placement_offset_estimate_deg,
+        )
+        for hop in trace.hops
+    ]
+    benchmark(smoother.smooth, fingerprints, motions)
+
+    rows = []
+    online_acc = {}
+    offline_acc = {}
+    for n_aps in AP_COUNTS:
+        fdb = study.fingerprint_db(n_aps)
+        mdb, _ = study.motion_db(n_aps)
+        online = evaluate_localizer(
+            MoLocLocalizer(fdb, mdb, study.config),
+            study.test_traces,
+            study.scenario.plan,
+        )
+        offline = evaluate_smoother(
+            ViterbiSmoother(fdb, mdb, study.config),
+            study.test_traces,
+            study.scenario.plan,
+        )
+        online_acc[n_aps], offline_acc[n_aps] = online.accuracy, offline.accuracy
+        rows.append(
+            [
+                f"{n_aps}-AP",
+                f"{online.accuracy:.0%}",
+                f"{offline.accuracy:.0%}",
+                f"{online.mean_error_m:.2f}",
+                f"{offline.mean_error_m:.2f}",
+            ]
+        )
+    table = format_table(
+        ["setting", "online acc", "offline acc", "online mean err",
+         "offline mean err"],
+        rows,
+    )
+    report("Extension — online MoLoc vs offline Viterbi smoothing", table)
+
+    for n_aps in AP_COUNTS:
+        assert offline_acc[n_aps] >= online_acc[n_aps] - 0.02
+    # Somewhere in the sweep the future evidence must actually help.
+    assert any(offline_acc[n] > online_acc[n] for n in AP_COUNTS)

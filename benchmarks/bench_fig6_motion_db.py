@@ -1,0 +1,61 @@
+"""Fig. 6 — validity of the crowdsourced motion database.
+
+Regenerates both CDFs: (a) direction errors and (b) offset errors of the
+motion-database entries against map ground truth.  Paper reference
+points: direction median 3 deg / max 15 deg; offset median 0.13 m /
+max 0.46 m.  The timed operation is the full sanitize-and-build pass
+over the crowdsourced observations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.tables import format_cdf_series
+from repro.core.builder import MotionDatabaseBuilder
+from repro.sim.crowdsource import observations_from_traces
+from repro.sim.experiments import motion_database_errors
+
+
+def test_fig6_motion_database_errors(benchmark, study, report):
+    observations = observations_from_traces(
+        study.training_traces, study.fingerprint_db(6)
+    )
+
+    def build():
+        builder = MotionDatabaseBuilder(study.scenario.plan, study.config)
+        builder.add_observations(observations)
+        return builder.build()
+
+    _, sanitation = benchmark.pedantic(build, rounds=3, iterations=1)
+
+    directions, offsets, spurious = motion_database_errors(study, n_aps=6)
+    direction_cdf = EmpiricalCdf.from_samples(directions)
+    offset_cdf = EmpiricalCdf.from_samples(offsets)
+
+    lines = [
+        f"entries: {len(directions)} adjacent pairs covered "
+        f"(of {len(study.scenario.graph.edge_list)} aisle hops), "
+        f"{spurious} spurious pairs",
+        f"sanitation: {sanitation.total_observations} observations, "
+        f"{sanitation.coarse_rejected} coarse-rejected, "
+        f"{sanitation.fine_rejected} fine-rejected",
+        "",
+        "Fig. 6(a) direction errors (degrees), P(err <= x):",
+        format_cdf_series("measured", direction_cdf, [1, 2, 4, 6, 8, 12, 16]),
+        f"  median {direction_cdf.median:.1f} deg (paper 3), "
+        f"max {direction_cdf.maximum:.1f} deg (paper 15)",
+        "",
+        "Fig. 6(b) offset errors (meters), P(err <= x):",
+        format_cdf_series(
+            "measured", offset_cdf, [0.05, 0.1, 0.15, 0.2, 0.3, 0.5]
+        ),
+        f"  median {offset_cdf.median:.2f} m (paper 0.13), "
+        f"max {offset_cdf.maximum:.2f} m (paper 0.46)",
+    ]
+    report("Fig. 6 — motion database validity", "\n".join(lines))
+
+    assert direction_cdf.median < 6.0
+    assert offset_cdf.median < 0.35
+    assert offset_cdf.maximum < 0.8  # below a normal step (0.7-0.8 m)

@@ -1,0 +1,66 @@
+"""Table I — convergence to accurate localization.
+
+For traces whose *initial* estimate was wrong, the table reports: EL
+(mean erroneous localizations before the first accurate fix), then the
+accuracy, mean error, and max error of all subsequent fixes.  Paper rows:
+
+    Setting      EL     Accuracy  Mean err  Max err
+    4-AP WiFi    3.28   34%       4.91      16.64
+    4-AP MoLoc   1.57   89%       0.67      7.92
+    5-AP WiFi    2.71   39%       4.33      14.7
+    5-AP MoLoc   1.42   93%       0.36      6.25
+    6-AP WiFi    2.25   48%       3.27      13.6
+    6-AP MoLoc   1.13   96%       0.22      6.88
+
+The timed operation is the convergence-statistics computation itself.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.sim.evaluation import convergence_statistics
+from repro.sim.experiments import AP_COUNTS, convergence_table, evaluate_systems
+
+_PAPER_ROWS = {
+    "4-AP WiFi": (3.28, 0.34, 4.91, 16.64),
+    "4-AP MoLoc": (1.57, 0.89, 0.67, 7.92),
+    "5-AP WiFi": (2.71, 0.39, 4.33, 14.7),
+    "5-AP MoLoc": (1.42, 0.93, 0.36, 6.25),
+    "6-AP WiFi": (2.25, 0.48, 3.27, 13.6),
+    "6-AP MoLoc": (1.13, 0.96, 0.22, 6.88),
+}
+
+
+def test_table1_convergence(benchmark, study, report):
+    results = evaluate_systems(study, 6)
+    benchmark(convergence_statistics, results["moloc"])
+
+    rows = []
+    stats_by_label = dict(convergence_table(study, ap_counts=AP_COUNTS))
+    for label, paper in _PAPER_ROWS.items():
+        stats = stats_by_label[label]
+        rows.append(
+            [
+                label,
+                f"{stats.mean_erroneous_localizations:.2f} ({paper[0]})",
+                f"{stats.accuracy:.0%} ({paper[1]:.0%})",
+                f"{stats.mean_error_m:.2f} ({paper[2]})",
+                f"{stats.max_error_m:.2f} ({paper[3]})",
+                stats.n_traces,
+            ]
+        )
+    table = format_table(
+        ["Setting", "EL (paper)", "Accuracy", "Mean err m", "Max err m", "traces"],
+        rows,
+    )
+    report("Table I — convergence of accurate localization", table)
+
+    for n_aps in AP_COUNTS:
+        wifi = stats_by_label[f"{n_aps}-AP WiFi"]
+        moloc = stats_by_label[f"{n_aps}-AP MoLoc"]
+        assert (
+            moloc.mean_erroneous_localizations
+            <= wifi.mean_erroneous_localizations
+        ), f"MoLoc converged slower at {n_aps} APs"
+        assert moloc.accuracy > wifi.accuracy
+        assert moloc.mean_error_m < wifi.mean_error_m

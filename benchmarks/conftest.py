@@ -1,0 +1,40 @@
+"""Benchmark fixtures: the paper-scale study plus a report channel.
+
+Each benchmark regenerates one figure or table of the paper.  Numbers are
+collected through the ``report`` fixture and printed in the terminal
+summary, so ``pytest benchmarks/ --benchmark-only`` shows the
+paper-vs-measured series without needing ``-s``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.sim.experiments import Study, prepare_study
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    """The paper-scale data set: 150 training walks, 34 test walks, seed 7."""
+    return prepare_study(seed=7)
+
+
+@pytest.fixture()
+def report() -> Callable[[str, str], None]:
+    """Record a titled text block for the terminal summary."""
+
+    def _record(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("=", title)
+        terminalreporter.write_line(text)

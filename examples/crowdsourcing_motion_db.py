@@ -1,0 +1,95 @@
+"""Crowdsourcing the motion database, step by step (paper Sec. IV).
+
+Walks through the full construction pipeline on the paper's office hall:
+
+1. four volunteers walk random aisle paths while their phones scan WiFi
+   and record IMU streams;
+2. every hop becomes a relative location measurement (RLM) whose
+   endpoints are *estimated by fingerprinting* — no ground truth;
+3. data reassembling keys each RLM with the smaller location id first;
+4. coarse (map-based) and fine (two-sigma) filtering remove the damage
+   done by mislocalized endpoints and noisy sensors;
+5. the result is validated against map ground truth (the paper's Fig. 6).
+
+Run:
+    python examples/crowdsourcing_motion_db.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import EmpiricalCdf
+from repro.core import MotionDatabaseBuilder
+from repro.env import bearing_difference
+from repro.sim import build_scenario, generate_traces, observations_from_traces
+
+def main() -> None:
+    scenario = build_scenario(seed=7)
+    rng = np.random.default_rng(123)
+
+    print("1. Crowdsourcing: 4 users walk 150 random aisle traces ...")
+    traces = generate_traces(scenario, 150, rng)
+    total_hops = sum(t.n_hops for t in traces)
+    per_user = {u.name: sum(t.n_hops for t in traces if t.user == u.name)
+                for u in scenario.users}
+    print(f"   {total_hops} hops collected; per user: {per_user}\n")
+
+    print("2. Deriving RLMs (endpoints estimated by fingerprinting) ...")
+    observations = observations_from_traces(traces, scenario.survey.database)
+    print(f"   {len(observations)} usable RLM observations\n")
+
+    print("3+4. Sanitizing and building the motion database ...")
+    builder = MotionDatabaseBuilder(scenario.plan)
+    builder.add_observations(observations)
+    motion_db, sanitation = builder.build()
+    print(
+        f"   coarse filter removed {sanitation.coarse_rejected} "
+        f"({sanitation.coarse_rejected / sanitation.total_observations:.0%}) "
+        "mislocalized/mismeasured RLMs"
+    )
+    print(f"   fine filter removed  {sanitation.fine_rejected} outliers")
+    print(
+        f"   {sanitation.pairs_stored} pairs stored, "
+        f"{sanitation.pairs_rejected_sparse} sparse pairs dropped\n"
+    )
+
+    print("5. Validating against map ground truth (Fig. 6) ...")
+    graph = scenario.graph
+    direction_errors, offset_errors = [], []
+    for i, j in motion_db.pairs:
+        if not graph.are_adjacent(i, j):
+            continue
+        entry = motion_db.entry(i, j)
+        direction_errors.append(
+            bearing_difference(entry.direction_mean_deg, graph.hop_bearing(i, j))
+        )
+        offset_errors.append(abs(entry.offset_mean_m - graph.hop_distance(i, j)))
+    d_cdf = EmpiricalCdf.from_samples(direction_errors)
+    o_cdf = EmpiricalCdf.from_samples(offset_errors)
+    print(
+        f"   direction errors: median {d_cdf.median:.1f} deg, "
+        f"max {d_cdf.maximum:.1f} deg   (paper: 3 / 15)"
+    )
+    print(
+        f"   offset errors:    median {o_cdf.median:.2f} m,  "
+        f"max {o_cdf.maximum:.2f} m    (paper: 0.13 / 0.46)"
+    )
+    print(
+        "\n   Even the max offset error is below a normal step "
+        "(0.7-0.8 m), so step counting measures offsets reliably."
+    )
+
+    sample = motion_db.pairs[0]
+    entry = motion_db.entry(*sample)
+    print(
+        f"\nSample stored entry M[{sample[0]},{sample[1]}]: "
+        f"(mu_d={entry.direction_mean_deg:.1f} deg, "
+        f"sigma_d={entry.direction_std_deg:.1f} deg, "
+        f"mu_o={entry.offset_mean_m:.2f} m, "
+        f"sigma_o={entry.offset_std_m:.2f} m) "
+        f"from {entry.n_observations} observations"
+    )
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Analysis helpers: CDFs, summary stats, bootstrap CIs, text tables."""
+
+from .ambiguity import AmbiguityReport, TwinPair, analyze_ambiguity
+from .cdf import EmpiricalCdf
+from .comparison import SystemComparison, compare_systems
+from .coverage import CoverageReport, LocationCoverage, analyze_coverage
+from .stats import SummaryStats, bootstrap_ci, summarize
+from .tables import format_cdf_series, format_table
+
+__all__ = [
+    "AmbiguityReport",
+    "TwinPair",
+    "analyze_ambiguity",
+    "EmpiricalCdf",
+    "SystemComparison",
+    "compare_systems",
+    "CoverageReport",
+    "LocationCoverage",
+    "analyze_coverage",
+    "SummaryStats",
+    "summarize",
+    "bootstrap_ci",
+    "format_cdf_series",
+    "format_table",
+]

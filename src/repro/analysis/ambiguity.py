@@ -1,0 +1,143 @@
+"""Fingerprint-ambiguity analysis: find the twins in a database.
+
+The paper's whole premise is that some location pairs are *fingerprint
+twins* — far apart on the floor but close in signal space.  This module
+quantifies that for any fingerprint database: every cross-location pair
+is scored by its signal-space gap relative to its physical distance, and
+pairs whose gap is small compared to the scan noise are reported as
+twins.  Deployments use this to decide where more APs are needed; the
+reproduction uses it to verify the simulated hall exhibits the paper's
+phenomenon (e.g. its pairs 2/15, 10/27, 13/26).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.fingerprint import FingerprintDatabase
+from ..env.floorplan import FloorPlan
+
+__all__ = ["TwinPair", "AmbiguityReport", "analyze_ambiguity"]
+
+
+@dataclass(frozen=True)
+class TwinPair:
+    """One cross-location pair scored for ambiguity.
+
+    Attributes:
+        location_a: Lower location id of the pair.
+        location_b: Higher location id.
+        signal_gap_db: Fingerprint dissimilarity (Eq. 1).
+        physical_distance_m: Straight-line distance on the plan.
+        confusion_risk: How confusable the pair is: physical distance per
+            dB of signal gap.  High values mean a small signal
+            perturbation causes a large localization error.
+    """
+
+    location_a: int
+    location_b: int
+    signal_gap_db: float
+    physical_distance_m: float
+    confusion_risk: float
+
+
+@dataclass(frozen=True)
+class AmbiguityReport:
+    """The ambiguity analysis of one fingerprint database.
+
+    Attributes:
+        pairs: Every cross-location pair, most confusable first.
+        twin_threshold_db: The signal-gap threshold used for
+            :attr:`twins`.
+    """
+
+    pairs: List[TwinPair]
+    twin_threshold_db: float
+
+    @property
+    def twins(self) -> List[TwinPair]:
+        """Pairs whose signal gap is below the twin threshold."""
+        return [p for p in self.pairs if p.signal_gap_db <= self.twin_threshold_db]
+
+    def distant_twins(self, min_distance_m: float = 6.0) -> List[TwinPair]:
+        """Twins that are also physically far apart — the dangerous ones.
+
+        The paper's Fig. 8 threshold (errors over 6 m) is the default.
+        """
+        return [
+            p for p in self.twins if p.physical_distance_m >= min_distance_m
+        ]
+
+    def risk_of(self, location_a: int, location_b: int) -> TwinPair:
+        """The scored pair for two specific locations.
+
+        Raises:
+            KeyError: if the pair is not in the report.
+        """
+        a, b = min(location_a, location_b), max(location_a, location_b)
+        for pair in self.pairs:
+            if pair.location_a == a and pair.location_b == b:
+                return pair
+        raise KeyError(f"no pair ({location_a}, {location_b}) in report")
+
+
+def analyze_ambiguity(
+    database: FingerprintDatabase,
+    plan: FloorPlan,
+    twin_threshold_db: Optional[float] = None,
+) -> AmbiguityReport:
+    """Score every cross-location pair of a fingerprint database.
+
+    Args:
+        database: The fingerprint database to analyze.
+        plan: Floor plan supplying physical distances.
+        twin_threshold_db: Signal gap below which a pair counts as twins.
+            Defaults to the median per-AP survey noise scaled to the
+            vector norm (i.e. a gap indistinguishable from scan noise)
+            when the database carries sample statistics, else 6 dB.
+
+    Raises:
+        ValueError: if the database has fewer than two locations.
+    """
+    ids = database.location_ids
+    if len(ids) < 2:
+        raise ValueError("ambiguity analysis needs at least two locations")
+
+    if twin_threshold_db is None:
+        twin_threshold_db = _default_threshold(database)
+
+    pairs = []
+    for a, b in itertools.combinations(ids, 2):
+        gap = database.fingerprint_of(a).dissimilarity(database.fingerprint_of(b))
+        distance = plan.distance_between(a, b)
+        risk = distance / max(gap, 1e-9)
+        pairs.append(
+            TwinPair(
+                location_a=a,
+                location_b=b,
+                signal_gap_db=gap,
+                physical_distance_m=distance,
+                confusion_risk=risk,
+            )
+        )
+    pairs.sort(key=lambda p: (-p.confusion_risk, p.location_a, p.location_b))
+    return AmbiguityReport(pairs=pairs, twin_threshold_db=twin_threshold_db)
+
+
+def _default_threshold(database: FingerprintDatabase) -> float:
+    """A twin threshold matched to the database's own scan noise."""
+    stds = []
+    for location_id in database.location_ids:
+        try:
+            stds.extend(database.std_of(location_id))
+        except KeyError:
+            return 6.0
+    if not stds:
+        return 6.0
+    stds.sort()
+    median_std = stds[len(stds) // 2]
+    # Expected norm of a noise vector with per-AP std sigma is
+    # sigma * sqrt(2 n) for the difference of two scans.
+    return median_std * (2.0 * database.n_aps) ** 0.5

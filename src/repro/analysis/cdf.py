@@ -1,0 +1,57 @@
+"""Empirical cumulative distribution functions for the paper's CDF figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["EmpiricalCdf"]
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """The empirical CDF of a sample.
+
+    Attributes:
+        values: Sorted sample values.
+    """
+
+    values: np.ndarray
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "EmpiricalCdf":
+        """Build the CDF of a non-empty sample."""
+        array = np.asarray(samples, dtype=float)
+        if array.size == 0:
+            raise ValueError("cannot build a CDF from an empty sample")
+        return cls(values=np.sort(array))
+
+    def probability_at(self, x: float) -> float:
+        """``P(X <= x)`` under the empirical distribution."""
+        return float(np.searchsorted(self.values, x, side="right")) / self.values.size
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]) of the sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        """The sample median."""
+        return self.quantile(0.5)
+
+    @property
+    def maximum(self) -> float:
+        """The largest sample value."""
+        return float(self.values[-1])
+
+    def curve(self, n_points: int = 50) -> Tuple[np.ndarray, np.ndarray]:
+        """``(x, P(X <= x))`` arrays for plotting or printing the CDF."""
+        if n_points < 2:
+            raise ValueError(f"need at least 2 curve points, got {n_points}")
+        xs = np.linspace(0.0, self.maximum, n_points)
+        ps = np.array([self.probability_at(x) for x in xs])
+        return xs, ps

@@ -1,0 +1,130 @@
+"""Paired statistical comparison of two localization systems.
+
+Two systems evaluated on the *same* traces produce paired per-fix
+errors, so the right comparison is paired: resample whole traces (fixes
+within a trace are correlated) and bootstrap the difference of the
+statistic.  :func:`compare_systems` reports the accuracy and mean-error
+deltas with confidence intervals and a simple verdict, used by the
+integration tests to show MoLoc's win is not sampling luck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..sim.evaluation import EvaluationResult
+
+__all__ = ["SystemComparison", "compare_systems"]
+
+
+@dataclass(frozen=True)
+class SystemComparison:
+    """The outcome of comparing system A against system B.
+
+    Attributes:
+        accuracy_delta: ``accuracy(A) - accuracy(B)`` (point estimate).
+        accuracy_ci: Bootstrap confidence interval of the delta.
+        mean_error_delta_m: ``mean_error(A) - mean_error(B)``.
+        mean_error_ci: Bootstrap confidence interval of that delta.
+        n_traces: Number of paired traces resampled.
+        confidence: The interval coverage used.
+    """
+
+    accuracy_delta: float
+    accuracy_ci: Tuple[float, float]
+    mean_error_delta_m: float
+    mean_error_ci: Tuple[float, float]
+    n_traces: int
+    confidence: float
+
+    @property
+    def a_significantly_more_accurate(self) -> bool:
+        """Whether A's accuracy advantage excludes zero at the chosen level."""
+        return self.accuracy_ci[0] > 0.0
+
+    @property
+    def a_significantly_lower_error(self) -> bool:
+        """Whether A's mean-error reduction excludes zero."""
+        return self.mean_error_ci[1] < 0.0
+
+
+def compare_systems(
+    result_a: EvaluationResult,
+    result_b: EvaluationResult,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> SystemComparison:
+    """Paired trace-level bootstrap comparison of two evaluation results.
+
+    Args:
+        result_a: System A's result (e.g. MoLoc).
+        result_b: System B's result on the *same* traces, same order.
+        confidence: Interval coverage.
+        n_resamples: Bootstrap resamples.
+        seed: Resampling seed.
+
+    Raises:
+        ValueError: if the results do not pair up trace by trace.
+    """
+    if len(result_a.traces) != len(result_b.traces):
+        raise ValueError(
+            f"trace counts differ: {len(result_a.traces)} vs {len(result_b.traces)}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n_traces = len(result_a.traces)
+    if n_traces == 0:
+        raise ValueError("cannot compare empty results")
+    for trace_a, trace_b in zip(result_a.traces, result_b.traces):
+        if len(trace_a.records) != len(trace_b.records):
+            raise ValueError("paired traces have different record counts")
+
+    # Per-trace sufficient statistics.
+    hits_a = np.array(
+        [sum(r.is_accurate for r in t.records) for t in result_a.traces]
+    )
+    hits_b = np.array(
+        [sum(r.is_accurate for r in t.records) for t in result_b.traces]
+    )
+    errors_a = np.array(
+        [sum(r.error_m for r in t.records) for t in result_a.traces]
+    )
+    errors_b = np.array(
+        [sum(r.error_m for r in t.records) for t in result_b.traces]
+    )
+    counts = np.array([len(t.records) for t in result_a.traces])
+
+    def deltas(indices: np.ndarray) -> Tuple[float, float]:
+        total = counts[indices].sum()
+        accuracy = (hits_a[indices].sum() - hits_b[indices].sum()) / total
+        error = (errors_a[indices].sum() - errors_b[indices].sum()) / total
+        return accuracy, error
+
+    point_accuracy, point_error = deltas(np.arange(n_traces))
+
+    rng = np.random.default_rng(seed)
+    resamples = rng.integers(0, n_traces, size=(n_resamples, n_traces))
+    accuracy_deltas = np.empty(n_resamples)
+    error_deltas = np.empty(n_resamples)
+    for k in range(n_resamples):
+        accuracy_deltas[k], error_deltas[k] = deltas(resamples[k])
+
+    alpha = (1.0 - confidence) / 2.0
+    return SystemComparison(
+        accuracy_delta=point_accuracy,
+        accuracy_ci=(
+            float(np.quantile(accuracy_deltas, alpha)),
+            float(np.quantile(accuracy_deltas, 1.0 - alpha)),
+        ),
+        mean_error_delta_m=point_error,
+        mean_error_ci=(
+            float(np.quantile(error_deltas, alpha)),
+            float(np.quantile(error_deltas, 1.0 - alpha)),
+        ),
+        n_traces=n_traces,
+        confidence=confidence,
+    )

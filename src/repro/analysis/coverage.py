@@ -1,0 +1,105 @@
+"""Deployment coverage analysis: is every location well served?
+
+Complements the ambiguity report: ambiguity asks whether locations are
+*distinguishable*, coverage asks whether they are *heard* at all.  For
+each reference location the report computes the strongest and mean RSS
+across the deployment's APs and how many APs are above a usable level;
+the weakest locations are where fingerprints degenerate toward the
+sensitivity floor and any localization method struggles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.fingerprint import FingerprintDatabase
+from ..radio.propagation import SENSITIVITY_FLOOR_DBM
+
+__all__ = ["LocationCoverage", "CoverageReport", "analyze_coverage"]
+
+
+@dataclass(frozen=True)
+class LocationCoverage:
+    """Coverage at one reference location.
+
+    Attributes:
+        location_id: The location.
+        strongest_rss_dbm: Best per-AP RSS in its fingerprint.
+        mean_rss_dbm: Mean across APs.
+        usable_aps: APs heard above the usable threshold.
+    """
+
+    location_id: int
+    strongest_rss_dbm: float
+    mean_rss_dbm: float
+    usable_aps: int
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """The coverage analysis of one fingerprint database.
+
+    Attributes:
+        locations: Per-location coverage, weakest (by strongest RSS) first.
+        usable_threshold_dbm: RSS above which an AP counts as usable.
+    """
+
+    locations: List[LocationCoverage]
+    usable_threshold_dbm: float
+
+    @property
+    def weakest(self) -> LocationCoverage:
+        """The worst-served location."""
+        return self.locations[0]
+
+    def underserved(self, min_usable_aps: int = 3) -> List[LocationCoverage]:
+        """Locations heard by fewer than ``min_usable_aps`` usable APs."""
+        return [c for c in self.locations if c.usable_aps < min_usable_aps]
+
+    def coverage_of(self, location_id: int) -> LocationCoverage:
+        """Coverage of a specific location.
+
+        Raises:
+            KeyError: if the location is not in the report.
+        """
+        for entry in self.locations:
+            if entry.location_id == location_id:
+                return entry
+        raise KeyError(f"no location {location_id} in coverage report")
+
+
+def analyze_coverage(
+    database: FingerprintDatabase,
+    usable_threshold_dbm: float = -85.0,
+) -> CoverageReport:
+    """Score every location's radio coverage from its fingerprint.
+
+    Args:
+        database: The surveyed fingerprint database.
+        usable_threshold_dbm: RSS above which an AP meaningfully
+            contributes to discrimination; readings near the sensitivity
+            floor are mostly noise.
+
+    Raises:
+        ValueError: if the threshold is at or below the sensitivity floor.
+    """
+    if usable_threshold_dbm <= SENSITIVITY_FLOOR_DBM:
+        raise ValueError(
+            f"usable threshold must exceed the {SENSITIVITY_FLOOR_DBM} dBm floor"
+        )
+    locations = []
+    for location_id in database.location_ids:
+        rss = database.fingerprint_of(location_id).rss
+        locations.append(
+            LocationCoverage(
+                location_id=location_id,
+                strongest_rss_dbm=max(rss),
+                mean_rss_dbm=sum(rss) / len(rss),
+                usable_aps=sum(1 for v in rss if v > usable_threshold_dbm),
+            )
+        )
+    locations.sort(key=lambda c: (c.strongest_rss_dbm, c.location_id))
+    return CoverageReport(
+        locations=locations, usable_threshold_dbm=usable_threshold_dbm
+    )

@@ -1,0 +1,62 @@
+"""Plain-text rendering of result tables and CDF series.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .cdf import EmpiricalCdf
+
+__all__ = ["format_table", "format_cdf_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """A fixed-width text table with a header separator.
+
+    Cells are stringified; floats keep two decimals.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in rendered)) if rendered
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rendered
+    )
+    return "\n".join(lines)
+
+
+def format_cdf_series(
+    label: str, cdf: EmpiricalCdf, points: Sequence[float]
+) -> str:
+    """One labelled CDF series evaluated at the given x points.
+
+    Mirrors how the paper's figures are read: "P(error <= x) at x = ...".
+    """
+    cells = "  ".join(
+        f"{x:g}:{cdf.probability_at(x):.2f}" for x in points
+    )
+    return f"{label:>8s}  {cells}"

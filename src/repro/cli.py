@@ -1,0 +1,431 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — the quickstart: accuracy table, MoLoc vs WiFi, 4/5/6 APs.
+* ``experiment {fig4,fig6,fig7,fig8,table1}`` — regenerate one paper
+  figure/table and print the series/rows.
+* ``build-db`` — run the survey + crowdsourcing pipeline and write the
+  fingerprint database, motion database, floor plan, and aisle graph as
+  JSON files into an output directory.
+* ``evaluate`` — evaluate chosen systems at one AP count, optionally
+  loading databases produced by ``build-db``.
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .analysis.cdf import EmpiricalCdf
+from .analysis.tables import format_cdf_series, format_table
+from .io.serialize import (
+    fingerprint_db_from_dict,
+    fingerprint_db_to_dict,
+    floorplan_to_dict,
+    graph_to_dict,
+    load_json,
+    motion_db_from_dict,
+    motion_db_to_dict,
+    save_json,
+)
+from .sim.evaluation import convergence_statistics, evaluate_localizer
+from .sim.experiments import (
+    AP_COUNTS,
+    Study,
+    convergence_table,
+    evaluate_systems,
+    large_error_comparison,
+    make_localizer,
+    motion_database_errors,
+    prepare_study,
+    step_signature,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MoLoc reproduction (ICDCS 2013): demos, experiments, "
+        "database building, evaluation.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="master seed (default 7)"
+    )
+    parser.add_argument(
+        "--training-traces",
+        type=int,
+        default=150,
+        help="crowdsourced walks for the motion database (default 150)",
+    )
+    parser.add_argument(
+        "--test-traces",
+        type=int,
+        default=34,
+        help="held-out walks for evaluation (default 34)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("demo", help="quickstart accuracy table")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one paper figure/table"
+    )
+    experiment.add_argument(
+        "which", choices=["fig4", "fig6", "fig7", "fig8", "table1"]
+    )
+
+    build = subparsers.add_parser(
+        "build-db", help="build and save the databases as JSON"
+    )
+    build.add_argument(
+        "--output", type=Path, required=True, help="output directory"
+    )
+    build.add_argument(
+        "--n-aps", type=int, default=6, help="AP count (default 6)"
+    )
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate systems on held-out traces"
+    )
+    evaluate.add_argument(
+        "--n-aps", type=int, default=6, help="AP count (default 6)"
+    )
+    evaluate.add_argument(
+        "--systems",
+        nargs="+",
+        default=["moloc", "wifi"],
+        help="systems to evaluate (moloc wifi horus hmm naive-fusion)",
+    )
+    evaluate.add_argument(
+        "--databases",
+        type=Path,
+        default=None,
+        help="directory of build-db output to evaluate against "
+        "(default: rebuild from the seed)",
+    )
+
+    export = subparsers.add_parser(
+        "export-traces", help="export the walk data set as JSON"
+    )
+    export.add_argument(
+        "--output", type=Path, required=True, help="output file"
+    )
+    export.add_argument(
+        "--split",
+        choices=["training", "test"],
+        default="test",
+        help="which split to export (default: test)",
+    )
+    export.add_argument(
+        "--count", type=int, default=None, help="limit the number of traces"
+    )
+
+    report = subparsers.add_parser(
+        "report", help="write a full experiment report as markdown"
+    )
+    report.add_argument(
+        "--output", type=Path, required=True, help="output markdown file"
+    )
+    return parser
+
+
+def _study_from(args) -> "Study":
+    """Build the study the command operates on, honoring volume flags."""
+    return prepare_study(
+        seed=args.seed,
+        n_training_traces=args.training_traces,
+        n_test_traces=args.test_traces,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _demo(_study_from(args))
+    if args.command == "experiment":
+        return _experiment(args.seed, args.which, args)
+    if args.command == "build-db":
+        return _build_db(_study_from(args), args.output, args.n_aps)
+    if args.command == "evaluate":
+        return _evaluate(
+            _study_from(args), args.n_aps, args.systems, args.databases
+        )
+    if args.command == "export-traces":
+        return _export_traces(
+            _study_from(args), args.output, args.split, args.count
+        )
+    if args.command == "report":
+        return _report(_study_from(args), args.output)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _demo(study: Study) -> int:
+    rows = []
+    for n_aps in AP_COUNTS:
+        results = evaluate_systems(study, n_aps)
+        for name in ("wifi", "moloc"):
+            result = results[name]
+            rows.append(
+                [
+                    f"{n_aps}-AP {name}",
+                    f"{result.accuracy:.0%}",
+                    result.mean_error_m,
+                    result.max_error_m,
+                ]
+            )
+    print(format_table(["setting", "accuracy", "mean err (m)", "max err (m)"], rows))
+    return 0
+
+
+def _experiment(seed: int, which: str, args) -> int:
+    if which == "fig4":
+        signal, detected = step_signature(seed=seed)
+        print("Fig. 4: acceleration magnitudes (m/s^2) at 10 Hz:")
+        print(" ".join(f"{v:.1f}" for v in signal.samples))
+        print(f"detected step times (s): "
+              + " ".join(f"{t:.2f}" for t in detected))
+        return 0
+
+    study = _study_from(args)
+    if which == "fig6":
+        directions, offsets, spurious = motion_database_errors(study)
+        print("Fig. 6(a) direction errors (deg):")
+        print(format_cdf_series(
+            "measured", EmpiricalCdf.from_samples(directions), [2, 4, 8, 16]
+        ))
+        print("Fig. 6(b) offset errors (m):")
+        print(format_cdf_series(
+            "measured", EmpiricalCdf.from_samples(offsets), [0.1, 0.2, 0.3, 0.5]
+        ))
+        print(f"spurious pairs: {spurious}")
+        return 0
+
+    if which == "fig7":
+        points = [0, 2, 4, 8, 16]
+        for n_aps in AP_COUNTS:
+            results = evaluate_systems(study, n_aps)
+            print(f"Fig. 7 {n_aps}-AP error CDF:")
+            for name in ("moloc", "wifi"):
+                print(format_cdf_series(
+                    name, EmpiricalCdf.from_samples(results[name].errors), points
+                ))
+        return 0
+
+    if which == "fig8":
+        points = [0, 2, 4, 8, 16]
+        for n_aps in AP_COUNTS:
+            errors, ambiguous = large_error_comparison(study, n_aps)
+            print(f"Fig. 8 {n_aps}-AP ({len(ambiguous)} twin locations):")
+            for name in ("moloc", "wifi"):
+                print(format_cdf_series(
+                    name, EmpiricalCdf.from_samples(errors[name]), points
+                ))
+        return 0
+
+    if which == "table1":
+        rows = []
+        for label, stats in convergence_table(study):
+            rows.append(
+                [
+                    label,
+                    stats.mean_erroneous_localizations,
+                    f"{stats.accuracy:.0%}",
+                    stats.mean_error_m,
+                    stats.max_error_m,
+                ]
+            )
+        print(format_table(
+            ["setting", "EL", "accuracy", "mean err (m)", "max err (m)"], rows
+        ))
+        return 0
+    raise AssertionError(f"unhandled experiment {which!r}")
+
+
+def _build_db(study: Study, output: Path, n_aps: int) -> int:
+    fingerprint_db = study.fingerprint_db(n_aps)
+    motion_db, sanitation = study.motion_db(n_aps)
+
+    save_json(floorplan_to_dict(study.scenario.plan), output / "floorplan.json")
+    save_json(graph_to_dict(study.scenario.graph), output / "graph.json")
+    save_json(
+        fingerprint_db_to_dict(fingerprint_db), output / "fingerprint_db.json"
+    )
+    save_json(motion_db_to_dict(motion_db), output / "motion_db.json")
+
+    print(f"wrote 4 artifacts to {output}")
+    print(
+        f"fingerprint db: {len(fingerprint_db)} locations x "
+        f"{fingerprint_db.n_aps} APs"
+    )
+    print(
+        f"motion db: {sanitation.pairs_stored} pairs "
+        f"({sanitation.coarse_rejected} RLMs coarse-rejected, "
+        f"{sanitation.fine_rejected} fine-rejected)"
+    )
+    return 0
+
+
+def _evaluate(
+    study: Study, n_aps: int, systems: List[str], databases: Optional[Path]
+) -> int:
+    if databases is not None:
+        fingerprint_db = fingerprint_db_from_dict(
+            load_json(databases / "fingerprint_db.json")
+        )
+        motion_db = motion_db_from_dict(load_json(databases / "motion_db.json"))
+    else:
+        fingerprint_db = study.fingerprint_db(n_aps)
+        motion_db, _ = study.motion_db(n_aps)
+
+    rows = []
+    for name in systems:
+        localizer = make_localizer(
+            name, fingerprint_db, motion_db, study.config,
+            plan=study.scenario.plan,
+        )
+        result = evaluate_localizer(
+            localizer, study.test_traces, study.scenario.plan
+        )
+        try:
+            el = f"{convergence_statistics(result).mean_erroneous_localizations:.2f}"
+        except ValueError:
+            el = "-"
+        rows.append(
+            [
+                name,
+                f"{result.accuracy:.0%}",
+                result.mean_error_m,
+                result.max_error_m,
+                el,
+            ]
+        )
+    print(format_table(
+        ["system", "accuracy", "mean err (m)", "max err (m)", "EL"], rows
+    ))
+    return 0
+
+
+def _export_traces(
+    study: Study, output: Path, split: str, count: Optional[int]
+) -> int:
+    from .io.traces import traces_to_dict
+
+    traces = (
+        study.training_traces if split == "training" else study.test_traces
+    )
+    if count is not None:
+        traces = traces[:count]
+    save_json(traces_to_dict(traces), output)
+    hops = sum(t.n_hops for t in traces)
+    print(f"wrote {len(traces)} {split} traces ({hops} hops) to {output}")
+    return 0
+
+
+def _report(study: Study, output: Path) -> int:
+    """Write the full experiment report (all figures/tables) as markdown."""
+    from .analysis.ambiguity import analyze_ambiguity
+    from .analysis.comparison import compare_systems
+    from .env.render import render_floorplan
+
+    lines: List[str] = []
+    lines.append("# MoLoc reproduction report")
+    lines.append("")
+    lines.append(
+        f"Seed {study.scenario.seed}; {len(study.training_traces)} training "
+        f"walks, {len(study.test_traces)} test walks over "
+        f"{len(study.scenario.plan)} reference locations."
+    )
+    lines.append("")
+    lines.append("## Environment")
+    lines.append("")
+    lines.append("```")
+    lines.append(render_floorplan(study.scenario.plan))
+    lines.append("```")
+    lines.append("")
+
+    lines.append("## Motion database (Fig. 6)")
+    lines.append("")
+    directions, offsets, spurious = motion_database_errors(study)
+    d_cdf = EmpiricalCdf.from_samples(directions)
+    o_cdf = EmpiricalCdf.from_samples(offsets)
+    lines.append(
+        f"- {len(directions)} aisle hops covered, {spurious} spurious pairs"
+    )
+    lines.append(
+        f"- direction error: median {d_cdf.median:.1f} deg, "
+        f"max {d_cdf.maximum:.1f} deg (paper: 3 / 15)"
+    )
+    lines.append(
+        f"- offset error: median {o_cdf.median:.2f} m, "
+        f"max {o_cdf.maximum:.2f} m (paper: 0.13 / 0.46)"
+    )
+    lines.append("")
+
+    lines.append("## Localization (Fig. 7 / Fig. 8 / Table I)")
+    lines.append("")
+    lines.append(
+        "| setting | MoLoc acc | WiFi acc | MoLoc mean err | WiFi mean err "
+        "| twin locations | MoLoc EL | WiFi EL |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|")
+    significant = None
+    for n_aps in AP_COUNTS:
+        results = evaluate_systems(study, n_aps)
+        moloc, wifi = results["moloc"], results["wifi"]
+        _, ambiguous = large_error_comparison(study, n_aps)
+        try:
+            el_m = f"{convergence_statistics(moloc).mean_erroneous_localizations:.2f}"
+            el_w = f"{convergence_statistics(wifi).mean_erroneous_localizations:.2f}"
+        except ValueError:
+            el_m = el_w = "-"
+        lines.append(
+            f"| {n_aps} APs | {moloc.accuracy:.0%} | {wifi.accuracy:.0%} "
+            f"| {moloc.mean_error_m:.2f} m | {wifi.mean_error_m:.2f} m "
+            f"| {len(ambiguous)} | {el_m} | {el_w} |"
+        )
+        if n_aps == 6:
+            significant = compare_systems(moloc, wifi)
+    lines.append("")
+    if significant is not None:
+        lines.append(
+            f"At 6 APs the accuracy delta is "
+            f"{significant.accuracy_delta:+.0%} with "
+            f"{significant.confidence:.0%} CI "
+            f"[{significant.accuracy_ci[0]:+.0%}, "
+            f"{significant.accuracy_ci[1]:+.0%}] "
+            f"({'significant' if significant.a_significantly_more_accurate else 'not significant'})."
+        )
+    lines.append("")
+
+    lines.append("## Fingerprint twins (ambiguity analysis)")
+    lines.append("")
+    report_4ap = analyze_ambiguity(
+        study.fingerprint_db(4), study.scenario.plan
+    )
+    for pair in report_4ap.distant_twins(6.0)[:5]:
+        lines.append(
+            f"- locations {pair.location_a} and {pair.location_b}: "
+            f"{pair.signal_gap_db:.1f} dB apart in signal, "
+            f"{pair.physical_distance_m:.1f} m apart on the floor"
+        )
+    lines.append("")
+
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text("\n".join(lines), encoding="utf-8")
+    print(f"wrote report to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

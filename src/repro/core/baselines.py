@@ -1,0 +1,299 @@
+"""Baseline localizers MoLoc is compared against.
+
+* :class:`WiFiFingerprintingLocalizer` — the paper's evaluation baseline
+  (Sec. VI, "similar to [12]"): stateless nearest-fingerprint matching,
+  Eq. 2.
+* :class:`HorusLocalizer` — a probabilistic fingerprinting baseline in the
+  style of Horus [17]: per-AP Gaussian likelihoods from the survey sample
+  statistics.
+* :class:`HmmLocalizer` — an accelerometer-assisted hidden-Markov-model
+  tracker in the style of Liu et al. [23]: forward filtering over all
+  reference locations with adjacency-constrained transitions.  The paper
+  argues this family is prone to initial-estimate error and heavier
+  computation; having it here lets the benches check that claim.
+* :class:`NaiveFusionLocalizer` — the strawman of Sec. I (challenge 2):
+  fuse fingerprints and motion by *summing normalized dissimilarities*
+  instead of multiplying probabilities, which biases toward whichever
+  measurement has the wider range.  Used by the fusion ablation bench.
+
+All baselines expose the same interface as
+:class:`~repro.core.localizer.MoLocLocalizer`: ``reset()`` plus
+``locate(fingerprint, motion) -> LocationEstimate``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..env.geometry import bearing_difference
+from ..motion.rlm import MotionMeasurement
+from .config import MoLocConfig
+from .fingerprint import Fingerprint, FingerprintDatabase
+from .localizer import EvaluatedCandidate, LocationEstimate
+from .matching import select_candidates
+from .motion_db import MotionDatabase
+
+__all__ = [
+    "WiFiFingerprintingLocalizer",
+    "HorusLocalizer",
+    "HmmLocalizer",
+    "NaiveFusionLocalizer",
+]
+
+
+def _single_estimate(location_id: int, dissimilarity: float) -> LocationEstimate:
+    """A degenerate estimate holding just the winning location."""
+    candidate = EvaluatedCandidate(
+        location_id=location_id,
+        dissimilarity=dissimilarity,
+        fingerprint_probability=1.0,
+        probability=1.0,
+    )
+    return LocationEstimate(
+        location_id=location_id,
+        probability=1.0,
+        candidates=(candidate,),
+        used_motion=False,
+    )
+
+
+class WiFiFingerprintingLocalizer:
+    """Plain nearest-fingerprint matching (Eq. 2) — the paper's baseline."""
+
+    def __init__(self, fingerprint_db: FingerprintDatabase) -> None:
+        self.fingerprint_db = fingerprint_db
+
+    def reset(self) -> None:
+        """Stateless; nothing to forget."""
+
+    def locate(
+        self,
+        fingerprint: Fingerprint,
+        motion: Optional[MotionMeasurement] = None,
+    ) -> LocationEstimate:
+        """The nearest database entry; ``motion`` is accepted and ignored."""
+        dissimilarities = self.fingerprint_db.dissimilarities(fingerprint)
+        best = min(dissimilarities, key=lambda lid: (dissimilarities[lid], lid))
+        return _single_estimate(best, dissimilarities[best])
+
+
+class HorusLocalizer:
+    """Probabilistic fingerprinting: per-AP Gaussian likelihood (Horus-style).
+
+    Scores each location by the log-likelihood of the query under
+    independent per-AP Gaussians fit during the survey, and returns the
+    maximum-likelihood location.
+
+    Args:
+        fingerprint_db: Must carry sample statistics
+            (built via :meth:`FingerprintDatabase.from_samples`).
+        min_std_dbm: Floor on per-AP standard deviations.
+    """
+
+    def __init__(
+        self, fingerprint_db: FingerprintDatabase, min_std_dbm: float = 1.0
+    ) -> None:
+        if min_std_dbm <= 0:
+            raise ValueError(f"min_std_dbm must be positive, got {min_std_dbm}")
+        self.fingerprint_db = fingerprint_db
+        self.min_std_dbm = min_std_dbm
+
+    def reset(self) -> None:
+        """Stateless; nothing to forget."""
+
+    def _log_likelihood(self, location_id: int, query: Fingerprint) -> float:
+        mean = self.fingerprint_db.fingerprint_of(location_id)
+        stds = self.fingerprint_db.std_of(location_id)
+        total = 0.0
+        for value, mu, sigma in zip(query.rss, mean.rss, stds):
+            sigma = max(sigma, self.min_std_dbm)
+            z = (value - mu) / sigma
+            total += -0.5 * z * z - math.log(sigma)
+        return total
+
+    def locate(
+        self,
+        fingerprint: Fingerprint,
+        motion: Optional[MotionMeasurement] = None,
+    ) -> LocationEstimate:
+        """The maximum-likelihood location; ``motion`` is ignored."""
+        scores = {
+            lid: self._log_likelihood(lid, fingerprint)
+            for lid in self.fingerprint_db.location_ids
+        }
+        best = max(scores, key=lambda lid: (scores[lid], -lid))
+        return _single_estimate(
+            best, fingerprint.dissimilarity(self.fingerprint_db.fingerprint_of(best))
+        )
+
+
+class HmmLocalizer:
+    """Accelerometer-assisted HMM tracking (Liu et al. [23] style).
+
+    Maintains a belief over *all* reference locations.  When motion is
+    reported, probability mass flows uniformly to each location's
+    motion-database neighbors; when the user is still, it self-loops.
+    Beliefs are multiplied by inverse-dissimilarity emissions each scan.
+
+    Args:
+        fingerprint_db: Emission model source.
+        motion_db: Adjacency source for the transition model.
+        moving_offset_threshold_m: Measured offsets above this count as
+            movement.
+        self_loop: Probability of staying put even when moving (gait and
+            detection slack).
+    """
+
+    def __init__(
+        self,
+        fingerprint_db: FingerprintDatabase,
+        motion_db: MotionDatabase,
+        moving_offset_threshold_m: float = 1.0,
+        self_loop: float = 0.1,
+    ) -> None:
+        if not 0.0 <= self_loop < 1.0:
+            raise ValueError(f"self_loop must be in [0, 1), got {self_loop}")
+        self.fingerprint_db = fingerprint_db
+        self.motion_db = motion_db
+        self.moving_offset_threshold_m = moving_offset_threshold_m
+        self.self_loop = self_loop
+        self._belief: Optional[Dict[int, float]] = None
+
+    def reset(self) -> None:
+        """Forget the belief (start a new session)."""
+        self._belief = None
+
+    def _emissions(self, fingerprint: Fingerprint) -> Dict[int, float]:
+        dissimilarities = self.fingerprint_db.dissimilarities(fingerprint)
+        weights = {lid: 1.0 / max(m, 1e-9) for lid, m in dissimilarities.items()}
+        total = sum(weights.values())
+        return {lid: w / total for lid, w in weights.items()}
+
+    def _propagate(self, moving: bool) -> Dict[int, float]:
+        assert self._belief is not None
+        propagated = {lid: 0.0 for lid in self._belief}
+        for lid, mass in self._belief.items():
+            if mass == 0.0:
+                continue
+            neighbors = self.motion_db.neighbors_of(lid) if moving else []
+            if moving and neighbors:
+                propagated[lid] += mass * self.self_loop
+                share = mass * (1.0 - self.self_loop) / len(neighbors)
+                for neighbor in neighbors:
+                    if neighbor in propagated:
+                        propagated[neighbor] += share
+            else:
+                propagated[lid] += mass
+        return propagated
+
+    def locate(
+        self,
+        fingerprint: Fingerprint,
+        motion: Optional[MotionMeasurement] = None,
+    ) -> LocationEstimate:
+        """One forward-filtering step; returns the maximum-belief location."""
+        emissions = self._emissions(fingerprint)
+        if self._belief is None:
+            belief = dict(emissions)
+        else:
+            moving = (
+                motion is not None
+                and motion.offset_m > self.moving_offset_threshold_m
+            )
+            prior = self._propagate(moving)
+            belief = {lid: prior[lid] * emissions[lid] for lid in prior}
+        total = sum(belief.values())
+        if total <= 0.0:
+            belief = dict(emissions)
+            total = 1.0
+        self._belief = {lid: b / total for lid, b in belief.items()}
+
+        best = max(self._belief, key=lambda lid: (self._belief[lid], -lid))
+        dissimilarity = fingerprint.dissimilarity(
+            self.fingerprint_db.fingerprint_of(best)
+        )
+        candidates = tuple(
+            EvaluatedCandidate(
+                location_id=lid,
+                dissimilarity=fingerprint.dissimilarity(
+                    self.fingerprint_db.fingerprint_of(lid)
+                ),
+                fingerprint_probability=emissions[lid],
+                probability=self._belief[lid],
+            )
+            for lid in sorted(
+                self._belief, key=lambda lid: -self._belief[lid]
+            )[:5]
+        )
+        return LocationEstimate(
+            location_id=best,
+            probability=self._belief[best],
+            candidates=candidates,
+            used_motion=motion is not None,
+        )
+
+
+class NaiveFusionLocalizer:
+    """Additive dissimilarity fusion — the biased strawman of Sec. I.
+
+    Scores each candidate by the *sum* of the raw fingerprint
+    dissimilarity and the raw direction/offset mismatches to the best
+    previous candidate.  Because the three terms live on different scales
+    (dB, degrees, meters), whichever has the widest range dominates —
+    exactly the bias MoLoc's probabilistic formulation removes.
+    """
+
+    def __init__(
+        self,
+        fingerprint_db: FingerprintDatabase,
+        motion_db: MotionDatabase,
+        config: MoLocConfig = MoLocConfig(),
+    ) -> None:
+        self.fingerprint_db = fingerprint_db
+        self.motion_db = motion_db
+        self.config = config
+        self._previous: Optional[List[int]] = None
+
+    def reset(self) -> None:
+        """Forget the previous candidate set."""
+        self._previous = None
+
+    def _motion_mismatch(self, end_id: int, motion: MotionMeasurement) -> float:
+        """Best (smallest) raw mismatch from any previous candidate."""
+        assert self._previous is not None
+        best = None
+        for start_id in self._previous:
+            if start_id == end_id:
+                mismatch = motion.offset_m
+            elif self.motion_db.has_pair(start_id, end_id):
+                stats = self.motion_db.entry(start_id, end_id)
+                mismatch = bearing_difference(
+                    motion.direction_deg, stats.direction_mean_deg
+                ) + abs(motion.offset_m - stats.offset_mean_m)
+            else:
+                continue
+            if best is None or mismatch < best:
+                best = mismatch
+        # An unreachable candidate gets the worst possible direction
+        # mismatch plus the full offset as penalty.
+        return best if best is not None else 180.0 + motion.offset_m
+
+    def locate(
+        self,
+        fingerprint: Fingerprint,
+        motion: Optional[MotionMeasurement] = None,
+    ) -> LocationEstimate:
+        """Pick the candidate with the smallest summed dissimilarity."""
+        candidates = select_candidates(self.fingerprint_db, fingerprint, self.config.k)
+        scores = {c.location_id: c.dissimilarity for c in candidates}
+        if self._previous is not None and motion is not None:
+            for c in candidates:
+                scores[c.location_id] += self._motion_mismatch(c.location_id, motion)
+
+        self._previous = [c.location_id for c in candidates]
+        best = min(scores, key=lambda lid: (scores[lid], lid))
+        dissimilarity = next(
+            c.dissimilarity for c in candidates if c.location_id == best
+        )
+        return _single_estimate(best, dissimilarity)

@@ -1,0 +1,66 @@
+"""MoLoc configuration: every tunable the paper names, with paper defaults.
+
+Values come from Sec. IV-B2 (sanitation thresholds: 20 degrees in
+direction, 3 m in offset, two standard deviations for the fine filter) and
+Sec. VI-B2 (Gaussian discretization intervals alpha = 20 degrees and
+beta = 1 m, chosen from the motion-database standard deviations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MoLocConfig"]
+
+
+@dataclass(frozen=True)
+class MoLocConfig:
+    """Tunables for the MoLoc pipeline.
+
+    Attributes:
+        k: Candidate-set size for fingerprint matching (Eq. 3).
+        alpha_deg: Discretization interval of the direction Gaussian (Eq. 5).
+        beta_m: Discretization interval of the offset Gaussian (Eq. 5).
+        coarse_direction_threshold_deg: Coarse-filter bound on the gap
+            between a measured direction and the map-computed one.
+        coarse_offset_threshold_m: Coarse-filter bound on the gap between
+            a measured offset and the map-computed one.
+        fine_sigma_multiplier: Fine filter drops measurements farther than
+            this many standard deviations from the pair mean.
+        min_observations: Minimum surviving measurements for a pair to
+            enter the motion database.
+        min_direction_std_deg: Floor on the stored direction standard
+            deviation (guards against degenerate Gaussians).
+        min_offset_std_m: Floor on the stored offset standard deviation.
+        stay_sigma_m: Scale of the zero-mean offset model used for the
+            "user did not move" self-transition.
+    """
+
+    k: int = 12
+    alpha_deg: float = 20.0
+    beta_m: float = 1.0
+    coarse_direction_threshold_deg: float = 20.0
+    coarse_offset_threshold_m: float = 3.0
+    fine_sigma_multiplier: float = 2.0
+    min_observations: int = 3
+    min_direction_std_deg: float = 3.0
+    min_offset_std_m: float = 0.1
+    stay_sigma_m: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"candidate set size k must be >= 1, got {self.k}")
+        if self.alpha_deg <= 0 or self.beta_m <= 0:
+            raise ValueError("discretization intervals must be positive")
+        if self.coarse_direction_threshold_deg <= 0:
+            raise ValueError("coarse direction threshold must be positive")
+        if self.coarse_offset_threshold_m <= 0:
+            raise ValueError("coarse offset threshold must be positive")
+        if self.fine_sigma_multiplier <= 0:
+            raise ValueError("fine sigma multiplier must be positive")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if self.min_direction_std_deg <= 0 or self.min_offset_std_m <= 0:
+            raise ValueError("standard-deviation floors must be positive")
+        if self.stay_sigma_m <= 0:
+            raise ValueError("stay_sigma_m must be positive")

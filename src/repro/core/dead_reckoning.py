@@ -1,0 +1,87 @@
+"""Pure pedestrian dead reckoning (PDR) — the no-RSS baseline.
+
+The opposite corner of the design space from WiFi-only fingerprinting:
+anchor once with a fingerprint fix, then integrate motion measurements
+(direction + offset) forever, never consulting RSS again.  PDR is
+drift-prone — every heading or stride error compounds — which is exactly
+why MoLoc fuses both evidence streams instead of trusting either alone.
+Including it closes the taxonomy the benches compare: RSS-only (WiFi,
+Horus, model-based), motion-only (this), and fused (MoLoc, HMM, PF).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..env.floorplan import FloorPlan
+from ..env.geometry import Point
+from ..motion.rlm import MotionMeasurement
+from .fingerprint import Fingerprint, FingerprintDatabase
+from .localizer import EvaluatedCandidate, LocationEstimate
+
+__all__ = ["DeadReckoningLocalizer"]
+
+
+class DeadReckoningLocalizer:
+    """Anchor-once-then-integrate dead reckoning.
+
+    Args:
+        fingerprint_db: Used only for the anchor fix (Eq. 2).
+        plan: Floor plan for coordinates and snapping.
+    """
+
+    def __init__(
+        self, fingerprint_db: FingerprintDatabase, plan: FloorPlan
+    ) -> None:
+        self.fingerprint_db = fingerprint_db
+        self.plan = plan
+        self._position: Optional[Point] = None
+
+    def reset(self) -> None:
+        """Drop the anchor; the next fix re-anchors from fingerprints."""
+        self._position = None
+
+    @property
+    def dead_reckoned_position(self) -> Optional[Point]:
+        """The current integrated position (None before the anchor fix)."""
+        return self._position
+
+    def locate(
+        self,
+        fingerprint: Fingerprint,
+        motion: Optional[MotionMeasurement] = None,
+    ) -> LocationEstimate:
+        """One interval: anchor on the first call, integrate afterwards."""
+        if self._position is None or motion is None:
+            anchor = self.fingerprint_db.nearest(fingerprint)
+            self._position = self.plan.position_of(anchor)
+            used_motion = False
+        else:
+            bearing = math.radians(motion.direction_deg)
+            moved = Point(
+                self._position.x + motion.offset_m * math.sin(bearing),
+                self._position.y + motion.offset_m * math.cos(bearing),
+            )
+            # People stay indoors: clamp to the plan bounds.
+            self._position = Point(
+                min(max(moved.x, 0.0), self.plan.width),
+                min(max(moved.y, 0.0), self.plan.height),
+            )
+            used_motion = True
+
+        location_id = self.plan.nearest_location(self._position).location_id
+        candidate = EvaluatedCandidate(
+            location_id=location_id,
+            dissimilarity=fingerprint.dissimilarity(
+                self.fingerprint_db.fingerprint_of(location_id)
+            ),
+            fingerprint_probability=1.0,
+            probability=1.0,
+        )
+        return LocationEstimate(
+            location_id=location_id,
+            probability=1.0,
+            candidates=(candidate,),
+            used_motion=used_motion,
+        )

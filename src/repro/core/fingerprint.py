@@ -1,0 +1,184 @@
+"""RSS fingerprints and the fingerprint database (paper Sec. III-B, Eq. 1-2).
+
+A fingerprint is the vector ``F = (f1, ..., fn)`` of RSS values from the
+``n`` deployed APs.  The dissimilarity between two fingerprints is their
+Euclidean distance (Eq. 1), and the plain fingerprinting location estimate
+is the database entry minimizing that dissimilarity (Eq. 2).
+
+The database keeps, per reference location, both the mean fingerprint
+(used by Euclidean matching) and the per-AP standard deviation of the
+survey samples (used by the Horus-style probabilistic baseline).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Fingerprint", "FingerprintDatabase"]
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """An RSS fingerprint: one value per AP, in dBm, indexed by AP id."""
+
+    rss: Tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "Fingerprint":
+        """Build a fingerprint from any iterable of RSS values."""
+        return cls(tuple(float(v) for v in values))
+
+    @property
+    def n_aps(self) -> int:
+        """The number of AP readings in this fingerprint."""
+        return len(self.rss)
+
+    def as_array(self) -> np.ndarray:
+        """The fingerprint as a float array indexed by AP id."""
+        return np.array(self.rss, dtype=float)
+
+    def truncated(self, n_aps: int) -> "Fingerprint":
+        """The fingerprint restricted to the first ``n_aps`` APs.
+
+        Used by the AP-count sweep (Fig. 7/8, Table I): a 6-AP scan
+        truncates to the 4- or 5-AP deployment prefix.
+        """
+        if not 1 <= n_aps <= self.n_aps:
+            raise ValueError(f"cannot truncate {self.n_aps}-AP fingerprint to {n_aps}")
+        return Fingerprint(self.rss[:n_aps])
+
+    def dissimilarity(self, other: "Fingerprint") -> float:
+        """Euclidean dissimilarity ``phi(F, F')`` between fingerprints (Eq. 1)."""
+        if self.n_aps != other.n_aps:
+            raise ValueError(
+                f"fingerprint lengths differ: {self.n_aps} vs {other.n_aps}"
+            )
+        return math.sqrt(sum((a - b) ** 2 for a, b in zip(self.rss, other.rss)))
+
+
+class FingerprintDatabase:
+    """Location -> fingerprint mappings built during the site survey.
+
+    Args:
+        means: Per-location mean fingerprint, keyed by location id.
+        stds: Optional per-location, per-AP sample standard deviations
+            (same vector length as the means), for probabilistic matching.
+    """
+
+    def __init__(
+        self,
+        means: Mapping[int, Fingerprint],
+        stds: Optional[Mapping[int, Tuple[float, ...]]] = None,
+    ) -> None:
+        if not means:
+            raise ValueError("fingerprint database cannot be empty")
+        lengths = {fp.n_aps for fp in means.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"inconsistent fingerprint lengths in database: {lengths}")
+        self._means: Dict[int, Fingerprint] = dict(means)
+        self._stds: Dict[int, Tuple[float, ...]] = dict(stds or {})
+        (self._n_aps,) = lengths
+        for location_id, std in self._stds.items():
+            if location_id not in self._means:
+                raise ValueError(f"std given for unknown location {location_id}")
+            if len(std) != self._n_aps:
+                raise ValueError(
+                    f"std length {len(std)} != fingerprint length {self._n_aps}"
+                )
+
+    @classmethod
+    def from_samples(
+        cls, samples: Mapping[int, Sequence[Sequence[float]]]
+    ) -> "FingerprintDatabase":
+        """Build the database from raw survey scans.
+
+        Args:
+            samples: Per-location list of RSS scan vectors (each a sequence
+                of per-AP dBm values).  The stored fingerprint is the
+                per-AP mean; per-AP standard deviations are kept for
+                probabilistic baselines.
+        """
+        means: Dict[int, Fingerprint] = {}
+        stds: Dict[int, Tuple[float, ...]] = {}
+        for location_id, scans in samples.items():
+            matrix = np.asarray(scans, dtype=float)
+            if matrix.ndim != 2 or matrix.shape[0] == 0:
+                raise ValueError(
+                    f"location {location_id} needs a non-empty 2-D sample block"
+                )
+            means[location_id] = Fingerprint.from_values(matrix.mean(axis=0))
+            stds[location_id] = tuple(matrix.std(axis=0, ddof=0))
+        return cls(means, stds)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_aps(self) -> int:
+        """The fingerprint vector length stored in this database."""
+        return self._n_aps
+
+    @property
+    def location_ids(self) -> List[int]:
+        """All surveyed location ids, ascending."""
+        return sorted(self._means)
+
+    def __len__(self) -> int:
+        return len(self._means)
+
+    def __contains__(self, location_id: int) -> bool:
+        return location_id in self._means
+
+    def fingerprint_of(self, location_id: int) -> Fingerprint:
+        """The surveyed mean fingerprint of a location (``phi^-1`` of Eq. 3)."""
+        try:
+            return self._means[location_id]
+        except KeyError:
+            raise KeyError(f"no fingerprint for location {location_id}") from None
+
+    def std_of(self, location_id: int) -> Tuple[float, ...]:
+        """Per-AP sample standard deviations at a location.
+
+        Raises:
+            KeyError: if the database was built without sample statistics.
+        """
+        try:
+            return self._stds[location_id]
+        except KeyError:
+            raise KeyError(f"no sample statistics for location {location_id}") from None
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def dissimilarities(self, query: Fingerprint) -> Dict[int, float]:
+        """``phi(F, F')`` from the query to every database entry (Eq. 1)."""
+        if query.n_aps != self._n_aps:
+            raise ValueError(
+                f"query has {query.n_aps} APs but database stores {self._n_aps}"
+            )
+        return {
+            location_id: query.dissimilarity(fp)
+            for location_id, fp in self._means.items()
+        }
+
+    def nearest(self, query: Fingerprint) -> int:
+        """The plain fingerprinting estimate ``l(F)`` (Eq. 2).
+
+        Ties break on the lower location id, keeping results deterministic.
+        """
+        dissimilarities = self.dissimilarities(query)
+        return min(dissimilarities, key=lambda lid: (dissimilarities[lid], lid))
+
+    def truncated(self, n_aps: int) -> "FingerprintDatabase":
+        """A database restricted to the first ``n_aps`` APs (AP-count sweeps)."""
+        if not 1 <= n_aps <= self._n_aps:
+            raise ValueError(f"cannot truncate {self._n_aps}-AP database to {n_aps}")
+        means = {lid: fp.truncated(n_aps) for lid, fp in self._means.items()}
+        stds = {lid: std[:n_aps] for lid, std in self._stds.items()}
+        return FingerprintDatabase(means, stds)

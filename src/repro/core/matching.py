@@ -1,0 +1,70 @@
+"""Candidate estimation: k-nearest fingerprint matching (paper Eq. 3-4).
+
+Instead of committing to the single nearest database entry, MoLoc keeps
+the ``k`` locations whose fingerprints are nearest the query (Eq. 3) and
+assigns each a probability proportional to the *inverse* of its
+dissimilarity (Eq. 4) — smaller dissimilarity, higher probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .fingerprint import Fingerprint, FingerprintDatabase
+
+__all__ = ["Candidate", "select_candidates"]
+
+_EXACT_MATCH_EPSILON = 1e-9
+"""Dissimilarity floor so an exact fingerprint match keeps Eq. 4 finite."""
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One location candidate from fingerprint matching.
+
+    Attributes:
+        location_id: The candidate reference location.
+        dissimilarity: ``phi(F, F_candidate)`` — the ``m_i`` of Eq. 3.
+        probability: ``P(x = l_i | F)`` from Eq. 4 (sums to 1 over the set).
+    """
+
+    location_id: int
+    dissimilarity: float
+    probability: float
+
+
+def select_candidates(
+    database: FingerprintDatabase, query: Fingerprint, k: int
+) -> List[Candidate]:
+    """The ``k`` nearest location candidates with Eq. 4 probabilities.
+
+    Ties in dissimilarity break on the lower location id so results are
+    deterministic.  If the database holds fewer than ``k`` locations, all
+    of them are returned.
+
+    Args:
+        database: The fingerprint database to match against.
+        query: The user-collected fingerprint ``F``.
+        k: Candidate-set size (Eq. 3).
+
+    Returns:
+        Candidates sorted by ascending dissimilarity; probabilities
+        normalized over the returned set.
+
+    Raises:
+        ValueError: if ``k`` is not positive.
+    """
+    if k < 1:
+        raise ValueError(f"candidate set size k must be >= 1, got {k}")
+
+    dissimilarities: Dict[int, float] = database.dissimilarities(query)
+    ranked = sorted(dissimilarities.items(), key=lambda item: (item[1], item[0]))
+    nearest = ranked[: min(k, len(ranked))]
+
+    inverse_weights = [1.0 / max(m, _EXACT_MATCH_EPSILON) for _, m in nearest]
+    total = sum(inverse_weights)
+    return [
+        Candidate(location_id=lid, dissimilarity=m, probability=w / total)
+        for (lid, m), w in zip(nearest, inverse_weights)
+    ]

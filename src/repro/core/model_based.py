@@ -1,0 +1,162 @@
+"""Model-based localization (the paper's second related-work category).
+
+Sec. II splits RF localization into *fingerprinting* and *modeling*; the
+modeling camp (EZ [20], Lim et al. [21]) fits an RF propagation model to
+observed data and inverts it to estimate position.  This baseline lets
+the benches compare MoLoc against that whole family:
+
+1. **Calibration** — for each AP, fit the log-distance model
+   ``rss = p1m - 10 n log10(d)`` to the survey database by least squares
+   over (distance-to-AP, mean RSS) pairs, yielding per-AP ``(p1m, n)``.
+2. **Localization** — grid-search the floor plan for the position whose
+   model-predicted RSS vector best matches the query scan, then snap to
+   the nearest reference location for comparable scoring.
+
+The model ignores walls and shadowing — which is precisely the
+assumption the paper says "is difficult to hold ideally", and the benches
+show the resulting accuracy gap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..env.floorplan import FloorPlan
+from ..env.geometry import Point
+from ..motion.rlm import MotionMeasurement
+from .fingerprint import Fingerprint, FingerprintDatabase
+from .localizer import EvaluatedCandidate, LocationEstimate
+
+__all__ = ["ModelBasedLocalizer", "fit_log_distance_model"]
+
+
+def fit_log_distance_model(
+    distances: Sequence[float], rss_values: Sequence[float]
+) -> Tuple[float, float]:
+    """Least-squares fit of ``rss = p1m - 10 n log10(d)``.
+
+    Args:
+        distances: Transmitter-receiver distances, in meters (positive).
+        rss_values: Observed mean RSS at those distances, in dBm.
+
+    Returns:
+        ``(p1m, n)``: power at 1 m and the path-loss exponent.
+
+    Raises:
+        ValueError: with fewer than two points or non-positive distances.
+    """
+    if len(distances) != len(rss_values):
+        raise ValueError("distances and RSS values must pair up")
+    if len(distances) < 2:
+        raise ValueError("need at least two calibration points")
+    if any(d <= 0 for d in distances):
+        raise ValueError("distances must be positive")
+    predictor = -10.0 * np.log10(np.asarray(distances, dtype=float))
+    design = np.column_stack([np.ones(len(distances)), predictor])
+    solution, *_ = np.linalg.lstsq(
+        design, np.asarray(rss_values, dtype=float), rcond=None
+    )
+    p1m, exponent = float(solution[0]), float(solution[1])
+    return p1m, exponent
+
+
+class ModelBasedLocalizer:
+    """EZ-style propagation-model localization.
+
+    Args:
+        fingerprint_db: Calibration data (per-location mean RSS).
+        plan: The floor plan; must define the AP positions used by the
+            database's AP order.
+        grid_step_m: Spacing of the search grid over the plan.
+    """
+
+    def __init__(
+        self,
+        fingerprint_db: FingerprintDatabase,
+        plan: FloorPlan,
+        grid_step_m: float = 1.0,
+    ) -> None:
+        if grid_step_m <= 0:
+            raise ValueError(f"grid step must be positive, got {grid_step_m}")
+        if fingerprint_db.n_aps > len(plan.ap_positions):
+            raise ValueError(
+                f"database has {fingerprint_db.n_aps} APs but plan defines "
+                f"{len(plan.ap_positions)} sites"
+            )
+        self.fingerprint_db = fingerprint_db
+        self.plan = plan
+        self.grid_step_m = grid_step_m
+        self._ap_positions = plan.ap_positions[: fingerprint_db.n_aps]
+        self._parameters = self._calibrate()
+        self._grid, self._grid_rss = self._precompute_grid()
+
+    def _calibrate(self) -> List[Tuple[float, float]]:
+        parameters = []
+        for ap_index, ap_position in enumerate(self._ap_positions):
+            distances = []
+            observations = []
+            for location_id in self.fingerprint_db.location_ids:
+                position = self.plan.position_of(location_id)
+                distances.append(max(ap_position.distance_to(position), 0.5))
+                observations.append(
+                    self.fingerprint_db.fingerprint_of(location_id).rss[ap_index]
+                )
+            parameters.append(fit_log_distance_model(distances, observations))
+        return parameters
+
+    @property
+    def model_parameters(self) -> List[Tuple[float, float]]:
+        """Fitted per-AP ``(p1m, exponent)`` pairs."""
+        return list(self._parameters)
+
+    def predict_rss(self, position: Point) -> np.ndarray:
+        """The fitted model's RSS vector at an arbitrary position."""
+        values = np.empty(len(self._ap_positions))
+        for ap_index, ap_position in enumerate(self._ap_positions):
+            distance = max(ap_position.distance_to(position), 0.5)
+            p1m, exponent = self._parameters[ap_index]
+            values[ap_index] = p1m - 10.0 * exponent * math.log10(distance)
+        return values
+
+    def _precompute_grid(self) -> Tuple[np.ndarray, np.ndarray]:
+        xs = np.arange(0.0, self.plan.width + 1e-9, self.grid_step_m)
+        ys = np.arange(0.0, self.plan.height + 1e-9, self.grid_step_m)
+        points = np.array([[x, y] for x in xs for y in ys])
+        rss = np.array([self.predict_rss(Point(x, y)) for x, y in points])
+        return points, rss
+
+    def reset(self) -> None:
+        """Stateless; nothing to forget."""
+
+    def locate(
+        self,
+        fingerprint: Fingerprint,
+        motion: Optional[MotionMeasurement] = None,
+    ) -> LocationEstimate:
+        """Best grid position under the model, snapped to a reference.
+
+        ``motion`` is accepted and ignored (the modeling family in the
+        paper's taxonomy is motion-free).
+        """
+        scan = fingerprint.as_array()
+        residuals = self._grid_rss - scan[None, :]
+        costs = (residuals**2).sum(axis=1)
+        best = self._grid[int(costs.argmin())]
+        location_id = self.plan.nearest_location(Point(*best)).location_id
+        candidate = EvaluatedCandidate(
+            location_id=location_id,
+            dissimilarity=fingerprint.dissimilarity(
+                self.fingerprint_db.fingerprint_of(location_id)
+            ),
+            fingerprint_probability=1.0,
+            probability=1.0,
+        )
+        return LocationEstimate(
+            location_id=location_id,
+            probability=1.0,
+            candidates=(candidate,),
+            used_motion=False,
+        )

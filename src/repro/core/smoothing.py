@@ -1,0 +1,143 @@
+"""Offline trajectory smoothing: Viterbi decoding over candidate sets.
+
+MoLoc is an *online* filter: each fix may only use the past.  For
+offline workloads — post-processing a logged walk, building training
+labels for crowdsourcing, auditing a deployment — the whole trace is
+available, and the maximum-a-posteriori *sequence* of locations can be
+decoded instead.  :class:`ViterbiSmoother` runs exactly MoLoc's two
+evidence terms (Eq. 4 fingerprint probabilities as emissions, Eq. 5
+motion-database probabilities as transitions) through the Viterbi
+algorithm over the per-interval candidate sets.
+
+This is the natural offline upper bound for MoLoc's online estimates:
+a late unambiguous fix can retroactively repair earlier twin confusion
+that the online filter had to commit to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..motion.rlm import MotionMeasurement
+from .config import MoLocConfig
+from .fingerprint import Fingerprint, FingerprintDatabase
+from .matching import select_candidates
+from .motion_db import MotionDatabase
+from .motion_matching import pair_probability, stay_probability
+
+__all__ = ["ViterbiSmoother"]
+
+_LOG_FLOOR = -1e18
+"""Log-probability assigned to impossible transitions."""
+
+
+@dataclass
+class ViterbiSmoother:
+    """Offline MAP decoding of a walk from its scans and motion stream.
+
+    Args:
+        fingerprint_db: Emission source (Eq. 4 probabilities).
+        motion_db: Transition source (Eq. 5 probabilities).
+        config: Candidate-set size and discretization intervals.
+    """
+
+    fingerprint_db: FingerprintDatabase
+    motion_db: MotionDatabase
+    config: MoLocConfig = MoLocConfig()
+
+    def smooth(
+        self,
+        fingerprints: Sequence[Fingerprint],
+        motions: Sequence[Optional[MotionMeasurement]],
+    ) -> List[int]:
+        """The MAP location sequence for a logged walk.
+
+        Args:
+            fingerprints: One scan per localization interval (length n).
+            motions: The measured motion between consecutive intervals
+                (length n - 1); individual entries may be None when the
+                IMU stream was lost, in which case that step's transition
+                is uninformative (any candidate pair allowed equally).
+
+        Returns:
+            One location id per interval.
+
+        Raises:
+            ValueError: on empty input or mismatched lengths.
+        """
+        if len(fingerprints) == 0:
+            raise ValueError("cannot smooth an empty walk")
+        if len(motions) != len(fingerprints) - 1:
+            raise ValueError(
+                f"need exactly {len(fingerprints) - 1} motion measurements, "
+                f"got {len(motions)}"
+            )
+
+        candidate_sets = [
+            select_candidates(self.fingerprint_db, fp, self.config.k)
+            for fp in fingerprints
+        ]
+
+        # Forward pass: log-probabilities and backpointers.
+        scores = [
+            {c.location_id: _log(c.probability) for c in candidate_sets[0]}
+        ]
+        backpointers: List[dict] = []
+        for step, motion in enumerate(motions, start=1):
+            current = {}
+            pointers = {}
+            for candidate in candidate_sets[step]:
+                emission = _log(candidate.probability)
+                best_prev = None
+                best_score = _LOG_FLOOR
+                for prev_id, prev_score in scores[-1].items():
+                    transition = self._log_transition(
+                        prev_id, candidate.location_id, motion
+                    )
+                    total = prev_score + transition
+                    if total > best_score:
+                        best_score = total
+                        best_prev = prev_id
+                current[candidate.location_id] = best_score + emission
+                pointers[candidate.location_id] = best_prev
+            if all(score <= _LOG_FLOOR for score in current.values()):
+                # No candidate is reachable: re-seed from emissions alone
+                # (the online localizer's fallback, applied offline).
+                current = {
+                    c.location_id: _log(c.probability)
+                    for c in candidate_sets[step]
+                }
+                pointers = {c.location_id: None for c in candidate_sets[step]}
+            scores.append(current)
+            backpointers.append(pointers)
+
+        # Backward pass.
+        path = [max(scores[-1], key=lambda lid: (scores[-1][lid], -lid))]
+        for step in range(len(backpointers) - 1, -1, -1):
+            previous = backpointers[step][path[-1]]
+            if previous is None:
+                # Re-seeded step: fall back to that interval's best emission.
+                previous = max(
+                    scores[step], key=lambda lid: (scores[step][lid], -lid)
+                )
+            path.append(previous)
+        path.reverse()
+        return path
+
+    def _log_transition(
+        self, start_id: int, end_id: int, motion: Optional[MotionMeasurement]
+    ) -> float:
+        if motion is None:
+            return 0.0  # uninformative step: transitions unconstrained
+        if start_id == end_id:
+            return _log(stay_probability(motion, self.config))
+        if not self.motion_db.has_pair(start_id, end_id):
+            return _LOG_FLOOR
+        stats = self.motion_db.entry(start_id, end_id)
+        return _log(pair_probability(stats, motion, self.config))
+
+
+def _log(probability: float) -> float:
+    return math.log(probability) if probability > 0.0 else _LOG_FLOOR

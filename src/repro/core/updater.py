@@ -1,0 +1,165 @@
+"""Adaptive fingerprint maintenance from motion-confirmed fixes.
+
+The paper builds its fingerprint database with a traditional site survey
+and "leaves the newly proposed [crowdsourced] methods for future
+investigation" (Sec. III-B).  This module implements that future work:
+once MoLoc is running, every *high-confidence* fix pairs a fresh scan
+with a believed location — free survey data.  Feeding those pairs back
+as exponential-moving-average updates keeps the database tracking the
+slow temporal drift of the radio environment without re-surveying.
+
+The confidence gate is what makes this safe: only fixes whose posterior
+probability clears a threshold update the database, so twin confusion
+(which produces low-confidence, split posteriors) cannot poison it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..motion.rlm import MotionMeasurement
+from .config import MoLocConfig
+from .fingerprint import Fingerprint, FingerprintDatabase
+from .localizer import LocationEstimate, MoLocLocalizer
+from .motion_db import MotionDatabase
+
+__all__ = ["FingerprintUpdater", "AdaptiveMoLocLocalizer"]
+
+
+@dataclass
+class FingerprintUpdater:
+    """EMA updates of a fingerprint database from confirmed observations.
+
+    Attributes:
+        database: The current (updated) fingerprint database.
+        learning_rate: EMA weight of a new observation; small values make
+            the database a slow follower, robust to isolated bad fixes.
+        confidence_threshold: Minimum fix confidence for an observation
+            to be applied.
+    """
+
+    database: FingerprintDatabase
+    learning_rate: float = 0.05
+    confidence_threshold: float = 0.9
+    _updates_applied: int = field(default=0, repr=False)
+    _updates_rejected: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError(
+                f"learning rate must be in (0, 1], got {self.learning_rate}"
+            )
+        if not 0.0 <= self.confidence_threshold <= 1.0:
+            raise ValueError(
+                f"confidence threshold must be in [0, 1], "
+                f"got {self.confidence_threshold}"
+            )
+
+    @property
+    def updates_applied(self) -> int:
+        """How many observations passed the gate and updated the database."""
+        return self._updates_applied
+
+    @property
+    def updates_rejected(self) -> int:
+        """How many observations were rejected by the confidence gate."""
+        return self._updates_rejected
+
+    def observe(
+        self, location_id: int, scan: Fingerprint, confidence: float
+    ) -> bool:
+        """Feed back one (location, scan, confidence) observation.
+
+        Returns:
+            Whether the observation passed the gate and was applied.
+
+        Raises:
+            KeyError: if the location is not in the database.
+            ValueError: if the scan length does not match the database.
+        """
+        if location_id not in self.database:
+            raise KeyError(f"unknown location {location_id}")
+        if scan.n_aps != self.database.n_aps:
+            raise ValueError(
+                f"scan has {scan.n_aps} APs, database stores {self.database.n_aps}"
+            )
+        if confidence < self.confidence_threshold:
+            self._updates_rejected += 1
+            return False
+
+        old = self.database.fingerprint_of(location_id)
+        blended = Fingerprint.from_values(
+            (1.0 - self.learning_rate) * a + self.learning_rate * b
+            for a, b in zip(old.rss, scan.rss)
+        )
+        means = {
+            lid: self.database.fingerprint_of(lid)
+            for lid in self.database.location_ids
+        }
+        means[location_id] = blended
+        stds = {}
+        for lid in self.database.location_ids:
+            try:
+                stds[lid] = self.database.std_of(lid)
+            except KeyError:
+                continue
+        self.database = FingerprintDatabase(means, stds or None)
+        self._updates_applied += 1
+        return True
+
+
+class AdaptiveMoLocLocalizer:
+    """MoLoc with online fingerprint maintenance.
+
+    Behaves exactly like :class:`MoLocLocalizer`, but every fix whose
+    posterior confidence clears the updater's threshold feeds its scan
+    back into the fingerprint database.
+
+    Args:
+        fingerprint_db: Initial (site-survey) fingerprint database.
+        motion_db: The motion database.
+        config: MoLoc configuration.
+        learning_rate: EMA weight of fed-back observations.
+        confidence_threshold: Gate for feeding back a fix.
+    """
+
+    def __init__(
+        self,
+        fingerprint_db: FingerprintDatabase,
+        motion_db: MotionDatabase,
+        config: MoLocConfig = MoLocConfig(),
+        learning_rate: float = 0.05,
+        confidence_threshold: float = 0.9,
+    ) -> None:
+        self.updater = FingerprintUpdater(
+            database=fingerprint_db,
+            learning_rate=learning_rate,
+            confidence_threshold=confidence_threshold,
+        )
+        self._inner = MoLocLocalizer(fingerprint_db, motion_db, config)
+
+    @property
+    def fingerprint_db(self) -> FingerprintDatabase:
+        """The current (possibly updated) fingerprint database."""
+        return self.updater.database
+
+    def reset(self) -> None:
+        """Start a new session; the learned database is kept."""
+        self._inner.reset()
+
+    def locate(
+        self,
+        fingerprint: Fingerprint,
+        motion: Optional[MotionMeasurement] = None,
+    ) -> LocationEstimate:
+        """One localization interval with feedback."""
+        self._inner.fingerprint_db = self.updater.database
+        estimate = self._inner.locate(fingerprint, motion)
+        if estimate.used_motion:
+            # Only motion-confirmed fixes feed back: an initial
+            # fingerprint-only fix can be a confident *twin* mistake.
+            self.updater.observe(
+                estimate.location_id, fingerprint, estimate.probability
+            )
+        return estimate

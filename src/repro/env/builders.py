@@ -1,0 +1,128 @@
+"""Floor-plan builders: assemble common layouts programmatically.
+
+The paper's hall is a grid of reference locations along aisles — the
+standard shape for offices, supermarkets, and libraries.
+:func:`grid_floorplan` builds such environments of any size, so users of
+the library can study AP counts, grid densities, and hall aspect ratios
+beyond the single published setup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .floorplan import FloorPlan, ReferenceLocation
+from .geometry import Point, Segment
+from .graph import WalkableGraph
+from .office_hall import OfficeHall
+
+__all__ = ["grid_floorplan"]
+
+
+def grid_floorplan(
+    rows: int,
+    cols: int,
+    width: float,
+    height: float,
+    ap_positions: Sequence[Point] = (),
+    walls: Sequence[Segment] = (),
+    blocked_hops: Sequence[Tuple[int, int]] = (),
+    x_margin: Optional[float] = None,
+    y_margin: Optional[float] = None,
+    name: str = "grid hall",
+) -> OfficeHall:
+    """A rows x cols reference grid with full aisle adjacency.
+
+    Location ids are row-major starting at 1, row 1 at the top (largest
+    y), matching the paper's Fig. 5 numbering convention.
+
+    Args:
+        rows: Grid rows (>= 1).
+        cols: Grid columns (>= 1).
+        width: Hall width in meters.
+        height: Hall height in meters.
+        ap_positions: AP mount sites (prefix-selectable downstream).
+        walls: Interior walls; must not cross any unblocked aisle hop.
+        blocked_hops: Grid-adjacent location pairs that are *not*
+            walkable (partitions); they are removed from the aisle graph
+            and exempted from wall validation.
+        x_margin: Distance from the side walls to the outer columns;
+            defaults to half the column spacing.
+        y_margin: Distance from the top/bottom walls to the outer rows;
+            defaults to half the row spacing.
+        name: Plan name.
+
+    Returns:
+        The assembled :class:`OfficeHall` (plan + aisle graph).
+
+    Raises:
+        ValueError: on degenerate dimensions or inconsistent blocks.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
+    if width <= 0 or height <= 0:
+        raise ValueError("hall dimensions must be positive")
+
+    if x_margin is None:
+        x_margin = width / (2 * cols)
+    if y_margin is None:
+        y_margin = height / (2 * rows)
+    # A single row/column centers at exactly half the extent, so the
+    # bounds are inclusive.
+    if not 0 < x_margin <= width / 2 or not 0 < y_margin <= height / 2:
+        raise ValueError("margins must leave room for the grid")
+
+    x_step = (width - 2 * x_margin) / max(cols - 1, 1)
+    y_step = (height - 2 * y_margin) / max(rows - 1, 1)
+
+    locations: List[ReferenceLocation] = []
+    for row in range(rows):
+        for col in range(cols):
+            location_id = row * cols + col + 1
+            locations.append(
+                ReferenceLocation(
+                    location_id,
+                    Point(
+                        x_margin + col * x_step,
+                        (height - y_margin) - row * y_step,
+                    ),
+                )
+            )
+
+    blocked = {tuple(sorted(pair)) for pair in blocked_hops}
+    edges: List[Tuple[int, int]] = []
+    for row in range(rows):
+        for col in range(cols):
+            location_id = row * cols + col + 1
+            if col + 1 < cols:
+                hop = (location_id, location_id + 1)
+                if tuple(sorted(hop)) not in blocked:
+                    edges.append(hop)
+            if row + 1 < rows:
+                hop = (location_id, location_id + cols)
+                if tuple(sorted(hop)) not in blocked:
+                    edges.append(hop)
+
+    grid_pairs = set()
+    for i, j in edges:
+        grid_pairs.add(tuple(sorted((i, j))))
+    for pair in blocked:
+        i, j = pair
+        max_id = rows * cols
+        if not (1 <= i <= max_id and 1 <= j <= max_id):
+            raise ValueError(f"blocked hop {pair} references unknown locations")
+        row_i, col_i = divmod(i - 1, cols)
+        row_j, col_j = divmod(j - 1, cols)
+        if abs(row_i - row_j) + abs(col_i - col_j) != 1:
+            raise ValueError(f"blocked hop {pair} is not grid-adjacent")
+
+    plan = FloorPlan(
+        width=width,
+        height=height,
+        reference_locations=locations,
+        walls=walls,
+        ap_positions=ap_positions,
+        name=name,
+    )
+    graph = WalkableGraph(plan, edges, validate_line_of_sight=True)
+    return OfficeHall(plan=plan, graph=graph)

@@ -1,0 +1,172 @@
+"""Floor-plan model: bounds, walls, reference locations, and AP mounts.
+
+A :class:`FloorPlan` is the static description of an indoor environment.
+It knows where the reference locations of the fingerprint database are,
+where access points are mounted, and where the walls and partitions run —
+which the radio substrate queries to attenuate signals and the motion
+substrate queries to reject unwalkable shortcuts.
+
+Reference locations are identified by small positive integer IDs, matching
+the paper's floor plan (Fig. 5) where locations are numbered 1..28.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .geometry import Point, Segment, segments_intersect
+
+__all__ = ["ReferenceLocation", "FloorPlan"]
+
+
+@dataclass(frozen=True)
+class ReferenceLocation:
+    """A surveyed reference location on the floor plan.
+
+    Attributes:
+        location_id: Small positive integer identifier, unique per plan.
+        position: Ground-truth coordinates in meters.
+    """
+
+    location_id: int
+    position: Point
+
+    def __post_init__(self) -> None:
+        if self.location_id <= 0:
+            raise ValueError(f"location_id must be positive, got {self.location_id}")
+
+
+class FloorPlan:
+    """An indoor environment: rectangular bounds, walls, locations, AP sites.
+
+    Args:
+        width: Extent along the x axis, in meters.
+        height: Extent along the y axis, in meters.
+        reference_locations: The surveyed locations; IDs must be unique.
+        walls: Interior wall/partition segments.  The outer boundary is
+            implicit and does not need to be listed.
+        ap_positions: Candidate access-point mount positions.  The radio
+            substrate selects a prefix of this list when an experiment
+            sweeps the number of APs, so order the strongest-coverage
+            placements first.
+        name: Human-readable plan name for reports.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        reference_locations: Sequence[ReferenceLocation],
+        walls: Sequence[Segment] = (),
+        ap_positions: Sequence[Point] = (),
+        name: str = "floor plan",
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("floor plan dimensions must be positive")
+        self.width = float(width)
+        self.height = float(height)
+        self.name = name
+        self.walls: Tuple[Segment, ...] = tuple(walls)
+        self.ap_positions: Tuple[Point, ...] = tuple(ap_positions)
+
+        self._locations: Dict[int, ReferenceLocation] = {}
+        for location in reference_locations:
+            if location.location_id in self._locations:
+                raise ValueError(f"duplicate location_id {location.location_id}")
+            if not self.contains(location.position):
+                raise ValueError(
+                    f"location {location.location_id} at {location.position} "
+                    "is outside the floor plan bounds"
+                )
+            self._locations[location.location_id] = location
+
+    # ------------------------------------------------------------------
+    # Reference locations
+    # ------------------------------------------------------------------
+
+    @property
+    def location_ids(self) -> List[int]:
+        """All location IDs in ascending order."""
+        return sorted(self._locations)
+
+    @property
+    def locations(self) -> List[ReferenceLocation]:
+        """All reference locations in ascending ID order."""
+        return [self._locations[i] for i in self.location_ids]
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, location_id: int) -> bool:
+        return location_id in self._locations
+
+    def location(self, location_id: int) -> ReferenceLocation:
+        """The reference location with the given ID.
+
+        Raises:
+            KeyError: if no such location exists.
+        """
+        try:
+            return self._locations[location_id]
+        except KeyError:
+            raise KeyError(f"no reference location with id {location_id}") from None
+
+    def position_of(self, location_id: int) -> Point:
+        """Shorthand for ``self.location(location_id).position``."""
+        return self.location(location_id).position
+
+    def distance_between(self, location_a: int, location_b: int) -> float:
+        """Straight-line distance between two reference locations, in meters."""
+        return self.position_of(location_a).distance_to(self.position_of(location_b))
+
+    def nearest_location(self, point: Point) -> ReferenceLocation:
+        """The reference location closest to ``point`` (ties break on lower ID)."""
+        if not self._locations:
+            raise ValueError("floor plan has no reference locations")
+        return min(
+            self.locations,
+            key=lambda loc: (loc.position.distance_to(point), loc.location_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Spatial queries
+    # ------------------------------------------------------------------
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies within the rectangular bounds (inclusive)."""
+        return 0.0 <= point.x <= self.width and 0.0 <= point.y <= self.height
+
+    def wall_count_between(self, a: Point, b: Point) -> int:
+        """How many interior walls the straight segment from ``a`` to ``b`` crosses.
+
+        Used by the propagation model: each crossed wall attenuates the
+        signal by a fixed per-wall loss.
+        """
+        path = Segment(a, b)
+        return sum(1 for wall in self.walls if segments_intersect(path, wall))
+
+    def has_line_of_sight(self, a: Point, b: Point) -> bool:
+        """Whether no interior wall blocks the straight segment from ``a`` to ``b``."""
+        return self.wall_count_between(a, b) == 0
+
+    def selected_aps(self, count: Optional[int] = None) -> Tuple[Point, ...]:
+        """The first ``count`` AP positions (all of them when ``count`` is None).
+
+        Raises:
+            ValueError: if more APs are requested than the plan defines.
+        """
+        if count is None:
+            return self.ap_positions
+        if count < 1 or count > len(self.ap_positions):
+            raise ValueError(
+                f"requested {count} APs but plan defines {len(self.ap_positions)}"
+            )
+        return self.ap_positions[:count]
+
+    def __repr__(self) -> str:
+        return (
+            f"FloorPlan({self.name!r}, {self.width:g}m x {self.height:g}m, "
+            f"{len(self)} locations, {len(self.walls)} walls, "
+            f"{len(self.ap_positions)} AP sites)"
+        )

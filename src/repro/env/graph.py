@@ -1,0 +1,136 @@
+"""Walkable aisle graph over a floor plan's reference locations.
+
+Users move along aisles, not through walls, so adjacency between reference
+locations is a graph property, not a distance threshold: two locations that
+are geographically close but separated by a partition are *not* adjacent
+(the consistency principle of Sec. IV-A).  This module models that graph
+explicitly and is the ground truth against which the crowdsourced motion
+database is validated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .floorplan import FloorPlan
+from .geometry import Point, bearing_between, polyline_length
+
+__all__ = ["WalkableGraph"]
+
+
+class WalkableGraph:
+    """The graph of directly walkable hops between reference locations.
+
+    An edge ``(i, j)`` means a user can walk from location ``i`` to location
+    ``j`` without passing another reference location.  Edges are undirected,
+    reflecting the paper's *mutual reachability* assumption: walkable one
+    way implies walkable the other way with the reversed direction and the
+    same offset.
+
+    Args:
+        plan: The floor plan supplying location coordinates.
+        edges: Walkable hops as ``(location_id, location_id)`` pairs.
+        validate_line_of_sight: When True, reject any edge whose straight
+            segment crosses a wall — a guard against accidentally declaring
+            a through-the-wall hop walkable.
+    """
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        edges: Iterable[Tuple[int, int]],
+        validate_line_of_sight: bool = True,
+    ) -> None:
+        self.plan = plan
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(plan.location_ids)
+
+        for i, j in edges:
+            if i == j:
+                raise ValueError(f"self-loop edge at location {i}")
+            if i not in plan or j not in plan:
+                raise ValueError(f"edge ({i}, {j}) references unknown location")
+            a, b = plan.position_of(i), plan.position_of(j)
+            if validate_line_of_sight and not plan.has_line_of_sight(a, b):
+                raise ValueError(
+                    f"edge ({i}, {j}) crosses a wall; not a walkable hop"
+                )
+            self._graph.add_edge(i, j, distance=a.distance_to(b))
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All location IDs, ascending."""
+        return sorted(self._graph.nodes)
+
+    @property
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """All undirected edges as ``(min_id, max_id)`` pairs, sorted."""
+        return sorted((min(i, j), max(i, j)) for i, j in self._graph.edges)
+
+    def neighbors(self, location_id: int) -> List[int]:
+        """Locations directly walkable from ``location_id``, ascending."""
+        if location_id not in self._graph:
+            raise KeyError(f"no location {location_id} in walkable graph")
+        return sorted(self._graph.neighbors(location_id))
+
+    def are_adjacent(self, location_a: int, location_b: int) -> bool:
+        """Whether the two locations are one walkable hop apart."""
+        return self._graph.has_edge(location_a, location_b)
+
+    def degree(self, location_id: int) -> int:
+        """How many direct walkable hops leave ``location_id``."""
+        return self._graph.degree(location_id)
+
+    def is_connected(self) -> bool:
+        """Whether every location is reachable from every other one."""
+        return len(self._graph) > 0 and nx.is_connected(self._graph)
+
+    # ------------------------------------------------------------------
+    # Ground-truth relative location measurements
+    # ------------------------------------------------------------------
+
+    def hop_distance(self, location_a: int, location_b: int) -> float:
+        """Walking distance of the direct hop between two adjacent locations.
+
+        Raises:
+            KeyError: if the locations are not adjacent.
+        """
+        try:
+            return self._graph.edges[location_a, location_b]["distance"]
+        except KeyError:
+            raise KeyError(
+                f"locations {location_a} and {location_b} are not adjacent"
+            ) from None
+
+    def hop_bearing(self, location_a: int, location_b: int) -> float:
+        """Compass bearing of the direct hop from ``location_a`` to ``location_b``."""
+        if not self.are_adjacent(location_a, location_b):
+            raise KeyError(
+                f"locations {location_a} and {location_b} are not adjacent"
+            )
+        return bearing_between(
+            self.plan.position_of(location_a), self.plan.position_of(location_b)
+        )
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def shortest_path(self, source: int, target: int) -> List[int]:
+        """Shortest walkable path (by distance) between two locations.
+
+        Raises:
+            nx.NetworkXNoPath: if no walkable path exists.
+        """
+        return nx.shortest_path(self._graph, source, target, weight="distance")
+
+    def walking_distance(self, source: int, target: int) -> float:
+        """Length of the shortest walkable path between two locations."""
+        path = self.shortest_path(source, target)
+        return polyline_length(self.plan.position_of(i) for i in path)

@@ -1,0 +1,132 @@
+"""The paper's experimental environment (Fig. 5): a 40.8 m x 16 m office hall.
+
+The hall holds 28 reference locations laid out on a 4-row x 7-column grid
+(IDs 1..7 on the top row through 22..28 on the bottom row, matching the
+paper's numbering), interior partition boards and shelving that attenuate
+radio and block two of the vertical aisles, and six sparsely placed access
+points.
+
+AP placement is the lever that manufactures *fingerprint twins*: the first
+four APs sit (approximately) along the horizontal center line of the hall,
+so locations mirrored about that line are nearly equidistant from all four
+and receive near-identical fingerprints — the geometry of the paper's
+Fig. 1 scaled up.  APs five and six sit off the center line and partially
+break the symmetry, which is why accuracy improves with AP count for both
+MoLoc and the WiFi baseline (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .floorplan import FloorPlan, ReferenceLocation
+from .geometry import Point, Segment
+from .graph import WalkableGraph
+
+__all__ = ["OfficeHall", "office_hall", "GRID_ROWS", "GRID_COLS"]
+
+GRID_ROWS = 4
+GRID_COLS = 7
+
+_WIDTH = 40.8
+_HEIGHT = 16.0
+_X_MARGIN = 3.4
+_Y_MARGIN = 2.0
+
+# Vertical aisle hops blocked by partition boards (geographically adjacent
+# but not walkable — the consistency-principle example of Sec. IV-A).
+_BLOCKED_VERTICAL_HOPS: Tuple[Tuple[int, int], ...] = ((10, 17), (12, 19))
+
+# Six AP mount positions; experiments use the first 4, 5, or 6.
+_AP_POSITIONS: Tuple[Point, ...] = (
+    Point(6.0, 8.0),
+    Point(34.8, 8.0),
+    Point(16.0, 8.5),
+    Point(25.0, 7.5),
+    Point(10.0, 14.0),
+    Point(31.0, 2.0),
+)
+
+
+@dataclass(frozen=True)
+class OfficeHall:
+    """The assembled paper environment: floor plan plus walkable aisle graph."""
+
+    plan: FloorPlan
+    graph: WalkableGraph
+
+
+def _grid_positions() -> List[ReferenceLocation]:
+    """The 28 reference locations: row-major IDs, row 1 at the top (large y)."""
+    x_step = (_WIDTH - 2 * _X_MARGIN) / (GRID_COLS - 1)
+    y_step = (_HEIGHT - 2 * _Y_MARGIN) / (GRID_ROWS - 1)
+    locations = []
+    for row in range(GRID_ROWS):
+        for col in range(GRID_COLS):
+            location_id = row * GRID_COLS + col + 1
+            x = _X_MARGIN + col * x_step
+            y = (_HEIGHT - _Y_MARGIN) - row * y_step
+            locations.append(ReferenceLocation(location_id, Point(x, y)))
+    return locations
+
+
+def _partition_walls() -> List[Segment]:
+    """Interior partition boards, shelving, and columns.
+
+    Two partition boards sit across the vertical aisles they block (between
+    locations 10-17 and 12-19); the remaining segments are shelving placed
+    inside grid cells, clear of every open aisle, so they attenuate radio
+    without invalidating walkable hops.
+    """
+    walls = [
+        # Partition boards blocking the two vertical hops in
+        # _BLOCKED_VERTICAL_HOPS.  Location 10 is at x ~ 14.73, 12 at ~ 26.07.
+        Segment(Point(12.0, 8.0), Point(17.4, 8.0)),
+        Segment(Point(23.3, 8.0), Point(28.8, 8.0)),
+        # Shelving units inside cells (vertical segments between aisles).
+        Segment(Point(6.2, 10.8), Point(6.2, 13.2)),
+        Segment(Point(17.6, 2.8), Point(17.6, 5.2)),
+        Segment(Point(29.0, 10.8), Point(29.0, 13.2)),
+        Segment(Point(34.7, 2.8), Point(34.7, 5.2)),
+        # Structural columns, modelled as short cross segments.
+        Segment(Point(11.8, 11.6), Point(12.4, 12.4)),
+        Segment(Point(28.4, 3.6), Point(29.0, 4.4)),
+    ]
+    return walls
+
+
+def _aisle_edges() -> List[Tuple[int, int]]:
+    """Grid adjacency minus the partition-blocked vertical hops."""
+    blocked = {tuple(sorted(pair)) for pair in _BLOCKED_VERTICAL_HOPS}
+    edges = []
+    for row in range(GRID_ROWS):
+        for col in range(GRID_COLS):
+            location_id = row * GRID_COLS + col + 1
+            if col + 1 < GRID_COLS:
+                edges.append((location_id, location_id + 1))
+            if row + 1 < GRID_ROWS:
+                vertical = (location_id, location_id + GRID_COLS)
+                if tuple(sorted(vertical)) not in blocked:
+                    edges.append(vertical)
+    return edges
+
+
+def office_hall() -> OfficeHall:
+    """Build the paper's office-hall environment.
+
+    Returns:
+        An :class:`OfficeHall` whose plan spans 40.8 m x 16 m with 28
+        reference locations and 6 AP sites, and whose aisle graph is the
+        4x7 grid with two partition-blocked vertical hops removed.
+    """
+    plan = FloorPlan(
+        width=_WIDTH,
+        height=_HEIGHT,
+        reference_locations=_grid_positions(),
+        walls=_partition_walls(),
+        ap_positions=_AP_POSITIONS,
+        name="ICDCS'13 office hall",
+    )
+    graph = WalkableGraph(plan, _aisle_edges(), validate_line_of_sight=True)
+    return OfficeHall(plan=plan, graph=graph)

@@ -1,0 +1,102 @@
+"""ASCII rendering of floor plans, deployments, and walks.
+
+A terminal-friendly view of the world: reference locations print as
+their IDs, APs as ``*``, walls as ``#``, and an optional walk path as
+``.`` footsteps between its waypoints.  Used by examples and debugging
+sessions — when a localizer misbehaves, the first question is always
+"where actually *is* location 17?".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from .floorplan import FloorPlan
+from .geometry import Point
+
+__all__ = ["render_floorplan"]
+
+
+def render_floorplan(
+    plan: FloorPlan,
+    width_chars: int = 82,
+    path: Optional[Sequence[int]] = None,
+    show_aps: bool = True,
+) -> str:
+    """Render a floor plan as ASCII art.
+
+    Args:
+        plan: The floor plan to draw.
+        width_chars: Target drawing width in characters; height follows
+            from the plan's aspect ratio (characters are ~2x taller than
+            wide, which the scaling compensates for).
+        path: Optional walk as a sequence of location ids; straight
+            footstep lines are drawn between consecutive waypoints.
+        show_aps: Whether to draw AP positions as ``*``.
+
+    Returns:
+        The drawing, bordered with ``+``/``-``/``|``.
+
+    Raises:
+        ValueError: if the width is too small to draw anything, or the
+            path references unknown locations.
+    """
+    if width_chars < 20:
+        raise ValueError(f"width_chars must be >= 20, got {width_chars}")
+    inner_width = width_chars - 2
+    scale_x = (inner_width - 1) / plan.width
+    # Terminal cells are roughly twice as tall as wide.
+    scale_y = scale_x / 2.0
+    inner_height = max(int(math.ceil(plan.height * scale_y)) + 1, 3)
+
+    grid: List[List[str]] = [
+        [" "] * inner_width for _ in range(inner_height)
+    ]
+
+    def to_cell(point: Point):
+        col = int(round(point.x * scale_x))
+        row = int(round((plan.height - point.y) * scale_y))
+        return (
+            min(max(row, 0), inner_height - 1),
+            min(max(col, 0), inner_width - 1),
+        )
+
+    def draw_line(a: Point, b: Point, char: str) -> None:
+        steps = max(
+            int(a.distance_to(b) * scale_x) * 2, 1
+        )
+        for k in range(steps + 1):
+            f = k / steps
+            row, col = to_cell(
+                Point(a.x + f * (b.x - a.x), a.y + f * (b.y - a.y))
+            )
+            if grid[row][col] == " ":
+                grid[row][col] = char
+
+    # Walls first (lowest layer).
+    for wall in plan.walls:
+        draw_line(wall.start, wall.end, "#")
+
+    # Walk path.
+    if path:
+        for i, j in zip(path, path[1:]):
+            draw_line(plan.position_of(i), plan.position_of(j), ".")
+
+    # APs.
+    if show_aps:
+        for ap in plan.ap_positions:
+            row, col = to_cell(ap)
+            grid[row][col] = "*"
+
+    # Location ids (topmost layer; multi-digit ids spill rightwards).
+    for location in plan.locations:
+        row, col = to_cell(location.position)
+        label = str(location.location_id)
+        for offset, char in enumerate(label):
+            if col + offset < inner_width:
+                grid[row][col + offset] = char
+
+    border = "+" + "-" * inner_width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}"

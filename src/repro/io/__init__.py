@@ -1,0 +1,39 @@
+"""Persistence: JSON serialization for durable system artifacts."""
+
+from .serialize import (
+    FORMAT_VERSION,
+    fingerprint_db_from_dict,
+    fingerprint_db_to_dict,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    motion_db_from_dict,
+    motion_db_to_dict,
+    save_json,
+)
+from .traces import (
+    trace_from_dict,
+    trace_to_dict,
+    traces_from_dict,
+    traces_to_dict,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "floorplan_to_dict",
+    "floorplan_from_dict",
+    "graph_to_dict",
+    "graph_from_dict",
+    "fingerprint_db_to_dict",
+    "fingerprint_db_from_dict",
+    "motion_db_to_dict",
+    "motion_db_from_dict",
+    "save_json",
+    "load_json",
+    "trace_to_dict",
+    "trace_from_dict",
+    "traces_to_dict",
+    "traces_from_dict",
+]

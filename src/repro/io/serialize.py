@@ -1,0 +1,227 @@
+"""JSON (de)serialization for the system's durable artifacts.
+
+A deployed MoLoc service builds its fingerprint and motion databases
+once and serves from them for months, so they need a storage format.
+This module round-trips the four durable artifacts — floor plans,
+walkable graphs, fingerprint databases, and motion databases — through
+plain JSON-compatible dicts, with a format version and a kind tag so
+files are self-describing.
+
+Functions come in pairs, ``<artifact>_to_dict`` / ``<artifact>_from_dict``,
+plus :func:`save_json` / :func:`load_json` for files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..core.fingerprint import Fingerprint, FingerprintDatabase
+from ..core.motion_db import MotionDatabase, PairStatistics
+from ..env.floorplan import FloorPlan, ReferenceLocation
+from ..env.geometry import Point, Segment
+from ..env.graph import WalkableGraph
+
+__all__ = [
+    "FORMAT_VERSION",
+    "floorplan_to_dict",
+    "floorplan_from_dict",
+    "graph_to_dict",
+    "graph_from_dict",
+    "fingerprint_db_to_dict",
+    "fingerprint_db_from_dict",
+    "motion_db_to_dict",
+    "motion_db_from_dict",
+    "save_json",
+    "load_json",
+]
+
+FORMAT_VERSION = 1
+
+
+def _header(kind: str) -> Dict[str, Any]:
+    return {"format_version": FORMAT_VERSION, "kind": kind}
+
+
+def _check_header(payload: Dict[str, Any], kind: str) -> None:
+    if payload.get("kind") != kind:
+        raise ValueError(
+            f"expected a {kind!r} document, got {payload.get('kind')!r}"
+        )
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version} (supported: {FORMAT_VERSION})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Floor plan
+# ----------------------------------------------------------------------
+
+
+def floorplan_to_dict(plan: FloorPlan) -> Dict[str, Any]:
+    """Serialize a floor plan to a JSON-compatible dict."""
+    return {
+        **_header("floorplan"),
+        "name": plan.name,
+        "width": plan.width,
+        "height": plan.height,
+        "locations": [
+            {"id": loc.location_id, "x": loc.position.x, "y": loc.position.y}
+            for loc in plan.locations
+        ],
+        "walls": [
+            {
+                "x1": wall.start.x,
+                "y1": wall.start.y,
+                "x2": wall.end.x,
+                "y2": wall.end.y,
+            }
+            for wall in plan.walls
+        ],
+        "ap_positions": [{"x": p.x, "y": p.y} for p in plan.ap_positions],
+    }
+
+
+def floorplan_from_dict(payload: Dict[str, Any]) -> FloorPlan:
+    """Rebuild a floor plan from its serialized form."""
+    _check_header(payload, "floorplan")
+    return FloorPlan(
+        width=payload["width"],
+        height=payload["height"],
+        reference_locations=[
+            ReferenceLocation(entry["id"], Point(entry["x"], entry["y"]))
+            for entry in payload["locations"]
+        ],
+        walls=[
+            Segment(
+                Point(entry["x1"], entry["y1"]), Point(entry["x2"], entry["y2"])
+            )
+            for entry in payload["walls"]
+        ],
+        ap_positions=[
+            Point(entry["x"], entry["y"]) for entry in payload["ap_positions"]
+        ],
+        name=payload["name"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Walkable graph
+# ----------------------------------------------------------------------
+
+
+def graph_to_dict(graph: WalkableGraph) -> Dict[str, Any]:
+    """Serialize a walkable graph (edges only; the plan travels separately)."""
+    return {
+        **_header("walkable_graph"),
+        "edges": [[i, j] for i, j in graph.edge_list],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any], plan: FloorPlan) -> WalkableGraph:
+    """Rebuild a walkable graph against the given plan.
+
+    Line-of-sight validation is skipped on load: the edges were validated
+    when the graph was first built, and the stored form is authoritative.
+    """
+    _check_header(payload, "walkable_graph")
+    return WalkableGraph(
+        plan,
+        edges=[(int(i), int(j)) for i, j in payload["edges"]],
+        validate_line_of_sight=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fingerprint database
+# ----------------------------------------------------------------------
+
+
+def fingerprint_db_to_dict(database: FingerprintDatabase) -> Dict[str, Any]:
+    """Serialize a fingerprint database (means and, when present, stds)."""
+    entries = []
+    for location_id in database.location_ids:
+        entry: Dict[str, Any] = {
+            "id": location_id,
+            "rss": list(database.fingerprint_of(location_id).rss),
+        }
+        try:
+            entry["std"] = list(database.std_of(location_id))
+        except KeyError:
+            pass
+        entries.append(entry)
+    return {**_header("fingerprint_db"), "n_aps": database.n_aps, "entries": entries}
+
+
+def fingerprint_db_from_dict(payload: Dict[str, Any]) -> FingerprintDatabase:
+    """Rebuild a fingerprint database from its serialized form."""
+    _check_header(payload, "fingerprint_db")
+    means = {}
+    stds = {}
+    for entry in payload["entries"]:
+        means[int(entry["id"])] = Fingerprint.from_values(entry["rss"])
+        if "std" in entry:
+            stds[int(entry["id"])] = tuple(float(v) for v in entry["std"])
+    return FingerprintDatabase(means, stds or None)
+
+
+# ----------------------------------------------------------------------
+# Motion database
+# ----------------------------------------------------------------------
+
+
+def motion_db_to_dict(database: MotionDatabase) -> Dict[str, Any]:
+    """Serialize a motion database (stored i < j half only)."""
+    entries = []
+    for i, j in database.pairs:
+        stats = database.entry(i, j)
+        entries.append(
+            {
+                "i": i,
+                "j": j,
+                "direction_mean_deg": stats.direction_mean_deg,
+                "direction_std_deg": stats.direction_std_deg,
+                "offset_mean_m": stats.offset_mean_m,
+                "offset_std_m": stats.offset_std_m,
+                "n_observations": stats.n_observations,
+            }
+        )
+    return {**_header("motion_db"), "entries": entries}
+
+
+def motion_db_from_dict(payload: Dict[str, Any]) -> MotionDatabase:
+    """Rebuild a motion database from its serialized form."""
+    _check_header(payload, "motion_db")
+    entries = {}
+    for entry in payload["entries"]:
+        entries[(int(entry["i"]), int(entry["j"]))] = PairStatistics(
+            direction_mean_deg=entry["direction_mean_deg"],
+            direction_std_deg=entry["direction_std_deg"],
+            offset_mean_m=entry["offset_mean_m"],
+            offset_std_m=entry["offset_std_m"],
+            n_observations=int(entry["n_observations"]),
+        )
+    return MotionDatabase(entries)
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+
+
+def save_json(payload: Dict[str, Any], path: Union[str, Path]) -> None:
+    """Write a serialized artifact to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a serialized artifact from ``path``."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,133 @@
+"""Serialization of walk traces: the raw data sets of the paper.
+
+The paper's evaluation is trace-driven — 184 recorded walks, split into
+training and test sets.  Exporting traces lets a data set be shared,
+re-analyzed, or replayed against a modified algorithm without re-running
+the (seeded but expensive) simulation; importing makes the library
+consumable for *real* recorded traces in the same schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from ..core.fingerprint import Fingerprint
+from ..motion.trace import TraceHop, WalkTrace
+from ..sensors.accelerometer import AccelSignal
+from ..sensors.imu import ImuSegment
+from .serialize import FORMAT_VERSION
+
+__all__ = ["trace_to_dict", "trace_from_dict", "traces_to_dict", "traces_from_dict"]
+
+
+def _imu_to_dict(segment: ImuSegment) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "rate_hz": segment.rate_hz,
+        "accel_samples": [float(v) for v in segment.accel.samples],
+        "true_step_times": [float(t) for t in segment.accel.true_step_times],
+        "compass_readings": [float(v) for v in segment.compass_readings],
+        "true_course_deg": segment.true_course_deg,
+        "true_distance_m": segment.true_distance_m,
+    }
+    if segment.gyro_rates_dps is not None:
+        payload["gyro_rates_dps"] = [float(v) for v in segment.gyro_rates_dps]
+    return payload
+
+
+def _imu_from_dict(payload: Dict[str, Any]) -> ImuSegment:
+    accel = AccelSignal(
+        samples=np.array(payload["accel_samples"], dtype=float),
+        rate_hz=float(payload["rate_hz"]),
+        true_step_times=np.array(payload["true_step_times"], dtype=float),
+    )
+    gyro = payload.get("gyro_rates_dps")
+    return ImuSegment(
+        accel=accel,
+        compass_readings=np.array(payload["compass_readings"], dtype=float),
+        true_course_deg=float(payload["true_course_deg"]),
+        true_distance_m=float(payload["true_distance_m"]),
+        gyro_rates_dps=None if gyro is None else np.array(gyro, dtype=float),
+    )
+
+
+def trace_to_dict(trace: WalkTrace) -> Dict[str, Any]:
+    """Serialize one walk trace (sensor streams included)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "walk_trace",
+        "user": trace.user,
+        "true_start": trace.true_start,
+        "initial_fingerprint": list(trace.initial_fingerprint.rss),
+        "placement_offset_estimate_deg": trace.placement_offset_estimate_deg,
+        "estimated_step_length_m": trace.estimated_step_length_m,
+        "hops": [
+            {
+                "true_from": hop.true_from,
+                "true_to": hop.true_to,
+                "arrival_fingerprint": list(hop.arrival_fingerprint.rss),
+                "imu": _imu_to_dict(hop.imu),
+            }
+            for hop in trace.hops
+        ],
+    }
+
+
+def trace_from_dict(payload: Dict[str, Any]) -> WalkTrace:
+    """Rebuild one walk trace from its serialized form.
+
+    Raises:
+        ValueError: on a wrong kind or format version.
+    """
+    if payload.get("kind") != "walk_trace":
+        raise ValueError(f"expected a 'walk_trace' document, got {payload.get('kind')!r}")
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {payload.get('format_version')}"
+        )
+    hops = [
+        TraceHop(
+            true_from=int(entry["true_from"]),
+            true_to=int(entry["true_to"]),
+            imu=_imu_from_dict(entry["imu"]),
+            arrival_fingerprint=Fingerprint.from_values(
+                entry["arrival_fingerprint"]
+            ),
+        )
+        for entry in payload["hops"]
+    ]
+    return WalkTrace(
+        user=payload["user"],
+        true_start=int(payload["true_start"]),
+        initial_fingerprint=Fingerprint.from_values(
+            payload["initial_fingerprint"]
+        ),
+        hops=hops,
+        placement_offset_estimate_deg=float(
+            payload["placement_offset_estimate_deg"]
+        ),
+        estimated_step_length_m=float(payload["estimated_step_length_m"]),
+    )
+
+
+def traces_to_dict(traces: Sequence[WalkTrace]) -> Dict[str, Any]:
+    """Serialize a whole trace data set."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "walk_trace_set",
+        "traces": [trace_to_dict(trace) for trace in traces],
+    }
+
+
+def traces_from_dict(payload: Dict[str, Any]) -> List[WalkTrace]:
+    """Rebuild a trace data set from its serialized form."""
+    if payload.get("kind") != "walk_trace_set":
+        raise ValueError(
+            f"expected a 'walk_trace_set' document, got {payload.get('kind')!r}"
+        )
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {payload.get('format_version')}"
+        )
+    return [trace_from_dict(entry) for entry in payload["traces"]]

@@ -1,0 +1,189 @@
+"""Gyroscope-aided heading estimation with a Kalman filter.
+
+Implements the paper's future-work suggestion (Sec. IV-B2): fuse the
+gyroscope (precise short-term *relative* heading) with the compass
+(drift-free but disturbance-prone *absolute* heading) in a 1-D Kalman
+filter over the heading angle.
+
+Per IMU sample:
+
+* **predict** — integrate the gyro rate into the heading state; the
+  state covariance grows by the gyro noise (plus a drift allowance for
+  its bias);
+* **update** — correct with the compass reading, weighted by the
+  compass measurement variance — but only if the innovation passes a
+  chi-square gate.  A compass reading tens of degrees away from where
+  the gyro says the heading must be is a magnetic disturbance, not
+  information, and is discarded (the standard disturbance-rejection
+  trick in pedestrian heading filters).
+
+Because the gyro pins the *relative* heading precisely, transient
+magnetic disturbances are gated out entirely, while a genuine turn —
+reported by the gyro during prediction — keeps innovations small and
+compass updates flowing.
+
+All angles are processed as *unwrapped* relative headings around the
+first compass reading, so the 0/360 seam is handled once at entry/exit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..env.geometry import normalize_bearing
+from ..sensors.imu import ImuSegment
+
+__all__ = ["KalmanHeadingFilter", "fused_course_from_segment"]
+
+
+@dataclass
+class KalmanHeadingFilter:
+    """A 1-D Kalman filter over the heading angle.
+
+    Attributes:
+        gyro_noise_dps: Standard deviation of per-sample gyro rate noise.
+        gyro_bias_dps: Allowance for uncompensated gyro bias (inflates
+            process noise so the filter never fully trusts integration).
+        compass_noise_deg: Standard deviation of a single compass reading
+            in an undisturbed field.
+        gate_sigma: Innovation gate: compass updates whose innovation
+            exceeds this many innovation standard deviations are rejected
+            as magnetic disturbances.
+        max_consecutive_rejections: After this many rejected updates in a
+            row the next update is force-accepted, so the filter cannot
+            diverge permanently if the *environment* (not a transient)
+            changed.
+    """
+
+    gyro_noise_dps: float = 0.5
+    gyro_bias_dps: float = 0.2
+    compass_noise_deg: float = 5.0
+    gate_sigma: float = 3.0
+    max_consecutive_rejections: int = 25
+
+    def __post_init__(self) -> None:
+        if self.gyro_noise_dps <= 0 or self.compass_noise_deg <= 0:
+            raise ValueError("noise magnitudes must be positive")
+        if self.gyro_bias_dps < 0:
+            raise ValueError("gyro bias allowance must be non-negative")
+        if self.gate_sigma <= 0:
+            raise ValueError("gate_sigma must be positive")
+        if self.max_consecutive_rejections < 1:
+            raise ValueError("max_consecutive_rejections must be >= 1")
+
+    def smooth(
+        self,
+        compass_deg: Sequence[float],
+        gyro_rates_dps: Sequence[float],
+        rate_hz: float,
+    ) -> np.ndarray:
+        """Filtered headings, one per sample, in ``[0, 360)``.
+
+        Args:
+            compass_deg: Raw compass readings.
+            gyro_rates_dps: Gyroscope rates, same length.
+            rate_hz: Common sampling rate.
+
+        Raises:
+            ValueError: on empty or mismatched inputs or bad rate.
+        """
+        compass = np.asarray(compass_deg, dtype=float)
+        gyro = np.asarray(gyro_rates_dps, dtype=float)
+        if compass.size == 0:
+            raise ValueError("cannot filter an empty stream")
+        if compass.shape != gyro.shape:
+            raise ValueError(
+                f"stream lengths differ: {compass.shape} vs {gyro.shape}"
+            )
+        if rate_hz <= 0:
+            raise ValueError(f"rate must be positive, got {rate_hz}")
+
+        dt = 1.0 / rate_hz
+        # Unwrap compass readings relative to the first one so the filter
+        # works on a continuous variable.
+        reference = compass[0]
+        relative = np.array(
+            [_signed_delta(c, reference) for c in compass]
+        )
+
+        measurement_var = self.compass_noise_deg**2
+        process_var = (self.gyro_noise_dps * dt) ** 2 + (
+            self.gyro_bias_dps * dt
+        ) ** 2
+
+        state = relative[0]
+        covariance = measurement_var
+        filtered = np.empty_like(relative)
+        filtered[0] = state
+        rejections = 0
+        for k in range(1, relative.size):
+            # Predict with the gyro rate.
+            state = state + gyro[k] * dt
+            covariance = covariance + process_var
+            # Gate: a compass reading far from the gyro-predicted heading
+            # is a magnetic disturbance, unless we've been rejecting too
+            # long to still believe our own state.
+            innovation = relative[k] - state
+            innovation_std = math.sqrt(covariance + measurement_var)
+            if (
+                abs(innovation) > self.gate_sigma * innovation_std
+                and rejections < self.max_consecutive_rejections
+            ):
+                rejections += 1
+                filtered[k] = state
+                continue
+            rejections = 0
+            gain = covariance / (covariance + measurement_var)
+            state = state + gain * innovation
+            covariance = (1.0 - gain) * covariance
+            filtered[k] = state
+
+        return np.array(
+            [normalize_bearing(reference + value) for value in filtered]
+        )
+
+    def course(
+        self,
+        compass_deg: Sequence[float],
+        gyro_rates_dps: Sequence[float],
+        rate_hz: float,
+    ) -> float:
+        """The filter's final heading estimate for the interval."""
+        return float(self.smooth(compass_deg, gyro_rates_dps, rate_hz)[-1])
+
+
+def fused_course_from_segment(
+    segment: ImuSegment,
+    placement_offset_deg: float,
+    heading_filter: Optional[KalmanHeadingFilter] = None,
+) -> float:
+    """The walking direction of a segment via gyro-compass fusion.
+
+    Falls back to the plain circular-mean estimator when the segment
+    carries no gyroscope stream, so callers can use it unconditionally.
+
+    Args:
+        segment: The IMU recording of one interval.
+        placement_offset_deg: Estimated phone placement offset.
+        heading_filter: Filter parameters; defaults are matched to the
+            simulated sensors.
+    """
+    if segment.gyro_rates_dps is None:
+        from .heading import course_from_readings
+
+        return course_from_readings(segment.compass_readings, placement_offset_deg)
+    heading_filter = heading_filter or KalmanHeadingFilter()
+    fused = heading_filter.course(
+        segment.compass_readings, segment.gyro_rates_dps, segment.rate_hz
+    )
+    return normalize_bearing(fused - placement_offset_deg)
+
+
+def _signed_delta(angle: float, reference: float) -> float:
+    """Signed circular difference ``angle - reference`` in ``[-180, 180)``."""
+    delta = normalize_bearing(angle - reference)
+    return delta - 360.0 if delta >= 180.0 else delta

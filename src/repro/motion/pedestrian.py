@@ -1,0 +1,183 @@
+"""Pedestrian model: bodies, step lengths, cadence, and random aisle walks.
+
+Each crowdsourcing user is a :class:`Pedestrian` with a body profile, a
+*true* step length (what their legs actually do) and an *estimated* step
+length (what the system derives from their height and weight, following
+ref. [25] of the paper).  The gap between the two is a principal source
+of offset error in the motion database.
+
+Walks are random paths on the walkable aisle graph, matching the paper's
+protocol where users "randomly walked along the aisles".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..env.graph import WalkableGraph
+from ..sensors.accelerometer import AccelerometerModel
+from ..sensors.compass import CompassModel
+from ..sensors.imu import ImuModel
+
+__all__ = [
+    "step_length_from_body",
+    "BodyProfile",
+    "Pedestrian",
+    "random_walk_path",
+]
+
+
+def step_length_from_body(height_m: float, weight_kg: float = 70.0) -> float:
+    """Step length estimated from height and weight (paper ref. [25]).
+
+    Uses the standard ~0.41 x height heuristic with a small weight
+    correction (heavier walkers take marginally shorter steps).
+
+    Raises:
+        ValueError: for non-positive height or weight.
+    """
+    if height_m <= 0:
+        raise ValueError(f"height must be positive, got {height_m}")
+    if weight_kg <= 0:
+        raise ValueError(f"weight must be positive, got {weight_kg}")
+    return 0.413 * height_m * (1.0 - 0.0008 * (weight_kg - 70.0))
+
+
+@dataclass(frozen=True)
+class BodyProfile:
+    """A user's physical profile, the input to step-length estimation."""
+
+    height_m: float
+    weight_kg: float = 70.0
+
+    @property
+    def estimated_step_length_m(self) -> float:
+        """The system's step-length estimate for this body."""
+        return step_length_from_body(self.height_m, self.weight_kg)
+
+
+@dataclass
+class Pedestrian:
+    """One walking user with their phone.
+
+    Attributes:
+        name: Identifier used in trace records.
+        body: Physical profile; determines the *estimated* step length.
+        true_step_length_m: What the user's gait actually produces; the
+            system never sees this directly.
+        step_period_s: Walking cadence (seconds per step).
+        imu: The phone's sensor suite.
+    """
+
+    name: str
+    body: BodyProfile
+    true_step_length_m: float
+    step_period_s: float
+    imu: ImuModel
+
+    def __post_init__(self) -> None:
+        if self.true_step_length_m <= 0:
+            raise ValueError("true step length must be positive")
+        if self.step_period_s <= 0:
+            raise ValueError("step period must be positive")
+
+    @property
+    def walking_speed_mps(self) -> float:
+        """Walking speed implied by gait: step length over step period."""
+        return self.true_step_length_m / self.step_period_s
+
+    @property
+    def estimated_step_length_m(self) -> float:
+        """The step length the system uses when converting steps to meters."""
+        return self.body.estimated_step_length_m
+
+    def hop_duration_s(self, distance_m: float) -> float:
+        """How long this user takes to walk ``distance_m``."""
+        if distance_m <= 0:
+            raise ValueError(f"distance must be positive, got {distance_m}")
+        return distance_m / self.walking_speed_mps
+
+    def change_grip(self, rng: np.random.Generator) -> float:
+        """Pick a new phone placement (grip) for the next trace.
+
+        Users re-pocket or rotate their phone between walks; the compass
+        placement offset is redrawn uniformly, and heading calibration
+        must re-estimate it.  Returns the new offset in degrees.
+        """
+        offset = float(rng.uniform(0.0, 360.0))
+        self.imu.compass.placement_offset_deg = offset
+        return offset
+
+    @classmethod
+    def sample(
+        cls,
+        name: str,
+        rng: np.random.Generator,
+        accelerometer: Optional[AccelerometerModel] = None,
+        compass: Optional[CompassModel] = None,
+    ) -> "Pedestrian":
+        """Draw a plausible random user.
+
+        Height ~ N(1.70, 0.08) m, weight ~ N(68, 10) kg, individual gait
+        deviating a few percent from the height heuristic, cadence
+        ~ N(0.52, 0.04) s/step — the "diverse height and walking speed"
+        of the paper's four volunteers.
+        """
+        height = float(np.clip(rng.normal(1.70, 0.08), 1.45, 2.00))
+        weight = float(np.clip(rng.normal(68.0, 10.0), 45.0, 110.0))
+        body = BodyProfile(height_m=height, weight_kg=weight)
+        gait_factor = float(rng.normal(1.0, 0.03))
+        true_step = max(body.estimated_step_length_m * gait_factor, 0.4)
+        period = float(np.clip(rng.normal(0.52, 0.04), 0.40, 0.68))
+        imu = ImuModel(
+            accelerometer=accelerometer or AccelerometerModel(),
+            compass=compass
+            or CompassModel(device_bias_deg=float(rng.normal(0.0, 3.0))),
+        )
+        return cls(
+            name=name,
+            body=body,
+            true_step_length_m=true_step,
+            step_period_s=period,
+            imu=imu,
+        )
+
+
+def random_walk_path(
+    graph: WalkableGraph,
+    rng: np.random.Generator,
+    n_hops: int,
+    start_id: Optional[int] = None,
+) -> List[int]:
+    """A random walk of ``n_hops`` hops along the aisle graph.
+
+    Avoids immediately backtracking whenever another neighbor exists,
+    mimicking purposeful human wandering rather than diffusive motion.
+
+    Returns:
+        The visited location ids, length ``n_hops + 1``.
+
+    Raises:
+        ValueError: for a non-positive hop count or an unknown start.
+    """
+    if n_hops < 1:
+        raise ValueError(f"a walk needs at least one hop, got {n_hops}")
+    nodes = graph.node_ids
+    if start_id is None:
+        start_id = int(nodes[rng.integers(len(nodes))])
+    elif start_id not in nodes:
+        raise ValueError(f"unknown start location {start_id}")
+
+    path = [start_id]
+    previous: Optional[int] = None
+    for _ in range(n_hops):
+        neighbors = graph.neighbors(path[-1])
+        if not neighbors:
+            raise ValueError(f"location {path[-1]} has no walkable neighbors")
+        choices = [n for n in neighbors if n != previous] or neighbors
+        previous = path[-1]
+        path.append(int(choices[rng.integers(len(choices))]))
+    return path

@@ -1,0 +1,112 @@
+"""Relative location measurements (RLMs) and their extraction (Sec. IV-B).
+
+An RLM ``r_{i,j} = <d, o>`` is the walking direction ``d`` and offset
+``o`` measured while moving between two adjacent reference locations.
+During motion-database construction the endpoints are *estimated*
+locations (from fingerprinting); during localization only the raw
+:class:`MotionMeasurement` is used, without endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..env.geometry import normalize_bearing, reverse_bearing
+from ..sensors.imu import ImuSegment
+from .heading import course_from_readings
+from .step_counting import count_steps_csc, count_steps_dsc
+
+__all__ = ["MotionMeasurement", "RlmObservation", "extract_measurement"]
+
+
+@dataclass(frozen=True)
+class MotionMeasurement:
+    """One interval's motion: walking direction and offset.
+
+    Attributes:
+        direction_deg: Compass bearing of the movement, in ``[0, 360)``.
+        offset_m: Distance walked, in meters (non-negative).
+    """
+
+    direction_deg: float
+    offset_m: float
+
+    def __post_init__(self) -> None:
+        if self.offset_m < 0:
+            raise ValueError(f"offset must be non-negative, got {self.offset_m}")
+        object.__setattr__(
+            self, "direction_deg", normalize_bearing(self.direction_deg)
+        )
+
+    def reversed(self) -> "MotionMeasurement":
+        """The mirror measurement: opposite direction, same offset.
+
+        This is the transformation data reassembling applies under the
+        mutual-reachability assumption (Sec. IV-B2).
+        """
+        return MotionMeasurement(reverse_bearing(self.direction_deg), self.offset_m)
+
+
+@dataclass(frozen=True)
+class RlmObservation:
+    """An RLM tagged with its (estimated) start and end locations.
+
+    Attributes:
+        start_id: Estimated location the user moved from.
+        end_id: Estimated location the user arrived at.
+        measurement: The measured direction and offset.
+    """
+
+    start_id: int
+    end_id: int
+    measurement: MotionMeasurement
+
+    def reassembled(self) -> "RlmObservation":
+        """The observation with the smaller location id as start.
+
+        Implements the paper's *data reassembling*: if ``start_id >
+        end_id``, swap the endpoints and mirror the measurement, so every
+        pair is keyed consistently and each crowdsourced walk trains both
+        walking directions at once.
+        """
+        if self.start_id <= self.end_id:
+            return self
+        return RlmObservation(
+            start_id=self.end_id,
+            end_id=self.start_id,
+            measurement=self.measurement.reversed(),
+        )
+
+
+def extract_measurement(
+    segment: ImuSegment,
+    step_length_m: float,
+    placement_offset_deg: float,
+    counting: Literal["csc", "dsc"] = "csc",
+) -> MotionMeasurement:
+    """Turn one interval's IMU recording into a motion measurement.
+
+    Args:
+        segment: The IMU recording of the interval.
+        step_length_m: The user's step length as estimated from their
+            height and weight (ref. [25] of the paper).
+        placement_offset_deg: The phone placement offset estimated by
+            :func:`repro.motion.heading.estimate_placement_offset`.
+        counting: ``"csc"`` for the paper's continuous counter (default)
+            or ``"dsc"`` for the discrete baseline — the ablation axis of
+            Sec. IV-B1.
+
+    Raises:
+        ValueError: for a non-positive step length or unknown counter.
+    """
+    if step_length_m <= 0:
+        raise ValueError(f"step length must be positive, got {step_length_m}")
+    if counting == "csc":
+        steps = count_steps_csc(segment.accel)
+    elif counting == "dsc":
+        steps = count_steps_dsc(segment.accel)
+    else:
+        raise ValueError(f"unknown step counting mode {counting!r}")
+    direction = course_from_readings(segment.compass_readings, placement_offset_deg)
+    return MotionMeasurement(direction_deg=direction, offset_m=steps * step_length_m)

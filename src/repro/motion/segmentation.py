@@ -1,0 +1,119 @@
+"""Segmenting a continuous IMU stream into straight walk segments.
+
+The trace pipeline hands the localizer pre-cut hops, but a real phone
+records one continuous stream.  Between reference locations users walk
+straight along aisles and turn at junctions, so *turns are the segment
+boundaries*.  This module detects them from the heading stream: a
+sliding pair of windows computes the circular change in mean heading,
+and sustained changes above a threshold mark a turn.
+
+Works on raw compass readings (placement offset cancels in differences)
+or on gyro-integrated headings when available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..env.geometry import bearing_difference, circular_mean
+
+__all__ = ["StreamSegment", "segment_at_turns"]
+
+
+@dataclass(frozen=True)
+class StreamSegment:
+    """One straight stretch of a continuous recording.
+
+    Attributes:
+        start_index: First sample index (inclusive).
+        end_index: Last sample index (exclusive).
+        mean_heading_deg: Circular mean heading over the stretch.
+    """
+
+    start_index: int
+    end_index: int
+    mean_heading_deg: float
+
+    @property
+    def n_samples(self) -> int:
+        """The number of samples in the stretch."""
+        return self.end_index - self.start_index
+
+
+def segment_at_turns(
+    headings_deg: Sequence[float],
+    rate_hz: float,
+    turn_threshold_deg: float = 35.0,
+    window_s: float = 1.0,
+    min_segment_s: float = 1.5,
+) -> List[StreamSegment]:
+    """Split a heading stream into straight segments at turns.
+
+    Args:
+        headings_deg: Heading (or raw compass) samples.
+        rate_hz: Sampling rate.
+        turn_threshold_deg: Heading change between adjacent windows that
+            counts as a turn.  Grid aisles turn by 90 degrees, so the
+            default has ample margin over compass noise.
+        window_s: Width of each comparison window.
+        min_segment_s: Stretches shorter than this are merged into their
+            neighbor rather than reported (turn transients).
+
+    Returns:
+        Non-overlapping segments covering the stream, in order.
+
+    Raises:
+        ValueError: on an empty stream or bad parameters.
+    """
+    headings = np.asarray(headings_deg, dtype=float)
+    if headings.size == 0:
+        raise ValueError("cannot segment an empty stream")
+    if rate_hz <= 0:
+        raise ValueError(f"rate must be positive, got {rate_hz}")
+    if turn_threshold_deg <= 0 or window_s <= 0 or min_segment_s <= 0:
+        raise ValueError("thresholds and windows must be positive")
+
+    window = max(int(round(window_s * rate_hz)), 1)
+    min_samples = max(int(round(min_segment_s * rate_hz)), 1)
+    n = headings.size
+
+    if n < 2 * window:
+        return [
+            StreamSegment(0, n, circular_mean(list(headings)))
+        ]
+
+    # Heading change between the window before and after each index.
+    boundaries: List[int] = []
+    k = window
+    while k <= n - window:
+        before = circular_mean(list(headings[k - window : k]))
+        after = circular_mean(list(headings[k : k + window]))
+        if bearing_difference(before, after) >= turn_threshold_deg:
+            boundary = k + window // 2  # middle of the transition
+            boundaries.append(min(boundary, n - 1))
+            # A single turn keeps the window pair above threshold for up
+            # to 2*window samples; skip past all of it before rearming.
+            k += 2 * window
+        else:
+            k += 1
+
+    # Build segments between boundaries, merging short stubs leftwards.
+    cuts = [0] + boundaries + [n]
+    spans: List[Tuple[int, int]] = []
+    for start, end in zip(cuts, cuts[1:]):
+        if end - start < min_samples and spans:
+            spans[-1] = (spans[-1][0], end)
+        else:
+            spans.append((start, end))
+    if len(spans) > 1 and spans[0][1] - spans[0][0] < min_samples:
+        first = spans.pop(0)
+        spans[0] = (first[0], spans[0][1])
+
+    return [
+        StreamSegment(start, end, circular_mean(list(headings[start:end])))
+        for start, end in spans
+        if end > start
+    ]

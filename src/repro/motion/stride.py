@@ -1,0 +1,101 @@
+"""Online step-length personalization.
+
+The height/weight heuristic (paper ref. [25]) seeds a user's step
+length, but real gaits deviate a few percent — a systematic offset error
+in every motion measurement.  Once MoLoc is running, every confident
+pair of consecutive fixes provides a free calibration sample: the motion
+database knows the true hop distance between the two locations, and the
+step counter knows how many steps the user took.  Their ratio is the
+user's actual step length.
+
+:class:`StepLengthEstimator` maintains a confidence-gated exponential
+moving average of those samples, with a plausibility window so a
+mislocalized pair cannot inject an absurd stride.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StepLengthEstimator"]
+
+_MIN_PLAUSIBLE_M = 0.4
+_MAX_PLAUSIBLE_M = 1.1
+
+
+@dataclass
+class StepLengthEstimator:
+    """Confidence-gated EMA of a user's step length.
+
+    Attributes:
+        step_length_m: The current estimate (seeded from height/weight).
+        learning_rate: EMA weight of a new calibration sample.
+        confidence_threshold: Minimum fix confidence for a sample.
+        min_steps: Hops with fewer counted steps are ignored (too little
+            signal per sample).
+    """
+
+    step_length_m: float
+    learning_rate: float = 0.15
+    confidence_threshold: float = 0.9
+    min_steps: float = 3.0
+    _samples_accepted: int = field(default=0, repr=False)
+    _samples_rejected: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not _MIN_PLAUSIBLE_M <= self.step_length_m <= _MAX_PLAUSIBLE_M:
+            raise ValueError(
+                f"initial step length {self.step_length_m} is implausible"
+            )
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError("learning rate must be in (0, 1]")
+        if not 0.0 <= self.confidence_threshold <= 1.0:
+            raise ValueError("confidence threshold must be in [0, 1]")
+        if self.min_steps <= 0:
+            raise ValueError("min_steps must be positive")
+
+    @property
+    def samples_accepted(self) -> int:
+        """Calibration samples that updated the estimate."""
+        return self._samples_accepted
+
+    @property
+    def samples_rejected(self) -> int:
+        """Calibration samples rejected by the gates."""
+        return self._samples_rejected
+
+    def observe_hop(
+        self, hop_distance_m: float, counted_steps: float, confidence: float
+    ) -> bool:
+        """Feed back one confirmed hop.
+
+        Args:
+            hop_distance_m: Known distance between the two confirmed
+                locations (from the motion database's offset mean).
+            counted_steps: Steps the counter reported for the hop.
+            confidence: Confidence of the end fix.
+
+        Returns:
+            Whether the sample was accepted.
+
+        Raises:
+            ValueError: for non-positive distance.
+        """
+        if hop_distance_m <= 0:
+            raise ValueError(f"hop distance must be positive, got {hop_distance_m}")
+        if (
+            confidence < self.confidence_threshold
+            or counted_steps < self.min_steps
+        ):
+            self._samples_rejected += 1
+            return False
+        sample = hop_distance_m / counted_steps
+        if not _MIN_PLAUSIBLE_M <= sample <= _MAX_PLAUSIBLE_M:
+            self._samples_rejected += 1
+            return False
+        self.step_length_m = (
+            (1.0 - self.learning_rate) * self.step_length_m
+            + self.learning_rate * sample
+        )
+        self._samples_accepted += 1
+        return True

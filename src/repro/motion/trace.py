@@ -1,0 +1,79 @@
+"""Trace containers: what one crowdsourced or test walk records.
+
+A :class:`WalkTrace` is the unit of data collection in the paper: one user
+walking along the aisles, the phone scanning WiFi at every reference-
+location passage and recording IMU streams in between.  Ground-truth
+location ids ride along for scoring only (the paper's users pressed a mark
+when passing a reference location, used solely to report accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.fingerprint import Fingerprint
+from ..sensors.imu import ImuSegment
+
+__all__ = ["TraceHop", "WalkTrace"]
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One hop of a walk: the movement to the next reference location.
+
+    Attributes:
+        true_from: Ground-truth location id the hop started at.
+        true_to: Ground-truth location id the hop arrived at.
+        imu: IMU recording covering the hop (one localization interval).
+        arrival_fingerprint: WiFi scan taken on arrival.
+    """
+
+    true_from: int
+    true_to: int
+    imu: ImuSegment
+    arrival_fingerprint: Fingerprint
+
+
+@dataclass(frozen=True)
+class WalkTrace:
+    """One user's walk: an initial scan plus a sequence of hops.
+
+    Attributes:
+        user: Name of the walking user.
+        true_start: Ground-truth starting location id.
+        initial_fingerprint: WiFi scan taken at the starting location.
+        hops: The hops walked, in order.
+        placement_offset_estimate_deg: The phone placement offset the
+            heading calibration estimated for this walk; motion processing
+            subtracts it from compass readings.
+        estimated_step_length_m: The step length the system attributes to
+            this user (from height/weight).
+    """
+
+    user: str
+    true_start: int
+    initial_fingerprint: Fingerprint
+    hops: List[TraceHop]
+    placement_offset_estimate_deg: float
+    estimated_step_length_m: float
+
+    @property
+    def n_hops(self) -> int:
+        """Number of hops in the walk."""
+        return len(self.hops)
+
+    @property
+    def true_locations(self) -> List[int]:
+        """Ground-truth location ids visited, in order (start included)."""
+        return [self.true_start] + [hop.true_to for hop in self.hops]
+
+    def __post_init__(self) -> None:
+        expected = self.true_start
+        for index, hop in enumerate(self.hops):
+            if hop.true_from != expected:
+                raise ValueError(
+                    f"hop {index} starts at {hop.true_from} but previous "
+                    f"position was {expected}: trace is not contiguous"
+                )
+            expected = hop.true_to

@@ -1,0 +1,24 @@
+"""Radio substrate: propagation, shadowing/fading, sampling, site survey."""
+
+from .access_point import DEFAULT_TX_POWER_DBM, AccessPoint, deploy_aps
+from .fading import ShadowingField, TemporalFading
+from .planning import greedy_ap_placement, predicted_min_separation
+from .propagation import SENSITIVITY_FLOOR_DBM, PathLossModel
+from .sampler import RadioEnvironment, RadioParameters
+from .survey import SurveyResult, run_site_survey
+
+__all__ = [
+    "AccessPoint",
+    "deploy_aps",
+    "DEFAULT_TX_POWER_DBM",
+    "PathLossModel",
+    "SENSITIVITY_FLOOR_DBM",
+    "ShadowingField",
+    "TemporalFading",
+    "RadioEnvironment",
+    "RadioParameters",
+    "SurveyResult",
+    "run_site_survey",
+    "greedy_ap_placement",
+    "predicted_min_separation",
+]

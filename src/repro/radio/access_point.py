@@ -1,0 +1,54 @@
+"""Access-point model.
+
+An :class:`AccessPoint` is a WiFi transmitter with a fixed mount position
+and transmit power.  The paper deploys six APs in the office hall and
+sweeps experiments over the first 4, 5, or 6 of them; AP identity (its
+index in the deployment) doubles as the index of its RSS value inside a
+fingerprint vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..env.geometry import Point
+
+__all__ = ["AccessPoint", "deploy_aps"]
+
+DEFAULT_TX_POWER_DBM = -30.0
+"""Received power at the 1 m reference distance, in dBm.
+
+This folds together transmit power, antenna gains, and the free-space loss
+of the first meter; -30 dBm at 1 m is typical for consumer 2.4 GHz APs.
+"""
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """A WiFi access point.
+
+    Attributes:
+        ap_id: Index of this AP within the deployment (0-based); also the
+            index of its reading within fingerprint vectors.
+        position: Mount position on the floor plan, in meters.
+        tx_power_dbm: Received power at the 1 m reference distance, in dBm.
+    """
+
+    ap_id: int
+    position: Point
+    tx_power_dbm: float = DEFAULT_TX_POWER_DBM
+
+    def __post_init__(self) -> None:
+        if self.ap_id < 0:
+            raise ValueError(f"ap_id must be non-negative, got {self.ap_id}")
+
+
+def deploy_aps(
+    positions: Sequence[Point], tx_power_dbm: float = DEFAULT_TX_POWER_DBM
+) -> List[AccessPoint]:
+    """Create a deployment of APs at the given positions, IDs in order."""
+    return [
+        AccessPoint(ap_id=i, position=p, tx_power_dbm=tx_power_dbm)
+        for i, p in enumerate(positions)
+    ]

@@ -1,0 +1,121 @@
+"""Random parts of the radio channel: shadowing, temporal fading, scan noise.
+
+Three effects are modelled, matching the causes of fingerprint ambiguity
+the paper names (Sec. I): *rich multipath* (spatially correlated shadowing
+that is static in time — it belongs to the environment), *temporal
+variations* (slow per-AP drift from doors, people, interference), and
+per-scan measurement noise.
+
+Both random fields are built once from a seeded generator and are
+thereafter **deterministic functions** of position/time, so a site survey
+and a later localization query at the same spot see the same environment —
+exactly the property that makes fingerprinting work at all.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..env.geometry import Point
+
+__all__ = ["ShadowingField", "TemporalFading"]
+
+
+class ShadowingField:
+    """A smooth, spatially correlated log-normal shadowing field for one AP.
+
+    Implemented with random Fourier features: a sum of ``n_components``
+    cosine waves with Gaussian-distributed wave vectors approximates a
+    Gaussian process with a squared-exponential kernel of the requested
+    correlation length.  Evaluation is exact and repeatable at any point.
+
+    Args:
+        std_db: Standard deviation of the field, in dB (0 disables it).
+        correlation_length: Distance over which shadowing decorrelates,
+            in meters; a few meters is typical indoors.
+        rng: Seeded generator used once at construction.
+        n_components: Number of Fourier components; more is smoother.
+    """
+
+    def __init__(
+        self,
+        std_db: float,
+        correlation_length: float,
+        rng: np.random.Generator,
+        n_components: int = 64,
+    ) -> None:
+        if std_db < 0:
+            raise ValueError(f"shadowing std must be non-negative, got {std_db}")
+        if correlation_length <= 0:
+            raise ValueError(
+                f"correlation length must be positive, got {correlation_length}"
+            )
+        self.std_db = float(std_db)
+        self.correlation_length = float(correlation_length)
+        self._frequencies = rng.normal(
+            scale=1.0 / correlation_length, size=(n_components, 2)
+        )
+        self._phases = rng.uniform(0.0, 2.0 * math.pi, size=n_components)
+        self._amplitude = std_db * math.sqrt(2.0 / n_components)
+
+    def value_at(self, point: Point) -> float:
+        """Shadowing at ``point``, in dB (zero-mean across space)."""
+        if self.std_db == 0.0:
+            return 0.0
+        projections = self._frequencies @ np.array([point.x, point.y])
+        return float(self._amplitude * np.cos(projections + self._phases).sum())
+
+
+class TemporalFading:
+    """Slow per-AP temporal drift plus per-scan measurement noise.
+
+    The drift is a deterministic sum of low-frequency sinusoids with random
+    phases — a smooth, bounded, reproducible stand-in for the slow RSS
+    wander caused by doors, moving people, and channel contention.  The
+    per-scan noise is i.i.d. Gaussian drawn from the generator passed to
+    :meth:`scan_noise`.
+
+    Args:
+        drift_std_db: Approximate standard deviation of the slow drift.
+        noise_std_db: Standard deviation of per-scan measurement noise.
+        rng: Seeded generator used once at construction for drift phases.
+        n_components: Number of drift sinusoids.
+        period_range: (shortest, longest) drift periods, in seconds.
+    """
+
+    def __init__(
+        self,
+        drift_std_db: float,
+        noise_std_db: float,
+        rng: np.random.Generator,
+        n_components: int = 4,
+        period_range: tuple = (60.0, 600.0),
+    ) -> None:
+        if drift_std_db < 0 or noise_std_db < 0:
+            raise ValueError("fading magnitudes must be non-negative")
+        lo, hi = period_range
+        if not 0 < lo <= hi:
+            raise ValueError(f"invalid period range {period_range}")
+        self.drift_std_db = float(drift_std_db)
+        self.noise_std_db = float(noise_std_db)
+        periods = rng.uniform(lo, hi, size=n_components)
+        self._angular = 2.0 * math.pi / periods
+        self._phases = rng.uniform(0.0, 2.0 * math.pi, size=n_components)
+        self._amplitude = drift_std_db * math.sqrt(2.0 / n_components)
+
+    def drift_at(self, time_s: float) -> float:
+        """Slow drift at absolute time ``time_s``, in dB (zero mean over time)."""
+        if self.drift_std_db == 0.0:
+            return 0.0
+        return float(
+            self._amplitude * np.cos(self._angular * time_s + self._phases).sum()
+        )
+
+    def scan_noise(self, rng: np.random.Generator) -> float:
+        """One per-scan measurement noise draw, in dB."""
+        if self.noise_std_db == 0.0:
+            return 0.0
+        return float(rng.normal(scale=self.noise_std_db))

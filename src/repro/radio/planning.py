@@ -1,0 +1,117 @@
+"""AP placement planning: put access points where twins cannot form.
+
+The paper names "insufficient number of signal sources" as a root cause
+of fingerprint ambiguity — but *where* the sources stand matters as much
+as how many there are (the office hall's near-collinear first four APs
+are what mirror-twins the hall).  This module plans placements that
+maximize the worst-case fingerprint separation between reference
+locations, using only the deterministic propagation model (which is all
+a site planner has before deployment).
+
+The objective is maximin: greedily add the candidate site that maximizes
+the *minimum* pairwise predicted-fingerprint distance over all location
+pairs — the pair most at risk of twinning.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..env.floorplan import FloorPlan
+from ..env.geometry import Point
+from .access_point import AccessPoint
+from .propagation import PathLossModel
+
+__all__ = ["predicted_min_separation", "greedy_ap_placement"]
+
+
+def _predicted_matrix(
+    plan: FloorPlan, positions: Sequence[Point], path_loss: PathLossModel
+) -> np.ndarray:
+    """Model-predicted RSS at every reference location (locations x APs)."""
+    matrix = np.empty((len(plan), len(positions)))
+    for row, location in enumerate(plan.locations):
+        for col, position in enumerate(positions):
+            ap = AccessPoint(ap_id=col, position=position)
+            matrix[row, col] = path_loss.mean_rss_dbm(ap, location.position, plan)
+    return matrix
+
+
+def predicted_min_separation(
+    plan: FloorPlan,
+    positions: Sequence[Point],
+    path_loss: Optional[PathLossModel] = None,
+) -> float:
+    """The smallest pairwise predicted-fingerprint distance, in dB.
+
+    This is the deployment's weakest link: the location pair most likely
+    to become fingerprint twins once noise is added.
+
+    Raises:
+        ValueError: without at least one AP and two locations.
+    """
+    if not positions:
+        raise ValueError("need at least one AP position")
+    if len(plan) < 2:
+        raise ValueError("need at least two reference locations")
+    path_loss = path_loss or PathLossModel()
+    matrix = _predicted_matrix(plan, positions, path_loss)
+    best = math.inf
+    for a, b in itertools.combinations(range(len(plan)), 2):
+        distance = float(np.linalg.norm(matrix[a] - matrix[b]))
+        best = min(best, distance)
+    return best
+
+
+def greedy_ap_placement(
+    plan: FloorPlan,
+    candidates: Sequence[Point],
+    n_aps: int,
+    path_loss: Optional[PathLossModel] = None,
+) -> Tuple[List[Point], float]:
+    """Greedy maximin AP placement.
+
+    Args:
+        plan: The floor plan (locations to separate; walls attenuate).
+        candidates: Possible mount sites (must lie inside the plan).
+        n_aps: How many APs to place.
+        path_loss: Propagation model used for prediction.
+
+    Returns:
+        ``(chosen_positions, achieved_min_separation_db)``.
+
+    Raises:
+        ValueError: when asked for more APs than candidate sites, or for
+            candidates outside the plan.
+    """
+    if not 1 <= n_aps <= len(candidates):
+        raise ValueError(
+            f"cannot place {n_aps} APs from {len(candidates)} candidates"
+        )
+    for candidate in candidates:
+        if not plan.contains(candidate):
+            raise ValueError(f"candidate site {candidate} is outside the plan")
+    path_loss = path_loss or PathLossModel()
+
+    chosen: List[Point] = []
+    remaining = list(candidates)
+    achieved = 0.0
+    for _ in range(n_aps):
+        best_site = None
+        best_score = -math.inf
+        for site in remaining:
+            score = predicted_min_separation(
+                plan, chosen + [site], path_loss
+            )
+            if score > best_score:
+                best_score = score
+                best_site = site
+        assert best_site is not None
+        chosen.append(best_site)
+        remaining.remove(best_site)
+        achieved = best_score
+    return chosen, achieved

@@ -1,0 +1,79 @@
+"""Deterministic part of the radio channel: log-distance path loss plus walls.
+
+The received signal strength (RSS) at distance ``d`` from an AP follows the
+classic log-distance model
+
+    rss(d) = P1m - 10 * n * log10(max(d, d0)) - L_wall * walls(tx, rx)
+
+where ``P1m`` is the received power at the 1 m reference distance, ``n`` the
+path-loss exponent (2.0 in free space, 2.5-4 indoors), ``L_wall`` a fixed
+per-wall attenuation, and ``walls(tx, rx)`` the number of interior walls the
+straight path crosses on the floor plan.  Readings are clipped at a
+receiver sensitivity floor, as a phone's WiFi chip would report.
+
+Randomness (spatial shadowing, temporal fading, measurement noise) is
+layered on top by :mod:`repro.radio.fading`; this module is purely
+deterministic so it can be unit-tested against closed-form values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from ..env.floorplan import FloorPlan
+from ..env.geometry import Point
+from .access_point import AccessPoint
+
+__all__ = ["PathLossModel", "SENSITIVITY_FLOOR_DBM"]
+
+SENSITIVITY_FLOOR_DBM = -100.0
+"""Weakest RSS a receiver reports; weaker signals clip to this value."""
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path loss with per-wall attenuation.
+
+    Attributes:
+        exponent: Path-loss exponent ``n``; indoor open space is ~2.2-2.8.
+        wall_loss_db: Attenuation per crossed interior wall, in dB.
+        reference_distance: Distance below which loss stops growing (the
+            model is not valid in the near field), in meters.
+        sensitivity_floor_dbm: Weakest reportable RSS.
+    """
+
+    exponent: float = 2.5
+    wall_loss_db: float = 5.0
+    reference_distance: float = 1.0
+    sensitivity_floor_dbm: float = SENSITIVITY_FLOOR_DBM
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ValueError(f"path-loss exponent must be positive, got {self.exponent}")
+        if self.wall_loss_db < 0:
+            raise ValueError(f"wall loss must be non-negative, got {self.wall_loss_db}")
+        if self.reference_distance <= 0:
+            raise ValueError(
+                f"reference distance must be positive, got {self.reference_distance}"
+            )
+
+    def path_loss_db(self, distance: float) -> float:
+        """Distance-dependent loss relative to the 1 m reference, in dB (>= 0)."""
+        clamped = max(distance, self.reference_distance)
+        return 10.0 * self.exponent * math.log10(clamped / self.reference_distance)
+
+    def mean_rss_dbm(self, ap: AccessPoint, receiver: Point, plan: FloorPlan) -> float:
+        """Mean RSS from ``ap`` at ``receiver`` on ``plan``, before fading.
+
+        The mean is clipped at the sensitivity floor, matching what the
+        receiver hardware would report for a very weak signal.
+        """
+        distance = ap.position.distance_to(receiver)
+        walls = plan.wall_count_between(ap.position, receiver)
+        rss = ap.tx_power_dbm - self.path_loss_db(distance) - self.wall_loss_db * walls
+        return max(rss, self.sensitivity_floor_dbm)
+
+    def clip(self, rss_dbm: float) -> float:
+        """Clip a (possibly faded) RSS value at the sensitivity floor."""
+        return max(rss_dbm, self.sensitivity_floor_dbm)

@@ -1,0 +1,141 @@
+"""RSS sampling: compose path loss, shadowing, and fading into WiFi scans.
+
+:class:`RadioEnvironment` owns everything static about the channel (the
+floor plan, the AP deployment, one shadowing field and one temporal drift
+process per AP); :meth:`RadioEnvironment.scan` then produces one noisy RSS
+vector — one full WiFi scan, as the phone performs twice per second — at
+any position and time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..env.floorplan import FloorPlan
+from ..env.geometry import Point
+from .access_point import AccessPoint, deploy_aps
+from .fading import ShadowingField, TemporalFading
+from .propagation import PathLossModel
+
+__all__ = ["RadioParameters", "RadioEnvironment"]
+
+
+@dataclass(frozen=True)
+class RadioParameters:
+    """Magnitudes of the random channel effects.
+
+    Attributes:
+        shadowing_std_db: Spatial shadowing standard deviation (multipath
+            structure of the environment; static in time).
+        shadowing_correlation_m: Correlation length of the shadowing field.
+        drift_std_db: Slow temporal drift standard deviation.
+        noise_std_db: Per-scan measurement noise standard deviation.
+    """
+
+    shadowing_std_db: float = 4.0
+    shadowing_correlation_m: float = 3.0
+    drift_std_db: float = 3.0
+    noise_std_db: float = 5.0
+
+
+class RadioEnvironment:
+    """The full radio channel of one deployment.
+
+    Args:
+        plan: Floor plan (walls attenuate; APs and queries must lie inside).
+        aps: The AP deployment; fingerprint vectors are indexed by
+            ``ap.ap_id`` order.
+        path_loss: Deterministic propagation model.
+        parameters: Random-effect magnitudes.
+        seed: Seed for the environment's static randomness (shadowing
+            fields, drift phases).  Two environments built with the same
+            arguments are identical.
+    """
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        aps: Sequence[AccessPoint],
+        path_loss: Optional[PathLossModel] = None,
+        parameters: Optional[RadioParameters] = None,
+        seed: int = 0,
+    ) -> None:
+        if not aps:
+            raise ValueError("a radio environment needs at least one AP")
+        ids = [ap.ap_id for ap in aps]
+        if ids != list(range(len(aps))):
+            raise ValueError(f"AP ids must be 0..{len(aps) - 1} in order, got {ids}")
+        for ap in aps:
+            if not plan.contains(ap.position):
+                raise ValueError(f"AP {ap.ap_id} at {ap.position} is outside the plan")
+
+        self.plan = plan
+        self.aps: List[AccessPoint] = list(aps)
+        self.path_loss = path_loss or PathLossModel()
+        self.parameters = parameters or RadioParameters()
+
+        rng = np.random.default_rng(seed)
+        self._shadowing = [
+            ShadowingField(
+                std_db=self.parameters.shadowing_std_db,
+                correlation_length=self.parameters.shadowing_correlation_m,
+                rng=rng,
+            )
+            for _ in self.aps
+        ]
+        self._fading = [
+            TemporalFading(
+                drift_std_db=self.parameters.drift_std_db,
+                noise_std_db=self.parameters.noise_std_db,
+                rng=rng,
+            )
+            for _ in self.aps
+        ]
+
+    @classmethod
+    def for_plan(
+        cls,
+        plan: FloorPlan,
+        n_aps: Optional[int] = None,
+        path_loss: Optional[PathLossModel] = None,
+        parameters: Optional[RadioParameters] = None,
+        seed: int = 0,
+    ) -> "RadioEnvironment":
+        """Build an environment from the plan's own AP sites (first ``n_aps``)."""
+        positions = plan.selected_aps(n_aps)
+        return cls(plan, deploy_aps(positions), path_loss, parameters, seed)
+
+    @property
+    def n_aps(self) -> int:
+        """Number of APs; the length of every fingerprint vector produced."""
+        return len(self.aps)
+
+    def static_rss(self, point: Point) -> np.ndarray:
+        """Time-invariant RSS at ``point``: path loss + walls + shadowing.
+
+        This is the "true fingerprint" of the point — what an infinitely
+        long survey would average to, before temporal effects.
+        """
+        values = np.empty(self.n_aps)
+        for ap, field in zip(self.aps, self._shadowing):
+            mean = self.path_loss.mean_rss_dbm(ap, point, self.plan)
+            values[ap.ap_id] = self.path_loss.clip(mean + field.value_at(point))
+        return values
+
+    def scan(self, point: Point, time_s: float, rng: np.random.Generator) -> np.ndarray:
+        """One WiFi scan at ``point`` and absolute time ``time_s``.
+
+        Adds slow per-AP drift and i.i.d. per-scan noise (drawn from
+        ``rng``) on top of the static RSS, clipped at the sensitivity
+        floor.  Returns an array of ``n_aps`` dBm values indexed by AP id.
+        """
+        if not self.plan.contains(point):
+            raise ValueError(f"scan position {point} is outside the floor plan")
+        values = self.static_rss(point)
+        for ap, fading in zip(self.aps, self._fading):
+            perturbed = values[ap.ap_id] + fading.drift_at(time_s) + fading.scan_noise(rng)
+            values[ap.ap_id] = self.path_loss.clip(perturbed)
+        return values

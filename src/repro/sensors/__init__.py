@@ -1,0 +1,17 @@
+"""Sensor substrate: synthetic accelerometer, compass, and IMU assembly."""
+
+from .accelerometer import GRAVITY, AccelerometerModel, AccelSignal
+from .compass import CompassModel, MagneticDisturbanceField
+from .gyroscope import GyroscopeModel
+from .imu import ImuModel, ImuSegment
+
+__all__ = [
+    "GRAVITY",
+    "AccelerometerModel",
+    "AccelSignal",
+    "CompassModel",
+    "MagneticDisturbanceField",
+    "GyroscopeModel",
+    "ImuModel",
+    "ImuSegment",
+]

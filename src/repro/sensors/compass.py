@@ -1,0 +1,107 @@
+"""Synthetic digital compass.
+
+A phone compass reports the angle between the phone's orientation and
+magnetic north — not the walking direction.  The model therefore separates
+four effects, matching Sec. IV-B1's discussion:
+
+* a *placement offset*: the constant angle between the phone's axis and
+  the walking direction (how the user holds the phone); Zee-style heading
+  estimation exists precisely to remove this, see
+  :mod:`repro.motion.heading`;
+* a per-device *hard-iron bias*: constant per phone;
+* position-dependent *magnetic disturbances* from metal furniture,
+  modelled as a smooth random field over the floor plan;
+* per-reading Gaussian noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..env.geometry import Point, normalize_bearing
+
+__all__ = ["MagneticDisturbanceField", "CompassModel"]
+
+
+class MagneticDisturbanceField:
+    """A smooth position-dependent heading disturbance, in degrees.
+
+    Same random-Fourier-feature construction as the radio shadowing field,
+    at furniture scale: metal shelves and columns bend the local magnetic
+    field over a couple of meters.
+
+    Args:
+        std_deg: Field standard deviation in degrees (0 disables it).
+        correlation_length: Disturbance patch size, in meters.
+        rng: Seeded generator used once at construction.
+        n_components: Number of Fourier components.
+    """
+
+    def __init__(
+        self,
+        std_deg: float,
+        correlation_length: float,
+        rng: np.random.Generator,
+        n_components: int = 48,
+    ) -> None:
+        if std_deg < 0:
+            raise ValueError(f"disturbance std must be non-negative, got {std_deg}")
+        if correlation_length <= 0:
+            raise ValueError(
+                f"correlation length must be positive, got {correlation_length}"
+            )
+        self.std_deg = float(std_deg)
+        self._frequencies = rng.normal(
+            scale=1.0 / correlation_length, size=(n_components, 2)
+        )
+        self._phases = rng.uniform(0.0, 2.0 * math.pi, size=n_components)
+        self._amplitude = std_deg * math.sqrt(2.0 / n_components)
+
+    def value_at(self, point: Point) -> float:
+        """The heading disturbance at ``point``, in degrees (zero mean)."""
+        if self.std_deg == 0.0:
+            return 0.0
+        projections = self._frequencies @ np.array([point.x, point.y])
+        return float(self._amplitude * np.cos(projections + self._phases).sum())
+
+
+@dataclass
+class CompassModel:
+    """One phone's digital compass.
+
+    Attributes:
+        device_bias_deg: Constant hard-iron bias of this phone.
+        noise_std_deg: Per-reading Gaussian noise.
+        placement_offset_deg: Current angle between phone axis and walking
+            direction; mutable because users change grip between traces.
+        disturbance: Optional position-dependent disturbance field.
+    """
+
+    device_bias_deg: float = 0.0
+    noise_std_deg: float = 4.0
+    placement_offset_deg: float = 0.0
+    disturbance: Optional[MagneticDisturbanceField] = None
+
+    def read(
+        self,
+        true_course_deg: float,
+        position: Point,
+        rng: np.random.Generator,
+    ) -> float:
+        """One compass reading while walking on ``true_course_deg``.
+
+        Returns the raw reading in ``[0, 360)``: true course shifted by
+        placement offset, device bias, local disturbance, and noise.
+        """
+        reading = (
+            true_course_deg
+            + self.placement_offset_deg
+            + self.device_bias_deg
+            + (self.disturbance.value_at(position) if self.disturbance else 0.0)
+            + float(rng.normal(scale=self.noise_std_deg))
+        )
+        return normalize_bearing(reading)

@@ -1,0 +1,65 @@
+"""Synthetic gyroscope (z-axis angular rate).
+
+The paper's future-work note (Sec. IV-B2): "we may achieve highly
+accurate direction estimation by using gyroscope and advanced filtering
+techniques such as the Kalman filter."  This module provides the sensor;
+:mod:`repro.motion.kalman_heading` provides the filter.
+
+A MEMS gyroscope reports angular rate with a slowly drifting bias and
+white noise.  Integrated alone it drifts without bound; fused with the
+compass it rejects the compass's transient magnetic disturbances — the
+complementary-sensor structure the Kalman filter exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["GyroscopeModel"]
+
+
+@dataclass(frozen=True)
+class GyroscopeModel:
+    """One phone's z-axis gyroscope.
+
+    Attributes:
+        bias_dps: Constant rate bias of this device, degrees/second.
+            MEMS gyros are typically within a few tenths after factory
+            calibration.
+        noise_std_dps: White noise per sample, degrees/second.
+        rate_hz: Sampling rate (matches the IMU rate).
+    """
+
+    bias_dps: float = 0.1
+    noise_std_dps: float = 0.5
+    rate_hz: float = 10.0
+
+    def record(
+        self, true_rates_dps: Sequence[float], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Gyroscope readings for a sequence of true angular rates.
+
+        Args:
+            true_rates_dps: Ground-truth z-axis angular rates at each
+                sample instant, degrees/second (all zeros for a straight
+                walk).
+            rng: Noise generator.
+
+        Returns:
+            Readings: truth plus device bias plus white noise.
+        """
+        rates = np.asarray(true_rates_dps, dtype=float)
+        return rates + self.bias_dps + rng.normal(
+            scale=self.noise_std_dps, size=rates.shape
+        )
+
+    def record_straight_walk(
+        self, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Readings for a straight walk (true rate identically zero)."""
+        if n_samples < 1:
+            raise ValueError(f"need at least one sample, got {n_samples}")
+        return self.record(np.zeros(n_samples), rng)

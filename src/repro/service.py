@@ -1,0 +1,190 @@
+"""MoLocService: the phone-side integration surface.
+
+Everything below this module is a la carte (databases, matchers, step
+counters); this facade is the piece an application actually embeds.  It
+owns the per-user state a deployment needs — the body-derived step
+length, the heading calibration, the retained candidate set — and turns
+raw sensor streams into location fixes:
+
+    service = MoLocService(fingerprint_db, motion_db, body=BodyProfile(1.75))
+    service.calibrate_heading(calibration_segments)
+    fix = service.on_interval(scan)                 # first fix: WiFi only
+    fix = service.on_interval(scan, imu_segment)    # motion-assisted
+
+Internally each interval runs the full paper pipeline: CSC step counting
+and heading estimation (gyro-fused when the segment carries a gyro
+stream) produce the motion measurement, which candidate evaluation
+(Eq. 7) combines with the fingerprint candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from .core.config import MoLocConfig
+from .core.fingerprint import Fingerprint, FingerprintDatabase
+from .core.localizer import LocationEstimate, MoLocLocalizer
+from .core.motion_db import MotionDatabase
+from .motion.heading import estimate_placement_offset
+from .motion.kalman_heading import fused_course_from_segment
+from .motion.pedestrian import BodyProfile
+from .motion.rlm import MotionMeasurement
+from .motion.stride import StepLengthEstimator
+from .motion.step_counting import count_steps_csc, is_walking
+from .sensors.imu import ImuSegment
+
+__all__ = ["MoLocService"]
+
+
+class MoLocService:
+    """A running MoLoc session for one user.
+
+    Args:
+        fingerprint_db: The deployment's fingerprint database.
+        motion_db: The deployment's motion database.
+        body: The user's body profile; sets the step length used to
+            convert step counts to offsets (paper ref. [25]).
+        config: Algorithm configuration.
+        use_gyro_fusion: Whether to fuse gyro streams into heading
+            estimates when segments carry them.
+        personalize_stride: Whether to refine the user's step length
+            online from confident consecutive fixes whose hop distance
+            the motion database knows.
+    """
+
+    def __init__(
+        self,
+        fingerprint_db: FingerprintDatabase,
+        motion_db: MotionDatabase,
+        body: BodyProfile,
+        config: MoLocConfig = MoLocConfig(),
+        use_gyro_fusion: bool = True,
+        personalize_stride: bool = False,
+    ) -> None:
+        self._localizer = MoLocLocalizer(fingerprint_db, motion_db, config)
+        self._motion_db = motion_db
+        self._stride = StepLengthEstimator(body.estimated_step_length_m)
+        self._personalize_stride = personalize_stride
+        self._placement_offset_deg: Optional[float] = None
+        self._use_gyro_fusion = use_gyro_fusion
+        self._fix_count = 0
+        self._previous_fix: Optional[int] = None
+        self._last_steps: Optional[float] = None
+
+    @property
+    def fingerprint_db(self) -> FingerprintDatabase:
+        """The fingerprint database in use."""
+        return self._localizer.fingerprint_db
+
+    @property
+    def is_calibrated(self) -> bool:
+        """Whether heading calibration has run."""
+        return self._placement_offset_deg is not None
+
+    @property
+    def fix_count(self) -> int:
+        """How many fixes this session has produced."""
+        return self._fix_count
+
+    @property
+    def step_length_m(self) -> float:
+        """The step length currently used for offset conversion."""
+        return self._stride.step_length_m
+
+    @property
+    def stride_samples_accepted(self) -> int:
+        """Accepted stride-personalization samples this session."""
+        return self._stride.samples_accepted
+
+    def calibrate_heading(
+        self, calibration: Iterable[Tuple[Sequence[float], float]]
+    ) -> float:
+        """Estimate the phone placement offset (Zee-style).
+
+        Args:
+            calibration: Pairs of (raw compass readings over a straight
+                stretch, reference course of that stretch) — in practice
+                derived from map constraints on the first hops.
+
+        Returns:
+            The estimated offset in degrees.
+        """
+        self._placement_offset_deg = estimate_placement_offset(calibration)
+        return self._placement_offset_deg
+
+    def on_interval(
+        self,
+        scan: Sequence[float],
+        imu: Optional[ImuSegment] = None,
+    ) -> LocationEstimate:
+        """Process one localization interval.
+
+        Args:
+            scan: The WiFi scan (per-AP dBm values, database AP order).
+            imu: The IMU recording since the previous interval, or None
+                for the session's first fix (or a sensor outage).
+
+        Returns:
+            The location estimate.
+
+        Raises:
+            RuntimeError: if motion is supplied before heading
+                calibration has run.
+        """
+        fingerprint = Fingerprint.from_values(scan)
+        motion = self._motion_from(imu) if imu is not None else None
+        estimate = self._localizer.locate(fingerprint, motion)
+        self._fix_count += 1
+        if (
+            self._personalize_stride
+            and estimate.used_motion
+            and self._last_steps is not None
+            and self._previous_fix is not None
+            and self._motion_db.has_pair(
+                self._previous_fix, estimate.location_id
+            )
+        ):
+            hop_distance = self._motion_db.entry(
+                self._previous_fix, estimate.location_id
+            ).offset_mean_m
+            self._stride.observe_hop(
+                hop_distance, self._last_steps, estimate.probability
+            )
+        self._previous_fix = estimate.location_id
+        return estimate
+
+    def end_session(self) -> None:
+        """Forget session state (candidates, calibration, fix count).
+
+        The personalized step length is *kept* — it belongs to the user,
+        not the session.
+        """
+        self._localizer.reset()
+        self._placement_offset_deg = None
+        self._fix_count = 0
+        self._previous_fix = None
+        self._last_steps = None
+
+    def _motion_from(self, imu: ImuSegment) -> Optional[MotionMeasurement]:
+        if self._placement_offset_deg is None:
+            raise RuntimeError(
+                "heading calibration has not run; call calibrate_heading first"
+            )
+        if not is_walking(imu.accel):
+            # Standing still: an explicit zero-offset measurement lets the
+            # localizer prefer the self-transition.
+            self._last_steps = None
+            return MotionMeasurement(direction_deg=0.0, offset_m=0.0)
+        steps = count_steps_csc(imu.accel)
+        self._last_steps = steps
+        if self._use_gyro_fusion and imu.gyro_rates_dps is not None:
+            direction = fused_course_from_segment(imu, self._placement_offset_deg)
+        else:
+            from .motion.heading import course_from_readings
+
+            direction = course_from_readings(
+                imu.compass_readings, self._placement_offset_deg
+            )
+        return MotionMeasurement(
+            direction_deg=direction, offset_m=steps * self._stride.step_length_m
+        )

@@ -1,0 +1,68 @@
+"""Simulation harness: scenarios, crowdsourcing, evaluation, experiments."""
+
+from .crowdsource import (
+    TraceGenerationConfig,
+    generate_trace,
+    generate_traces,
+    observations_from_traces,
+)
+from .evaluation import (
+    ConvergenceStatistics,
+    EvaluationResult,
+    LocalizationRecord,
+    TraceEvaluation,
+    ambiguous_location_ids,
+    convergence_statistics,
+    evaluate_localizer,
+    evaluate_smoother,
+)
+from .failures import (
+    inject_ap_outage,
+    inject_grip_shift,
+    inject_imu_dropout,
+    inject_step_length_bias,
+    silence_ap,
+)
+from .experiments import (
+    AP_COUNTS,
+    Study,
+    convergence_table,
+    evaluate_systems,
+    large_error_comparison,
+    make_localizer,
+    motion_database_errors,
+    prepare_study,
+    step_signature,
+)
+from .scenario import Scenario, build_scenario
+
+__all__ = [
+    "Scenario",
+    "build_scenario",
+    "TraceGenerationConfig",
+    "generate_trace",
+    "generate_traces",
+    "observations_from_traces",
+    "LocalizationRecord",
+    "TraceEvaluation",
+    "EvaluationResult",
+    "ConvergenceStatistics",
+    "evaluate_localizer",
+    "evaluate_smoother",
+    "silence_ap",
+    "inject_ap_outage",
+    "inject_grip_shift",
+    "inject_step_length_bias",
+    "inject_imu_dropout",
+    "ambiguous_location_ids",
+    "convergence_statistics",
+    "Study",
+    "prepare_study",
+    "step_signature",
+    "motion_database_errors",
+    "make_localizer",
+    "evaluate_systems",
+    "large_error_comparison",
+    "convergence_table",
+    "AP_COUNTS",
+]

@@ -1,0 +1,207 @@
+"""Crowdsourced trace generation (paper Sec. IV-B and VI-A).
+
+Users walk random paths along the aisles; their phones scan WiFi at each
+reference-location passage and record IMU streams in between.  This
+module generates those walks against the simulated substrates and turns
+them into the RLM observations the motion-database builder consumes.
+
+Heading calibration: the paper relies on Zee's placement-independent
+orientation estimation.  We reproduce its *outcome*: the first
+``calibration_hops`` segments of each walk serve as the calibration
+stretch — their reference courses are the map courses Zee would recover
+from floor-plan constraints, perturbed by a small estimation error — and
+the resulting placement-offset estimate is applied to the whole walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Optional, Sequence
+
+import numpy as np
+
+from ..core.fingerprint import Fingerprint, FingerprintDatabase
+from ..motion.heading import estimate_placement_offset
+from ..motion.pedestrian import Pedestrian, random_walk_path
+from ..motion.rlm import RlmObservation, extract_measurement
+from ..motion.trace import TraceHop, WalkTrace
+from .scenario import Scenario
+
+__all__ = ["TraceGenerationConfig", "generate_trace", "generate_traces", "observations_from_traces"]
+
+_CALIBRATION_COURSE_ERROR_STD_DEG = 4.0
+"""Residual error of Zee-style map-derived reference courses, degrees."""
+
+
+@dataclass(frozen=True)
+class TraceGenerationConfig:
+    """Knobs for trace generation.
+
+    Attributes:
+        n_hops: Reference-location passages per walk (excluding the start).
+        calibration_hops: Leading hops used for heading calibration.
+        scan_time_jitter_s: Random delay between arriving at a location
+            and the WiFi scan completing.
+    """
+
+    n_hops: int = 15
+    calibration_hops: int = 2
+    scan_time_jitter_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_hops < 1:
+            raise ValueError(f"n_hops must be >= 1, got {self.n_hops}")
+        if not 1 <= self.calibration_hops <= self.n_hops:
+            raise ValueError(
+                f"calibration_hops must be in [1, {self.n_hops}], "
+                f"got {self.calibration_hops}"
+            )
+        if self.scan_time_jitter_s < 0:
+            raise ValueError("scan_time_jitter_s must be non-negative")
+
+
+def generate_trace(
+    scenario: Scenario,
+    user: Pedestrian,
+    rng: np.random.Generator,
+    config: TraceGenerationConfig = TraceGenerationConfig(),
+    start_time_s: float = 0.0,
+    start_id: Optional[int] = None,
+) -> WalkTrace:
+    """Simulate one walk by ``user`` through the scenario.
+
+    The user picks a fresh grip (placement offset) for the walk; the
+    heading calibration then estimates that offset from the leading hops.
+
+    Args:
+        scenario: The wired experimental setup.
+        user: The walking pedestrian (its compass grip is re-drawn).
+        rng: Generator for the path, sensors, and scan noise.
+        config: Trace-generation knobs.
+        start_time_s: Absolute time the walk begins (drives RSS drift).
+        start_id: Optional fixed starting location.
+
+    Returns:
+        The recorded :class:`WalkTrace` with ground truth attached.
+    """
+    graph = scenario.graph
+    plan = scenario.plan
+    path = random_walk_path(graph, rng, config.n_hops, start_id=start_id)
+    user.change_grip(rng)
+
+    time_s = start_time_s
+    initial_scan = scenario.environment.scan(
+        plan.position_of(path[0]), time_s, rng
+    )
+    hops: List[TraceHop] = []
+    calibration = []
+    for hop_index, (i, j) in enumerate(zip(path, path[1:])):
+        start_pos = plan.position_of(i)
+        end_pos = plan.position_of(j)
+        distance = graph.hop_distance(i, j)
+        duration = user.hop_duration_s(distance)
+        imu = user.imu.record_walk(
+            start_pos, end_pos, duration, user.step_period_s, rng
+        )
+        time_s += duration + float(rng.uniform(0.0, config.scan_time_jitter_s))
+        scan = scenario.environment.scan(end_pos, time_s, rng)
+        hops.append(
+            TraceHop(
+                true_from=i,
+                true_to=j,
+                imu=imu,
+                arrival_fingerprint=Fingerprint.from_values(scan),
+            )
+        )
+        if hop_index < config.calibration_hops:
+            reference_course = imu.true_course_deg + float(
+                rng.normal(0.0, _CALIBRATION_COURSE_ERROR_STD_DEG)
+            )
+            calibration.append((imu.compass_readings, reference_course))
+
+    offset_estimate = estimate_placement_offset(calibration)
+    return WalkTrace(
+        user=user.name,
+        true_start=path[0],
+        initial_fingerprint=Fingerprint.from_values(initial_scan),
+        hops=hops,
+        placement_offset_estimate_deg=offset_estimate,
+        estimated_step_length_m=user.estimated_step_length_m,
+    )
+
+
+def generate_traces(
+    scenario: Scenario,
+    n_traces: int,
+    rng: np.random.Generator,
+    config: TraceGenerationConfig = TraceGenerationConfig(),
+    start_time_s: float = 0.0,
+    trace_spacing_s: float = 120.0,
+) -> List[WalkTrace]:
+    """Generate ``n_traces`` walks, cycling through the scenario's users.
+
+    Walks start at staggered absolute times so temporal RSS drift varies
+    across the data set, as it did over the paper's half-hour sessions.
+    """
+    if n_traces < 1:
+        raise ValueError(f"n_traces must be >= 1, got {n_traces}")
+    traces = []
+    for index in range(n_traces):
+        user = scenario.users[index % len(scenario.users)]
+        traces.append(
+            generate_trace(
+                scenario,
+                user,
+                rng,
+                config=config,
+                start_time_s=start_time_s + index * trace_spacing_s,
+            )
+        )
+    return traces
+
+
+def observations_from_traces(
+    traces: Sequence[WalkTrace],
+    fingerprint_db: FingerprintDatabase,
+    counting: Literal["csc", "dsc"] = "csc",
+) -> List[RlmObservation]:
+    """Derive RLM observations from traces, as the DB-construction phase does.
+
+    Both endpoints of every hop are *estimated* by plain fingerprinting
+    (Eq. 2) against ``fingerprint_db`` — crowdsourcing users carry no
+    ground truth — and the motion measurement is extracted from the IMU
+    recording with the trace's calibrated placement offset and the user's
+    estimated step length.
+
+    Query fingerprints are truncated to the database's AP count, so the
+    same traces can train motion databases for 4-, 5-, and 6-AP setups.
+    """
+    observations = []
+    n_aps = fingerprint_db.n_aps
+    for trace in traces:
+        def estimate(fingerprint: Fingerprint) -> int:
+            query = (
+                fingerprint.truncated(n_aps)
+                if fingerprint.n_aps > n_aps
+                else fingerprint
+            )
+            return fingerprint_db.nearest(query)
+
+        previous_estimate = estimate(trace.initial_fingerprint)
+        for hop in trace.hops:
+            arrival_estimate = estimate(hop.arrival_fingerprint)
+            measurement = extract_measurement(
+                hop.imu,
+                step_length_m=trace.estimated_step_length_m,
+                placement_offset_deg=trace.placement_offset_estimate_deg,
+                counting=counting,
+            )
+            observations.append(
+                RlmObservation(
+                    start_id=previous_estimate,
+                    end_id=arrival_estimate,
+                    measurement=measurement,
+                )
+            )
+            previous_estimate = arrival_estimate
+    return observations

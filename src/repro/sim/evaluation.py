@@ -1,0 +1,319 @@
+"""Trace-driven evaluation: errors, accuracy, large-error analysis, convergence.
+
+Reproduces the paper's measurement methodology (Sec. VI):
+
+* **localization error** — distance between the estimated and ground-truth
+  reference locations;
+* **accuracy** — fraction of estimates that hit the exact reference
+  location;
+* **large-error locations** (Fig. 8) — locations where the WiFi baseline
+  errs beyond a threshold (6 m in the paper), extracted so both systems
+  can be compared on the ambiguous spots;
+* **convergence** (Table I) — for traces whose *initial* estimate was
+  wrong: how many erroneous localizations (EL) occur before the first
+  accurate one, and the accuracy / mean / max error afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Set
+
+import numpy as np
+
+from ..core.fingerprint import Fingerprint
+from ..env.floorplan import FloorPlan
+from ..motion.rlm import extract_measurement
+from ..motion.trace import WalkTrace
+
+__all__ = [
+    "LocalizationRecord",
+    "TraceEvaluation",
+    "EvaluationResult",
+    "ConvergenceStatistics",
+    "evaluate_localizer",
+    "evaluate_smoother",
+    "ambiguous_location_ids",
+    "convergence_statistics",
+]
+
+
+@dataclass(frozen=True)
+class LocalizationRecord:
+    """One localization attempt and its outcome.
+
+    Attributes:
+        true_id: Ground-truth reference location.
+        estimated_id: The localizer's answer.
+        error_m: Distance between the two on the floor plan.
+        used_motion: Whether motion matching contributed.
+        is_initial: Whether this was the first fix of its trace.
+    """
+
+    true_id: int
+    estimated_id: int
+    error_m: float
+    used_motion: bool
+    is_initial: bool
+
+    @property
+    def is_accurate(self) -> bool:
+        """Whether the estimate hit the exact reference location."""
+        return self.true_id == self.estimated_id
+
+
+@dataclass(frozen=True)
+class TraceEvaluation:
+    """All localization records of one walk, in order."""
+
+    user: str
+    records: List[LocalizationRecord]
+
+    @property
+    def initial_accurate(self) -> bool:
+        """Whether the very first fix of the walk was accurate."""
+        return bool(self.records) and self.records[0].is_accurate
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregated outcome of evaluating a localizer on a trace set."""
+
+    traces: List[TraceEvaluation]
+
+    @property
+    def records(self) -> List[LocalizationRecord]:
+        """All records across traces, in trace order."""
+        return [record for trace in self.traces for record in trace.records]
+
+    @property
+    def errors(self) -> np.ndarray:
+        """All localization errors, in meters."""
+        return np.array([record.error_m for record in self.records])
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of records that hit the exact reference location."""
+        records = self.records
+        if not records:
+            raise ValueError("no records to compute accuracy over")
+        return sum(record.is_accurate for record in records) / len(records)
+
+    @property
+    def mean_error_m(self) -> float:
+        """Mean localization error, meters."""
+        return float(self.errors.mean())
+
+    @property
+    def max_error_m(self) -> float:
+        """Maximum localization error, meters."""
+        return float(self.errors.max())
+
+    def errors_at(self, location_ids: Set[int]) -> np.ndarray:
+        """Errors restricted to records whose ground truth is in the set."""
+        return np.array(
+            [r.error_m for r in self.records if r.true_id in location_ids]
+        )
+
+
+def evaluate_localizer(
+    localizer,
+    traces: Sequence[WalkTrace],
+    plan: FloorPlan,
+    counting: Literal["csc", "dsc"] = "csc",
+) -> EvaluationResult:
+    """Run a localizer over test traces and score every fix.
+
+    The localizer must expose ``reset()``, ``locate(fingerprint, motion)``
+    returning an object with ``location_id`` and ``used_motion``, and a
+    ``fingerprint_db`` attribute (queries are truncated to its AP count so
+    6-AP traces evaluate against 4- and 5-AP databases).
+
+    Args:
+        localizer: The system under test (MoLoc or a baseline).
+        traces: Held-out test walks.
+        plan: Floor plan for error distances.
+        counting: Step counter used for motion extraction.
+    """
+    n_aps = localizer.fingerprint_db.n_aps
+
+    def truncate(fingerprint: Fingerprint) -> Fingerprint:
+        if fingerprint.n_aps > n_aps:
+            return fingerprint.truncated(n_aps)
+        return fingerprint
+
+    evaluated = []
+    for trace in traces:
+        localizer.reset()
+        records: List[LocalizationRecord] = []
+
+        estimate = localizer.locate(truncate(trace.initial_fingerprint), None)
+        records.append(
+            _record(plan, trace.true_start, estimate, is_initial=True)
+        )
+        for hop in trace.hops:
+            measurement = extract_measurement(
+                hop.imu,
+                step_length_m=trace.estimated_step_length_m,
+                placement_offset_deg=trace.placement_offset_estimate_deg,
+                counting=counting,
+            )
+            estimate = localizer.locate(
+                truncate(hop.arrival_fingerprint), measurement
+            )
+            records.append(
+                _record(plan, hop.true_to, estimate, is_initial=False)
+            )
+        evaluated.append(TraceEvaluation(user=trace.user, records=records))
+    return EvaluationResult(traces=evaluated)
+
+
+def _record(
+    plan: FloorPlan, true_id: int, estimate, is_initial: bool
+) -> LocalizationRecord:
+    """Score one estimate against ground truth."""
+    error = plan.position_of(true_id).distance_to(
+        plan.position_of(estimate.location_id)
+    )
+    return LocalizationRecord(
+        true_id=true_id,
+        estimated_id=estimate.location_id,
+        error_m=error,
+        used_motion=estimate.used_motion,
+        is_initial=is_initial,
+    )
+
+
+def evaluate_smoother(
+    smoother,
+    traces: Sequence[WalkTrace],
+    plan: FloorPlan,
+    counting: Literal["csc", "dsc"] = "csc",
+) -> EvaluationResult:
+    """Run an offline smoother over test traces and score every interval.
+
+    The smoother must expose ``smooth(fingerprints, motions)`` returning
+    one location id per interval, plus a ``fingerprint_db`` attribute for
+    AP-count truncation (e.g. :class:`repro.core.smoothing.ViterbiSmoother`).
+    """
+    n_aps = smoother.fingerprint_db.n_aps
+
+    def truncate(fingerprint: Fingerprint) -> Fingerprint:
+        if fingerprint.n_aps > n_aps:
+            return fingerprint.truncated(n_aps)
+        return fingerprint
+
+    evaluated = []
+    for trace in traces:
+        fingerprints = [truncate(trace.initial_fingerprint)] + [
+            truncate(hop.arrival_fingerprint) for hop in trace.hops
+        ]
+        motions = [
+            extract_measurement(
+                hop.imu,
+                step_length_m=trace.estimated_step_length_m,
+                placement_offset_deg=trace.placement_offset_estimate_deg,
+                counting=counting,
+            )
+            for hop in trace.hops
+        ]
+        path = smoother.smooth(fingerprints, motions)
+        records = []
+        for index, (truth, estimated) in enumerate(
+            zip(trace.true_locations, path)
+        ):
+            error = plan.position_of(truth).distance_to(
+                plan.position_of(estimated)
+            )
+            records.append(
+                LocalizationRecord(
+                    true_id=truth,
+                    estimated_id=estimated,
+                    error_m=error,
+                    used_motion=index > 0,
+                    is_initial=index == 0,
+                )
+            )
+        evaluated.append(TraceEvaluation(user=trace.user, records=records))
+    return EvaluationResult(traces=evaluated)
+
+
+def ambiguous_location_ids(
+    baseline_result: EvaluationResult, threshold_m: float = 6.0
+) -> Set[int]:
+    """Locations where the baseline erred beyond ``threshold_m`` (Fig. 8).
+
+    The paper extracts "locations where the WiFi fingerprinting
+    localization has errors over 6 m" — the fingerprint-twin spots — and
+    re-examines both systems there.
+    """
+    if threshold_m <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold_m}")
+    return {
+        record.true_id
+        for record in baseline_result.records
+        if record.error_m > threshold_m
+    }
+
+
+@dataclass(frozen=True)
+class ConvergenceStatistics:
+    """Table I's row contents for one system and AP count.
+
+    Attributes:
+        mean_erroneous_localizations: Average number of erroneous fixes
+            before the first accurate one (EL), over traces whose initial
+            estimate was wrong.
+        accuracy: Accuracy of fixes after the first accurate one.
+        mean_error_m: Mean error of those subsequent fixes.
+        max_error_m: Max error of those subsequent fixes.
+        n_traces: How many erroneous-initial traces contributed.
+    """
+
+    mean_erroneous_localizations: float
+    accuracy: float
+    mean_error_m: float
+    max_error_m: float
+    n_traces: int
+
+
+def convergence_statistics(result: EvaluationResult) -> ConvergenceStatistics:
+    """Compute Table I's statistics from an evaluation result.
+
+    Only traces with an erroneous *initial* estimate participate
+    (Sec. VI-B4).  EL counts the erroneous fixes before the first accurate
+    one; traces that never converge contribute their full length to EL and
+    nothing to the post-convergence statistics.
+
+    Raises:
+        ValueError: if no trace had an erroneous initial estimate.
+    """
+    el_counts: List[int] = []
+    subsequent: List[LocalizationRecord] = []
+    n_traces = 0
+    for trace in result.traces:
+        if not trace.records or trace.initial_accurate:
+            continue
+        n_traces += 1
+        first_accurate = next(
+            (k for k, r in enumerate(trace.records) if r.is_accurate), None
+        )
+        if first_accurate is None:
+            el_counts.append(len(trace.records))
+            continue
+        el_counts.append(first_accurate)
+        subsequent.extend(trace.records[first_accurate:])
+
+    if n_traces == 0:
+        raise ValueError("no traces with erroneous initial estimates")
+    if not subsequent:
+        raise ValueError("no trace ever converged; statistics undefined")
+
+    errors = np.array([r.error_m for r in subsequent])
+    return ConvergenceStatistics(
+        mean_erroneous_localizations=float(np.mean(el_counts)),
+        accuracy=sum(r.is_accurate for r in subsequent) / len(subsequent),
+        mean_error_m=float(errors.mean()),
+        max_error_m=float(errors.max()),
+        n_traces=n_traces,
+    )

@@ -1,0 +1,339 @@
+"""Experiment drivers: one entry point per figure and table of the paper.
+
+``prepare_study`` assembles the full data set once (site survey, 150
+training walks, 34 test walks — the paper's volumes); the per-experiment
+functions then reproduce:
+
+* Fig. 4 — :func:`step_signature`
+* Fig. 6 — :func:`motion_database_errors`
+* Fig. 7 — :func:`evaluate_systems` (overall CDFs, 4/5/6 APs)
+* Fig. 8 — :func:`large_error_comparison`
+* Table I — :func:`convergence_table`
+
+plus the ablations DESIGN.md calls out (step counting, sanitation,
+parameters, fusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.baselines import (
+    HmmLocalizer,
+    HorusLocalizer,
+    NaiveFusionLocalizer,
+    WiFiFingerprintingLocalizer,
+)
+from ..core.builder import MotionDatabaseBuilder, SanitationReport
+from ..core.config import MoLocConfig
+from ..core.fingerprint import FingerprintDatabase
+from ..core.localizer import MoLocLocalizer
+from ..core.motion_db import MotionDatabase
+from ..env.geometry import bearing_difference
+from ..motion.step_counting import detect_step_times
+from ..motion.trace import WalkTrace
+from ..sensors.accelerometer import AccelerometerModel, AccelSignal
+from .crowdsource import (
+    TraceGenerationConfig,
+    generate_traces,
+    observations_from_traces,
+)
+from .evaluation import (
+    ConvergenceStatistics,
+    EvaluationResult,
+    ambiguous_location_ids,
+    convergence_statistics,
+    evaluate_localizer,
+)
+from .scenario import Scenario, build_scenario
+
+__all__ = [
+    "Study",
+    "prepare_study",
+    "step_signature",
+    "motion_database_errors",
+    "make_localizer",
+    "evaluate_systems",
+    "large_error_comparison",
+    "convergence_table",
+    "AP_COUNTS",
+]
+
+AP_COUNTS: Tuple[int, ...] = (4, 5, 6)
+"""The AP-count sweep of Fig. 7, Fig. 8, and Table I."""
+
+@dataclass
+class Study:
+    """The full prepared data set plus per-AP-count derived artifacts.
+
+    Attributes:
+        scenario: The wired environment, survey, and users.
+        training_traces: Walks that train the motion database (paper: 150).
+        test_traces: Held-out walks for localization (paper: 34).
+        config: The MoLoc configuration in force.
+    """
+
+    scenario: Scenario
+    training_traces: List[WalkTrace]
+    test_traces: List[WalkTrace]
+    config: MoLocConfig = MoLocConfig()
+    _fingerprint_dbs: Dict[int, FingerprintDatabase] = field(default_factory=dict)
+    _motion_dbs: Dict[Tuple[int, str, bool, bool], Tuple[MotionDatabase, SanitationReport]] = field(
+        default_factory=dict
+    )
+
+    def fingerprint_db(self, n_aps: int) -> FingerprintDatabase:
+        """The survey database truncated to the first ``n_aps`` APs."""
+        if n_aps not in self._fingerprint_dbs:
+            full = self.scenario.survey.database
+            self._fingerprint_dbs[n_aps] = (
+                full if n_aps == full.n_aps else full.truncated(n_aps)
+            )
+        return self._fingerprint_dbs[n_aps]
+
+    def motion_db(
+        self,
+        n_aps: int,
+        counting: Literal["csc", "dsc"] = "csc",
+        coarse_filter: bool = True,
+        fine_filter: bool = True,
+    ) -> Tuple[MotionDatabase, SanitationReport]:
+        """The motion database crowdsourced at the given AP count.
+
+        Endpoint estimates are recomputed against the truncated
+        fingerprint database, so each AP count gets the motion database
+        its deployment would actually have produced.  Results are cached
+        per (AP count, counter, filter switches).
+        """
+        key = (n_aps, counting, coarse_filter, fine_filter)
+        if key not in self._motion_dbs:
+            observations = observations_from_traces(
+                self.training_traces, self.fingerprint_db(n_aps), counting=counting
+            )
+            builder = MotionDatabaseBuilder(
+                self.scenario.plan,
+                self.config,
+                enable_coarse_filter=coarse_filter,
+                enable_fine_filter=fine_filter,
+            )
+            builder.add_observations(observations)
+            self._motion_dbs[key] = builder.build()
+        return self._motion_dbs[key]
+
+
+def prepare_study(
+    seed: int = 7,
+    n_training_traces: int = 150,
+    n_test_traces: int = 34,
+    trace_config: TraceGenerationConfig = TraceGenerationConfig(),
+    config: MoLocConfig = MoLocConfig(),
+) -> Study:
+    """Assemble the full experimental data set (Sec. VI-A protocol).
+
+    Defaults reproduce the paper's volumes: 150 motion-training walks and
+    34 held-out test walks over the 28-location hall with 6 APs.
+    """
+    scenario = build_scenario(seed=seed)
+    training_rng = np.random.default_rng([seed, 10])
+    test_rng = np.random.default_rng([seed, 11])
+    training = generate_traces(
+        scenario, n_training_traces, training_rng, config=trace_config
+    )
+    test = generate_traces(
+        scenario,
+        n_test_traces,
+        test_rng,
+        config=trace_config,
+        start_time_s=3600.0,
+    )
+    return Study(
+        scenario=scenario,
+        training_traces=training,
+        test_traces=test,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — acceleration signature
+# ----------------------------------------------------------------------
+
+
+def step_signature(
+    n_steps: int = 10,
+    step_period_s: float = 0.55,
+    seed: int = 7,
+) -> Tuple[AccelSignal, List[float]]:
+    """Fig. 4: a walking acceleration signature and its detected steps.
+
+    Returns the rendered signal of ``n_steps`` steps and the instants the
+    step detector marks (the crosses of Fig. 4).
+    """
+    model = AccelerometerModel()
+    rng = np.random.default_rng(seed)
+    signal = model.walking(
+        duration_s=n_steps * step_period_s,
+        step_period_s=step_period_s,
+        rng=rng,
+        start_phase_s=step_period_s / 2.0,
+    )
+    return signal, detect_step_times(signal)
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — motion-database validity
+# ----------------------------------------------------------------------
+
+
+def motion_database_errors(
+    study: Study,
+    n_aps: int = 6,
+    counting: Literal["csc", "dsc"] = "csc",
+    coarse_filter: bool = True,
+    fine_filter: bool = True,
+) -> Tuple[List[float], List[float], int]:
+    """Fig. 6: motion-database direction and offset errors vs the map.
+
+    Every stored pair that is genuinely adjacent on the aisle graph is
+    compared against the ground truth computed from location coordinates.
+
+    Returns:
+        ``(direction_errors_deg, offset_errors_m, n_spurious_pairs)``
+        where spurious pairs are database entries between locations that
+        are *not* adjacent on the aisle graph (sanitation escapes).
+    """
+    motion_db, _ = study.motion_db(
+        n_aps, counting=counting, coarse_filter=coarse_filter, fine_filter=fine_filter
+    )
+    graph = study.scenario.graph
+    direction_errors: List[float] = []
+    offset_errors: List[float] = []
+    spurious = 0
+    for i, j in motion_db.pairs:
+        if not graph.are_adjacent(i, j):
+            spurious += 1
+            continue
+        stats = motion_db.entry(i, j)
+        direction_errors.append(
+            bearing_difference(stats.direction_mean_deg, graph.hop_bearing(i, j))
+        )
+        offset_errors.append(
+            abs(stats.offset_mean_m - graph.hop_distance(i, j))
+        )
+    return direction_errors, offset_errors, spurious
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 / Fig. 8 / Table I — localization
+# ----------------------------------------------------------------------
+
+
+def make_localizer(
+    name: str,
+    fingerprint_db: FingerprintDatabase,
+    motion_db: MotionDatabase,
+    config: MoLocConfig = MoLocConfig(),
+    plan=None,
+):
+    """Instantiate a system under test by name.
+
+    Known names: ``moloc``, ``wifi``, ``horus``, ``hmm``, ``naive-fusion``,
+    ``particle``, ``model``, ``pdr`` (the last three additionally need ``plan``).
+    """
+    if name == "moloc":
+        return MoLocLocalizer(fingerprint_db, motion_db, config)
+    if name == "wifi":
+        return WiFiFingerprintingLocalizer(fingerprint_db)
+    if name == "horus":
+        return HorusLocalizer(fingerprint_db)
+    if name == "hmm":
+        return HmmLocalizer(fingerprint_db, motion_db)
+    if name == "naive-fusion":
+        return NaiveFusionLocalizer(fingerprint_db, motion_db, config)
+    if name == "particle":
+        if plan is None:
+            raise ValueError("the particle filter needs the floor plan")
+        from ..core.particle_filter import ParticleFilterLocalizer
+
+        return ParticleFilterLocalizer(fingerprint_db, plan)
+    if name == "model":
+        if plan is None:
+            raise ValueError("the model-based localizer needs the floor plan")
+        from ..core.model_based import ModelBasedLocalizer
+
+        return ModelBasedLocalizer(fingerprint_db, plan)
+    if name == "pdr":
+        if plan is None:
+            raise ValueError("dead reckoning needs the floor plan")
+        from ..core.dead_reckoning import DeadReckoningLocalizer
+
+        return DeadReckoningLocalizer(fingerprint_db, plan)
+    raise ValueError(f"unknown localizer {name!r}")
+
+
+def evaluate_systems(
+    study: Study,
+    n_aps: int,
+    systems: Sequence[str] = ("moloc", "wifi"),
+    counting: Literal["csc", "dsc"] = "csc",
+    config: Optional[MoLocConfig] = None,
+) -> Dict[str, EvaluationResult]:
+    """Fig. 7: evaluate systems on the test traces at one AP count."""
+    config = config or study.config
+    fingerprint_db = study.fingerprint_db(n_aps)
+    motion_db, _ = study.motion_db(n_aps, counting=counting)
+    results = {}
+    for name in systems:
+        localizer = make_localizer(
+            name, fingerprint_db, motion_db, config, plan=study.scenario.plan
+        )
+        results[name] = evaluate_localizer(
+            localizer, study.test_traces, study.scenario.plan, counting=counting
+        )
+    return results
+
+
+def large_error_comparison(
+    study: Study,
+    n_aps: int,
+    threshold_m: float = 6.0,
+    systems: Sequence[str] = ("moloc", "wifi"),
+) -> Tuple[Dict[str, np.ndarray], Set[int]]:
+    """Fig. 8: both systems' errors at the WiFi large-error locations.
+
+    Returns:
+        Per-system error arrays restricted to the ambiguous locations,
+        plus the set of ambiguous location ids.
+    """
+    results = evaluate_systems(study, n_aps, systems=systems)
+    ambiguous = ambiguous_location_ids(results["wifi"], threshold_m)
+    return (
+        {name: result.errors_at(ambiguous) for name, result in results.items()},
+        ambiguous,
+    )
+
+
+def convergence_table(
+    study: Study,
+    ap_counts: Sequence[int] = AP_COUNTS,
+    systems: Sequence[str] = ("wifi", "moloc"),
+) -> List[Tuple[str, ConvergenceStatistics]]:
+    """Table I: convergence statistics per (AP count, system).
+
+    Returns rows labelled like ``"4-AP WiFi"`` in the paper's order.
+    """
+    labels = {"wifi": "WiFi", "moloc": "MoLoc", "hmm": "HMM", "horus": "Horus"}
+    rows = []
+    for n_aps in ap_counts:
+        results = evaluate_systems(study, n_aps, systems=systems)
+        for name in systems:
+            rows.append(
+                (
+                    f"{n_aps}-AP {labels.get(name, name)}",
+                    convergence_statistics(results[name]),
+                )
+            )
+    return rows

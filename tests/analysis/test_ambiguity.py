@@ -1,0 +1,101 @@
+"""Tests for fingerprint-ambiguity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ambiguity import analyze_ambiguity
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.env.floorplan import FloorPlan, ReferenceLocation
+from repro.env.geometry import Point
+
+
+@pytest.fixture()
+def twin_setup():
+    """Locations 1 and 3 are distant twins; 2 sits between, distinct."""
+    plan = FloorPlan(
+        width=30.0,
+        height=10.0,
+        reference_locations=[
+            ReferenceLocation(1, Point(3.0, 5.0)),
+            ReferenceLocation(2, Point(15.0, 5.0)),
+            ReferenceLocation(3, Point(27.0, 5.0)),
+        ],
+    )
+    db = FingerprintDatabase(
+        {
+            1: Fingerprint.from_values([-50.0, -70.0]),
+            2: Fingerprint.from_values([-60.0, -60.0]),
+            3: Fingerprint.from_values([-50.5, -69.5]),  # twin of 1
+        }
+    )
+    return plan, db
+
+
+class TestAnalysis:
+    def test_all_pairs_scored(self, twin_setup):
+        plan, db = twin_setup
+        report = analyze_ambiguity(db, plan)
+        assert len(report.pairs) == 3
+
+    def test_most_confusable_first(self, twin_setup):
+        plan, db = twin_setup
+        report = analyze_ambiguity(db, plan)
+        risks = [p.confusion_risk for p in report.pairs]
+        assert risks == sorted(risks, reverse=True)
+        top = report.pairs[0]
+        assert (top.location_a, top.location_b) == (1, 3)
+
+    def test_twin_detection(self, twin_setup):
+        plan, db = twin_setup
+        report = analyze_ambiguity(db, plan, twin_threshold_db=2.0)
+        assert [(p.location_a, p.location_b) for p in report.twins] == [(1, 3)]
+
+    def test_distant_twins_filter(self, twin_setup):
+        plan, db = twin_setup
+        report = analyze_ambiguity(db, plan, twin_threshold_db=2.0)
+        assert report.distant_twins(min_distance_m=6.0)
+        assert not report.distant_twins(min_distance_m=30.0)
+
+    def test_risk_of_lookup(self, twin_setup):
+        plan, db = twin_setup
+        report = analyze_ambiguity(db, plan)
+        pair = report.risk_of(3, 1)  # order-insensitive
+        assert pair.signal_gap_db == pytest.approx(
+            db.fingerprint_of(1).dissimilarity(db.fingerprint_of(3))
+        )
+        with pytest.raises(KeyError):
+            report.risk_of(1, 99)
+
+    def test_single_location_rejected(self):
+        plan = FloorPlan(
+            width=10,
+            height=10,
+            reference_locations=[ReferenceLocation(1, Point(5, 5))],
+        )
+        db = FingerprintDatabase({1: Fingerprint.from_values([-50.0])})
+        with pytest.raises(ValueError):
+            analyze_ambiguity(db, plan)
+
+
+class TestOnPaperHall:
+    def test_hall_has_distant_twins_at_4_aps(self, scenario):
+        """The simulated hall reproduces the paper's twin phenomenon."""
+        db = scenario.survey.database.truncated(4)
+        report = analyze_ambiguity(db, scenario.plan)
+        assert report.distant_twins(min_distance_m=6.0)
+
+    def test_twin_count_shrinks_with_more_aps(self, scenario):
+        full = scenario.survey.database
+        counts = []
+        for n_aps in (4, 5, 6):
+            db = full.truncated(n_aps) if n_aps < full.n_aps else full
+            # Fixed threshold so the comparison is apples to apples.
+            report = analyze_ambiguity(db, scenario.plan, twin_threshold_db=8.0)
+            counts.append(len(report.twins))
+        assert counts[0] >= counts[1] >= counts[2]
+        assert counts[0] > counts[2]
+
+    def test_noise_matched_default_threshold(self, scenario):
+        report = analyze_ambiguity(scenario.survey.database, scenario.plan)
+        assert 3.0 < report.twin_threshold_db < 30.0

@@ -1,0 +1,85 @@
+"""Tests for the empirical CDF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cdf import EmpiricalCdf
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50
+)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf.from_samples([])
+
+    def test_values_sorted(self):
+        cdf = EmpiricalCdf.from_samples([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(cdf.values, [1.0, 2.0, 3.0])
+
+
+class TestProbability:
+    def test_below_minimum_is_zero(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0, 3.0])
+        assert cdf.probability_at(0.5) == 0.0
+
+    def test_at_maximum_is_one(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0, 3.0])
+        assert cdf.probability_at(3.0) == 1.0
+
+    def test_right_continuous_at_sample(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf.probability_at(2.0) == 0.5
+
+    def test_duplicates_counted(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 1.0, 5.0, 9.0])
+        assert cdf.probability_at(1.0) == 0.5
+
+    @given(samples, st.floats(min_value=-10, max_value=110))
+    def test_probability_in_unit_interval(self, values, x):
+        cdf = EmpiricalCdf.from_samples(values)
+        assert 0.0 <= cdf.probability_at(x) <= 1.0
+
+    @given(samples, st.floats(min_value=0, max_value=100), st.floats(min_value=0, max_value=100))
+    def test_monotone(self, values, x1, x2):
+        cdf = EmpiricalCdf.from_samples(values)
+        lo, hi = min(x1, x2), max(x1, x2)
+        assert cdf.probability_at(lo) <= cdf.probability_at(hi)
+
+
+class TestQuantiles:
+    def test_median(self):
+        assert EmpiricalCdf.from_samples([1.0, 2.0, 9.0]).median == 2.0
+
+    def test_maximum(self):
+        assert EmpiricalCdf.from_samples([1.0, 9.0, 3.0]).maximum == 9.0
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCdf.from_samples([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(-0.1)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.1)
+
+    @given(samples, st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_within_range(self, values, q):
+        cdf = EmpiricalCdf.from_samples(values)
+        assert cdf.values[0] <= cdf.quantile(q) <= cdf.values[-1]
+
+
+class TestCurve:
+    def test_curve_endpoints(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0, 4.0])
+        xs, ps = cdf.curve(n_points=10)
+        assert xs[0] == 0.0
+        assert xs[-1] == 4.0
+        assert ps[-1] == 1.0
+
+    def test_curve_point_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf.from_samples([1.0]).curve(n_points=1)

@@ -1,0 +1,93 @@
+"""Tests for paired system comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import compare_systems
+from repro.sim.evaluation import (
+    EvaluationResult,
+    LocalizationRecord,
+    TraceEvaluation,
+)
+
+
+def _result(per_trace_errors):
+    """Build a result from per-trace error lists (0.0 = accurate)."""
+    traces = []
+    for errors in per_trace_errors:
+        records = [
+            LocalizationRecord(
+                true_id=1,
+                estimated_id=1 if e == 0.0 else 2,
+                error_m=e,
+                used_motion=True,
+                is_initial=(k == 0),
+            )
+            for k, e in enumerate(errors)
+        ]
+        traces.append(TraceEvaluation(user="u", records=records))
+    return EvaluationResult(traces=traces)
+
+
+class TestValidation:
+    def test_trace_count_mismatch(self):
+        a = _result([[0.0, 0.0]])
+        b = _result([[0.0, 0.0], [4.0]])
+        with pytest.raises(ValueError):
+            compare_systems(a, b)
+
+    def test_record_count_mismatch(self):
+        a = _result([[0.0, 0.0]])
+        b = _result([[0.0]])
+        with pytest.raises(ValueError):
+            compare_systems(a, b)
+
+    def test_confidence_bounds(self):
+        a = _result([[0.0]])
+        with pytest.raises(ValueError):
+            compare_systems(a, a, confidence=1.0)
+
+
+class TestComparison:
+    def test_identical_systems_have_zero_delta(self):
+        a = _result([[0.0, 4.0], [0.0, 0.0], [4.0, 0.0]])
+        comparison = compare_systems(a, a)
+        assert comparison.accuracy_delta == 0.0
+        assert comparison.mean_error_delta_m == 0.0
+        assert not comparison.a_significantly_more_accurate
+        assert not comparison.a_significantly_lower_error
+
+    def test_clear_winner_significant(self):
+        better = _result([[0.0, 0.0]] * 20)
+        worse = _result([[6.0, 6.0]] * 20)
+        comparison = compare_systems(better, worse)
+        assert comparison.accuracy_delta == pytest.approx(1.0)
+        assert comparison.mean_error_delta_m == pytest.approx(-6.0)
+        assert comparison.a_significantly_more_accurate
+        assert comparison.a_significantly_lower_error
+
+    def test_noisy_tie_not_significant(self):
+        a = _result([[0.0, 4.0]] * 6 + [[4.0, 0.0]] * 6)
+        b = _result([[4.0, 0.0]] * 6 + [[0.0, 4.0]] * 6)
+        comparison = compare_systems(a, b)
+        assert not comparison.a_significantly_more_accurate
+
+    def test_deterministic_given_seed(self):
+        a = _result([[0.0, 4.0], [0.0, 0.0]])
+        b = _result([[4.0, 4.0], [0.0, 4.0]])
+        first = compare_systems(a, b, seed=3)
+        second = compare_systems(a, b, seed=3)
+        assert first == second
+
+
+class TestOnStudy:
+    def test_moloc_win_is_significant(self, small_study):
+        """The headline result survives a paired trace-level bootstrap."""
+        from repro.sim.experiments import evaluate_systems
+
+        results = evaluate_systems(small_study, 6)
+        comparison = compare_systems(results["moloc"], results["wifi"])
+        assert comparison.accuracy_delta > 0.2
+        assert comparison.a_significantly_more_accurate
+        assert comparison.a_significantly_lower_error

@@ -1,0 +1,70 @@
+"""Tests for deployment coverage analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.coverage import analyze_coverage
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.radio.propagation import SENSITIVITY_FLOOR_DBM
+
+
+@pytest.fixture()
+def database() -> FingerprintDatabase:
+    return FingerprintDatabase(
+        {
+            1: Fingerprint.from_values([-50.0, -60.0, -95.0]),  # well served
+            2: Fingerprint.from_values([-88.0, -92.0, -99.0]),  # weak corner
+            3: Fingerprint.from_values([-70.0, -75.0, -80.0]),
+        }
+    )
+
+
+class TestAnalysis:
+    def test_weakest_first(self, database):
+        report = analyze_coverage(database)
+        assert report.weakest.location_id == 2
+        ids = [c.location_id for c in report.locations]
+        assert ids == [2, 3, 1]
+
+    def test_per_location_values(self, database):
+        report = analyze_coverage(database)
+        one = report.coverage_of(1)
+        assert one.strongest_rss_dbm == -50.0
+        assert one.mean_rss_dbm == pytest.approx((-50 - 60 - 95) / 3)
+        assert one.usable_aps == 2  # -95 is below the -85 default
+
+    def test_underserved(self, database):
+        report = analyze_coverage(database)
+        # Location 2 hears no AP above -85 dBm, location 1 hears two,
+        # location 3 hears all three; ordering is weakest-first.
+        assert [c.location_id for c in report.underserved(3)] == [2, 1]
+        assert [c.location_id for c in report.underserved(4)] == [2, 3, 1]
+        assert not report.underserved(min_usable_aps=0)
+
+    def test_unknown_location(self, database):
+        with pytest.raises(KeyError):
+            analyze_coverage(database).coverage_of(9)
+
+    def test_threshold_validation(self, database):
+        with pytest.raises(ValueError):
+            analyze_coverage(database, usable_threshold_dbm=SENSITIVITY_FLOOR_DBM)
+
+    def test_custom_threshold(self, database):
+        report = analyze_coverage(database, usable_threshold_dbm=-95.5)
+        assert report.coverage_of(1).usable_aps == 3
+
+
+class TestOnPaperHall:
+    def test_hall_is_fully_covered(self, scenario):
+        """The paper states all six APs' signals covered the whole hall."""
+        report = analyze_coverage(scenario.survey.database)
+        assert report.weakest.strongest_rss_dbm > -85.0
+        assert not report.underserved(min_usable_aps=2)
+
+    def test_center_better_served_than_corners(self, scenario):
+        report = analyze_coverage(scenario.survey.database)
+        # Location 18 is central; location 22 is a far corner.
+        center = report.coverage_of(18)
+        corner = report.coverage_of(22)
+        assert center.mean_rss_dbm > corner.mean_rss_dbm

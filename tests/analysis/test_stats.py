@@ -1,0 +1,82 @@
+"""Tests for summary statistics and bootstrap intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import SummaryStats, bootstrap_ci, summarize
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=60
+)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0, 10.0])
+        assert stats.n == 5
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.median == 3.0
+        assert stats.maximum == 10.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_contains_fields(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "mean=" in text and "p90=" in text
+
+    @given(samples)
+    def test_ordering_invariants(self, values):
+        stats = summarize(values)
+        epsilon = 1e-9  # the mean of identical values can differ by 1 ULP
+        assert stats.median <= stats.p90 <= stats.maximum + epsilon
+        assert min(values) - epsilon <= stats.mean <= stats.maximum + epsilon
+
+
+class TestBootstrap:
+    def test_interval_contains_point_estimate(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(5.0, 1.0, size=200)
+        low, high = bootstrap_ci(values)
+        assert low <= float(values.mean()) <= high
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(0, 1, size=20)
+        large = rng.normal(0, 1, size=2000)
+        low_s, high_s = bootstrap_ci(small)
+        low_l, high_l = bootstrap_ci(large)
+        assert (high_l - low_l) < (high_s - low_s)
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(values, seed=5) == bootstrap_ci(values, seed=5)
+
+    def test_custom_statistic(self):
+        values = [1.0, 1.0, 1.0, 100.0]
+        low, high = bootstrap_ci(values, statistic=np.median)
+        assert low >= 1.0
+
+    def test_degenerate_sample(self):
+        low, high = bootstrap_ci([7.0, 7.0, 7.0])
+        assert low == high == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], n_resamples=0)
+
+    @given(samples, st.floats(min_value=0.5, max_value=0.99))
+    @settings(max_examples=20, deadline=None)
+    def test_bounds_ordered_and_within_range(self, values, confidence):
+        low, high = bootstrap_ci(values, confidence=confidence, n_resamples=200)
+        assert low <= high
+        assert min(values) <= low
+        assert high <= max(values)

@@ -1,0 +1,46 @@
+"""Tests for text-table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.tables import format_cdf_series, format_table
+
+
+class TestFormatTable:
+    def test_header_and_rows_present(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert "2.50" in lines[2]
+        assert "x" in lines[3]
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["longvalue", 1], ["s", 22]])
+        lines = text.splitlines()
+        # The second column starts at the same offset on every row.
+        offset = lines[0].index("v")
+        assert lines[2][offset:].strip() == "1"
+        assert lines[3][offset:].strip() == "22"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_floats_two_decimals(self):
+        assert "3.14" in format_table(["x"], [[3.14159]])
+
+
+class TestFormatCdfSeries:
+    def test_series_contains_probabilities(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        text = format_cdf_series("WiFi", cdf, [2.0, 4.0])
+        assert "WiFi" in text
+        assert "2:0.50" in text
+        assert "4:1.00" in text

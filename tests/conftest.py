@@ -1,0 +1,64 @@
+"""Shared fixtures: the paper environment and small-scale prepared studies.
+
+Expensive artifacts (scenario, studies) are session-scoped; tests must not
+mutate them.  Small scales keep the suite fast while preserving every code
+path; the full paper-scale run lives in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MoLocConfig
+from repro.env.office_hall import OfficeHall, office_hall
+from repro.sim.crowdsource import TraceGenerationConfig, generate_traces
+from repro.sim.experiments import Study
+from repro.sim.scenario import Scenario, build_scenario
+
+
+@pytest.fixture(scope="session")
+def hall() -> OfficeHall:
+    """The paper's office-hall environment."""
+    return office_hall()
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """A full scenario at default (calibrated) radio parameters."""
+    return build_scenario(seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_study(scenario: Scenario) -> Study:
+    """A paper-scale study: 150 training walks, 34 test walks (Sec. VI-A).
+
+    Built once per session; its per-AP-count fingerprint and motion
+    databases are cached inside the Study.  Anything much smaller leaves
+    the sanitized motion database too sparse at the calibrated channel
+    noise, and MoLoc's advantage (which the sim and integration tests
+    assert) is not representative.
+    """
+    config = TraceGenerationConfig(n_hops=15)
+    training = generate_traces(
+        scenario, 150, np.random.default_rng([7, 10]), config=config
+    )
+    test = generate_traces(
+        scenario,
+        34,
+        np.random.default_rng([7, 11]),
+        config=config,
+        start_time_s=3600.0,
+    )
+    return Study(
+        scenario=scenario,
+        training_traces=training,
+        test_traces=test,
+        config=MoLocConfig(),
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,166 @@
+"""Tests for the baseline localizers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import (
+    HmmLocalizer,
+    HorusLocalizer,
+    NaiveFusionLocalizer,
+    WiFiFingerprintingLocalizer,
+)
+from repro.core.config import MoLocConfig
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.motion.rlm import MotionMeasurement
+
+
+@pytest.fixture()
+def fdb() -> FingerprintDatabase:
+    return FingerprintDatabase.from_samples(
+        {
+            1: [[-50, -50], [-52, -48]],
+            2: [[-60, -70], [-58, -72]],
+            3: [[-80, -55], [-82, -57]],
+        }
+    )
+
+
+@pytest.fixture()
+def mdb() -> MotionDatabase:
+    def stats(direction):
+        return PairStatistics(direction, 5.0, 5.0, 0.3, 10)
+
+    return MotionDatabase({(1, 2): stats(90.0), (2, 3): stats(90.0)})
+
+
+class TestWiFiBaseline:
+    def test_nearest_match(self, fdb):
+        localizer = WiFiFingerprintingLocalizer(fdb)
+        estimate = localizer.locate(Fingerprint.from_values([-59, -71]))
+        assert estimate.location_id == 2
+        assert not estimate.used_motion
+
+    def test_motion_ignored(self, fdb):
+        localizer = WiFiFingerprintingLocalizer(fdb)
+        with_motion = localizer.locate(
+            Fingerprint.from_values([-59, -71]), MotionMeasurement(0.0, 50.0)
+        )
+        without = localizer.locate(Fingerprint.from_values([-59, -71]))
+        assert with_motion.location_id == without.location_id
+
+    def test_stateless_across_reset(self, fdb):
+        localizer = WiFiFingerprintingLocalizer(fdb)
+        a = localizer.locate(Fingerprint.from_values([-51, -49])).location_id
+        localizer.reset()
+        b = localizer.locate(Fingerprint.from_values([-51, -49])).location_id
+        assert a == b == 1
+
+
+class TestHorus:
+    def test_maximum_likelihood_match(self, fdb):
+        localizer = HorusLocalizer(fdb)
+        assert localizer.locate(Fingerprint.from_values([-51, -49])).location_id == 1
+
+    def test_uses_per_ap_variances(self):
+        """A high-variance location tolerates deviation a tight one doesn't."""
+        db = FingerprintDatabase.from_samples(
+            {
+                1: [[-50], [-60], [-40]],  # mean -50, loose
+                2: [[-45.5], [-46.5]],  # mean -46, tight
+            }
+        )
+        localizer = HorusLocalizer(db)
+        # -54 is 4 dB from location 2's mean but ~8 from location 1's;
+        # location 1's large sigma still makes it the likelier source.
+        assert localizer.locate(Fingerprint.from_values([-54.0])).location_id == 1
+
+    def test_invalid_min_std(self, fdb):
+        with pytest.raises(ValueError):
+            HorusLocalizer(fdb, min_std_dbm=0.0)
+
+
+class TestHmm:
+    def test_initial_fix_matches_emissions(self, fdb, mdb):
+        localizer = HmmLocalizer(fdb, mdb)
+        assert localizer.locate(Fingerprint.from_values([-59, -71])).location_id == 2
+
+    def test_belief_carries_over(self, fdb, mdb):
+        """After a confident fix at 1, a move constrains the next fix."""
+        localizer = HmmLocalizer(fdb, mdb)
+        localizer.locate(Fingerprint.from_values([-50, -50]))
+        # Ambiguous scan between 2 and 3; only 2 is reachable from 1.
+        estimate = localizer.locate(
+            Fingerprint.from_values([-70, -62]), MotionMeasurement(90.0, 5.0)
+        )
+        assert estimate.location_id == 2
+
+    def test_stationary_user_self_loops(self, fdb, mdb):
+        localizer = HmmLocalizer(fdb, mdb)
+        localizer.locate(Fingerprint.from_values([-50, -50]))
+        estimate = localizer.locate(
+            Fingerprint.from_values([-52, -51]), MotionMeasurement(0.0, 0.1)
+        )
+        assert estimate.location_id == 1
+
+    def test_reset(self, fdb, mdb):
+        localizer = HmmLocalizer(fdb, mdb)
+        localizer.locate(Fingerprint.from_values([-50, -50]))
+        localizer.reset()
+        assert localizer.locate(Fingerprint.from_values([-59, -71])).location_id == 2
+
+    def test_invalid_self_loop(self, fdb, mdb):
+        with pytest.raises(ValueError):
+            HmmLocalizer(fdb, mdb, self_loop=1.0)
+
+
+class TestNaiveFusion:
+    @pytest.fixture()
+    def mdb12(self) -> MotionDatabase:
+        """Motion database knowing only the 1 -> 2 hop.
+
+        With (2, 3) absent, candidate 3 gets no zero-mismatch escape route
+        through the retained twin, which is what the bias tests need.
+        """
+        return MotionDatabase(
+            {(1, 2): PairStatistics(90.0, 5.0, 5.0, 0.3, 10)}
+        )
+
+    def test_first_fix_is_fingerprint_nearest(self, fdb, mdb):
+        localizer = NaiveFusionLocalizer(fdb, mdb, MoLocConfig(k=3))
+        assert localizer.locate(Fingerprint.from_values([-59, -71])).location_id == 2
+
+    def test_motion_term_added(self, fdb, mdb12):
+        """Matching motion pulls the fused score toward the reachable twin."""
+        localizer = NaiveFusionLocalizer(fdb, mdb12, MoLocConfig(k=2))
+        localizer.locate(Fingerprint.from_values([-50, -50]))
+        estimate = localizer.locate(
+            Fingerprint.from_values([-70, -62]), MotionMeasurement(90.0, 5.0)
+        )
+        assert estimate.location_id == 2
+
+    def test_bias_toward_wide_range_measurement(self, fdb, mdb12):
+        """The strawman's flaw: a big direction mismatch (degrees) swamps a
+        small fingerprint gap (dB), so the fingerprint evidence is ignored.
+
+        With k=2 the retained set is {1, 2}; candidate 3 is unreachable and
+        its fallback direction penalty (180 degrees) dwarfs the 26 dB
+        fingerprint gap that should have decided for it."""
+        localizer = NaiveFusionLocalizer(fdb, mdb12, MoLocConfig(k=2))
+        localizer.locate(Fingerprint.from_values([-50, -50]))
+        # Scan is *exactly* location 3's fingerprint, but measured motion
+        # matches 1 -> 2; the additive fusion overrides the fingerprint.
+        estimate = localizer.locate(
+            Fingerprint.from_values([-81, -56]), MotionMeasurement(90.0, 5.0)
+        )
+        assert estimate.location_id == 2
+
+    def test_reset(self, fdb, mdb):
+        localizer = NaiveFusionLocalizer(fdb, mdb)
+        localizer.locate(Fingerprint.from_values([-50, -50]))
+        localizer.reset()
+        estimate = localizer.locate(
+            Fingerprint.from_values([-59, -71]), MotionMeasurement(90.0, 5.0)
+        )
+        assert estimate.location_id == 2

@@ -1,0 +1,186 @@
+"""Tests for motion-database construction and sanitation (Sec. IV-B2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builder import MotionDatabaseBuilder
+from repro.core.config import MoLocConfig
+from repro.motion.rlm import MotionMeasurement, RlmObservation
+
+
+def _good_measurements(plan, i, j, rng, n=12, direction_noise=2.0, offset_noise=0.1):
+    """Measurements clustered around the map-truth RLM for (i, j)."""
+    from repro.env.geometry import bearing_between
+
+    a, b = plan.position_of(i), plan.position_of(j)
+    true_direction = bearing_between(a, b)
+    true_offset = a.distance_to(b)
+    return [
+        RlmObservation(
+            i,
+            j,
+            MotionMeasurement(
+                direction_deg=true_direction + rng.normal(0, direction_noise),
+                offset_m=max(true_offset + rng.normal(0, offset_noise), 0.1),
+            ),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestAccumulation:
+    def test_self_observations_ignored(self, hall):
+        builder = MotionDatabaseBuilder(hall.plan)
+        builder.add_observation(RlmObservation(3, 3, MotionMeasurement(0.0, 1.0)))
+        assert builder.n_observations == 0
+
+    def test_unknown_location_rejected(self, hall):
+        builder = MotionDatabaseBuilder(hall.plan)
+        with pytest.raises(ValueError):
+            builder.add_observation(
+                RlmObservation(1, 99, MotionMeasurement(0.0, 1.0))
+            )
+
+    def test_observations_reassembled(self, hall, rng):
+        """Adding (2, 1) measurements trains the (1, 2) entry."""
+        builder = MotionDatabaseBuilder(hall.plan)
+        reversed_obs = [
+            RlmObservation(obs.end_id, obs.start_id, obs.measurement.reversed())
+            for obs in _good_measurements(hall.plan, 1, 2, rng)
+        ]
+        builder.add_observations(reversed_obs)
+        db, report = builder.build()
+        assert db.has_pair(1, 2)
+        assert report.pairs_stored == 1
+
+
+class TestFitting:
+    def test_entry_matches_ground_truth(self, hall, rng):
+        builder = MotionDatabaseBuilder(hall.plan)
+        builder.add_observations(_good_measurements(hall.plan, 1, 2, rng, n=30))
+        db, _ = builder.build()
+        entry = db.entry(1, 2)
+        assert abs(entry.direction_mean_deg - 90.0) < 2.0
+        assert entry.offset_mean_m == pytest.approx(
+            hall.plan.distance_between(1, 2), abs=0.15
+        )
+        assert entry.n_observations > 20
+
+    def test_sigma_floors_applied(self, hall):
+        """Identical measurements hit the configured minimum sigmas."""
+        config = MoLocConfig()
+        builder = MotionDatabaseBuilder(hall.plan, config)
+        measurement = MotionMeasurement(90.0, hall.plan.distance_between(1, 2))
+        builder.add_observations(
+            RlmObservation(1, 2, measurement) for _ in range(5)
+        )
+        db, _ = builder.build()
+        entry = db.entry(1, 2)
+        assert entry.direction_std_deg == config.min_direction_std_deg
+        assert entry.offset_std_m == config.min_offset_std_m
+
+
+class TestCoarseFilter:
+    def test_wild_directions_rejected(self, hall, rng):
+        builder = MotionDatabaseBuilder(hall.plan)
+        good = _good_measurements(hall.plan, 1, 2, rng, n=10)
+        distance = hall.plan.distance_between(1, 2)
+        bad = [
+            RlmObservation(1, 2, MotionMeasurement(200.0, distance))
+            for _ in range(4)
+        ]
+        builder.add_observations(good + bad)
+        db, report = builder.build()
+        assert report.coarse_rejected >= 4
+        assert abs(db.entry(1, 2).direction_mean_deg - 90.0) < 3.0
+
+    def test_wild_offsets_rejected(self, hall, rng):
+        builder = MotionDatabaseBuilder(hall.plan)
+        good = _good_measurements(hall.plan, 1, 2, rng, n=10)
+        bad = [
+            RlmObservation(1, 2, MotionMeasurement(90.0, 20.0)) for _ in range(4)
+        ]
+        builder.add_observations(good + bad)
+        db, report = builder.build()
+        assert report.coarse_rejected >= 4
+        assert db.entry(1, 2).offset_mean_m < 7.0
+
+    def test_mislocalized_endpoint_pairs_filtered(self, hall, rng):
+        """Motion between distant 'estimated' endpoints fails the map check.
+
+        A user walked 1 -> 2 (5.67 m east) but fingerprinting estimated the
+        endpoints as 1 and 22 (14 m apart, to the south): the coarse filter
+        must drop all of it and the pair must not enter the database.
+        """
+        builder = MotionDatabaseBuilder(hall.plan)
+        real_walk = MotionMeasurement(90.0, hall.plan.distance_between(1, 2))
+        builder.add_observations(
+            RlmObservation(1, 22, real_walk) for _ in range(6)
+        )
+        db, report = builder.build()
+        assert not db.has_pair(1, 22)
+        assert report.coarse_rejected == 6
+        assert report.pairs_rejected_sparse == 1
+
+    def test_coarse_filter_can_be_disabled(self, hall, rng):
+        builder = MotionDatabaseBuilder(
+            hall.plan, enable_coarse_filter=False, enable_fine_filter=False
+        )
+        real_walk = MotionMeasurement(90.0, hall.plan.distance_between(1, 2))
+        builder.add_observations(
+            RlmObservation(1, 22, real_walk) for _ in range(6)
+        )
+        db, report = builder.build()
+        assert db.has_pair(1, 22)
+        assert report.coarse_rejected == 0
+
+
+class TestFineFilter:
+    def test_two_sigma_outliers_removed(self, hall, rng):
+        config = MoLocConfig(coarse_direction_threshold_deg=20.0)
+        builder = MotionDatabaseBuilder(hall.plan, config)
+        good = _good_measurements(
+            hall.plan, 1, 2, rng, n=30, direction_noise=1.0, offset_noise=0.05
+        )
+        distance = hall.plan.distance_between(1, 2)
+        # Inside the coarse gate (within 20 deg / 3 m) but far off the cluster.
+        stragglers = [
+            RlmObservation(1, 2, MotionMeasurement(90.0 + 18.0, distance + 2.5))
+            for _ in range(2)
+        ]
+        builder.add_observations(good + stragglers)
+        db, report = builder.build()
+        assert report.fine_rejected >= 2
+        assert db.entry(1, 2).offset_std_m < 0.5
+
+    def test_fine_filter_can_be_disabled(self, hall, rng):
+        builder = MotionDatabaseBuilder(hall.plan, enable_fine_filter=False)
+        builder.add_observations(_good_measurements(hall.plan, 1, 2, rng))
+        _, report = builder.build()
+        assert report.fine_rejected == 0
+
+
+class TestSupportThreshold:
+    def test_sparse_pairs_omitted(self, hall, rng):
+        config = MoLocConfig(min_observations=5)
+        builder = MotionDatabaseBuilder(hall.plan, config)
+        builder.add_observations(_good_measurements(hall.plan, 1, 2, rng, n=3))
+        db, report = builder.build()
+        assert len(db) == 0
+        assert report.pairs_rejected_sparse == 1
+
+    def test_report_totals_consistent(self, hall, rng):
+        builder = MotionDatabaseBuilder(hall.plan)
+        observations = _good_measurements(hall.plan, 1, 2, rng, n=20)
+        observations += _good_measurements(hall.plan, 1, 8, rng, n=20)
+        builder.add_observations(observations)
+        db, report = builder.build()
+        assert report.total_observations == 40
+        assert report.pairs_stored == 2
+        stored = sum(db.entry(i, j).n_observations for i, j in db.pairs)
+        assert (
+            stored + report.coarse_rejected + report.fine_rejected
+            == report.total_observations
+        )

@@ -1,0 +1,110 @@
+"""Property-based tests for motion-database construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import MotionDatabaseBuilder
+from repro.core.config import MoLocConfig
+from repro.env.office_hall import office_hall
+from repro.motion.rlm import MotionMeasurement, RlmObservation
+
+_HALL = office_hall()
+_EDGES = _HALL.graph.edge_list
+
+
+@st.composite
+def observations(draw):
+    """A batch of RLM observations over real aisle hops, with noise."""
+    n = draw(st.integers(min_value=4, max_value=40))
+    batch = []
+    for _ in range(n):
+        i, j = _EDGES[draw(st.integers(0, len(_EDGES) - 1))]
+        if draw(st.booleans()):
+            i, j = j, i
+        true_direction = _HALL.graph.hop_bearing(i, j)
+        true_offset = _HALL.graph.hop_distance(i, j)
+        direction = true_direction + draw(
+            st.floats(min_value=-30.0, max_value=30.0)
+        )
+        offset = max(
+            true_offset + draw(st.floats(min_value=-4.0, max_value=4.0)), 0.1
+        )
+        batch.append(
+            RlmObservation(i, j, MotionMeasurement(direction, offset))
+        )
+    return batch
+
+
+def _build(batch, **builder_kwargs):
+    builder = MotionDatabaseBuilder(
+        _HALL.plan, MoLocConfig(min_observations=1), **builder_kwargs
+    )
+    builder.add_observations(batch)
+    return builder.build()
+
+
+class TestBuilderProperties:
+    @given(observations())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, batch):
+        db_a, report_a = _build(batch)
+        db_b, report_b = _build(batch)
+        assert db_a.pairs == db_b.pairs
+        assert report_a == report_b
+        for pair in db_a.pairs:
+            assert db_a.entry(*pair) == db_b.entry(*pair)
+
+    @given(observations())
+    @settings(max_examples=30, deadline=None)
+    def test_accounting_adds_up(self, batch):
+        db, report = _build(batch)
+        stored = sum(db.entry(i, j).n_observations for i, j in db.pairs)
+        assert (
+            stored + report.coarse_rejected + report.fine_rejected
+            == report.total_observations
+        )
+        assert report.total_observations == len(batch)
+
+    @given(observations())
+    @settings(max_examples=30, deadline=None)
+    def test_keys_normalized(self, batch):
+        db, _ = _build(batch)
+        for i, j in db.pairs:
+            assert i < j
+
+    @given(observations())
+    @settings(max_examples=30, deadline=None)
+    def test_stored_entries_satisfy_coarse_gate(self, batch):
+        """Whatever survives is within the coarse thresholds of the map."""
+        from repro.env.geometry import bearing_difference
+
+        config = MoLocConfig(min_observations=1)
+        db, _ = _build(batch)
+        for i, j in db.pairs:
+            entry = db.entry(i, j)
+            map_direction = _HALL.graph.hop_bearing(i, j)
+            map_offset = _HALL.graph.hop_distance(i, j)
+            # Means of gated samples stay within the gate.
+            assert (
+                bearing_difference(entry.direction_mean_deg, map_direction)
+                <= config.coarse_direction_threshold_deg + 1e-6
+            )
+            assert (
+                abs(entry.offset_mean_m - map_offset)
+                <= config.coarse_offset_threshold_m + 1e-6
+            )
+
+    @given(observations())
+    @settings(max_examples=20, deadline=None)
+    def test_order_of_observations_irrelevant(self, batch):
+        db_a, _ = _build(batch)
+        db_b, _ = _build(list(reversed(batch)))
+        assert db_a.pairs == db_b.pairs
+        for pair in db_a.pairs:
+            a, b = db_a.entry(*pair), db_b.entry(*pair)
+            assert a.offset_mean_m == pytest.approx(b.offset_mean_m)
+            assert a.direction_mean_deg == pytest.approx(
+                b.direction_mean_deg, abs=1e-9
+            )

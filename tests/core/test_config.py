@@ -1,0 +1,47 @@
+"""Tests for MoLoc configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MoLocConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        config = MoLocConfig()
+        assert config.alpha_deg == 20.0
+        assert config.beta_m == 1.0
+        assert config.coarse_direction_threshold_deg == 20.0
+        assert config.coarse_offset_threshold_m == 3.0
+        assert config.fine_sigma_multiplier == 2.0
+
+    def test_frozen(self):
+        config = MoLocConfig()
+        with pytest.raises(Exception):
+            config.k = 3
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"alpha_deg": 0.0},
+            {"beta_m": -1.0},
+            {"coarse_direction_threshold_deg": 0.0},
+            {"coarse_offset_threshold_m": -2.0},
+            {"fine_sigma_multiplier": 0.0},
+            {"min_observations": 0},
+            {"min_direction_std_deg": 0.0},
+            {"min_offset_std_m": -0.1},
+            {"stay_sigma_m": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MoLocConfig(**kwargs)
+
+    def test_custom_values_accepted(self):
+        config = MoLocConfig(k=3, alpha_deg=10.0, beta_m=0.5)
+        assert config.k == 3

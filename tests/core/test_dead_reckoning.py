@@ -1,0 +1,129 @@
+"""Tests for the dead-reckoning baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dead_reckoning import DeadReckoningLocalizer
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.env.floorplan import FloorPlan, ReferenceLocation
+from repro.env.geometry import Point
+from repro.motion.rlm import MotionMeasurement
+
+
+@pytest.fixture()
+def world():
+    plan = FloorPlan(
+        width=20.0,
+        height=10.0,
+        reference_locations=[
+            ReferenceLocation(1, Point(3.0, 5.0)),
+            ReferenceLocation(2, Point(10.0, 5.0)),
+            ReferenceLocation(3, Point(17.0, 5.0)),
+        ],
+    )
+    db = FingerprintDatabase(
+        {
+            1: Fingerprint.from_values([-40.0, -75.0]),
+            2: Fingerprint.from_values([-58.0, -58.0]),
+            3: Fingerprint.from_values([-75.0, -40.0]),
+        }
+    )
+    return plan, db
+
+
+class TestAnchoring:
+    def test_first_fix_is_fingerprint_nearest(self, world):
+        plan, db = world
+        pdr = DeadReckoningLocalizer(db, plan)
+        estimate = pdr.locate(Fingerprint.from_values([-41.0, -74.0]))
+        assert estimate.location_id == 1
+        assert not estimate.used_motion
+        assert pdr.dead_reckoned_position == plan.position_of(1)
+
+    def test_missing_motion_re_anchors(self, world):
+        plan, db = world
+        pdr = DeadReckoningLocalizer(db, plan)
+        pdr.locate(Fingerprint.from_values([-41.0, -74.0]))
+        estimate = pdr.locate(Fingerprint.from_values([-74.0, -41.0]), None)
+        assert estimate.location_id == 3
+        assert not estimate.used_motion
+
+    def test_reset_drops_anchor(self, world):
+        plan, db = world
+        pdr = DeadReckoningLocalizer(db, plan)
+        pdr.locate(Fingerprint.from_values([-41.0, -74.0]))
+        pdr.reset()
+        assert pdr.dead_reckoned_position is None
+
+
+class TestIntegration:
+    def test_rss_ignored_after_anchor(self, world):
+        """After anchoring, the scan content is irrelevant."""
+        plan, db = world
+        pdr = DeadReckoningLocalizer(db, plan)
+        pdr.locate(Fingerprint.from_values([-41.0, -74.0]))
+        # Scan screams "location 3" but motion says 7 m east (to 2).
+        estimate = pdr.locate(
+            Fingerprint.from_values([-75.0, -40.0]),
+            MotionMeasurement(90.0, 7.0),
+        )
+        assert estimate.location_id == 2
+        assert estimate.used_motion
+
+    def test_motion_integrates(self, world):
+        plan, db = world
+        pdr = DeadReckoningLocalizer(db, plan)
+        pdr.locate(Fingerprint.from_values([-41.0, -74.0]))
+        pdr.locate(
+            Fingerprint.from_values([-58.0, -58.0]), MotionMeasurement(90.0, 7.0)
+        )
+        estimate = pdr.locate(
+            Fingerprint.from_values([-58.0, -58.0]), MotionMeasurement(90.0, 7.0)
+        )
+        assert estimate.location_id == 3
+
+    def test_clamped_to_plan(self, world):
+        plan, db = world
+        pdr = DeadReckoningLocalizer(db, plan)
+        pdr.locate(Fingerprint.from_values([-74.0, -41.0]))  # anchor at 3
+        pdr.locate(
+            Fingerprint.from_values([-58.0, -58.0]),
+            MotionMeasurement(90.0, 50.0),  # walk off the east wall
+        )
+        assert pdr.dead_reckoned_position.x <= plan.width
+
+
+class TestDriftBehavior:
+    def test_errors_grow_along_the_walk(self, small_study):
+        """PDR's error grows with hops; MoLoc's does not (it re-anchors
+        with every scan).  Compare late-walk accuracy."""
+        from repro.core.localizer import MoLocLocalizer
+        from repro.sim.evaluation import evaluate_localizer
+
+        plan = small_study.scenario.plan
+        fdb = small_study.fingerprint_db(6)
+        mdb, _ = small_study.motion_db(6)
+        pdr_result = evaluate_localizer(
+            DeadReckoningLocalizer(fdb, plan),
+            small_study.test_traces,
+            plan,
+        )
+        moloc_result = evaluate_localizer(
+            MoLocLocalizer(fdb, mdb, small_study.config),
+            small_study.test_traces,
+            plan,
+        )
+
+        def late_errors(result):
+            return [
+                r.error_m
+                for t in result.traces
+                for r in t.records[10:]
+            ]
+
+        import numpy as np
+
+        assert float(np.mean(late_errors(pdr_result))) > float(
+            np.mean(late_errors(moloc_result))
+        )

@@ -1,0 +1,175 @@
+"""Tests for fingerprints and the fingerprint database (Eq. 1-2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+
+rss_values = st.floats(min_value=-100.0, max_value=-20.0)
+rss_vectors = st.lists(rss_values, min_size=1, max_size=8)
+
+
+class TestFingerprint:
+    def test_from_values(self):
+        fp = Fingerprint.from_values([-50, -60.5])
+        assert fp.rss == (-50.0, -60.5)
+        assert fp.n_aps == 2
+
+    def test_as_array(self):
+        np.testing.assert_array_equal(
+            Fingerprint.from_values([-50, -60]).as_array(), [-50.0, -60.0]
+        )
+
+    def test_euclidean_dissimilarity(self):
+        a = Fingerprint.from_values([-50, -60])
+        b = Fingerprint.from_values([-53, -56])
+        assert a.dissimilarity(b) == pytest.approx(5.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Fingerprint.from_values([-50]).dissimilarity(
+                Fingerprint.from_values([-50, -60])
+            )
+
+    def test_truncated(self):
+        fp = Fingerprint.from_values([-50, -60, -70])
+        assert fp.truncated(2).rss == (-50.0, -60.0)
+
+    def test_truncate_bounds(self):
+        fp = Fingerprint.from_values([-50, -60])
+        with pytest.raises(ValueError):
+            fp.truncated(0)
+        with pytest.raises(ValueError):
+            fp.truncated(3)
+
+    @given(rss_vectors)
+    def test_self_dissimilarity_zero(self, values):
+        fp = Fingerprint.from_values(values)
+        assert fp.dissimilarity(fp) == 0.0
+
+    @given(rss_vectors, rss_vectors)
+    def test_dissimilarity_symmetric(self, a_vals, b_vals):
+        n = min(len(a_vals), len(b_vals))
+        a = Fingerprint.from_values(a_vals[:n])
+        b = Fingerprint.from_values(b_vals[:n])
+        assert a.dissimilarity(b) == pytest.approx(b.dissimilarity(a))
+
+    @given(
+        st.lists(rss_values, min_size=3, max_size=3),
+        st.lists(rss_values, min_size=3, max_size=3),
+        st.lists(rss_values, min_size=3, max_size=3),
+    )
+    def test_triangle_inequality(self, av, bv, cv):
+        a, b, c = (Fingerprint.from_values(v) for v in (av, bv, cv))
+        assert a.dissimilarity(c) <= a.dissimilarity(b) + b.dissimilarity(c) + 1e-9
+
+
+class TestDatabase:
+    @pytest.fixture()
+    def database(self) -> FingerprintDatabase:
+        return FingerprintDatabase.from_samples(
+            {
+                1: [[-50, -60], [-52, -58]],
+                2: [[-70, -40], [-70, -40]],
+                3: [[-60, -60], [-62, -64]],
+            }
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FingerprintDatabase({})
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            FingerprintDatabase(
+                {
+                    1: Fingerprint.from_values([-50]),
+                    2: Fingerprint.from_values([-50, -60]),
+                }
+            )
+
+    def test_from_samples_means(self, database):
+        assert database.fingerprint_of(1).rss == (-51.0, -59.0)
+
+    def test_from_samples_stds(self, database):
+        assert database.std_of(1) == (1.0, 1.0)
+        assert database.std_of(2) == (0.0, 0.0)
+
+    def test_from_samples_rejects_empty_block(self):
+        with pytest.raises(ValueError):
+            FingerprintDatabase.from_samples({1: []})
+
+    def test_std_without_statistics_raises(self):
+        db = FingerprintDatabase({1: Fingerprint.from_values([-50.0])})
+        with pytest.raises(KeyError):
+            db.std_of(1)
+
+    def test_location_ids_sorted(self, database):
+        assert database.location_ids == [1, 2, 3]
+        assert len(database) == 3
+        assert 2 in database and 99 not in database
+
+    def test_unknown_location_raises(self, database):
+        with pytest.raises(KeyError):
+            database.fingerprint_of(99)
+
+    def test_dissimilarities_complete(self, database):
+        query = Fingerprint.from_values([-51, -59])
+        distances = database.dissimilarities(query)
+        assert set(distances) == {1, 2, 3}
+        assert distances[1] == pytest.approx(0.0)
+
+    def test_query_length_mismatch(self, database):
+        with pytest.raises(ValueError):
+            database.dissimilarities(Fingerprint.from_values([-50.0]))
+
+    def test_nearest(self, database):
+        assert database.nearest(Fingerprint.from_values([-69, -41])) == 2
+
+    def test_nearest_tie_breaks_low_id(self):
+        db = FingerprintDatabase(
+            {
+                2: Fingerprint.from_values([-50.0]),
+                1: Fingerprint.from_values([-50.0]),
+            }
+        )
+        assert db.nearest(Fingerprint.from_values([-50.0])) == 1
+
+    def test_truncated_database(self, database):
+        small = database.truncated(1)
+        assert small.n_aps == 1
+        assert small.fingerprint_of(2).rss == (-70.0,)
+        assert small.std_of(1) == (1.0,)
+
+    def test_truncate_bounds(self, database):
+        with pytest.raises(ValueError):
+            database.truncated(0)
+        with pytest.raises(ValueError):
+            database.truncated(3)
+
+    def test_std_length_validation(self):
+        with pytest.raises(ValueError):
+            FingerprintDatabase(
+                {1: Fingerprint.from_values([-50, -60])}, stds={1: (1.0,)}
+            )
+
+    def test_std_unknown_location_validation(self):
+        with pytest.raises(ValueError):
+            FingerprintDatabase(
+                {1: Fingerprint.from_values([-50.0])}, stds={2: (1.0,)}
+            )
+
+    @given(st.lists(rss_values, min_size=2, max_size=2))
+    def test_nearest_returns_known_location(self, query_values):
+        db = FingerprintDatabase(
+            {
+                1: Fingerprint.from_values([-50, -60]),
+                2: Fingerprint.from_values([-70, -40]),
+            }
+        )
+        assert db.nearest(Fingerprint.from_values(query_values)) in (1, 2)

@@ -1,0 +1,207 @@
+"""Tests for the MoLoc localizer (Eq. 7) on hand-built twin scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MoLocConfig
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.core.localizer import MoLocLocalizer
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.motion.rlm import MotionMeasurement
+
+
+def stats(direction, offset=5.0) -> PairStatistics:
+    return PairStatistics(
+        direction_mean_deg=direction,
+        direction_std_deg=5.0,
+        offset_mean_m=offset,
+        offset_std_m=0.3,
+        n_observations=10,
+    )
+
+
+@pytest.fixture()
+def twin_world():
+    """The Fig. 1(b) setting as databases.
+
+    Locations: 1 = p (unique fingerprint), 2 = q, 3 = q' (twins: nearly
+    identical fingerprints).  Walking west from p reaches q; q' lies
+    elsewhere (east of p).
+    """
+    fingerprint_db = FingerprintDatabase(
+        {
+            1: Fingerprint.from_values([-50.0, -50.0]),
+            2: Fingerprint.from_values([-62.0, -71.0]),
+            3: Fingerprint.from_values([-62.5, -70.5]),
+        }
+    )
+    motion_db = MotionDatabase(
+        {
+            (1, 2): stats(direction=270.0),  # p -> q is westward
+            (1, 3): stats(direction=90.0),  # p -> q' is eastward
+        }
+    )
+    return fingerprint_db, motion_db
+
+
+class TestInitialFix:
+    def test_first_fix_is_fingerprint_only(self, twin_world):
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        estimate = localizer.locate(Fingerprint.from_values([-50.5, -49.5]))
+        assert estimate.location_id == 1
+        assert not estimate.used_motion
+
+    def test_candidates_retained(self, twin_world):
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        assert localizer.retained_candidates is None
+        localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+        retained = localizer.retained_candidates
+        assert retained is not None
+        assert len(retained) == 3
+        assert sum(p for _, p in retained) == pytest.approx(1.0)
+
+    def test_reset_forgets_history(self, twin_world):
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb)
+        localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+        localizer.reset()
+        assert localizer.retained_candidates is None
+
+
+class TestTwinDisambiguation:
+    def test_fig1b_motion_resolves_twins(self, twin_world):
+        """From a correct fix at p, westward motion selects q over q'."""
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+
+        # Ambiguous fingerprint slightly *favoring the wrong twin* q'.
+        ambiguous = Fingerprint.from_values([-62.4, -70.6])
+        westward = MotionMeasurement(direction_deg=268.0, offset_m=5.1)
+        estimate = localizer.locate(ambiguous, westward)
+        assert estimate.used_motion
+        assert estimate.location_id == 2
+
+    def test_without_motion_the_wrong_twin_wins(self, twin_world):
+        """Control: fingerprint-only matching picks the closer twin q'."""
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+        estimate = localizer.locate(Fingerprint.from_values([-62.4, -70.6]), None)
+        assert estimate.location_id == 3
+        assert not estimate.used_motion
+
+    def test_eastward_motion_selects_other_twin(self, twin_world):
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+        eastward = MotionMeasurement(direction_deg=91.0, offset_m=5.0)
+        estimate = localizer.locate(
+            Fingerprint.from_values([-62.2, -70.8]), eastward
+        )
+        assert estimate.location_id == 3
+
+
+class TestPosterior:
+    def test_posterior_normalized(self, twin_world):
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+        estimate = localizer.locate(
+            Fingerprint.from_values([-62.0, -71.0]),
+            MotionMeasurement(270.0, 5.0),
+        )
+        assert sum(c.probability for c in estimate.candidates) == pytest.approx(1.0)
+
+    def test_eq7_proportionality(self, twin_world):
+        """Posterior ratio equals fingerprint-prob times transition ratio."""
+        from repro.core.motion_matching import set_transition_probability
+
+        fdb, mdb = twin_world
+        config = MoLocConfig(k=3)
+        localizer = MoLocLocalizer(fdb, mdb, config)
+        first = localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+        prior = [(c.location_id, c.probability) for c in first.candidates]
+
+        query = Fingerprint.from_values([-62.0, -71.0])
+        motion = MotionMeasurement(270.0, 5.0)
+        estimate = localizer.locate(query, motion)
+
+        weights = {
+            c.location_id: c.fingerprint_probability
+            * set_transition_probability(
+                mdb, prior, c.location_id, motion, config
+            )
+            for c in estimate.candidates
+        }
+        total = sum(weights.values())
+        for c in estimate.candidates:
+            assert c.probability == pytest.approx(weights[c.location_id] / total)
+
+    def test_zero_support_falls_back_to_fingerprints(self, twin_world):
+        """Motion incompatible with every candidate => fingerprint-only."""
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+        # Northward long walk: matches no database entry from any candidate.
+        impossible = MotionMeasurement(direction_deg=0.0, offset_m=20.0)
+        estimate = localizer.locate(
+            Fingerprint.from_values([-62.4, -70.6]), impossible
+        )
+        assert not estimate.used_motion
+        assert estimate.location_id == 3  # the plain fingerprint answer
+
+    def test_invalid_retention_mode_rejected(self, twin_world):
+        fdb, mdb = twin_world
+        with pytest.raises(ValueError, match="retention"):
+            MoLocLocalizer(fdb, mdb, retention="magic")
+
+    def test_fingerprint_retention_keeps_eq4_probabilities(self, twin_world):
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(
+            fdb, mdb, MoLocConfig(k=3), retention="fingerprint"
+        )
+        localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+        estimate = localizer.locate(
+            Fingerprint.from_values([-62.0, -71.0]),
+            MotionMeasurement(270.0, 5.0),
+        )
+        retained = dict(localizer.retained_candidates)
+        for candidate in estimate.candidates:
+            assert retained[candidate.location_id] == pytest.approx(
+                candidate.fingerprint_probability
+            )
+
+    def test_retention_modes_can_disagree_downstream(self, twin_world):
+        """After a motion-assisted fix, the two retention modes carry
+        different priors into the next interval."""
+        fdb, mdb = twin_world
+        posterior = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        fingerprint = MoLocLocalizer(
+            fdb, mdb, MoLocConfig(k=3), retention="fingerprint"
+        )
+        for localizer in (posterior, fingerprint):
+            localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+            localizer.locate(
+                Fingerprint.from_values([-62.4, -70.6]),
+                MotionMeasurement(268.0, 5.1),
+            )
+        assert dict(posterior.retained_candidates) != dict(
+            fingerprint.retained_candidates
+        )
+
+    def test_candidates_expose_both_probability_layers(self, twin_world):
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=2))
+        localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+        estimate = localizer.locate(
+            Fingerprint.from_values([-62.0, -71.0]),
+            MotionMeasurement(270.0, 5.0),
+        )
+        for candidate in estimate.candidates:
+            assert 0.0 <= candidate.fingerprint_probability <= 1.0
+            assert 0.0 <= candidate.probability <= 1.0
+            assert candidate.dissimilarity >= 0.0

@@ -1,0 +1,124 @@
+"""Property-based invariants of the MoLoc localizer.
+
+For arbitrary query fingerprints and motion measurements, the localizer
+must uphold its probabilistic contract: a valid, normalized posterior
+over a k-sized candidate set, the returned estimate being its argmax,
+and retention behaving like documented.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MoLocConfig
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.core.localizer import MoLocLocalizer
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.motion.rlm import MotionMeasurement
+
+rss = st.floats(min_value=-95.0, max_value=-30.0)
+queries = st.lists(rss, min_size=3, max_size=3).map(Fingerprint.from_values)
+motions = st.builds(
+    MotionMeasurement,
+    direction_deg=st.floats(min_value=0.0, max_value=359.9),
+    offset_m=st.floats(min_value=0.0, max_value=12.0),
+)
+
+
+def _world():
+    fingerprint_db = FingerprintDatabase(
+        {
+            1: Fingerprint.from_values([-45.0, -60.0, -75.0]),
+            2: Fingerprint.from_values([-60.0, -45.0, -60.0]),
+            3: Fingerprint.from_values([-75.0, -60.0, -45.0]),
+            4: Fingerprint.from_values([-60.0, -75.0, -60.0]),
+            5: Fingerprint.from_values([-50.0, -50.0, -50.0]),
+        }
+    )
+    motion_db = MotionDatabase(
+        {
+            (1, 2): PairStatistics(90.0, 5.0, 5.0, 0.3, 10),
+            (2, 3): PairStatistics(90.0, 5.0, 5.0, 0.3, 10),
+            (3, 4): PairStatistics(180.0, 5.0, 4.0, 0.3, 10),
+            (1, 5): PairStatistics(45.0, 5.0, 7.0, 0.3, 10),
+        }
+    )
+    return fingerprint_db, motion_db
+
+
+class TestPosteriorInvariants:
+    @given(first=queries, second=queries, motion=motions)
+    @settings(max_examples=80, deadline=None)
+    def test_posterior_is_a_distribution(self, first, second, motion):
+        fdb, mdb = _world()
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=4))
+        localizer.locate(first)
+        estimate = localizer.locate(second, motion)
+        total = sum(c.probability for c in estimate.candidates)
+        assert total == pytest.approx(1.0, abs=1e-9)
+        assert all(0.0 <= c.probability <= 1.0 for c in estimate.candidates)
+        assert len(estimate.candidates) == 4
+
+    @given(first=queries, second=queries, motion=motions)
+    @settings(max_examples=60, deadline=None)
+    def test_estimate_is_argmax(self, first, second, motion):
+        fdb, mdb = _world()
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=4))
+        localizer.locate(first)
+        estimate = localizer.locate(second, motion)
+        best = max(c.probability for c in estimate.candidates)
+        assert estimate.probability == pytest.approx(best)
+        assert any(
+            c.location_id == estimate.location_id
+            and c.probability == estimate.probability
+            for c in estimate.candidates
+        )
+
+    @given(query=queries)
+    @settings(max_examples=60, deadline=None)
+    def test_first_fix_matches_fingerprint_probabilities(self, query):
+        fdb, mdb = _world()
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        estimate = localizer.locate(query)
+        assert not estimate.used_motion
+        for candidate in estimate.candidates:
+            assert candidate.probability == pytest.approx(
+                candidate.fingerprint_probability
+            )
+
+    @given(first=queries, second=queries, motion=motions)
+    @settings(max_examples=60, deadline=None)
+    def test_retention_matches_returned_candidates(self, first, second, motion):
+        fdb, mdb = _world()
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=4))
+        localizer.locate(first)
+        estimate = localizer.locate(second, motion)
+        retained = dict(localizer.retained_candidates)
+        for candidate in estimate.candidates:
+            assert retained[candidate.location_id] == pytest.approx(
+                candidate.probability
+            )
+
+    @given(first=queries, second=queries, motion=motions)
+    @settings(max_examples=40, deadline=None)
+    def test_candidates_sorted_by_dissimilarity(self, first, second, motion):
+        fdb, mdb = _world()
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=5))
+        localizer.locate(first)
+        estimate = localizer.locate(second, motion)
+        gaps = [c.dissimilarity for c in estimate.candidates]
+        assert gaps == sorted(gaps)
+
+    @given(query=queries, motion=motions)
+    @settings(max_examples=40, deadline=None)
+    def test_reset_equals_fresh_localizer(self, query, motion):
+        fdb, mdb = _world()
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        localizer.locate(query)
+        localizer.locate(query, motion)
+        localizer.reset()
+        after_reset = localizer.locate(query)
+        fresh = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3)).locate(query)
+        assert after_reset.location_id == fresh.location_id
+        assert after_reset.probability == pytest.approx(fresh.probability)

@@ -1,0 +1,100 @@
+"""Tests for candidate estimation (Eq. 3-4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.core.matching import select_candidates
+
+
+@pytest.fixture()
+def database() -> FingerprintDatabase:
+    return FingerprintDatabase(
+        {
+            1: Fingerprint.from_values([-50.0, -60.0]),
+            2: Fingerprint.from_values([-55.0, -60.0]),
+            3: Fingerprint.from_values([-70.0, -40.0]),
+            4: Fingerprint.from_values([-90.0, -90.0]),
+        }
+    )
+
+
+class TestSelection:
+    def test_k_nearest_returned(self, database):
+        query = Fingerprint.from_values([-50.0, -60.0])
+        candidates = select_candidates(database, query, k=2)
+        assert [c.location_id for c in candidates] == [1, 2]
+
+    def test_sorted_by_dissimilarity(self, database):
+        query = Fingerprint.from_values([-60.0, -55.0])
+        candidates = select_candidates(database, query, k=4)
+        gaps = [c.dissimilarity for c in candidates]
+        assert gaps == sorted(gaps)
+
+    def test_k_larger_than_database(self, database):
+        query = Fingerprint.from_values([-50.0, -60.0])
+        assert len(select_candidates(database, query, k=10)) == 4
+
+    def test_invalid_k(self, database):
+        with pytest.raises(ValueError):
+            select_candidates(database, Fingerprint.from_values([-50, -60]), k=0)
+
+    def test_tie_breaks_low_id(self):
+        db = FingerprintDatabase(
+            {
+                7: Fingerprint.from_values([-50.0]),
+                3: Fingerprint.from_values([-50.0]),
+            }
+        )
+        candidates = select_candidates(db, Fingerprint.from_values([-50.0]), k=1)
+        assert candidates[0].location_id == 3
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_one(self, database):
+        query = Fingerprint.from_values([-58.0, -57.0])
+        candidates = select_candidates(database, query, k=3)
+        assert sum(c.probability for c in candidates) == pytest.approx(1.0)
+
+    def test_smaller_dissimilarity_higher_probability(self, database):
+        query = Fingerprint.from_values([-51.0, -60.0])
+        candidates = select_candidates(database, query, k=4)
+        probabilities = [c.probability for c in candidates]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_inverse_proportionality(self, database):
+        """Eq. 4: P(l_i) proportional to 1/m_i."""
+        query = Fingerprint.from_values([-58.0, -57.0])
+        candidates = select_candidates(database, query, k=3)
+        for a in candidates:
+            for b in candidates:
+                assert a.probability * a.dissimilarity == pytest.approx(
+                    b.probability * b.dissimilarity, rel=1e-6
+                )
+
+    def test_exact_match_dominates(self, database):
+        query = Fingerprint.from_values([-50.0, -60.0])  # equals location 1
+        candidates = select_candidates(database, query, k=3)
+        assert candidates[0].location_id == 1
+        assert candidates[0].probability > 0.999
+
+    @given(
+        st.floats(min_value=-90, max_value=-40),
+        st.floats(min_value=-90, max_value=-40),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_probabilities_valid(self, f1, f2, k):
+        db = FingerprintDatabase(
+            {
+                1: Fingerprint.from_values([-50.0, -60.0]),
+                2: Fingerprint.from_values([-55.0, -60.0]),
+                3: Fingerprint.from_values([-70.0, -40.0]),
+                4: Fingerprint.from_values([-90.0, -90.0]),
+            }
+        )
+        candidates = select_candidates(db, Fingerprint.from_values([f1, f2]), k=k)
+        assert len(candidates) == k
+        assert sum(c.probability for c in candidates) == pytest.approx(1.0)
+        assert all(0.0 < c.probability <= 1.0 for c in candidates)

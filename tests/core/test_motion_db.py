@@ -1,0 +1,113 @@
+"""Tests for the motion database (Sec. IV-C)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.motion_db import MotionDatabase, PairStatistics
+
+
+def stats(direction=90.0, d_std=5.0, offset=4.0, o_std=0.3, n=10) -> PairStatistics:
+    return PairStatistics(
+        direction_mean_deg=direction,
+        direction_std_deg=d_std,
+        offset_mean_m=offset,
+        offset_std_m=o_std,
+        n_observations=n,
+    )
+
+
+class TestPairStatistics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stats(d_std=0.0)
+        with pytest.raises(ValueError):
+            stats(o_std=-1.0)
+        with pytest.raises(ValueError):
+            stats(offset=0.0)
+        with pytest.raises(ValueError):
+            stats(n=0)
+
+    def test_direction_normalized(self):
+        assert stats(direction=400.0).direction_mean_deg == pytest.approx(40.0)
+
+    def test_reversed_mirrors_direction_only(self):
+        s = stats(direction=30.0)
+        r = s.reversed()
+        assert r.direction_mean_deg == pytest.approx(210.0)
+        assert r.direction_std_deg == s.direction_std_deg
+        assert r.offset_mean_m == s.offset_mean_m
+        assert r.offset_std_m == s.offset_std_m
+        assert r.n_observations == s.n_observations
+
+
+class TestMotionDatabase:
+    @pytest.fixture()
+    def db(self) -> MotionDatabase:
+        return MotionDatabase(
+            {
+                (1, 2): stats(direction=90.0, offset=5.7),
+                (1, 8): stats(direction=180.0, offset=4.0),
+            }
+        )
+
+    def test_keys_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            MotionDatabase({(2, 1): stats()})
+
+    def test_len_and_pairs(self, db):
+        assert len(db) == 2
+        assert db.pairs == [(1, 2), (1, 8)]
+
+    def test_has_pair_symmetric(self, db):
+        assert db.has_pair(1, 2)
+        assert db.has_pair(2, 1)
+        assert not db.has_pair(2, 8)
+
+    def test_self_pair_absent(self, db):
+        assert not db.has_pair(1, 1)
+        with pytest.raises(KeyError):
+            db.entry(1, 1)
+
+    def test_forward_entry(self, db):
+        entry = db.entry(1, 2)
+        assert entry.direction_mean_deg == pytest.approx(90.0)
+        assert entry.offset_mean_m == pytest.approx(5.7)
+
+    def test_reverse_entry_derived(self, db):
+        """Mutual reachability: mu_d flips by 180, everything else kept."""
+        forward = db.entry(1, 2)
+        backward = db.entry(2, 1)
+        assert backward.direction_mean_deg == pytest.approx(270.0)
+        assert backward.offset_mean_m == forward.offset_mean_m
+        assert backward.direction_std_deg == forward.direction_std_deg
+        assert backward.offset_std_m == forward.offset_std_m
+
+    def test_missing_pair_raises(self, db):
+        with pytest.raises(KeyError):
+            db.entry(3, 4)
+
+    def test_neighbors_of(self, db):
+        assert db.neighbors_of(1) == [2, 8]
+        assert db.neighbors_of(2) == [1]
+        assert db.neighbors_of(99) == []
+
+    def test_matrix_view(self, db):
+        matrix = db.as_matrix([1, 2, 8])
+        assert matrix.shape == (3, 3, 4)
+        # Diagonal is NaN.
+        assert np.isnan(matrix[0, 0]).all()
+        # (1 -> 2) stored directly.
+        assert matrix[0, 1, 0] == pytest.approx(90.0)
+        # (2 -> 1) derived by mirroring.
+        assert matrix[1, 0, 0] == pytest.approx(270.0)
+        # Uncovered pair (2, 8) is NaN.
+        assert np.isnan(matrix[1, 2]).all()
+
+    def test_matrix_subset_of_locations(self, db):
+        matrix = db.as_matrix([1, 2])
+        assert matrix.shape == (2, 2, 4)
+        assert matrix[0, 1, 2] == pytest.approx(5.7)

@@ -1,0 +1,212 @@
+"""Tests for motion matching (Eq. 5-6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MoLocConfig
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.core.motion_matching import (
+    direction_probability,
+    gaussian_interval_probability,
+    offset_probability,
+    pair_probability,
+    set_transition_probability,
+    stay_probability,
+)
+from repro.motion.rlm import MotionMeasurement
+
+
+def stats(direction=90.0, d_std=5.0, offset=4.0, o_std=0.3) -> PairStatistics:
+    return PairStatistics(
+        direction_mean_deg=direction,
+        direction_std_deg=d_std,
+        offset_mean_m=offset,
+        offset_std_m=o_std,
+        n_observations=10,
+    )
+
+
+class TestGaussianInterval:
+    def test_full_mass_for_wide_interval(self):
+        assert gaussian_interval_probability(0.0, 1.0, 0.0, 100.0) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_symmetric_interval_at_mean(self):
+        p = gaussian_interval_probability(5.0, 2.0, 5.0, 2.0)
+        # P(|Z| <= 0.5) ~ 0.3829
+        assert p == pytest.approx(0.3829, abs=1e-3)
+
+    def test_far_center_near_zero(self):
+        assert gaussian_interval_probability(0.0, 1.0, 50.0, 1.0) < 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_interval_probability(0.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            gaussian_interval_probability(0.0, 1.0, 0.0, 0.0)
+
+    @given(
+        mean=st.floats(min_value=-100, max_value=100),
+        std=st.floats(min_value=0.1, max_value=50),
+        center=st.floats(min_value=-200, max_value=200),
+        width=st.floats(min_value=0.1, max_value=100),
+    )
+    @settings(max_examples=100)
+    def test_always_a_probability(self, mean, std, center, width):
+        p = gaussian_interval_probability(mean, std, center, width)
+        assert 0.0 <= p <= 1.0
+
+
+class TestProbabilityMassConservation:
+    @given(
+        mean=st.floats(min_value=0.0, max_value=359.9),
+        std=st.floats(min_value=2.0, max_value=25.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_direction_bins_partition_the_circle(self, mean, std):
+        """Summing D over bins of width alpha tiling the circle gives ~1
+        (the direction Gaussian's mass lives on the circle)."""
+        s = stats(direction=mean, d_std=std)
+        alpha = 20.0
+        total = sum(
+            direction_probability(s, center + alpha / 2.0, alpha)
+            for center in range(0, 360, int(alpha))
+        )
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    @given(
+        mean=st.floats(min_value=1.0, max_value=20.0),
+        std=st.floats(min_value=0.05, max_value=2.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_offset_bins_partition_the_line(self, mean, std):
+        s = stats(offset=mean, o_std=std)
+        beta = 1.0
+        total = sum(
+            offset_probability(s, center + beta / 2.0, beta)
+            for center in range(-30, 60)
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+
+class TestDirectionProbability:
+    def test_peaks_at_mean(self):
+        s = stats(direction=90.0)
+        at_mean = direction_probability(s, 90.0, 20.0)
+        off_mean = direction_probability(s, 120.0, 20.0)
+        assert at_mean > off_mean
+
+    def test_wraparound_handled(self):
+        """A 358-degree measurement is near a 2-degree mean."""
+        s = stats(direction=2.0)
+        assert direction_probability(s, 358.0, 20.0) > 0.3
+
+    def test_opposite_direction_negligible(self):
+        s = stats(direction=90.0, d_std=5.0)
+        assert direction_probability(s, 270.0, 20.0) < 1e-12
+
+    @given(direction=st.floats(min_value=0, max_value=360))
+    @settings(max_examples=50)
+    def test_valid_probability(self, direction):
+        p = direction_probability(stats(), direction, 20.0)
+        assert 0.0 <= p <= 1.0
+
+
+class TestOffsetProbability:
+    def test_peaks_at_mean(self):
+        s = stats(offset=4.0)
+        assert offset_probability(s, 4.0, 1.0) > offset_probability(s, 6.0, 1.0)
+
+    def test_far_offset_negligible(self):
+        assert offset_probability(stats(offset=4.0, o_std=0.3), 15.0, 1.0) < 1e-12
+
+
+class TestPairProbability:
+    def test_factorizes(self):
+        """Eq. 5: P = D * O exactly."""
+        config = MoLocConfig()
+        s = stats()
+        m = MotionMeasurement(95.0, 4.2)
+        expected = direction_probability(
+            s, 95.0, config.alpha_deg
+        ) * offset_probability(s, 4.2, config.beta_m)
+        assert pair_probability(s, m, config) == pytest.approx(expected)
+
+    def test_matching_motion_scores_high(self):
+        config = MoLocConfig()
+        s = stats(direction=90.0, offset=4.0)
+        good = pair_probability(s, MotionMeasurement(91.0, 4.05), config)
+        bad = pair_probability(s, MotionMeasurement(270.0, 4.05), config)
+        assert good > 1000 * max(bad, 1e-300)
+
+
+class TestStayProbability:
+    def test_no_motion_scores_high(self):
+        config = MoLocConfig()
+        assert stay_probability(MotionMeasurement(0.0, 0.0), config) > 0.5
+
+    def test_large_offset_scores_low(self):
+        config = MoLocConfig()
+        assert stay_probability(MotionMeasurement(0.0, 5.0), config) < 1e-9
+
+
+class TestSetTransition:
+    @pytest.fixture()
+    def db(self) -> MotionDatabase:
+        return MotionDatabase(
+            {
+                (1, 2): stats(direction=90.0, offset=5.7),
+                (2, 3): stats(direction=90.0, offset=5.7),
+            }
+        )
+
+    def test_eq6_mixture(self, db):
+        """Transition probability is the prior-weighted sum of pair terms."""
+        config = MoLocConfig()
+        m = MotionMeasurement(90.0, 5.7)
+        p_single = set_transition_probability(db, [(1, 1.0)], 2, m, config)
+        p_mixed = set_transition_probability(
+            db, [(1, 0.5), (3, 0.5)], 2, m, config
+        )
+        p_from_3 = pair_probability(db.entry(3, 2), m, config)
+        p_from_1 = pair_probability(db.entry(1, 2), m, config)
+        assert p_single == pytest.approx(p_from_1)
+        assert p_mixed == pytest.approx(0.5 * p_from_1 + 0.5 * p_from_3)
+
+    def test_unknown_pairs_contribute_zero(self, db):
+        config = MoLocConfig()
+        m = MotionMeasurement(90.0, 5.7)
+        assert set_transition_probability(db, [(1, 1.0)], 3, m, config) == 0.0
+
+    def test_self_transition_uses_stay_model(self, db):
+        config = MoLocConfig()
+        still = MotionMeasurement(0.0, 0.0)
+        p = set_transition_probability(db, [(2, 1.0)], 2, still, config)
+        assert p == pytest.approx(stay_probability(still, config))
+
+    def test_zero_probability_priors_skipped(self, db):
+        config = MoLocConfig()
+        m = MotionMeasurement(90.0, 5.7)
+        p = set_transition_probability(
+            db, [(1, 0.0), (3, 1.0)], 2, m, config
+        )
+        assert p == pytest.approx(pair_probability(db.entry(3, 2), m, config))
+
+    def test_correct_direction_discriminates_twins(self, db):
+        """The Fig. 1 scenario: moving east from 1 favors 2 over 3's mirror.
+
+        From candidate set {1}, a measured eastward walk matches entry
+        (1 -> 2); walking from 1 to 3 directly is not in the database, so
+        candidate 3 gets zero support.
+        """
+        config = MoLocConfig()
+        east = MotionMeasurement(90.0, 5.7)
+        p2 = set_transition_probability(db, [(1, 1.0)], 2, east, config)
+        p3 = set_transition_probability(db, [(1, 1.0)], 3, east, config)
+        assert p2 > 0.1
+        assert p3 == 0.0

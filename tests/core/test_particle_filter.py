@@ -1,0 +1,118 @@
+"""Tests for the particle-filter localizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.core.particle_filter import ParticleFilterLocalizer
+from repro.env.floorplan import FloorPlan, ReferenceLocation
+from repro.env.geometry import Point
+from repro.motion.rlm import MotionMeasurement
+
+
+@pytest.fixture()
+def world():
+    """A 20 x 10 plan with three well-separated locations."""
+    plan = FloorPlan(
+        width=20.0,
+        height=10.0,
+        reference_locations=[
+            ReferenceLocation(1, Point(3.0, 5.0)),
+            ReferenceLocation(2, Point(10.0, 5.0)),
+            ReferenceLocation(3, Point(17.0, 5.0)),
+        ],
+    )
+    db = FingerprintDatabase(
+        {
+            1: Fingerprint.from_values([-40.0, -75.0]),
+            2: Fingerprint.from_values([-58.0, -58.0]),
+            3: Fingerprint.from_values([-75.0, -40.0]),
+        }
+    )
+    return plan, db
+
+
+class TestValidation:
+    def test_parameters(self, world):
+        plan, db = world
+        with pytest.raises(ValueError):
+            ParticleFilterLocalizer(db, plan, n_particles=5)
+        with pytest.raises(ValueError):
+            ParticleFilterLocalizer(db, plan, rss_sigma_db=0.0)
+        with pytest.raises(ValueError):
+            ParticleFilterLocalizer(db, plan, idw_neighbors=0)
+
+
+class TestRadioMap:
+    def test_exact_at_references(self, world):
+        plan, db = world
+        pf = ParticleFilterLocalizer(db, plan)
+        query = np.array([[3.0, 5.0]])
+        interpolated = pf.map_rss_at(query)[0]
+        np.testing.assert_allclose(interpolated, [-40.0, -75.0], atol=0.2)
+
+    def test_midpoint_blends(self, world):
+        plan, db = world
+        pf = ParticleFilterLocalizer(db, plan, idw_neighbors=2)
+        midpoint = np.array([[6.5, 5.0]])
+        blended = pf.map_rss_at(midpoint)[0]
+        assert -58.0 < blended[0] < -40.0
+        assert -75.0 < blended[1] < -58.0
+
+
+class TestLocalization:
+    def test_static_fix_near_strong_evidence(self, world):
+        plan, db = world
+        pf = ParticleFilterLocalizer(db, plan, seed=3)
+        estimate = pf.locate(Fingerprint.from_values([-41.0, -74.0]))
+        assert estimate.location_id == 1
+
+    def test_repeated_scans_converge(self, world):
+        plan, db = world
+        pf = ParticleFilterLocalizer(db, plan, seed=4)
+        for _ in range(5):
+            estimate = pf.locate(Fingerprint.from_values([-74.0, -41.0]))
+        assert estimate.location_id == 3
+
+    def test_motion_moves_the_cloud(self, world):
+        plan, db = world
+        pf = ParticleFilterLocalizer(db, plan, seed=5)
+        for _ in range(4):
+            pf.locate(Fingerprint.from_values([-40.0, -75.0]))
+        # Walk 7 m east (1 -> 2) with an ambiguous arrival scan.
+        estimate = pf.locate(
+            Fingerprint.from_values([-58.0, -58.0]),
+            MotionMeasurement(90.0, 7.0),
+        )
+        assert estimate.location_id == 2
+        assert estimate.used_motion
+
+    def test_reset_restores_determinism(self, world):
+        plan, db = world
+        pf = ParticleFilterLocalizer(db, plan, seed=6)
+        first = [
+            pf.locate(Fingerprint.from_values([-58.0, -58.0])).location_id
+            for _ in range(3)
+        ]
+        pf.reset()
+        second = [
+            pf.locate(Fingerprint.from_values([-58.0, -58.0])).location_id
+            for _ in range(3)
+        ]
+        assert first == second
+
+
+class TestOnStudy:
+    def test_reasonable_accuracy_on_hall(self, small_study):
+        """The particle filter is a credible system on the paper setup."""
+        from repro.sim.evaluation import evaluate_localizer
+
+        pf = ParticleFilterLocalizer(
+            small_study.fingerprint_db(6), small_study.scenario.plan, seed=1
+        )
+        result = evaluate_localizer(
+            pf, small_study.test_traces[:10], small_study.scenario.plan
+        )
+        assert result.accuracy > 0.3

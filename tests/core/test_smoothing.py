@@ -1,0 +1,126 @@
+"""Tests for offline Viterbi trajectory smoothing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MoLocConfig
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.core.localizer import MoLocLocalizer
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.core.smoothing import ViterbiSmoother
+from repro.motion.rlm import MotionMeasurement
+
+
+def stats(direction, offset=5.0) -> PairStatistics:
+    return PairStatistics(direction, 5.0, offset, 0.3, 10)
+
+
+@pytest.fixture()
+def line_world():
+    """Locations 1-2-3 on an eastward line; 4 is 2's fingerprint twin."""
+    fingerprint_db = FingerprintDatabase(
+        {
+            1: Fingerprint.from_values([-40.0, -70.0]),
+            2: Fingerprint.from_values([-55.0, -55.0]),
+            3: Fingerprint.from_values([-70.0, -40.0]),
+            4: Fingerprint.from_values([-55.5, -54.5]),  # twin of 2
+        }
+    )
+    motion_db = MotionDatabase(
+        {
+            (1, 2): stats(90.0),
+            (2, 3): stats(90.0),
+            # 4 hangs off location 1 to the north; unreachable from 3.
+            (1, 4): stats(0.0),
+        }
+    )
+    return fingerprint_db, motion_db
+
+
+class TestValidation:
+    def test_empty_walk_rejected(self, line_world):
+        smoother = ViterbiSmoother(*line_world)
+        with pytest.raises(ValueError):
+            smoother.smooth([], [])
+
+    def test_length_mismatch_rejected(self, line_world):
+        smoother = ViterbiSmoother(*line_world)
+        fp = Fingerprint.from_values([-40.0, -70.0])
+        with pytest.raises(ValueError):
+            smoother.smooth([fp, fp], [])
+
+
+class TestDecoding:
+    def test_single_interval_is_nearest(self, line_world):
+        smoother = ViterbiSmoother(*line_world, config=MoLocConfig(k=3))
+        path = smoother.smooth([Fingerprint.from_values([-41.0, -69.0])], [])
+        assert path == [1]
+
+    def test_clean_walk_decoded(self, line_world):
+        smoother = ViterbiSmoother(*line_world, config=MoLocConfig(k=3))
+        fingerprints = [
+            Fingerprint.from_values([-40.0, -70.0]),
+            Fingerprint.from_values([-55.0, -55.0]),
+            Fingerprint.from_values([-70.0, -40.0]),
+        ]
+        motions = [MotionMeasurement(90.0, 5.0)] * 2
+        assert smoother.smooth(fingerprints, motions) == [1, 2, 3]
+
+    def test_future_evidence_repairs_twin(self, line_world):
+        """The 1 -> 2 -> 3 walk where the middle scan slightly favors the
+        twin 4: the *next* fix at 3 is only reachable from 2, so Viterbi
+        retroactively picks 2 — the online filter cannot do this."""
+        fingerprint_db, motion_db = line_world
+        config = MoLocConfig(k=4)
+        fingerprints = [
+            Fingerprint.from_values([-40.0, -70.0]),
+            Fingerprint.from_values([-55.4, -54.6]),  # favors twin 4
+            Fingerprint.from_values([-70.0, -40.0]),
+        ]
+        motions = [
+            MotionMeasurement(88.0, 5.1),  # eastward: matches 1->2, not 1->4
+            MotionMeasurement(91.0, 4.9),
+        ]
+        smoother = ViterbiSmoother(fingerprint_db, motion_db, config)
+        assert smoother.smooth(fingerprints, motions) == [1, 2, 3]
+
+    def test_none_motion_is_uninformative(self, line_world):
+        smoother = ViterbiSmoother(*line_world, config=MoLocConfig(k=3))
+        fingerprints = [
+            Fingerprint.from_values([-40.0, -70.0]),
+            Fingerprint.from_values([-70.0, -40.0]),
+        ]
+        path = smoother.smooth(fingerprints, [None])
+        assert path == [1, 3]
+
+    def test_unreachable_step_reseeds(self, line_world):
+        """Motion matching no pair at all falls back to emissions."""
+        smoother = ViterbiSmoother(*line_world, config=MoLocConfig(k=2))
+        fingerprints = [
+            Fingerprint.from_values([-40.0, -70.0]),
+            Fingerprint.from_values([-70.0, -40.0]),
+        ]
+        # 20 m westward matches nothing in the database.
+        path = smoother.smooth(fingerprints, [MotionMeasurement(270.0, 20.0)])
+        assert path[1] == 3  # emission-only choice
+
+
+class TestAgainstOnline:
+    def test_smoother_at_least_as_accurate_as_online(self, small_study):
+        """On the shared study, offline decoding beats or ties the online
+        localizer — it sees the future."""
+        from repro.sim.evaluation import evaluate_localizer, evaluate_smoother
+
+        fingerprint_db = small_study.fingerprint_db(5)
+        motion_db, _ = small_study.motion_db(5)
+        online = MoLocLocalizer(fingerprint_db, motion_db, small_study.config)
+        offline = ViterbiSmoother(fingerprint_db, motion_db, small_study.config)
+
+        online_result = evaluate_localizer(
+            online, small_study.test_traces, small_study.scenario.plan
+        )
+        offline_result = evaluate_smoother(
+            offline, small_study.test_traces, small_study.scenario.plan
+        )
+        assert offline_result.accuracy >= online_result.accuracy - 0.02

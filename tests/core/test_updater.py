@@ -1,0 +1,141 @@
+"""Tests for adaptive fingerprint maintenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MoLocConfig
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.core.updater import AdaptiveMoLocLocalizer, FingerprintUpdater
+from repro.motion.rlm import MotionMeasurement
+
+
+@pytest.fixture()
+def db() -> FingerprintDatabase:
+    return FingerprintDatabase.from_samples(
+        {1: [[-50.0, -60.0], [-50.0, -60.0]], 2: [[-70.0, -40.0], [-70.0, -40.0]]}
+    )
+
+
+class TestValidation:
+    def test_learning_rate_bounds(self, db):
+        with pytest.raises(ValueError):
+            FingerprintUpdater(db, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            FingerprintUpdater(db, learning_rate=1.5)
+
+    def test_threshold_bounds(self, db):
+        with pytest.raises(ValueError):
+            FingerprintUpdater(db, confidence_threshold=1.1)
+
+    def test_unknown_location(self, db):
+        updater = FingerprintUpdater(db)
+        with pytest.raises(KeyError):
+            updater.observe(99, Fingerprint.from_values([-50, -60]), 1.0)
+
+    def test_scan_length_mismatch(self, db):
+        updater = FingerprintUpdater(db)
+        with pytest.raises(ValueError):
+            updater.observe(1, Fingerprint.from_values([-50.0]), 1.0)
+
+
+class TestGating:
+    def test_low_confidence_rejected(self, db):
+        updater = FingerprintUpdater(db, confidence_threshold=0.9)
+        applied = updater.observe(1, Fingerprint.from_values([-40, -70]), 0.5)
+        assert not applied
+        assert updater.updates_rejected == 1
+        assert updater.database.fingerprint_of(1).rss == (-50.0, -60.0)
+
+    def test_high_confidence_applied(self, db):
+        updater = FingerprintUpdater(db, learning_rate=0.1)
+        applied = updater.observe(1, Fingerprint.from_values([-40, -70]), 0.95)
+        assert applied
+        assert updater.updates_applied == 1
+        updated = updater.database.fingerprint_of(1)
+        assert updated.rss[0] == pytest.approx(-49.0)  # 0.9*-50 + 0.1*-40
+        assert updated.rss[1] == pytest.approx(-61.0)
+
+    def test_other_locations_untouched(self, db):
+        updater = FingerprintUpdater(db)
+        updater.observe(1, Fingerprint.from_values([-40, -70]), 1.0)
+        assert updater.database.fingerprint_of(2).rss == (-70.0, -40.0)
+
+    def test_statistics_preserved_through_update(self, db):
+        updater = FingerprintUpdater(db)
+        updater.observe(1, Fingerprint.from_values([-40, -70]), 1.0)
+        assert updater.database.std_of(2) == (0.0, 0.0)
+
+
+class TestConvergence:
+    def test_repeated_observations_converge_to_new_truth(self, db):
+        """Under persistent drift, the EMA walks to the new fingerprint."""
+        updater = FingerprintUpdater(db, learning_rate=0.2)
+        target = Fingerprint.from_values([-45.0, -65.0])
+        for _ in range(60):
+            updater.observe(1, target, 1.0)
+        final = updater.database.fingerprint_of(1)
+        assert final.rss[0] == pytest.approx(-45.0, abs=0.05)
+        assert final.rss[1] == pytest.approx(-65.0, abs=0.05)
+
+    def test_single_bad_fix_barely_moves_database(self, db):
+        """Poisoning resistance: one wrong confident fix shifts the entry
+        by at most learning_rate times the scan gap."""
+        updater = FingerprintUpdater(db, learning_rate=0.05)
+        updater.observe(1, Fingerprint.from_values([-90.0, -20.0]), 1.0)
+        moved = updater.database.fingerprint_of(1)
+        assert abs(moved.rss[0] - (-50.0)) <= 0.05 * 40.0 + 1e-9
+
+
+class TestAdaptiveLocalizer:
+    @pytest.fixture()
+    def world(self, db):
+        motion_db = MotionDatabase(
+            {(1, 2): PairStatistics(90.0, 5.0, 5.0, 0.3, 10)}
+        )
+        return db, motion_db
+
+    def test_behaves_like_moloc_initially(self, world):
+        db, motion_db = world
+        adaptive = AdaptiveMoLocLocalizer(db, motion_db, MoLocConfig(k=2))
+        estimate = adaptive.locate(Fingerprint.from_values([-50.5, -59.5]))
+        assert estimate.location_id == 1
+
+    def test_initial_fix_never_feeds_back(self, world):
+        """Fingerprint-only fixes can be confident twin mistakes."""
+        db, motion_db = world
+        adaptive = AdaptiveMoLocLocalizer(db, motion_db, MoLocConfig(k=2))
+        adaptive.locate(Fingerprint.from_values([-50.0, -60.0]))
+        assert adaptive.updater.updates_applied == 0
+
+    def test_confident_motion_fix_feeds_back(self, world):
+        db, motion_db = world
+        adaptive = AdaptiveMoLocLocalizer(
+            db, motion_db, MoLocConfig(k=2), learning_rate=0.5,
+            confidence_threshold=0.8,
+        )
+        adaptive.locate(Fingerprint.from_values([-50.0, -60.0]))
+        estimate = adaptive.locate(
+            Fingerprint.from_values([-68.0, -42.0]),
+            MotionMeasurement(90.0, 5.0),
+        )
+        assert estimate.location_id == 2
+        assert adaptive.updater.updates_applied == 1
+        updated = adaptive.fingerprint_db.fingerprint_of(2)
+        assert updated.rss[0] == pytest.approx(-69.0)  # halfway
+
+    def test_reset_keeps_learned_database(self, world):
+        db, motion_db = world
+        adaptive = AdaptiveMoLocLocalizer(
+            db, motion_db, MoLocConfig(k=2), learning_rate=0.5,
+            confidence_threshold=0.5,
+        )
+        adaptive.locate(Fingerprint.from_values([-50.0, -60.0]))
+        adaptive.locate(
+            Fingerprint.from_values([-68.0, -42.0]),
+            MotionMeasurement(90.0, 5.0),
+        )
+        learned = adaptive.fingerprint_db.fingerprint_of(2)
+        adaptive.reset()
+        assert adaptive.fingerprint_db.fingerprint_of(2) == learned

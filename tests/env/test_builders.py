@@ -1,0 +1,92 @@
+"""Tests for the grid floor-plan builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.builders import grid_floorplan
+from repro.env.geometry import Point, Segment
+from repro.env.office_hall import office_hall
+
+
+class TestGridFloorplan:
+    def test_basic_grid(self):
+        hall = grid_floorplan(3, 5, width=25.0, height=12.0)
+        assert len(hall.plan) == 15
+        assert hall.graph.is_connected()
+        # Full grid: 3*4 horizontal + 5*2 vertical edges.
+        assert len(hall.graph.edge_list) == 12 + 10
+
+    def test_row_major_numbering_top_first(self):
+        hall = grid_floorplan(2, 3, width=12.0, height=8.0)
+        assert hall.plan.position_of(1).y > hall.plan.position_of(4).y
+        assert hall.plan.position_of(1).x < hall.plan.position_of(3).x
+
+    def test_single_cell(self):
+        hall = grid_floorplan(1, 1, width=5.0, height=5.0)
+        assert len(hall.plan) == 1
+        assert hall.graph.edge_list == []
+
+    def test_blocked_hops_removed(self):
+        hall = grid_floorplan(
+            2, 2, width=10.0, height=10.0, blocked_hops=[(1, 2)]
+        )
+        assert not hall.graph.are_adjacent(1, 2)
+        assert hall.graph.are_adjacent(1, 3)
+
+    def test_non_adjacent_block_rejected(self):
+        with pytest.raises(ValueError, match="not grid-adjacent"):
+            grid_floorplan(2, 2, width=10, height=10, blocked_hops=[(1, 4)])
+
+    def test_unknown_block_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            grid_floorplan(2, 2, width=10, height=10, blocked_hops=[(1, 9)])
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            grid_floorplan(0, 3, width=10, height=10)
+        with pytest.raises(ValueError):
+            grid_floorplan(2, 2, width=-1, height=10)
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            grid_floorplan(2, 2, width=10, height=10, x_margin=6.0)
+
+    def test_wall_across_open_aisle_rejected(self):
+        wall = Segment(Point(0.0, 5.0), Point(10.0, 5.0))
+        with pytest.raises(ValueError, match="crosses a wall"):
+            grid_floorplan(2, 2, width=10.0, height=10.0, walls=[wall])
+
+    def test_wall_across_blocked_hop_allowed(self):
+        """Partition walls are legal exactly where hops are blocked."""
+        hall = grid_floorplan(
+            2,
+            2,
+            width=10.0,
+            height=10.0,
+            walls=[Segment(Point(1.5, 5.0), Point(3.5, 5.0))],
+            blocked_hops=[(1, 3)],
+        )
+        assert not hall.graph.are_adjacent(1, 3)
+
+    def test_ap_positions_carried(self):
+        hall = grid_floorplan(
+            2, 2, width=10, height=10, ap_positions=[Point(5, 5)]
+        )
+        assert hall.plan.ap_positions == (Point(5, 5),)
+
+    def test_reproduces_office_hall_geometry(self):
+        """The builder with the paper's parameters matches office_hall."""
+        built = grid_floorplan(
+            4,
+            7,
+            width=40.8,
+            height=16.0,
+            x_margin=3.4,
+            y_margin=2.0,
+            blocked_hops=[(10, 17), (12, 19)],
+        )
+        reference = office_hall()
+        for lid in reference.plan.location_ids:
+            assert built.plan.position_of(lid) == reference.plan.position_of(lid)
+        assert built.graph.edge_list == reference.graph.edge_list

@@ -1,0 +1,138 @@
+"""Tests for the floor-plan model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.floorplan import FloorPlan, ReferenceLocation
+from repro.env.geometry import Point, Segment
+
+
+def simple_plan(**overrides) -> FloorPlan:
+    defaults = dict(
+        width=10.0,
+        height=8.0,
+        reference_locations=[
+            ReferenceLocation(1, Point(2, 2)),
+            ReferenceLocation(2, Point(8, 2)),
+            ReferenceLocation(3, Point(2, 6)),
+        ],
+        walls=[Segment(Point(5, 0), Point(5, 4))],
+        ap_positions=[Point(1, 1), Point(9, 7)],
+    )
+    defaults.update(overrides)
+    return FloorPlan(**defaults)
+
+
+class TestConstruction:
+    def test_dimensions_must_be_positive(self):
+        with pytest.raises(ValueError):
+            simple_plan(width=0.0)
+        with pytest.raises(ValueError):
+            simple_plan(height=-1.0)
+
+    def test_duplicate_location_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            simple_plan(
+                reference_locations=[
+                    ReferenceLocation(1, Point(1, 1)),
+                    ReferenceLocation(1, Point(2, 2)),
+                ]
+            )
+
+    def test_location_outside_bounds_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            simple_plan(
+                reference_locations=[ReferenceLocation(1, Point(11, 1))]
+            )
+
+    def test_non_positive_location_id_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceLocation(0, Point(1, 1))
+
+
+class TestLocationQueries:
+    def test_location_ids_sorted(self):
+        assert simple_plan().location_ids == [1, 2, 3]
+
+    def test_len_and_contains(self):
+        plan = simple_plan()
+        assert len(plan) == 3
+        assert 2 in plan
+        assert 99 not in plan
+
+    def test_unknown_location_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            simple_plan().location(99)
+
+    def test_position_of(self):
+        assert simple_plan().position_of(2) == Point(8, 2)
+
+    def test_distance_between(self):
+        assert simple_plan().distance_between(1, 2) == pytest.approx(6.0)
+
+    def test_nearest_location(self):
+        plan = simple_plan()
+        assert plan.nearest_location(Point(7.5, 2.5)).location_id == 2
+
+    def test_nearest_ties_break_low_id(self):
+        plan = FloorPlan(
+            width=10,
+            height=10,
+            reference_locations=[
+                ReferenceLocation(1, Point(2, 5)),
+                ReferenceLocation(2, Point(8, 5)),
+            ],
+        )
+        assert plan.nearest_location(Point(5, 5)).location_id == 1
+
+    def test_nearest_on_empty_plan_raises(self):
+        plan = FloorPlan(width=5, height=5, reference_locations=[])
+        with pytest.raises(ValueError):
+            plan.nearest_location(Point(1, 1))
+
+
+class TestSpatialQueries:
+    def test_contains_boundary_inclusive(self):
+        plan = simple_plan()
+        assert plan.contains(Point(0, 0))
+        assert plan.contains(Point(10, 8))
+        assert not plan.contains(Point(10.01, 4))
+
+    def test_wall_count_blocked_path(self):
+        plan = simple_plan()
+        # Path from (2,2) to (8,2) crosses the wall at x=5 (wall spans y 0..4).
+        assert plan.wall_count_between(Point(2, 2), Point(8, 2)) == 1
+
+    def test_wall_count_clear_path(self):
+        plan = simple_plan()
+        # Path at y=6 passes above the wall.
+        assert plan.wall_count_between(Point(2, 6), Point(8, 6)) == 0
+
+    def test_line_of_sight(self):
+        plan = simple_plan()
+        assert not plan.has_line_of_sight(Point(2, 2), Point(8, 2))
+        assert plan.has_line_of_sight(Point(2, 6), Point(8, 6))
+
+
+class TestApSelection:
+    def test_all_aps_by_default(self):
+        assert len(simple_plan().selected_aps()) == 2
+
+    def test_prefix_selection(self):
+        plan = simple_plan()
+        assert plan.selected_aps(1) == (Point(1, 1),)
+
+    def test_too_many_aps_rejected(self):
+        with pytest.raises(ValueError):
+            simple_plan().selected_aps(3)
+
+    def test_zero_aps_rejected(self):
+        with pytest.raises(ValueError):
+            simple_plan().selected_aps(0)
+
+
+def test_repr_mentions_name_and_counts():
+    text = repr(simple_plan())
+    assert "3 locations" in text
+    assert "1 walls" in text

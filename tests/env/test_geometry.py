@@ -1,0 +1,213 @@
+"""Unit and property tests for the geometry primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.env.geometry import (
+    Point,
+    Segment,
+    bearing_between,
+    bearing_difference,
+    circular_mean,
+    circular_std,
+    normalize_bearing,
+    polyline_length,
+    reverse_bearing,
+    segments_intersect,
+)
+
+finite_coords = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+bearings = st.floats(
+    min_value=-720.0, max_value=720.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, -1.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+    def test_iter_and_tuple(self):
+        assert tuple(Point(1.5, 2.5)) == (1.5, 2.5)
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    @given(finite_coords, finite_coords, finite_coords, finite_coords)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite_coords, finite_coords, finite_coords, finite_coords)
+    def test_distance_non_negative(self, x1, y1, x2, y2):
+        assert Point(x1, y1).distance_to(Point(x2, y2)) >= 0.0
+
+
+class TestBearings:
+    @pytest.mark.parametrize(
+        "target, expected",
+        [
+            (Point(0, 1), 0.0),  # north
+            (Point(1, 0), 90.0),  # east
+            (Point(0, -1), 180.0),  # south
+            (Point(-1, 0), 270.0),  # west
+            (Point(1, 1), 45.0),
+        ],
+    )
+    def test_compass_convention(self, target, expected):
+        assert bearing_between(Point(0, 0), target) == pytest.approx(expected)
+
+    def test_coincident_points_raise(self):
+        with pytest.raises(ValueError):
+            bearing_between(Point(1, 1), Point(1, 1))
+
+    @given(bearings)
+    def test_normalize_range(self, angle):
+        normalized = normalize_bearing(angle)
+        assert 0.0 <= normalized < 360.0
+
+    @given(bearings)
+    def test_reverse_twice_is_identity(self, angle):
+        assert reverse_bearing(reverse_bearing(angle)) == pytest.approx(
+            normalize_bearing(angle), abs=1e-9
+        )
+
+    @given(bearings, bearings)
+    def test_difference_symmetric_and_bounded(self, a, b):
+        d = bearing_difference(a, b)
+        assert 0.0 <= d <= 180.0
+        assert d == pytest.approx(bearing_difference(b, a))
+
+    def test_difference_wraps_around(self):
+        assert bearing_difference(350.0, 10.0) == pytest.approx(20.0)
+
+    @given(bearings)
+    def test_reverse_is_180_away(self, angle):
+        assert bearing_difference(angle, reverse_bearing(angle)) == pytest.approx(
+            180.0
+        )
+
+
+class TestCircularStatistics:
+    def test_mean_of_single_bearing(self):
+        assert circular_mean([42.0]) == pytest.approx(42.0)
+
+    def test_mean_handles_wraparound(self):
+        assert circular_mean([350.0, 10.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mean_of_cluster(self):
+        assert circular_mean([88.0, 90.0, 92.0]) == pytest.approx(90.0)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            circular_mean([])
+
+    def test_opposed_bearings_raise(self):
+        with pytest.raises(ValueError):
+            circular_mean([0.0, 180.0])
+
+    def test_std_of_identical_bearings_is_zero(self):
+        assert circular_std([77.0, 77.0, 77.0]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_std_matches_linear_for_tight_cluster(self):
+        values = [10.0, 12.0, 8.0, 11.0, 9.0]
+        linear_std = math.sqrt(
+            sum((v - 10.0) ** 2 for v in values) / len(values)
+        )
+        assert circular_std(values) == pytest.approx(linear_std, rel=0.05)
+
+    def test_std_wraparound_cluster_is_small(self):
+        assert circular_std([358.0, 0.0, 2.0]) < 5.0
+
+    def test_empty_std_raises(self):
+        with pytest.raises(ValueError):
+            circular_std([])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=359.0), min_size=1, max_size=20))
+    def test_mean_in_range(self, values):
+        try:
+            mean = circular_mean(values)
+        except ValueError:
+            return  # opposed bearings — legitimately undefined
+        assert 0.0 <= mean < 360.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=359.0),
+        st.lists(
+            st.floats(min_value=-5.0, max_value=5.0), min_size=1, max_size=20
+        ),
+    )
+    def test_mean_of_tight_cluster_near_center(self, center, deltas):
+        values = [normalize_bearing(center + d) for d in deltas]
+        mean = circular_mean(values)
+        assert bearing_difference(mean, center) <= 5.0 + 1e-6
+
+
+class TestSegments:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length == pytest.approx(5.0)
+
+    def test_crossing_segments_intersect(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        assert segments_intersect(a, b)
+        assert a.intersects(b)
+
+    def test_parallel_segments_do_not_intersect(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(0, 1), Point(2, 1))
+        assert not segments_intersect(a, b)
+
+    def test_touching_endpoints_intersect(self):
+        a = Segment(Point(0, 0), Point(1, 1))
+        b = Segment(Point(1, 1), Point(2, 0))
+        assert segments_intersect(a, b)
+
+    def test_collinear_overlapping(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(1, 0), Point(3, 0))
+        assert segments_intersect(a, b)
+
+    def test_collinear_disjoint(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(2, 0), Point(3, 0))
+        assert not segments_intersect(a, b)
+
+    def test_t_junction(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(1, -1), Point(1, 0))
+        assert segments_intersect(a, b)
+
+    @given(
+        finite_coords, finite_coords, finite_coords, finite_coords,
+        finite_coords, finite_coords, finite_coords, finite_coords,
+    )
+    def test_intersection_symmetric(self, ax, ay, bx, by, cx, cy, dx, dy):
+        s1 = Segment(Point(ax, ay), Point(bx, by))
+        s2 = Segment(Point(cx, cy), Point(dx, dy))
+        assert segments_intersect(s1, s2) == segments_intersect(s2, s1)
+
+
+class TestPolyline:
+    def test_empty_polyline(self):
+        assert polyline_length([]) == 0.0
+
+    def test_single_point(self):
+        assert polyline_length([Point(1, 1)]) == 0.0
+
+    def test_l_shaped(self):
+        points = [Point(0, 0), Point(3, 0), Point(3, 4)]
+        assert polyline_length(points) == pytest.approx(7.0)

@@ -1,0 +1,106 @@
+"""Tests for the paper's office-hall environment (Fig. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.geometry import bearing_difference
+from repro.env.office_hall import GRID_COLS, GRID_ROWS, office_hall
+
+
+class TestDimensions:
+    def test_paper_dimensions(self, hall):
+        assert hall.plan.width == pytest.approx(40.8)
+        assert hall.plan.height == pytest.approx(16.0)
+
+    def test_28_reference_locations(self, hall):
+        assert len(hall.plan) == GRID_ROWS * GRID_COLS == 28
+        assert hall.plan.location_ids == list(range(1, 29))
+
+    def test_six_ap_sites(self, hall):
+        assert len(hall.plan.ap_positions) == 6
+
+    def test_aps_inside_plan(self, hall):
+        for ap in hall.plan.ap_positions:
+            assert hall.plan.contains(ap)
+
+
+class TestGridNumbering:
+    def test_row_major_ids(self, hall):
+        """IDs 1..7 on the top row, 22..28 on the bottom (Fig. 5)."""
+        top_left = hall.plan.position_of(1)
+        top_right = hall.plan.position_of(7)
+        bottom_left = hall.plan.position_of(22)
+        assert top_left.y == pytest.approx(top_right.y)
+        assert top_left.x < top_right.x
+        assert bottom_left.y < top_left.y
+        assert bottom_left.x == pytest.approx(top_left.x)
+
+    def test_rows_evenly_spaced(self, hall):
+        ys = sorted({hall.plan.position_of(i).y for i in range(1, 29)}, reverse=True)
+        assert len(ys) == GRID_ROWS
+        gaps = [a - b for a, b in zip(ys, ys[1:])]
+        assert all(g == pytest.approx(gaps[0]) for g in gaps)
+
+    def test_columns_evenly_spaced(self, hall):
+        xs = sorted({hall.plan.position_of(i).x for i in range(1, 29)})
+        assert len(xs) == GRID_COLS
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        assert all(g == pytest.approx(gaps[0]) for g in gaps)
+
+
+class TestAisleGraph:
+    def test_connected(self, hall):
+        assert hall.graph.is_connected()
+
+    def test_blocked_hops_are_not_adjacent(self, hall):
+        """Partition boards sever 10-17 and 12-19 (consistency principle)."""
+        assert not hall.graph.are_adjacent(10, 17)
+        assert not hall.graph.are_adjacent(12, 19)
+
+    def test_blocked_hops_have_no_line_of_sight(self, hall):
+        for i, j in ((10, 17), (12, 19)):
+            assert not hall.plan.has_line_of_sight(
+                hall.plan.position_of(i), hall.plan.position_of(j)
+            )
+
+    def test_open_grid_hops_are_adjacent(self, hall):
+        assert hall.graph.are_adjacent(1, 2)
+        assert hall.graph.are_adjacent(1, 8)
+        assert hall.graph.are_adjacent(9, 16)
+        assert hall.graph.are_adjacent(27, 28)
+
+    def test_edge_count(self, hall):
+        """Full 4x7 grid has 45 edges; two vertical hops are blocked."""
+        horizontal = GRID_ROWS * (GRID_COLS - 1)
+        vertical = GRID_COLS * (GRID_ROWS - 1)
+        assert len(hall.graph.edge_list) == horizontal + vertical - 2 == 43
+
+    def test_no_diagonal_edges(self, hall):
+        for i, j in hall.graph.edge_list:
+            row_i, col_i = divmod(i - 1, GRID_COLS)
+            row_j, col_j = divmod(j - 1, GRID_COLS)
+            assert abs(row_i - row_j) + abs(col_i - col_j) == 1
+
+    def test_hop_bearings_are_cardinal(self, hall):
+        """Grid hops run along the axes: bearings are multiples of 90."""
+        for i, j in hall.graph.edge_list:
+            bearing = hall.graph.hop_bearing(i, j)
+            assert min(
+                bearing_difference(bearing, c) for c in (0.0, 90.0, 180.0, 270.0)
+            ) == pytest.approx(0.0, abs=1e-6)
+
+    def test_detour_around_partition(self, hall):
+        """The blocked 10-17 hop forces a two-extra-hop detour."""
+        path = hall.graph.shortest_path(10, 17)
+        assert len(path) >= 4
+        assert path[0] == 10 and path[-1] == 17
+
+
+class TestDeterminism:
+    def test_two_builds_are_identical(self):
+        a, b = office_hall(), office_hall()
+        assert a.plan.location_ids == b.plan.location_ids
+        assert a.graph.edge_list == b.graph.edge_list
+        for lid in a.plan.location_ids:
+            assert a.plan.position_of(lid) == b.plan.position_of(lid)

@@ -1,0 +1,62 @@
+"""Tests for the ASCII floor-plan renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.render import render_floorplan
+
+
+class TestRendering:
+    def test_all_location_ids_drawn(self, hall):
+        drawing = render_floorplan(hall.plan)
+        # Single-digit ids can collide with digits of larger ids, so test
+        # the unambiguous two-digit ones.
+        for location_id in (10, 15, 21, 28):
+            assert str(location_id) in drawing
+
+    def test_aps_drawn(self, hall):
+        drawing = render_floorplan(hall.plan)
+        assert drawing.count("*") == len(hall.plan.ap_positions)
+
+    def test_aps_can_be_hidden(self, hall):
+        drawing = render_floorplan(hall.plan, show_aps=False)
+        assert "*" not in drawing
+
+    def test_walls_drawn(self, hall):
+        assert "#" in render_floorplan(hall.plan)
+
+    def test_path_footsteps(self, hall):
+        with_path = render_floorplan(hall.plan, path=[1, 2, 9])
+        without = render_floorplan(hall.plan)
+        assert with_path.count(".") > without.count(".")
+
+    def test_bordered(self, hall):
+        lines = render_floorplan(hall.plan, width_chars=60).splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        assert all(line.startswith(("|", "+")) for line in lines)
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_width_respected(self, hall):
+        lines = render_floorplan(hall.plan, width_chars=50).splitlines()
+        assert len(lines[0]) == 50
+
+    def test_width_validation(self, hall):
+        with pytest.raises(ValueError):
+            render_floorplan(hall.plan, width_chars=10)
+
+    def test_unknown_path_location(self, hall):
+        with pytest.raises(KeyError):
+            render_floorplan(hall.plan, path=[1, 99])
+
+    def test_tall_narrow_plan(self):
+        from repro.env.floorplan import FloorPlan, ReferenceLocation
+        from repro.env.geometry import Point
+
+        plan = FloorPlan(
+            width=4.0,
+            height=30.0,
+            reference_locations=[ReferenceLocation(1, Point(2, 15))],
+        )
+        drawing = render_floorplan(plan, width_chars=24)
+        assert "1" in drawing

@@ -1,0 +1,146 @@
+"""Integration: the sanitation pipeline against adversarial contributors.
+
+Crowdsourcing accepts data from anyone, including users whose sensors or
+profiles are badly wrong.  These tests mix such contributors into the
+training pool and check that the sanitized motion database — and the
+localization accuracy built on it — holds up, which is the operational
+promise of Sec. IV-B2's filtering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.builder import MotionDatabaseBuilder
+from repro.core.localizer import MoLocLocalizer
+from repro.env.geometry import bearing_difference
+from repro.sim.crowdsource import observations_from_traces
+from repro.sim.evaluation import evaluate_localizer
+from repro.sim.failures import inject_grip_shift, inject_step_length_bias
+
+
+def _db_errors(motion_db, graph):
+    directions, offsets = [], []
+    for i, j in motion_db.pairs:
+        if not graph.are_adjacent(i, j):
+            continue
+        entry = motion_db.entry(i, j)
+        directions.append(
+            bearing_difference(entry.direction_mean_deg, graph.hop_bearing(i, j))
+        )
+        offsets.append(abs(entry.offset_mean_m - graph.hop_distance(i, j)))
+    return np.array(directions), np.array(offsets)
+
+
+def _build_db(study, traces):
+    observations = observations_from_traces(traces, study.fingerprint_db(6))
+    builder = MotionDatabaseBuilder(study.scenario.plan, study.config)
+    builder.add_observations(observations)
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def clean_errors(small_study):
+    motion_db, _ = small_study.motion_db(6)
+    return _db_errors(motion_db, small_study.scenario.graph)
+
+
+class TestBadStepLengthContributor:
+    def test_small_minority_absorbed(self, small_study, clean_errors):
+        """One bad contributor in ten (step length believed 40% long) is
+        absorbed: database offset errors stay near the clean level."""
+        traces = list(small_study.training_traces)
+        poisoned = [
+            inject_step_length_bias(t, 1.4) if k % 10 == 0 else t
+            for k, t in enumerate(traces)
+        ]
+        motion_db, _ = _build_db(small_study, poisoned)
+        _, offsets = _db_errors(motion_db, small_study.scenario.graph)
+        assert float(np.median(offsets)) < 0.45
+
+    def test_large_minority_damage_bounded_by_coarse_gate(
+        self, small_study, clean_errors
+    ):
+        """A third of the pool biased 40% long: the 1.4x offsets land
+        *inside* the 3 m coarse gate (2.3 m off on 5.7 m hops), so they
+        shift the means — but the gate bounds the shift well below both
+        its own threshold and the hop length.  Sanitation trades a
+        bounded bias for never discarding a plausible majority."""
+        traces = list(small_study.training_traces)
+        poisoned = [
+            inject_step_length_bias(t, 1.4) if k % 3 == 0 else t
+            for k, t in enumerate(traces)
+        ]
+        motion_db, report = _build_db(small_study, poisoned)
+        _, offsets = _db_errors(motion_db, small_study.scenario.graph)
+        threshold = small_study.config.coarse_offset_threshold_m
+        assert float(offsets.max()) < threshold / 2.0
+        assert report.coarse_rejected > 0
+
+    def test_localization_survives(self, small_study):
+        traces = list(small_study.training_traces)
+        poisoned = [
+            inject_step_length_bias(t, 1.4) if k % 3 == 0 else t
+            for k, t in enumerate(traces)
+        ]
+        motion_db, _ = _build_db(small_study, poisoned)
+        localizer = MoLocLocalizer(
+            small_study.fingerprint_db(6), motion_db, small_study.config
+        )
+        result = evaluate_localizer(
+            localizer, small_study.test_traces, small_study.scenario.plan
+        )
+        clean = small_study.motion_db(6)[0]
+        clean_result = evaluate_localizer(
+            MoLocLocalizer(
+                small_study.fingerprint_db(6), clean, small_study.config
+            ),
+            small_study.test_traces,
+            small_study.scenario.plan,
+        )
+        assert result.accuracy > clean_result.accuracy - 0.15
+
+
+class TestSpunCompassContributor:
+    def test_db_direction_quality_preserved(self, small_study, clean_errors):
+        """A contributor who re-grips mid-walk (stale calibration, 120-deg
+        rotation) contributes garbage directions; the coarse filter
+        discards them wholesale."""
+        traces = list(small_study.training_traces)
+        poisoned = [
+            inject_grip_shift(t, 1, 120.0) if k % 4 == 0 else t
+            for k, t in enumerate(traces)
+        ]
+        motion_db, report = _build_db(small_study, poisoned)
+        directions, _ = _db_errors(motion_db, small_study.scenario.graph)
+        clean_directions, _ = clean_errors
+        assert float(np.median(directions)) < float(
+            np.median(clean_directions)
+        ) + 2.0
+        assert float(directions.max()) < 20.0
+        # The rotated measurements mostly died at the coarse gate.
+        clean_report = small_study.motion_db(6)[1]
+        assert report.coarse_rejected > clean_report.coarse_rejected
+
+
+class TestMassivePoisoning:
+    def test_majority_poisoning_degrades_coverage_not_correctness(
+        self, small_study
+    ):
+        """Even with 3 of 4 contributions rotated, surviving entries stay
+        correct — sanitation trades coverage for correctness."""
+        traces = list(small_study.training_traces)
+        poisoned = [
+            inject_grip_shift(t, 1, 150.0) if k % 4 != 0 else t
+            for k, t in enumerate(traces)
+        ]
+        motion_db, _ = _build_db(small_study, poisoned)
+        directions, offsets = _db_errors(motion_db, small_study.scenario.graph)
+        if len(directions):
+            assert float(np.median(directions)) < 10.0
+        # Coverage may shrink but correctness of what remains holds.
+        clean_db, _ = small_study.motion_db(6)
+        assert len(motion_db) <= len(clean_db) + 5

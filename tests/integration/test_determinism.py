@@ -1,0 +1,109 @@
+"""Integration tests: reproducibility of the full pipeline.
+
+Every experiment must be a pure function of its seed — the property that
+makes the benchmark harness's numbers reproducible run over run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MoLocConfig
+from repro.sim.crowdsource import TraceGenerationConfig, generate_traces
+from repro.sim.experiments import Study, evaluate_systems
+from repro.sim.scenario import build_scenario
+
+
+def _mini_study(seed: int) -> Study:
+    scenario = build_scenario(
+        seed=seed, samples_per_location=20, training_samples=14
+    )
+    config = TraceGenerationConfig(n_hops=8)
+    training = generate_traces(
+        scenario, 30, np.random.default_rng([seed, 10]), config=config
+    )
+    test = generate_traces(
+        scenario,
+        6,
+        np.random.default_rng([seed, 11]),
+        config=config,
+        start_time_s=3600.0,
+    )
+    return Study(scenario=scenario, training_traces=training, test_traces=test)
+
+
+class TestSeedDeterminism:
+    def test_identical_seeds_identical_results(self):
+        results_a = evaluate_systems(_mini_study(21), n_aps=5)
+        results_b = evaluate_systems(_mini_study(21), n_aps=5)
+        for name in ("moloc", "wifi"):
+            errors_a = results_a[name].errors
+            errors_b = results_b[name].errors
+            np.testing.assert_array_equal(errors_a, errors_b)
+
+    def test_different_seeds_differ(self):
+        results_a = evaluate_systems(_mini_study(21), n_aps=5)
+        results_b = evaluate_systems(_mini_study(22), n_aps=5)
+        assert not np.array_equal(
+            results_a["wifi"].errors, results_b["wifi"].errors
+        )
+
+    def test_motion_db_deterministic(self):
+        db_a, report_a = _mini_study(33).motion_db(6)
+        db_b, report_b = _mini_study(33).motion_db(6)
+        assert db_a.pairs == db_b.pairs
+        assert report_a.coarse_rejected == report_b.coarse_rejected
+        for pair in db_a.pairs:
+            ea, eb = db_a.entry(*pair), db_b.entry(*pair)
+            assert ea.direction_mean_deg == eb.direction_mean_deg
+            assert ea.offset_mean_m == eb.offset_mean_m
+
+    def test_localizer_stateless_across_evaluations(self):
+        """Evaluating twice on the same study gives identical results
+        (the evaluator must reset per trace)."""
+        study = _mini_study(44)
+        first = evaluate_systems(study, n_aps=6)
+        second = evaluate_systems(study, n_aps=6)
+        np.testing.assert_array_equal(
+            first["moloc"].errors, second["moloc"].errors
+        )
+
+
+def _adequate_study(seed: int) -> Study:
+    """A study large enough for a well-covered motion database.
+
+    The deliberately tiny ``_mini_study`` is fine for equality checks but
+    under-trains the motion database (MoLoc degrades on sparse coverage),
+    so the robustness check needs this size.
+    """
+    scenario = build_scenario(seed=seed)
+    config = TraceGenerationConfig(n_hops=12)
+    training = generate_traces(
+        scenario, 100, np.random.default_rng([seed, 10]), config=config
+    )
+    test = generate_traces(
+        scenario,
+        8,
+        np.random.default_rng([seed, 11]),
+        config=config,
+        start_time_s=3600.0,
+    )
+    return Study(scenario=scenario, training_traces=training, test_traces=test)
+
+
+class TestRobustnessAcrossSeeds:
+    def test_moloc_wins_on_every_seed(self):
+        """The headline result is not a single-seed artifact."""
+        for seed in (101, 202, 303):
+            results = evaluate_systems(_adequate_study(seed), n_aps=6)
+            assert results["moloc"].accuracy > results["wifi"].accuracy, (
+                f"MoLoc lost on seed {seed}"
+            )
+
+    def test_sparse_motion_db_is_the_known_failure_mode(self):
+        """Documented limitation: with an under-trained motion database
+        (here ~25% aisle coverage) MoLoc can do *worse* than plain WiFi —
+        wrong pairs attract probability mass.  This guards the docs claim."""
+        study = _mini_study(101)
+        _, report = study.motion_db(6)
+        assert report.pairs_stored < 20  # genuinely sparse

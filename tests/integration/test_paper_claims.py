@@ -1,0 +1,123 @@
+"""Integration tests: the paper's headline claims, end to end.
+
+These run MoLoc against the WiFi baseline on the shared (reduced-volume)
+study and assert the *shape* of the paper's results:
+
+* Sec. VI-B1 / Fig. 6 — the crowdsourced motion database is valid:
+  direction and offset errors far below the sanitation thresholds, max
+  offset error below a step length.
+* Sec. VI-B2 / Fig. 7 — MoLoc substantially outperforms WiFi
+  fingerprinting at every AP count; accuracy grows with AP count.
+* Sec. VI-B3 / Fig. 8 — the improvement concentrates at the
+  fingerprint-twin locations.
+* Sec. VI-B4 / Table I — MoLoc converges after an erroneous initial
+  estimate and is highly accurate afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.evaluation import ambiguous_location_ids, convergence_statistics
+from repro.sim.experiments import (
+    evaluate_systems,
+    large_error_comparison,
+    motion_database_errors,
+)
+
+
+class TestMotionDatabaseValidity:
+    def test_direction_errors_small(self, small_study):
+        directions, _, _ = motion_database_errors(small_study)
+        assert float(np.median(directions)) < 6.0
+        assert max(directions) < 20.0
+
+    def test_offset_errors_below_step_length(self, small_study):
+        """Paper: even the max offset error (0.46 m) is below a step."""
+        _, offsets, _ = motion_database_errors(small_study)
+        assert float(np.median(offsets)) < 0.35
+        assert max(offsets) < 0.7
+
+    def test_sanitation_keeps_spurious_pairs_rare(self, small_study):
+        directions, _, spurious = motion_database_errors(small_study)
+        assert spurious <= max(2, len(directions) // 10)
+
+    def test_good_aisle_coverage(self, small_study):
+        directions, _, _ = motion_database_errors(small_study)
+        total_hops = len(small_study.scenario.graph.edge_list)
+        assert len(directions) >= 0.8 * total_hops
+
+
+class TestOverallAccuracy:
+    @pytest.fixture(scope="class")
+    def results_by_ap(self, small_study):
+        return {
+            n_aps: evaluate_systems(small_study, n_aps) for n_aps in (4, 5, 6)
+        }
+
+    def test_moloc_beats_wifi_at_every_ap_count(self, results_by_ap):
+        for n_aps, results in results_by_ap.items():
+            assert results["moloc"].accuracy > results["wifi"].accuracy, (
+                f"MoLoc lost at {n_aps} APs"
+            )
+
+    def test_moloc_gain_is_large(self, results_by_ap):
+        """Paper: MoLoc roughly doubles accuracy; require >= 1.3x here."""
+        for results in results_by_ap.values():
+            ratio = results["moloc"].accuracy / results["wifi"].accuracy
+            assert ratio > 1.3
+
+    def test_mean_error_reduced(self, results_by_ap):
+        for results in results_by_ap.values():
+            assert (
+                results["moloc"].mean_error_m < results["wifi"].mean_error_m
+            )
+
+    def test_accuracy_grows_with_ap_count(self, results_by_ap):
+        moloc = [results_by_ap[n]["moloc"].accuracy for n in (4, 5, 6)]
+        wifi = [results_by_ap[n]["wifi"].accuracy for n in (4, 5, 6)]
+        assert moloc[0] < moloc[2]
+        assert wifi[0] < wifi[2]
+
+    def test_moloc_sub_meter_mean_error_at_6_aps(self, results_by_ap):
+        """Paper abstract: mean localization error below 1 m (6 APs)."""
+        assert results_by_ap[6]["moloc"].mean_error_m < 1.5
+
+    def test_motion_actually_used(self, results_by_ap):
+        """Most non-initial fixes must have engaged motion matching."""
+        records = results_by_ap[6]["moloc"].records
+        non_initial = [r for r in records if not r.is_initial]
+        used = sum(r.used_motion for r in non_initial)
+        assert used / len(non_initial) > 0.9
+
+
+class TestLargeErrorLocations:
+    def test_fig8_improvement_concentrated_at_twins(self, small_study):
+        errors, ambiguous = large_error_comparison(small_study, n_aps=5)
+        assert ambiguous
+        moloc_mean = float(errors["moloc"].mean())
+        wifi_mean = float(errors["wifi"].mean())
+        assert wifi_mean - moloc_mean > 1.0
+
+    def test_twin_locations_match_known_geometry(self, small_study):
+        """Ambiguous locations include center-line-mirrored pairs."""
+        results = evaluate_systems(small_study, n_aps=4)
+        ambiguous = ambiguous_location_ids(results["wifi"])
+        # With 4 near-center-line APs, ambiguity is widespread at 4 APs.
+        assert len(ambiguous) >= 4
+
+
+class TestConvergence:
+    def test_table1_shape(self, small_study):
+        results = evaluate_systems(small_study, n_aps=6)
+        moloc = convergence_statistics(results["moloc"])
+        wifi = convergence_statistics(results["wifi"])
+        # MoLoc needs no more erroneous fixes than WiFi before converging...
+        assert (
+            moloc.mean_erroneous_localizations
+            <= wifi.mean_erroneous_localizations + 0.5
+        )
+        # ...and is far more accurate afterwards.
+        assert moloc.accuracy > wifi.accuracy + 0.15
+        assert moloc.mean_error_m < wifi.mean_error_m

@@ -1,0 +1,138 @@
+"""Cross-cutting system invariants on the paper-scale study.
+
+Relationships that must hold between the subsystems regardless of
+seeds or calibration — the contracts the architecture rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import WiFiFingerprintingLocalizer
+from repro.core.localizer import MoLocLocalizer
+from repro.sim.evaluation import evaluate_localizer
+from repro.sim.experiments import evaluate_systems
+
+
+class TestInitialFixEquivalence:
+    def test_moloc_first_fix_equals_wifi_nearest(self, small_study):
+        """MoLoc's first fix is fingerprint-only (Sec. V): the Eq. 4
+        argmax over the k nearest equals the Eq. 2 global nearest."""
+        fdb = small_study.fingerprint_db(6)
+        mdb, _ = small_study.motion_db(6)
+        moloc = MoLocLocalizer(fdb, mdb, small_study.config)
+        wifi = WiFiFingerprintingLocalizer(fdb)
+        for trace in small_study.test_traces[:15]:
+            moloc.reset()
+            assert (
+                moloc.locate(trace.initial_fingerprint).location_id
+                == wifi.locate(trace.initial_fingerprint).location_id
+            )
+
+
+class TestApCountMonotonicity:
+    def test_wifi_improves_with_aps(self, small_study):
+        """More APs cannot hurt the baseline on aggregate (Fig. 7 trend)."""
+        accuracies = [
+            evaluate_systems(small_study, n)["wifi"].accuracy for n in (4, 5, 6)
+        ]
+        assert accuracies[0] <= accuracies[1] + 0.03
+        assert accuracies[1] <= accuracies[2] + 0.03
+        assert accuracies[0] < accuracies[2]
+
+    def test_truncation_consistency(self, small_study):
+        """A 4-AP query against the 4-AP database equals truncating both
+        from 6 APs — the sweep machinery introduces no skew."""
+        full = small_study.fingerprint_db(6)
+        four = small_study.fingerprint_db(4)
+        trace = small_study.test_traces[0]
+        query6 = trace.initial_fingerprint
+        assert four.nearest(query6.truncated(4)) == four.nearest(
+            query6.truncated(4)
+        )
+        for lid in four.location_ids:
+            assert (
+                four.fingerprint_of(lid).rss
+                == full.fingerprint_of(lid).rss[:4]
+            )
+
+
+class TestErrorSemantics:
+    def test_zero_error_iff_accurate(self, small_study):
+        results = evaluate_systems(small_study, 5)
+        for result in results.values():
+            for record in result.records:
+                assert (record.error_m == 0.0) == record.is_accurate
+
+    def test_errors_bounded_by_hall_diagonal(self, small_study):
+        plan = small_study.scenario.plan
+        diagonal = (plan.width**2 + plan.height**2) ** 0.5
+        for result in evaluate_systems(small_study, 4).values():
+            assert result.max_error_m <= diagonal
+
+
+class TestEvidenceOrdering:
+    def test_fused_beats_each_evidence_alone(self, small_study):
+        """MoLoc (fused) beats RSS-only and motion-only at every AP count
+        on the adequately trained study."""
+        from repro.core.dead_reckoning import DeadReckoningLocalizer
+
+        plan = small_study.scenario.plan
+        for n_aps in (4, 5, 6):
+            fdb = small_study.fingerprint_db(n_aps)
+            mdb, _ = small_study.motion_db(n_aps)
+            fused = evaluate_localizer(
+                MoLocLocalizer(fdb, mdb, small_study.config),
+                small_study.test_traces,
+                plan,
+            )
+            rss_only = evaluate_localizer(
+                WiFiFingerprintingLocalizer(fdb), small_study.test_traces, plan
+            )
+            motion_only = evaluate_localizer(
+                DeadReckoningLocalizer(fdb, plan), small_study.test_traces, plan
+            )
+            assert fused.accuracy > rss_only.accuracy
+            assert fused.accuracy > motion_only.accuracy
+
+    def test_offline_never_below_online_minus_noise(self, small_study):
+        from repro.core.smoothing import ViterbiSmoother
+        from repro.sim.evaluation import evaluate_smoother
+
+        plan = small_study.scenario.plan
+        for n_aps in (4, 6):
+            fdb = small_study.fingerprint_db(n_aps)
+            mdb, _ = small_study.motion_db(n_aps)
+            online = evaluate_localizer(
+                MoLocLocalizer(fdb, mdb, small_study.config),
+                small_study.test_traces,
+                plan,
+            )
+            offline = evaluate_smoother(
+                ViterbiSmoother(fdb, mdb, small_study.config),
+                small_study.test_traces,
+                plan,
+            )
+            assert offline.accuracy >= online.accuracy - 0.02
+
+
+class TestMotionDbGraphConsistency:
+    def test_database_pairs_are_mostly_aisle_hops(self, small_study):
+        motion_db, _ = small_study.motion_db(6)
+        graph = small_study.scenario.graph
+        adjacent = sum(
+            1 for i, j in motion_db.pairs if graph.are_adjacent(i, j)
+        )
+        assert adjacent / len(motion_db.pairs) > 0.95
+
+    def test_offsets_match_graph_distances(self, small_study):
+        motion_db, _ = small_study.motion_db(6)
+        graph = small_study.scenario.graph
+        for i, j in motion_db.pairs:
+            if not graph.are_adjacent(i, j):
+                continue
+            entry = motion_db.entry(i, j)
+            assert entry.offset_mean_m == pytest.approx(
+                graph.hop_distance(i, j), abs=1.0
+            )

@@ -1,0 +1,115 @@
+"""Property-based round-trip tests: serialization over generated artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.io.serialize import (
+    fingerprint_db_from_dict,
+    fingerprint_db_to_dict,
+    motion_db_from_dict,
+    motion_db_to_dict,
+)
+
+rss = st.floats(min_value=-100.0, max_value=-20.0)
+
+
+@st.composite
+def fingerprint_databases(draw):
+    n_aps = draw(st.integers(min_value=1, max_value=6))
+    n_locations = draw(st.integers(min_value=1, max_value=8))
+    location_ids = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=100),
+            min_size=n_locations,
+            max_size=n_locations,
+            unique=True,
+        )
+    )
+    means = {}
+    for lid in location_ids:
+        values = draw(st.lists(rss, min_size=n_aps, max_size=n_aps))
+        means[lid] = Fingerprint.from_values(values)
+    return FingerprintDatabase(means)
+
+
+@st.composite
+def motion_databases(draw):
+    n_pairs = draw(st.integers(min_value=1, max_value=10))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=30),
+                st.integers(min_value=1, max_value=30),
+            ).filter(lambda p: p[0] < p[1]),
+            min_size=n_pairs,
+            max_size=n_pairs,
+            unique=True,
+        )
+    )
+    entries = {}
+    for pair in pairs:
+        entries[pair] = PairStatistics(
+            direction_mean_deg=draw(st.floats(min_value=0.0, max_value=359.9)),
+            direction_std_deg=draw(st.floats(min_value=0.1, max_value=60.0)),
+            offset_mean_m=draw(st.floats(min_value=0.1, max_value=30.0)),
+            offset_std_m=draw(st.floats(min_value=0.01, max_value=5.0)),
+            n_observations=draw(st.integers(min_value=1, max_value=500)),
+        )
+    return MotionDatabase(entries)
+
+
+class TestFingerprintDbProperties:
+    @given(fingerprint_databases())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_identity(self, database):
+        restored = fingerprint_db_from_dict(fingerprint_db_to_dict(database))
+        assert restored.location_ids == database.location_ids
+        assert restored.n_aps == database.n_aps
+        for lid in database.location_ids:
+            assert restored.fingerprint_of(lid) == database.fingerprint_of(lid)
+
+    @given(fingerprint_databases())
+    @settings(max_examples=20, deadline=None)
+    def test_payload_is_json_safe(self, database):
+        text = json.dumps(fingerprint_db_to_dict(database))
+        restored = fingerprint_db_from_dict(json.loads(text))
+        assert restored.location_ids == database.location_ids
+
+    @given(fingerprint_databases(), st.lists(rss, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_nearest_preserved(self, database, query_values):
+        query = Fingerprint.from_values(
+            (query_values * 6)[: database.n_aps]
+        )
+        restored = fingerprint_db_from_dict(fingerprint_db_to_dict(database))
+        assert restored.nearest(query) == database.nearest(query)
+
+
+class TestMotionDbProperties:
+    @given(motion_databases())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_identity(self, database):
+        restored = motion_db_from_dict(motion_db_to_dict(database))
+        assert restored.pairs == database.pairs
+        for pair in database.pairs:
+            assert restored.entry(*pair) == database.entry(*pair)
+
+    @given(motion_databases())
+    @settings(max_examples=20, deadline=None)
+    def test_reverse_entries_preserved(self, database):
+        restored = motion_db_from_dict(motion_db_to_dict(database))
+        for i, j in database.pairs:
+            assert restored.entry(j, i) == database.entry(j, i)
+
+    @given(motion_databases())
+    @settings(max_examples=20, deadline=None)
+    def test_payload_is_json_safe(self, database):
+        text = json.dumps(motion_db_to_dict(database))
+        restored = motion_db_from_dict(json.loads(text))
+        assert restored.pairs == database.pairs

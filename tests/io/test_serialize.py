@@ -1,0 +1,129 @@
+"""Round-trip tests for the persistence layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.io.serialize import (
+    FORMAT_VERSION,
+    fingerprint_db_from_dict,
+    fingerprint_db_to_dict,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    motion_db_from_dict,
+    motion_db_to_dict,
+    save_json,
+)
+
+
+class TestFloorPlanRoundTrip:
+    def test_office_hall_round_trip(self, hall):
+        restored = floorplan_from_dict(floorplan_to_dict(hall.plan))
+        assert restored.name == hall.plan.name
+        assert restored.width == hall.plan.width
+        assert restored.height == hall.plan.height
+        assert restored.location_ids == hall.plan.location_ids
+        for lid in hall.plan.location_ids:
+            assert restored.position_of(lid) == hall.plan.position_of(lid)
+        assert restored.walls == hall.plan.walls
+        assert restored.ap_positions == hall.plan.ap_positions
+
+    def test_wall_queries_preserved(self, hall):
+        restored = floorplan_from_dict(floorplan_to_dict(hall.plan))
+        a = hall.plan.position_of(10)
+        b = hall.plan.position_of(17)
+        assert restored.wall_count_between(a, b) == hall.plan.wall_count_between(a, b)
+
+    def test_wrong_kind_rejected(self, hall):
+        payload = floorplan_to_dict(hall.plan)
+        payload["kind"] = "something_else"
+        with pytest.raises(ValueError, match="expected"):
+            floorplan_from_dict(payload)
+
+    def test_wrong_version_rejected(self, hall):
+        payload = floorplan_to_dict(hall.plan)
+        payload["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            floorplan_from_dict(payload)
+
+
+class TestGraphRoundTrip:
+    def test_edges_preserved(self, hall):
+        restored = graph_from_dict(graph_to_dict(hall.graph), hall.plan)
+        assert restored.edge_list == hall.graph.edge_list
+
+    def test_hop_measurements_preserved(self, hall):
+        restored = graph_from_dict(graph_to_dict(hall.graph), hall.plan)
+        for i, j in hall.graph.edge_list[:5]:
+            assert restored.hop_distance(i, j) == pytest.approx(
+                hall.graph.hop_distance(i, j)
+            )
+            assert restored.hop_bearing(i, j) == pytest.approx(
+                hall.graph.hop_bearing(i, j)
+            )
+
+
+class TestFingerprintDbRoundTrip:
+    def test_with_statistics(self):
+        db = FingerprintDatabase.from_samples(
+            {1: [[-50, -60], [-52, -58]], 2: [[-70, -40], [-71, -41]]}
+        )
+        restored = fingerprint_db_from_dict(fingerprint_db_to_dict(db))
+        assert restored.location_ids == db.location_ids
+        assert restored.n_aps == db.n_aps
+        for lid in db.location_ids:
+            assert restored.fingerprint_of(lid) == db.fingerprint_of(lid)
+            assert restored.std_of(lid) == db.std_of(lid)
+
+    def test_without_statistics(self):
+        db = FingerprintDatabase({1: Fingerprint.from_values([-50.0])})
+        restored = fingerprint_db_from_dict(fingerprint_db_to_dict(db))
+        with pytest.raises(KeyError):
+            restored.std_of(1)
+
+    def test_survey_database_round_trip(self, scenario):
+        db = scenario.survey.database
+        restored = fingerprint_db_from_dict(fingerprint_db_to_dict(db))
+        query = scenario.survey.holdout_at(5)[0]
+        assert restored.nearest(query) == db.nearest(query)
+
+
+class TestMotionDbRoundTrip:
+    def test_entries_preserved(self):
+        db = MotionDatabase(
+            {
+                (1, 2): PairStatistics(90.0, 4.0, 5.7, 0.2, 12),
+                (2, 9): PairStatistics(181.5, 3.0, 4.0, 0.15, 30),
+            }
+        )
+        restored = motion_db_from_dict(motion_db_to_dict(db))
+        assert restored.pairs == db.pairs
+        for pair in db.pairs:
+            a, b = restored.entry(*pair), db.entry(*pair)
+            assert a == b
+
+    def test_reverse_lookup_preserved(self):
+        db = MotionDatabase({(1, 2): PairStatistics(90.0, 4.0, 5.7, 0.2, 12)})
+        restored = motion_db_from_dict(motion_db_to_dict(db))
+        assert restored.entry(2, 1).direction_mean_deg == pytest.approx(270.0)
+
+
+class TestFiles:
+    def test_save_and_load(self, hall, tmp_path):
+        path = tmp_path / "nested" / "plan.json"
+        save_json(floorplan_to_dict(hall.plan), path)
+        assert path.exists()
+        restored = floorplan_from_dict(load_json(path))
+        assert restored.location_ids == hall.plan.location_ids
+
+    def test_output_is_stable(self, hall, tmp_path):
+        """Serialization is deterministic (sorted keys)."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_json(floorplan_to_dict(hall.plan), a)
+        save_json(floorplan_to_dict(hall.plan), b)
+        assert a.read_text() == b.read_text()

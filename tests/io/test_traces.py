@@ -1,0 +1,123 @@
+"""Round-trip tests for trace serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.serialize import load_json, save_json
+from repro.io.traces import (
+    trace_from_dict,
+    trace_to_dict,
+    traces_from_dict,
+    traces_to_dict,
+)
+from repro.sim.evaluation import evaluate_localizer
+
+
+@pytest.fixture()
+def trace(small_study):
+    return small_study.test_traces[0]
+
+
+class TestTraceRoundTrip:
+    def test_metadata_preserved(self, trace):
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.user == trace.user
+        assert restored.true_start == trace.true_start
+        assert restored.true_locations == trace.true_locations
+        assert restored.placement_offset_estimate_deg == pytest.approx(
+            trace.placement_offset_estimate_deg
+        )
+        assert restored.estimated_step_length_m == pytest.approx(
+            trace.estimated_step_length_m
+        )
+
+    def test_fingerprints_preserved(self, trace):
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.initial_fingerprint == trace.initial_fingerprint
+        for original, rebuilt in zip(trace.hops, restored.hops):
+            assert rebuilt.arrival_fingerprint == original.arrival_fingerprint
+
+    def test_sensor_streams_preserved(self, trace):
+        restored = trace_from_dict(trace_to_dict(trace))
+        for original, rebuilt in zip(trace.hops, restored.hops):
+            np.testing.assert_allclose(
+                rebuilt.imu.accel.samples, original.imu.accel.samples
+            )
+            np.testing.assert_allclose(
+                rebuilt.imu.compass_readings, original.imu.compass_readings
+            )
+            assert rebuilt.imu.rate_hz == original.imu.rate_hz
+
+    def test_gyro_stream_round_trips(self, rng):
+        from repro.env.geometry import Point
+        from repro.motion.trace import TraceHop, WalkTrace
+        from repro.core.fingerprint import Fingerprint
+        from repro.sensors.accelerometer import AccelerometerModel
+        from repro.sensors.compass import CompassModel
+        from repro.sensors.gyroscope import GyroscopeModel
+        from repro.sensors.imu import ImuModel
+
+        imu = ImuModel(AccelerometerModel(), CompassModel(), GyroscopeModel())
+        segment = imu.record_walk(Point(0, 0), Point(4, 0), 3.0, 0.5, rng)
+        trace = WalkTrace(
+            user="g",
+            true_start=1,
+            initial_fingerprint=Fingerprint.from_values([-50.0]),
+            hops=[
+                TraceHop(1, 2, segment, Fingerprint.from_values([-60.0]))
+            ],
+            placement_offset_estimate_deg=0.0,
+            estimated_step_length_m=0.7,
+        )
+        restored = trace_from_dict(trace_to_dict(trace))
+        np.testing.assert_allclose(
+            restored.hops[0].imu.gyro_rates_dps, segment.gyro_rates_dps
+        )
+
+    def test_json_serializable(self, trace):
+        text = json.dumps(trace_to_dict(trace))
+        restored = trace_from_dict(json.loads(text))
+        assert restored.true_locations == trace.true_locations
+
+    def test_wrong_kind_rejected(self, trace):
+        payload = trace_to_dict(trace)
+        payload["kind"] = "nope"
+        with pytest.raises(ValueError):
+            trace_from_dict(payload)
+
+
+class TestTraceSetRoundTrip:
+    def test_set_round_trip(self, small_study):
+        traces = small_study.test_traces[:3]
+        restored = traces_from_dict(traces_to_dict(traces))
+        assert len(restored) == 3
+        for original, rebuilt in zip(traces, restored):
+            assert rebuilt.true_locations == original.true_locations
+
+    def test_evaluation_identical_after_round_trip(self, small_study, tmp_path):
+        """The paper's experiments replay identically from exported data."""
+        from repro.core.localizer import MoLocLocalizer
+
+        traces = small_study.test_traces[:5]
+        path = tmp_path / "traces.json"
+        save_json(traces_to_dict(traces), path)
+        restored = traces_from_dict(load_json(path))
+
+        fdb = small_study.fingerprint_db(6)
+        mdb, _ = small_study.motion_db(6)
+        plan = small_study.scenario.plan
+        before = evaluate_localizer(
+            MoLocLocalizer(fdb, mdb, small_study.config), traces, plan
+        )
+        after = evaluate_localizer(
+            MoLocLocalizer(fdb, mdb, small_study.config), restored, plan
+        )
+        np.testing.assert_allclose(before.errors, after.errors)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            traces_from_dict({"kind": "walk_trace", "format_version": 1})

@@ -1,0 +1,76 @@
+"""Tests for heading estimation (placement offset removal)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.geometry import bearing_difference
+from repro.motion.heading import (
+    course_from_readings,
+    estimate_placement_offset,
+    mean_compass_heading,
+)
+
+
+class TestMeanHeading:
+    def test_mean_of_constant_readings(self):
+        assert mean_compass_heading([90.0, 90.0]) == pytest.approx(90.0)
+
+    def test_wraparound_mean(self):
+        assert mean_compass_heading([358.0, 2.0]) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestPlacementOffsetEstimation:
+    def test_single_segment_exact(self):
+        readings = [130.0, 130.0, 130.0]
+        offset = estimate_placement_offset([(readings, 40.0)])
+        assert offset == pytest.approx(90.0)
+
+    def test_multiple_segments_average(self):
+        calibration = [
+            ([100.0] * 5, 10.0),   # offset 90
+            ([192.0] * 5, 100.0),  # offset 92
+        ]
+        assert estimate_placement_offset(calibration) == pytest.approx(91.0)
+
+    def test_wraparound_offsets(self):
+        calibration = [
+            ([5.0] * 3, 10.0),    # offset -5 => 355
+            ([15.0] * 3, 10.0),   # offset 5
+        ]
+        offset = estimate_placement_offset(calibration)
+        assert bearing_difference(offset, 0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_calibration_raises(self):
+        with pytest.raises(ValueError):
+            estimate_placement_offset([])
+
+    def test_noisy_estimation_converges(self):
+        rng = np.random.default_rng(2)
+        true_offset = 137.0
+        calibration = []
+        for _ in range(6):
+            course = float(rng.uniform(0, 360))
+            readings = [
+                (course + true_offset + rng.normal(0, 4.0)) % 360.0
+                for _ in range(30)
+            ]
+            calibration.append((readings, course))
+        estimated = estimate_placement_offset(calibration)
+        assert bearing_difference(estimated, true_offset) < 3.0
+
+
+class TestCourseFromReadings:
+    def test_offset_removed(self):
+        readings = [100.0, 102.0, 98.0]
+        assert course_from_readings(readings, 90.0) == pytest.approx(10.0)
+
+    def test_round_trip_with_estimation(self):
+        """Estimating the offset then applying it recovers new courses."""
+        true_offset = 220.0
+        calibration = [([(45.0 + true_offset) % 360.0] * 4, 45.0)]
+        estimated = estimate_placement_offset(calibration)
+        new_readings = [(300.0 + true_offset) % 360.0] * 4
+        course = course_from_readings(new_readings, estimated)
+        assert bearing_difference(course, 300.0) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,115 @@
+"""Tests for gyroscope-aided Kalman heading estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.geometry import Point, bearing_difference
+from repro.motion.heading import course_from_readings
+from repro.motion.kalman_heading import (
+    KalmanHeadingFilter,
+    fused_course_from_segment,
+)
+from repro.sensors.accelerometer import AccelerometerModel
+from repro.sensors.compass import CompassModel
+from repro.sensors.gyroscope import GyroscopeModel
+from repro.sensors.imu import ImuModel
+
+
+class TestValidation:
+    def test_noise_magnitudes(self):
+        with pytest.raises(ValueError):
+            KalmanHeadingFilter(gyro_noise_dps=0.0)
+        with pytest.raises(ValueError):
+            KalmanHeadingFilter(compass_noise_deg=-1.0)
+        with pytest.raises(ValueError):
+            KalmanHeadingFilter(gyro_bias_dps=-0.1)
+
+    def test_stream_checks(self):
+        heading_filter = KalmanHeadingFilter()
+        with pytest.raises(ValueError):
+            heading_filter.smooth([], [], 10.0)
+        with pytest.raises(ValueError):
+            heading_filter.smooth([1.0, 2.0], [0.0], 10.0)
+        with pytest.raises(ValueError):
+            heading_filter.smooth([1.0], [0.0], 0.0)
+
+
+class TestFiltering:
+    def test_constant_heading_recovered(self):
+        rng = np.random.default_rng(3)
+        truth = 120.0
+        compass = truth + rng.normal(0, 5.0, size=50)
+        gyro = rng.normal(0, 0.5, size=50)
+        estimate = KalmanHeadingFilter().course(compass, gyro, 10.0)
+        assert bearing_difference(estimate, truth) < 3.0
+
+    def test_wraparound_heading(self):
+        rng = np.random.default_rng(4)
+        compass = (2.0 + rng.normal(0, 5.0, size=50)) % 360.0
+        gyro = np.zeros(50)
+        estimate = KalmanHeadingFilter().course(compass, gyro, 10.0)
+        assert bearing_difference(estimate, 2.0) < 3.0
+
+    def test_tracks_genuine_turn(self):
+        """A real 90-degree turn reported by the gyro is followed."""
+        rate_hz = 10.0
+        n = 60
+        # Heading ramps from 0 to 90 over samples 20..40.
+        truth = np.concatenate(
+            [np.zeros(20), np.linspace(0, 90, 20), np.full(20, 90.0)]
+        )
+        rates = np.gradient(truth) * rate_hz
+        rng = np.random.default_rng(5)
+        compass = truth + rng.normal(0, 4.0, size=n)
+        estimate = KalmanHeadingFilter().smooth(compass, rates, rate_hz)
+        assert bearing_difference(float(estimate[-1]), 90.0) < 5.0
+        assert bearing_difference(float(estimate[5]), 0.0) < 5.0
+
+    def test_rejects_transient_magnetic_spike(self):
+        """A mid-segment 40-degree compass bump (shelf passed nearby) is
+        damped far more than plain averaging would manage."""
+        rng = np.random.default_rng(6)
+        n = 40
+        truth = 90.0
+        compass = truth + rng.normal(0, 3.0, size=n)
+        compass[15:25] += 40.0  # the spike
+        gyro = rng.normal(0, 0.3, size=n)
+
+        fused = KalmanHeadingFilter().course(compass, gyro, 10.0)
+        plain = course_from_readings(compass, 0.0)
+        assert bearing_difference(fused, truth) < bearing_difference(plain, truth)
+        assert bearing_difference(fused, truth) < 5.0
+
+
+class TestSegmentFusion:
+    def _imu(self, with_gyro: bool) -> ImuModel:
+        return ImuModel(
+            accelerometer=AccelerometerModel(),
+            compass=CompassModel(noise_std_deg=4.0),
+            gyroscope=GyroscopeModel() if with_gyro else None,
+        )
+
+    def test_fused_course_close_to_truth(self, rng):
+        imu = self._imu(with_gyro=True)
+        segment = imu.record_walk(Point(0, 0), Point(5, 0), 4.0, 0.5, rng)
+        course = fused_course_from_segment(segment, 0.0)
+        assert bearing_difference(course, 90.0) < 4.0
+
+    def test_falls_back_without_gyro(self, rng):
+        imu = self._imu(with_gyro=False)
+        segment = imu.record_walk(Point(0, 0), Point(5, 0), 4.0, 0.5, rng)
+        fused = fused_course_from_segment(segment, 0.0)
+        plain = course_from_readings(segment.compass_readings, 0.0)
+        assert fused == pytest.approx(plain)
+
+    def test_placement_offset_removed(self, rng):
+        imu = ImuModel(
+            accelerometer=AccelerometerModel(),
+            compass=CompassModel(noise_std_deg=0.5, placement_offset_deg=90.0),
+            gyroscope=GyroscopeModel(bias_dps=0.0, noise_std_dps=0.1),
+        )
+        segment = imu.record_walk(Point(0, 0), Point(0, 5), 4.0, 0.5, rng)
+        course = fused_course_from_segment(segment, 90.0)
+        assert bearing_difference(course, 0.0) < 3.0

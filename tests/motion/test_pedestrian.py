@@ -1,0 +1,141 @@
+"""Tests for the pedestrian model and random walks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motion.pedestrian import (
+    BodyProfile,
+    Pedestrian,
+    random_walk_path,
+    step_length_from_body,
+)
+from repro.sensors.accelerometer import AccelerometerModel
+from repro.sensors.compass import CompassModel
+from repro.sensors.imu import ImuModel
+
+
+class TestStepLength:
+    def test_height_heuristic(self):
+        assert step_length_from_body(1.70) == pytest.approx(0.413 * 1.70)
+
+    def test_weight_correction(self):
+        light = step_length_from_body(1.70, 55.0)
+        heavy = step_length_from_body(1.70, 95.0)
+        assert light > heavy
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            step_length_from_body(0.0)
+        with pytest.raises(ValueError):
+            step_length_from_body(1.70, -1.0)
+
+    def test_body_profile_property(self):
+        body = BodyProfile(height_m=1.80, weight_kg=70.0)
+        assert body.estimated_step_length_m == pytest.approx(
+            step_length_from_body(1.80, 70.0)
+        )
+
+
+class TestPedestrian:
+    def _make(self, **overrides) -> Pedestrian:
+        defaults = dict(
+            name="u",
+            body=BodyProfile(1.70),
+            true_step_length_m=0.70,
+            step_period_s=0.5,
+            imu=ImuModel(AccelerometerModel(), CompassModel()),
+        )
+        defaults.update(overrides)
+        return Pedestrian(**defaults)
+
+    def test_walking_speed(self):
+        user = self._make()
+        assert user.walking_speed_mps == pytest.approx(1.4)
+
+    def test_hop_duration(self):
+        user = self._make()
+        assert user.hop_duration_s(7.0) == pytest.approx(5.0)
+
+    def test_hop_duration_invalid_distance(self):
+        with pytest.raises(ValueError):
+            self._make().hop_duration_s(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._make(true_step_length_m=0.0)
+        with pytest.raises(ValueError):
+            self._make(step_period_s=-1.0)
+
+    def test_change_grip_updates_compass(self, rng):
+        user = self._make()
+        offset = user.change_grip(rng)
+        assert user.imu.compass.placement_offset_deg == offset
+        assert 0.0 <= offset < 360.0
+
+    def test_sample_plausible_users(self):
+        rng = np.random.default_rng(0)
+        users = [Pedestrian.sample(f"u{i}", rng) for i in range(20)]
+        for user in users:
+            assert 1.45 <= user.body.height_m <= 2.00
+            assert 0.4 <= user.true_step_length_m <= 1.0
+            assert 0.40 <= user.step_period_s <= 0.68
+            assert 0.8 < user.walking_speed_mps < 2.2
+
+    def test_sample_users_diverse(self):
+        rng = np.random.default_rng(0)
+        users = [Pedestrian.sample(f"u{i}", rng) for i in range(4)]
+        heights = {round(u.body.height_m, 3) for u in users}
+        assert len(heights) == 4
+
+    def test_estimated_vs_true_step_length_close(self):
+        rng = np.random.default_rng(1)
+        user = Pedestrian.sample("u", rng)
+        relative_gap = abs(
+            user.true_step_length_m - user.estimated_step_length_m
+        ) / user.true_step_length_m
+        assert relative_gap < 0.15
+
+
+class TestRandomWalk:
+    def test_path_length(self, hall, rng):
+        path = random_walk_path(hall.graph, rng, n_hops=10)
+        assert len(path) == 11
+
+    def test_consecutive_locations_adjacent(self, hall, rng):
+        path = random_walk_path(hall.graph, rng, n_hops=25)
+        for i, j in zip(path, path[1:]):
+            assert hall.graph.are_adjacent(i, j)
+
+    def test_fixed_start(self, hall, rng):
+        path = random_walk_path(hall.graph, rng, n_hops=5, start_id=14)
+        assert path[0] == 14
+
+    def test_unknown_start_rejected(self, hall, rng):
+        with pytest.raises(ValueError):
+            random_walk_path(hall.graph, rng, n_hops=5, start_id=99)
+
+    def test_zero_hops_rejected(self, hall, rng):
+        with pytest.raises(ValueError):
+            random_walk_path(hall.graph, rng, n_hops=0)
+
+    def test_avoids_immediate_backtrack(self, hall):
+        rng = np.random.default_rng(5)
+        backtracks = 0
+        total = 0
+        for _ in range(20):
+            path = random_walk_path(hall.graph, rng, n_hops=20)
+            for a, b, c in zip(path, path[1:], path[2:]):
+                total += 1
+                if a == c and hall.graph.degree(b) > 1:
+                    backtracks += 1
+        assert backtracks == 0
+
+    def test_walks_cover_the_hall(self, hall):
+        """Long random walking visits most reference locations."""
+        rng = np.random.default_rng(6)
+        visited = set()
+        for _ in range(30):
+            visited.update(random_walk_path(hall.graph, rng, n_hops=20))
+        assert len(visited) >= 26

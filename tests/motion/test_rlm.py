@@ -1,0 +1,97 @@
+"""Tests for motion measurements and RLM extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.geometry import Point, bearing_difference
+from repro.motion.rlm import MotionMeasurement, RlmObservation, extract_measurement
+from repro.sensors.accelerometer import AccelerometerModel
+from repro.sensors.compass import CompassModel
+from repro.sensors.imu import ImuModel
+
+
+class TestMotionMeasurement:
+    def test_direction_normalized(self):
+        m = MotionMeasurement(direction_deg=370.0, offset_m=2.0)
+        assert m.direction_deg == pytest.approx(10.0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            MotionMeasurement(direction_deg=0.0, offset_m=-1.0)
+
+    def test_reversed(self):
+        m = MotionMeasurement(direction_deg=30.0, offset_m=4.0)
+        r = m.reversed()
+        assert r.direction_deg == pytest.approx(210.0)
+        assert r.offset_m == 4.0
+
+    def test_double_reverse_is_identity(self):
+        m = MotionMeasurement(direction_deg=123.4, offset_m=1.5)
+        rr = m.reversed().reversed()
+        assert rr.direction_deg == pytest.approx(m.direction_deg)
+        assert rr.offset_m == m.offset_m
+
+
+class TestReassembling:
+    def test_already_ordered_unchanged(self):
+        obs = RlmObservation(2, 5, MotionMeasurement(90.0, 4.0))
+        assert obs.reassembled() is obs
+
+    def test_reversed_when_start_greater(self):
+        obs = RlmObservation(5, 2, MotionMeasurement(90.0, 4.0))
+        fixed = obs.reassembled()
+        assert fixed.start_id == 2
+        assert fixed.end_id == 5
+        assert fixed.measurement.direction_deg == pytest.approx(270.0)
+        assert fixed.measurement.offset_m == 4.0
+
+    def test_reassembling_idempotent(self):
+        obs = RlmObservation(5, 2, MotionMeasurement(15.0, 3.0))
+        once = obs.reassembled()
+        assert once.reassembled() == once
+
+
+class TestExtraction:
+    @pytest.fixture()
+    def imu(self) -> ImuModel:
+        return ImuModel(
+            accelerometer=AccelerometerModel(noise_std=0.1),
+            compass=CompassModel(noise_std_deg=0.0),
+        )
+
+    def test_direction_and_offset_recovered(self, imu, rng):
+        """Walk 4 m east in 3.2 s at 0.5 s/step => ~6.4 steps."""
+        segment = imu.record_walk(Point(0, 0), Point(4, 0), 3.2, 0.5, rng)
+        step_length = 4.0 / (3.2 / 0.5)  # true distance / true steps
+        measurement = extract_measurement(segment, step_length, 0.0)
+        assert bearing_difference(measurement.direction_deg, 90.0) < 2.0
+        assert measurement.offset_m == pytest.approx(4.0, abs=0.5)
+
+    def test_placement_offset_subtracted(self, rng):
+        imu = ImuModel(
+            accelerometer=AccelerometerModel(noise_std=0.1),
+            compass=CompassModel(noise_std_deg=0.0, placement_offset_deg=90.0),
+        )
+        segment = imu.record_walk(Point(0, 0), Point(0, 4), 3.0, 0.5, rng)
+        measurement = extract_measurement(segment, 0.7, 90.0)
+        assert bearing_difference(measurement.direction_deg, 0.0) < 2.0
+
+    def test_dsc_vs_csc_modes(self, imu, rng):
+        segment = imu.record_walk(Point(0, 0), Point(4, 0), 3.3, 0.5, rng)
+        csc = extract_measurement(segment, 0.6, 0.0, counting="csc")
+        dsc = extract_measurement(segment, 0.6, 0.0, counting="dsc")
+        # DSC yields an integer multiple of the step length.
+        assert dsc.offset_m % 0.6 == pytest.approx(0.0, abs=1e-9)
+        assert csc.offset_m != dsc.offset_m
+
+    def test_invalid_step_length(self, imu, rng):
+        segment = imu.record_walk(Point(0, 0), Point(4, 0), 3.0, 0.5, rng)
+        with pytest.raises(ValueError):
+            extract_measurement(segment, 0.0, 0.0)
+
+    def test_unknown_counting_mode(self, imu, rng):
+        segment = imu.record_walk(Point(0, 0), Point(4, 0), 3.0, 0.5, rng)
+        with pytest.raises(ValueError):
+            extract_measurement(segment, 0.7, 0.0, counting="magic")

@@ -1,0 +1,116 @@
+"""Tests for continuous-stream segmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.geometry import bearing_difference
+from repro.motion.segmentation import segment_at_turns
+
+
+def _stream(legs, rate_hz=10.0, noise_std=4.0, seed=0):
+    """Concatenate straight legs: (heading_deg, duration_s) pairs."""
+    rng = np.random.default_rng(seed)
+    parts = []
+    for heading, duration in legs:
+        n = int(round(duration * rate_hz))
+        parts.append((heading + rng.normal(0, noise_std, size=n)) % 360.0)
+    return np.concatenate(parts)
+
+
+class TestValidation:
+    def test_empty_stream(self):
+        with pytest.raises(ValueError):
+            segment_at_turns([], 10.0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            segment_at_turns([0.0], 0.0)
+        with pytest.raises(ValueError):
+            segment_at_turns([0.0], 10.0, turn_threshold_deg=0.0)
+
+
+class TestSegmentation:
+    def test_straight_walk_is_one_segment(self):
+        stream = _stream([(90.0, 6.0)])
+        segments = segment_at_turns(stream, 10.0)
+        assert len(segments) == 1
+        assert segments[0].start_index == 0
+        assert segments[0].end_index == len(stream)
+        assert bearing_difference(segments[0].mean_heading_deg, 90.0) < 3.0
+
+    def test_single_right_turn(self):
+        stream = _stream([(90.0, 4.0), (180.0, 4.0)])
+        segments = segment_at_turns(stream, 10.0)
+        assert len(segments) == 2
+        assert bearing_difference(segments[0].mean_heading_deg, 90.0) < 6.0
+        assert bearing_difference(segments[1].mean_heading_deg, 180.0) < 6.0
+
+    def test_boundary_near_true_turn(self):
+        stream = _stream([(0.0, 5.0), (90.0, 5.0)])
+        segments = segment_at_turns(stream, 10.0)
+        assert len(segments) == 2
+        # The turn happened at sample 50; boundary within one window.
+        assert abs(segments[0].end_index - 50) <= 12
+
+    def test_three_legs(self):
+        stream = _stream([(0.0, 4.0), (90.0, 5.0), (0.0, 4.0)])
+        segments = segment_at_turns(stream, 10.0)
+        assert len(segments) == 3
+        headings = [s.mean_heading_deg for s in segments]
+        assert bearing_difference(headings[0], 0.0) < 6.0
+        assert bearing_difference(headings[1], 90.0) < 6.0
+        assert bearing_difference(headings[2], 0.0) < 6.0
+
+    def test_u_turn_detected_across_wraparound(self):
+        stream = _stream([(350.0, 4.0), (170.0, 4.0)])
+        segments = segment_at_turns(stream, 10.0)
+        assert len(segments) == 2
+
+    def test_segments_cover_stream_without_overlap(self):
+        stream = _stream([(0.0, 4.0), (90.0, 3.0), (180.0, 5.0)])
+        segments = segment_at_turns(stream, 10.0)
+        assert segments[0].start_index == 0
+        assert segments[-1].end_index == len(stream)
+        for a, b in zip(segments, segments[1:]):
+            assert a.end_index == b.start_index
+
+    def test_small_wiggles_do_not_split(self):
+        """20-degree corrections around obstacles are not junction turns."""
+        stream = _stream([(90.0, 3.0), (110.0, 2.0), (90.0, 3.0)])
+        segments = segment_at_turns(stream, 10.0)
+        assert len(segments) == 1
+
+    def test_short_transient_merged(self):
+        """A half-second spur between turns merges into a neighbor."""
+        stream = _stream([(0.0, 4.0), (90.0, 0.5), (180.0, 4.0)])
+        segments = segment_at_turns(stream, 10.0, min_segment_s=1.5)
+        assert len(segments) <= 2 + 1  # never an explosion of stubs
+        assert all(s.n_samples >= 5 for s in segments[1:-1])
+
+    def test_very_short_stream(self):
+        segments = segment_at_turns([90.0, 91.0, 89.0], 10.0)
+        assert len(segments) == 1
+        assert segments[0].n_samples == 3
+
+
+class TestOnSimulatedWalk:
+    def test_segments_match_hops_on_a_real_trace(self, small_study):
+        """Concatenating a walk's per-hop compass streams and re-segmenting
+        recovers roughly one segment per straight stretch of the walk."""
+        trace = small_study.test_traces[0]
+        stream = np.concatenate(
+            [hop.imu.compass_readings for hop in trace.hops]
+        )
+        segments = segment_at_turns(stream, 10.0)
+        # Straight runs merge consecutive same-direction hops, so the
+        # segment count equals the number of direction *changes* + 1,
+        # within slack for noise.
+        courses = [hop.imu.true_course_deg for hop in trace.hops]
+        changes = sum(
+            1
+            for a, b in zip(courses, courses[1:])
+            if bearing_difference(a, b) >= 35.0
+        )
+        assert abs(len(segments) - (changes + 1)) <= 2

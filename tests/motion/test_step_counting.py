@@ -1,0 +1,116 @@
+"""Tests for step detection, DSC, and CSC (paper Sec. IV-B1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.motion.step_counting import (
+    count_steps_csc,
+    count_steps_dsc,
+    detect_step_times,
+    is_walking,
+)
+from repro.sensors.accelerometer import AccelerometerModel
+
+
+@pytest.fixture()
+def model() -> AccelerometerModel:
+    return AccelerometerModel()
+
+
+@pytest.fixture()
+def quiet_model() -> AccelerometerModel:
+    return AccelerometerModel(noise_std=0.05)
+
+
+class TestWalkDetection:
+    def test_walking_detected(self, model, rng):
+        assert is_walking(model.walking(3.0, 0.5, rng))
+
+    def test_idle_not_walking(self, model, rng):
+        assert not is_walking(model.idle(3.0, rng))
+
+    def test_empty_signal_not_walking(self, model, rng):
+        signal = model.idle(0.1, rng)
+        assert not is_walking(signal) or len(signal.samples) > 0
+
+
+class TestStepDetection:
+    def test_detects_all_steps_in_clean_signal(self, quiet_model, rng):
+        signal = quiet_model.walking(5.0, 0.5, rng, start_phase_s=0.25)
+        detected = detect_step_times(signal)
+        assert len(detected) == len(signal.true_step_times)
+
+    def test_detected_times_near_truth(self, quiet_model, rng):
+        signal = quiet_model.walking(5.0, 0.5, rng, start_phase_s=0.25)
+        detected = detect_step_times(signal)
+        for found, truth in zip(detected, signal.true_step_times):
+            assert abs(found - truth) < 0.15
+
+    def test_no_steps_in_idle_signal(self, model, rng):
+        assert detect_step_times(model.idle(5.0, rng)) == []
+
+    def test_detection_off_by_at_most_one_with_noise(self, model, rng):
+        signal = model.walking(6.0, 0.55, rng)
+        detected = detect_step_times(signal)
+        assert abs(len(detected) - len(signal.true_step_times)) <= 1
+
+    @given(period=st.floats(min_value=0.42, max_value=0.68))
+    @settings(max_examples=20, deadline=None)
+    def test_detected_steps_respect_min_separation(self, period):
+        model = AccelerometerModel()
+        signal = model.walking(6.0, period, np.random.default_rng(1))
+        times = detect_step_times(signal)
+        assert all(b - a >= 0.25 for a, b in zip(times, times[1:]))
+
+
+class TestDsc:
+    def test_integer_count(self, quiet_model, rng):
+        signal = quiet_model.walking(5.0, 0.5, rng, start_phase_s=0.25)
+        assert count_steps_dsc(signal) == 10.0
+
+    def test_dsc_misses_odd_time(self, quiet_model, rng):
+        """With the first strike late in the period, DSC undercounts."""
+        signal = quiet_model.walking(5.0, 0.5, rng, start_phase_s=0.45)
+        true_elapsed_steps = 5.0 / 0.5
+        assert count_steps_dsc(signal) < true_elapsed_steps
+
+
+class TestCsc:
+    def test_recovers_true_decimal_steps(self, quiet_model, rng):
+        """CSC recovers duration/period regardless of start phase."""
+        for phase in (0.05, 0.2, 0.4):
+            signal = quiet_model.walking(5.0, 0.5, rng, start_phase_s=phase)
+            assert count_steps_csc(signal) == pytest.approx(10.0, abs=0.4)
+
+    def test_csc_beats_dsc_on_average(self, quiet_model):
+        """Across random phases CSC's offset error is smaller than DSC's."""
+        rng = np.random.default_rng(3)
+        csc_err, dsc_err = [], []
+        for _ in range(30):
+            signal = quiet_model.walking(4.3, 0.55, rng)
+            truth = 4.3 / 0.55
+            csc_err.append(abs(count_steps_csc(signal) - truth))
+            dsc_err.append(abs(count_steps_dsc(signal) - truth))
+        assert float(np.mean(csc_err)) < float(np.mean(dsc_err))
+
+    def test_zero_steps(self, model, rng):
+        assert count_steps_csc(model.idle(3.0, rng)) == 0.0
+
+    def test_single_detected_step_fallback(self, quiet_model, rng):
+        signal = quiet_model.walking(0.6, 0.5, rng, start_phase_s=0.25)
+        count = count_steps_csc(signal)
+        assert count in (0.0, 1.0)
+
+    @given(
+        period=st.floats(min_value=0.45, max_value=0.65),
+        duration=st.floats(min_value=2.5, max_value=8.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_csc_error_below_one_step(self, period, duration):
+        model = AccelerometerModel(noise_std=0.2)
+        signal = model.walking(duration, period, np.random.default_rng(7))
+        truth = duration / period
+        assert abs(count_steps_csc(signal) - truth) < 1.0

@@ -1,0 +1,121 @@
+"""Tests for online step-length personalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.motion.stride import StepLengthEstimator
+
+
+class TestValidation:
+    def test_implausible_seed_rejected(self):
+        with pytest.raises(ValueError):
+            StepLengthEstimator(step_length_m=0.2)
+        with pytest.raises(ValueError):
+            StepLengthEstimator(step_length_m=1.5)
+
+    def test_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            StepLengthEstimator(0.7, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            StepLengthEstimator(0.7, confidence_threshold=1.5)
+        with pytest.raises(ValueError):
+            StepLengthEstimator(0.7, min_steps=0.0)
+
+    def test_non_positive_distance_rejected(self):
+        estimator = StepLengthEstimator(0.7)
+        with pytest.raises(ValueError):
+            estimator.observe_hop(0.0, 8.0, 1.0)
+
+
+class TestGating:
+    def test_low_confidence_rejected(self):
+        estimator = StepLengthEstimator(0.70)
+        assert not estimator.observe_hop(5.6, 8.0, confidence=0.5)
+        assert estimator.step_length_m == 0.70
+        assert estimator.samples_rejected == 1
+
+    def test_too_few_steps_rejected(self):
+        estimator = StepLengthEstimator(0.70)
+        assert not estimator.observe_hop(1.4, 2.0, confidence=1.0)
+        assert estimator.step_length_m == 0.70
+
+    def test_implausible_sample_rejected(self):
+        """A mislocalized hop implying a 2 m stride cannot poison."""
+        estimator = StepLengthEstimator(0.70)
+        assert not estimator.observe_hop(16.0, 8.0, confidence=1.0)
+        assert estimator.step_length_m == 0.70
+
+    def test_good_sample_applied(self):
+        estimator = StepLengthEstimator(0.70, learning_rate=0.5)
+        assert estimator.observe_hop(6.0, 8.0, confidence=1.0)  # 0.75 sample
+        assert estimator.step_length_m == pytest.approx(0.725)
+        assert estimator.samples_accepted == 1
+
+
+class TestConvergence:
+    def test_converges_to_true_stride(self):
+        """Persistent samples from a 0.78 m gait walk the 0.70 seed up."""
+        estimator = StepLengthEstimator(0.70, learning_rate=0.2)
+        for _ in range(40):
+            estimator.observe_hop(7.8, 10.0, confidence=1.0)
+        assert estimator.step_length_m == pytest.approx(0.78, abs=0.005)
+
+    def test_single_outlier_barely_moves(self):
+        estimator = StepLengthEstimator(0.70, learning_rate=0.1)
+        estimator.observe_hop(10.0, 10.0, confidence=1.0)  # 1.0 m sample
+        assert abs(estimator.step_length_m - 0.70) <= 0.03 + 1e-9
+
+
+class TestServiceIntegration:
+    def test_personalization_improves_step_length(self, small_study):
+        """Driving the service with a wrong body profile: the personalized
+        stride moves toward the trace user's actual estimated stride."""
+        from repro.motion.pedestrian import BodyProfile
+        from repro.service import MoLocService
+
+        motion_db, _ = small_study.motion_db(6)
+        # Pick a trace whose user's stride differs from a 1.60 m profile.
+        trace = max(
+            small_study.test_traces,
+            key=lambda t: abs(
+                t.estimated_step_length_m
+                - BodyProfile(1.60).estimated_step_length_m
+            ),
+        )
+        service = MoLocService(
+            small_study.fingerprint_db(6),
+            motion_db,
+            body=BodyProfile(1.60),  # wrong profile on purpose
+            config=small_study.config,
+            personalize_stride=True,
+        )
+        seeded = service.step_length_m
+        target = trace.estimated_step_length_m
+        service.calibrate_heading(
+            [
+                (hop.imu.compass_readings, hop.imu.true_course_deg)
+                for hop in trace.hops[:2]
+            ]
+        )
+        service.on_interval(trace.initial_fingerprint.rss)
+        for hop in trace.hops:
+            service.on_interval(hop.arrival_fingerprint.rss, hop.imu)
+        if service.stride_samples_accepted:
+            assert abs(service.step_length_m - target) < abs(seeded - target)
+
+    def test_stride_survives_end_session(self, small_study):
+        from repro.motion.pedestrian import BodyProfile
+        from repro.service import MoLocService
+
+        motion_db, _ = small_study.motion_db(6)
+        service = MoLocService(
+            small_study.fingerprint_db(6),
+            motion_db,
+            body=BodyProfile(1.60),
+            personalize_stride=True,
+        )
+        service._stride.observe_hop(6.0, 8.0, confidence=1.0)
+        learned = service.step_length_m
+        service.end_session()
+        assert service.step_length_m == learned

@@ -1,0 +1,56 @@
+"""Tests for trace containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import Fingerprint
+from repro.env.geometry import Point
+from repro.motion.trace import TraceHop, WalkTrace
+from repro.sensors.accelerometer import AccelerometerModel
+from repro.sensors.compass import CompassModel
+from repro.sensors.imu import ImuModel
+
+
+def _hop(true_from: int, true_to: int, rng) -> TraceHop:
+    imu = ImuModel(AccelerometerModel(), CompassModel())
+    segment = imu.record_walk(Point(0, 0), Point(4, 0), 3.0, 0.5, rng)
+    return TraceHop(
+        true_from=true_from,
+        true_to=true_to,
+        imu=segment,
+        arrival_fingerprint=Fingerprint.from_values([-50.0, -60.0]),
+    )
+
+
+def _trace(hops, start=1) -> WalkTrace:
+    return WalkTrace(
+        user="u",
+        true_start=start,
+        initial_fingerprint=Fingerprint.from_values([-48.0, -61.0]),
+        hops=hops,
+        placement_offset_estimate_deg=0.0,
+        estimated_step_length_m=0.7,
+    )
+
+
+class TestWalkTrace:
+    def test_contiguity_enforced(self, rng):
+        hops = [_hop(1, 2, rng), _hop(3, 4, rng)]  # gap between 2 and 3
+        with pytest.raises(ValueError, match="not contiguous"):
+            _trace(hops)
+
+    def test_start_must_match_first_hop(self, rng):
+        with pytest.raises(ValueError):
+            _trace([_hop(2, 3, rng)], start=1)
+
+    def test_true_locations(self, rng):
+        trace = _trace([_hop(1, 2, rng), _hop(2, 9, rng)])
+        assert trace.true_locations == [1, 2, 9]
+        assert trace.n_hops == 2
+
+    def test_empty_trace_allowed(self):
+        trace = _trace([])
+        assert trace.true_locations == [1]
+        assert trace.n_hops == 0

@@ -1,0 +1,101 @@
+"""Tests for shadowing fields and temporal fading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.geometry import Point
+from repro.radio.fading import ShadowingField, TemporalFading
+
+
+class TestShadowingField:
+    def test_negative_std_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ShadowingField(std_db=-1.0, correlation_length=3.0, rng=rng)
+
+    def test_non_positive_correlation_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ShadowingField(std_db=2.0, correlation_length=0.0, rng=rng)
+
+    def test_zero_std_field_is_flat(self, rng):
+        field = ShadowingField(std_db=0.0, correlation_length=3.0, rng=rng)
+        assert field.value_at(Point(1, 2)) == 0.0
+        assert field.value_at(Point(30, 10)) == 0.0
+
+    def test_deterministic_at_a_point(self, rng):
+        field = ShadowingField(std_db=4.0, correlation_length=3.0, rng=rng)
+        p = Point(12.3, 4.5)
+        assert field.value_at(p) == field.value_at(p)
+
+    def test_same_seed_same_field(self):
+        a = ShadowingField(4.0, 3.0, np.random.default_rng(1))
+        b = ShadowingField(4.0, 3.0, np.random.default_rng(1))
+        for p in (Point(0, 0), Point(10, 5), Point(40, 15)):
+            assert a.value_at(p) == b.value_at(p)
+
+    def test_different_seeds_differ(self):
+        a = ShadowingField(4.0, 3.0, np.random.default_rng(1))
+        b = ShadowingField(4.0, 3.0, np.random.default_rng(2))
+        assert a.value_at(Point(10, 5)) != b.value_at(Point(10, 5))
+
+    def test_spatial_std_roughly_matches(self):
+        """Field std across many points should approximate std_db."""
+        field = ShadowingField(4.0, 3.0, np.random.default_rng(3), n_components=256)
+        grid = np.random.default_rng(4)
+        values = [
+            field.value_at(Point(float(x), float(y)))
+            for x, y in grid.uniform(0, 200, size=(800, 2))
+        ]
+        assert 2.0 < float(np.std(values)) < 6.5
+
+    def test_nearby_points_correlated(self):
+        field = ShadowingField(4.0, 5.0, np.random.default_rng(5))
+        a = field.value_at(Point(10.0, 10.0))
+        b = field.value_at(Point(10.2, 10.0))
+        assert abs(a - b) < 1.5
+
+
+class TestTemporalFading:
+    def test_negative_magnitudes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TemporalFading(drift_std_db=-1.0, noise_std_db=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            TemporalFading(drift_std_db=1.0, noise_std_db=-1.0, rng=rng)
+
+    def test_invalid_period_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TemporalFading(1.0, 1.0, rng, period_range=(100.0, 50.0))
+        with pytest.raises(ValueError):
+            TemporalFading(1.0, 1.0, rng, period_range=(0.0, 50.0))
+
+    def test_zero_drift_is_flat(self, rng):
+        fading = TemporalFading(drift_std_db=0.0, noise_std_db=1.0, rng=rng)
+        assert fading.drift_at(0.0) == 0.0
+        assert fading.drift_at(500.0) == 0.0
+
+    def test_drift_deterministic_in_time(self, rng):
+        fading = TemporalFading(2.0, 1.0, rng)
+        assert fading.drift_at(123.0) == fading.drift_at(123.0)
+
+    def test_drift_bounded(self, rng):
+        fading = TemporalFading(drift_std_db=2.0, noise_std_db=0.0, rng=rng)
+        values = [fading.drift_at(t) for t in np.linspace(0, 3600, 500)]
+        # Sum of 4 cosines with total amplitude 2*sqrt(2/4) each.
+        bound = 2.0 * np.sqrt(2.0 / 4.0) * 4
+        assert max(abs(v) for v in values) <= bound + 1e-9
+
+    def test_drift_varies_over_time(self, rng):
+        fading = TemporalFading(2.0, 0.0, rng)
+        values = {round(fading.drift_at(t), 6) for t in (0.0, 100.0, 200.0, 300.0)}
+        assert len(values) > 1
+
+    def test_zero_noise(self, rng):
+        fading = TemporalFading(1.0, 0.0, rng)
+        assert fading.scan_noise(rng) == 0.0
+
+    def test_noise_statistics(self, rng):
+        fading = TemporalFading(0.0, 2.0, rng)
+        draws = [fading.scan_noise(rng) for _ in range(2000)]
+        assert abs(float(np.mean(draws))) < 0.2
+        assert 1.7 < float(np.std(draws)) < 2.3

@@ -1,0 +1,89 @@
+"""Tests for AP placement planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.floorplan import FloorPlan, ReferenceLocation
+from repro.env.geometry import Point
+from repro.radio.planning import greedy_ap_placement, predicted_min_separation
+
+
+@pytest.fixture()
+def line_plan() -> FloorPlan:
+    """Three locations on a line; candidate AP sites on and off the line."""
+    return FloorPlan(
+        width=30.0,
+        height=20.0,
+        reference_locations=[
+            ReferenceLocation(1, Point(5.0, 10.0)),
+            ReferenceLocation(2, Point(15.0, 10.0)),
+            ReferenceLocation(3, Point(25.0, 10.0)),
+        ],
+    )
+
+
+class TestMinSeparation:
+    def test_symmetric_ap_creates_twins(self, line_plan):
+        """An AP equidistant from 1 and 3 yields zero separation for them."""
+        separation = predicted_min_separation(line_plan, [Point(15.0, 18.0)])
+        assert separation == pytest.approx(0.0, abs=1e-9)
+
+    def test_offset_ap_separates(self, line_plan):
+        separation = predicted_min_separation(line_plan, [Point(3.0, 10.0)])
+        assert separation > 1.0
+
+    def test_more_aps_never_reduce_separation(self, line_plan):
+        one = predicted_min_separation(line_plan, [Point(3.0, 10.0)])
+        two = predicted_min_separation(
+            line_plan, [Point(3.0, 10.0), Point(27.0, 10.0)]
+        )
+        assert two >= one - 1e-9
+
+    def test_validation(self, line_plan):
+        with pytest.raises(ValueError):
+            predicted_min_separation(line_plan, [])
+
+
+class TestGreedyPlacement:
+    @pytest.fixture()
+    def candidates(self):
+        return [
+            Point(15.0, 18.0),  # symmetric trap: zero separation alone
+            Point(3.0, 10.0),
+            Point(27.0, 10.0),
+            Point(15.0, 2.0),  # also symmetric
+        ]
+
+    def test_avoids_symmetric_trap_first(self, line_plan, candidates):
+        chosen, separation = greedy_ap_placement(line_plan, candidates, 1)
+        assert chosen[0] in (Point(3.0, 10.0), Point(27.0, 10.0))
+        assert separation > 1.0
+
+    def test_separation_monotone_in_ap_count(self, line_plan, candidates):
+        separations = [
+            greedy_ap_placement(line_plan, candidates, k)[1] for k in (1, 2, 3)
+        ]
+        assert separations[0] <= separations[1] <= separations[2] + 1e-9
+
+    def test_validation(self, line_plan, candidates):
+        with pytest.raises(ValueError):
+            greedy_ap_placement(line_plan, candidates, 0)
+        with pytest.raises(ValueError):
+            greedy_ap_placement(line_plan, candidates, 9)
+        with pytest.raises(ValueError):
+            greedy_ap_placement(line_plan, [Point(99.0, 99.0)], 1)
+
+
+class TestOnPaperHall:
+    def test_planned_beats_paper_default_at_4_aps(self, hall):
+        """The hall's (deliberately ambiguous) first four AP sites are
+        beaten by a planned selection from a site grid."""
+        default = predicted_min_separation(hall.plan, hall.plan.selected_aps(4))
+        candidates = [
+            Point(x, y)
+            for x in (4.0, 13.0, 20.4, 28.0, 37.0)
+            for y in (2.0, 8.0, 14.0)
+        ]
+        _, planned = greedy_ap_placement(hall.plan, candidates, 4)
+        assert planned > default

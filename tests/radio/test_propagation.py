@@ -1,0 +1,100 @@
+"""Tests for the deterministic propagation model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.env.floorplan import FloorPlan, ReferenceLocation
+from repro.env.geometry import Point, Segment
+from repro.radio.access_point import AccessPoint
+from repro.radio.propagation import SENSITIVITY_FLOOR_DBM, PathLossModel
+
+
+@pytest.fixture()
+def open_plan() -> FloorPlan:
+    return FloorPlan(width=50, height=50, reference_locations=[])
+
+
+@pytest.fixture()
+def walled_plan() -> FloorPlan:
+    return FloorPlan(
+        width=50,
+        height=50,
+        reference_locations=[],
+        walls=[Segment(Point(10, 0), Point(10, 50))],
+    )
+
+
+class TestValidation:
+    def test_non_positive_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            PathLossModel(exponent=0.0)
+
+    def test_negative_wall_loss_rejected(self):
+        with pytest.raises(ValueError):
+            PathLossModel(wall_loss_db=-1.0)
+
+    def test_non_positive_reference_distance_rejected(self):
+        with pytest.raises(ValueError):
+            PathLossModel(reference_distance=0.0)
+
+
+class TestPathLoss:
+    def test_zero_loss_at_reference_distance(self):
+        model = PathLossModel(exponent=2.5)
+        assert model.path_loss_db(1.0) == 0.0
+
+    def test_loss_clamped_in_near_field(self):
+        model = PathLossModel()
+        assert model.path_loss_db(0.01) == 0.0
+
+    def test_ten_n_db_per_decade(self):
+        model = PathLossModel(exponent=3.0)
+        assert model.path_loss_db(10.0) == pytest.approx(30.0)
+        assert model.path_loss_db(100.0) == pytest.approx(60.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e4), st.floats(min_value=1.0, max_value=1e4))
+    def test_loss_monotone_in_distance(self, d1, d2):
+        model = PathLossModel()
+        if d1 <= d2:
+            assert model.path_loss_db(d1) <= model.path_loss_db(d2) + 1e-9
+        else:
+            assert model.path_loss_db(d1) >= model.path_loss_db(d2) - 1e-9
+
+
+class TestMeanRss:
+    def test_free_space_rss(self, open_plan):
+        model = PathLossModel(exponent=2.0)
+        ap = AccessPoint(ap_id=0, position=Point(0, 0), tx_power_dbm=-30.0)
+        rss = model.mean_rss_dbm(ap, Point(10, 0), open_plan)
+        assert rss == pytest.approx(-30.0 - 20.0)
+
+    def test_wall_attenuation_applied(self, walled_plan):
+        model = PathLossModel(exponent=2.0, wall_loss_db=5.0)
+        ap = AccessPoint(ap_id=0, position=Point(5, 25))
+        through_wall = model.mean_rss_dbm(ap, Point(15, 25), walled_plan)
+        # Same distance on the AP's side of the wall.
+        clear = model.mean_rss_dbm(ap, Point(5, 35), walled_plan)
+        assert clear - through_wall == pytest.approx(5.0)
+
+    def test_rss_clipped_at_sensitivity_floor(self, open_plan):
+        model = PathLossModel(exponent=6.0)
+        ap = AccessPoint(ap_id=0, position=Point(0, 0), tx_power_dbm=-30.0)
+        rss = model.mean_rss_dbm(ap, Point(49, 49), open_plan)
+        assert rss == SENSITIVITY_FLOOR_DBM
+
+    def test_clip(self):
+        model = PathLossModel()
+        assert model.clip(-120.0) == SENSITIVITY_FLOOR_DBM
+        assert model.clip(-40.0) == -40.0
+
+    def test_rss_decreases_with_distance(self, open_plan):
+        model = PathLossModel()
+        ap = AccessPoint(ap_id=0, position=Point(0, 0))
+        values = [
+            model.mean_rss_dbm(ap, Point(d, 0), open_plan) for d in (2, 5, 10, 20, 40)
+        ]
+        assert values == sorted(values, reverse=True)

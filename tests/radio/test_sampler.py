@@ -1,0 +1,138 @@
+"""Tests for the RSS sampler / radio environment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.floorplan import FloorPlan, ReferenceLocation
+from repro.env.geometry import Point
+from repro.radio.access_point import AccessPoint, deploy_aps
+from repro.radio.propagation import SENSITIVITY_FLOOR_DBM
+from repro.radio.sampler import RadioEnvironment, RadioParameters
+
+
+@pytest.fixture()
+def plan() -> FloorPlan:
+    return FloorPlan(
+        width=40,
+        height=20,
+        reference_locations=[ReferenceLocation(1, Point(20, 10))],
+        ap_positions=[Point(5, 10), Point(35, 10), Point(20, 18)],
+    )
+
+
+@pytest.fixture()
+def quiet_parameters() -> RadioParameters:
+    return RadioParameters(
+        shadowing_std_db=0.0, drift_std_db=0.0, noise_std_db=0.0
+    )
+
+
+class TestConstruction:
+    def test_needs_at_least_one_ap(self, plan):
+        with pytest.raises(ValueError):
+            RadioEnvironment(plan, [])
+
+    def test_ap_ids_must_be_sequential(self, plan):
+        aps = [AccessPoint(ap_id=1, position=Point(5, 10))]
+        with pytest.raises(ValueError, match="AP ids"):
+            RadioEnvironment(plan, aps)
+
+    def test_ap_outside_plan_rejected(self, plan):
+        aps = [AccessPoint(ap_id=0, position=Point(100, 100))]
+        with pytest.raises(ValueError, match="outside"):
+            RadioEnvironment(plan, aps)
+
+    def test_for_plan_uses_prefix(self, plan):
+        env = RadioEnvironment.for_plan(plan, n_aps=2)
+        assert env.n_aps == 2
+        assert env.aps[0].position == Point(5, 10)
+
+    def test_for_plan_all_aps_by_default(self, plan):
+        assert RadioEnvironment.for_plan(plan).n_aps == 3
+
+
+class TestStaticRss:
+    def test_noiseless_static_equals_mean(self, plan, quiet_parameters):
+        env = RadioEnvironment.for_plan(plan, parameters=quiet_parameters)
+        static = env.static_rss(Point(20, 10))
+        for ap in env.aps:
+            expected = env.path_loss.mean_rss_dbm(ap, Point(20, 10), plan)
+            assert static[ap.ap_id] == pytest.approx(expected)
+
+    def test_static_is_time_invariant(self, plan):
+        env = RadioEnvironment.for_plan(plan, seed=3)
+        a = env.static_rss(Point(12, 7))
+        b = env.static_rss(Point(12, 7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_closer_ap_is_stronger(self, plan, quiet_parameters):
+        env = RadioEnvironment.for_plan(plan, parameters=quiet_parameters)
+        static = env.static_rss(Point(7, 10))  # near AP 0
+        assert static[0] > static[1]
+
+
+class TestScan:
+    def test_scan_outside_plan_rejected(self, plan, rng):
+        env = RadioEnvironment.for_plan(plan)
+        with pytest.raises(ValueError, match="outside"):
+            env.scan(Point(-1, 5), 0.0, rng)
+
+    def test_scan_vector_length(self, plan, rng):
+        env = RadioEnvironment.for_plan(plan, n_aps=2)
+        assert env.scan(Point(20, 10), 0.0, rng).shape == (2,)
+
+    def test_noiseless_scan_equals_static(self, plan, quiet_parameters, rng):
+        env = RadioEnvironment.for_plan(plan, parameters=quiet_parameters)
+        np.testing.assert_allclose(
+            env.scan(Point(20, 10), 50.0, rng), env.static_rss(Point(20, 10))
+        )
+
+    def test_scans_respect_sensitivity_floor(self, plan, rng):
+        env = RadioEnvironment.for_plan(
+            plan, parameters=RadioParameters(noise_std_db=50.0)
+        )
+        for _ in range(50):
+            scan = env.scan(Point(20, 10), 0.0, rng)
+            assert (scan >= SENSITIVITY_FLOOR_DBM).all()
+
+    def test_scan_noise_varies(self, plan, rng):
+        env = RadioEnvironment.for_plan(plan)
+        a = env.scan(Point(20, 10), 0.0, rng)
+        b = env.scan(Point(20, 10), 0.0, rng)
+        assert not np.array_equal(a, b)
+
+    def test_same_seed_environments_agree(self, plan):
+        a = RadioEnvironment.for_plan(plan, seed=9)
+        b = RadioEnvironment.for_plan(plan, seed=9)
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        np.testing.assert_array_equal(
+            a.scan(Point(10, 10), 5.0, rng_a), b.scan(Point(10, 10), 5.0, rng_b)
+        )
+
+    def test_scan_noise_magnitude(self, plan):
+        parameters = RadioParameters(
+            shadowing_std_db=0.0, drift_std_db=0.0, noise_std_db=3.0
+        )
+        env = RadioEnvironment.for_plan(plan, parameters=parameters)
+        rng = np.random.default_rng(0)
+        static = env.static_rss(Point(20, 10))
+        deviations = [
+            env.scan(Point(20, 10), 0.0, rng)[0] - static[0] for _ in range(1000)
+        ]
+        assert 2.5 < float(np.std(deviations)) < 3.5
+
+
+class TestDeployAps:
+    def test_ids_in_order(self):
+        aps = deploy_aps([Point(0, 0), Point(1, 1)])
+        assert [ap.ap_id for ap in aps] == [0, 1]
+
+    def test_tx_power_applied(self):
+        aps = deploy_aps([Point(0, 0)], tx_power_dbm=-25.0)
+        assert aps[0].tx_power_dbm == -25.0
+
+    def test_negative_ap_id_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPoint(ap_id=-1, position=Point(0, 0))

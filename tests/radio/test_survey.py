@@ -1,0 +1,86 @@
+"""Tests for the site survey."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radio.sampler import RadioEnvironment
+from repro.radio.survey import run_site_survey
+
+
+@pytest.fixture()
+def environment(hall) -> RadioEnvironment:
+    return RadioEnvironment.for_plan(hall.plan, seed=7)
+
+
+class TestProtocol:
+    def test_database_covers_all_locations(self, environment, rng):
+        result = run_site_survey(environment, rng, samples_per_location=12,
+                                 training_samples=8)
+        assert result.database.location_ids == environment.plan.location_ids
+
+    def test_split_sizes(self, environment, rng):
+        result = run_site_survey(
+            environment, rng, samples_per_location=12, training_samples=8
+        )
+        for location_id in environment.plan.location_ids:
+            assert len(result.holdout_at(location_id)) == 4
+
+    def test_invalid_split_rejected(self, environment, rng):
+        with pytest.raises(ValueError):
+            run_site_survey(
+                environment, rng, samples_per_location=10, training_samples=11
+            )
+        with pytest.raises(ValueError):
+            run_site_survey(
+                environment, rng, samples_per_location=10, training_samples=0
+            )
+
+    def test_holdout_unknown_location_raises(self, environment, rng):
+        result = run_site_survey(environment, rng, samples_per_location=6,
+                                 training_samples=4)
+        with pytest.raises(KeyError):
+            result.holdout_at(999)
+
+    def test_fingerprint_length_matches_ap_count(self, environment, rng):
+        result = run_site_survey(environment, rng, samples_per_location=6,
+                                 training_samples=4)
+        assert result.database.n_aps == environment.n_aps
+
+
+class TestQuality:
+    def test_database_is_deterministic_given_rng(self, environment):
+        a = run_site_survey(environment, np.random.default_rng(5),
+                            samples_per_location=8, training_samples=6)
+        b = run_site_survey(environment, np.random.default_rng(5),
+                            samples_per_location=8, training_samples=6)
+        for lid in environment.plan.location_ids:
+            assert a.database.fingerprint_of(lid) == b.database.fingerprint_of(lid)
+
+    def test_mean_fingerprint_near_static_truth(self, environment, rng):
+        """With many samples the survey mean approaches the static RSS."""
+        result = run_site_survey(
+            environment, rng, samples_per_location=60, training_samples=50
+        )
+        location = environment.plan.locations[0]
+        surveyed = result.database.fingerprint_of(location.location_id).as_array()
+        truth = environment.static_rss(location.position)
+        # Drift (std 3 dB) and noise survive averaging only partially.
+        assert np.max(np.abs(surveyed - truth)) < 6.0
+
+    def test_nearest_self_match_in_quiet_channel(self, hall, rng):
+        """With no randomness, a location's own scan matches itself."""
+        from repro.radio.sampler import RadioParameters
+
+        quiet = RadioEnvironment.for_plan(
+            hall.plan,
+            parameters=RadioParameters(
+                shadowing_std_db=0.0, drift_std_db=0.0, noise_std_db=0.0
+            ),
+        )
+        result = run_site_survey(quiet, rng, samples_per_location=4,
+                                 training_samples=2)
+        for location in hall.plan.locations:
+            query = result.holdout_at(location.location_id)[0]
+            assert result.database.nearest(query) == location.location_id

@@ -1,0 +1,88 @@
+"""Fingerprint-twin existence: the phenomenon the paper is about.
+
+These tests verify that the simulated office hall actually *produces*
+fingerprint ambiguity at sparse AP counts — distant location pairs whose
+fingerprints are closer than typical same-location scan noise — and that
+ambiguity decreases as APs are added (the premise of Fig. 7's AP sweep).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+
+def _closest_cross_pairs(database, plan, n_pairs=5):
+    """The location pairs with the most similar fingerprints."""
+    ids = database.location_ids
+    scored = sorted(
+        (
+            database.fingerprint_of(i).dissimilarity(database.fingerprint_of(j)),
+            plan.distance_between(i, j),
+            i,
+            j,
+        )
+        for i, j in itertools.combinations(ids, 2)
+    )
+    return scored[:n_pairs]
+
+
+class TestTwinExistence:
+    def test_distant_twins_exist_at_4_aps(self, scenario):
+        """Some pair >= 2 grid hops apart has a tiny fingerprint gap."""
+        db = scenario.survey.database.truncated(4)
+        pairs = _closest_cross_pairs(db, scenario.plan, n_pairs=8)
+        distant_similar = [
+            (d, dist) for d, dist, _, _ in pairs if dist > 7.0 and d < 8.0
+        ]
+        assert distant_similar, f"no distant twins among {pairs}"
+
+    def test_twin_gap_below_scan_noise(self, scenario, rng):
+        """The closest pair's gap is smaller than same-spot scan spread."""
+        db = scenario.survey.database.truncated(4)
+        gap = _closest_cross_pairs(db, scenario.plan, n_pairs=1)[0][0]
+
+        location = scenario.plan.locations[0]
+        scans = [
+            scenario.environment.scan(location.position, t, rng)[:4]
+            for t in np.linspace(0, 100, 30)
+        ]
+        spreads = [
+            float(np.linalg.norm(a - b))
+            for a, b in itertools.combinations(scans, 2)
+        ]
+        assert gap < np.median(spreads)
+
+    def test_more_aps_reduce_ambiguity(self, scenario):
+        """Median cross-location gap grows with AP count."""
+        full = scenario.survey.database
+        medians = []
+        for n_aps in (4, 5, 6):
+            db = full.truncated(n_aps) if n_aps < full.n_aps else full
+            gaps = [
+                db.fingerprint_of(i).dissimilarity(db.fingerprint_of(j))
+                for i, j in itertools.combinations(db.location_ids, 2)
+            ]
+            medians.append(float(np.median(gaps)))
+        assert medians[0] < medians[1] < medians[2]
+
+    def test_wifi_confusions_happen_at_twins(self, scenario, rng):
+        """Nearest-fingerprint matching actually mislocalizes across twins."""
+        db = scenario.survey.database.truncated(4)
+        plan = scenario.plan
+        confusions = 0
+        large_confusions = 0
+        for location in plan.locations:
+            for t in (5000.0, 5200.0):
+                scan = scenario.environment.scan(location.position, t, rng)
+                from repro.core.fingerprint import Fingerprint
+
+                estimate = db.nearest(Fingerprint.from_values(scan[:4]))
+                if estimate != location.location_id:
+                    confusions += 1
+                    if plan.distance_between(estimate, location.location_id) > 6.0:
+                        large_confusions += 1
+        assert confusions > 5
+        assert large_confusions >= 1

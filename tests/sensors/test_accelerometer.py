@@ -1,0 +1,88 @@
+"""Tests for the synthetic accelerometer (Fig. 4 signature)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sensors.accelerometer import GRAVITY, AccelerometerModel
+
+
+@pytest.fixture()
+def model() -> AccelerometerModel:
+    return AccelerometerModel()
+
+
+class TestWalkingSignal:
+    def test_sample_count(self, model, rng):
+        signal = model.walking(5.0, 0.5, rng)
+        assert len(signal.samples) == 50
+        assert signal.duration_s == pytest.approx(5.0)
+
+    def test_oscillates_around_gravity(self, model, rng):
+        signal = model.walking(10.0, 0.5, rng)
+        assert abs(float(signal.samples.mean()) - GRAVITY) < 0.5
+
+    def test_fig4_magnitude_range(self, model, rng):
+        """Fig. 4 shows magnitudes swinging roughly between 5 and 15."""
+        signal = model.walking(10.0, 0.55, rng)
+        assert 4.0 < float(signal.samples.min()) < 8.5
+        assert 11.5 < float(signal.samples.max()) < 16.0
+
+    def test_ground_truth_step_times(self, model, rng):
+        signal = model.walking(5.5, 0.55, rng, start_phase_s=0.275)
+        assert len(signal.true_step_times) == 10
+        periods = np.diff(signal.true_step_times)
+        assert np.allclose(periods, 0.55)
+
+    def test_random_start_phase_within_period(self, model):
+        for seed in range(5):
+            signal = model.walking(3.0, 0.5, np.random.default_rng(seed))
+            assert 0.0 <= signal.true_step_times[0] < 0.5
+
+    def test_invalid_arguments(self, model, rng):
+        with pytest.raises(ValueError):
+            model.walking(0.0, 0.5, rng)
+        with pytest.raises(ValueError):
+            model.walking(3.0, -0.5, rng)
+
+    def test_times_property(self, model, rng):
+        signal = model.walking(1.0, 0.5, rng)
+        assert signal.times[0] == 0.0
+        assert signal.times[-1] == pytest.approx(0.9)
+
+    @given(
+        duration=st.floats(min_value=1.0, max_value=20.0),
+        period=st.floats(min_value=0.4, max_value=0.7),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_step_count_matches_duration(self, duration, period):
+        model = AccelerometerModel()
+        signal = model.walking(
+            duration, period, np.random.default_rng(0), start_phase_s=period / 2
+        )
+        expected = len(np.arange(period / 2, duration, period))
+        assert len(signal.true_step_times) == expected
+
+
+class TestIdleSignal:
+    def test_no_steps(self, model, rng):
+        signal = model.idle(5.0, rng)
+        assert len(signal.true_step_times) == 0
+
+    def test_small_variance(self, model, rng):
+        signal = model.idle(10.0, rng)
+        assert float(signal.samples.std()) < 1.0
+        assert abs(float(signal.samples.mean()) - GRAVITY) < 0.2
+
+    def test_invalid_duration(self, model, rng):
+        with pytest.raises(ValueError):
+            model.idle(-1.0, rng)
+
+
+class TestDeterminism:
+    def test_same_rng_same_signal(self, model):
+        a = model.walking(4.0, 0.5, np.random.default_rng(11), start_phase_s=0.1)
+        b = model.walking(4.0, 0.5, np.random.default_rng(11), start_phase_s=0.1)
+        np.testing.assert_array_equal(a.samples, b.samples)

@@ -1,0 +1,78 @@
+"""Tests for the synthetic compass."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.geometry import Point, bearing_difference
+from repro.sensors.compass import CompassModel, MagneticDisturbanceField
+
+
+class TestMagneticDisturbanceField:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            MagneticDisturbanceField(-1.0, 2.0, rng)
+        with pytest.raises(ValueError):
+            MagneticDisturbanceField(3.0, 0.0, rng)
+
+    def test_zero_std_is_flat(self, rng):
+        field = MagneticDisturbanceField(0.0, 2.0, rng)
+        assert field.value_at(Point(3, 4)) == 0.0
+
+    def test_deterministic(self, rng):
+        field = MagneticDisturbanceField(3.0, 2.0, rng)
+        p = Point(5, 5)
+        assert field.value_at(p) == field.value_at(p)
+
+    def test_magnitude_plausible(self):
+        field = MagneticDisturbanceField(
+            3.0, 2.0, np.random.default_rng(1), n_components=128
+        )
+        sampler = np.random.default_rng(2)
+        values = [
+            field.value_at(Point(float(x), float(y)))
+            for x, y in sampler.uniform(0, 100, size=(500, 2))
+        ]
+        assert 1.5 < float(np.std(values)) < 5.0
+
+
+class TestCompassModel:
+    def test_reading_normalized(self, rng):
+        compass = CompassModel(noise_std_deg=0.0)
+        reading = compass.read(350.0, Point(0, 0), rng)
+        assert 0.0 <= reading < 360.0
+
+    def test_noiseless_unbiased_reads_truth(self, rng):
+        compass = CompassModel(device_bias_deg=0.0, noise_std_deg=0.0)
+        assert compass.read(123.0, Point(0, 0), rng) == pytest.approx(123.0)
+
+    def test_placement_offset_shifts_reading(self, rng):
+        compass = CompassModel(noise_std_deg=0.0, placement_offset_deg=90.0)
+        assert compass.read(10.0, Point(0, 0), rng) == pytest.approx(100.0)
+
+    def test_device_bias_applied(self, rng):
+        compass = CompassModel(device_bias_deg=-5.0, noise_std_deg=0.0)
+        assert compass.read(10.0, Point(0, 0), rng) == pytest.approx(5.0)
+
+    def test_noise_spread(self):
+        compass = CompassModel(noise_std_deg=4.0)
+        rng = np.random.default_rng(0)
+        errors = [
+            bearing_difference(compass.read(90.0, Point(0, 0), rng), 90.0)
+            for _ in range(1000)
+        ]
+        # Mean absolute error of N(0, 4) is 4 * sqrt(2/pi) ~ 3.2 degrees.
+        assert 2.5 < float(np.mean(errors)) < 4.0
+
+    def test_disturbance_field_contributes(self, rng):
+        field = MagneticDisturbanceField(10.0, 2.0, np.random.default_rng(3))
+        compass = CompassModel(noise_std_deg=0.0, disturbance=field)
+        a = compass.read(0.0, Point(1, 1), rng)
+        expected = field.value_at(Point(1, 1)) % 360.0
+        assert a == pytest.approx(expected)
+
+    def test_mutable_grip(self, rng):
+        compass = CompassModel(noise_std_deg=0.0)
+        compass.placement_offset_deg = 45.0
+        assert compass.read(0.0, Point(0, 0), rng) == pytest.approx(45.0)

@@ -1,0 +1,67 @@
+"""Tests for the synthetic gyroscope."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sensors.gyroscope import GyroscopeModel
+
+
+class TestRecord:
+    def test_tracks_true_rates(self, rng):
+        gyro = GyroscopeModel(bias_dps=0.0, noise_std_dps=0.0)
+        truth = [0.0, 10.0, -5.0]
+        np.testing.assert_allclose(gyro.record(truth, rng), truth)
+
+    def test_bias_added(self, rng):
+        gyro = GyroscopeModel(bias_dps=2.0, noise_std_dps=0.0)
+        np.testing.assert_allclose(gyro.record([0.0, 0.0], rng), [2.0, 2.0])
+
+    def test_noise_statistics(self):
+        gyro = GyroscopeModel(bias_dps=0.0, noise_std_dps=1.5)
+        rng = np.random.default_rng(0)
+        samples = gyro.record(np.zeros(3000), rng)
+        assert abs(float(samples.mean())) < 0.1
+        assert 1.3 < float(samples.std()) < 1.7
+
+    def test_straight_walk_shape(self, rng):
+        gyro = GyroscopeModel()
+        assert gyro.record_straight_walk(30, rng).shape == (30,)
+
+    def test_straight_walk_needs_samples(self, rng):
+        with pytest.raises(ValueError):
+            GyroscopeModel().record_straight_walk(0, rng)
+
+    def test_straight_walk_rates_near_bias(self):
+        gyro = GyroscopeModel(bias_dps=0.1, noise_std_dps=0.5)
+        rng = np.random.default_rng(1)
+        samples = gyro.record_straight_walk(2000, rng)
+        assert abs(float(samples.mean()) - 0.1) < 0.1
+
+
+class TestImuIntegration:
+    def test_imu_records_gyro_when_present(self, rng):
+        from repro.env.geometry import Point
+        from repro.sensors.accelerometer import AccelerometerModel
+        from repro.sensors.compass import CompassModel
+        from repro.sensors.imu import ImuModel
+
+        imu = ImuModel(
+            accelerometer=AccelerometerModel(),
+            compass=CompassModel(),
+            gyroscope=GyroscopeModel(),
+        )
+        segment = imu.record_walk(Point(0, 0), Point(4, 0), 3.0, 0.5, rng)
+        assert segment.gyro_rates_dps is not None
+        assert len(segment.gyro_rates_dps) == len(segment.compass_readings)
+
+    def test_imu_without_gyro_records_none(self, rng):
+        from repro.env.geometry import Point
+        from repro.sensors.accelerometer import AccelerometerModel
+        from repro.sensors.compass import CompassModel
+        from repro.sensors.imu import ImuModel
+
+        imu = ImuModel(AccelerometerModel(), CompassModel())
+        segment = imu.record_walk(Point(0, 0), Point(4, 0), 3.0, 0.5, rng)
+        assert segment.gyro_rates_dps is None

@@ -1,0 +1,58 @@
+"""Tests for the IMU assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.geometry import Point
+from repro.sensors.accelerometer import AccelerometerModel
+from repro.sensors.compass import CompassModel, MagneticDisturbanceField
+from repro.sensors.imu import ImuModel
+
+
+@pytest.fixture()
+def imu() -> ImuModel:
+    return ImuModel(
+        accelerometer=AccelerometerModel(),
+        compass=CompassModel(noise_std_deg=0.0),
+    )
+
+
+class TestRecordWalk:
+    def test_streams_time_aligned(self, imu, rng):
+        segment = imu.record_walk(Point(0, 0), Point(4, 0), 3.0, 0.5, rng)
+        assert len(segment.compass_readings) == len(segment.accel.samples)
+        assert segment.rate_hz == 10.0
+        assert segment.duration_s == pytest.approx(3.0)
+
+    def test_ground_truth_course_and_distance(self, imu, rng):
+        segment = imu.record_walk(Point(0, 0), Point(0, 5), 4.0, 0.5, rng)
+        assert segment.true_course_deg == pytest.approx(0.0)  # north
+        assert segment.true_distance_m == pytest.approx(5.0)
+
+    def test_noiseless_compass_reads_course(self, imu, rng):
+        segment = imu.record_walk(Point(0, 0), Point(3, 3), 3.0, 0.5, rng)
+        np.testing.assert_allclose(segment.compass_readings, 45.0)
+
+    def test_invalid_duration(self, imu, rng):
+        with pytest.raises(ValueError):
+            imu.record_walk(Point(0, 0), Point(1, 0), 0.0, 0.5, rng)
+
+    def test_coincident_endpoints_rejected(self, imu, rng):
+        with pytest.raises(ValueError):
+            imu.record_walk(Point(1, 1), Point(1, 1), 3.0, 0.5, rng)
+
+    def test_disturbance_varies_along_path(self, rng):
+        """Compass readings differ along a walk through a disturbance field."""
+        field = MagneticDisturbanceField(8.0, 1.0, np.random.default_rng(4))
+        imu = ImuModel(
+            accelerometer=AccelerometerModel(),
+            compass=CompassModel(noise_std_deg=0.0, disturbance=field),
+        )
+        segment = imu.record_walk(Point(0, 0), Point(20, 0), 15.0, 0.5, rng)
+        assert float(np.ptp(segment.compass_readings)) > 0.5
+
+    def test_accel_contains_steps(self, imu, rng):
+        segment = imu.record_walk(Point(0, 0), Point(4, 0), 3.0, 0.5, rng)
+        assert len(segment.accel.true_step_times) >= 5

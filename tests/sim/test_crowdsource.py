@@ -1,0 +1,136 @@
+"""Tests for crowdsourced trace generation and RLM derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.geometry import bearing_difference
+from repro.sim.crowdsource import (
+    TraceGenerationConfig,
+    generate_trace,
+    generate_traces,
+    observations_from_traces,
+)
+
+
+class TestTraceGenerationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceGenerationConfig(n_hops=0)
+        with pytest.raises(ValueError):
+            TraceGenerationConfig(n_hops=5, calibration_hops=6)
+        with pytest.raises(ValueError):
+            TraceGenerationConfig(scan_time_jitter_s=-1.0)
+
+
+class TestGenerateTrace:
+    def test_trace_structure(self, scenario, rng):
+        config = TraceGenerationConfig(n_hops=8)
+        trace = generate_trace(scenario, scenario.users[0], rng, config=config)
+        assert trace.n_hops == 8
+        assert trace.user == scenario.users[0].name
+        assert trace.initial_fingerprint.n_aps == 6
+        for hop in trace.hops:
+            assert hop.arrival_fingerprint.n_aps == 6
+
+    def test_hops_follow_aisles(self, scenario, rng):
+        trace = generate_trace(scenario, scenario.users[0], rng)
+        for hop in trace.hops:
+            assert scenario.graph.are_adjacent(hop.true_from, hop.true_to)
+
+    def test_fixed_start(self, scenario, rng):
+        trace = generate_trace(
+            scenario, scenario.users[0], rng, start_id=14
+        )
+        assert trace.true_start == 14
+
+    def test_placement_offset_estimated_close(self, scenario, rng):
+        """Heading calibration lands within a few degrees of the true grip."""
+        user = scenario.users[0]
+        trace = generate_trace(scenario, user, rng)
+        true_offset = (
+            user.imu.compass.placement_offset_deg
+            + user.imu.compass.device_bias_deg
+        )
+        gap = bearing_difference(
+            trace.placement_offset_estimate_deg, true_offset
+        )
+        assert gap < 15.0
+
+    def test_imu_duration_matches_hop(self, scenario, rng):
+        user = scenario.users[0]
+        trace = generate_trace(scenario, user, rng)
+        hop = trace.hops[0]
+        distance = scenario.graph.hop_distance(hop.true_from, hop.true_to)
+        expected = user.hop_duration_s(distance)
+        assert hop.imu.duration_s == pytest.approx(expected, abs=0.2)
+
+
+class TestGenerateTraces:
+    def test_count_and_user_cycling(self, scenario, rng):
+        traces = generate_traces(scenario, 9, rng,
+                                 config=TraceGenerationConfig(n_hops=3))
+        assert len(traces) == 9
+        users = [t.user for t in traces]
+        assert users[0] == users[4]  # 4 users cycle
+        assert len(set(users)) == 4
+
+    def test_invalid_count(self, scenario, rng):
+        with pytest.raises(ValueError):
+            generate_traces(scenario, 0, rng)
+
+    def test_deterministic_given_rng(self, scenario):
+        config = TraceGenerationConfig(n_hops=4)
+        a = generate_traces(scenario, 3, np.random.default_rng(5), config=config)
+        b = generate_traces(scenario, 3, np.random.default_rng(5), config=config)
+        for ta, tb in zip(a, b):
+            assert ta.true_locations == tb.true_locations
+            assert ta.initial_fingerprint == tb.initial_fingerprint
+
+
+class TestObservationDerivation:
+    def test_one_observation_per_hop_at_most(self, scenario, small_study):
+        observations = observations_from_traces(
+            small_study.training_traces[:5],
+            scenario.survey.database,
+        )
+        total_hops = sum(t.n_hops for t in small_study.training_traces[:5])
+        assert 0 < len(observations) <= total_hops
+
+    def test_measurements_resemble_hops(self, scenario, small_study):
+        """Most derived offsets are within a step of a grid hop length."""
+        observations = observations_from_traces(
+            small_study.training_traces[:10], scenario.survey.database
+        )
+        hop_lengths = {
+            round(scenario.graph.hop_distance(i, j), 1)
+            for i, j in scenario.graph.edge_list
+        }
+        close = sum(
+            any(abs(obs.measurement.offset_m - h) < 0.8 for h in hop_lengths)
+            for obs in observations
+        )
+        assert close / len(observations) > 0.8
+
+    def test_truncated_database_changes_endpoints(self, scenario, small_study):
+        """4-AP estimates differ from 6-AP estimates somewhere."""
+        full = observations_from_traces(
+            small_study.training_traces[:10], scenario.survey.database
+        )
+        truncated = observations_from_traces(
+            small_study.training_traces[:10],
+            scenario.survey.database.truncated(4),
+        )
+        endpoints_full = [(o.start_id, o.end_id) for o in full]
+        endpoints_4ap = [(o.start_id, o.end_id) for o in truncated]
+        assert endpoints_full != endpoints_4ap
+
+    def test_dsc_offsets_are_step_multiples(self, scenario, small_study):
+        trace = small_study.training_traces[0]
+        observations = observations_from_traces(
+            [trace], scenario.survey.database, counting="dsc"
+        )
+        for obs in observations:
+            steps = obs.measurement.offset_m / trace.estimated_step_length_m
+            assert steps == pytest.approx(round(steps), abs=1e-6)

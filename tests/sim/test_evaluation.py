@@ -1,0 +1,122 @@
+"""Tests for the evaluation metrics and convergence statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.evaluation import (
+    ConvergenceStatistics,
+    EvaluationResult,
+    LocalizationRecord,
+    TraceEvaluation,
+    ambiguous_location_ids,
+    convergence_statistics,
+)
+
+
+def record(true_id, estimated_id, error, initial=False) -> LocalizationRecord:
+    return LocalizationRecord(
+        true_id=true_id,
+        estimated_id=estimated_id,
+        error_m=error,
+        used_motion=not initial,
+        is_initial=initial,
+    )
+
+
+def result_from(*traces) -> EvaluationResult:
+    return EvaluationResult(
+        traces=[TraceEvaluation(user="u", records=list(t)) for t in traces]
+    )
+
+
+class TestAggregates:
+    def test_accuracy(self):
+        result = result_from(
+            [record(1, 1, 0.0, initial=True), record(2, 3, 4.0), record(3, 3, 0.0)]
+        )
+        assert result.accuracy == pytest.approx(2 / 3)
+
+    def test_mean_and_max_error(self):
+        result = result_from([record(1, 2, 3.0, initial=True), record(2, 4, 9.0)])
+        assert result.mean_error_m == pytest.approx(6.0)
+        assert result.max_error_m == pytest.approx(9.0)
+
+    def test_empty_result_accuracy_raises(self):
+        with pytest.raises(ValueError):
+            result_from([]).accuracy
+
+    def test_errors_at_filters_by_true_location(self):
+        result = result_from(
+            [record(1, 2, 3.0, initial=True), record(5, 5, 0.0), record(1, 1, 0.0)]
+        )
+        errors = result.errors_at({1})
+        assert list(errors) == [3.0, 0.0]
+
+
+class TestAmbiguousLocations:
+    def test_threshold_applied(self):
+        result = result_from(
+            [record(1, 9, 8.0, initial=True), record(2, 2, 0.0), record(3, 4, 5.0)]
+        )
+        assert ambiguous_location_ids(result, threshold_m=6.0) == {1}
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ambiguous_location_ids(result_from([]), threshold_m=0.0)
+
+
+class TestConvergence:
+    def test_el_counts_erroneous_prefix(self):
+        trace = [
+            record(1, 9, 8.0, initial=True),  # wrong
+            record(2, 7, 5.0),  # wrong
+            record(3, 3, 0.0),  # first accurate (EL = 2)
+            record(4, 4, 0.0),
+            record(5, 9, 6.0),
+        ]
+        stats = convergence_statistics(result_from(trace))
+        assert stats.mean_erroneous_localizations == pytest.approx(2.0)
+        assert stats.n_traces == 1
+        # Subsequent records: indexes 2..4 -> two accurate of three.
+        assert stats.accuracy == pytest.approx(2 / 3)
+        assert stats.mean_error_m == pytest.approx(2.0)
+        assert stats.max_error_m == pytest.approx(6.0)
+
+    def test_accurate_initial_traces_excluded(self):
+        good = [record(1, 1, 0.0, initial=True), record(2, 9, 7.0)]
+        bad = [record(1, 9, 8.0, initial=True), record(2, 2, 0.0)]
+        stats = convergence_statistics(result_from(good, bad))
+        assert stats.n_traces == 1
+        assert stats.mean_erroneous_localizations == pytest.approx(1.0)
+
+    def test_never_converging_trace_contributes_full_el(self):
+        lost = [record(1, 9, 8.0, initial=True), record(2, 9, 7.0)]
+        converging = [record(1, 9, 8.0, initial=True), record(2, 2, 0.0)]
+        stats = convergence_statistics(result_from(lost, converging))
+        assert stats.n_traces == 2
+        assert stats.mean_erroneous_localizations == pytest.approx((2 + 1) / 2)
+
+    def test_no_erroneous_traces_raises(self):
+        good = [record(1, 1, 0.0, initial=True)]
+        with pytest.raises(ValueError):
+            convergence_statistics(result_from(good))
+
+    def test_nothing_converges_raises(self):
+        lost = [record(1, 9, 8.0, initial=True), record(2, 9, 7.0)]
+        with pytest.raises(ValueError):
+            convergence_statistics(result_from(lost))
+
+
+class TestRecordProperties:
+    def test_is_accurate(self):
+        assert record(3, 3, 0.0).is_accurate
+        assert not record(3, 4, 1.0).is_accurate
+
+    def test_initial_accurate_flag(self):
+        trace = TraceEvaluation(
+            user="u", records=[record(1, 1, 0.0, initial=True)]
+        )
+        assert trace.initial_accurate
+        empty = TraceEvaluation(user="u", records=[])
+        assert not empty.initial_accurate

@@ -1,0 +1,122 @@
+"""Tests for the per-figure experiment drivers (on the small study)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motion.step_counting import detect_step_times
+from repro.sim.evaluation import evaluate_localizer
+from repro.sim.experiments import (
+    AP_COUNTS,
+    convergence_table,
+    evaluate_systems,
+    large_error_comparison,
+    make_localizer,
+    motion_database_errors,
+    step_signature,
+)
+
+
+class TestStepSignature:
+    def test_fig4_ten_steps(self):
+        signal, detected = step_signature(n_steps=10)
+        assert len(signal.true_step_times) == 10
+        assert len(detected) == 10
+
+    def test_deterministic(self):
+        a, _ = step_signature(seed=3)
+        b, _ = step_signature(seed=3)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+
+class TestStudyArtifacts:
+    def test_fingerprint_db_truncation(self, small_study):
+        assert small_study.fingerprint_db(4).n_aps == 4
+        assert small_study.fingerprint_db(6).n_aps == 6
+
+    def test_fingerprint_db_cached(self, small_study):
+        assert small_study.fingerprint_db(5) is small_study.fingerprint_db(5)
+
+    def test_motion_db_cached_per_key(self, small_study):
+        a, _ = small_study.motion_db(6)
+        b, _ = small_study.motion_db(6)
+        assert a is b
+        c, _ = small_study.motion_db(6, counting="dsc")
+        assert c is not a
+
+
+class TestMotionDatabaseErrors:
+    def test_fig6_error_shape(self, small_study):
+        """Direction/offset errors far below the sanitation thresholds."""
+        directions, offsets, spurious = motion_database_errors(small_study)
+        assert len(directions) >= 35  # most of the 43 aisle hops covered
+        assert float(np.median(directions)) < 6.0
+        assert max(directions) < 20.0
+        assert float(np.median(offsets)) < 0.4
+        assert max(offsets) < 1.0
+        assert spurious <= 2
+
+    def test_offset_errors_below_step_size(self, small_study):
+        """Paper Sec. VI-B1: max offset error below a normal step (~0.7 m)."""
+        _, offsets, _ = motion_database_errors(small_study)
+        assert float(np.median(offsets)) < 0.35
+
+
+class TestMakeLocalizer:
+    @pytest.mark.parametrize(
+        "name", ["moloc", "wifi", "horus", "hmm", "naive-fusion"]
+    )
+    def test_known_names(self, small_study, name):
+        fdb = small_study.fingerprint_db(6)
+        mdb, _ = small_study.motion_db(6)
+        localizer = make_localizer(name, fdb, mdb)
+        assert hasattr(localizer, "locate")
+        assert hasattr(localizer, "reset")
+
+    def test_unknown_name(self, small_study):
+        with pytest.raises(ValueError):
+            make_localizer("gps", small_study.fingerprint_db(6), None)
+
+
+class TestEvaluateSystems:
+    def test_fig7_moloc_beats_wifi(self, small_study):
+        results = evaluate_systems(small_study, n_aps=6)
+        assert results["moloc"].accuracy > results["wifi"].accuracy
+        assert results["moloc"].mean_error_m < results["wifi"].mean_error_m
+
+    def test_all_baselines_run(self, small_study):
+        results = evaluate_systems(
+            small_study, n_aps=6, systems=("moloc", "wifi", "horus", "hmm")
+        )
+        assert set(results) == {"moloc", "wifi", "horus", "hmm"}
+
+    def test_every_record_scored(self, small_study):
+        results = evaluate_systems(small_study, n_aps=5)
+        expected = sum(t.n_hops + 1 for t in small_study.test_traces)
+        for result in results.values():
+            assert len(result.records) == expected
+
+
+class TestLargeErrors:
+    def test_fig8_moloc_smaller_errors_at_twins(self, small_study):
+        errors, ambiguous = large_error_comparison(small_study, n_aps=4)
+        assert ambiguous, "no ambiguous locations found at 4 APs"
+        assert float(errors["moloc"].mean()) < float(errors["wifi"].mean())
+
+    def test_errors_restricted_to_ambiguous_set(self, small_study):
+        errors, ambiguous = large_error_comparison(small_study, n_aps=4)
+        results = evaluate_systems(small_study, n_aps=4)
+        expected = sum(
+            1 for r in results["wifi"].records if r.true_id in ambiguous
+        )
+        assert len(errors["wifi"]) == expected
+
+
+class TestConvergenceTable:
+    def test_table1_rows(self, small_study):
+        rows = convergence_table(small_study, ap_counts=(6,))
+        labels = [label for label, _ in rows]
+        assert labels == ["6-AP WiFi", "6-AP MoLoc"]
+        stats = dict(rows)
+        assert stats["6-AP MoLoc"].accuracy > stats["6-AP WiFi"].accuracy

@@ -1,0 +1,50 @@
+"""Tests for scenario assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.scenario import build_scenario
+
+
+class TestBuildScenario:
+    def test_paper_protocol(self, scenario):
+        assert len(scenario.plan) == 28
+        assert scenario.environment.n_aps == 6
+        assert len(scenario.users) == 4
+        assert scenario.survey.database.n_aps == 6
+
+    def test_survey_splits(self, scenario):
+        for location_id in scenario.plan.location_ids:
+            assert len(scenario.survey.holdout_at(location_id)) == 20
+
+    def test_needs_at_least_one_user(self):
+        with pytest.raises(ValueError):
+            build_scenario(n_users=0)
+
+    def test_users_have_distinct_compass_biases(self, scenario):
+        biases = {u.imu.compass.device_bias_deg for u in scenario.users}
+        assert len(biases) == len(scenario.users)
+
+    def test_users_share_disturbance_field(self, scenario):
+        fields = {id(u.imu.compass.disturbance) for u in scenario.users}
+        assert len(fields) == 1
+
+    def test_deterministic_given_seed(self):
+        a = build_scenario(seed=3, samples_per_location=6, training_samples=4)
+        b = build_scenario(seed=3, samples_per_location=6, training_samples=4)
+        for lid in a.plan.location_ids:
+            assert a.survey.database.fingerprint_of(
+                lid
+            ) == b.survey.database.fingerprint_of(lid)
+        for ua, ub in zip(a.users, b.users):
+            assert ua.body == ub.body
+            assert ua.true_step_length_m == ub.true_step_length_m
+
+    def test_different_seeds_differ(self):
+        a = build_scenario(seed=3, samples_per_location=6, training_samples=4)
+        b = build_scenario(seed=4, samples_per_location=6, training_samples=4)
+        fp_a = a.survey.database.fingerprint_of(1)
+        fp_b = b.survey.database.fingerprint_of(1)
+        assert fp_a != fp_b

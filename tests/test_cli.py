@@ -1,0 +1,140 @@
+"""Tests for the command-line interface.
+
+CLI commands that need the paper-scale study are exercised through
+``main()`` directly (same process) so the session fixtures stay warm.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_parses(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+        assert args.seed == 7
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "3", "demo"])
+        assert args.seed == 3
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_build_db_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build-db"])
+
+
+class TestCommands:
+    def test_demo_prints_table(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "6-AP moloc" in out
+        assert "accuracy" in out
+
+    def test_experiment_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "detected step times" in out
+
+    def test_experiment_fig6(self, capsys):
+        assert main(["experiment", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "direction errors" in out
+        assert "offset errors" in out
+
+    def test_experiment_fig7(self, capsys):
+        assert main(
+            ["--training-traces", "60", "--test-traces", "6",
+             "experiment", "fig7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7 4-AP" in out and "moloc" in out
+
+    def test_experiment_fig8(self, capsys):
+        assert main(
+            ["--training-traces", "60", "--test-traces", "6",
+             "experiment", "fig8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "twin locations" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "6-AP MoLoc" in out
+        assert "EL" in out
+
+    def test_build_db_writes_artifacts(self, capsys, tmp_path):
+        assert main(["build-db", "--output", str(tmp_path), "--n-aps", "5"]) == 0
+        for name in ("floorplan", "graph", "fingerprint_db", "motion_db"):
+            path = tmp_path / f"{name}.json"
+            assert path.exists(), f"{name}.json missing"
+            payload = json.loads(path.read_text())
+            assert payload["format_version"] == 1
+
+    def test_evaluate_from_saved_databases(self, capsys, tmp_path):
+        main(["build-db", "--output", str(tmp_path), "--n-aps", "5"])
+        capsys.readouterr()
+        assert main(
+            [
+                "evaluate",
+                "--n-aps",
+                "5",
+                "--databases",
+                str(tmp_path),
+                "--systems",
+                "moloc",
+                "wifi",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "moloc" in out
+        assert "wifi" in out
+
+    def test_evaluate_without_databases(self, capsys):
+        assert main(["evaluate", "--n-aps", "6", "--systems", "wifi"]) == 0
+        out = capsys.readouterr().out
+        assert "wifi" in out
+
+    def test_report_writes_markdown(self, capsys, tmp_path):
+        path = tmp_path / "report.md"
+        assert main(
+            [
+                "--training-traces",
+                "60",
+                "--test-traces",
+                "8",
+                "report",
+                "--output",
+                str(path),
+            ]
+        ) == 0
+        text = path.read_text()
+        assert "# MoLoc reproduction report" in text
+        assert "Motion database" in text
+        assert "| 6 APs |" in text
+
+    def test_export_traces(self, capsys, tmp_path):
+        from repro.io.serialize import load_json
+        from repro.io.traces import traces_from_dict
+
+        path = tmp_path / "traces.json"
+        assert main(
+            ["export-traces", "--output", str(path), "--count", "2"]
+        ) == 0
+        restored = traces_from_dict(load_json(path))
+        assert len(restored) == 2
+        out = capsys.readouterr().out
+        assert "2 test traces" in out

@@ -1,0 +1,58 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least import cleanly and expose ``main`` (they are
+documentation that executes; broken imports are broken docs).  The two
+fastest examples are also executed end to end; the rest are exercised by
+their underlying APIs throughout the suite and run in CI via the
+benchmark harness's identical code paths.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    name = f"example_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestAllExamples:
+    def test_examples_exist(self):
+        assert len(ALL_EXAMPLES) >= 9
+
+    @pytest.mark.parametrize(
+        "path", ALL_EXAMPLES, ids=[p.stem for p in ALL_EXAMPLES]
+    )
+    def test_imports_cleanly_and_has_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), (
+            f"{path.name} must expose a main() function"
+        )
+
+    @pytest.mark.parametrize(
+        "path", ALL_EXAMPLES, ids=[p.stem for p in ALL_EXAMPLES]
+    )
+    def test_has_run_instructions(self, path):
+        text = path.read_text()
+        assert "Run:" in text, f"{path.name} docstring lacks run instructions"
+
+
+class TestFastExamplesRun:
+    def test_fingerprint_twins_runs(self, capsys):
+        module = _load(EXAMPLES_DIR / "fingerprint_twins.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "twins" in out
+        assert "MoLoc" in out

@@ -1,0 +1,156 @@
+"""Tests for the MoLocService facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motion.pedestrian import BodyProfile
+from repro.service import MoLocService
+
+
+@pytest.fixture()
+def service(small_study):
+    motion_db, _ = small_study.motion_db(6)
+    return MoLocService(
+        small_study.fingerprint_db(6),
+        motion_db,
+        body=BodyProfile(height_m=1.72),
+        config=small_study.config,
+    )
+
+
+def _calibration_from_trace(trace, n_hops=2):
+    return [
+        (hop.imu.compass_readings, hop.imu.true_course_deg)
+        for hop in trace.hops[:n_hops]
+    ]
+
+
+class TestLifecycle:
+    def test_first_fix_without_imu(self, service, small_study):
+        trace = small_study.test_traces[0]
+        estimate = service.on_interval(trace.initial_fingerprint.rss)
+        assert estimate.location_id in small_study.scenario.plan.location_ids
+        assert not estimate.used_motion
+        assert service.fix_count == 1
+
+    def test_motion_before_calibration_rejected(self, service, small_study):
+        trace = small_study.test_traces[0]
+        service.on_interval(trace.initial_fingerprint.rss)
+        with pytest.raises(RuntimeError, match="calibration"):
+            service.on_interval(
+                trace.hops[0].arrival_fingerprint.rss, trace.hops[0].imu
+            )
+
+    def test_calibrate_then_track(self, service, small_study):
+        trace = small_study.test_traces[0]
+        service.calibrate_heading(_calibration_from_trace(trace))
+        assert service.is_calibrated
+        service.on_interval(trace.initial_fingerprint.rss)
+        estimate = service.on_interval(
+            trace.hops[0].arrival_fingerprint.rss, trace.hops[0].imu
+        )
+        assert estimate.used_motion or estimate.location_id  # completes
+
+    def test_end_session_resets(self, service, small_study):
+        trace = small_study.test_traces[0]
+        service.calibrate_heading(_calibration_from_trace(trace))
+        service.on_interval(trace.initial_fingerprint.rss)
+        service.end_session()
+        assert not service.is_calibrated
+        assert service.fix_count == 0
+
+
+class TestTrackingQuality:
+    def test_full_walk_accuracy(self, small_study):
+        """Driving the service over whole walks reaches MoLoc-level accuracy.
+
+        Calibration references come from the user's true hop courses
+        (what Zee's map matching recovers); the service must then track
+        most reference-location passages exactly.
+        """
+        motion_db, _ = small_study.motion_db(6)
+        plan = small_study.scenario.plan
+        correct = 0
+        total = 0
+        for trace in small_study.test_traces[:10]:
+            service = MoLocService(
+                small_study.fingerprint_db(6),
+                motion_db,
+                body=BodyProfile(height_m=1.72),
+                config=small_study.config,
+            )
+            # Approximate the trace user's step length via their profile.
+            service._stride.step_length_m = trace.estimated_step_length_m
+            service.calibrate_heading(_calibration_from_trace(trace))
+            service.on_interval(trace.initial_fingerprint.rss)
+            for hop in trace.hops:
+                estimate = service.on_interval(
+                    hop.arrival_fingerprint.rss, hop.imu
+                )
+                total += 1
+                if estimate.location_id == hop.true_to:
+                    correct += 1
+        assert correct / total > 0.7
+
+    def test_gyro_fusion_path_used_when_available(self, small_study, rng):
+        """A gyro-equipped segment goes through the Kalman fusion path and
+        still yields a sound heading (compared to the plain path)."""
+        from repro.env.geometry import Point, bearing_difference
+        from repro.sensors.accelerometer import AccelerometerModel
+        from repro.sensors.compass import CompassModel
+        from repro.sensors.gyroscope import GyroscopeModel
+        from repro.sensors.imu import ImuModel
+
+        motion_db, _ = small_study.motion_db(6)
+        fused_service = MoLocService(
+            small_study.fingerprint_db(6),
+            motion_db,
+            body=BodyProfile(height_m=1.72),
+            use_gyro_fusion=True,
+        )
+        plain_service = MoLocService(
+            small_study.fingerprint_db(6),
+            motion_db,
+            body=BodyProfile(height_m=1.72),
+            use_gyro_fusion=False,
+        )
+        imu = ImuModel(
+            AccelerometerModel(), CompassModel(noise_std_deg=4.0), GyroscopeModel()
+        )
+        segment = imu.record_walk(Point(0, 0), Point(5, 0), 4.0, 0.5, rng)
+        for service in (fused_service, plain_service):
+            service.calibrate_heading([(segment.compass_readings, 90.0)])
+        fused = fused_service._motion_from(segment)
+        plain = plain_service._motion_from(segment)
+        assert bearing_difference(fused.direction_deg, 90.0) < 6.0
+        assert bearing_difference(plain.direction_deg, 90.0) < 6.0
+
+    def test_stationary_interval_prefers_staying(self, small_study, rng):
+        """An idle IMU recording keeps the fix at the current location."""
+        from repro.sensors.accelerometer import AccelerometerModel
+        from repro.sensors.imu import ImuSegment
+
+        motion_db, _ = small_study.motion_db(6)
+        service = MoLocService(
+            small_study.fingerprint_db(6),
+            motion_db,
+            body=BodyProfile(height_m=1.72),
+            config=small_study.config,
+        )
+        trace = small_study.test_traces[0]
+        service.calibrate_heading(_calibration_from_trace(trace))
+        first = service.on_interval(trace.initial_fingerprint.rss)
+
+        idle_accel = AccelerometerModel().idle(3.0, rng)
+        idle_segment = ImuSegment(
+            accel=idle_accel,
+            compass_readings=np.full(len(idle_accel.samples), 90.0),
+            true_course_deg=90.0,
+            true_distance_m=0.0,
+        )
+        second = service.on_interval(
+            trace.initial_fingerprint.rss, idle_segment
+        )
+        assert second.location_id == first.location_id
