@@ -21,10 +21,17 @@ The timed operation is one AP-outage injection over the test set.
 
 from __future__ import annotations
 
+from collections import Counter
+
+import numpy as np
+
 from repro.analysis.tables import format_table
 from repro.core.baselines import WiFiFingerprintingLocalizer
 from repro.core.localizer import MoLocLocalizer
-from repro.sim.evaluation import evaluate_localizer
+from repro.motion.pedestrian import BodyProfile
+from repro.robustness import ResilientMoLocService
+from repro.service import MoLocService
+from repro.sim.evaluation import evaluate_localizer, evaluate_service
 from repro.sim.failures import (
     inject_ap_outage,
     inject_grip_shift,
@@ -97,3 +104,117 @@ def test_extension_fault_resilience(benchmark, study, report):
     # No fault should cost MoLoc everything it gained over WiFi.
     outage_moloc, outage_wifi = accuracies["AP 5 down all session"]
     assert outage_moloc > outage_wifi + 0.1
+
+
+class _HealthRecorder:
+    """Service wrapper that tallies reported fault classes per fix."""
+
+    def __init__(self, service, fault_counter: Counter) -> None:
+        self._service = service
+        self._faults = fault_counter
+
+    def on_interval(self, scan, imu=None):
+        fix = self._service.on_interval(scan, imu)
+        self._faults.update(fix.health.faults)
+        return fix
+
+
+def _session_factory(study, cls, **kwargs):
+    fdb = study.fingerprint_db(6)
+    mdb, _ = study.motion_db(6)
+
+    def make_session(trace):
+        service = cls(
+            fdb,
+            mdb,
+            body=BodyProfile(height_m=1.72),
+            config=study.config,
+            **kwargs,
+        )
+        service._stride.step_length_m = trace.estimated_step_length_m
+        service.calibrate_heading(
+            [
+                (hop.imu.compass_readings, hop.imu.true_course_deg)
+                for hop in trace.hops[:2]
+            ]
+        )
+        return service
+
+    return make_session
+
+
+def test_extension_resilient_serving(benchmark, study, report):
+    """Extension — plain vs degradation-aware serving under faults.
+
+    Replays every fault class through both service facades.  The
+    resilient service must serve a fix on 100% of intervals, name the
+    injected fault class in its health reports, match the plain service
+    on clean traces, and beat it wherever the fault is maskable (dead
+    AP), repairable (grip shift), or detectable (flat-lined IMU).
+    """
+    traces = study.test_traces
+    plan = study.scenario.plan
+    make_plain = _session_factory(study, MoLocService)
+    make_resilient = _session_factory(study, ResilientMoLocService, plan=plan)
+
+    benchmark(
+        lambda: evaluate_service(make_resilient, traces[:1], plan)
+    )
+
+    n_intervals = sum(1 + t.n_hops for t in traces)
+    rows = []
+    stats = {}
+    fault_counts = {}
+    for label, degraded in _conditions(traces):
+        plain = evaluate_service(make_plain, degraded, plan)
+        faults: Counter = Counter()
+        resilient = evaluate_service(
+            lambda trace: _HealthRecorder(make_resilient(trace), faults),
+            degraded,
+            plan,
+        )
+        # Availability: one scored fix per interval, no exceptions.
+        assert len(plain.records) == n_intervals
+        assert len(resilient.records) == n_intervals
+        stats[label] = (plain, resilient)
+        fault_counts[label] = faults
+        rows.append(
+            [
+                label,
+                f"{plain.accuracy:.0%} / {resilient.accuracy:.0%}",
+                f"{np.median(plain.errors):.2f} / "
+                f"{np.median(resilient.errors):.2f}",
+                f"{np.percentile(plain.errors, 95):.2f} / "
+                f"{np.percentile(resilient.errors, 95):.2f}",
+            ]
+        )
+    table = format_table(
+        ["condition", "acc plain/resilient", "median err (m)", "p95 err (m)"],
+        rows,
+    )
+    report("Extension — resilient serving (plain / resilient)", table)
+
+    from repro.robustness import FaultType
+
+    # Clean traces: the fault barrier must cost (essentially) nothing.
+    clean_plain, clean_resilient = stats["clean"]
+    assert clean_resilient.accuracy >= clean_plain.accuracy - 0.02
+
+    # Dead AP: masking must strictly beat matching against the corpse.
+    outage_plain, outage_resilient = stats["AP 5 down all session"]
+    assert np.median(outage_resilient.errors) < np.median(outage_plain.errors)
+    assert outage_resilient.accuracy > outage_plain.accuracy
+    assert fault_counts["AP 5 down all session"][FaultType.DEAD_AP] > 0
+
+    # Grip shift: drift detection plus recalibration must recover ground.
+    grip_plain, grip_resilient = stats["grip change after hop 1"]
+    assert grip_resilient.mean_error_m < grip_plain.mean_error_m
+    assert (
+        fault_counts["grip change after hop 1"][FaultType.CALIBRATION_DRIFT]
+        > 0
+    )
+
+    # Flat-lined IMU: refusing the lying sensor must beat trusting it.
+    imu_plain, imu_resilient = stats["IMU dead all session"]
+    assert imu_resilient.accuracy > imu_plain.accuracy
+    assert fault_counts["IMU dead all session"][FaultType.IMU_DROPOUT] > 0

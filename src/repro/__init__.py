@@ -26,6 +26,10 @@ Package layout
     driver per paper figure/table.
 ``repro.analysis``
     Empirical CDFs and text tables.
+``repro.robustness``
+    Degradation-aware serving: scan sanitization, dead-AP masking,
+    divergence/calibration watchdogs, and the graceful-fallback
+    ``ResilientMoLocService``.
 
 Quickstart
 ----------
@@ -48,6 +52,13 @@ from .core import (
 from .env import FloorPlan, Point, WalkableGraph, office_hall
 from .motion import MotionMeasurement, RlmObservation
 from .radio import RadioEnvironment, RadioParameters, run_site_survey
+from .robustness import (
+    FaultType,
+    HealthStatus,
+    ResilientFix,
+    ResilientMoLocService,
+    ServingMode,
+)
 from .service import MoLocService
 from .sim import (
     Study,
@@ -81,6 +92,11 @@ __all__ = [
     "RadioParameters",
     "run_site_survey",
     "MoLocService",
+    "ResilientMoLocService",
+    "ResilientFix",
+    "HealthStatus",
+    "FaultType",
+    "ServingMode",
     "Study",
     "build_scenario",
     "prepare_study",

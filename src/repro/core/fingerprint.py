@@ -8,6 +8,11 @@ is the database entry minimizing that dissimilarity (Eq. 2).
 The database keeps, per reference location, both the mean fingerprint
 (used by Euclidean matching) and the per-AP standard deviation of the
 survey samples (used by the Horus-style probabilistic baseline).
+
+Matching supports an optional *active-AP mask*: a boolean vector marking
+which AP readings participate in the distance.  The robustness layer uses
+it to exclude APs its sanitizer has diagnosed as dead, so a floored slot
+cannot dominate every dissimilarity.
 """
 
 from __future__ import annotations
@@ -18,7 +23,16 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Fingerprint", "FingerprintDatabase"]
+__all__ = ["Fingerprint", "FingerprintDatabase", "RSS_FLOOR_DBM", "RSS_CEILING_DBM"]
+
+RSS_FLOOR_DBM = -100.0
+"""Weakest physically reportable RSS; mirrors the radio layer's
+sensitivity floor without importing upward through ``repro.radio``
+(which itself builds :class:`FingerprintDatabase` objects)."""
+
+RSS_CEILING_DBM = 0.0
+"""No phone ever reports a WiFi RSS above 0 dBm; stronger values are
+sensor garbage."""
 
 
 @dataclass(frozen=True)
@@ -28,9 +42,39 @@ class Fingerprint:
     rss: Tuple[float, ...]
 
     @classmethod
-    def from_values(cls, values: Iterable[float]) -> "Fingerprint":
-        """Build a fingerprint from any iterable of RSS values."""
-        return cls(tuple(float(v) for v in values))
+    def from_values(
+        cls,
+        values: Iterable[float],
+        non_finite: str = "reject",
+        floor_dbm: float = RSS_FLOOR_DBM,
+    ) -> "Fingerprint":
+        """Build a fingerprint from any iterable of RSS values.
+
+        Args:
+            values: Per-AP RSS readings in dBm.
+            non_finite: What to do with NaN/inf readings: ``"reject"``
+                (default) raises; ``"floor"`` normalizes them to
+                ``floor_dbm`` — the explicit opt-in the scan sanitizer
+                uses after flagging the fault.
+            floor_dbm: The substitute value in ``"floor"`` mode.
+
+        Raises:
+            ValueError: on a non-finite reading in ``"reject"`` mode, or
+                an unknown ``non_finite`` policy.
+        """
+        if non_finite not in ("reject", "floor"):
+            raise ValueError(
+                f"non_finite must be 'reject' or 'floor', got {non_finite!r}"
+            )
+        rss = tuple(float(v) for v in values)
+        if not all(math.isfinite(v) for v in rss):
+            if non_finite == "reject":
+                raise ValueError(
+                    "fingerprint contains non-finite RSS values; pass "
+                    "non_finite='floor' to normalize them explicitly"
+                )
+            rss = tuple(v if math.isfinite(v) else floor_dbm for v in rss)
+        return cls(rss)
 
     @property
     def n_aps(self) -> int:
@@ -38,8 +82,13 @@ class Fingerprint:
         return len(self.rss)
 
     def as_array(self) -> np.ndarray:
-        """The fingerprint as a float array indexed by AP id."""
-        return np.array(self.rss, dtype=float)
+        """The fingerprint as a (read-only, cached) float array by AP id."""
+        cached = self.__dict__.get("_array")
+        if cached is None:
+            cached = np.array(self.rss, dtype=float)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_array", cached)
+        return cached
 
     def truncated(self, n_aps: int) -> "Fingerprint":
         """The fingerprint restricted to the first ``n_aps`` APs.
@@ -51,13 +100,38 @@ class Fingerprint:
             raise ValueError(f"cannot truncate {self.n_aps}-AP fingerprint to {n_aps}")
         return Fingerprint(self.rss[:n_aps])
 
-    def dissimilarity(self, other: "Fingerprint") -> float:
-        """Euclidean dissimilarity ``phi(F, F')`` between fingerprints (Eq. 1)."""
+    def dissimilarity(
+        self, other: "Fingerprint", active_aps: Optional[Sequence[bool]] = None
+    ) -> float:
+        """Euclidean dissimilarity ``phi(F, F')`` between fingerprints (Eq. 1).
+
+        Args:
+            other: The fingerprint to compare against.
+            active_aps: Optional boolean mask (one flag per AP); masked-out
+                APs do not contribute to the distance.  At least one AP
+                must stay active.
+        """
         if self.n_aps != other.n_aps:
             raise ValueError(
                 f"fingerprint lengths differ: {self.n_aps} vs {other.n_aps}"
             )
-        return math.sqrt(sum((a - b) ** 2 for a, b in zip(self.rss, other.rss)))
+        diff = self.as_array() - other.as_array()
+        if active_aps is not None:
+            mask = _validated_mask(active_aps, self.n_aps)
+            diff = diff[mask]
+        return float(np.sqrt(np.dot(diff, diff)))
+
+
+def _validated_mask(active_aps: Sequence[bool], n_aps: int) -> np.ndarray:
+    """An active-AP mask as a boolean array, checked for shape and support."""
+    mask = np.asarray(active_aps, dtype=bool)
+    if mask.shape != (n_aps,):
+        raise ValueError(
+            f"active-AP mask has shape {mask.shape}, expected ({n_aps},)"
+        )
+    if not mask.any():
+        raise ValueError("active-AP mask excludes every AP")
+    return mask
 
 
 class FingerprintDatabase:
@@ -82,6 +156,13 @@ class FingerprintDatabase:
         self._means: Dict[int, Fingerprint] = dict(means)
         self._stds: Dict[int, Tuple[float, ...]] = dict(stds or {})
         (self._n_aps,) = lengths
+        # Dense views for vectorized matching, built once: row r of the
+        # matrix is the mean fingerprint of self._matrix_ids[r].
+        self._matrix_ids: List[int] = sorted(self._means)
+        self._mean_matrix: np.ndarray = np.array(
+            [self._means[lid].rss for lid in self._matrix_ids], dtype=float
+        )
+        self._mean_matrix.setflags(write=False)
         for location_id, std in self._stds.items():
             if location_id not in self._means:
                 raise ValueError(f"std given for unknown location {location_id}")
@@ -156,23 +237,34 @@ class FingerprintDatabase:
     # Matching
     # ------------------------------------------------------------------
 
-    def dissimilarities(self, query: Fingerprint) -> Dict[int, float]:
-        """``phi(F, F')`` from the query to every database entry (Eq. 1)."""
+    def dissimilarities(
+        self, query: Fingerprint, active_aps: Optional[Sequence[bool]] = None
+    ) -> Dict[int, float]:
+        """``phi(F, F')`` from the query to every database entry (Eq. 1).
+
+        Vectorized over the whole database.  With ``active_aps`` given,
+        masked-out APs are excluded from every distance — the masked-AP
+        matching the robustness layer uses to survive a dead AP.
+        """
         if query.n_aps != self._n_aps:
             raise ValueError(
                 f"query has {query.n_aps} APs but database stores {self._n_aps}"
             )
-        return {
-            location_id: query.dissimilarity(fp)
-            for location_id, fp in self._means.items()
-        }
+        diff = self._mean_matrix - query.as_array()
+        if active_aps is not None:
+            mask = _validated_mask(active_aps, self._n_aps)
+            diff = diff[:, mask]
+        distances = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return dict(zip(self._matrix_ids, distances.tolist()))
 
-    def nearest(self, query: Fingerprint) -> int:
+    def nearest(
+        self, query: Fingerprint, active_aps: Optional[Sequence[bool]] = None
+    ) -> int:
         """The plain fingerprinting estimate ``l(F)`` (Eq. 2).
 
         Ties break on the lower location id, keeping results deterministic.
         """
-        dissimilarities = self.dissimilarities(query)
+        dissimilarities = self.dissimilarities(query, active_aps)
         return min(dissimilarities, key=lambda lid: (dissimilarities[lid], lid))
 
     def truncated(self, n_aps: int) -> "FingerprintDatabase":

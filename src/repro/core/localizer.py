@@ -24,7 +24,7 @@ is undefined in that case.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..motion.rlm import MotionMeasurement
 from .config import MoLocConfig
@@ -110,6 +110,22 @@ class MoLocLocalizer:
         """Forget the retained candidate set (start a new session)."""
         self._retained = None
 
+    def seed_candidates(self, candidates: List[Tuple[int, float]]) -> None:
+        """Replace the retained set with externally derived candidates.
+
+        The robustness layer's dead-reckoning coast uses this: when a
+        scan is lost, the coasted distribution becomes the prior the next
+        scan-based interval evaluates against, keeping Eq. 6's ``P(x=i)``
+        aligned with where the user actually is.
+
+        Raises:
+            ValueError: for an empty candidate list.
+        """
+        pairs = [(int(lid), float(p)) for lid, p in candidates]
+        if not pairs:
+            raise ValueError("seeded candidate set cannot be empty")
+        self._retained = pairs
+
     @property
     def retained_candidates(self) -> Optional[List[Tuple[int, float]]]:
         """The currently retained ``(location_id, probability)`` set."""
@@ -119,6 +135,8 @@ class MoLocLocalizer:
         self,
         fingerprint: Fingerprint,
         motion: Optional[MotionMeasurement] = None,
+        active_aps: Optional[Sequence[bool]] = None,
+        k: Optional[int] = None,
     ) -> LocationEstimate:
         """Process one localization interval.
 
@@ -126,11 +144,18 @@ class MoLocLocalizer:
             fingerprint: The WiFi scan of this interval.
             motion: The direction/offset measured since the previous
                 interval; None on the very first query of a session.
+            active_aps: Optional per-AP boolean mask; masked-out APs do
+                not participate in fingerprint matching (dead-AP serving).
+            k: Candidate-set size override for this interval only (the
+                divergence watchdog widens the set during recovery);
+                defaults to the configured ``k``.
 
         Returns:
             The location estimate with its evaluated candidate set.
         """
-        candidates = select_candidates(self.fingerprint_db, fingerprint, self.config.k)
+        candidates = select_candidates(
+            self.fingerprint_db, fingerprint, k or self.config.k, active_aps
+        )
 
         used_motion = False
         posteriors = [c.probability for c in candidates]

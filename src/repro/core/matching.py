@@ -9,7 +9,7 @@ dissimilarity (Eq. 4) — smaller dissimilarity, higher probability.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from .fingerprint import Fingerprint, FingerprintDatabase
 
@@ -35,7 +35,10 @@ class Candidate:
 
 
 def select_candidates(
-    database: FingerprintDatabase, query: Fingerprint, k: int
+    database: FingerprintDatabase,
+    query: Fingerprint,
+    k: int,
+    active_aps: Optional[Sequence[bool]] = None,
 ) -> List[Candidate]:
     """The ``k`` nearest location candidates with Eq. 4 probabilities.
 
@@ -47,6 +50,9 @@ def select_candidates(
         database: The fingerprint database to match against.
         query: The user-collected fingerprint ``F``.
         k: Candidate-set size (Eq. 3).
+        active_aps: Optional boolean per-AP mask; masked-out APs (e.g.
+            ones a sanitizer diagnosed as dead) are excluded from every
+            dissimilarity.
 
     Returns:
         Candidates sorted by ascending dissimilarity; probabilities
@@ -58,7 +64,7 @@ def select_candidates(
     if k < 1:
         raise ValueError(f"candidate set size k must be >= 1, got {k}")
 
-    dissimilarities: Dict[int, float] = database.dissimilarities(query)
+    dissimilarities: Dict[int, float] = database.dissimilarities(query, active_aps)
     ranked = sorted(dissimilarities.items(), key=lambda item: (item[1], item[0]))
     nearest = ranked[: min(k, len(ranked))]
 

@@ -1,0 +1,44 @@
+"""Degradation-aware serving: sanitization, watchdogs, graceful fallback.
+
+The clean pipeline assumes clean inputs; deployments provide anything
+but.  This package wraps the serving path in a fault barrier:
+
+* :mod:`~repro.robustness.sanitizer` — scan validation, dead-AP masking,
+  IMU credibility;
+* :mod:`~repro.robustness.watchdog` — fix-to-fix physical plausibility,
+  EWMA confidence, widen/reset recovery;
+* :mod:`~repro.robustness.calibration` — stale placement-offset
+  detection and automatic Zee-style recalibration;
+* :mod:`~repro.robustness.fallback` — the motion-assisted → WiFi-only →
+  dead-reckoning chain;
+* :mod:`~repro.robustness.health` — the :class:`HealthStatus` contract
+  every fix carries;
+* :mod:`~repro.robustness.service` — :class:`ResilientMoLocService`,
+  the drop-in degradation-aware facade.
+
+See ``docs/robustness.md`` for the fault model and the serving contract.
+"""
+
+from .calibration import CalibrationMonitor
+from .fallback import choose_mode, coast
+from .health import FaultType, HealthStatus, ResilientFix, ServingMode
+from .sanitizer import SanitizedScan, ScanSanitizer, check_imu
+from .service import ResilientMoLocService
+from .watchdog import DivergenceWatchdog, WatchdogAction, WatchdogVerdict
+
+__all__ = [
+    "CalibrationMonitor",
+    "DivergenceWatchdog",
+    "FaultType",
+    "HealthStatus",
+    "ResilientFix",
+    "ResilientMoLocService",
+    "SanitizedScan",
+    "ScanSanitizer",
+    "ServingMode",
+    "WatchdogAction",
+    "WatchdogVerdict",
+    "check_imu",
+    "choose_mode",
+    "coast",
+]

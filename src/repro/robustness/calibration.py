@@ -1,0 +1,175 @@
+"""Calibration monitor: detect and repair a stale placement offset.
+
+Zee-style heading calibration (Sec. IV-B1 of the paper) estimates the
+constant between compass readings and walking direction once, from early
+straight stretches.  The estimate goes stale the moment the user re-grips
+the phone: every subsequent heading is rotated by the grip shift, and the
+localizer's motion evidence confidently lies.
+
+The monitor exploits the same map knowledge Zee does, but *continuously*.
+The reference signal must be independent of the (possibly stale) heading,
+so it anchors on the **fingerprint-only best candidates**: whenever two
+consecutive intervals' fingerprint-best locations form a hop the motion
+database knows, the measured walking direction is compared against that
+edge's direction mean.  Posterior fixes would be useless here — a rotated
+heading drags the posterior to a wrong-but-motion-consistent neighbor,
+hiding the very fault being hunted.
+
+Fingerprint-best endpoints are noisy (that is the paper's whole twins
+problem), so single residuals cannot be trusted.  The discriminator is
+*systematicity*: a grip shift rotates every residual by the same angle,
+while wrong-endpoint residuals scatter.  Drift is declared only when a
+full window of signed residuals tightly agrees (circular resultant close
+to 1) on a large common rotation — a condition compass noise and twin
+mismatches essentially never meet on a healthy calibration.
+
+The repair is then automatic Zee recalibration: the window's raw compass
+readings, paired with the motion-database edge directions as reference
+courses, are exactly a
+:func:`~repro.motion.heading.estimate_placement_offset` calibration set.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from collections import deque
+from typing import Deque, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.motion_db import MotionDatabase
+from ..env.geometry import normalize_bearing
+from ..motion.heading import estimate_placement_offset
+
+__all__ = ["CalibrationMonitor"]
+
+
+def _signed_difference(a: float, b: float) -> float:
+    """Signed circular difference ``a - b`` in ``[-180, 180)`` degrees."""
+    delta = normalize_bearing(a - b)
+    return delta - 360.0 if delta >= 180.0 else delta
+
+
+class CalibrationMonitor:
+    """Watches heading residuals and re-runs calibration when they drift.
+
+    Args:
+        motion_db: Source of reference edge directions.
+        drift_threshold_deg: Magnitude of the window's common rotation
+            above which the calibration counts as drifted.  Must
+            comfortably exceed compass noise plus motion-database
+            direction error (a few degrees each) while catching
+            realistic grip shifts.
+        window: Number of recent qualifying hops the decision looks at;
+            drift is only declared on a full window.
+        min_resultant: Minimum circular mean resultant length of the
+            window's signed residuals — the agreement gate.  1.0 means
+            perfectly identical rotations; wrong-endpoint residuals
+            scatter and pull the resultant down, so a high bar rejects
+            them.
+    """
+
+    def __init__(
+        self,
+        motion_db: MotionDatabase,
+        drift_threshold_deg: float = 40.0,
+        window: int = 3,
+        min_resultant: float = 0.9,
+    ) -> None:
+        if drift_threshold_deg <= 0:
+            raise ValueError(
+                f"drift threshold must be positive, got {drift_threshold_deg}"
+            )
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if not 0.0 < min_resultant <= 1.0:
+            raise ValueError(
+                f"min_resultant must be in (0, 1], got {min_resultant}"
+            )
+        self._motion_db = motion_db
+        self._threshold = drift_threshold_deg
+        self._window = window
+        self._min_resultant = min_resultant
+        self._residuals: Deque[float] = deque(maxlen=window)
+        self._evidence: Deque[Tuple[np.ndarray, float]] = deque(maxlen=window)
+
+    @property
+    def residuals(self) -> Tuple[float, ...]:
+        """Signed heading residuals of the recent qualifying hops."""
+        return tuple(self._residuals)
+
+    def reset(self) -> None:
+        """Forget all rolling state (new session or fresh calibration)."""
+        self._residuals.clear()
+        self._evidence.clear()
+
+    def observe(
+        self,
+        previous_wifi_best: Optional[int],
+        wifi_best: int,
+        measured_direction_deg: float,
+        compass_readings: Sequence[float],
+    ) -> None:
+        """Record one hop's heading residual, if the hop qualifies.
+
+        Args:
+            previous_wifi_best: The previous interval's fingerprint-best
+                location (heading-independent anchor), or None.
+            wifi_best: This interval's fingerprint-best location.
+            measured_direction_deg: The walking direction the (possibly
+                stale) calibration produced this interval.
+            compass_readings: The interval's raw compass readings — the
+                recalibration evidence.
+
+        Hops that do not qualify (no previous anchor, self-transition,
+        or a pair unknown to the motion database) are ignored.
+        """
+        if previous_wifi_best is None or previous_wifi_best == wifi_best:
+            return
+        if not self._motion_db.has_pair(previous_wifi_best, wifi_best):
+            return
+        reference = self._motion_db.entry(
+            previous_wifi_best, wifi_best
+        ).direction_mean_deg
+        self._residuals.append(
+            _signed_difference(measured_direction_deg, reference)
+        )
+        self._evidence.append(
+            (np.asarray(compass_readings, dtype=float), reference)
+        )
+
+    def _window_rotation(self) -> Tuple[float, float]:
+        """Circular mean and resultant length of the residual window."""
+        phasors = [cmath.exp(1j * math.radians(r)) for r in self._residuals]
+        z = sum(phasors) / len(phasors)
+        return math.degrees(cmath.phase(z)), abs(z)
+
+    @property
+    def drift_detected(self) -> bool:
+        """Whether a full window agrees on a large common rotation."""
+        if len(self._residuals) < self._window:
+            return False
+        rotation, resultant = self._window_rotation()
+        return resultant >= self._min_resultant and abs(rotation) > self._threshold
+
+    def recalibrate(self) -> float:
+        """Re-run Zee-style calibration from the drifted window's evidence.
+
+        The stored (raw compass readings, motion-database edge direction)
+        pairs are a calibration set in exactly the
+        :func:`~repro.motion.heading.estimate_placement_offset` format.
+        Clears the rolling state afterwards so the fresh offset is judged
+        on fresh hops.
+
+        Returns:
+            The re-estimated placement offset in degrees.
+
+        Raises:
+            RuntimeError: if no evidence has been gathered.
+        """
+        if not self._evidence:
+            raise RuntimeError("no calibration evidence gathered yet")
+        offset = estimate_placement_offset(list(self._evidence))
+        self.reset()
+        return offset

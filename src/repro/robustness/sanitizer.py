@@ -1,0 +1,194 @@
+"""Input sanitization: validate scans and IMU streams before they match.
+
+Two failure families reach a fielded serving path that the clean
+evaluation never shows:
+
+* **Scan corruption** — NaN/inf readings from a flaky driver, dBm values
+  outside physical range, vectors of the wrong length, and *dead APs*: an
+  AP that powered off does not vanish from the scan, its slot reads the
+  sensitivity floor forever, and a floored slot against a live database
+  column contributes a huge squared term to *every* Euclidean
+  dissimilarity (Eq. 1), drowning the informative APs.  The sanitizer
+  normalizes the recoverable corruptions, detects persistently-floored
+  APs with per-AP rolling statistics, and emits an active-AP mask so
+  matching simply ignores the dead slots.
+
+* **IMU flat-lining** — a crashed sensor service replays a constant
+  gravity-only signal.  A real idle accelerometer still shows sensor
+  noise (a few tenths of m/s²); a *perfectly* flat magnitude stream is
+  physically impossible and must not be interpreted as "the user stands
+  still" (the paper's validity assumption (2) makes a confidently lying
+  sensor worse than no sensor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fingerprint import RSS_CEILING_DBM, RSS_FLOOR_DBM, Fingerprint
+from ..sensors.imu import ImuSegment
+from .health import FaultType
+
+__all__ = ["SanitizedScan", "ScanSanitizer", "check_imu"]
+
+
+@dataclass(frozen=True)
+class SanitizedScan:
+    """The outcome of sanitizing one RSS scan.
+
+    Attributes:
+        fingerprint: The cleaned fingerprint (floored/clipped values), or
+            None when the scan is unusable.
+        active_aps: Per-AP participation mask for matching (all True when
+            nothing is masked); None when the scan is unusable.
+        masked_ap_ids: APs diagnosed dead and excluded from matching.
+        faults: Fault classes detected on this scan.
+    """
+
+    fingerprint: Optional[Fingerprint]
+    active_aps: Optional[Tuple[bool, ...]]
+    masked_ap_ids: Tuple[int, ...]
+    faults: Tuple[FaultType, ...]
+
+    @property
+    def usable(self) -> bool:
+        """Whether matching can run on this scan at all."""
+        return self.fingerprint is not None
+
+
+class ScanSanitizer:
+    """Validates scans and tracks per-AP health across a session.
+
+    Args:
+        n_aps: Expected scan length (the database's AP count).
+        floor_dbm: Receiver sensitivity floor; readings at or below
+            ``floor_dbm + floor_margin_db`` count as floored.
+        ceiling_dbm: Strongest physically plausible reading.
+        dead_ap_scans: Consecutive floored scans after which an AP is
+            diagnosed dead and masked.  A live AP naturally floors at
+            locations far from it, but a walking user's consecutive scans
+            decorrelate quickly; sustained flooring is the outage
+            signature.
+        floor_margin_db: Slack above the floor still counted as floored.
+        min_active_aps: Never mask below this many active APs; if the
+            dead-AP diagnosis would, the scan is treated as lost instead
+            (matching on one AP is noise).
+    """
+
+    def __init__(
+        self,
+        n_aps: int,
+        floor_dbm: float = RSS_FLOOR_DBM,
+        ceiling_dbm: float = RSS_CEILING_DBM,
+        dead_ap_scans: int = 3,
+        floor_margin_db: float = 0.5,
+        min_active_aps: int = 2,
+    ) -> None:
+        if n_aps < 1:
+            raise ValueError(f"n_aps must be >= 1, got {n_aps}")
+        if dead_ap_scans < 1:
+            raise ValueError(f"dead_ap_scans must be >= 1, got {dead_ap_scans}")
+        if min_active_aps < 1:
+            raise ValueError(f"min_active_aps must be >= 1, got {min_active_aps}")
+        self._n_aps = n_aps
+        self._floor_dbm = floor_dbm
+        self._ceiling_dbm = ceiling_dbm
+        self._dead_ap_scans = dead_ap_scans
+        self._floor_margin_db = floor_margin_db
+        self._min_active_aps = min_active_aps
+        self._consecutive_floored = np.zeros(n_aps, dtype=int)
+
+    @property
+    def consecutive_floored(self) -> Tuple[int, ...]:
+        """Per-AP count of consecutive floored scans (rolling state)."""
+        return tuple(int(c) for c in self._consecutive_floored)
+
+    def reset(self) -> None:
+        """Forget the rolling per-AP statistics (new session)."""
+        self._consecutive_floored[:] = 0
+
+    def sanitize(self, scan: Optional[Sequence[float]]) -> SanitizedScan:
+        """Validate one scan, update rolling statistics, emit the mask."""
+        faults: List[FaultType] = []
+
+        if scan is None:
+            return self._lost((FaultType.SCAN_LOSS,))
+        values = np.asarray(scan, dtype=float).ravel()
+        if values.size != self._n_aps:
+            # A malformed vector cannot even be aligned with AP ids; its
+            # readings say nothing about per-AP health, so the rolling
+            # statistics are left untouched.
+            return self._lost((FaultType.MALFORMED_SCAN, FaultType.SCAN_LOSS))
+
+        non_finite = ~np.isfinite(values)
+        if non_finite.any():
+            faults.append(FaultType.NON_FINITE_SCAN)
+            values = np.where(non_finite, self._floor_dbm, values)
+        out_of_range = (values > self._ceiling_dbm) | (values < self._floor_dbm)
+        if out_of_range.any():
+            faults.append(FaultType.OUT_OF_RANGE_SCAN)
+            values = np.clip(values, self._floor_dbm, self._ceiling_dbm)
+
+        floored = values <= self._floor_dbm + self._floor_margin_db
+        self._consecutive_floored = np.where(
+            floored, self._consecutive_floored + 1, 0
+        )
+
+        if floored.all():
+            # The radio heard nothing at all: there is no information to
+            # match on, floored or otherwise.
+            faults.append(FaultType.SCAN_LOSS)
+            return self._lost(tuple(faults))
+
+        dead = self._consecutive_floored >= self._dead_ap_scans
+        active = ~dead
+        masked_ids: Tuple[int, ...] = ()
+        if dead.any():
+            if int(active.sum()) >= self._min_active_aps:
+                faults.append(FaultType.DEAD_AP)
+                masked_ids = tuple(int(i) for i in np.flatnonzero(dead))
+            else:
+                faults.append(FaultType.SCAN_LOSS)
+                return self._lost(tuple(faults))
+
+        return SanitizedScan(
+            fingerprint=Fingerprint.from_values(values),
+            active_aps=tuple(bool(a) for a in active),
+            masked_ap_ids=masked_ids,
+            faults=tuple(faults),
+        )
+
+    def _lost(self, faults: Tuple[FaultType, ...]) -> SanitizedScan:
+        return SanitizedScan(
+            fingerprint=None, active_aps=None, masked_ap_ids=(), faults=faults
+        )
+
+
+_MIN_CREDIBLE_ACCEL_STD = 0.02
+"""Accelerometer-magnitude standard deviation (m/s²) below which the
+stream is a flat line no physical sensor produces; real idle noise is an
+order of magnitude larger."""
+
+
+def check_imu(imu: Optional[ImuSegment]) -> Tuple[bool, Tuple[FaultType, ...]]:
+    """Whether an IMU segment is credible enough to extract motion from.
+
+    Returns:
+        ``(usable, faults)`` — ``usable`` is False for a missing segment,
+        empty or non-finite streams, or a flat-lined accelerometer; every
+        rejection carries :data:`FaultType.IMU_DROPOUT`.
+    """
+    if imu is None:
+        return False, (FaultType.IMU_DROPOUT,)
+    samples = np.asarray(imu.accel.samples, dtype=float)
+    readings = np.asarray(imu.compass_readings, dtype=float)
+    if samples.size == 0 or readings.size == 0:
+        return False, (FaultType.IMU_DROPOUT,)
+    if not np.isfinite(samples).all() or not np.isfinite(readings).all():
+        return False, (FaultType.IMU_DROPOUT,)
+    if float(samples.std()) < _MIN_CREDIBLE_ACCEL_STD:
+        return False, (FaultType.IMU_DROPOUT,)
+    return True, ()

@@ -1,0 +1,281 @@
+"""ResilientMoLocService: the degradation-aware serving facade.
+
+A drop-in replacement for :class:`~repro.service.MoLocService` that runs
+the same paper pipeline behind a fault barrier:
+
+* every scan passes the :class:`~repro.robustness.sanitizer.ScanSanitizer`
+  (non-finite/out-of-range repair, dead-AP masking, scan-loss detection);
+* every IMU segment passes :func:`~repro.robustness.sanitizer.check_imu`
+  (flat-lined streams are a dropout, not "standing still");
+* every fix is judged by the
+  :class:`~repro.robustness.watchdog.DivergenceWatchdog`, which widens
+  the candidate set or resets the session on sustained implausibility;
+* heading residuals feed the
+  :class:`~repro.robustness.calibration.CalibrationMonitor`, which
+  re-runs Zee-style calibration when the placement offset goes stale;
+* whatever evidence survives picks a rung of the fallback chain
+  (motion-assisted → WiFi-only → dead-reckoning coasting), so *every*
+  interval yields a fix.
+
+Where the plain service raises (motion before calibration) or silently
+degrades (a dead AP poisoning every dissimilarity), this one serves — and
+says how, through the :class:`~repro.robustness.health.HealthStatus` on
+each returned :class:`~repro.robustness.health.ResilientFix`.
+
+    service = ResilientMoLocService(fdb, mdb, body=BodyProfile(1.75), plan=plan)
+    service.calibrate_heading(calibration_segments)
+    fix = service.on_interval(scan, imu_segment)
+    fix.location_id            # the estimate, always present
+    fix.health.mode            # which rung served it
+    fix.health.faults          # what was detected and handled
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.config import MoLocConfig
+from ..core.fingerprint import FingerprintDatabase
+from ..core.motion_db import MotionDatabase
+from ..env.floorplan import FloorPlan
+from ..motion.pedestrian import BodyProfile
+from ..motion.rlm import MotionMeasurement
+from ..sensors.imu import ImuSegment
+from ..service import MoLocService
+from .calibration import CalibrationMonitor
+from .fallback import choose_mode, coast
+from .health import FaultType, HealthStatus, ResilientFix, ServingMode
+from .sanitizer import ScanSanitizer, check_imu
+from .watchdog import DivergenceWatchdog, WatchdogAction
+
+__all__ = ["ResilientMoLocService"]
+
+
+class ResilientMoLocService(MoLocService):
+    """A MoLoc session that survives degraded inputs.
+
+    Args:
+        fingerprint_db: The deployment's fingerprint database.
+        motion_db: The deployment's motion database.
+        body: The user's body profile (step-length prior).
+        config: Algorithm configuration.
+        plan: Optional floor plan; sharpens the divergence watchdog's
+            fix-pair distances from reachability to exact coordinates.
+        use_gyro_fusion: As in :class:`~repro.service.MoLocService`.
+        personalize_stride: As in :class:`~repro.service.MoLocService`.
+        sanitizer: Scan sanitizer override (defaults to one sized for
+            the fingerprint database).
+        watchdog: Divergence watchdog override.
+        calibration_monitor: Calibration monitor override.
+    """
+
+    def __init__(
+        self,
+        fingerprint_db: FingerprintDatabase,
+        motion_db: MotionDatabase,
+        body: BodyProfile,
+        config: MoLocConfig = MoLocConfig(),
+        plan: Optional[FloorPlan] = None,
+        use_gyro_fusion: bool = True,
+        personalize_stride: bool = False,
+        sanitizer: Optional[ScanSanitizer] = None,
+        watchdog: Optional[DivergenceWatchdog] = None,
+        calibration_monitor: Optional[CalibrationMonitor] = None,
+    ) -> None:
+        super().__init__(
+            fingerprint_db,
+            motion_db,
+            body,
+            config=config,
+            use_gyro_fusion=use_gyro_fusion,
+            personalize_stride=personalize_stride,
+        )
+        self._config = config
+        self._sanitizer = sanitizer or ScanSanitizer(fingerprint_db.n_aps)
+        self._watchdog = watchdog or DivergenceWatchdog(motion_db, plan)
+        self._calibration_monitor = calibration_monitor or CalibrationMonitor(
+            motion_db
+        )
+        self._widen_next = False
+        self._last_health: Optional[HealthStatus] = None
+        self._previous_wifi_best: Optional[int] = None
+
+    @property
+    def last_health(self) -> Optional[HealthStatus]:
+        """The health status of the most recent fix, if any."""
+        return self._last_health
+
+    def calibrate_heading(self, calibration) -> float:
+        offset = super().calibrate_heading(calibration)
+        # A fresh offset must be judged on fresh hops.
+        self._calibration_monitor.reset()
+        return offset
+
+    def end_session(self) -> None:
+        super().end_session()
+        self._sanitizer.reset()
+        self._watchdog.reset()
+        self._calibration_monitor.reset()
+        self._widen_next = False
+        self._last_health = None
+        self._previous_wifi_best = None
+
+    def on_interval(
+        self,
+        scan: Optional[Sequence[float]],
+        imu: Optional[ImuSegment] = None,
+    ) -> ResilientFix:
+        """Process one localization interval, whatever arrived.
+
+        Unlike the base service this never raises on degraded input: a
+        missing or corrupt scan coasts, a missing/flat IMU serves
+        WiFi-only, motion before calibration serves WiFi-only with an
+        ``UNCALIBRATED`` fault instead of a RuntimeError.
+
+        Args:
+            scan: The WiFi scan (per-AP dBm values), or None if none
+                arrived this interval.
+            imu: The IMU recording since the previous interval, or None.
+
+        Returns:
+            A fix with its health status — one per interval, always.
+        """
+        faults: List[FaultType] = []
+
+        sanitized = self._sanitizer.sanitize(scan)
+        faults.extend(sanitized.faults)
+
+        if imu is None:
+            imu_usable = False
+            if self._fix_count > 0:
+                # Mid-session the IMU should be streaming; its absence is
+                # an outage.  Before the first fix it is simply not
+                # expected yet.
+                faults.append(FaultType.IMU_DROPOUT)
+        else:
+            imu_usable, imu_faults = check_imu(imu)
+            faults.extend(imu_faults)
+
+        calibrated = self.is_calibrated
+        if imu_usable and not calibrated:
+            faults.append(FaultType.UNCALIBRATED)
+
+        mode = choose_mode(sanitized.usable, imu_usable, calibrated)
+
+        measurement: Optional[MotionMeasurement] = None
+        if imu_usable and calibrated:
+            measurement = self._motion_from(imu)
+        else:
+            # Satellite-fix semantics: without step counts this interval,
+            # stride personalization must not pair the upcoming hop with a
+            # previous interval's count.
+            self._last_steps = None
+
+        previous_fix = self._previous_fix
+
+        if mode is ServingMode.DEAD_RECKONING:
+            estimate = self._coast(measurement)
+        else:
+            motion = measurement if mode is ServingMode.MOTION_ASSISTED else None
+            k = (
+                self._config.k * self._watchdog.widen_factor
+                if self._widen_next
+                else None
+            )
+            estimate = self._localizer.locate(
+                sanitized.fingerprint,
+                motion,
+                active_aps=(
+                    sanitized.active_aps if sanitized.masked_ap_ids else None
+                ),
+                k=k,
+            )
+
+        self._fix_count += 1
+
+        # Stride personalization, as in the base service, but only when a
+        # real scan anchored the fix.
+        if (
+            self._personalize_stride
+            and sanitized.usable
+            and estimate.used_motion
+            and self._last_steps is not None
+            and previous_fix is not None
+            and self._motion_db.has_pair(previous_fix, estimate.location_id)
+        ):
+            hop_distance = self._motion_db.entry(
+                previous_fix, estimate.location_id
+            ).offset_mean_m
+            self._stride.observe_hop(
+                hop_distance, self._last_steps, estimate.probability
+            )
+
+        verdict = self._watchdog.observe(
+            estimate.location_id,
+            measurement.offset_m if measurement is not None else None,
+        )
+        if not verdict.plausible:
+            faults.append(FaultType.DIVERGENCE)
+        self._widen_next = verdict.action is WatchdogAction.WIDEN
+        if verdict.action is WatchdogAction.RESET:
+            self._localizer.reset()
+            self._previous_fix = None
+        else:
+            self._previous_fix = estimate.location_id
+
+        # The calibration monitor anchors on the fingerprint-best
+        # candidate, not the posterior fix: a stale heading drags the
+        # posterior to wrong-but-motion-consistent neighbors, hiding the
+        # very drift being hunted.
+        recalibrated = False
+        wifi_best: Optional[int] = None
+        if sanitized.usable:
+            wifi_best = max(
+                estimate.candidates, key=lambda c: c.fingerprint_probability
+            ).location_id
+            if (
+                mode is ServingMode.MOTION_ASSISTED
+                and measurement is not None
+                and measurement.offset_m > 0.0
+            ):
+                self._calibration_monitor.observe(
+                    self._previous_wifi_best,
+                    wifi_best,
+                    measurement.direction_deg,
+                    imu.compass_readings,
+                )
+                if self._calibration_monitor.drift_detected:
+                    faults.append(FaultType.CALIBRATION_DRIFT)
+                    self._placement_offset_deg = (
+                        self._calibration_monitor.recalibrate()
+                    )
+                    recalibrated = True
+        self._previous_wifi_best = wifi_best
+
+        health = HealthStatus(
+            mode=mode,
+            faults=tuple(dict.fromkeys(faults)),
+            confidence=verdict.confidence,
+            masked_ap_ids=sanitized.masked_ap_ids,
+            recalibrated=recalibrated,
+        )
+        self._last_health = health
+        return ResilientFix(estimate=estimate, health=health)
+
+    def _coast(self, measurement: Optional[MotionMeasurement]):
+        """A scan-less fix from retained candidates (or a cold uniform)."""
+        retained = self._localizer.retained_candidates
+        if not retained and self._previous_fix is not None:
+            retained = [(self._previous_fix, 1.0)]
+        if not retained:
+            # Nothing known at all (first interval and no scan): a
+            # uniform prior over the deployment is the honest answer.
+            ids = self._localizer.fingerprint_db.location_ids
+            retained = [(lid, 1.0 / len(ids)) for lid in ids]
+        estimate = coast(self._motion_db, retained, measurement, self._config)
+        # The coasted distribution becomes the prior for the next
+        # scan-based interval.
+        self._localizer.seed_candidates(
+            [(c.location_id, c.probability) for c in estimate.candidates]
+        )
+        return estimate

@@ -1,0 +1,164 @@
+"""Divergence watchdog: notice when fixes stop being physically possible.
+
+A localizer fed corrupted evidence fails silently: it keeps returning
+*some* candidate, just the wrong one, and the retained set then anchors
+the next interval to the wrong neighborhood.  The watchdog checks each
+consecutive fix pair against physics — the distance between the two
+estimated locations must be explainable by the measured offset plus the
+motion database's knowledge of the hop — and maintains an EWMA
+plausibility score.  Sustained implausibility triggers escalating
+recovery: first candidate-set *widening* (more fingerprint candidates, so
+the truth re-enters the retained set), then a *session reset* (drop the
+retained set entirely and re-acquire from fingerprints alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..core.motion_db import MotionDatabase
+from ..env.floorplan import FloorPlan
+
+__all__ = ["WatchdogAction", "WatchdogVerdict", "DivergenceWatchdog"]
+
+
+class WatchdogAction(Enum):
+    """The recovery step the watchdog requests for the next interval."""
+
+    NONE = "none"
+    WIDEN = "widen"
+    RESET = "reset"
+
+
+@dataclass(frozen=True)
+class WatchdogVerdict:
+    """The watchdog's judgement of one fix.
+
+    Attributes:
+        plausible: Whether this hop was physically explainable.
+        confidence: The EWMA plausibility score in ``[0, 1]`` after this
+            observation.
+        action: Recovery requested for the next interval.
+    """
+
+    plausible: bool
+    confidence: float
+    action: WatchdogAction
+
+
+class DivergenceWatchdog:
+    """Tracks fix-to-fix plausibility for one session.
+
+    Args:
+        motion_db: Reachability knowledge: the crowdsourced hop offsets.
+        plan: Optional floor plan; when given, fix-pair distances come
+            from coordinates (exact), otherwise from the motion
+            database's offset means (reachability only).
+        slack_m: Distance a fix pair may exceed the measured offset by
+            before the hop counts as implausible — covers step-length
+            error, discretization, and one reference-location spacing.
+        ewma_alpha: Weight of the newest observation in the confidence
+            EWMA.
+        widen_below: Confidence below which candidate-set widening is
+            requested.
+        reset_below: Confidence below which a session reset is requested
+            (must not exceed ``widen_below``).
+        widen_factor: Multiplier the service applies to ``k`` while
+            widening is requested.
+    """
+
+    def __init__(
+        self,
+        motion_db: MotionDatabase,
+        plan: Optional[FloorPlan] = None,
+        slack_m: float = 4.0,
+        ewma_alpha: float = 0.4,
+        widen_below: float = 0.6,
+        reset_below: float = 0.25,
+        widen_factor: int = 2,
+    ) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if not 0.0 <= reset_below <= widen_below <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 <= reset_below <= widen_below <= 1"
+            )
+        if slack_m <= 0:
+            raise ValueError(f"slack_m must be positive, got {slack_m}")
+        if widen_factor < 1:
+            raise ValueError(f"widen_factor must be >= 1, got {widen_factor}")
+        self._motion_db = motion_db
+        self._plan = plan
+        self._slack_m = slack_m
+        self._alpha = ewma_alpha
+        self._widen_below = widen_below
+        self._reset_below = reset_below
+        self.widen_factor = widen_factor
+        self._confidence = 1.0
+        self._previous_fix: Optional[int] = None
+
+    @property
+    def confidence(self) -> float:
+        """The current EWMA plausibility score."""
+        return self._confidence
+
+    def reset(self) -> None:
+        """Forget session state (watchdog restarts fully confident)."""
+        self._confidence = 1.0
+        self._previous_fix = None
+
+    def observe(
+        self, fix_id: int, measured_offset_m: Optional[float]
+    ) -> WatchdogVerdict:
+        """Judge one fix against the previous one and the measured motion.
+
+        Args:
+            fix_id: This interval's estimated location.
+            measured_offset_m: The offset the IMU measured since the
+                previous fix, or None when no motion was available (the
+                hop cannot be judged and counts as neutral).
+        """
+        previous = self._previous_fix
+        self._previous_fix = fix_id
+
+        plausible = True
+        judged = False
+        if previous is not None and measured_offset_m is not None:
+            distance = self._fix_distance(previous, fix_id)
+            if distance is not None:
+                judged = True
+                plausible = distance <= measured_offset_m + self._slack_m
+            elif previous != fix_id:
+                # The motion database has no path between the fixes and no
+                # coordinates are available: an unexplainable teleport.
+                judged = True
+                plausible = False
+
+        if judged:
+            self._confidence += self._alpha * (
+                (1.0 if plausible else 0.0) - self._confidence
+            )
+
+        confidence = self._confidence
+        if confidence < self._reset_below:
+            # Recovery: the session restarts from fingerprints alone, so
+            # the watchdog's own grudge must not outlive the state it
+            # judged.
+            self._confidence = 1.0
+            self._previous_fix = None
+            return WatchdogVerdict(plausible, confidence, WatchdogAction.RESET)
+        if confidence < self._widen_below:
+            return WatchdogVerdict(plausible, confidence, WatchdogAction.WIDEN)
+        return WatchdogVerdict(plausible, confidence, WatchdogAction.NONE)
+
+    def _fix_distance(self, a: int, b: int) -> Optional[float]:
+        """Distance between two fixes, best knowledge available."""
+        if a == b:
+            return 0.0
+        if self._plan is not None:
+            return self._plan.position_of(a).distance_to(self._plan.position_of(b))
+        if self._motion_db.has_pair(a, b):
+            return self._motion_db.entry(a, b).offset_mean_m
+        return None

@@ -15,6 +15,14 @@ Internally each interval runs the full paper pipeline: CSC step counting
 and heading estimation (gyro-fused when the segment carries a gyro
 stream) produce the motion measurement, which candidate evaluation
 (Eq. 7) combines with the fingerprint candidates.
+
+This facade assumes *clean* inputs and raises on contract violations.
+For deployments that must survive dead APs, corrupt scans, flat-lined
+IMUs, and stale calibrations, use
+:class:`repro.robustness.ResilientMoLocService` — a drop-in subclass
+that wraps the same pipeline in sanitization, watchdogs, and a
+graceful-fallback chain, and annotates every fix with a
+:class:`repro.robustness.HealthStatus`.
 """
 
 from __future__ import annotations
@@ -132,7 +140,14 @@ class MoLocService:
                 calibration has run.
         """
         fingerprint = Fingerprint.from_values(scan)
-        motion = self._motion_from(imu) if imu is not None else None
+        if imu is not None:
+            motion = self._motion_from(imu)
+        else:
+            # Sensor outage (or first fix): without step counts for this
+            # interval, the previous interval's _last_steps must not pair
+            # with the upcoming hop in stride personalization.
+            motion = None
+            self._last_steps = None
         estimate = self._localizer.locate(fingerprint, motion)
         self._fix_count += 1
         if (

@@ -14,6 +14,7 @@ from .evaluation import (
     ambiguous_location_ids,
     convergence_statistics,
     evaluate_localizer,
+    evaluate_service,
     evaluate_smoother,
 )
 from .failures import (
@@ -48,6 +49,7 @@ __all__ = [
     "EvaluationResult",
     "ConvergenceStatistics",
     "evaluate_localizer",
+    "evaluate_service",
     "evaluate_smoother",
     "silence_ap",
     "inject_ap_outage",

@@ -32,6 +32,7 @@ __all__ = [
     "EvaluationResult",
     "ConvergenceStatistics",
     "evaluate_localizer",
+    "evaluate_service",
     "evaluate_smoother",
     "ambiguous_location_ids",
     "convergence_statistics",
@@ -182,6 +183,47 @@ def _record(
         used_motion=estimate.used_motion,
         is_initial=is_initial,
     )
+
+
+def evaluate_service(
+    make_session,
+    traces: Sequence[WalkTrace],
+    plan: FloorPlan,
+) -> EvaluationResult:
+    """Drive a service facade over test traces and score every fix.
+
+    Unlike :func:`evaluate_localizer` (which feeds pre-extracted motion
+    measurements into a bare localizer), this drives the *service* path:
+    raw scans and raw IMU segments go through whatever sanitization,
+    calibration, and fallback logic the facade implements.
+
+    Args:
+        make_session: Callable ``(trace) -> service`` returning a fresh,
+            already-calibrated session object exposing
+            ``on_interval(scan, imu=None)`` whose result has
+            ``location_id`` and ``used_motion`` attributes (both
+            :class:`~repro.core.localizer.LocationEstimate` and the
+            robustness layer's ``ResilientFix`` qualify).  Keeping
+            construction with the caller avoids an upward import of the
+            service layer and lets each trace set its own step length.
+        traces: Held-out test walks.
+        plan: Floor plan for error distances.
+    """
+    evaluated = []
+    for trace in traces:
+        service = make_session(trace)
+        records: List[LocalizationRecord] = []
+        estimate = service.on_interval(trace.initial_fingerprint.rss)
+        records.append(
+            _record(plan, trace.true_start, estimate, is_initial=True)
+        )
+        for hop in trace.hops:
+            estimate = service.on_interval(hop.arrival_fingerprint.rss, hop.imu)
+            records.append(
+                _record(plan, hop.true_to, estimate, is_initial=False)
+            )
+        evaluated.append(TraceEvaluation(user=trace.user, records=records))
+    return EvaluationResult(traces=evaluated)
 
 
 def evaluate_smoother(

@@ -47,6 +47,50 @@ class TestFingerprint:
         with pytest.raises(ValueError):
             fp.truncated(3)
 
+    def test_non_finite_rejected_by_default(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            Fingerprint.from_values([-50.0, float("nan")])
+        with pytest.raises(ValueError, match="non-finite"):
+            Fingerprint.from_values([float("inf"), -60.0])
+
+    def test_non_finite_floor_mode_substitutes_the_floor(self):
+        fp = Fingerprint.from_values(
+            [-50.0, float("nan")], non_finite="floor"
+        )
+        assert fp.rss == (-50.0, -100.0)
+
+    def test_non_finite_floor_mode_custom_floor(self):
+        fp = Fingerprint.from_values(
+            [float("nan")], non_finite="floor", floor_dbm=-95.0
+        )
+        assert fp.rss == (-95.0,)
+
+    def test_unknown_non_finite_policy_rejected(self):
+        with pytest.raises(ValueError, match="non_finite"):
+            Fingerprint.from_values([-50.0], non_finite="ignore")
+
+    def test_masked_dissimilarity_skips_excluded_aps(self):
+        a = Fingerprint.from_values([-50, -60, -100])
+        b = Fingerprint.from_values([-53, -56, -40])
+        assert a.dissimilarity(b, active_aps=(True, True, False)) == (
+            pytest.approx(5.0)
+        )
+
+    def test_mask_length_mismatch_rejected(self):
+        a = Fingerprint.from_values([-50, -60])
+        with pytest.raises(ValueError):
+            a.dissimilarity(a, active_aps=(True,))
+
+    def test_mask_excluding_every_ap_rejected(self):
+        a = Fingerprint.from_values([-50, -60])
+        with pytest.raises(ValueError):
+            a.dissimilarity(a, active_aps=(False, False))
+
+    def test_as_array_is_read_only(self):
+        array = Fingerprint.from_values([-50, -60]).as_array()
+        with pytest.raises(ValueError):
+            array[0] = 0.0
+
     @given(rss_vectors)
     def test_self_dissimilarity_zero(self, values):
         fp = Fingerprint.from_values(values)
@@ -162,6 +206,32 @@ class TestDatabase:
         with pytest.raises(ValueError):
             FingerprintDatabase(
                 {1: Fingerprint.from_values([-50.0])}, stds={2: (1.0,)}
+            )
+
+    def test_masked_dissimilarities_match_pairwise(self, database):
+        """The vectorized masked path agrees with per-pair masking."""
+        query = Fingerprint.from_values([-51.0, -100.0])
+        mask = (True, False)
+        distances = database.dissimilarities(query, active_aps=mask)
+        for lid in database.location_ids:
+            assert distances[lid] == pytest.approx(
+                query.dissimilarity(
+                    database.fingerprint_of(lid), active_aps=mask
+                )
+            )
+
+    def test_masking_rescues_a_dead_ap_query(self, database):
+        """With AP 0 floored, full matching is poisoned; masking it
+        recovers the right location."""
+        poisoned = Fingerprint.from_values([-100.0, -59.0])  # truly at 1
+        assert database.nearest(poisoned) != 1
+        assert database.nearest(poisoned, active_aps=(False, True)) == 1
+
+    def test_mask_length_validated(self, database):
+        with pytest.raises(ValueError):
+            database.dissimilarities(
+                Fingerprint.from_values([-50.0, -60.0]),
+                active_aps=(True,),
             )
 
     @given(st.lists(rss_values, min_size=2, max_size=2))

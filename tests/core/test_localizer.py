@@ -71,6 +71,55 @@ class TestInitialFix:
         assert localizer.retained_candidates is None
 
 
+class TestServingHooks:
+    """The hooks the robustness layer drives: seeding and per-call k."""
+
+    def test_seed_candidates_sets_the_prior(self, twin_world):
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        localizer.seed_candidates([(1, 1.0)])
+        assert localizer.retained_candidates == [(1, 1.0)]
+
+    def test_seed_candidates_rejects_empty(self, twin_world):
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb)
+        with pytest.raises(ValueError):
+            localizer.seed_candidates([])
+
+    def test_seeded_prior_drives_motion_matching(self, twin_world):
+        """A seeded retained set behaves exactly like one from a fix:
+        westward motion from seeded p selects twin q."""
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=3))
+        localizer.seed_candidates([(1, 1.0)])
+        estimate = localizer.locate(
+            Fingerprint.from_values([-62.4, -70.6]),
+            MotionMeasurement(direction_deg=268.0, offset_m=5.1),
+        )
+        assert estimate.used_motion
+        assert estimate.location_id == 2
+
+    def test_per_call_k_overrides_the_config(self, twin_world):
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=1))
+        narrow = localizer.locate(Fingerprint.from_values([-50.0, -50.0]))
+        assert len(narrow.candidates) == 1
+        localizer.reset()
+        wide = localizer.locate(
+            Fingerprint.from_values([-50.0, -50.0]), k=3
+        )
+        assert len(wide.candidates) == 3
+
+    def test_masked_locate_ignores_the_dead_ap(self, twin_world):
+        """With AP 1 floored, full matching loses p; the mask recovers
+        it from AP 0 alone."""
+        fdb, mdb = twin_world
+        localizer = MoLocLocalizer(fdb, mdb, MoLocConfig(k=1))
+        poisoned = Fingerprint.from_values([-50.0, -100.0])
+        masked = localizer.locate(poisoned, active_aps=(True, False))
+        assert masked.location_id == 1
+
+
 class TestTwinDisambiguation:
     def test_fig1b_motion_resolves_twins(self, twin_world):
         """From a correct fix at p, westward motion selects q over q'."""

@@ -41,6 +41,24 @@ class TestSelection:
         with pytest.raises(ValueError):
             select_candidates(database, Fingerprint.from_values([-50, -60]), k=0)
 
+    def test_active_ap_mask_changes_the_ranking(self, database):
+        """A floored AP 0 poisons full matching; masking it restores the
+        location the live AP actually identifies."""
+        query = Fingerprint.from_values([-100.0, -60.0])  # truly at 1
+        full = select_candidates(database, query, k=1)
+        masked = select_candidates(
+            database, query, k=1, active_aps=(False, True)
+        )
+        assert full[0].location_id == 4
+        assert masked[0].location_id in (1, 2)  # AP-1 twins without AP 0
+
+    def test_masked_probabilities_still_normalized(self, database):
+        query = Fingerprint.from_values([-58.0, -57.0])
+        candidates = select_candidates(
+            database, query, k=3, active_aps=(True, False)
+        )
+        assert sum(c.probability for c in candidates) == pytest.approx(1.0)
+
     def test_tie_breaks_low_id(self):
         db = FingerprintDatabase(
             {

@@ -1,0 +1,130 @@
+"""Tests for the calibration monitor (stale placement-offset detection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.robustness.calibration import CalibrationMonitor
+
+
+def stats(direction: float) -> PairStatistics:
+    return PairStatistics(
+        direction_mean_deg=direction,
+        direction_std_deg=5.0,
+        offset_mean_m=5.0,
+        offset_std_m=0.3,
+        n_observations=10,
+    )
+
+
+@pytest.fixture()
+def motion_db() -> MotionDatabase:
+    return MotionDatabase(
+        {(1, 2): stats(90.0), (2, 3): stats(0.0), (3, 4): stats(270.0)}
+    )
+
+
+@pytest.fixture()
+def monitor(motion_db) -> CalibrationMonitor:
+    return CalibrationMonitor(motion_db, drift_threshold_deg=40.0, window=3)
+
+
+def observe_shifted_walk(monitor, shift_deg, jitter=(0.0, 0.0, 0.0)):
+    """Walk 1→2→3→4 with every measured direction rotated by ``shift_deg``."""
+    hops = [(1, 2, 90.0), (2, 3, 0.0), (3, 4, 270.0)]
+    for (a, b, course), eps in zip(hops, jitter):
+        measured = (course + shift_deg + eps) % 360.0
+        readings = np.full(8, (course + shift_deg + eps) % 360.0)
+        monitor.observe(a, b, measured, readings)
+
+
+class TestConstruction:
+    def test_invalid_threshold(self, motion_db):
+        with pytest.raises(ValueError):
+            CalibrationMonitor(motion_db, drift_threshold_deg=0.0)
+
+    def test_invalid_window(self, motion_db):
+        with pytest.raises(ValueError):
+            CalibrationMonitor(motion_db, window=1)
+
+    def test_invalid_resultant(self, motion_db):
+        with pytest.raises(ValueError):
+            CalibrationMonitor(motion_db, min_resultant=0.0)
+
+
+class TestQualification:
+    def test_no_previous_anchor_ignored(self, monitor):
+        monitor.observe(None, 2, 90.0, np.full(4, 90.0))
+        assert monitor.residuals == ()
+
+    def test_self_transition_ignored(self, monitor):
+        monitor.observe(2, 2, 90.0, np.full(4, 90.0))
+        assert monitor.residuals == ()
+
+    def test_unknown_pair_ignored(self, monitor):
+        monitor.observe(1, 4, 90.0, np.full(4, 90.0))
+        assert monitor.residuals == ()
+
+    def test_qualifying_hop_records_signed_residual(self, monitor):
+        monitor.observe(1, 2, 120.0, np.full(4, 120.0))
+        assert monitor.residuals == (30.0,)
+        monitor.observe(2, 3, 350.0, np.full(4, 350.0))
+        assert monitor.residuals[-1] == pytest.approx(-10.0)
+
+
+class TestDetection:
+    def test_partial_window_never_fires(self, monitor):
+        observe_shifted_walk(monitor, 120.0)
+        # Only fill two of three slots.
+        partial = CalibrationMonitor(monitor._motion_db, window=3)
+        partial.observe(1, 2, 210.0, np.full(4, 210.0))
+        partial.observe(2, 3, 120.0, np.full(4, 120.0))
+        assert not partial.drift_detected
+
+    def test_systematic_rotation_detected(self, monitor):
+        observe_shifted_walk(monitor, 120.0, jitter=(2.0, -3.0, 1.0))
+        assert monitor.drift_detected
+
+    def test_negative_rotation_detected(self, monitor):
+        observe_shifted_walk(monitor, -90.0)
+        assert monitor.drift_detected
+
+    def test_small_rotation_not_drift(self, monitor):
+        """Residuals agree but stay inside compass-noise territory."""
+        observe_shifted_walk(monitor, 10.0)
+        assert not monitor.drift_detected
+
+    def test_scattered_residuals_not_drift(self, monitor):
+        """Large but inconsistent residuals are twin mismatches, not a
+        grip shift — the resultant gate must reject them."""
+        observe_shifted_walk(monitor, 0.0, jitter=(150.0, -120.0, 60.0))
+        assert not monitor.drift_detected
+
+    def test_reset_clears_window(self, monitor):
+        observe_shifted_walk(monitor, 120.0)
+        monitor.reset()
+        assert not monitor.drift_detected
+        assert monitor.residuals == ()
+
+
+class TestRecalibration:
+    def test_without_evidence_raises(self, monitor):
+        with pytest.raises(RuntimeError):
+            monitor.recalibrate()
+
+    def test_recovers_the_shift(self, monitor):
+        """Readings rotated by a constant against known edges: the
+        re-estimated placement offset is that constant."""
+        observe_shifted_walk(monitor, 120.0)
+        assert monitor.drift_detected
+        offset = monitor.recalibrate()
+        assert offset == pytest.approx(120.0, abs=1e-6)
+
+    def test_recalibrate_resets_the_window(self, monitor):
+        observe_shifted_walk(monitor, 120.0)
+        monitor.recalibrate()
+        assert monitor.residuals == ()
+        with pytest.raises(RuntimeError):
+            monitor.recalibrate()

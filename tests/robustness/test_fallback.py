@@ -1,0 +1,112 @@
+"""Tests for the graceful-fallback chain (mode choice and coasting)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import MoLocConfig
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.motion.rlm import MotionMeasurement
+from repro.robustness.fallback import choose_mode, coast
+from repro.robustness.health import ServingMode
+
+
+def stats(direction: float, offset: float = 5.0) -> PairStatistics:
+    return PairStatistics(
+        direction_mean_deg=direction,
+        direction_std_deg=5.0,
+        offset_mean_m=offset,
+        offset_std_m=0.3,
+        n_observations=10,
+    )
+
+
+@pytest.fixture()
+def motion_db() -> MotionDatabase:
+    """1 -west-> 2 and 1 -east-> 3 (the twin geometry)."""
+    return MotionDatabase({(1, 2): stats(270.0), (1, 3): stats(90.0)})
+
+
+class TestChooseMode:
+    def test_all_evidence_is_motion_assisted(self):
+        assert (
+            choose_mode(scan_usable=True, imu_usable=True, calibrated=True)
+            is ServingMode.MOTION_ASSISTED
+        )
+
+    def test_bad_imu_is_wifi_only(self):
+        assert (
+            choose_mode(scan_usable=True, imu_usable=False, calibrated=True)
+            is ServingMode.WIFI_ONLY
+        )
+
+    def test_uncalibrated_is_wifi_only(self):
+        assert (
+            choose_mode(scan_usable=True, imu_usable=True, calibrated=False)
+            is ServingMode.WIFI_ONLY
+        )
+
+    def test_no_scan_is_dead_reckoning_regardless(self):
+        for imu_usable in (True, False):
+            assert (
+                choose_mode(False, imu_usable, calibrated=True)
+                is ServingMode.DEAD_RECKONING
+            )
+
+
+class TestCoast:
+    def test_empty_retained_rejected(self, motion_db):
+        with pytest.raises(ValueError):
+            coast(motion_db, [], None, MoLocConfig())
+
+    def test_without_measurement_holds_distribution(self, motion_db):
+        estimate = coast(motion_db, [(1, 0.6), (2, 0.2)], None, MoLocConfig())
+        assert not estimate.used_motion
+        assert estimate.location_id == 1
+        probs = {c.location_id: c.probability for c in estimate.candidates}
+        assert probs[1] == pytest.approx(0.75)
+        assert probs[2] == pytest.approx(0.25)
+
+    def test_motion_moves_the_mass_to_the_reached_neighbor(self, motion_db):
+        westward = MotionMeasurement(direction_deg=270.0, offset_m=5.0)
+        estimate = coast(motion_db, [(1, 1.0)], westward, MoLocConfig())
+        assert estimate.used_motion
+        assert estimate.location_id == 2
+
+    def test_opposite_motion_selects_the_other_neighbor(self, motion_db):
+        eastward = MotionMeasurement(direction_deg=90.0, offset_m=5.0)
+        estimate = coast(motion_db, [(1, 1.0)], eastward, MoLocConfig())
+        assert estimate.location_id == 3
+
+    def test_unexplainable_motion_holds_position(self, motion_db):
+        """Coasting never invents movement the database cannot explain."""
+        northward = MotionMeasurement(direction_deg=0.0, offset_m=50.0)
+        estimate = coast(motion_db, [(1, 1.0)], northward, MoLocConfig())
+        assert not estimate.used_motion
+        assert estimate.location_id == 1
+
+    def test_degenerate_retained_holds_first(self, motion_db):
+        estimate = coast(motion_db, [(2, 0.0), (3, 0.0)], None, MoLocConfig())
+        assert estimate.location_id == 2
+        assert estimate.probability == 1.0
+
+    def test_coasted_probabilities_normalized(self, motion_db):
+        westward = MotionMeasurement(direction_deg=270.0, offset_m=5.0)
+        estimate = coast(
+            motion_db, [(1, 0.7), (2, 0.3)], westward, MoLocConfig()
+        )
+        assert sum(c.probability for c in estimate.candidates) == pytest.approx(
+            1.0
+        )
+
+    def test_fingerprint_evidence_marked_absent(self, motion_db):
+        """Coasted candidates carry NaN dissimilarity and a uniform
+        fingerprint probability — fingerprints did not participate."""
+        estimate = coast(motion_db, [(1, 1.0)], None, MoLocConfig())
+        for candidate in estimate.candidates:
+            assert math.isnan(candidate.dissimilarity)
+            assert candidate.fingerprint_probability == pytest.approx(
+                1.0 / len(estimate.candidates)
+            )

@@ -1,0 +1,244 @@
+"""Tests for ResilientMoLocService: the degradation-aware serving facade.
+
+The acceptance bar: under every injector in :mod:`repro.sim.failures`
+the service produces a fix on 100% of intervals, the attached
+:class:`HealthStatus` names the injected fault class, and degraded-input
+accuracy beats the plain service where the fault is maskable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.motion.pedestrian import BodyProfile
+from repro.robustness import (
+    FaultType,
+    ResilientFix,
+    ResilientMoLocService,
+    ServingMode,
+)
+from repro.service import MoLocService
+from repro.sim.failures import (
+    inject_ap_outage,
+    inject_grip_shift,
+    inject_imu_dropout,
+)
+
+
+def make_service(study, cls=ResilientMoLocService, **kwargs):
+    motion_db, _ = study.motion_db(6)
+    return cls(
+        study.fingerprint_db(6),
+        motion_db,
+        body=BodyProfile(height_m=1.72),
+        config=study.config,
+        **kwargs,
+    )
+
+
+def calibration_from_trace(trace, n_hops=2):
+    return [
+        (hop.imu.compass_readings, hop.imu.true_course_deg)
+        for hop in trace.hops[:n_hops]
+    ]
+
+
+def drive(service, trace):
+    """Run a whole trace through a service; return one fix per interval."""
+    service._stride.step_length_m = trace.estimated_step_length_m
+    service.calibrate_heading(calibration_from_trace(trace))
+    fixes = [service.on_interval(trace.initial_fingerprint.rss)]
+    fixes.extend(
+        service.on_interval(hop.arrival_fingerprint.rss, hop.imu)
+        for hop in trace.hops
+    )
+    return fixes
+
+
+def hop_errors(plan, fixes, trace):
+    truth = [trace.true_start] + [hop.true_to for hop in trace.hops]
+    return [
+        plan.position_of(fix.location_id).distance_to(plan.position_of(true))
+        for fix, true in zip(fixes, truth)
+    ]
+
+
+class TestContract:
+    def test_every_fix_is_resilient_and_healthy(self, small_study):
+        service = make_service(small_study)
+        fixes = drive(service, small_study.test_traces[0])
+        for fix in fixes:
+            assert isinstance(fix, ResilientFix)
+            assert fix.location_id in small_study.scenario.plan.location_ids
+            assert 0.0 <= fix.health.confidence <= 1.0
+        assert service.last_health is fixes[-1].health
+
+    def test_clean_trace_serves_motion_assisted_without_faults(
+        self, small_study
+    ):
+        service = make_service(small_study)
+        fixes = drive(service, small_study.test_traces[0])
+        modes = [fix.health.mode for fix in fixes[1:]]
+        assert modes.count(ServingMode.MOTION_ASSISTED) >= len(modes) - 1
+        assert not fixes[0].health.has_fault(FaultType.IMU_DROPOUT)
+
+    def test_motion_before_calibration_serves_instead_of_raising(
+        self, small_study
+    ):
+        trace = small_study.test_traces[0]
+        service = make_service(small_study)
+        service.on_interval(trace.initial_fingerprint.rss)
+        fix = service.on_interval(
+            trace.hops[0].arrival_fingerprint.rss, trace.hops[0].imu
+        )
+        assert fix.health.mode is ServingMode.WIFI_ONLY
+        assert fix.health.has_fault(FaultType.UNCALIBRATED)
+        assert not fix.used_motion
+
+    def test_end_session_resets_robustness_state(self, small_study):
+        trace = small_study.test_traces[0]
+        service = make_service(small_study)
+        drive(service, inject_ap_outage(trace, 5))
+        service.end_session()
+        assert service.last_health is None
+        assert service._sanitizer.consecutive_floored == (0,) * 6
+        assert service._watchdog.confidence == 1.0
+
+
+class TestScanFaults:
+    def test_scan_loss_coasts_and_recovers(self, small_study):
+        trace = small_study.test_traces[0]
+        service = make_service(small_study)
+        service._stride.step_length_m = trace.estimated_step_length_m
+        service.calibrate_heading(calibration_from_trace(trace))
+        service.on_interval(trace.initial_fingerprint.rss)
+
+        lost = service.on_interval(None, trace.hops[0].imu)
+        assert lost.health.mode is ServingMode.DEAD_RECKONING
+        assert lost.health.has_fault(FaultType.SCAN_LOSS)
+        assert lost.location_id in small_study.scenario.plan.location_ids
+
+        recovered = service.on_interval(
+            trace.hops[1].arrival_fingerprint.rss, trace.hops[1].imu
+        )
+        assert recovered.health.mode is ServingMode.MOTION_ASSISTED
+
+    def test_cold_start_without_scan_still_fixes(self, small_study):
+        service = make_service(small_study)
+        fix = service.on_interval(None)
+        assert fix.health.mode is ServingMode.DEAD_RECKONING
+        assert fix.location_id in small_study.scenario.plan.location_ids
+
+    def test_dead_ap_is_diagnosed_and_masked(self, small_study):
+        trace = inject_ap_outage(small_study.test_traces[0], ap_id=5)
+        service = make_service(small_study)
+        fixes = drive(service, trace)
+        flagged = [
+            fix
+            for fix in fixes
+            if fix.health.has_fault(FaultType.DEAD_AP)
+            and 5 in fix.health.masked_ap_ids
+        ]
+        assert len(flagged) >= len(fixes) - 3  # detector needs warm-up scans
+
+    def test_masking_beats_the_plain_service_under_outage(self, small_study):
+        plan = small_study.scenario.plan
+        plain_errors, resilient_errors = [], []
+        for trace in small_study.test_traces[:8]:
+            broken = inject_ap_outage(trace, ap_id=5)
+            plain = make_service(small_study, cls=MoLocService)
+            resilient = make_service(small_study)
+            plain_errors.extend(hop_errors(plan, drive(plain, broken), broken))
+            resilient_errors.extend(
+                hop_errors(plan, drive(resilient, broken), broken)
+            )
+        assert sum(resilient_errors) < sum(plain_errors)
+
+
+class TestImuFaults:
+    def test_flat_lined_imu_serves_wifi_only(self, small_study):
+        trace = inject_imu_dropout(
+            small_study.test_traces[0],
+            range(small_study.test_traces[0].n_hops),
+        )
+        service = make_service(small_study)
+        fixes = drive(service, trace)
+        for fix in fixes[1:]:
+            assert fix.health.mode is ServingMode.WIFI_ONLY
+            assert fix.health.has_fault(FaultType.IMU_DROPOUT)
+            assert not fix.used_motion
+
+    def test_missing_imu_mid_session_is_a_dropout(self, small_study):
+        trace = small_study.test_traces[0]
+        service = make_service(small_study)
+        service._stride.step_length_m = trace.estimated_step_length_m
+        service.calibrate_heading(calibration_from_trace(trace))
+        service.on_interval(trace.initial_fingerprint.rss)
+        fix = service.on_interval(trace.hops[0].arrival_fingerprint.rss, None)
+        assert fix.health.has_fault(FaultType.IMU_DROPOUT)
+        assert fix.health.mode is ServingMode.WIFI_ONLY
+
+
+class TestCalibrationDrift:
+    def test_grip_shift_triggers_recalibration_somewhere(self, small_study):
+        """Across several shifted traces the monitor both detects the
+        drift and repairs it (grip shift of 120 deg after the first hop)."""
+        detected = 0
+        repaired = 0
+        for trace in small_study.test_traces[:8]:
+            shifted = inject_grip_shift(trace, after_hop=1, shift_deg=120.0)
+            service = make_service(small_study)
+            fixes = drive(service, shifted)
+            if any(
+                fix.health.has_fault(FaultType.CALIBRATION_DRIFT)
+                for fix in fixes
+            ):
+                detected += 1
+            if any(fix.health.recalibrated for fix in fixes):
+                repaired += 1
+        assert detected >= 2
+        assert repaired == detected
+
+    def test_clean_traces_never_recalibrate(self, small_study):
+        for trace in small_study.test_traces[:8]:
+            service = make_service(small_study)
+            fixes = drive(service, trace)
+            assert not any(fix.health.recalibrated for fix in fixes)
+
+
+class TestCombinedFaults:
+    def test_combined_fault_storm_served_every_interval(self, small_study):
+        """The ISSUE's combined-fault scenario: an AP outage, a grip
+        shift, and an IMU dropout on the same walk.  The service must
+        neither crash nor claim motion assistance on dropped-IMU hops."""
+        trace = small_study.test_traces[0]
+        dropped = range(0, trace.n_hops, 2)
+        broken = inject_imu_dropout(
+            inject_grip_shift(
+                inject_ap_outage(trace, ap_id=5), after_hop=1, shift_deg=120.0
+            ),
+            dropped,
+        )
+        service = make_service(small_study)
+        fixes = drive(service, broken)
+
+        assert len(fixes) == trace.n_hops + 1  # one fix per interval
+        plan_ids = small_study.scenario.plan.location_ids
+        assert all(fix.location_id in plan_ids for fix in fixes)
+        for index in dropped:
+            fix = fixes[index + 1]  # interval 0 is the initial fix
+            assert not fix.used_motion
+            assert fix.health.has_fault(FaultType.IMU_DROPOUT)
+        assert any(fix.health.has_fault(FaultType.DEAD_AP) for fix in fixes)
+
+    @pytest.mark.parametrize("scan_value", [float("nan"), -150.0, 20.0])
+    def test_corrupt_scan_values_never_crash(self, small_study, scan_value):
+        trace = small_study.test_traces[0]
+        service = make_service(small_study)
+        service._stride.step_length_m = trace.estimated_step_length_m
+        service.calibrate_heading(calibration_from_trace(trace))
+        scan = list(trace.initial_fingerprint.rss)
+        scan[2] = scan_value
+        fix = service.on_interval(scan)
+        assert fix.location_id in small_study.scenario.plan.location_ids
+        assert fix.health.faults  # the corruption was noticed

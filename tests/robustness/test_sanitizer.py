@@ -1,0 +1,172 @@
+"""Tests for scan sanitization and IMU credibility checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.robustness.health import FaultType
+from repro.robustness.sanitizer import ScanSanitizer, check_imu
+
+CLEAN = [-50.0, -60.0, -70.0, -55.0]
+
+
+@pytest.fixture()
+def sanitizer() -> ScanSanitizer:
+    return ScanSanitizer(n_aps=4, dead_ap_scans=3)
+
+
+class TestConstruction:
+    def test_invalid_n_aps(self):
+        with pytest.raises(ValueError):
+            ScanSanitizer(n_aps=0)
+
+    def test_invalid_dead_ap_scans(self):
+        with pytest.raises(ValueError):
+            ScanSanitizer(n_aps=4, dead_ap_scans=0)
+
+    def test_invalid_min_active_aps(self):
+        with pytest.raises(ValueError):
+            ScanSanitizer(n_aps=4, min_active_aps=0)
+
+
+class TestCleanScan:
+    def test_passes_untouched(self, sanitizer):
+        result = sanitizer.sanitize(CLEAN)
+        assert result.usable
+        assert result.fingerprint.rss == tuple(CLEAN)
+        assert result.active_aps == (True,) * 4
+        assert result.masked_ap_ids == ()
+        assert result.faults == ()
+
+
+class TestScanLoss:
+    def test_none_is_scan_loss(self, sanitizer):
+        result = sanitizer.sanitize(None)
+        assert not result.usable
+        assert result.fingerprint is None
+        assert result.active_aps is None
+        assert FaultType.SCAN_LOSS in result.faults
+
+    def test_wrong_length_is_malformed_and_lost(self, sanitizer):
+        result = sanitizer.sanitize([-50.0, -60.0])
+        assert not result.usable
+        assert FaultType.MALFORMED_SCAN in result.faults
+        assert FaultType.SCAN_LOSS in result.faults
+
+    def test_malformed_scan_leaves_rolling_stats_untouched(self, sanitizer):
+        sanitizer.sanitize([-100.0, -60.0, -70.0, -55.0])
+        before = sanitizer.consecutive_floored
+        sanitizer.sanitize([-50.0])
+        assert sanitizer.consecutive_floored == before
+
+    def test_all_floored_is_scan_loss(self, sanitizer):
+        result = sanitizer.sanitize([-100.0] * 4)
+        assert not result.usable
+        assert FaultType.SCAN_LOSS in result.faults
+
+
+class TestCorruptions:
+    def test_non_finite_floored_and_flagged(self, sanitizer):
+        result = sanitizer.sanitize([float("nan"), -60.0, float("inf"), -55.0])
+        assert result.usable
+        assert FaultType.NON_FINITE_SCAN in result.faults
+        assert result.fingerprint.rss[0] == -100.0
+        assert result.fingerprint.rss[2] == -100.0
+        assert result.fingerprint.rss[1] == -60.0
+
+    def test_out_of_range_clipped_and_flagged(self, sanitizer):
+        result = sanitizer.sanitize([10.0, -60.0, -150.0, -55.0])
+        assert result.usable
+        assert FaultType.OUT_OF_RANGE_SCAN in result.faults
+        assert result.fingerprint.rss[0] == 0.0
+        assert result.fingerprint.rss[2] == -100.0
+
+
+class TestDeadApDetection:
+    def test_sustained_flooring_masks_the_ap(self, sanitizer):
+        scan = [-100.0, -60.0, -70.0, -55.0]
+        for _ in range(2):
+            result = sanitizer.sanitize(scan)
+            assert result.masked_ap_ids == ()
+        result = sanitizer.sanitize(scan)
+        assert FaultType.DEAD_AP in result.faults
+        assert result.masked_ap_ids == (0,)
+        assert result.active_aps == (False, True, True, True)
+
+    def test_intermittent_flooring_resets_the_counter(self, sanitizer):
+        dead = [-100.0, -60.0, -70.0, -55.0]
+        sanitizer.sanitize(dead)
+        sanitizer.sanitize(dead)
+        sanitizer.sanitize(CLEAN)  # the AP came back
+        result = sanitizer.sanitize(dead)
+        assert result.masked_ap_ids == ()
+
+    def test_mask_stops_at_min_active_aps(self):
+        sanitizer = ScanSanitizer(n_aps=3, dead_ap_scans=1, min_active_aps=2)
+        result = sanitizer.sanitize([-100.0, -100.0, -50.0])
+        assert not result.usable
+        assert FaultType.SCAN_LOSS in result.faults
+        assert FaultType.DEAD_AP not in result.faults
+
+    def test_reset_clears_counters(self, sanitizer):
+        dead = [-100.0, -60.0, -70.0, -55.0]
+        for _ in range(3):
+            sanitizer.sanitize(dead)
+        sanitizer.reset()
+        assert sanitizer.consecutive_floored == (0, 0, 0, 0)
+        assert sanitizer.sanitize(dead).masked_ap_ids == ()
+
+
+class TestImuCheck:
+    def test_none_is_dropout(self):
+        usable, faults = check_imu(None)
+        assert not usable
+        assert faults == (FaultType.IMU_DROPOUT,)
+
+    def test_flat_lined_accel_is_dropout(self, rng):
+        from repro.sensors.accelerometer import AccelerometerModel
+        from repro.sensors.imu import ImuSegment
+
+        accel = AccelerometerModel().idle(2.0, rng)
+        flat = ImuSegment(
+            accel=type(accel)(
+                samples=np.full_like(accel.samples, 9.81),
+                rate_hz=accel.rate_hz,
+                true_step_times=np.empty(0),
+            ),
+            compass_readings=np.full(10, 90.0),
+            true_course_deg=90.0,
+            true_distance_m=0.0,
+        )
+        usable, faults = check_imu(flat)
+        assert not usable
+        assert FaultType.IMU_DROPOUT in faults
+
+    def test_real_idle_noise_is_credible(self, rng):
+        """A genuinely idle sensor still shows noise: not a dropout."""
+        from repro.sensors.accelerometer import AccelerometerModel
+        from repro.sensors.imu import ImuSegment
+
+        segment = ImuSegment(
+            accel=AccelerometerModel().idle(2.0, rng),
+            compass_readings=np.full(10, 90.0),
+            true_course_deg=90.0,
+            true_distance_m=0.0,
+        )
+        usable, faults = check_imu(segment)
+        assert usable
+        assert faults == ()
+
+    def test_non_finite_readings_are_dropout(self, rng):
+        from repro.sensors.accelerometer import AccelerometerModel
+        from repro.sensors.imu import ImuSegment
+
+        segment = ImuSegment(
+            accel=AccelerometerModel().idle(2.0, rng),
+            compass_readings=np.array([90.0, float("nan")]),
+            true_course_deg=90.0,
+            true_distance_m=0.0,
+        )
+        usable, _ = check_imu(segment)
+        assert not usable

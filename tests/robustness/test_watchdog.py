@@ -1,0 +1,149 @@
+"""Tests for the divergence watchdog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.robustness.watchdog import DivergenceWatchdog, WatchdogAction
+
+
+def stats(offset: float = 5.0) -> PairStatistics:
+    return PairStatistics(
+        direction_mean_deg=90.0,
+        direction_std_deg=5.0,
+        offset_mean_m=offset,
+        offset_std_m=0.3,
+        n_observations=10,
+    )
+
+
+@pytest.fixture()
+def motion_db() -> MotionDatabase:
+    return MotionDatabase({(1, 2): stats(5.0), (2, 3): stats(5.0)})
+
+
+@pytest.fixture()
+def watchdog(motion_db) -> DivergenceWatchdog:
+    return DivergenceWatchdog(motion_db, slack_m=2.0, ewma_alpha=0.5)
+
+
+class TestConstruction:
+    def test_invalid_alpha(self, motion_db):
+        with pytest.raises(ValueError):
+            DivergenceWatchdog(motion_db, ewma_alpha=0.0)
+
+    def test_invalid_threshold_order(self, motion_db):
+        with pytest.raises(ValueError):
+            DivergenceWatchdog(motion_db, widen_below=0.2, reset_below=0.5)
+
+    def test_invalid_slack(self, motion_db):
+        with pytest.raises(ValueError):
+            DivergenceWatchdog(motion_db, slack_m=0.0)
+
+    def test_invalid_widen_factor(self, motion_db):
+        with pytest.raises(ValueError):
+            DivergenceWatchdog(motion_db, widen_factor=0)
+
+
+class TestJudgement:
+    def test_first_fix_is_neutral(self, watchdog):
+        verdict = watchdog.observe(1, 5.0)
+        assert verdict.plausible
+        assert verdict.confidence == 1.0
+        assert verdict.action is WatchdogAction.NONE
+
+    def test_explainable_hop_is_plausible(self, watchdog):
+        watchdog.observe(1, None)
+        verdict = watchdog.observe(2, 5.0)  # db offset 5 <= 5 + slack
+        assert verdict.plausible
+        assert verdict.confidence == 1.0
+
+    def test_self_transition_is_plausible(self, watchdog):
+        watchdog.observe(1, None)
+        verdict = watchdog.observe(1, 0.0)
+        assert verdict.plausible
+
+    def test_unknown_pair_is_a_teleport(self, watchdog):
+        watchdog.observe(1, None)
+        verdict = watchdog.observe(3, 1.0)  # (1, 3) unknown, no plan
+        assert not verdict.plausible
+        assert verdict.confidence < 1.0
+
+    def test_hop_exceeding_measured_offset_is_implausible(self, watchdog):
+        watchdog.observe(1, None)
+        verdict = watchdog.observe(2, 0.5)  # db says 5 m apart, measured 0.5
+        assert not verdict.plausible
+
+    def test_missing_motion_is_neutral(self, watchdog):
+        watchdog.observe(1, None)
+        watchdog.observe(3, 1.0)  # drops confidence
+        lowered = watchdog.confidence
+        verdict = watchdog.observe(1, None)  # unjudgeable: no EWMA update
+        assert verdict.confidence == lowered
+
+    def test_plan_coordinates_sharpen_distance(self, motion_db, hall):
+        plan = hall.plan
+        watchdog = DivergenceWatchdog(motion_db, plan=plan, slack_m=2.0)
+        ids = plan.location_ids
+        far_pair = max(
+            ((a, b) for a in ids for b in ids),
+            key=lambda p: plan.position_of(p[0]).distance_to(
+                plan.position_of(p[1])
+            ),
+        )
+        watchdog.observe(far_pair[0], None)
+        verdict = watchdog.observe(far_pair[1], 1.0)
+        assert not verdict.plausible
+
+
+def teleport_until(watchdog, action, max_hops=20):
+    """Alternate between the unconnected fixes 1 and 3 until ``action``."""
+    fixes = [3, 1] * (max_hops // 2)
+    for fix in fixes:
+        verdict = watchdog.observe(fix, 1.0)
+        if verdict.action is action:
+            return verdict
+    raise AssertionError(f"{action} never requested in {max_hops} hops")
+
+
+class TestEscalation:
+    def test_sustained_divergence_widens_then_resets(self, watchdog):
+        watchdog.observe(1, None)
+        actions = []
+        for fix in [3, 1, 3, 1, 3, 1]:
+            actions.append(watchdog.observe(fix, 1.0).action)
+        assert WatchdogAction.WIDEN in actions
+        assert WatchdogAction.RESET in actions
+        assert actions.index(WatchdogAction.WIDEN) < actions.index(
+            WatchdogAction.RESET
+        )
+
+    def test_reset_verdict_reports_pre_reset_confidence(self, watchdog):
+        watchdog.observe(1, None)
+        verdict = teleport_until(watchdog, WatchdogAction.RESET)
+        assert verdict.confidence < 0.25
+        # The watchdog itself restarts fully confident.
+        assert watchdog.confidence == 1.0
+
+    def test_after_reset_the_next_fix_is_unjudged(self, watchdog):
+        watchdog.observe(1, None)
+        teleport_until(watchdog, WatchdogAction.RESET)
+        verdict = watchdog.observe(3, 1.0)  # no previous fix anymore
+        assert verdict.plausible
+        assert verdict.confidence == 1.0
+
+    def test_recovery_restores_confidence(self, watchdog):
+        watchdog.observe(1, None)
+        watchdog.observe(3, 1.0)
+        assert watchdog.confidence < 1.0
+        for _ in range(10):
+            watchdog.observe(3, 0.0)  # self-transitions: all plausible
+        assert watchdog.confidence > 0.95
+
+    def test_explicit_reset(self, watchdog):
+        watchdog.observe(1, None)
+        watchdog.observe(3, 1.0)
+        watchdog.reset()
+        assert watchdog.confidence == 1.0
+        assert watchdog.observe(3, 1.0).confidence == 1.0

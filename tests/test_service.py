@@ -53,6 +53,20 @@ class TestLifecycle:
         )
         assert estimate.used_motion or estimate.location_id  # completes
 
+    def test_imu_outage_clears_pending_step_count(self, service, small_study):
+        """Regression: an interval without IMU must clear ``_last_steps``,
+        or stride personalization would pair a stale step count from an
+        earlier interval with the next hop's distance."""
+        trace = small_study.test_traces[0]
+        service.calibrate_heading(_calibration_from_trace(trace))
+        service.on_interval(trace.initial_fingerprint.rss)
+        service.on_interval(
+            trace.hops[0].arrival_fingerprint.rss, trace.hops[0].imu
+        )
+        assert service._last_steps is not None
+        service.on_interval(trace.hops[1].arrival_fingerprint.rss, None)
+        assert service._last_steps is None
+
     def test_end_session_resets(self, service, small_study):
         trace = small_study.test_traces[0]
         service.calibrate_heading(_calibration_from_trace(trace))
