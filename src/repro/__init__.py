@@ -30,6 +30,9 @@ Package layout
     Degradation-aware serving: scan sanitization, dead-AP masking,
     divergence/calibration watchdogs, and the graceful-fallback
     ``ResilientMoLocService``.
+``repro.serving``
+    Batched multi-session serving: many concurrent sessions through one
+    vectorized step per tick, bitwise-equal to the sequential path.
 
 Quickstart
 ----------
@@ -60,6 +63,7 @@ from .robustness import (
     ServingMode,
 )
 from .service import MoLocService
+from .serving import BatchedServingEngine, IntervalEvent, SessionManager
 from .sim import (
     Study,
     build_scenario,
@@ -92,6 +96,9 @@ __all__ = [
     "RadioParameters",
     "run_site_survey",
     "MoLocService",
+    "BatchedServingEngine",
+    "IntervalEvent",
+    "SessionManager",
     "ResilientMoLocService",
     "ResilientFix",
     "HealthStatus",

@@ -119,7 +119,11 @@ class Fingerprint:
         if active_aps is not None:
             mask = _validated_mask(active_aps, self.n_aps)
             diff = diff[mask]
-        return float(np.sqrt(np.dot(diff, diff)))
+        # The same einsum kernel as the database's (vectorized) matching:
+        # on contiguous arrays the 1-D, 2-D, and batched 3-D reductions
+        # accumulate in the same order, so one query scored alone is
+        # bit-identical to the same query scored in a batch.
+        return float(np.sqrt(np.einsum("j,j->", diff, diff)))
 
 
 def _validated_mask(active_aps: Sequence[bool], n_aps: int) -> np.ndarray:
@@ -209,6 +213,18 @@ class FingerprintDatabase:
         """All surveyed location ids, ascending."""
         return sorted(self._means)
 
+    @property
+    def matrix_ids(self) -> List[int]:
+        """Location ids in mean-matrix row order (ascending)."""
+        return list(self._matrix_ids)
+
+    @property
+    def mean_matrix(self) -> np.ndarray:
+        """The read-only dense mean-fingerprint matrix (row order
+        :attr:`matrix_ids`); the batched serving engine matches whole
+        query batches against this one cached array."""
+        return self._mean_matrix
+
     def __len__(self) -> int:
         return len(self._means)
 
@@ -246,6 +262,22 @@ class FingerprintDatabase:
         masked-out APs are excluded from every distance — the masked-AP
         matching the robustness layer uses to survive a dead AP.
         """
+        distances = self.distance_vector(query, active_aps)
+        return dict(zip(self._matrix_ids, distances.tolist()))
+
+    def distance_vector(
+        self, query: Fingerprint, active_aps: Optional[Sequence[bool]] = None
+    ) -> np.ndarray:
+        """Eq. 1 distances to every entry, in :attr:`matrix_ids` row order.
+
+        The array-level core of :meth:`dissimilarities`; the batched
+        serving engine consumes this directly (or its batched twin,
+        ``np.einsum("bij,bij->bi", ...)`` over stacked queries) without
+        paying for a dict per query.  The masked diff is normalized to a
+        C-contiguous layout so the einsum accumulates in the same order
+        as the batched 3-D kernel — one query scored alone is
+        bit-identical to the same query scored inside a batch.
+        """
         if query.n_aps != self._n_aps:
             raise ValueError(
                 f"query has {query.n_aps} APs but database stores {self._n_aps}"
@@ -253,9 +285,9 @@ class FingerprintDatabase:
         diff = self._mean_matrix - query.as_array()
         if active_aps is not None:
             mask = _validated_mask(active_aps, self._n_aps)
-            diff = diff[:, mask]
+            diff = np.ascontiguousarray(diff[:, mask])
         distances = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-        return dict(zip(self._matrix_ids, distances.tolist()))
+        return distances
 
     def nearest(
         self, query: Fingerprint, active_aps: Optional[Sequence[bool]] = None

@@ -131,6 +131,26 @@ class MoLocLocalizer:
         """The currently retained ``(location_id, probability)`` set."""
         return None if self._retained is None else list(self._retained)
 
+    def adopt(self, estimate: LocationEstimate) -> None:
+        """Adopt an already-evaluated interval as this session's.
+
+        Replays exactly the retention side effect :meth:`evaluate` would
+        have produced for the estimate.  The batched serving engine uses
+        this as its posterior cache: when another session has already
+        evaluated the identical (candidates, prior, motion) triple, the
+        shared (immutable) estimate is reused and only the per-session
+        state update runs.
+        """
+        if self.retention == "posterior":
+            self._retained = [
+                (c.location_id, c.probability) for c in estimate.candidates
+            ]
+        else:
+            self._retained = [
+                (c.location_id, c.fingerprint_probability)
+                for c in estimate.candidates
+            ]
+
     def locate(
         self,
         fingerprint: Fingerprint,
@@ -156,16 +176,61 @@ class MoLocLocalizer:
         candidates = select_candidates(
             self.fingerprint_db, fingerprint, k or self.config.k, active_aps
         )
+        return self.evaluate(candidates, motion)
 
+    def evaluate(
+        self,
+        candidates: Sequence[Candidate],
+        motion: Optional[MotionMeasurement] = None,
+        transition_probabilities: Optional[Sequence[float]] = None,
+    ) -> LocationEstimate:
+        """Candidate evaluation (Eq. 6/7) over an already-matched set.
+
+        The second half of :meth:`locate`, split out so the batched
+        serving engine can supply candidates from its vectorized matcher
+        and Eq. 6 transition probabilities from its cached dense-tensor
+        evaluator while this method stays the single owner of posterior
+        normalization, retention, and tie-breaking.
+
+        Args:
+            candidates: The Eq. 4 candidate set for this interval.
+            motion: The measured motion since the previous interval, or
+                None (initial fix / WiFi-only interval).
+            transition_probabilities: Optional precomputed Eq. 6 values,
+                one per candidate, in candidate order.  When omitted they
+                are computed here via
+                :func:`~repro.core.motion_matching.set_transition_probability`.
+                Ignored unless both a retained set and a motion
+                measurement exist.
+
+        Raises:
+            ValueError: for an empty candidate set, or a transition list
+                whose length does not match the candidate set.
+        """
+        if not candidates:
+            raise ValueError("cannot evaluate an empty candidate set")
         used_motion = False
         posteriors = [c.probability for c in candidates]
         if self._retained is not None and motion is not None:
-            weights = [
-                c.probability
-                * set_transition_probability(
-                    self.motion_db, self._retained, c.location_id, motion, self.config
+            if transition_probabilities is None:
+                transition_probabilities = [
+                    set_transition_probability(
+                        self.motion_db,
+                        self._retained,
+                        c.location_id,
+                        motion,
+                        self.config,
+                    )
+                    for c in candidates
+                ]
+            elif len(transition_probabilities) != len(candidates):
+                raise ValueError(
+                    f"{len(transition_probabilities)} transition probabilities "
+                    f"for {len(candidates)} candidates"
                 )
-                for c in candidates
+            weights = [
+                c.probability * t
+                for c, t in zip(candidates, transition_probabilities)
             ]
             total = sum(weights)
             if total > 0.0:

@@ -9,11 +9,11 @@ dissimilarity (Eq. 4) — smaller dissimilarity, higher probability.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .fingerprint import Fingerprint, FingerprintDatabase
 
-__all__ = ["Candidate", "select_candidates"]
+__all__ = ["Candidate", "candidates_from_ranked", "select_candidates"]
 
 _EXACT_MATCH_EPSILON = 1e-9
 """Dissimilarity floor so an exact fingerprint match keeps Eq. 4 finite."""
@@ -32,6 +32,34 @@ class Candidate:
     location_id: int
     dissimilarity: float
     probability: float
+
+
+def candidates_from_ranked(
+    nearest: Sequence[Tuple[int, float]],
+) -> List[Candidate]:
+    """Eq. 4 probabilities for an already-ranked nearest-candidate list.
+
+    The single source of truth for the inverse-dissimilarity weighting:
+    both the sequential :func:`select_candidates` path and the batched
+    serving engine's vectorized matcher rank locations first, then hand
+    the ``(location_id, dissimilarity)`` prefix here, so their
+    probabilities are computed by the same arithmetic in the same order.
+
+    Args:
+        nearest: The ``k`` nearest ``(location_id, dissimilarity)`` pairs,
+            sorted by ascending dissimilarity (ties by lower id).
+
+    Raises:
+        ValueError: for an empty ranking.
+    """
+    if not nearest:
+        raise ValueError("cannot build candidates from an empty ranking")
+    inverse_weights = [1.0 / max(m, _EXACT_MATCH_EPSILON) for _, m in nearest]
+    total = sum(inverse_weights)
+    return [
+        Candidate(location_id=lid, dissimilarity=m, probability=w / total)
+        for (lid, m), w in zip(nearest, inverse_weights)
+    ]
 
 
 def select_candidates(
@@ -64,13 +92,6 @@ def select_candidates(
     if k < 1:
         raise ValueError(f"candidate set size k must be >= 1, got {k}")
 
-    dissimilarities: Dict[int, float] = database.dissimilarities(query, active_aps)
+    dissimilarities = database.dissimilarities(query, active_aps)
     ranked = sorted(dissimilarities.items(), key=lambda item: (item[1], item[0]))
-    nearest = ranked[: min(k, len(ranked))]
-
-    inverse_weights = [1.0 / max(m, _EXACT_MATCH_EPSILON) for _, m in nearest]
-    total = sum(inverse_weights)
-    return [
-        Candidate(location_id=lid, dissimilarity=m, probability=w / total)
-        for (lid, m), w in zip(nearest, inverse_weights)
-    ]
+    return candidates_from_ranked(ranked[: min(k, len(ranked))])

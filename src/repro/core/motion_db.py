@@ -20,7 +20,46 @@ import numpy as np
 
 from ..env.geometry import normalize_bearing, reverse_bearing
 
-__all__ = ["PairStatistics", "MotionDatabase"]
+__all__ = ["PairStatistics", "DenseMotionView", "MotionDatabase"]
+
+
+@dataclass(frozen=True)
+class DenseMotionView:
+    """A dense array view of the motion database over fixed locations.
+
+    The batched serving engine's Eq. 5/6 evaluator indexes these arrays
+    directly instead of paying a dict lookup plus a
+    :class:`PairStatistics` construction per (pair, interval); values are
+    exactly the ones :meth:`MotionDatabase.entry` returns (including the
+    derived reverse entries), gathered once.
+
+    Attributes:
+        location_ids: Locations covered, in array row/column order.
+        direction_mean_deg: ``mu_d`` per ordered pair (NaN where invalid).
+        direction_std_deg: ``sigma_d`` per ordered pair.
+        offset_mean_m: ``mu_o`` per ordered pair.
+        offset_std_m: ``sigma_o`` per ordered pair.
+        valid: Whether the database covers the ordered pair.
+    """
+
+    location_ids: Tuple[int, ...]
+    direction_mean_deg: np.ndarray
+    direction_std_deg: np.ndarray
+    offset_mean_m: np.ndarray
+    offset_std_m: np.ndarray
+    valid: np.ndarray
+
+    def index_of(self, location_id: int) -> Optional[int]:
+        """The row/column index of a location, or None if uncovered."""
+        return self._index.get(location_id)
+
+    @property
+    def _index(self) -> Dict[int, int]:
+        cached = self.__dict__.get("_index_cache")
+        if cached is None:
+            cached = {lid: k for k, lid in enumerate(self.location_ids)}
+            object.__setattr__(self, "_index_cache", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -79,6 +118,7 @@ class MotionDatabase:
                     f"motion database keys must satisfy i < j, got ({i}, {j})"
                 )
             self._entries[(i, j)] = stats
+        self._dense_views: Dict[Tuple[int, ...], DenseMotionView] = {}
 
     # ------------------------------------------------------------------
     # Lookup
@@ -157,3 +197,42 @@ class MotionDatabase:
                     stats.offset_std_m,
                 )
         return matrix
+
+    def dense_view(
+        self, location_ids: Optional[List[int]] = None
+    ) -> DenseMotionView:
+        """A cached :class:`DenseMotionView` over the given locations.
+
+        Args:
+            location_ids: Row/column order of the view; defaults to every
+                location the database mentions, ascending.  Views are
+                cached per id tuple, so repeated calls (one per serving
+                tick) cost a dict lookup.
+        """
+        if location_ids is None:
+            mentioned = set()
+            for i, j in self._entries:
+                mentioned.add(i)
+                mentioned.add(j)
+            location_ids = sorted(mentioned)
+        key = tuple(location_ids)
+        if key not in self._dense_views:
+            matrix = self.as_matrix(list(location_ids))
+            view = DenseMotionView(
+                location_ids=key,
+                direction_mean_deg=matrix[:, :, 0],
+                direction_std_deg=matrix[:, :, 1],
+                offset_mean_m=matrix[:, :, 2],
+                offset_std_m=matrix[:, :, 3],
+                valid=np.isfinite(matrix[:, :, 0]),
+            )
+            for array in (
+                view.direction_mean_deg,
+                view.direction_std_deg,
+                view.offset_mean_m,
+                view.offset_std_m,
+                view.valid,
+            ):
+                array.setflags(write=False)
+            self._dense_views[key] = view
+        return self._dense_views[key]

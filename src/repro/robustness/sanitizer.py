@@ -23,6 +23,7 @@ evaluation never shows:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -98,65 +99,83 @@ class ScanSanitizer:
         self._ceiling_dbm = ceiling_dbm
         self._dead_ap_scans = dead_ap_scans
         self._floor_margin_db = floor_margin_db
+        self._floored_threshold_dbm = floor_dbm + floor_margin_db
         self._min_active_aps = min_active_aps
-        self._consecutive_floored = np.zeros(n_aps, dtype=int)
+        self._consecutive_floored: List[int] = [0] * n_aps
 
     @property
     def consecutive_floored(self) -> Tuple[int, ...]:
         """Per-AP count of consecutive floored scans (rolling state)."""
-        return tuple(int(c) for c in self._consecutive_floored)
+        return tuple(self._consecutive_floored)
 
     def reset(self) -> None:
         """Forget the rolling per-AP statistics (new session)."""
-        self._consecutive_floored[:] = 0
+        self._consecutive_floored = [0] * self._n_aps
 
     def sanitize(self, scan: Optional[Sequence[float]]) -> SanitizedScan:
-        """Validate one scan, update rolling statistics, emit the mask."""
+        """Validate one scan, update rolling statistics, emit the mask.
+
+        Runs on plain Python scalars: scans are a handful of values, and
+        this is the per-interval serving hot path — array round-trips
+        cost more than the arithmetic.  (``math`` comparisons and
+        ``min``/``max`` produce bit-identical values to the previous
+        ``np.where``/``np.clip`` formulation.)
+        """
         faults: List[FaultType] = []
 
         if scan is None:
             return self._lost((FaultType.SCAN_LOSS,))
-        values = np.asarray(scan, dtype=float).ravel()
-        if values.size != self._n_aps:
+        if isinstance(scan, np.ndarray):
+            scan = scan.ravel()
+        values = [float(v) for v in scan]
+        if len(values) != self._n_aps:
             # A malformed vector cannot even be aligned with AP ids; its
             # readings say nothing about per-AP health, so the rolling
             # statistics are left untouched.
             return self._lost((FaultType.MALFORMED_SCAN, FaultType.SCAN_LOSS))
 
-        non_finite = ~np.isfinite(values)
-        if non_finite.any():
+        floor = self._floor_dbm
+        ceiling = self._ceiling_dbm
+        if not all(math.isfinite(v) for v in values):
             faults.append(FaultType.NON_FINITE_SCAN)
-            values = np.where(non_finite, self._floor_dbm, values)
-        out_of_range = (values > self._ceiling_dbm) | (values < self._floor_dbm)
-        if out_of_range.any():
+            values = [v if math.isfinite(v) else floor for v in values]
+        if any(v > ceiling or v < floor for v in values):
             faults.append(FaultType.OUT_OF_RANGE_SCAN)
-            values = np.clip(values, self._floor_dbm, self._ceiling_dbm)
+            values = [min(max(v, floor), ceiling) for v in values]
 
-        floored = values <= self._floor_dbm + self._floor_margin_db
-        self._consecutive_floored = np.where(
-            floored, self._consecutive_floored + 1, 0
-        )
+        threshold = self._floored_threshold_dbm
+        counters = self._consecutive_floored
+        all_floored = True
+        for i, v in enumerate(values):
+            if v <= threshold:
+                counters[i] += 1
+            else:
+                counters[i] = 0
+                all_floored = False
 
-        if floored.all():
+        if all_floored:
             # The radio heard nothing at all: there is no information to
             # match on, floored or otherwise.
             faults.append(FaultType.SCAN_LOSS)
             return self._lost(tuple(faults))
 
-        dead = self._consecutive_floored >= self._dead_ap_scans
-        active = ~dead
+        dead_scans = self._dead_ap_scans
+        active = tuple(c < dead_scans for c in counters)
         masked_ids: Tuple[int, ...] = ()
-        if dead.any():
-            if int(active.sum()) >= self._min_active_aps:
+        n_dead = self._n_aps - sum(active)
+        if n_dead:
+            if self._n_aps - n_dead >= self._min_active_aps:
                 faults.append(FaultType.DEAD_AP)
-                masked_ids = tuple(int(i) for i in np.flatnonzero(dead))
+                masked_ids = tuple(
+                    i for i, alive in enumerate(active) if not alive
+                )
             else:
                 faults.append(FaultType.SCAN_LOSS)
                 return self._lost(tuple(faults))
 
         return SanitizedScan(
-            fingerprint=Fingerprint.from_values(values),
-            active_aps=tuple(bool(a) for a in active),
+            fingerprint=Fingerprint(tuple(values)),
+            active_aps=active,
             masked_ap_ids=masked_ids,
             faults=tuple(faults),
         )

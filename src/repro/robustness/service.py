@@ -32,23 +32,54 @@ each returned :class:`~repro.robustness.health.ResilientFix`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..core.config import MoLocConfig
 from ..core.fingerprint import FingerprintDatabase
+from ..core.matching import Candidate
 from ..core.motion_db import MotionDatabase
 from ..env.floorplan import FloorPlan
 from ..motion.pedestrian import BodyProfile
 from ..motion.rlm import MotionMeasurement
 from ..sensors.imu import ImuSegment
-from ..service import MoLocService
+from ..service import MoLocService, PrecomputedInputs, PreparedInterval
 from .calibration import CalibrationMonitor
 from .fallback import choose_mode, coast
 from .health import FaultType, HealthStatus, ResilientFix, ServingMode
-from .sanitizer import ScanSanitizer, check_imu
+from .sanitizer import SanitizedScan, ScanSanitizer, check_imu
 from .watchdog import DivergenceWatchdog, WatchdogAction
 
-__all__ = ["ResilientMoLocService"]
+__all__ = ["ResilientMoLocService", "ResilientPreparedInterval"]
+
+
+@dataclass
+class ResilientPreparedInterval(PreparedInterval):
+    """Phase-one result of a resilient interval.
+
+    Extends :class:`~repro.service.PreparedInterval` with the fault
+    triage that phase two (and the health status) needs.  The inherited
+    ``fingerprint``/``motion``/``active_aps``/``k`` fields are already
+    gated by the chosen serving mode: ``fingerprint`` is None when the
+    interval must coast, ``motion`` is None unless the mode is
+    motion-assisted.
+
+    Attributes:
+        mode: The fallback-chain rung chosen for this interval.
+        faults: Faults detected during triage, in detection order.
+        sanitized: The scan-sanitizer result.
+        measurement: The raw motion measurement (ungated by mode) — the
+            coasting path consumes it even when ``motion`` is None.
+        previous_fix: The previous fix at prepare time (stride pairing).
+        imu: The segment as received (calibration monitor input).
+    """
+
+    mode: ServingMode = ServingMode.WIFI_ONLY
+    faults: List[FaultType] = field(default_factory=list)
+    sanitized: Optional[SanitizedScan] = None
+    measurement: Optional[MotionMeasurement] = None
+    previous_fix: Optional[int] = None
+    imu: Optional[ImuSegment] = None
 
 
 class ResilientMoLocService(MoLocService):
@@ -140,8 +171,33 @@ class ResilientMoLocService(MoLocService):
         Returns:
             A fix with its health status — one per interval, always.
         """
+        return self.complete_interval(self.prepare_interval(scan, imu))
+
+    def prepare_interval(
+        self,
+        scan: Optional[Sequence[float]],
+        imu: Optional[ImuSegment] = None,
+        precomputed: Optional[PrecomputedInputs] = None,
+    ) -> ResilientPreparedInterval:
+        """Phase one: triage inputs and choose the serving mode.
+
+        Runs sanitization, IMU checking, mode selection, and motion
+        extraction — everything up to (but excluding) fingerprint
+        matching.  Composed with :meth:`complete_interval` this is
+        exactly :meth:`on_interval`; the batched serving engine calls it
+        per session, then matches all prepared fingerprints at once.
+
+        Args:
+            scan: The WiFi scan, or None if none arrived.
+            imu: The IMU recording since the previous interval, or None.
+            precomputed: Optional shared-work results (see
+                :class:`~repro.service.PrecomputedInputs`).
+        """
         faults: List[FaultType] = []
 
+        # Sanitization is never precomputed: the sanitizer's rolling
+        # per-AP counters are session state, so its result is not a pure
+        # function of the scan.
         sanitized = self._sanitizer.sanitize(scan)
         faults.extend(sanitized.faults)
 
@@ -153,7 +209,10 @@ class ResilientMoLocService(MoLocService):
                 # expected yet.
                 faults.append(FaultType.IMU_DROPOUT)
         else:
-            imu_usable, imu_faults = check_imu(imu)
+            if precomputed is not None and precomputed.imu_check is not None:
+                imu_usable, imu_faults = precomputed.imu_check
+            else:
+                imu_usable, imu_faults = check_imu(imu)
             faults.extend(imu_faults)
 
         calibrated = self.is_calibrated
@@ -164,31 +223,90 @@ class ResilientMoLocService(MoLocService):
 
         measurement: Optional[MotionMeasurement] = None
         if imu_usable and calibrated:
-            measurement = self._motion_from(imu)
+            if precomputed is not None and precomputed.motion is not None:
+                measurement, steps = precomputed.motion
+                self._last_steps = steps
+            else:
+                measurement = self._motion_from(imu)
         else:
             # Satellite-fix semantics: without step counts this interval,
             # stride personalization must not pair the upcoming hop with a
             # previous interval's count.
             self._last_steps = None
 
-        previous_fix = self._previous_fix
+        coasting = mode is ServingMode.DEAD_RECKONING
+        return ResilientPreparedInterval(
+            fingerprint=None if coasting else sanitized.fingerprint,
+            motion=(
+                measurement if mode is ServingMode.MOTION_ASSISTED else None
+            ),
+            active_aps=(
+                sanitized.active_aps
+                if not coasting and sanitized.masked_ap_ids
+                else None
+            ),
+            k=(
+                self._config.k * self._watchdog.widen_factor
+                if not coasting and self._widen_next
+                else None
+            ),
+            mode=mode,
+            faults=faults,
+            sanitized=sanitized,
+            measurement=measurement,
+            previous_fix=self._previous_fix,
+            imu=imu,
+        )
+
+    def complete_interval(
+        self,
+        prepared: PreparedInterval,
+        candidates: Optional[Sequence[Candidate]] = None,
+        transition_probabilities: Optional[Sequence[float]] = None,
+        estimate=None,
+    ) -> ResilientFix:
+        """Phase two: produce the fix and run the post-fix machinery.
+
+        Args:
+            prepared: The matching :meth:`prepare_interval` result.
+            candidates: Optional externally matched Eq. 4 candidate set;
+                ignored on a coasting interval (there is no matching to
+                replace), otherwise as in
+                :meth:`~repro.service.MoLocService.complete_interval`.
+            transition_probabilities: Optional precomputed Eq. 6 values,
+                one per candidate.
+            estimate: Optional fully evaluated result (the engine's
+                posterior cache); invalid on a coasting interval.
+        """
+        if not isinstance(prepared, ResilientPreparedInterval):
+            raise TypeError(
+                "complete_interval needs the ResilientPreparedInterval "
+                "produced by this service's prepare_interval"
+            )
+        mode = prepared.mode
+        faults = list(prepared.faults)
+        sanitized = prepared.sanitized
+        measurement = prepared.measurement
+        previous_fix = prepared.previous_fix
 
         if mode is ServingMode.DEAD_RECKONING:
+            if estimate is not None:
+                raise ValueError(
+                    "a coasting interval cannot adopt a cached estimate"
+                )
             estimate = self._coast(measurement)
-        else:
-            motion = measurement if mode is ServingMode.MOTION_ASSISTED else None
-            k = (
-                self._config.k * self._watchdog.widen_factor
-                if self._widen_next
-                else None
-            )
+        elif estimate is not None:
+            self._localizer.adopt(estimate)
+        elif candidates is None:
             estimate = self._localizer.locate(
-                sanitized.fingerprint,
-                motion,
-                active_aps=(
-                    sanitized.active_aps if sanitized.masked_ap_ids else None
-                ),
-                k=k,
+                prepared.fingerprint,
+                prepared.motion,
+                active_aps=prepared.active_aps,
+                k=prepared.k,
+            )
+        else:
+            estimate = self._localizer.evaluate(
+                candidates, prepared.motion, transition_probabilities
             )
 
         self._fix_count += 1
@@ -242,7 +360,7 @@ class ResilientMoLocService(MoLocService):
                     self._previous_wifi_best,
                     wifi_best,
                     measurement.direction_deg,
-                    imu.compass_readings,
+                    prepared.imu.compass_readings,
                 )
                 if self._calibration_monitor.drift_detected:
                     faults.append(FaultType.CALIBRATION_DRIFT)

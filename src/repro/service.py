@@ -27,11 +27,13 @@ graceful-fallback chain, and annotates every fix with a
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Tuple
 
 from .core.config import MoLocConfig
 from .core.fingerprint import Fingerprint, FingerprintDatabase
 from .core.localizer import LocationEstimate, MoLocLocalizer
+from .core.matching import Candidate
 from .core.motion_db import MotionDatabase
 from .motion.heading import estimate_placement_offset
 from .motion.kalman_heading import fused_course_from_segment
@@ -41,7 +43,59 @@ from .motion.stride import StepLengthEstimator
 from .motion.step_counting import count_steps_csc, is_walking
 from .sensors.imu import ImuSegment
 
-__all__ = ["MoLocService"]
+__all__ = [
+    "MoLocService",
+    "PreparedInterval",
+    "PrecomputedInputs",
+]
+
+
+@dataclass
+class PreparedInterval:
+    """The per-session first half of one localization interval.
+
+    Produced by :meth:`MoLocService.prepare_interval`; consumed by
+    :meth:`MoLocService.complete_interval`.  Between the two phases the
+    batched serving engine (:mod:`repro.serving`) runs fingerprint
+    matching and Eq. 6 transition evaluation for *all* sessions at once.
+
+    Attributes:
+        fingerprint: The query to match this interval, or None when no
+            matching should run (the robustness layer's coasting path).
+        motion: The motion measurement candidate evaluation should use
+            (already gated by serving mode), or None.
+        active_aps: Per-AP mask for matching, or None.
+        k: Candidate-set size override, or None for the configured k.
+    """
+
+    fingerprint: Optional[Fingerprint]
+    motion: Optional[MotionMeasurement]
+    active_aps: Optional[Sequence[bool]] = None
+    k: Optional[int] = None
+
+
+@dataclass
+class PrecomputedInputs:
+    """Optional shared-work results a batch engine hands to ``prepare``.
+
+    Every field is the exact value the service would have computed
+    itself; supplying one skips the per-session computation without
+    changing behavior (the serving engine's memo caches are keyed on all
+    inputs the computation reads).
+
+    Attributes:
+        imu_check: ``(usable, faults)`` from the robustness layer's
+            ``check_imu`` — pure in the segment.
+        motion: ``(measurement, steps)`` from
+            :meth:`MoLocService.extract_motion` — pure in the segment
+            plus calibration/stride/fusion settings.  The inner
+            measurement may itself be None only in the sense that a
+            whole-tuple None means "extraction did not run"; an idle
+            user yields a zero-offset measurement, not None.
+    """
+
+    imu_check: Optional[Tuple[bool, tuple]] = None
+    motion: Optional[Tuple[Optional[MotionMeasurement], Optional[float]]] = None
 
 
 class MoLocService:
@@ -83,6 +137,36 @@ class MoLocService:
     def fingerprint_db(self) -> FingerprintDatabase:
         """The fingerprint database in use."""
         return self._localizer.fingerprint_db
+
+    @property
+    def localizer(self) -> MoLocLocalizer:
+        """The session's localizer (retained set, configuration).
+
+        The batched serving engine reads the retained candidate set and
+        the configured ``k`` from here between the prepare and complete
+        phases of an interval.
+        """
+        return self._localizer
+
+    @property
+    def placement_offset_deg(self) -> Optional[float]:
+        """The calibrated phone placement offset, or None before calibration."""
+        return self._placement_offset_deg
+
+    @property
+    def motion_state_key(self) -> Tuple[Optional[float], float, bool]:
+        """Everything :meth:`extract_motion` reads besides the segment.
+
+        ``(placement offset, step length, gyro-fusion flag)`` — combined
+        with the segment's identity this keys the serving engine's
+        motion-extraction memo; two calls under the same key return the
+        same measurement.
+        """
+        return (
+            self._placement_offset_deg,
+            self._stride.step_length_m,
+            self._use_gyro_fusion,
+        )
 
     @property
     def is_calibrated(self) -> bool:
@@ -139,16 +223,81 @@ class MoLocService:
             RuntimeError: if motion is supplied before heading
                 calibration has run.
         """
+        return self.complete_interval(self.prepare_interval(scan, imu))
+
+    def prepare_interval(
+        self,
+        scan: Sequence[float],
+        imu: Optional[ImuSegment] = None,
+        precomputed: Optional[PrecomputedInputs] = None,
+    ) -> PreparedInterval:
+        """Phase one of an interval: parse inputs and extract motion.
+
+        Everything up to (but excluding) fingerprint matching — the part
+        the batched serving engine runs per session before stacking all
+        pending queries into one matrix.  Composed with
+        :meth:`complete_interval` this is exactly :meth:`on_interval`.
+
+        Args:
+            scan: The WiFi scan (per-AP dBm values, database AP order).
+            imu: The IMU recording since the previous interval, or None.
+            precomputed: Optional shared-work results (see
+                :class:`PrecomputedInputs`); only ``motion`` is consulted
+                here.
+
+        Raises:
+            RuntimeError: if motion is supplied before heading
+                calibration has run.
+        """
         fingerprint = Fingerprint.from_values(scan)
         if imu is not None:
-            motion = self._motion_from(imu)
+            if precomputed is not None and precomputed.motion is not None:
+                motion, steps = precomputed.motion
+                self._last_steps = steps
+            else:
+                motion = self._motion_from(imu)
         else:
             # Sensor outage (or first fix): without step counts for this
             # interval, the previous interval's _last_steps must not pair
             # with the upcoming hop in stride personalization.
             motion = None
             self._last_steps = None
-        estimate = self._localizer.locate(fingerprint, motion)
+        return PreparedInterval(fingerprint=fingerprint, motion=motion)
+
+    def complete_interval(
+        self,
+        prepared: PreparedInterval,
+        candidates: Optional[Sequence[Candidate]] = None,
+        transition_probabilities: Optional[Sequence[float]] = None,
+        estimate: Optional[LocationEstimate] = None,
+    ) -> LocationEstimate:
+        """Phase two of an interval: evaluate and update session state.
+
+        Args:
+            prepared: The matching :meth:`prepare_interval` result.
+            candidates: Optional externally matched Eq. 4 candidate set
+                (the batch matcher's output); when omitted, matching runs
+                here via the localizer's :meth:`~repro.core.localizer.MoLocLocalizer.locate`.
+            transition_probabilities: Optional precomputed Eq. 6 values,
+                one per candidate; requires ``candidates``.
+            estimate: Optional fully evaluated result for this interval
+                (the engine's posterior cache); must be exactly what
+                evaluation would have produced for this session's state.
+                Takes precedence over ``candidates``.
+        """
+        if estimate is not None:
+            self._localizer.adopt(estimate)
+        elif candidates is None:
+            estimate = self._localizer.locate(
+                prepared.fingerprint,
+                prepared.motion,
+                active_aps=prepared.active_aps,
+                k=prepared.k,
+            )
+        else:
+            estimate = self._localizer.evaluate(
+                candidates, prepared.motion, transition_probabilities
+            )
         self._fix_count += 1
         if (
             self._personalize_stride
@@ -180,7 +329,19 @@ class MoLocService:
         self._previous_fix = None
         self._last_steps = None
 
-    def _motion_from(self, imu: ImuSegment) -> Optional[MotionMeasurement]:
+    def extract_motion(
+        self, imu: ImuSegment
+    ) -> Tuple[Optional[MotionMeasurement], Optional[float]]:
+        """Pure motion extraction: ``(measurement, steps)`` for a segment.
+
+        No session state is written, so the result is a function of the
+        segment plus the current calibration, step length, and fusion
+        flag — exactly the key the serving engine memoizes on when many
+        sessions replay the same recorded segment.
+
+        Raises:
+            RuntimeError: if heading calibration has not run.
+        """
         if self._placement_offset_deg is None:
             raise RuntimeError(
                 "heading calibration has not run; call calibrate_heading first"
@@ -188,10 +349,8 @@ class MoLocService:
         if not is_walking(imu.accel):
             # Standing still: an explicit zero-offset measurement lets the
             # localizer prefer the self-transition.
-            self._last_steps = None
-            return MotionMeasurement(direction_deg=0.0, offset_m=0.0)
+            return MotionMeasurement(direction_deg=0.0, offset_m=0.0), None
         steps = count_steps_csc(imu.accel)
-        self._last_steps = steps
         if self._use_gyro_fusion and imu.gyro_rates_dps is not None:
             direction = fused_course_from_segment(imu, self._placement_offset_deg)
         else:
@@ -200,6 +359,12 @@ class MoLocService:
             direction = course_from_readings(
                 imu.compass_readings, self._placement_offset_deg
             )
-        return MotionMeasurement(
+        measurement = MotionMeasurement(
             direction_deg=direction, offset_m=steps * self._stride.step_length_m
         )
+        return measurement, steps
+
+    def _motion_from(self, imu: ImuSegment) -> Optional[MotionMeasurement]:
+        measurement, steps = self.extract_motion(imu)
+        self._last_steps = steps
+        return measurement

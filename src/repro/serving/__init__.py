@@ -1,0 +1,56 @@
+"""Batched multi-session serving: many users, one vectorized step.
+
+A deployment server hosts hundreds of concurrent MoLoc sessions against
+one fingerprint/motion database pair.  This package multiplexes them:
+
+* :mod:`~repro.serving.session` — the :class:`SessionManager` owning
+  per-user services and serving statistics;
+* :mod:`~repro.serving.scheduler` — the :class:`BatchMatcher`, stacking
+  all pending queries into one ``(B, L, A)`` einsum against the cached
+  mean matrix, behind a content-addressed candidate cache;
+* :mod:`~repro.serving.transitions` — the :class:`TransitionEvaluator`,
+  Eq. 5/6 off the precomputed dense motion tensor behind a whole-vector
+  LRU;
+* :mod:`~repro.serving.engine` — the :class:`BatchedServingEngine`
+  orchestrating prepare → match → transitions → complete each tick,
+  bitwise-equivalent to per-session ``on_interval`` calls (coasting and
+  fault handling dispatch through the robustness chain untouched);
+* :mod:`~repro.serving.benchmark` — workload drivers, per-tick timing,
+  and bit-level fix-stream checksums.
+
+See ``docs/serving.md`` for the architecture and the equivalence
+argument.
+"""
+
+from .benchmark import (
+    ServeResult,
+    build_session_services,
+    deterministic_view,
+    fix_stream_checksum,
+    serve_batched,
+    serve_sequential,
+    throughput_report,
+    workload_checksum,
+)
+from .engine import BatchedServingEngine, IntervalEvent
+from .scheduler import BatchMatcher, MatchRequest
+from .session import SessionManager, SessionRecord
+from .transitions import TransitionEvaluator
+
+__all__ = [
+    "BatchMatcher",
+    "BatchedServingEngine",
+    "IntervalEvent",
+    "MatchRequest",
+    "ServeResult",
+    "SessionManager",
+    "SessionRecord",
+    "TransitionEvaluator",
+    "build_session_services",
+    "deterministic_view",
+    "fix_stream_checksum",
+    "serve_batched",
+    "serve_sequential",
+    "throughput_report",
+    "workload_checksum",
+]

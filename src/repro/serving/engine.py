@@ -1,0 +1,349 @@
+"""The batched multi-session serving engine.
+
+One deployment server hosts many concurrent user sessions.  Served
+naively, each session pays the full per-interval pipeline alone; this
+engine multiplexes them through a single vectorized step per tick:
+
+1. **prepare** — each session triages its own inputs
+   (:meth:`~repro.service.MoLocService.prepare_interval`): sanitization,
+   IMU checks, mode selection, motion extraction.  Motion extraction and
+   IMU checks are pure in the segment (plus calibration state), so the
+   engine memoizes them across sessions — concurrent users replaying
+   the same recorded walk share the work.
+2. **match** — all prepared fingerprints stack into one ``(B, L, A)``
+   tensor and reduce with a single einsum against the cached mean
+   matrix (:class:`~repro.serving.scheduler.BatchMatcher`), behind a
+   content-addressed candidate cache.
+3. **transitions** — Eq. 5/6 evaluate off the precomputed dense motion
+   tensor behind a whole-vector LRU
+   (:class:`~repro.serving.transitions.TransitionEvaluator`).
+4. **complete** — each session finishes its own interval
+   (:meth:`~repro.service.MoLocService.complete_interval`): posterior
+   fusion, retention, stride personalization, watchdogs, health — and
+   coasting sessions dispatch through the existing robustness fallback
+   chain untouched.
+
+Every per-session computation runs through the *same* service objects
+and the *same* arithmetic as the sequential path, so the engine is
+bitwise-equivalent to calling ``service.on_interval`` per session — the
+golden-trace tests in ``tests/serving/`` assert exactly that, fault
+injection included.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import MoLocConfig
+from ..core.fingerprint import FingerprintDatabase
+from ..core.matching import Candidate
+from ..core.motion_db import MotionDatabase
+from ..robustness.sanitizer import check_imu
+from ..robustness.service import ResilientMoLocService
+from ..sensors.imu import ImuSegment
+from ..service import MoLocService, PrecomputedInputs, PreparedInterval
+from .scheduler import BatchMatcher, MatchRequest
+from .session import SessionManager, SessionRecord
+from .transitions import TransitionEvaluator
+
+__all__ = ["IntervalEvent", "BatchedServingEngine"]
+
+
+@dataclass(frozen=True)
+class IntervalEvent:
+    """One session's input for one serving tick.
+
+    Attributes:
+        session_id: Which session the inputs belong to.
+        scan: The WiFi scan, or None if none arrived (resilient
+            sessions coast; plain sessions raise, as sequentially).
+        imu: The IMU segment since the session's previous interval.
+    """
+
+    session_id: str
+    scan: Optional[Sequence[float]]
+    imu: Optional[ImuSegment] = None
+
+
+class BatchedServingEngine:
+    """Serves many MoLoc sessions through one vectorized step per tick.
+
+    Args:
+        fingerprint_db: The fingerprint database all sessions share.
+        motion_db: The motion database all sessions share.
+        config: The algorithm configuration all sessions share; the
+            engine's caches assume it, so sessions registered with a
+            different config are rejected.
+        matcher: Batch matcher override (defaults to one over
+            ``fingerprint_db``).
+        transitions: Transition evaluator override (defaults to one
+            over ``motion_db`` and ``config``).
+        motion_memo_size: Segments whose extracted motion is memoized
+            across sessions (0 disables).
+    """
+
+    def __init__(
+        self,
+        fingerprint_db: FingerprintDatabase,
+        motion_db: MotionDatabase,
+        config: MoLocConfig = MoLocConfig(),
+        matcher: Optional[BatchMatcher] = None,
+        transitions: Optional[TransitionEvaluator] = None,
+        motion_memo_size: int = 4096,
+        estimate_cache_size: int = 16384,
+    ) -> None:
+        if motion_memo_size < 0:
+            raise ValueError(
+                f"motion_memo_size must be >= 0, got {motion_memo_size}"
+            )
+        if estimate_cache_size < 0:
+            raise ValueError(
+                f"estimate_cache_size must be >= 0, got {estimate_cache_size}"
+            )
+        self._fingerprint_db = fingerprint_db
+        self._motion_db = motion_db
+        self._config = config
+        self.sessions = SessionManager()
+        self.matcher = matcher or BatchMatcher(fingerprint_db)
+        self.transitions = transitions or TransitionEvaluator(
+            motion_db, config
+        )
+        self._motion_memo_size = motion_memo_size
+        # (segment identity, motion_state_key) -> (measurement, steps).
+        # The parallel ref dict pins each segment so a recycled id() can
+        # never alias a dead key.
+        self._motion_memo: Dict[tuple, tuple] = {}
+        self._motion_refs: Dict[int, ImuSegment] = {}
+        self._imu_checks: Dict[int, Tuple[bool, tuple]] = {}
+        # Posterior cache: (candidates, prior, motion, retention) fully
+        # determine the evaluated estimate, so sessions at the same
+        # phase of the same walk share one immutable result.
+        self._estimate_cache_size = estimate_cache_size
+        self._estimate_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self._estimate_hits = 0
+        self._estimate_misses = 0
+        self._ticks = 0
+        self._intervals = 0
+
+    @property
+    def config(self) -> MoLocConfig:
+        """The shared algorithm configuration."""
+        return self._config
+
+    @property
+    def estimate_cache_hits(self) -> int:
+        """Intervals served straight from the posterior cache."""
+        return self._estimate_hits
+
+    @property
+    def estimate_cache_misses(self) -> int:
+        """Matchable intervals that evaluated Eq. 6/7 themselves."""
+        return self._estimate_misses
+
+    @property
+    def ticks_served(self) -> int:
+        """How many ticks :meth:`tick` has processed."""
+        return self._ticks
+
+    @property
+    def intervals_served(self) -> int:
+        """Total intervals served across all sessions."""
+        return self._intervals
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def add_session(
+        self, session_id: str, service: MoLocService
+    ) -> SessionRecord:
+        """Register a per-user service under an id.
+
+        Raises:
+            ValueError: for a duplicate id, a service bound to a
+                different fingerprint database, or a config that does
+                not match the engine's (the caches assume one config).
+        """
+        if service.fingerprint_db is not self._fingerprint_db:
+            raise ValueError(
+                "session service uses a different fingerprint database "
+                "than the engine"
+            )
+        if service.localizer.config != self._config:
+            raise ValueError(
+                "session service config differs from the engine's; the "
+                "engine's transition caches assume a single config"
+            )
+        return self.sessions.add(session_id, service)
+
+    def remove_session(self, session_id: str) -> None:
+        """Drop a session (ends the underlying service session)."""
+        self.sessions.remove(session_id)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def tick(self, events: Sequence[IntervalEvent]) -> List[object]:
+        """Serve one interval for every event, batched.
+
+        Args:
+            events: At most one event per session (a session's interval
+                N+1 depends on N's completed state, so duplicates in one
+                tick are a scheduling bug).
+
+        Returns:
+            One fix per event, in event order —
+            :class:`~repro.core.localizer.LocationEstimate` for plain
+            sessions, :class:`~repro.robustness.ResilientFix` for
+            resilient ones; exactly what ``service.on_interval`` would
+            have returned.
+        """
+        seen = set()
+        for event in events:
+            if event.session_id in seen:
+                raise ValueError(
+                    f"session {event.session_id!r} appears twice in one "
+                    "tick; intervals of one session are sequential"
+                )
+            seen.add(event.session_id)
+
+        # Phase 1: per-session triage (+ shared motion extraction).
+        records: List[SessionRecord] = []
+        prepared_list: List[PreparedInterval] = []
+        for event in events:
+            record = self.sessions.get(event.session_id)
+            precomputed = self._precompute(record.service, event.imu)
+            prepared = record.service.prepare_interval(
+                event.scan, event.imu, precomputed=precomputed
+            )
+            records.append(record)
+            prepared_list.append(prepared)
+
+        # Phase 2: one einsum for every matchable fingerprint.
+        requests: List[MatchRequest] = []
+        request_slots: List[int] = []
+        match_keys: List[Optional[tuple]] = [None] * len(events)
+        for slot, (record, prepared) in enumerate(
+            zip(records, prepared_list)
+        ):
+            if prepared.fingerprint is None:
+                continue
+            request = MatchRequest(
+                fingerprint=prepared.fingerprint,
+                k=prepared.k or record.service.localizer.config.k,
+                active_aps=(
+                    None
+                    if prepared.active_aps is None
+                    else tuple(bool(a) for a in prepared.active_aps)
+                ),
+            )
+            requests.append(request)
+            request_slots.append(slot)
+            match_keys[slot] = (
+                request.fingerprint.rss,
+                request.active_aps,
+                request.k,
+            )
+        matched: List[Optional[List[Candidate]]] = [None] * len(events)
+        for slot, candidates in zip(
+            request_slots, self.matcher.match_batch(requests)
+        ):
+            matched[slot] = candidates
+
+        # Phases 3+4: cached Eq. 7 posteriors (cached Eq. 6 transitions
+        # on a posterior miss), then per-session completion in event
+        # order (state mutation order matches the sequential loop).
+        fixes: List[object] = []
+        for record, prepared, candidates, match_key in zip(
+            records, prepared_list, matched, match_keys
+        ):
+            service = record.service
+            if candidates is None:
+                fix = service.complete_interval(prepared)
+            else:
+                localizer = service.localizer
+                prior = localizer.retained_candidates
+                motion = prepared.motion
+                estimate_key = (
+                    match_key,
+                    None if prior is None else tuple(prior),
+                    (
+                        None
+                        if motion is None or prior is None
+                        else (motion.direction_deg, motion.offset_m)
+                    ),
+                    localizer.retention,
+                )
+                cached = self._estimate_cache.get(estimate_key)
+                if cached is not None:
+                    self._estimate_cache.move_to_end(estimate_key)
+                    self._estimate_hits += 1
+                    fix = service.complete_interval(
+                        prepared, estimate=cached
+                    )
+                else:
+                    self._estimate_misses += 1
+                    transition_probabilities = None
+                    if motion is not None and prior is not None:
+                        transition_probabilities = self.transitions.evaluate(
+                            prior,
+                            [c.location_id for c in candidates],
+                            motion,
+                        )
+                    fix = service.complete_interval(
+                        prepared,
+                        candidates=candidates,
+                        transition_probabilities=transition_probabilities,
+                    )
+                    if self._estimate_cache_size > 0:
+                        estimate = getattr(fix, "estimate", fix)
+                        self._estimate_cache[estimate_key] = estimate
+                        if (
+                            len(self._estimate_cache)
+                            > self._estimate_cache_size
+                        ):
+                            self._estimate_cache.popitem(last=False)
+            record.intervals_served += 1
+            record.last_fix = fix
+            fixes.append(fix)
+        self._ticks += 1
+        self._intervals += len(events)
+        return fixes
+
+    # ------------------------------------------------------------------
+    # Shared per-segment work
+    # ------------------------------------------------------------------
+
+    def _precompute(
+        self, service: MoLocService, imu: Optional[ImuSegment]
+    ) -> Optional[PrecomputedInputs]:
+        """Memoized IMU check + motion extraction for one session's segment."""
+        if imu is None or self._motion_memo_size == 0:
+            return None
+        imu_check = self._imu_checks.get(id(imu))
+        if imu_check is None:
+            imu_check = check_imu(imu)
+            if len(self._imu_checks) >= self._motion_memo_size:
+                self._motion_memo.clear()
+                self._motion_refs.clear()
+                self._imu_checks.clear()
+            self._imu_checks[id(imu)] = imu_check
+            self._motion_refs[id(imu)] = imu
+        motion = None
+        if service.is_calibrated and (
+            not isinstance(service, ResilientMoLocService) or imu_check[0]
+        ):
+            key = (id(imu), service.motion_state_key)
+            motion = self._motion_memo.get(key)
+            if motion is None:
+                motion = service.extract_motion(imu)
+                if len(self._motion_memo) >= self._motion_memo_size:
+                    self._motion_memo.clear()
+                    self._motion_refs.clear()
+                    self._imu_checks.clear()
+                self._motion_memo[key] = motion
+                self._motion_refs[id(imu)] = imu
+        return PrecomputedInputs(imu_check=imu_check, motion=motion)

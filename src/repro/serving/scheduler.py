@@ -1,0 +1,187 @@
+"""The batch matcher: many queries against the database in one einsum.
+
+Sequentially, each interval pays one ``(L, A)`` einsum against the mean
+matrix (``L`` locations, ``A`` APs).  Under concurrent sessions the
+engine stacks all pending queries into a ``(B, L, A)`` difference tensor
+and reduces it with a single ``np.einsum("bij,bij->bi", ...)`` — one
+kernel launch for the whole tick.
+
+Bitwise equivalence with the sequential path is a hard requirement (the
+golden-trace tests assert it), and it holds by construction:
+
+* the broadcasted subtraction produces, per batch row, exactly the
+  ``mean_matrix - query`` array the sequential path computes;
+* masked columns are selected then normalized to a C-contiguous layout —
+  the same normalization :meth:`FingerprintDatabase.distance_vector`
+  applies — so the 3-D einsum accumulates each row in the same order as
+  the sequential 2-D kernel (and the scalar 1-D kernel in
+  :meth:`Fingerprint.dissimilarity`);
+* ranking uses a stable argsort, which equals the sequential
+  ``sorted(..., key=(dissimilarity, location_id))`` because matrix rows
+  are in ascending-id order;
+* Eq. 4 probabilities come from the shared
+  :func:`~repro.core.matching.candidates_from_ranked`.
+
+Batches bucket by active-AP mask: requests sharing a mask share a
+tensor.  Distinct ``k`` values within a bucket are fine — ``k`` only
+affects the per-row ranking prefix.
+
+A content-addressed LRU cache fronts the matcher: the candidate list is
+a pure function of ``(scan, mask, k)``, so sessions replaying the same
+recorded walk (the standard load-test workload, and a real pattern —
+popular routes produce near-identical scan sequences) skip the matrix
+work entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fingerprint import Fingerprint, FingerprintDatabase
+from ..core.matching import Candidate, candidates_from_ranked
+
+__all__ = ["MatchRequest", "BatchMatcher"]
+
+
+@dataclass(frozen=True)
+class MatchRequest:
+    """One session's matching work for a tick.
+
+    Attributes:
+        fingerprint: The sanitized query.
+        k: The resolved candidate-set size (no None here — the engine
+            resolves defaults before batching).
+        active_aps: The per-AP mask, or None for all-active.
+    """
+
+    fingerprint: Fingerprint
+    k: int
+    active_aps: Optional[Tuple[bool, ...]] = None
+
+
+class BatchMatcher:
+    """Vectorized, cached Eq. 3/4 matching against one database.
+
+    Args:
+        database: The fingerprint database all sessions share.
+        cache_size: Entries kept in the (scan, mask, k) → candidates
+            LRU; 0 disables caching.
+    """
+
+    def __init__(
+        self, database: FingerprintDatabase, cache_size: int = 8192
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self._db = database
+        self._ids = database.matrix_ids
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[tuple, List[Candidate]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def cache_hits(self) -> int:
+        """Lookups served from the cache since construction."""
+        return self._hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Lookups that had to compute since construction."""
+        return self._misses
+
+    def clear_cache(self) -> None:
+        """Drop all cached candidate lists (and reset hit counters)."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def match_batch(
+        self, requests: Sequence[MatchRequest]
+    ) -> List[List[Candidate]]:
+        """Candidates for every request, in request order.
+
+        Cache hits are filled immediately; misses are bucketed by mask
+        and resolved with one einsum per bucket.
+        """
+        results: List[Optional[List[Candidate]]] = [None] * len(requests)
+        buckets: Dict[
+            Optional[Tuple[bool, ...]], List[Tuple[int, MatchRequest, tuple]]
+        ] = {}
+        for slot, request in enumerate(requests):
+            key = self._key(request)
+            cached = self._lookup(key)
+            if cached is not None:
+                results[slot] = cached
+                continue
+            buckets.setdefault(request.active_aps, []).append(
+                (slot, request, key)
+            )
+        for mask, pending in buckets.items():
+            rows = self._distances(
+                [request.fingerprint for _, request, _ in pending], mask
+            )
+            for (slot, request, key), distances in zip(pending, rows):
+                candidates = self._rank(distances, request.k)
+                self._store(key, candidates)
+                results[slot] = candidates
+        return results  # type: ignore[return-value]
+
+    def match_one(self, request: MatchRequest) -> List[Candidate]:
+        """Match a single request (a batch of one, same cache)."""
+        return self.match_batch([request])[0]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _key(self, request: MatchRequest) -> tuple:
+        return (request.fingerprint.rss, request.active_aps, request.k)
+
+    def _lookup(self, key: tuple) -> Optional[List[Candidate]]:
+        if self._cache_size == 0:
+            self._misses += 1
+            return None
+        candidates = self._cache.get(key)
+        if candidates is None:
+            self._misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self._hits += 1
+        return candidates
+
+    def _store(self, key: tuple, candidates: List[Candidate]) -> None:
+        if self._cache_size == 0:
+            return
+        self._cache[key] = candidates
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    def _distances(
+        self,
+        fingerprints: Sequence[Fingerprint],
+        mask: Optional[Tuple[bool, ...]],
+    ) -> np.ndarray:
+        """Eq. 1 distances, shape ``(B, L)``, bitwise-sequential rows."""
+        queries = np.stack([fp.as_array() for fp in fingerprints])
+        diff = self._db.mean_matrix[np.newaxis, :, :] - queries[:, np.newaxis, :]
+        if mask is not None:
+            mask_array = np.asarray(mask, dtype=bool)
+            diff = np.ascontiguousarray(diff[:, :, mask_array])
+        return np.sqrt(np.einsum("bij,bij->bi", diff, diff))
+
+    def _rank(self, distances: np.ndarray, k: int) -> List[Candidate]:
+        """Top-``k`` ranking identical to the sequential sort.
+
+        Rows are in ascending-id order, so a stable argsort on distance
+        equals sorting by ``(distance, location_id)``.
+        """
+        if k < 1:
+            raise ValueError(f"candidate set size k must be >= 1, got {k}")
+        order = np.argsort(distances, kind="stable")[: min(k, len(self._ids))]
+        ranked = [(self._ids[i], float(distances[i])) for i in order]
+        return candidates_from_ranked(ranked)

@@ -1,0 +1,99 @@
+"""Session bookkeeping for the batched serving engine.
+
+A :class:`SessionManager` owns the per-user serving state: one
+:class:`~repro.service.MoLocService` (or
+:class:`~repro.robustness.ResilientMoLocService`) per connected user,
+plus serving statistics.  The engine looks sessions up by id each tick;
+the manager is deliberately dumb about *how* intervals are served — that
+is the engine's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..service import MoLocService
+
+__all__ = ["SessionRecord", "SessionManager"]
+
+
+@dataclass
+class SessionRecord:
+    """One connected user session.
+
+    Attributes:
+        session_id: The caller-chosen identifier.
+        service: The per-user service owning all localization state.
+        intervals_served: How many intervals the engine served this
+            session (matches the service's own fix count unless the
+            service was used outside the engine too).
+        last_fix: The most recent fix the engine produced for this
+            session, if any.
+    """
+
+    session_id: str
+    service: MoLocService
+    intervals_served: int = 0
+    last_fix: Optional[object] = field(default=None, repr=False)
+
+
+class SessionManager:
+    """Registry of live sessions, keyed by session id."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, SessionRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def __iter__(self) -> Iterator[SessionRecord]:
+        return iter(self._sessions.values())
+
+    @property
+    def session_ids(self) -> List[str]:
+        """Live session ids, in registration order."""
+        return list(self._sessions)
+
+    def add(self, session_id: str, service: MoLocService) -> SessionRecord:
+        """Register a session.
+
+        Raises:
+            ValueError: if the id is already registered.
+        """
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already registered")
+        record = SessionRecord(session_id=session_id, service=service)
+        self._sessions[session_id] = record
+        return record
+
+    def get(self, session_id: str) -> SessionRecord:
+        """Look a session up.
+
+        Raises:
+            KeyError: for an unknown id.
+        """
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"no session {session_id!r}") from None
+
+    def remove(self, session_id: str, end_service_session: bool = True) -> None:
+        """Deregister a session.
+
+        Args:
+            session_id: The session to drop.
+            end_service_session: Whether to also reset the underlying
+                service's session state (``end_session``); pass False to
+                keep the service usable elsewhere.
+
+        Raises:
+            KeyError: for an unknown id.
+        """
+        record = self.get(session_id)
+        del self._sessions[session_id]
+        if end_service_session:
+            record.service.end_session()

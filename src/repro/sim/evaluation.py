@@ -17,7 +17,7 @@ Reproduces the paper's measurement methodology (Sec. VI):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional, Sequence, Set
+from typing import Dict, List, Literal, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -25,15 +25,19 @@ from ..core.fingerprint import Fingerprint
 from ..env.floorplan import FloorPlan
 from ..motion.rlm import extract_measurement
 from ..motion.trace import WalkTrace
+from ..sensors.imu import ImuSegment
 
 __all__ = [
     "LocalizationRecord",
     "TraceEvaluation",
     "EvaluationResult",
     "ConvergenceStatistics",
+    "SessionInterval",
+    "MultiSessionWorkload",
     "evaluate_localizer",
     "evaluate_service",
     "evaluate_smoother",
+    "multi_session_workload",
     "ambiguous_location_ids",
     "convergence_statistics",
 ]
@@ -278,6 +282,124 @@ def evaluate_smoother(
             )
         evaluated.append(TraceEvaluation(user=trace.user, records=records))
     return EvaluationResult(traces=evaluated)
+
+
+@dataclass(frozen=True)
+class SessionInterval:
+    """One session's inputs for one serving tick of a workload.
+
+    Attributes:
+        session_id: The session these inputs belong to.
+        scan: The WiFi scan (per-AP dBm), or None for a lost scan.
+        imu: The IMU segment since the session's previous interval, or
+            None on the session's first interval.
+    """
+
+    session_id: str
+    scan: Optional[Tuple[float, ...]]
+    imu: Optional[ImuSegment]
+
+
+@dataclass
+class MultiSessionWorkload:
+    """A multi-user serving load: who sends what, on which tick.
+
+    Produced by :func:`multi_session_workload`; consumed by the batched
+    serving engine (one :attr:`ticks` entry per engine tick) and by the
+    sequential baseline (same events, served one by one).
+
+    Attributes:
+        sessions: Each session id mapped to the walk it replays (the
+            benchmark harness needs the trace for per-session
+            calibration and step length).
+        ticks: Per tick, the intervals arriving on it, in session order.
+    """
+
+    sessions: Dict[str, WalkTrace]
+    ticks: List[List[SessionInterval]]
+
+    @property
+    def n_intervals(self) -> int:
+        """Total intervals across all ticks."""
+        return sum(len(tick) for tick in self.ticks)
+
+    @property
+    def peak_concurrency(self) -> int:
+        """The widest tick (sessions served simultaneously)."""
+        return max((len(tick) for tick in self.ticks), default=0)
+
+
+def multi_session_workload(
+    traces: Sequence[WalkTrace],
+    n_sessions: int,
+    corpus_size: Optional[int] = 8,
+    stagger_ticks: int = 0,
+    n_aps: Optional[int] = None,
+) -> MultiSessionWorkload:
+    """A corpus-replay load: ``n_sessions`` users replaying recorded walks.
+
+    The standard serving load test — and a realistic one: popular indoor
+    routes produce near-identical scan/IMU sequences across users, which
+    is exactly the redundancy a batched engine's content-addressed
+    caches exploit.  Sessions are assigned traces round-robin from a
+    small corpus; sessions beyond one corpus-width start
+    ``stagger_ticks`` later per lap, so concurrent sessions run at
+    different phases of the same walks.
+
+    Fault-injected loads come for free: pass traces already transformed
+    by :mod:`repro.sim.failures` injectors.
+
+    Args:
+        traces: The recorded walks to draw from.
+        n_sessions: How many concurrent user sessions.
+        corpus_size: How many distinct walks to replay (None or 0 for
+            all of ``traces``).
+        stagger_ticks: Start-tick offset between successive corpus laps.
+        n_aps: Optionally truncate every scan to this AP count (AP-count
+            sweep deployments).
+
+    Returns:
+        The workload; deterministic in its inputs (no RNG involved).
+    """
+    if n_sessions < 1:
+        raise ValueError(f"n_sessions must be >= 1, got {n_sessions}")
+    if stagger_ticks < 0:
+        raise ValueError(f"stagger_ticks must be >= 0, got {stagger_ticks}")
+    if not traces:
+        raise ValueError("need at least one trace to build a workload")
+    corpus = list(traces)
+    if corpus_size:
+        corpus = corpus[:corpus_size]
+
+    def scan_of(fingerprint: Fingerprint) -> Tuple[float, ...]:
+        if n_aps is not None and fingerprint.n_aps > n_aps:
+            return fingerprint.truncated(n_aps).rss
+        return fingerprint.rss
+
+    sessions: Dict[str, WalkTrace] = {}
+    scripts: List[Tuple[str, int, List[SessionInterval]]] = []
+    for index in range(n_sessions):
+        trace = corpus[index % len(corpus)]
+        session_id = f"user-{index:04d}"
+        sessions[session_id] = trace
+        intervals = [
+            SessionInterval(
+                session_id, scan_of(trace.initial_fingerprint), None
+            )
+        ]
+        intervals.extend(
+            SessionInterval(session_id, scan_of(hop.arrival_fingerprint), hop.imu)
+            for hop in trace.hops
+        )
+        start_tick = stagger_ticks * (index // len(corpus))
+        scripts.append((session_id, start_tick, intervals))
+
+    n_ticks = max(start + len(ivs) for _, start, ivs in scripts)
+    ticks: List[List[SessionInterval]] = [[] for _ in range(n_ticks)]
+    for _, start, intervals in scripts:
+        for offset, interval in enumerate(intervals):
+            ticks[start + offset].append(interval)
+    return MultiSessionWorkload(sessions=sessions, ticks=ticks)
 
 
 def ambiguous_location_ids(

@@ -7,6 +7,7 @@ makes the benchmark harness's numbers reproducible run over run.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.core.config import MoLocConfig
 from repro.sim.crowdsource import TraceGenerationConfig, generate_traces
@@ -91,6 +92,7 @@ def _adequate_study(seed: int) -> Study:
     return Study(scenario=scenario, training_traces=training, test_traces=test)
 
 
+@pytest.mark.slow
 class TestRobustnessAcrossSeeds:
     def test_moloc_wins_on_every_seed(self):
         """The headline result is not a single-seed artifact."""

@@ -155,6 +155,44 @@ class TestScanFaults:
         assert sum(resilient_errors) < sum(plain_errors)
 
 
+class TestCoastingPrior:
+    def test_seeded_coasting_prior_influences_next_locate(self, small_study):
+        """A dead-reckoning coast seeds the localizer's retained set, and
+        that seeded prior must actually shape the *next* scan-based fix —
+        Eq. 6 evaluates against it and reweights the posterior away from
+        fingerprint-only probabilities.  (Previously only the coast's own
+        fix was asserted, so a dropped ``seed_candidates`` call would
+        have passed the suite.)"""
+        trace = small_study.test_traces[0]
+        service = make_service(small_study)
+        service._stride.step_length_m = trace.estimated_step_length_m
+        service.calibrate_heading(calibration_from_trace(trace))
+        service.on_interval(trace.initial_fingerprint.rss)
+
+        coasted = service.on_interval(None, trace.hops[0].imu)
+        prior = service.localizer.retained_candidates
+        assert prior is not None
+        # The retained set IS the coasted distribution, not the pre-loss one.
+        assert sorted(lid for lid, _ in prior) == sorted(
+            candidate.location_id for candidate in coasted.candidates
+        )
+        assert dict(prior) == {
+            candidate.location_id: candidate.probability
+            for candidate in coasted.candidates
+        }
+
+        recovered = service.on_interval(
+            trace.hops[1].arrival_fingerprint.rss, trace.hops[1].imu
+        )
+        # Motion evidence against the seeded prior contributed: the
+        # posterior is not the fingerprint-only distribution.
+        assert recovered.used_motion
+        assert any(
+            candidate.probability != candidate.fingerprint_probability
+            for candidate in recovered.candidates
+        )
+
+
 class TestImuFaults:
     def test_flat_lined_imu_serves_wifi_only(self, small_study):
         trace = inject_imu_dropout(

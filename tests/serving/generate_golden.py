@@ -1,0 +1,72 @@
+"""Regenerate the golden serving fixtures in ``tests/serving/golden/``.
+
+Run from the repo root after an *intentional* numerical change to the
+serving pipeline:
+
+    PYTHONPATH=src:tests/serving python tests/serving/generate_golden.py
+
+The fixtures capture the **sequential** path's fix streams (the batched
+engine is required to reproduce them bitwise, so it gets no say).  The
+study here must stay identical to the ``small_study`` fixture in
+``tests/conftest.py`` — same seed, same volumes — or the suite and the
+fixtures will silently describe different worlds.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.config import MoLocConfig
+from repro.sim.crowdsource import TraceGenerationConfig, generate_traces
+from repro.sim.experiments import Study
+from repro.sim.scenario import build_scenario
+
+from golden_scenarios import (
+    GOLDEN_DIR,
+    SCENARIOS,
+    golden_path,
+    serialize_result,
+    serve_scenario,
+)
+
+
+def build_study() -> Study:
+    """The exact study ``tests/conftest.py::small_study`` builds."""
+    scenario = build_scenario(seed=7)
+    config = TraceGenerationConfig(n_hops=15)
+    training = generate_traces(
+        scenario, 150, np.random.default_rng([7, 10]), config=config
+    )
+    test = generate_traces(
+        scenario,
+        34,
+        np.random.default_rng([7, 11]),
+        config=config,
+        start_time_s=3600.0,
+    )
+    return Study(
+        scenario=scenario,
+        training_traces=training,
+        test_traces=test,
+        config=MoLocConfig(),
+    )
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    study = build_study()
+    for name in SCENARIOS:
+        sequential, _ = serve_scenario(study, name)
+        path = golden_path(name)
+        path.write_text(
+            json.dumps(serialize_result(sequential), indent=1, sort_keys=True)
+            + "\n"
+        )
+        n_fixes = sum(len(fixes) for fixes in sequential.fixes.values())
+        print(f"wrote {path} ({n_fixes} fixes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""The three golden serving scenarios and their serialization.
+
+Shared between the equivalence tests and ``generate_golden.py`` (the
+regeneration script), so the fixtures on disk and the assertions in the
+suite can never disagree about what a scenario contains.
+
+Scenarios (all seeded, all replayed by 4 concurrent sessions with
+staggered starts so ticks mix sessions at different walk phases):
+
+* ``clean`` — held-out walks, 6 APs, nothing injected;
+* ``ap_outage`` — AP 5 dead for every session's whole walk (the
+  robustness chain must diagnose and mask it, batched or not);
+* ``twin_heavy`` — the 4-AP deployment prefix, where fingerprint twins
+  dominate and motion evidence does the disambiguation.
+
+Floats are serialized with ``float.hex`` so "equal" means bit-equal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.serving import (
+    BatchedServingEngine,
+    ServeResult,
+    build_session_services,
+    serve_batched,
+    serve_sequential,
+)
+from repro.sim.evaluation import MultiSessionWorkload, multi_session_workload
+from repro.sim.experiments import Study
+from repro.sim.failures import inject_ap_outage
+
+SCENARIOS = ("clean", "ap_outage", "twin_heavy")
+N_SESSIONS = 4
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def scenario_case(study: Study, name: str):
+    """``(fingerprint_db, motion_db, workload)`` for one scenario."""
+    traces = study.test_traces[:N_SESSIONS]
+    n_aps = 6
+    if name == "ap_outage":
+        traces = [inject_ap_outage(trace, ap_id=5) for trace in traces]
+    elif name == "twin_heavy":
+        n_aps = 4
+    elif name != "clean":
+        raise ValueError(f"unknown golden scenario {name!r}")
+    fingerprint_db = study.fingerprint_db(n_aps)
+    motion_db, _ = study.motion_db(n_aps)
+    workload = multi_session_workload(
+        traces,
+        N_SESSIONS,
+        corpus_size=N_SESSIONS,
+        stagger_ticks=1,
+        n_aps=None if n_aps == 6 else n_aps,
+    )
+    return fingerprint_db, motion_db, workload
+
+
+def serve_scenario(
+    study: Study, name: str
+) -> Tuple[ServeResult, ServeResult]:
+    """Serve one scenario both ways: ``(sequential, batched)``.
+
+    Both paths get identically built and calibrated services; the
+    batched run goes through a fresh engine with default caches.
+    """
+    fingerprint_db, motion_db, workload = scenario_case(study, name)
+    plan = study.scenario.plan
+
+    def services() -> Dict[str, object]:
+        return build_session_services(
+            workload,
+            fingerprint_db,
+            motion_db,
+            study.config,
+            resilient=True,
+            plan=plan,
+        )
+
+    sequential = serve_sequential(workload, services())
+    engine = BatchedServingEngine(fingerprint_db, motion_db, study.config)
+    batched = serve_batched(engine, workload, services())
+    return sequential, batched
+
+
+def serialize_fix(fix: object) -> dict:
+    """One fix as a JSON-safe dict with bit-exact (hex) floats."""
+    estimate = getattr(fix, "estimate", fix)
+    record = {
+        "location_id": estimate.location_id,
+        "probability": estimate.probability.hex(),
+        "used_motion": estimate.used_motion,
+        "candidates": [
+            [
+                candidate.location_id,
+                candidate.dissimilarity.hex(),
+                candidate.fingerprint_probability.hex(),
+                candidate.probability.hex(),
+            ]
+            for candidate in estimate.candidates
+        ],
+    }
+    health = getattr(fix, "health", None)
+    if health is not None:
+        record["mode"] = health.mode.value
+        record["faults"] = [fault.value for fault in health.faults]
+        record["confidence"] = health.confidence.hex()
+        record["masked_ap_ids"] = sorted(health.masked_ap_ids)
+        record["recalibrated"] = bool(health.recalibrated)
+    return record
+
+
+def serialize_result(result: ServeResult) -> Dict[str, List[dict]]:
+    """Every session's fix stream, serialized, keyed by session id."""
+    return {
+        session_id: [serialize_fix(fix) for fix in fixes]
+        for session_id, fixes in sorted(result.fixes.items())
+    }
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def load_golden(name: str) -> Dict[str, List[dict]]:
+    return json.loads(golden_path(name).read_text())

@@ -1,0 +1,84 @@
+"""Golden-trace equivalence: the batched engine is not an approximation.
+
+Three seeded scenarios (clean, single-AP outage, twin-heavy 4-AP
+deployment) are served twice — one ``on_interval`` at a time, and
+through the :class:`~repro.serving.BatchedServingEngine` — and the fix
+streams must agree **bitwise**: same candidate sets (ids, hex-equal
+dissimilarities and probabilities), same argmax, same health modes and
+fault lists, fault injection included.
+
+The sequential streams are additionally pinned against serialized
+fixtures in ``golden/`` (regenerate with ``generate_golden.py`` after an
+intentional numerical change), so the pair of paths cannot drift
+together unnoticed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.serving import ServeResult, workload_checksum
+
+from golden_scenarios import (
+    SCENARIOS,
+    golden_path,
+    load_golden,
+    serialize_fix,
+    serialize_result,
+    serve_scenario,
+)
+
+_served: Dict[str, Tuple[ServeResult, ServeResult]] = {}
+
+
+def served(study, name: str) -> Tuple[ServeResult, ServeResult]:
+    """Serve a scenario once per test session, both ways."""
+    if name not in _served:
+        _served[name] = serve_scenario(study, name)
+    return _served[name]
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_batched_reproduces_sequential_bitwise(small_study, name):
+    sequential, batched = served(small_study, name)
+    assert set(sequential.fixes) == set(batched.fixes)
+    for session_id, sequential_stream in sequential.fixes.items():
+        batched_stream = batched.fixes[session_id]
+        assert len(sequential_stream) == len(batched_stream)
+        for interval, (sequential_fix, batched_fix) in enumerate(
+            zip(sequential_stream, batched_stream)
+        ):
+            assert serialize_fix(sequential_fix) == serialize_fix(
+                batched_fix
+            ), f"{name}: {session_id} diverges at interval {interval}"
+    assert workload_checksum(sequential) == workload_checksum(batched)
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_sequential_matches_golden_fixture(small_study, name):
+    assert golden_path(name).exists(), (
+        f"missing golden fixture for {name!r}; run "
+        "PYTHONPATH=src:tests/serving python tests/serving/generate_golden.py"
+    )
+    sequential, _ = served(small_study, name)
+    assert serialize_result(sequential) == load_golden(name)
+
+
+def test_ap_outage_scenario_actually_degrades(small_study):
+    """The fault-injection scenario exercises the robustness chain: the
+    dead AP is diagnosed and masked somewhere in every session."""
+    sequential, _ = served(small_study, "ap_outage")
+    for session_id, fixes in sequential.fixes.items():
+        assert any(
+            5 in fix.health.masked_ap_ids for fix in fixes
+        ), f"{session_id} never masked the dead AP"
+
+
+def test_twin_heavy_scenario_uses_motion(small_study):
+    """The 4-AP scenario leans on Eq. 6: motion assists most intervals."""
+    sequential, _ = served(small_study, "twin_heavy")
+    for session_id, fixes in sequential.fixes.items():
+        assisted = sum(fix.used_motion for fix in fixes)
+        assert assisted >= len(fixes) // 2, session_id

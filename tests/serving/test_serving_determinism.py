@@ -1,0 +1,62 @@
+"""Determinism: same seeded workload, same metrics, same fix streams.
+
+The engine's LRU caches and mask-bucketed batching reorder *work*, and
+must never reorder *results*: two full benchmark passes over the same
+seeded workload have to agree on every checksum, interval count, and
+cache tally in ``BENCH_serving.json``'s deterministic view.  Wall-clock
+fields are excluded by construction (that is what
+:func:`~repro.serving.deterministic_view` is for).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import deterministic_view, throughput_report
+
+SESSION_COUNTS = (1, 8)
+
+
+@pytest.fixture(scope="module")
+def reports(small_study):
+    fingerprint_db = small_study.fingerprint_db(6)
+    motion_db, _ = small_study.motion_db(6)
+
+    def run():
+        return throughput_report(
+            fingerprint_db,
+            motion_db,
+            small_study.config,
+            small_study.test_traces,
+            plan=small_study.scenario.plan,
+            session_counts=SESSION_COUNTS,
+            corpus_size=4,
+            stagger_ticks=1,
+        )
+
+    return run(), run()
+
+
+def test_two_runs_agree_on_every_deterministic_metric(reports):
+    first, second = reports
+    assert deterministic_view(first) == deterministic_view(second)
+
+
+def test_fix_streams_are_reproducible_and_equivalent(reports):
+    first, second = reports
+    for entry_a, entry_b in zip(first["results"], second["results"]):
+        a, b = entry_a["deterministic"], entry_b["deterministic"]
+        # Batched == sequential within each run (equivalence) ...
+        assert a["equal"] and b["equal"]
+        # ... and across runs (reproducibility), at every concurrency.
+        assert a["sequential_checksum"] == b["sequential_checksum"]
+        assert a["batched_checksum"] == b["batched_checksum"]
+
+
+def test_report_covers_requested_concurrency_levels(reports):
+    first, _ = reports
+    assert [e["sessions"] for e in first["results"]] == list(SESSION_COUNTS)
+    for entry in first["results"]:
+        timing = entry["batched"]
+        assert timing["intervals_per_s"] > 0
+        assert timing["p95_tick_ms"] >= timing["p50_tick_ms"] >= 0.0

@@ -1,0 +1,182 @@
+"""Property-based invariants of the vectorized serving hot path.
+
+Hypothesis drives arbitrary queries, masks, priors, and measurements
+through the batched kernels and checks them against the scalar
+definitions they claim to equal — not approximately, but bit for bit —
+plus the closed-form invariants (normalization, non-negativity,
+boundedness) that hold for *any* input, not just recorded walks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MoLocConfig
+from repro.core.fingerprint import Fingerprint, FingerprintDatabase
+from repro.core.localizer import MoLocLocalizer
+from repro.core.matching import select_candidates
+from repro.core.motion_db import MotionDatabase, PairStatistics
+from repro.core.motion_matching import set_transition_probability
+from repro.motion.rlm import MotionMeasurement
+from repro.serving import BatchMatcher, MatchRequest, TransitionEvaluator
+
+N_APS = 6
+LOCATION_IDS = (1, 2, 3, 5, 8, 13)
+
+rss = st.floats(min_value=-95.0, max_value=-30.0)
+queries = st.lists(rss, min_size=N_APS, max_size=N_APS).map(
+    Fingerprint.from_values
+)
+masks = st.one_of(
+    st.none(),
+    st.lists(
+        st.booleans(), min_size=N_APS, max_size=N_APS
+    ).filter(any).map(tuple),
+)
+motions = st.builds(
+    MotionMeasurement,
+    direction_deg=st.floats(min_value=0.0, max_value=359.9),
+    offset_m=st.floats(min_value=0.0, max_value=12.0),
+)
+priors = st.lists(
+    st.tuples(
+        st.sampled_from(LOCATION_IDS),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    min_size=1,
+    max_size=len(LOCATION_IDS),
+    unique_by=lambda pair: pair[0],
+)
+
+
+def _fingerprint_db() -> FingerprintDatabase:
+    base = [-45.0, -52.0, -60.0, -67.0, -75.0, -82.0]
+    return FingerprintDatabase(
+        {
+            lid: Fingerprint.from_values(
+                [value + 1.5 * lid + 2.0 * (i % (lid + 1)) for i, value in enumerate(base)]
+            )
+            for lid in LOCATION_IDS
+        }
+    )
+
+
+def _motion_db() -> MotionDatabase:
+    entries = {}
+    for i, start in enumerate(LOCATION_IDS):
+        for j, end in enumerate(LOCATION_IDS):
+            if j <= i or (i + j) % 3 == 0:  # i < j keys; some pairs unknown
+                continue
+            entries[(start, end)] = PairStatistics(
+                direction_mean_deg=(37.0 * i + 91.0 * j) % 360.0,
+                direction_std_deg=8.0 + i,
+                offset_mean_m=1.5 + 0.7 * abs(i - j),
+                offset_std_m=0.4 + 0.1 * j,
+                n_observations=5,
+            )
+    return MotionDatabase(entries)
+
+
+FDB = _fingerprint_db()
+MDB = _motion_db()
+CONFIG = MoLocConfig()
+
+
+@given(
+    batch=st.lists(queries, min_size=1, max_size=5),
+    mask=masks,
+)
+@settings(max_examples=60, deadline=None)
+def test_batch_distances_equal_per_row_dissimilarity(batch, mask):
+    """The (B, L) einsum row equals Fingerprint.dissimilarity — bitwise."""
+    matcher = BatchMatcher(FDB, cache_size=0)
+    rows = matcher._distances(batch, mask)
+    for b, query in enumerate(batch):
+        for r, location_id in enumerate(FDB.matrix_ids):
+            scalar = query.dissimilarity(FDB.fingerprint_of(location_id), mask)
+            assert rows[b, r] == scalar  # exact, not approx
+
+
+@given(
+    batch=st.lists(
+        st.tuples(queries, st.integers(min_value=1, max_value=8)),
+        min_size=1,
+        max_size=5,
+    ),
+    mask=masks,
+)
+@settings(max_examples=60, deadline=None)
+def test_match_batch_equals_sequential_select_candidates(batch, mask):
+    """Whole candidate objects agree with the sequential matcher."""
+    matcher = BatchMatcher(FDB, cache_size=32)
+    requests = [
+        MatchRequest(fingerprint=query, k=k, active_aps=mask)
+        for query, k in batch
+    ]
+    batched = matcher.match_batch(requests)
+    for (query, k), candidates in zip(batch, batched):
+        assert candidates == select_candidates(FDB, query, k, mask)
+        # Eq. 4 invariants for arbitrary candidate sets:
+        total = sum(c.probability for c in candidates)
+        assert all(c.probability >= 0.0 for c in candidates)
+        assert math.isclose(total, 1.0, rel_tol=1e-9)
+        assert len(candidates) == min(k, len(FDB))
+
+
+@given(query=queries, mask=masks, k=st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_match_cache_returns_the_identical_result(query, mask, k):
+    matcher = BatchMatcher(FDB, cache_size=16)
+    request = MatchRequest(fingerprint=query, k=k, active_aps=mask)
+    first = matcher.match_one(request)
+    again = matcher.match_one(request)
+    assert again == first
+    assert matcher.cache_hits == 1 and matcher.cache_misses == 1
+
+
+@given(prior=priors, motion=motions)
+@settings(max_examples=60, deadline=None)
+def test_batched_transitions_equal_sequential_eq6(prior, motion):
+    """TransitionEvaluator == set_transition_probability — bitwise —
+    and Eq. 6 stays non-negative and bounded by the prior mass."""
+    evaluator = TransitionEvaluator(MDB, CONFIG, set_cache_size=8)
+    end_ids = list(LOCATION_IDS) + [99]  # 99: unknown to the motion db
+    values = evaluator.evaluate(prior, end_ids, motion)
+    prior_mass = sum(p for _, p in prior)
+    for end_id, value in zip(end_ids, values):
+        sequential = set_transition_probability(
+            MDB, prior, end_id, motion, CONFIG
+        )
+        assert value == sequential  # exact, not approx
+        assert 0.0 <= value <= prior_mass + 1e-12
+    # Cached replay returns the identical vector.
+    assert evaluator.evaluate(prior, end_ids, motion) == values
+    assert evaluator.set_cache_hits == 1
+
+
+@given(query=queries, prior=priors, motion=motions)
+@settings(max_examples=60, deadline=None)
+def test_posterior_stays_normalized_with_precomputed_transitions(
+    query, prior, motion
+):
+    """Eq. 7 through the split evaluate() path (precomputed Eq. 6 values)
+    yields a normalized, non-negative posterior whose argmax is returned."""
+    localizer = MoLocLocalizer(FDB, MDB, CONFIG)
+    localizer.seed_candidates(list(prior))
+    candidates = select_candidates(FDB, query, CONFIG.k)
+    evaluator = TransitionEvaluator(MDB, CONFIG)
+    transitions = evaluator.evaluate(
+        localizer.retained_candidates,
+        [c.location_id for c in candidates],
+        motion,
+    )
+    estimate = localizer.evaluate(candidates, motion, transitions)
+    total = sum(c.probability for c in estimate.candidates)
+    assert all(c.probability >= 0.0 for c in estimate.candidates)
+    assert math.isclose(total, 1.0, rel_tol=1e-9)
+    best = max(
+        estimate.candidates, key=lambda c: (c.probability, -c.location_id)
+    )
+    assert estimate.location_id == best.location_id

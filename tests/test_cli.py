@@ -36,6 +36,7 @@ class TestParser:
             build_parser().parse_args(["build-db"])
 
 
+@pytest.mark.slow
 class TestCommands:
     def test_demo_prints_table(self, capsys):
         assert main(["demo"]) == 0
