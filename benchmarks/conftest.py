@@ -8,7 +8,8 @@ paper-vs-measured series without needing ``-s``.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 import pytest
@@ -16,6 +17,23 @@ import pytest
 from repro.sim.experiments import Study, prepare_study
 
 _REPORTS: List[Tuple[str, str]] = []
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--metrics-out",
+        action="store",
+        default=None,
+        help="write the serving bench's engine metrics snapshots (JSON) "
+        "to this path",
+    )
+
+
+@pytest.fixture(scope="session")
+def metrics_out(request) -> Optional[Path]:
+    """Where to write the serving metrics snapshot, or None."""
+    value = request.config.getoption("--metrics-out")
+    return Path(value) if value else None
 
 
 @pytest.fixture(scope="session")

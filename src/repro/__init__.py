@@ -33,6 +33,9 @@ Package layout
 ``repro.serving``
     Batched multi-session serving: many concurrent sessions through one
     vectorized step per tick, bitwise-equal to the sequential path.
+``repro.observability``
+    Zero-dependency metrics, tracing, and profiling hooks; the serving
+    stack surfaces one JSON snapshot via ``engine.metrics_snapshot()``.
 
 Quickstart
 ----------

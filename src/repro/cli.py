@@ -10,8 +10,11 @@ Commands:
   JSON files into an output directory.
 * ``evaluate`` — evaluate chosen systems at one AP count, optionally
   loading databases produced by ``build-db``.
+* ``metrics`` — serve a small batched workload and print the engine's
+  observability snapshot (``metrics_snapshot``) as JSON.
 
-All commands are deterministic given ``--seed``.
+All commands are deterministic given ``--seed`` (wall-clock metrics in
+``metrics`` output excepted).
 """
 
 from __future__ import annotations
@@ -136,6 +139,30 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--output", type=Path, required=True, help="output markdown file"
     )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="serve a batched workload and print the metrics snapshot "
+        "as JSON",
+    )
+    metrics.add_argument(
+        "--sessions", type=int, default=8, help="concurrent sessions (default 8)"
+    )
+    metrics.add_argument(
+        "--corpus-size",
+        type=int,
+        default=4,
+        help="distinct walks replayed (default 4)",
+    )
+    metrics.add_argument(
+        "--n-aps", type=int, default=6, help="AP count (default 6)"
+    )
+    metrics.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the JSON document here",
+    )
     return parser
 
 
@@ -167,6 +194,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.command == "report":
         return _report(_study_from(args), args.output)
+    if args.command == "metrics":
+        return _metrics(
+            _study_from(args),
+            args.sessions,
+            args.corpus_size,
+            args.n_aps,
+            args.output,
+        )
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -329,6 +364,54 @@ def _export_traces(
     save_json(traces_to_dict(traces), output)
     hops = sum(t.n_hops for t in traces)
     print(f"wrote {len(traces)} {split} traces ({hops} hops) to {output}")
+    return 0
+
+
+def _metrics(
+    study: Study,
+    n_sessions: int,
+    corpus_size: int,
+    n_aps: int,
+    output: Optional[Path],
+) -> int:
+    """Serve a corpus-replay workload batched, print the metrics JSON."""
+    import json
+
+    from .observability import MetricsRegistry
+    from .serving import (
+        BatchedServingEngine,
+        build_session_services,
+        serve_batched,
+    )
+    from .sim.evaluation import multi_session_workload
+
+    fingerprint_db = study.fingerprint_db(n_aps)
+    motion_db, _ = study.motion_db(n_aps)
+    workload_registry = MetricsRegistry()
+    workload = multi_session_workload(
+        study.test_traces,
+        n_sessions,
+        corpus_size=min(corpus_size, n_sessions),
+        stagger_ticks=2,
+        registry=workload_registry,
+    )
+    services = build_session_services(
+        workload,
+        fingerprint_db,
+        motion_db,
+        study.config,
+        resilient=True,
+        plan=study.scenario.plan,
+    )
+    engine = BatchedServingEngine(fingerprint_db, motion_db, study.config)
+    serve_batched(engine, workload, services)
+    document = dict(engine.metrics_snapshot())
+    document["workload"] = workload_registry.snapshot()
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text + "\n", encoding="utf-8")
+    print(text)
     return 0
 
 

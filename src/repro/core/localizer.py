@@ -174,7 +174,10 @@ class MoLocLocalizer:
             The location estimate with its evaluated candidate set.
         """
         candidates = select_candidates(
-            self.fingerprint_db, fingerprint, k or self.config.k, active_aps
+            self.fingerprint_db,
+            fingerprint,
+            self.config.k if k is None else k,
+            active_aps,
         )
         return self.evaluate(candidates, motion)
 

@@ -1,0 +1,44 @@
+"""Zero-dependency observability: metrics, tracing, profiling hooks.
+
+The serving stack's measurement substrate:
+
+* :mod:`~repro.observability.metrics` — the :class:`MetricsRegistry`
+  with counters, gauges, and fixed-bucket histograms, plus snapshot
+  (JSON) and cross-registry aggregation;
+* :mod:`~repro.observability.tracing` — the :class:`SpanTracer` timing
+  named phases into latency histograms, with per-tick last-duration
+  views and error-isolated span hooks;
+* :mod:`~repro.observability.profiling` — the per-tick
+  :class:`TickProfile` payload and the :class:`TickProfiler`
+  ring-buffer hook.
+
+This package sits at the very bottom of the dependency stack (it
+imports nothing from ``repro``) so every layer — core, robustness,
+serving, sim — can instrument itself.  See ``docs/observability.md``
+for the registry design, span semantics, and the snapshot schema.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profiling import TickHook, TickProfile, TickProfiler
+from .tracing import SpanHook, SpanTracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanHook",
+    "SpanTracer",
+    "TickHook",
+    "TickProfile",
+    "TickProfiler",
+]

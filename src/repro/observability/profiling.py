@@ -1,0 +1,79 @@
+"""Profiling hooks: per-tick engine telemetry for external consumers.
+
+The serving engine emits one :class:`TickProfile` per tick to every
+registered tick hook (``engine.add_profiling_hook``).  Hooks are
+error-isolated the same way span hooks are — a raising hook increments
+an error counter instead of failing the tick.
+
+:class:`TickProfiler` is the batteries-included hook: a bounded ring of
+recent profiles with a JSON view, enough to answer "what did the last N
+ticks cost, phase by phase" without attaching anything heavier.  For
+real profilers, register your own callable and forward the payload
+wherever it needs to go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping
+
+__all__ = ["TickProfile", "TickHook", "TickProfiler"]
+
+
+@dataclass(frozen=True)
+class TickProfile:
+    """One serving tick's cost breakdown.
+
+    Attributes:
+        tick: The engine's tick ordinal (1-based, after the tick ran).
+        batch_size: Events served in the tick.
+        duration_s: Whole-tick wall-clock seconds.
+        phases: Per-phase seconds (prepare / match / transitions /
+            complete); phases that did not run this tick are absent.
+    """
+
+    tick: int
+    batch_size: int
+    duration_s: float
+    phases: Mapping[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-serializable view of this profile."""
+        return {
+            "tick": self.tick,
+            "batch_size": self.batch_size,
+            "duration_s": self.duration_s,
+            "phases": dict(self.phases),
+        }
+
+
+TickHook = Callable[[TickProfile], None]
+"""A per-tick profiling hook."""
+
+
+class TickProfiler:
+    """A ready-made tick hook keeping the last ``max_ticks`` profiles.
+
+    Args:
+        max_ticks: Ring size; older profiles are dropped.
+    """
+
+    def __init__(self, max_ticks: int = 256) -> None:
+        if max_ticks < 1:
+            raise ValueError(f"max_ticks must be >= 1, got {max_ticks}")
+        self._max_ticks = max_ticks
+        self._profiles: List[TickProfile] = []
+
+    def __call__(self, profile: TickProfile) -> None:
+        self._profiles.append(profile)
+        if len(self._profiles) > self._max_ticks:
+            del self._profiles[0]
+
+    @property
+    def profiles(self) -> List[TickProfile]:
+        """The retained profiles, oldest first (a copy)."""
+        return list(self._profiles)
+
+    def to_json(self) -> List[Dict[str, object]]:
+        """All retained profiles as JSON-serializable dicts."""
+        return [profile.to_dict() for profile in self._profiles]

@@ -42,6 +42,7 @@ from ..core.motion_db import MotionDatabase
 from ..env.floorplan import FloorPlan
 from ..motion.pedestrian import BodyProfile
 from ..motion.rlm import MotionMeasurement
+from ..observability import MetricsRegistry
 from ..sensors.imu import ImuSegment
 from ..service import MoLocService, PrecomputedInputs, PreparedInterval
 from .calibration import CalibrationMonitor
@@ -98,6 +99,10 @@ class ResilientMoLocService(MoLocService):
             the fingerprint database).
         watchdog: Divergence watchdog override.
         calibration_monitor: Calibration monitor override.
+        metrics: As in :class:`~repro.service.MoLocService`; this
+            subclass additionally counts fixes by serving mode, faults
+            by type, sanitizer masks, watchdog trips, recalibrations,
+            and the current dead-reckoning streak.
     """
 
     def __init__(
@@ -112,6 +117,7 @@ class ResilientMoLocService(MoLocService):
         sanitizer: Optional[ScanSanitizer] = None,
         watchdog: Optional[DivergenceWatchdog] = None,
         calibration_monitor: Optional[CalibrationMonitor] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
             fingerprint_db,
@@ -120,6 +126,7 @@ class ResilientMoLocService(MoLocService):
             config=config,
             use_gyro_fusion=use_gyro_fusion,
             personalize_stride=personalize_stride,
+            metrics=metrics,
         )
         self._config = config
         self._sanitizer = sanitizer or ScanSanitizer(fingerprint_db.n_aps)
@@ -130,6 +137,24 @@ class ResilientMoLocService(MoLocService):
         self._widen_next = False
         self._last_health: Optional[HealthStatus] = None
         self._previous_wifi_best: Optional[int] = None
+        self._coasting_streak = 0
+        self._c_masks = self.metrics.counter("service.sanitizer_masks")
+        self._c_widen = self.metrics.counter("service.watchdog.widen_trips")
+        self._c_reset = self.metrics.counter("service.watchdog.reset_trips")
+        self._c_recalibrations = self.metrics.counter(
+            "service.recalibrations"
+        )
+        self._g_coasting = self.metrics.gauge("service.coasting_streak")
+        # Pre-resolved so the per-fix path is a dict lookup, not a
+        # name-format + registry probe.
+        self._mode_counters = {
+            mode: self.metrics.counter(f"service.fixes_by_mode.{mode.value}")
+            for mode in ServingMode
+        }
+        self._fault_counters = {
+            fault: self.metrics.counter(f"service.faults.{fault.value}")
+            for fault in FaultType
+        }
 
     @property
     def last_health(self) -> Optional[HealthStatus]:
@@ -150,6 +175,8 @@ class ResilientMoLocService(MoLocService):
         self._widen_next = False
         self._last_health = None
         self._previous_wifi_best = None
+        self._coasting_streak = 0
+        self._g_coasting.set(0)
 
     def on_interval(
         self,
@@ -310,6 +337,16 @@ class ResilientMoLocService(MoLocService):
             )
 
         self._fix_count += 1
+        self._c_fixes.inc()
+        if estimate.used_motion:
+            self._c_motion_fixes.inc()
+        self._mode_counters[mode].inc()
+        self._c_masks.inc(len(sanitized.masked_ap_ids))
+        if mode is ServingMode.DEAD_RECKONING:
+            self._coasting_streak += 1
+        else:
+            self._coasting_streak = 0
+        self._g_coasting.set(self._coasting_streak)
 
         # Stride personalization, as in the base service, but only when a
         # real scan anchored the fix.
@@ -324,8 +361,12 @@ class ResilientMoLocService(MoLocService):
             hop_distance = self._motion_db.entry(
                 previous_fix, estimate.location_id
             ).offset_mean_m
+            accepted_before = self._stride.samples_accepted
             self._stride.observe_hop(
                 hop_distance, self._last_steps, estimate.probability
+            )
+            self._c_stride_accepts.inc(
+                self._stride.samples_accepted - accepted_before
             )
 
         verdict = self._watchdog.observe(
@@ -335,6 +376,10 @@ class ResilientMoLocService(MoLocService):
         if not verdict.plausible:
             faults.append(FaultType.DIVERGENCE)
         self._widen_next = verdict.action is WatchdogAction.WIDEN
+        if verdict.action is WatchdogAction.WIDEN:
+            self._c_widen.inc()
+        elif verdict.action is WatchdogAction.RESET:
+            self._c_reset.inc()
         if verdict.action is WatchdogAction.RESET:
             self._localizer.reset()
             self._previous_fix = None
@@ -370,6 +415,8 @@ class ResilientMoLocService(MoLocService):
                     recalibrated = True
         self._previous_wifi_best = wifi_best
 
+        if recalibrated:
+            self._c_recalibrations.inc()
         health = HealthStatus(
             mode=mode,
             faults=tuple(dict.fromkeys(faults)),
@@ -377,6 +424,8 @@ class ResilientMoLocService(MoLocService):
             masked_ap_ids=sanitized.masked_ap_ids,
             recalibrated=recalibrated,
         )
+        for fault in health.faults:
+            self._fault_counters[fault].inc()
         self._last_health = health
         return ResilientFix(estimate=estimate, health=health)
 

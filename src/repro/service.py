@@ -41,6 +41,7 @@ from .motion.pedestrian import BodyProfile
 from .motion.rlm import MotionMeasurement
 from .motion.stride import StepLengthEstimator
 from .motion.step_counting import count_steps_csc, is_walking
+from .observability import MetricsRegistry
 from .sensors.imu import ImuSegment
 
 __all__ = [
@@ -112,6 +113,9 @@ class MoLocService:
         personalize_stride: Whether to refine the user's step length
             online from confident consecutive fixes whose hop distance
             the motion database knows.
+        metrics: Registry receiving the session's metrics (a fresh one
+            when omitted).  The serving engine aggregates these
+            per-session registries in its ``metrics_snapshot``.
     """
 
     def __init__(
@@ -122,6 +126,7 @@ class MoLocService:
         config: MoLocConfig = MoLocConfig(),
         use_gyro_fusion: bool = True,
         personalize_stride: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._localizer = MoLocLocalizer(fingerprint_db, motion_db, config)
         self._motion_db = motion_db
@@ -132,6 +137,12 @@ class MoLocService:
         self._fix_count = 0
         self._previous_fix: Optional[int] = None
         self._last_steps: Optional[float] = None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_fixes = self.metrics.counter("service.fixes")
+        self._c_motion_fixes = self.metrics.counter("service.motion_fixes")
+        self._c_stride_accepts = self.metrics.counter(
+            "service.stride_accepts"
+        )
 
     @property
     def fingerprint_db(self) -> FingerprintDatabase:
@@ -299,6 +310,9 @@ class MoLocService:
                 candidates, prepared.motion, transition_probabilities
             )
         self._fix_count += 1
+        self._c_fixes.inc()
+        if estimate.used_motion:
+            self._c_motion_fixes.inc()
         if (
             self._personalize_stride
             and estimate.used_motion
@@ -311,8 +325,12 @@ class MoLocService:
             hop_distance = self._motion_db.entry(
                 self._previous_fix, estimate.location_id
             ).offset_mean_m
+            accepted_before = self._stride.samples_accepted
             self._stride.observe_hop(
                 hop_distance, self._last_steps, estimate.probability
+            )
+            self._c_stride_accepts.inc(
+                self._stride.samples_accepted - accepted_before
             )
         self._previous_fix = estimate.location_id
         return estimate

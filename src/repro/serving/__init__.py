@@ -27,6 +27,7 @@ from .benchmark import (
     build_session_services,
     deterministic_view,
     fix_stream_checksum,
+    machine_speed_probe,
     serve_batched,
     serve_sequential,
     throughput_report,
@@ -49,6 +50,7 @@ __all__ = [
     "build_session_services",
     "deterministic_view",
     "fix_stream_checksum",
+    "machine_speed_probe",
     "serve_batched",
     "serve_sequential",
     "throughput_report",

@@ -13,6 +13,7 @@ identical checksums, batched or sequential.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import time
 from dataclasses import dataclass, field
@@ -40,6 +41,7 @@ __all__ = [
     "workload_checksum",
     "throughput_report",
     "deterministic_view",
+    "machine_speed_probe",
 ]
 
 
@@ -242,15 +244,23 @@ def throughput_report(
     corpus_size: int = 8,
     stagger_ticks: int = 2,
     resilient: bool = True,
+    repeats: int = 1,
 ) -> Dict[str, object]:
     """Batched-vs-sequential serving metrics at several concurrency levels.
 
     For each session count, builds a seeded corpus-replay workload,
-    serves it twice from identical per-session services — once one
-    ``on_interval`` at a time, once through a fresh
+    serves it through both paths from identical per-session services —
+    one ``on_interval`` at a time, and through a fresh
     :class:`~repro.serving.engine.BatchedServingEngine` — and records
     throughput (session-intervals/s), per-tick latency percentiles, the
     speedup, and the bit-level fix-stream checksums of both paths.
+
+    With ``repeats > 1`` each path is served that many times (a fresh
+    engine and fresh services per repeat, so no state leaks between
+    passes) and the fastest pass supplies the wall-clock fields — the
+    floor of N samples is far more stable than any single sample, which
+    is what a regression gate needs.  The deterministic fields are
+    identical across repeats by construction.
 
     Wall-clock fields vary run to run; everything under each entry's
     ``"deterministic"`` key (and :func:`deterministic_view` of the whole
@@ -258,6 +268,8 @@ def throughput_report(
     """
     from .engine import BatchedServingEngine  # local: avoid cycle at import
 
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     report: Dict[str, object] = {
         "benchmark": "serving_throughput",
         "workload": {
@@ -274,25 +286,52 @@ def throughput_report(
             corpus_size=min(corpus_size, n_sessions),
             stagger_ticks=stagger_ticks,
         )
-        sequential_services = build_session_services(
-            workload,
-            fingerprint_db,
-            motion_db,
-            config,
-            resilient=resilient,
-            plan=plan,
-        )
-        sequential = serve_sequential(workload, sequential_services)
-        batched_services = build_session_services(
-            workload,
-            fingerprint_db,
-            motion_db,
-            config,
-            resilient=resilient,
-            plan=plan,
-        )
-        engine = BatchedServingEngine(fingerprint_db, motion_db, config)
-        batched = serve_batched(engine, workload, batched_services)
+        sequential = None
+        for _ in range(repeats):
+            sequential_services = build_session_services(
+                workload,
+                fingerprint_db,
+                motion_db,
+                config,
+                resilient=resilient,
+                plan=plan,
+            )
+            # Collect the construction garbage now and keep the GC out
+            # of the timed region: whether a collection lands inside a
+            # serve would otherwise dominate run-to-run variance.
+            gc.collect()
+            gc.disable()
+            try:
+                result = serve_sequential(workload, sequential_services)
+            finally:
+                gc.enable()
+            if sequential is None or result.elapsed_s < sequential.elapsed_s:
+                sequential = result
+        batched = None
+        engine = None
+        batched_samples: List[float] = []
+        for _ in range(repeats):
+            batched_services = build_session_services(
+                workload,
+                fingerprint_db,
+                motion_db,
+                config,
+                resilient=resilient,
+                plan=plan,
+            )
+            pass_engine = BatchedServingEngine(
+                fingerprint_db, motion_db, config
+            )
+            gc.collect()
+            gc.disable()
+            try:
+                result = serve_batched(pass_engine, workload, batched_services)
+            finally:
+                gc.enable()
+            batched_samples.append(result.elapsed_s)
+            if batched is None or result.elapsed_s < batched.elapsed_s:
+                batched = result
+                engine = pass_engine
         entry = {
             "sessions": n_sessions,
             "ticks": len(workload.ticks),
@@ -310,15 +349,48 @@ def throughput_report(
                 "match_cache": [
                     engine.matcher.cache_hits,
                     engine.matcher.cache_misses,
+                    engine.matcher.coalesced_hits,
                 ],
                 "estimate_cache": [
                     engine.estimate_cache_hits,
                     engine.estimate_cache_misses,
                 ],
             },
+            # Machine-speed yardstick measured next to this level's
+            # serves, for drift-normalized baseline comparisons.
+            "calibration_s": machine_speed_probe(),
+            # Every repeat's batched elapsed time: the spread tells a
+            # regression gate whether this measurement is precise
+            # enough to adjudicate a small difference at all.
+            "batched_samples_s": list(batched_samples),
+            # The full observability snapshot (latency histograms and
+            # all) — wall-clock dependent, so *not* under
+            # "deterministic".
+            "metrics": engine.metrics_snapshot(),
         }
         report["results"].append(entry)
     return report
+
+
+def machine_speed_probe(repeats: int = 3) -> float:
+    """Best-of-N seconds for a fixed interpreter-bound workload.
+
+    A throughput number is only comparable to a baseline produced at the
+    same machine speed, and shared or thermally-throttled hosts drift by
+    tens of percent between runs.  This probe is the yardstick: it runs
+    next to each measurement, and a regression gate can divide the drift
+    out by scaling the baseline with the ratio of the two probes.  The
+    workload is pure interpreter arithmetic, matching the serving hot
+    path's dominant cost.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        acc = 0.0
+        for i in range(200_000):
+            acc += i * 1e-9
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 def _timing(result: ServeResult) -> Dict[str, float]:

@@ -28,10 +28,18 @@ and the *same* arithmetic as the sequential path, so the engine is
 bitwise-equivalent to calling ``service.on_interval`` per session — the
 golden-trace tests in ``tests/serving/`` assert exactly that, fault
 injection included.
+
+The engine is instrumented end to end through
+:mod:`repro.observability`: tick latency and batch-size histograms,
+per-phase span timing, cache and memo hit/miss counters, and an
+aggregated per-session view — all surfaced by
+:meth:`BatchedServingEngine.metrics_snapshot` as one JSON-serializable
+document (see ``docs/observability.md`` for the schema).
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -40,6 +48,13 @@ from ..core.config import MoLocConfig
 from ..core.fingerprint import FingerprintDatabase
 from ..core.matching import Candidate
 from ..core.motion_db import MotionDatabase
+from ..observability import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    SpanTracer,
+    TickHook,
+    TickProfile,
+)
 from ..robustness.sanitizer import check_imu
 from ..robustness.service import ResilientMoLocService
 from ..sensors.imu import ImuSegment
@@ -49,6 +64,8 @@ from .session import SessionManager, SessionRecord
 from .transitions import TransitionEvaluator
 
 __all__ = ["IntervalEvent", "BatchedServingEngine"]
+
+_PHASES = ("prepare", "match", "transitions", "complete")
 
 
 @dataclass(frozen=True)
@@ -80,8 +97,18 @@ class BatchedServingEngine:
             ``fingerprint_db``).
         transitions: Transition evaluator override (defaults to one
             over ``motion_db`` and ``config``).
-        motion_memo_size: Segments whose extracted motion is memoized
-            across sessions (0 disables).
+        motion_memo_size: Entry cap for each cross-session memo (the
+            motion-extraction memo and the IMU-check memo; 0 disables
+            both).  Full memos evict their least-recently-used entry —
+            never the whole table — and keep the ref-pinning guarantee:
+            a segment object stays referenced for as long as any memo
+            entry is keyed on its ``id()``, so a recycled id can never
+            alias a dead key.
+        estimate_cache_size: Entries in the posterior (Eq. 7) LRU.
+        metrics: Registry for the engine's own metrics (a fresh one
+            when omitted).  Default-constructed matchers and transition
+            evaluators get their own registries; all of them surface
+            through :meth:`metrics_snapshot`.
     """
 
     def __init__(
@@ -93,6 +120,7 @@ class BatchedServingEngine:
         transitions: Optional[TransitionEvaluator] = None,
         motion_memo_size: int = 4096,
         estimate_cache_size: int = 16384,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if motion_memo_size < 0:
             raise ValueError(
@@ -106,26 +134,50 @@ class BatchedServingEngine:
         self._motion_db = motion_db
         self._config = config
         self.sessions = SessionManager()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.matcher = matcher or BatchMatcher(fingerprint_db)
         self.transitions = transitions or TransitionEvaluator(
             motion_db, config
         )
         self._motion_memo_size = motion_memo_size
-        # (segment identity, motion_state_key) -> (measurement, steps).
-        # The parallel ref dict pins each segment so a recycled id() can
+        # (segment identity, motion_state_key) -> (measurement, steps),
+        # LRU.  _motion_refs pins each segment object while _ref_pins
+        # counts the memo entries keyed on its id() — the pin drops only
+        # when the *last* such entry is evicted, so a recycled id() can
         # never alias a dead key.
-        self._motion_memo: Dict[tuple, tuple] = {}
+        self._motion_memo: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._imu_checks: "OrderedDict[int, Tuple[bool, tuple]]" = OrderedDict()
         self._motion_refs: Dict[int, ImuSegment] = {}
-        self._imu_checks: Dict[int, Tuple[bool, tuple]] = {}
+        self._ref_pins: Dict[int, int] = {}
         # Posterior cache: (candidates, prior, motion, retention) fully
         # determine the evaluated estimate, so sessions at the same
         # phase of the same walk share one immutable result.
         self._estimate_cache_size = estimate_cache_size
         self._estimate_cache: "OrderedDict[tuple, object]" = OrderedDict()
-        self._estimate_hits = 0
-        self._estimate_misses = 0
-        self._ticks = 0
-        self._intervals = 0
+        self.tracer = SpanTracer(self.metrics, prefix="engine.phase")
+        self._tick_hooks: List[TickHook] = []
+        self._c_ticks = self.metrics.counter("engine.ticks")
+        self._c_intervals = self.metrics.counter("engine.intervals")
+        self._c_est_hits = self.metrics.counter("engine.estimate_cache.hits")
+        self._c_est_misses = self.metrics.counter(
+            "engine.estimate_cache.misses"
+        )
+        self._c_est_evictions = self.metrics.counter(
+            "engine.estimate_cache.evictions"
+        )
+        self._c_motion_hits = self.metrics.counter("engine.memo.motion_hits")
+        self._c_motion_misses = self.metrics.counter(
+            "engine.memo.motion_misses"
+        )
+        self._c_imu_hits = self.metrics.counter("engine.memo.imu_hits")
+        self._c_imu_misses = self.metrics.counter("engine.memo.imu_misses")
+        self._c_memo_evictions = self.metrics.counter("engine.memo.evictions")
+        self._c_hook_errors = self.metrics.counter("engine.tick_hook_errors")
+        self._h_tick = self.metrics.histogram("engine.tick.latency_s")
+        self._h_batch = self.metrics.histogram(
+            "engine.tick.batch_size", DEFAULT_SIZE_BUCKETS
+        )
+        self._g_sessions = self.metrics.gauge("engine.sessions")
 
     @property
     def config(self) -> MoLocConfig:
@@ -135,22 +187,81 @@ class BatchedServingEngine:
     @property
     def estimate_cache_hits(self) -> int:
         """Intervals served straight from the posterior cache."""
-        return self._estimate_hits
+        return self._c_est_hits.value
 
     @property
     def estimate_cache_misses(self) -> int:
         """Matchable intervals that evaluated Eq. 6/7 themselves."""
-        return self._estimate_misses
+        return self._c_est_misses.value
 
     @property
     def ticks_served(self) -> int:
         """How many ticks :meth:`tick` has processed."""
-        return self._ticks
+        return self._c_ticks.value
 
     @property
     def intervals_served(self) -> int:
         """Total intervals served across all sessions."""
-        return self._intervals
+        return self._c_intervals.value
+
+    @property
+    def last_tick_phases(self) -> Dict[str, float]:
+        """Per-phase wall-clock seconds of the most recent tick.
+
+        Keys are ``prepare`` / ``match`` / ``transitions`` /
+        ``complete``; the four are disjoint and sum to (almost exactly)
+        the tick latency.  ``transitions`` is accumulated across the
+        per-session completion loop and excluded from ``complete``.
+        """
+        return {
+            name: self.tracer.last[name]
+            for name in _PHASES
+            if name in self.tracer.last
+        }
+
+    # ------------------------------------------------------------------
+    # Observability surface
+    # ------------------------------------------------------------------
+
+    def add_profiling_hook(self, hook: TickHook) -> None:
+        """Register a per-tick profiling hook.
+
+        The hook receives one
+        :class:`~repro.observability.TickProfile` after every tick
+        (outside the timed region).  Hooks are error-isolated: a raising
+        hook increments ``engine.tick_hook_errors`` instead of failing
+        the tick.
+        """
+        self._tick_hooks.append(hook)
+
+    def remove_profiling_hook(self, hook: TickHook) -> None:
+        """Deregister a previously added tick hook.
+
+        Raises:
+            ValueError: if the hook was never registered.
+        """
+        self._tick_hooks.remove(hook)
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Everything the serving stack measures, as one JSON document.
+
+        Returns:
+            ``{"schema": 1, "engine": ..., "matcher": ...,
+            "transitions": ..., "sessions": ...}`` where the first three
+            sections are each component's registry snapshot and
+            ``sessions`` aggregates the per-session service registries
+            (counters and histograms sum, gauges keep the maximum).
+            Sessions removed from the engine leave the aggregate.
+        """
+        return {
+            "schema": 1,
+            "engine": self.metrics.snapshot(),
+            "matcher": self.matcher.metrics.snapshot(),
+            "transitions": self.transitions.metrics.snapshot(),
+            "sessions": MetricsRegistry.aggregate(
+                record.service.metrics.snapshot() for record in self.sessions
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -176,11 +287,14 @@ class BatchedServingEngine:
                 "session service config differs from the engine's; the "
                 "engine's transition caches assume a single config"
             )
-        return self.sessions.add(session_id, service)
+        record = self.sessions.add(session_id, service)
+        self._g_sessions.set(len(self.sessions))
+        return record
 
     def remove_session(self, session_id: str) -> None:
         """Drop a session (ends the underlying service session)."""
         self.sessions.remove(session_id)
+        self._g_sessions.set(len(self.sessions))
 
     # ------------------------------------------------------------------
     # Serving
@@ -201,6 +315,7 @@ class BatchedServingEngine:
             resilient ones; exactly what ``service.on_interval`` would
             have returned.
         """
+        tick_started = time.perf_counter()
         seen = set()
         for event in events:
             if event.session_id in seen:
@@ -213,50 +328,62 @@ class BatchedServingEngine:
         # Phase 1: per-session triage (+ shared motion extraction).
         records: List[SessionRecord] = []
         prepared_list: List[PreparedInterval] = []
-        for event in events:
-            record = self.sessions.get(event.session_id)
-            precomputed = self._precompute(record.service, event.imu)
-            prepared = record.service.prepare_interval(
-                event.scan, event.imu, precomputed=precomputed
-            )
-            records.append(record)
-            prepared_list.append(prepared)
+        with self.tracer.span("prepare"):
+            for event in events:
+                record = self.sessions.get(event.session_id)
+                precomputed = self._precompute(record.service, event.imu)
+                prepared = record.service.prepare_interval(
+                    event.scan, event.imu, precomputed=precomputed
+                )
+                records.append(record)
+                prepared_list.append(prepared)
 
         # Phase 2: one einsum for every matchable fingerprint.
-        requests: List[MatchRequest] = []
-        request_slots: List[int] = []
-        match_keys: List[Optional[tuple]] = [None] * len(events)
-        for slot, (record, prepared) in enumerate(
-            zip(records, prepared_list)
-        ):
-            if prepared.fingerprint is None:
-                continue
-            request = MatchRequest(
-                fingerprint=prepared.fingerprint,
-                k=prepared.k or record.service.localizer.config.k,
-                active_aps=(
-                    None
-                    if prepared.active_aps is None
-                    else tuple(bool(a) for a in prepared.active_aps)
-                ),
+        with self.tracer.span("match"):
+            requests: List[MatchRequest] = []
+            request_slots: List[int] = []
+            match_keys: List[Optional[tuple]] = [None] * len(events)
+            for slot, (record, prepared) in enumerate(
+                zip(records, prepared_list)
+            ):
+                if prepared.fingerprint is None:
+                    continue
+                request = MatchRequest(
+                    fingerprint=prepared.fingerprint,
+                    k=(
+                        prepared.k
+                        if prepared.k is not None
+                        else record.service.localizer.config.k
+                    ),
+                    active_aps=(
+                        None
+                        if prepared.active_aps is None
+                        else tuple(bool(a) for a in prepared.active_aps)
+                    ),
+                )
+                requests.append(request)
+                request_slots.append(slot)
+                match_keys[slot] = (
+                    request.fingerprint.rss,
+                    request.active_aps,
+                    request.k,
+                )
+            matched: List[Optional[Tuple[Candidate, ...]]] = [None] * len(
+                events
             )
-            requests.append(request)
-            request_slots.append(slot)
-            match_keys[slot] = (
-                request.fingerprint.rss,
-                request.active_aps,
-                request.k,
-            )
-        matched: List[Optional[List[Candidate]]] = [None] * len(events)
-        for slot, candidates in zip(
-            request_slots, self.matcher.match_batch(requests)
-        ):
-            matched[slot] = candidates
+            for slot, candidates in zip(
+                request_slots, self.matcher.match_batch(requests)
+            ):
+                matched[slot] = candidates
 
         # Phases 3+4: cached Eq. 7 posteriors (cached Eq. 6 transitions
         # on a posterior miss), then per-session completion in event
         # order (state mutation order matches the sequential loop).
+        # Transition evaluation is interleaved with completion, so its
+        # time is accumulated here and reported as its own phase.
         fixes: List[object] = []
+        transitions_s = 0.0
+        complete_started = time.perf_counter()
         for record, prepared, candidates, match_key in zip(
             records, prepared_list, matched, match_keys
         ):
@@ -280,19 +407,21 @@ class BatchedServingEngine:
                 cached = self._estimate_cache.get(estimate_key)
                 if cached is not None:
                     self._estimate_cache.move_to_end(estimate_key)
-                    self._estimate_hits += 1
+                    self._c_est_hits.inc()
                     fix = service.complete_interval(
                         prepared, estimate=cached
                     )
                 else:
-                    self._estimate_misses += 1
+                    self._c_est_misses.inc()
                     transition_probabilities = None
                     if motion is not None and prior is not None:
+                        span_started = time.perf_counter()
                         transition_probabilities = self.transitions.evaluate(
                             prior,
                             [c.location_id for c in candidates],
                             motion,
                         )
+                        transitions_s += time.perf_counter() - span_started
                     fix = service.complete_interval(
                         prepared,
                         candidates=candidates,
@@ -306,44 +435,95 @@ class BatchedServingEngine:
                             > self._estimate_cache_size
                         ):
                             self._estimate_cache.popitem(last=False)
+                            self._c_est_evictions.inc()
             record.intervals_served += 1
             record.last_fix = fix
             fixes.append(fix)
-        self._ticks += 1
-        self._intervals += len(events)
+        complete_s = time.perf_counter() - complete_started - transitions_s
+        self.tracer.record("transitions", transitions_s)
+        self.tracer.record("complete", complete_s)
+
+        self._c_ticks.inc()
+        self._c_intervals.inc(len(events))
+        self._h_batch.observe(len(events))
+        tick_s = time.perf_counter() - tick_started
+        self._h_tick.observe(tick_s)
+        if self._tick_hooks:
+            profile = TickProfile(
+                tick=self._c_ticks.value,
+                batch_size=len(events),
+                duration_s=tick_s,
+                phases=self.last_tick_phases,
+            )
+            for hook in self._tick_hooks:
+                try:
+                    hook(profile)
+                except Exception:
+                    self._c_hook_errors.inc()
         return fixes
 
     # ------------------------------------------------------------------
     # Shared per-segment work
     # ------------------------------------------------------------------
 
+    def _pin(self, imu: ImuSegment) -> None:
+        """Count one more memo entry keyed on this segment's id()."""
+        segment_id = id(imu)
+        self._motion_refs[segment_id] = imu
+        self._ref_pins[segment_id] = self._ref_pins.get(segment_id, 0) + 1
+
+    def _unpin(self, segment_id: int) -> None:
+        """Release one memo entry's pin; drop the ref on the last one."""
+        remaining = self._ref_pins[segment_id] - 1
+        if remaining:
+            self._ref_pins[segment_id] = remaining
+        else:
+            del self._ref_pins[segment_id]
+            del self._motion_refs[segment_id]
+
     def _precompute(
         self, service: MoLocService, imu: Optional[ImuSegment]
     ) -> Optional[PrecomputedInputs]:
-        """Memoized IMU check + motion extraction for one session's segment."""
+        """Memoized IMU check + motion extraction for one session's segment.
+
+        Both memos are LRU: a full memo evicts its single oldest entry
+        (releasing that entry's ref pin) before inserting — entries
+        inserted for the current segment are therefore never collateral
+        damage, and cross-session sharing survives the capacity
+        boundary.
+        """
         if imu is None or self._motion_memo_size == 0:
             return None
-        imu_check = self._imu_checks.get(id(imu))
-        if imu_check is None:
+        segment_id = id(imu)
+        imu_check = self._imu_checks.get(segment_id)
+        if imu_check is not None:
+            self._imu_checks.move_to_end(segment_id)
+            self._c_imu_hits.inc()
+        else:
             imu_check = check_imu(imu)
             if len(self._imu_checks) >= self._motion_memo_size:
-                self._motion_memo.clear()
-                self._motion_refs.clear()
-                self._imu_checks.clear()
-            self._imu_checks[id(imu)] = imu_check
-            self._motion_refs[id(imu)] = imu
+                evicted_id, _ = self._imu_checks.popitem(last=False)
+                self._unpin(evicted_id)
+                self._c_memo_evictions.inc()
+            self._imu_checks[segment_id] = imu_check
+            self._pin(imu)
+            self._c_imu_misses.inc()
         motion = None
         if service.is_calibrated and (
             not isinstance(service, ResilientMoLocService) or imu_check[0]
         ):
-            key = (id(imu), service.motion_state_key)
+            key = (segment_id, service.motion_state_key)
             motion = self._motion_memo.get(key)
-            if motion is None:
+            if motion is not None:
+                self._motion_memo.move_to_end(key)
+                self._c_motion_hits.inc()
+            else:
                 motion = service.extract_motion(imu)
                 if len(self._motion_memo) >= self._motion_memo_size:
-                    self._motion_memo.clear()
-                    self._motion_refs.clear()
-                    self._imu_checks.clear()
+                    evicted_key, _ = self._motion_memo.popitem(last=False)
+                    self._unpin(evicted_key[0])
+                    self._c_memo_evictions.inc()
                 self._motion_memo[key] = motion
-                self._motion_refs[id(imu)] = imu
+                self._pin(imu)
+                self._c_motion_misses.inc()
         return PrecomputedInputs(imu_check=imu_check, motion=motion)

@@ -38,6 +38,7 @@ from ..core.motion_matching import (
     stay_probability,
 )
 from ..motion.rlm import MotionMeasurement
+from ..observability import MetricsRegistry
 
 __all__ = ["TransitionEvaluator"]
 
@@ -51,6 +52,9 @@ class TransitionEvaluator:
             the sessions' configuration (the engine enforces this).
         set_cache_size: Entries in the whole-vector Eq. 6 LRU
             (0 disables).
+        metrics: Registry receiving the evaluator's metrics (a fresh
+            one when omitted); the ``set_cache_*`` properties are views
+            over its counters.
     """
 
     def __init__(
@@ -58,6 +62,7 @@ class TransitionEvaluator:
         motion_db: MotionDatabase,
         config: MoLocConfig,
         set_cache_size: int = 16384,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if set_cache_size < 0:
             raise ValueError(
@@ -80,8 +85,11 @@ class TransitionEvaluator:
         self._offset_std: List[List[float]] = view.offset_std_m.tolist()
         self._set_cache_size = set_cache_size
         self._set_cache: "OrderedDict[tuple, List[float]]" = OrderedDict()
-        self._set_hits = 0
-        self._set_misses = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_hits = self.metrics.counter("transitions.set_cache_hits")
+        self._c_misses = self.metrics.counter("transitions.set_cache_misses")
+        self._c_evictions = self.metrics.counter("transitions.evictions")
+        self._c_pairs = self.metrics.counter("transitions.pairs_evaluated")
 
     @property
     def config(self) -> MoLocConfig:
@@ -91,18 +99,18 @@ class TransitionEvaluator:
     @property
     def set_cache_hits(self) -> int:
         """Whole-vector Eq. 6 lookups served from cache."""
-        return self._set_hits
+        return self._c_hits.value
 
     @property
     def set_cache_misses(self) -> int:
         """Whole-vector Eq. 6 lookups that had to compute."""
-        return self._set_misses
+        return self._c_misses.value
 
     def clear_caches(self) -> None:
         """Drop the vector LRU (and reset hit counters)."""
         self._set_cache.clear()
-        self._set_hits = 0
-        self._set_misses = 0
+        self._c_hits.reset()
+        self._c_misses.reset()
 
     def evaluate(
         self,
@@ -125,9 +133,9 @@ class TransitionEvaluator:
             cached = self._set_cache.get(set_key)
             if cached is not None:
                 self._set_cache.move_to_end(set_key)
-                self._set_hits += 1
+                self._c_hits.inc()
                 return list(cached)
-        self._set_misses += 1
+        self._c_misses.inc()
 
         config = self._config
         index = self._index
@@ -171,8 +179,10 @@ class TransitionEvaluator:
                     )
             values.append(total)
 
+        self._c_pairs.inc(len(resolved) * len(ends_key))
         if self._set_cache_size > 0:
             self._set_cache[set_key] = values
             if len(self._set_cache) > self._set_cache_size:
                 self._set_cache.popitem(last=False)
+                self._c_evictions.inc()
         return list(values)

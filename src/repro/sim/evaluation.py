@@ -25,6 +25,7 @@ from ..core.fingerprint import Fingerprint
 from ..env.floorplan import FloorPlan
 from ..motion.rlm import extract_measurement
 from ..motion.trace import WalkTrace
+from ..observability import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from ..sensors.imu import ImuSegment
 
 __all__ = [
@@ -335,6 +336,7 @@ def multi_session_workload(
     corpus_size: Optional[int] = 8,
     stagger_ticks: int = 0,
     n_aps: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> MultiSessionWorkload:
     """A corpus-replay load: ``n_sessions`` users replaying recorded walks.
 
@@ -357,6 +359,10 @@ def multi_session_workload(
         stagger_ticks: Start-tick offset between successive corpus laps.
         n_aps: Optionally truncate every scan to this AP count (AP-count
             sweep deployments).
+        registry: Optional metrics registry; when given, the generator
+            counts ``workload.sessions`` / ``workload.ticks`` /
+            ``workload.intervals`` and observes the per-tick width
+            histogram ``workload.tick_width``.
 
     Returns:
         The workload; deterministic in its inputs (no RNG involved).
@@ -399,6 +405,15 @@ def multi_session_workload(
     for _, start, intervals in scripts:
         for offset, interval in enumerate(intervals):
             ticks[start + offset].append(interval)
+    if registry is not None:
+        registry.counter("workload.sessions").inc(n_sessions)
+        registry.counter("workload.ticks").inc(n_ticks)
+        registry.counter("workload.intervals").inc(
+            sum(len(tick) for tick in ticks)
+        )
+        width = registry.histogram("workload.tick_width", DEFAULT_SIZE_BUCKETS)
+        for tick in ticks:
+            width.observe(len(tick))
     return MultiSessionWorkload(sessions=sessions, ticks=ticks)
 
 

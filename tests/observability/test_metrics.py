@@ -1,0 +1,174 @@
+"""Contracts of the metrics registry: instruments, snapshots, aggregation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_is_monotonic():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    counter.inc(0)
+    assert counter.value == 5
+    with pytest.raises(ValueError, match="cannot decrease"):
+        counter.inc(-1)
+    assert counter.value == 5
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_gauge_last_write_wins():
+    gauge = Gauge("g")
+    assert gauge.value is None
+    gauge.set(3)
+    gauge.set(1)
+    assert gauge.value == 1
+    gauge.reset()
+    assert gauge.value is None
+
+
+def test_histogram_bucketing_edges():
+    # Boundaries are upper-exclusive: v lands in bucket i iff
+    # boundaries[i-1] <= v < boundaries[i].
+    histogram = Histogram("h", (1.0, 2.0, 4.0))
+    for value in (0.0, 0.99, 1.0, 1.5, 2.0, 4.0, 100.0):
+        histogram.observe(value)
+    assert histogram.counts == (2, 2, 1, 2)
+    assert histogram.count == 7
+    assert histogram.sum == pytest.approx(109.49)
+    view = histogram.to_dict()
+    assert view["min"] == 0.0
+    assert view["max"] == 100.0
+    histogram.reset()
+    assert histogram.counts == (0, 0, 0, 0)
+    assert histogram.to_dict()["min"] is None
+
+
+def test_histogram_rejects_bad_boundaries():
+    with pytest.raises(ValueError, match="at least one boundary"):
+        Histogram("h", ())
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("h", (1.0, 1.0))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("h", (2.0, 1.0))
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c", (1.0,)) is registry.histogram("c", (1.0,))
+
+
+def test_registry_rejects_cross_kind_collisions():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError, match="already registered as a counter"):
+        registry.gauge("x")
+    with pytest.raises(ValueError, match="already registered as a counter"):
+        registry.histogram("x")
+    with pytest.raises(ValueError, match="non-empty string"):
+        registry.counter("")
+
+
+def test_registry_rejects_boundary_mismatch():
+    registry = MetricsRegistry()
+    registry.histogram("h", (1.0, 2.0))
+    with pytest.raises(ValueError, match="already exists with boundaries"):
+        registry.histogram("h", (1.0, 3.0))
+
+
+def test_snapshot_is_json_plain_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("z.second").inc(2)
+    registry.counter("a.first").inc()
+    registry.gauge("g").set(7)
+    registry.histogram("h", DEFAULT_SIZE_BUCKETS).observe(3)
+    snapshot = registry.snapshot()
+    assert set(snapshot) == {"counters", "gauges", "histograms"}
+    assert list(snapshot["counters"]) == ["a.first", "z.second"]
+    assert snapshot["counters"]["z.second"] == 2
+    assert snapshot["gauges"]["g"] == 7
+    assert snapshot["histograms"]["h"]["count"] == 1
+    # Round-trips through json without custom encoders.
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+def test_disabled_registry_hands_out_noops():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("c")
+    counter.inc(10)
+    assert counter.value == 0
+    with pytest.raises(ValueError):
+        counter.inc(-1)  # the monotonic contract survives disabling
+    gauge = registry.gauge("g")
+    gauge.set(5)
+    assert gauge.value is None
+    histogram = registry.histogram("h", DEFAULT_LATENCY_BUCKETS_S)
+    histogram.observe(0.5)
+    assert histogram.count == 0
+    assert registry.snapshot() == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+def test_registry_reset_clears_everything():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.gauge("g").set(2)
+    registry.histogram("h", (1.0,)).observe(0.5)
+    registry.reset()
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["c"] == 0
+    assert snapshot["gauges"]["g"] is None
+    assert snapshot["histograms"]["h"]["count"] == 0
+
+
+def test_aggregate_sums_counters_and_maxes_gauges():
+    first = MetricsRegistry()
+    second = MetricsRegistry()
+    for registry, count, streak in ((first, 2, 5), (second, 3, 1)):
+        registry.counter("service.fixes").inc(count)
+        registry.gauge("service.coasting_streak").set(streak)
+        registry.histogram("h", (1.0, 2.0)).observe(0.5 * count)
+    merged = MetricsRegistry.aggregate(
+        [first.snapshot(), second.snapshot()]
+    )
+    assert merged["counters"]["service.fixes"] == 5
+    assert merged["gauges"]["service.coasting_streak"] == 5
+    histogram = merged["histograms"]["h"]
+    assert histogram["count"] == 2
+    assert histogram["counts"] == [0, 2, 0]  # 1.0 and 1.5 both in [1, 2)
+    assert histogram["sum"] == pytest.approx(2.5)
+    assert histogram["min"] == 1.0 and histogram["max"] == 1.5
+
+
+def test_aggregate_rejects_boundary_mismatch():
+    first = MetricsRegistry()
+    second = MetricsRegistry()
+    first.histogram("h", (1.0,)).observe(0.5)
+    second.histogram("h", (2.0,)).observe(0.5)
+    with pytest.raises(ValueError, match="boundary mismatch"):
+        MetricsRegistry.aggregate([first.snapshot(), second.snapshot()])
+
+
+def test_aggregate_of_nothing_is_empty():
+    assert MetricsRegistry.aggregate([]) == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }

@@ -1,0 +1,43 @@
+"""Contracts of the tick profiler: payloads and the ring buffer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import TickProfile, TickProfiler
+
+
+def _profile(tick: int) -> TickProfile:
+    return TickProfile(
+        tick=tick,
+        batch_size=4,
+        duration_s=0.01 * tick,
+        phases={"prepare": 0.001, "match": 0.002},
+    )
+
+
+def test_profile_to_dict_is_json_plain():
+    view = _profile(3).to_dict()
+    assert view == {
+        "tick": 3,
+        "batch_size": 4,
+        "duration_s": pytest.approx(0.03),
+        "phases": {"prepare": 0.001, "match": 0.002},
+    }
+    json.dumps(view)
+
+
+def test_profiler_keeps_a_bounded_ring():
+    profiler = TickProfiler(max_ticks=3)
+    for tick in range(1, 6):
+        profiler(_profile(tick))
+    retained = [profile.tick for profile in profiler.profiles]
+    assert retained == [3, 4, 5]  # oldest dropped, order kept
+    assert [entry["tick"] for entry in profiler.to_json()] == [3, 4, 5]
+
+
+def test_profiler_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError, match="max_ticks"):
+        TickProfiler(max_ticks=0)

@@ -1,0 +1,192 @@
+"""Regression tests for the serving-cache aliasing/eviction bug family.
+
+Four bugs, one pattern: shared mutable state leaking across cache
+boundaries.  Each test pins the fixed behavior —
+
+* cached candidate sets are immutable (a caller cannot corrupt later
+  cache hits by mutating its result);
+* duplicate requests within one batch coalesce onto one computed row
+  instead of all missing;
+* the cross-session memos evict per-entry (LRU), never wholesale, and
+  keep the ref-pinning guarantee across the capacity boundary;
+* ``k=0`` is rejected identically by the batched and sequential paths
+  (no falsy-``or`` fallback to the configured default).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.motion.pedestrian import BodyProfile
+from repro.robustness import ResilientMoLocService
+from repro.serving import (
+    BatchedServingEngine,
+    BatchMatcher,
+    IntervalEvent,
+    MatchRequest,
+)
+
+
+@pytest.fixture()
+def world(small_study):
+    fingerprint_db = small_study.fingerprint_db(6)
+    motion_db, _ = small_study.motion_db(6)
+
+    def make_engine(**kwargs):
+        return BatchedServingEngine(
+            fingerprint_db, motion_db, small_study.config, **kwargs
+        )
+
+    def make_service():
+        trace = small_study.test_traces[0]
+        service = ResilientMoLocService(
+            fingerprint_db,
+            motion_db,
+            body=BodyProfile(height_m=1.72),
+            config=small_study.config,
+        )
+        service.calibrate_heading(
+            [
+                (hop.imu.compass_readings, hop.imu.true_course_deg)
+                for hop in trace.hops[:2]
+            ]
+        )
+        return service
+
+    return make_engine, make_service, small_study, fingerprint_db
+
+
+def test_cached_candidates_survive_caller_mutation(world):
+    """Mutating one returned result must not corrupt later cache hits."""
+    _, _, study, fingerprint_db = world
+    matcher = BatchMatcher(fingerprint_db, cache_size=8)
+    trace = study.test_traces[0]
+    request = MatchRequest(fingerprint=trace.initial_fingerprint, k=4)
+    first = matcher.match_one(request)
+    assert isinstance(first, tuple)
+    expected = list(first)
+    # The shared object itself refuses in-place edits...
+    with pytest.raises(TypeError):
+        first[0] = None  # type: ignore[index]
+    # ...and any detached mutable copy is the caller's problem alone.
+    detached = list(first)
+    detached.reverse()
+    detached.pop()
+    again = matcher.match_one(request)
+    assert matcher.cache_hits == 1
+    assert list(again) == expected
+
+
+def test_duplicate_requests_in_one_batch_coalesce(world):
+    """N identical requests in one batch compute (and count) one miss."""
+    _, _, study, fingerprint_db = world
+    matcher = BatchMatcher(fingerprint_db, cache_size=8)
+    trace = study.test_traces[0]
+    request = MatchRequest(fingerprint=trace.initial_fingerprint, k=4)
+    other = MatchRequest(
+        fingerprint=trace.hops[0].arrival_fingerprint, k=4
+    )
+    results = matcher.match_batch([request, request, other, request])
+    assert results[0] == results[1] == results[3]
+    assert matcher.cache_misses == 2  # one per distinct key
+    assert matcher.coalesced_hits == 2
+    assert matcher.cache_hits == 0
+    assert matcher.metrics.counter("matcher.einsum_rows").value == 2
+
+
+def test_coalescing_works_with_caching_disabled(world):
+    """Intra-batch dedupe is pure-function sharing, not cache lookup."""
+    _, _, study, fingerprint_db = world
+    matcher = BatchMatcher(fingerprint_db, cache_size=0)
+    request = MatchRequest(
+        fingerprint=study.test_traces[0].initial_fingerprint, k=4
+    )
+    results = matcher.match_batch([request, request])
+    assert results[0] == results[1]
+    assert matcher.coalesced_hits == 1
+    assert matcher.metrics.counter("matcher.einsum_rows").value == 1
+
+
+def test_memo_eviction_is_per_entry_not_wholesale(world):
+    """A full memo evicts its single oldest entry, pins intact."""
+    make_engine, make_service, study, _ = world
+    capacity = 4
+    engine = make_engine(motion_memo_size=capacity)
+    service = make_service()
+    segments = [
+        hop.imu for trace in study.test_traces for hop in trace.hops
+    ][: capacity + 2]
+    assert len(segments) == capacity + 2
+
+    for segment in segments[:capacity]:
+        engine._precompute(service, segment)
+    # At exactly motion_memo_size entries: full, nothing evicted.
+    assert len(engine._imu_checks) == capacity
+    assert len(engine._motion_memo) == capacity
+    assert engine.metrics.counter("engine.memo.evictions").value == 0
+
+    engine._precompute(service, segments[capacity])
+    # One entry per memo evicted — the oldest — not a wholesale clear.
+    assert len(engine._imu_checks) == capacity
+    assert len(engine._motion_memo) == capacity
+    assert engine.metrics.counter("engine.memo.evictions").value == 2
+    assert id(segments[0]) not in engine._imu_checks
+    for survivor in segments[1 : capacity + 1]:
+        assert id(survivor) in engine._imu_checks
+    # Ref pinning: evicted segments release their ref, survivors keep
+    # theirs (so a recycled id() can never alias a live memo key).
+    assert id(segments[0]) not in engine._motion_refs
+    for survivor in segments[1 : capacity + 1]:
+        assert id(survivor) in engine._motion_refs
+        assert engine._motion_refs[id(survivor)] is survivor
+
+    # Survivors still hit both memos after the eviction.
+    hits_before = engine.metrics.counter("engine.memo.imu_hits").value
+    engine._precompute(service, segments[1])
+    assert (
+        engine.metrics.counter("engine.memo.imu_hits").value
+        == hits_before + 1
+    )
+
+
+def test_memo_lru_order_follows_use(world):
+    """A re-used entry is freshened: eviction takes the true LRU."""
+    make_engine, make_service, study, _ = world
+    engine = make_engine(motion_memo_size=2)
+    service = make_service()
+    segments = [hop.imu for hop in study.test_traces[0].hops][:3]
+    engine._precompute(service, segments[0])
+    engine._precompute(service, segments[1])
+    engine._precompute(service, segments[0])  # freshen the older entry
+    engine._precompute(service, segments[2])  # evicts segments[1]
+    assert id(segments[0]) in engine._imu_checks
+    assert id(segments[1]) not in engine._imu_checks
+    assert id(segments[2]) in engine._imu_checks
+
+
+def test_k_zero_rejected_identically_in_both_paths(world):
+    """A falsy k=0 must raise, not silently fall back to config.k."""
+    make_engine, make_service, study, _ = world
+    scan = study.test_traces[0].initial_fingerprint.rss
+
+    # Sequential path: straight through the localizer.
+    sequential = make_service()
+    with pytest.raises(ValueError, match="must be >= 1"):
+        sequential.localizer.locate(
+            study.test_traces[0].initial_fingerprint, None, k=0
+        )
+
+    # Batched path: a prepared interval carrying k=0 through the engine.
+    engine = make_engine()
+    service = make_service()
+    engine.add_session("kay", service)
+    original = service.prepare_interval
+
+    def prepare_with_zero_k(scan, imu=None, precomputed=None):
+        prepared = original(scan, imu, precomputed=precomputed)
+        prepared.k = 0
+        return prepared
+
+    service.prepare_interval = prepare_with_zero_k
+    with pytest.raises(ValueError, match="must be >= 1"):
+        engine.tick([IntervalEvent(session_id="kay", scan=scan)])

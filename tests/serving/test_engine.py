@@ -98,10 +98,11 @@ def test_tick_serves_and_counts(world):
         ]
     )
     assert len(fixes) == 2
-    # Within one tick both lookups precede the einsum, so identical
-    # first-interval inputs both miss; the *next* tick's identical
-    # queries are pure cache hits.
-    assert engine.matcher.cache_misses == 2
+    # Identical first-interval inputs coalesce within the tick: one
+    # einsum row is computed (the miss), the duplicate subscribes to it;
+    # the *next* tick's identical queries are pure cache hits.
+    assert engine.matcher.cache_misses == 1
+    assert engine.matcher.coalesced_hits == 1
     assert engine.matcher.cache_hits == 0
     engine.tick(
         [

@@ -1,0 +1,155 @@
+"""The engine's observability surface: snapshots, phases, tick hooks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.motion.pedestrian import BodyProfile
+from repro.observability import TickProfiler
+from repro.robustness import ResilientMoLocService
+from repro.serving import BatchedServingEngine, IntervalEvent
+
+PHASES = ("prepare", "match", "transitions", "complete")
+
+
+@pytest.fixture()
+def world(small_study):
+    fingerprint_db = small_study.fingerprint_db(6)
+    motion_db, _ = small_study.motion_db(6)
+    engine = BatchedServingEngine(
+        fingerprint_db, motion_db, small_study.config
+    )
+
+    def make_service():
+        return ResilientMoLocService(
+            fingerprint_db,
+            motion_db,
+            body=BodyProfile(height_m=1.72),
+            config=small_study.config,
+        )
+
+    return engine, make_service, small_study
+
+
+def test_metrics_snapshot_shape(world):
+    engine, make_service, study = world
+    engine.add_session("ana", make_service())
+    scan = study.test_traces[0].initial_fingerprint.rss
+    engine.tick([IntervalEvent(session_id="ana", scan=scan)])
+    snapshot = engine.metrics_snapshot()
+    assert snapshot["schema"] == 1
+    assert set(snapshot) == {
+        "schema",
+        "engine",
+        "matcher",
+        "transitions",
+        "sessions",
+    }
+    for section in ("engine", "matcher", "transitions", "sessions"):
+        assert set(snapshot[section]) == {
+            "counters",
+            "gauges",
+            "histograms",
+        }
+    # JSON-plain without custom encoders.
+    assert json.loads(json.dumps(snapshot)) == snapshot
+    counters = snapshot["engine"]["counters"]
+    assert counters["engine.ticks"] == 1
+    assert counters["engine.intervals"] == 1
+    assert snapshot["engine"]["gauges"]["engine.sessions"] == 1
+    assert snapshot["engine"]["histograms"]["engine.tick.batch_size"][
+        "count"
+    ] == 1
+    assert snapshot["matcher"]["counters"]["matcher.cache_misses"] == 1
+    assert snapshot["sessions"]["counters"]["service.fixes"] == 1
+    assert (
+        snapshot["sessions"]["counters"][
+            "service.fixes_by_mode.wifi-only"
+        ]
+        == 1
+    )
+
+
+def test_counters_are_monotonic_across_ticks(world):
+    engine, make_service, study = world
+    engine.add_session("bo", make_service())
+    scan = study.test_traces[0].initial_fingerprint.rss
+    event = IntervalEvent(session_id="bo", scan=scan)
+    engine.tick([event])
+    first = engine.metrics_snapshot()
+    engine.tick([event])
+    engine.tick([event])
+    second = engine.metrics_snapshot()
+    for section in ("engine", "matcher", "transitions", "sessions"):
+        for name, value in first[section]["counters"].items():
+            assert second[section]["counters"][name] >= value, name
+    assert second["engine"]["counters"]["engine.ticks"] == 3
+    assert (
+        second["engine"]["histograms"]["engine.tick.latency_s"]["count"]
+        == 3
+    )
+
+
+def test_sessions_aggregate_tracks_membership(world):
+    engine, make_service, study = world
+    engine.add_session("carla", make_service())
+    engine.add_session("dean", make_service())
+    scan = study.test_traces[0].initial_fingerprint.rss
+    engine.tick(
+        [
+            IntervalEvent(session_id="carla", scan=scan),
+            IntervalEvent(session_id="dean", scan=scan),
+        ]
+    )
+    both = engine.metrics_snapshot()
+    assert both["sessions"]["counters"]["service.fixes"] == 2
+    engine.remove_session("dean")
+    remaining = engine.metrics_snapshot()
+    assert remaining["sessions"]["counters"]["service.fixes"] == 1
+    assert remaining["engine"]["gauges"]["engine.sessions"] == 1
+
+
+def test_last_tick_phases_are_disjoint_and_positive(world):
+    engine, make_service, study = world
+    engine.add_session("eva", make_service())
+    scan = study.test_traces[0].initial_fingerprint.rss
+    engine.tick([IntervalEvent(session_id="eva", scan=scan)])
+    phases = engine.last_tick_phases
+    assert set(phases) == set(PHASES)
+    assert all(duration >= 0.0 for duration in phases.values())
+    tick_s = engine.metrics.histogram("engine.tick.latency_s").sum
+    # The four phases partition the tick (modulo loop overhead).
+    assert sum(phases.values()) <= tick_s
+
+
+def test_profiling_hooks_receive_profiles_and_are_isolated(world):
+    engine, make_service, study = world
+    engine.add_session("finn", make_service())
+    scan = study.test_traces[0].initial_fingerprint.rss
+    event = IntervalEvent(session_id="finn", scan=scan)
+
+    profiler = TickProfiler(max_ticks=8)
+    engine.add_profiling_hook(profiler)
+
+    def broken_hook(profile):
+        raise RuntimeError("hook bug")
+
+    engine.add_profiling_hook(broken_hook)
+    engine.tick([event])
+    engine.tick([event])
+
+    assert [profile.tick for profile in profiler.profiles] == [1, 2]
+    first = profiler.profiles[0]
+    assert first.batch_size == 1
+    assert first.duration_s > 0.0
+    assert set(first.phases) == set(PHASES)
+    assert engine.metrics.counter("engine.tick_hook_errors").value == 2
+
+    engine.remove_profiling_hook(broken_hook)
+    engine.tick([event])
+    assert engine.metrics.counter("engine.tick_hook_errors").value == 2
+    assert len(profiler.profiles) == 3
+    with pytest.raises(ValueError):
+        engine.remove_profiling_hook(broken_hook)

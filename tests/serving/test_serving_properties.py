@@ -117,7 +117,7 @@ def test_match_batch_equals_sequential_select_candidates(batch, mask):
     ]
     batched = matcher.match_batch(requests)
     for (query, k), candidates in zip(batch, batched):
-        assert candidates == select_candidates(FDB, query, k, mask)
+        assert list(candidates) == select_candidates(FDB, query, k, mask)
         # Eq. 4 invariants for arbitrary candidate sets:
         total = sum(c.probability for c in candidates)
         assert all(c.probability >= 0.0 for c in candidates)
