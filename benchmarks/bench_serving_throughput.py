@@ -63,12 +63,16 @@ from repro.motion.pedestrian import BodyProfile
 from repro.observability import MetricsRegistry
 from repro.robustness.service import ResilientMoLocService
 from repro.serving import (
+    AdmissionController,
     BatchedServingEngine,
     BatchMatcher,
+    IntervalEvent,
+    ServeResult,
     TransitionEvaluator,
     build_session_services,
     serve_batched,
     throughput_report,
+    workload_checksum,
 )
 from repro.sim.evaluation import multi_session_workload
 
@@ -170,6 +174,53 @@ def test_serving_throughput(benchmark, study, report, metrics_out):
         metrics_out.write_text(
             json.dumps(snapshots, indent=2, sort_keys=True) + "\n"
         )
+
+    # Admission control on the fault-free path is a pure pass-through:
+    # the same 64-session workload through a bounded intake queue with
+    # ample capacity, into an engine with a generous tick budget, must
+    # see zero rejections, zero drops, zero deadline sheds — and the
+    # fix streams must carry the exact batched checksum.  The overload
+    # machinery costs nothing when there is no overload.
+    admission_engine = BatchedServingEngine(
+        fdb, mdb, study.config, tick_budget_s=10.0
+    )
+    admission = AdmissionController(
+        capacity=4096, metrics=admission_engine.metrics
+    )
+    admission_services = build_session_services(
+        timed_workload, fdb, mdb, study.config, resilient=True, plan=plan
+    )
+    for session_id, service in admission_services.items():
+        admission_engine.add_session(session_id, service)
+    admitted_fixes = {sid: [] for sid in admission_services}
+    n_admitted = 0
+    for tick in timed_workload.ticks:
+        for interval in tick:
+            accepted = admission.offer(
+                IntervalEvent(
+                    session_id=interval.session_id,
+                    scan=interval.scan,
+                    imu=interval.imu,
+                    sequence=interval.sequence,
+                )
+            )
+            assert accepted, "ample-capacity queue rejected an event"
+        batch = admission.drain()
+        for event, fix in zip(batch, admission_engine.tick(batch)):
+            admitted_fixes[event.session_id].append(fix)
+            n_admitted += 1
+    assert len(admission) == 0, "events stranded in the admission queue"
+    admission_counters = admission_engine.metrics.snapshot()["counters"]
+    assert admission_counters.get("admission.rejected", 0) == 0
+    assert admission_counters.get("admission.dropped", 0) == 0
+    assert admission_counters.get("engine.deadline.shed", 0) == 0
+    admitted_result = ServeResult(
+        fixes=admitted_fixes, tick_durations_s=[], n_intervals=n_admitted
+    )
+    assert (
+        workload_checksum(admitted_result)
+        == results["results"][slot]["deterministic"]["batched_checksum"]
+    ), "admission-routed fix streams diverge from the direct batched serve"
 
     # Instrumentation cost: the identical workload through an engine
     # whose every registry is disabled (shared no-op instruments) versus

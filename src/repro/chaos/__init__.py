@@ -1,0 +1,34 @@
+"""Seeded chaos engineering for the serving stack.
+
+Production serving fails in ways clean evaluation never exercises:
+dependencies throw, ticks stall, radios hand over garbage, transports
+drop / duplicate / reorder messages.  This package makes those failures
+*first-class, deterministic inputs*:
+
+* :mod:`~repro.chaos.plan` — :class:`FaultPlan`, an explicit seeded
+  schedule of :class:`FaultSpec` entries (:class:`FaultKind` taxonomy);
+* :mod:`~repro.chaos.harness` — :class:`ChaosHarness`, which executes
+  a plan against a :class:`~repro.serving.engine.BatchedServingEngine`
+  through its public seams (event list, fault-injector hook, injected
+  clock) and counts every applied fault in the metrics registry.
+
+The invariant chaos runs defend (see ``docs/robustness.md``): under any
+schedule, the engine is *never silently wrong* — faulted sessions are
+answered degraded-and-flagged, quarantined, or not at all, and
+untouched sessions' fix streams stay bitwise identical to a fault-free
+run.
+
+The ``repro chaos`` CLI subcommand runs a seeded storm end to end and
+emits the metrics document the CI chaos lane archives.
+"""
+
+from .harness import ChaosError, ChaosHarness
+from .plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = [
+    "ChaosError",
+    "ChaosHarness",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+]

@@ -1,0 +1,236 @@
+"""The chaos harness: drive a serving engine through a fault schedule.
+
+:class:`ChaosHarness` wraps a
+:class:`~repro.serving.engine.BatchedServingEngine` and executes a
+:class:`~repro.chaos.plan.FaultPlan` against it, tick by tick:
+
+* **message faults** (drop / duplicate / reorder / corrupt / truncate)
+  are applied to the event list *before* the engine sees it — the
+  harness plays the flaky transport;
+* **phase faults** (raise / latency) are delivered through the engine's
+  ``fault_injector`` hook, firing inside the targeted serving phase for
+  the targeted session — the harness plays the failing dependency;
+* **latency** is modeled by skewing the engine's injected clock forward
+  instead of sleeping, so chaos runs are fast *and* deadline shedding
+  triggers deterministically.
+
+Every fault actually applied is counted in the engine's own metrics
+registry (``chaos.injected.<kind>``), so one
+``engine.metrics_snapshot()`` documents the storm and the response —
+quarantines, sheds, evictions — side by side.  Faults whose victim has
+no event (already quarantined away, evicted, or scan-less) count as
+``chaos.skipped``: scheduled but nothing to break.
+
+The harness never reaches into the engine's internals: everything runs
+through the same public seams (events in, injector hook, clock) a
+production transport would use, which is what makes the central chaos
+invariant testable — *an engine under faults is never silently wrong*;
+every affected answer is flagged degraded, quarantined, or absent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..observability import MetricsRegistry
+from ..serving.engine import BatchedServingEngine, IntervalEvent, TickOutcome
+from .plan import MESSAGE_KINDS, FaultKind, FaultPlan, FaultSpec
+
+__all__ = ["ChaosError", "ChaosHarness"]
+
+
+class ChaosError(RuntimeError):
+    """The exception injected by RAISE faults (a session-scoped failure)."""
+
+
+def _corrupt_scan(spec: FaultSpec, scan: Sequence[float]) -> List[float]:
+    """Deterministic garbage of the original length.
+
+    Mixes the three corruption classes the sanitizer distinguishes:
+    non-finite readings, physically impossible powers, and
+    below-the-floor values.  Seeded from the fault's identity, so the
+    same plan corrupts the same way on every run.
+    """
+    rng = random.Random(f"{spec.tick}:{spec.session_id}:corrupt")
+    garbage = (float("nan"), float("inf"), 20.0, -200.0)
+    return [rng.choice(garbage) for _ in scan]
+
+
+class ChaosHarness:
+    """Runs an engine under a fault schedule.
+
+    Args:
+        engine: The engine under test.  The harness installs itself as
+            the engine's ``fault_injector`` and wraps its ``clock``;
+            both are restored by :meth:`uninstall`.
+        plan: The fault schedule.  Tick indices in the plan are engine
+            tick indices — a harness attached to a mid-life engine
+            applies the faults scheduled for the ticks it actually
+            serves.
+        metrics: Registry for the injection counters; defaults to the
+            *engine's* registry so the storm and the response share one
+            ``metrics_snapshot`` document.
+
+    Raises:
+        ValueError: if the engine already has a fault injector.
+    """
+
+    def __init__(
+        self,
+        engine: BatchedServingEngine,
+        plan: FaultPlan,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if engine.fault_injector is not None:
+            raise ValueError(
+                "engine already has a fault injector; refusing to overwrite"
+            )
+        self.engine = engine
+        self.plan = plan
+        self.metrics = metrics if metrics is not None else engine.metrics
+        self._skew_s = 0.0
+        self._pending: List[IntervalEvent] = []
+        self._base_clock = engine.clock
+        engine.clock = self._clock
+        engine.fault_injector = self._inject
+        self._c_injected: Dict[FaultKind, object] = {
+            kind: self.metrics.counter(f"chaos.injected.{kind.value}")
+            for kind in FaultKind
+        }
+        self._c_skipped = self.metrics.counter("chaos.skipped")
+        self._c_unroutable = self.metrics.counter("chaos.unroutable")
+
+    @property
+    def clock_skew_s(self) -> float:
+        """Accumulated injected latency (seconds of clock skew)."""
+        return self._skew_s
+
+    @property
+    def pending_redeliveries(self) -> int:
+        """Events held for later delivery (duplicates and reorders)."""
+        return len(self._pending)
+
+    def uninstall(self) -> None:
+        """Detach from the engine (restore its clock and injector)."""
+        self.engine.clock = self._base_clock
+        self.engine.fault_injector = None
+
+    def _clock(self) -> float:
+        return self._base_clock() + self._skew_s
+
+    # ------------------------------------------------------------------
+    # Phase faults (delivered through the engine's injector hook)
+    # ------------------------------------------------------------------
+
+    def _inject(self, phase: str, session_id: str) -> None:
+        for spec in self.plan.faults_at(self.engine.tick_index):
+            if spec.session_id != session_id or spec.phase != phase:
+                continue
+            if spec.kind is FaultKind.LATENCY:
+                self._skew_s += spec.magnitude
+                self._c_injected[spec.kind].inc()
+            elif spec.kind is FaultKind.RAISE:
+                self._c_injected[spec.kind].inc()
+                raise ChaosError(
+                    f"injected failure in {phase!r} for session "
+                    f"{session_id!r} (tick {spec.tick})"
+                )
+
+    # ------------------------------------------------------------------
+    # Message faults (applied to the event list before the tick)
+    # ------------------------------------------------------------------
+
+    def _apply_message_faults(
+        self, tick_index: int, events: Sequence[IntervalEvent]
+    ) -> List[IntervalEvent]:
+        mutable = list(events)
+
+        # Redeliveries from earlier duplicate/reorder faults join the
+        # first tick whose batch has room for their session (one event
+        # per session per tick).
+        if self._pending:
+            present = {event.session_id for event in mutable}
+            still_pending: List[IntervalEvent] = []
+            for event in self._pending:
+                if event.session_id in present:
+                    still_pending.append(event)
+                else:
+                    mutable.append(event)
+                    present.add(event.session_id)
+            self._pending = still_pending
+
+        for spec in self.plan.faults_at(tick_index):
+            if spec.kind not in MESSAGE_KINDS:
+                continue
+            slot = next(
+                (
+                    index
+                    for index, event in enumerate(mutable)
+                    if event.session_id == spec.session_id
+                ),
+                None,
+            )
+            if slot is None:
+                self._c_skipped.inc()
+                continue
+            event = mutable[slot]
+            if spec.kind is FaultKind.DROP_MESSAGE:
+                del mutable[slot]
+            elif spec.kind is FaultKind.DUPLICATE_MESSAGE:
+                self._pending.append(event)
+            elif spec.kind is FaultKind.REORDER_MESSAGE:
+                del mutable[slot]
+                self._pending.append(event)
+            elif spec.kind is FaultKind.CORRUPT_SCAN:
+                if event.scan is None:
+                    self._c_skipped.inc()
+                    continue
+                mutable[slot] = IntervalEvent(
+                    session_id=event.session_id,
+                    scan=_corrupt_scan(spec, event.scan),
+                    imu=event.imu,
+                    sequence=event.sequence,
+                )
+            elif spec.kind is FaultKind.TRUNCATE_SCAN:
+                if event.scan is None:
+                    self._c_skipped.inc()
+                    continue
+                scan = list(event.scan)
+                mutable[slot] = IntervalEvent(
+                    session_id=event.session_id,
+                    scan=scan[: max(1, len(scan) // 2)],
+                    imu=event.imu,
+                    sequence=event.sequence,
+                )
+            self._c_injected[spec.kind].inc()
+
+        # Events for sessions the engine no longer knows (evicted by an
+        # earlier strike-out) would be a scheduling bug to the engine;
+        # to the transport they are unroutable messages.
+        routable = []
+        for event in mutable:
+            if event.session_id in self.engine.sessions:
+                routable.append(event)
+            else:
+                self._c_unroutable.inc()
+        return routable
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def tick(self, events: Sequence[IntervalEvent]) -> List[object]:
+        """Serve one tick through the storm (see engine ``tick``)."""
+        return self.tick_detailed(events).fixes
+
+    def tick_detailed(self, events: Sequence[IntervalEvent]) -> TickOutcome:
+        """Serve one tick through the storm, reporting the full outcome.
+
+        Note the returned ``fixes`` align with the *post-fault* event
+        list (drops and redeliveries change it), not the caller's
+        input; correlate streams by session id, not by slot.
+        """
+        upcoming = self.engine.tick_index + 1
+        faulted_events = self._apply_message_faults(upcoming, events)
+        return self.engine.tick_detailed(faulted_events)

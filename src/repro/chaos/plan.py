@@ -1,0 +1,233 @@
+"""Deterministic fault schedules: what breaks, when, for whom.
+
+A chaos run is only a test if it can be re-run: every fault the harness
+injects is decided up front by a :class:`FaultPlan` — an explicit,
+serializable schedule of :class:`FaultSpec` entries — never by a dice
+roll at injection time.  :meth:`FaultPlan.random` *generates* schedules
+pseudo-randomly, but from a seed and before serving starts, so the same
+seed always yields the same storm; the CI chaos lane stores the plan
+alongside the metrics artifact for exact reproduction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+
+
+class FaultKind(Enum):
+    """One class of injectable fault."""
+
+    RAISE = "raise"
+    """Raise an exception inside one of the engine's serving phases for
+    the victim session (exercises quarantine/backoff/eviction)."""
+
+    LATENCY = "latency"
+    """A latency spike while serving the victim: the engine's clock
+    jumps forward by ``magnitude`` seconds (exercises the tick budget
+    and deadline shedding, without real sleeps)."""
+
+    CORRUPT_SCAN = "corrupt-scan"
+    """The victim's scan values are overwritten with garbage — NaNs,
+    out-of-range powers — of the original length (exercises the scan
+    sanitizer; plain sessions raise and quarantine)."""
+
+    TRUNCATE_SCAN = "truncate-scan"
+    """The victim's scan loses its second half (malformed length:
+    resilient sessions coast, plain sessions raise)."""
+
+    DROP_MESSAGE = "drop-message"
+    """The victim's event for the tick never arrives."""
+
+    DUPLICATE_MESSAGE = "duplicate-message"
+    """The victim's event is re-delivered on a later tick (same
+    sequence number; exercises idempotent replay)."""
+
+    REORDER_MESSAGE = "reorder-message"
+    """The victim's event is delayed past its successor (the consumer
+    sees a delivery gap, then a stale message)."""
+
+
+# Kinds that target the message transport (applied to the event list
+# before the tick) vs. the serving phases (applied via the engine's
+# fault injector hook).
+MESSAGE_KINDS = (
+    FaultKind.CORRUPT_SCAN,
+    FaultKind.TRUNCATE_SCAN,
+    FaultKind.DROP_MESSAGE,
+    FaultKind.DUPLICATE_MESSAGE,
+    FaultKind.REORDER_MESSAGE,
+)
+PHASE_KINDS = (FaultKind.RAISE, FaultKind.LATENCY)
+
+_PHASES = ("prepare", "match", "complete")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes:
+        tick: The 1-based engine tick index the fault strikes on
+            (matching
+            :attr:`~repro.serving.engine.BatchedServingEngine.tick_index`
+            during the tick).
+        session_id: The victim session.
+        kind: What breaks.
+        phase: For :attr:`FaultKind.RAISE` / :attr:`FaultKind.LATENCY`:
+            which serving phase the injection fires in (``prepare`` /
+            ``match`` / ``complete``).  Ignored for message faults.
+        magnitude: Kind-specific size — seconds of latency for
+            :attr:`FaultKind.LATENCY`, unused otherwise.
+    """
+
+    tick: int
+    session_id: str
+    kind: FaultKind
+    phase: str = "prepare"
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tick < 1:
+            raise ValueError(f"tick must be >= 1, got {self.tick}")
+        if self.kind in PHASE_KINDS and self.phase not in _PHASES:
+            raise ValueError(
+                f"phase must be one of {_PHASES}, got {self.phase!r}"
+            )
+        if self.kind is FaultKind.LATENCY and self.magnitude <= 0:
+            raise ValueError(
+                f"latency magnitude must be positive, got {self.magnitude}"
+            )
+
+
+class FaultPlan:
+    """An immutable schedule of faults, indexed by tick.
+
+    Args:
+        faults: The scheduled faults, any order; at most one fault per
+            (tick, session) pair — chaos measures the system's response
+            to a fault, and stacking two on the same victim in the same
+            tick makes the response unattributable.
+    """
+
+    def __init__(self, faults: Sequence[FaultSpec] = ()) -> None:
+        seen = set()
+        for fault in faults:
+            key = (fault.tick, fault.session_id)
+            if key in seen:
+                raise ValueError(
+                    f"multiple faults scheduled for session "
+                    f"{fault.session_id!r} on tick {fault.tick}"
+                )
+            seen.add(key)
+        by_tick: Dict[int, List[FaultSpec]] = {}
+        for fault in sorted(faults, key=lambda f: (f.tick, f.session_id)):
+            by_tick.setdefault(fault.tick, []).append(fault)
+        self._by_tick: Dict[int, Tuple[FaultSpec, ...]] = {
+            tick: tuple(entries) for tick, entries in by_tick.items()
+        }
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_tick.values())
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        for tick in sorted(self._by_tick):
+            yield from self._by_tick[tick]
+
+    def faults_at(self, tick: int) -> Tuple[FaultSpec, ...]:
+        """The faults scheduled for one tick (possibly empty)."""
+        return self._by_tick.get(tick, ())
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_ticks: int,
+        session_ids: Sequence[str],
+        rate: float = 0.1,
+        kinds: Optional[Sequence[FaultKind]] = None,
+        phases: Sequence[str] = _PHASES,
+        latency_s: float = 0.05,
+    ) -> "FaultPlan":
+        """A seeded storm: each (tick, session) faults with probability ``rate``.
+
+        Deterministic in its arguments — the schedule is drawn from a
+        private :class:`random.Random` seeded once, so the same call
+        produces the same plan on every machine and run.
+
+        Args:
+            seed: The storm's identity.
+            n_ticks: Ticks 1..n_ticks are eligible.
+            session_ids: The victim pool.
+            rate: Per-(tick, session) fault probability.
+            kinds: Fault kinds to draw from (default: all).
+            phases: Phases RAISE/LATENCY faults may target.
+            latency_s: Magnitude of LATENCY faults.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if n_ticks < 1:
+            raise ValueError(f"n_ticks must be >= 1, got {n_ticks}")
+        pool = list(kinds) if kinds is not None else list(FaultKind)
+        if not pool:
+            raise ValueError("need at least one fault kind to draw from")
+        rng = random.Random(seed)
+        faults: List[FaultSpec] = []
+        for tick in range(1, n_ticks + 1):
+            for session_id in session_ids:
+                if rng.random() >= rate:
+                    continue
+                kind = rng.choice(pool)
+                faults.append(
+                    FaultSpec(
+                        tick=tick,
+                        session_id=session_id,
+                        kind=kind,
+                        phase=rng.choice(list(phases)),
+                        magnitude=(
+                            latency_s if kind is FaultKind.LATENCY else 0.0
+                        ),
+                    )
+                )
+        return cls(faults)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize the schedule (CI artifact / exact reproduction)."""
+        return {
+            "kind": "fault_plan",
+            "format_version": 1,
+            "faults": [
+                {
+                    "tick": fault.tick,
+                    "session_id": fault.session_id,
+                    "fault": fault.kind.value,
+                    "phase": fault.phase,
+                    "magnitude": fault.magnitude,
+                }
+                for fault in self
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a schedule written by :meth:`to_dict`."""
+        if payload.get("kind") != "fault_plan":
+            raise ValueError(
+                f"expected a 'fault_plan' document, got {payload.get('kind')!r}"
+            )
+        return cls(
+            [
+                FaultSpec(
+                    tick=int(entry["tick"]),
+                    session_id=entry["session_id"],
+                    kind=FaultKind(entry["fault"]),
+                    phase=entry["phase"],
+                    magnitude=float(entry["magnitude"]),
+                )
+                for entry in payload["faults"]
+            ]
+        )

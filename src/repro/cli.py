@@ -12,9 +12,14 @@ Commands:
   loading databases produced by ``build-db``.
 * ``metrics`` — serve a small batched workload and print the engine's
   observability snapshot (``metrics_snapshot``) as JSON.
+* ``chaos`` — serve a batched workload under a seeded fault schedule
+  (the :mod:`repro.chaos` harness) and print one JSON document with the
+  plan, the per-kind injection counts, the engine's quarantine/shed
+  response, and the full metrics snapshot.  The CI chaos lane archives
+  this document as its artifact.
 
 All commands are deterministic given ``--seed`` (wall-clock metrics in
-``metrics`` output excepted).
+``metrics``/``chaos`` output excepted).
 """
 
 from __future__ import annotations
@@ -163,6 +168,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the JSON document here",
     )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="serve a batched workload under a seeded fault schedule and "
+        "print the chaos report as JSON",
+    )
+    chaos.add_argument(
+        "--sessions", type=int, default=8, help="concurrent sessions (default 8)"
+    )
+    chaos.add_argument(
+        "--corpus-size",
+        type=int,
+        default=4,
+        help="distinct walks replayed (default 4)",
+    )
+    chaos.add_argument(
+        "--n-aps", type=int, default=6, help="AP count (default 6)"
+    )
+    chaos.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="fault-schedule seed (default 0; the study seed stays --seed)",
+    )
+    chaos.add_argument(
+        "--rate",
+        type=float,
+        default=0.1,
+        help="per-(tick, session) fault probability (default 0.1)",
+    )
+    chaos.add_argument(
+        "--tick-budget-ms",
+        type=float,
+        default=None,
+        help="per-tick completion budget in ms (default: no shedding)",
+    )
+    chaos.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the JSON document here",
+    )
     return parser
 
 
@@ -200,6 +247,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.sessions,
             args.corpus_size,
             args.n_aps,
+            args.output,
+        )
+    if args.command == "chaos":
+        return _chaos(
+            _study_from(args),
+            args.sessions,
+            args.corpus_size,
+            args.n_aps,
+            args.chaos_seed,
+            args.rate,
+            args.tick_budget_ms,
             args.output,
         )
     raise AssertionError(f"unhandled command {args.command!r}")
@@ -407,6 +465,108 @@ def _metrics(
     serve_batched(engine, workload, services)
     document = dict(engine.metrics_snapshot())
     document["workload"] = workload_registry.snapshot()
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    return 0
+
+
+def _chaos(
+    study: Study,
+    n_sessions: int,
+    corpus_size: int,
+    n_aps: int,
+    chaos_seed: int,
+    rate: float,
+    tick_budget_ms: Optional[float],
+    output: Optional[Path],
+) -> int:
+    """Serve a workload under a seeded storm, print the chaos report."""
+    import json
+
+    from .chaos import ChaosHarness, FaultPlan
+    from .serving import (
+        BatchedServingEngine,
+        IntervalEvent,
+        build_session_services,
+    )
+    from .sim.evaluation import multi_session_workload
+
+    fingerprint_db = study.fingerprint_db(n_aps)
+    motion_db, _ = study.motion_db(n_aps)
+    workload = multi_session_workload(
+        study.test_traces,
+        n_sessions,
+        corpus_size=min(corpus_size, n_sessions),
+        stagger_ticks=2,
+    )
+    services = build_session_services(
+        workload,
+        fingerprint_db,
+        motion_db,
+        study.config,
+        resilient=True,
+        plan=study.scenario.plan,
+    )
+    engine = BatchedServingEngine(
+        fingerprint_db,
+        motion_db,
+        study.config,
+        tick_budget_s=(
+            None if tick_budget_ms is None else tick_budget_ms / 1e3
+        ),
+    )
+    plan = FaultPlan.random(
+        seed=chaos_seed,
+        n_ticks=len(workload.ticks),
+        session_ids=sorted(workload.sessions),
+        rate=rate,
+    )
+    harness = ChaosHarness(engine, plan)
+    for session_id, service in services.items():
+        engine.add_session(session_id, service)
+    totals = {
+        "served": 0,
+        "faulted": 0,
+        "quarantined": 0,
+        "duplicates": 0,
+        "stale": 0,
+        "shed": 0,
+        "evicted": 0,
+    }
+    for tick in workload.ticks:
+        outcome = harness.tick_detailed(
+            [
+                IntervalEvent(
+                    session_id=interval.session_id,
+                    scan=interval.scan,
+                    imu=interval.imu,
+                    sequence=interval.sequence,
+                )
+                for interval in tick
+            ]
+        )
+        totals["served"] += len(outcome.served)
+        totals["faulted"] += len(outcome.faulted)
+        totals["quarantined"] += len(outcome.quarantined)
+        totals["duplicates"] += len(outcome.duplicates)
+        totals["stale"] += len(outcome.stale)
+        totals["shed"] += len(outcome.shed)
+        totals["evicted"] += len(outcome.evicted)
+    document = {
+        "report": "chaos",
+        "chaos_seed": chaos_seed,
+        "rate": rate,
+        "sessions": n_sessions,
+        "ticks": len(workload.ticks),
+        "scheduled_faults": len(plan),
+        "plan": plan.to_dict(),
+        "outcome_totals": totals,
+        "surviving_sessions": len(engine.sessions),
+        "metrics": engine.metrics_snapshot(),
+    }
     text = json.dumps(document, indent=2, sort_keys=True)
     if output is not None:
         output.parent.mkdir(parents=True, exist_ok=True)

@@ -110,6 +110,31 @@ class MoLocLocalizer:
         """Forget the retained candidate set (start a new session)."""
         self._retained = None
 
+    def state_dict(self) -> dict:
+        """The mutable session state, as a JSON-compatible dict.
+
+        Covers everything a restored localizer needs to continue the
+        exact estimate stream: the retained candidate set.  The
+        databases, config, and retention policy are construction-time
+        and travel with the deployment, not the checkpoint.
+        """
+        return {
+            "retained": (
+                None
+                if self._retained is None
+                else [[lid, p] for lid, p in self._retained]
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore session state captured by :meth:`state_dict`."""
+        retained = state["retained"]
+        self._retained = (
+            None
+            if retained is None
+            else [(int(lid), float(p)) for lid, p in retained]
+        )
+
     def seed_candidates(self, candidates: List[Tuple[int, float]]) -> None:
         """Replace the retained set with externally derived candidates.
 

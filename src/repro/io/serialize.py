@@ -17,11 +17,22 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Union
 
+import numpy as np
+
 from ..core.fingerprint import Fingerprint, FingerprintDatabase
+from ..core.localizer import EvaluatedCandidate, LocationEstimate
 from ..core.motion_db import MotionDatabase, PairStatistics
 from ..env.floorplan import FloorPlan, ReferenceLocation
 from ..env.geometry import Point, Segment
 from ..env.graph import WalkableGraph
+from ..robustness.health import (
+    FaultType,
+    HealthStatus,
+    ResilientFix,
+    ServingMode,
+)
+from ..sensors.accelerometer import AccelSignal
+from ..sensors.imu import ImuSegment
 
 __all__ = [
     "FORMAT_VERSION",
@@ -33,6 +44,12 @@ __all__ = [
     "fingerprint_db_from_dict",
     "motion_db_to_dict",
     "motion_db_from_dict",
+    "estimate_to_dict",
+    "estimate_from_dict",
+    "fix_to_dict",
+    "fix_from_dict",
+    "imu_segment_to_dict",
+    "imu_segment_from_dict",
     "save_json",
     "load_json",
 ]
@@ -205,6 +222,130 @@ def motion_db_from_dict(payload: Dict[str, Any]) -> MotionDatabase:
             n_observations=int(entry["n_observations"]),
         )
     return MotionDatabase(entries)
+
+
+# ----------------------------------------------------------------------
+# Estimates and fixes
+# ----------------------------------------------------------------------
+#
+# These serializers exist for the serving layer's write-ahead log and
+# checkpoints, where the restore contract is *bitwise* equivalence.
+# Python's json module renders floats via repr (shortest round-tripping
+# form) and parses them back with correctly-rounded float(), so plain
+# floats survive a JSON round trip bit-exactly — no hex encoding needed.
+
+
+def estimate_to_dict(estimate: LocationEstimate) -> Dict[str, Any]:
+    """Serialize a location estimate (with its full candidate set)."""
+    return {
+        **_header("location_estimate"),
+        "location_id": estimate.location_id,
+        "probability": estimate.probability,
+        "used_motion": estimate.used_motion,
+        "candidates": [
+            [
+                c.location_id,
+                c.dissimilarity,
+                c.fingerprint_probability,
+                c.probability,
+            ]
+            for c in estimate.candidates
+        ],
+    }
+
+
+def estimate_from_dict(payload: Dict[str, Any]) -> LocationEstimate:
+    """Rebuild a location estimate from its serialized form."""
+    _check_header(payload, "location_estimate")
+    return LocationEstimate(
+        location_id=int(payload["location_id"]),
+        probability=float(payload["probability"]),
+        candidates=tuple(
+            EvaluatedCandidate(
+                location_id=int(lid),
+                dissimilarity=float(dis),
+                fingerprint_probability=float(fp),
+                probability=float(p),
+            )
+            for lid, dis, fp, p in payload["candidates"]
+        ),
+        used_motion=bool(payload["used_motion"]),
+    )
+
+
+def fix_to_dict(fix: Union[LocationEstimate, ResilientFix]) -> Dict[str, Any]:
+    """Serialize a fix: a plain estimate or a health-qualified one."""
+    if isinstance(fix, ResilientFix):
+        return {
+            **_header("resilient_fix"),
+            "estimate": estimate_to_dict(fix.estimate),
+            "health": {
+                "mode": fix.health.mode.value,
+                "faults": [fault.value for fault in fix.health.faults],
+                "confidence": fix.health.confidence,
+                "masked_ap_ids": list(fix.health.masked_ap_ids),
+                "recalibrated": fix.health.recalibrated,
+            },
+        }
+    return estimate_to_dict(fix)
+
+
+def fix_from_dict(payload: Dict[str, Any]) -> Union[LocationEstimate, ResilientFix]:
+    """Rebuild whichever fix kind :func:`fix_to_dict` wrote."""
+    if payload.get("kind") == "location_estimate":
+        return estimate_from_dict(payload)
+    _check_header(payload, "resilient_fix")
+    health = payload["health"]
+    return ResilientFix(
+        estimate=estimate_from_dict(payload["estimate"]),
+        health=HealthStatus(
+            mode=ServingMode(health["mode"]),
+            faults=tuple(FaultType(value) for value in health["faults"]),
+            confidence=float(health["confidence"]),
+            masked_ap_ids=tuple(int(v) for v in health["masked_ap_ids"]),
+            recalibrated=bool(health["recalibrated"]),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# IMU segments
+# ----------------------------------------------------------------------
+
+
+def imu_segment_to_dict(segment: ImuSegment) -> Dict[str, Any]:
+    """Serialize an IMU segment (``tolist()`` keeps float64 bits exact)."""
+    gyro = segment.gyro_rates_dps
+    return {
+        **_header("imu_segment"),
+        "accel": {
+            "samples": segment.accel.samples.tolist(),
+            "rate_hz": segment.accel.rate_hz,
+            "true_step_times": segment.accel.true_step_times.tolist(),
+        },
+        "compass_readings": segment.compass_readings.tolist(),
+        "true_course_deg": segment.true_course_deg,
+        "true_distance_m": segment.true_distance_m,
+        "gyro_rates_dps": None if gyro is None else gyro.tolist(),
+    }
+
+
+def imu_segment_from_dict(payload: Dict[str, Any]) -> ImuSegment:
+    """Rebuild an IMU segment from its serialized form."""
+    _check_header(payload, "imu_segment")
+    accel = payload["accel"]
+    gyro = payload["gyro_rates_dps"]
+    return ImuSegment(
+        accel=AccelSignal(
+            samples=np.asarray(accel["samples"], dtype=float),
+            rate_hz=float(accel["rate_hz"]),
+            true_step_times=np.asarray(accel["true_step_times"], dtype=float),
+        ),
+        compass_readings=np.asarray(payload["compass_readings"], dtype=float),
+        true_course_deg=float(payload["true_course_deg"]),
+        true_distance_m=float(payload["true_distance_m"]),
+        gyro_rates_dps=None if gyro is None else np.asarray(gyro, dtype=float),
+    )
 
 
 # ----------------------------------------------------------------------

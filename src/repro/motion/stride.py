@@ -54,6 +54,24 @@ class StepLengthEstimator:
         if self.min_steps <= 0:
             raise ValueError("min_steps must be positive")
 
+    def state_dict(self) -> dict:
+        """The mutable personalization state (JSON-compatible).
+
+        The gate parameters are construction-time configuration; only
+        the learned step length and the sample tallies move.
+        """
+        return {
+            "step_length_m": self.step_length_m,
+            "samples_accepted": self._samples_accepted,
+            "samples_rejected": self._samples_rejected,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.step_length_m = float(state["step_length_m"])
+        self._samples_accepted = int(state["samples_accepted"])
+        self._samples_rejected = int(state["samples_rejected"])
+
     @property
     def samples_accepted(self) -> int:
         """Calibration samples that updated the estimate."""

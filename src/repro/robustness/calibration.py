@@ -104,6 +104,33 @@ class CalibrationMonitor:
         self._residuals.clear()
         self._evidence.clear()
 
+    def state_dict(self) -> dict:
+        """The rolling residual/evidence windows (JSON-compatible).
+
+        ``tolist()`` round-trips float64 bit patterns exactly, so a
+        restored monitor recalibrates to the bit-identical offset.
+        """
+        return {
+            "residuals": list(self._residuals),
+            "evidence": [
+                [readings.tolist(), reference]
+                for readings, reference in self._evidence
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the windows captured by :meth:`state_dict`."""
+        self._residuals = deque(
+            (float(r) for r in state["residuals"]), maxlen=self._window
+        )
+        self._evidence = deque(
+            (
+                (np.asarray(readings, dtype=float), float(reference))
+                for readings, reference in state["evidence"]
+            ),
+            maxlen=self._window,
+        )
+
     def observe(
         self,
         previous_wifi_best: Optional[int],

@@ -72,6 +72,11 @@ class FaultType(Enum):
     """Consecutive fixes farther apart than the measured motion plus
     reachability allows."""
 
+    DEADLINE_SHED = "deadline-shed"
+    """Admission control shed this interval to the WiFi-only fast path:
+    the tick's time budget was exhausted before its motion evidence could
+    be evaluated."""
+
 
 @dataclass(frozen=True)
 class HealthStatus:

@@ -112,6 +112,25 @@ class ScanSanitizer:
         """Forget the rolling per-AP statistics (new session)."""
         self._consecutive_floored = [0] * self._n_aps
 
+    def state_dict(self) -> dict:
+        """The rolling per-AP statistics, as a JSON-compatible dict."""
+        return {"consecutive_floored": list(self._consecutive_floored)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore rolling statistics captured by :meth:`state_dict`.
+
+        Raises:
+            ValueError: if the stored counters do not match this
+                sanitizer's AP count.
+        """
+        counters = [int(c) for c in state["consecutive_floored"]]
+        if len(counters) != self._n_aps:
+            raise ValueError(
+                f"checkpoint has {len(counters)} per-AP counters for a "
+                f"{self._n_aps}-AP sanitizer"
+            )
+        self._consecutive_floored = counters
+
     def sanitize(self, scan: Optional[Sequence[float]]) -> SanitizedScan:
         """Validate one scan, update rolling statistics, emit the mask.
 

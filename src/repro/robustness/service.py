@@ -178,6 +178,42 @@ class ResilientMoLocService(MoLocService):
         self._coasting_streak = 0
         self._g_coasting.set(0)
 
+    def state_dict(self) -> dict:
+        """Session state including the robustness layer's rolling state.
+
+        Extends :meth:`repro.service.MoLocService.state_dict` with the
+        sanitizer's per-AP counters, the watchdog's confidence, the
+        calibration monitor's residual window, and the fallback-chain
+        bookkeeping.  ``last_health`` is *not* checkpointed: it
+        describes the previous fix, never influences the next one, and
+        a restored session reports health again from its first served
+        interval.
+        """
+        state = super().state_dict()
+        state["kind"] = "resilient_moloc_session"
+        state["sanitizer"] = self._sanitizer.state_dict()
+        state["watchdog"] = self._watchdog.state_dict()
+        state["calibration_monitor"] = self._calibration_monitor.state_dict()
+        state["widen_next"] = self._widen_next
+        state["previous_wifi_best"] = self._previous_wifi_best
+        state["coasting_streak"] = self._coasting_streak
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore session state captured by :meth:`state_dict`."""
+        super().load_state_dict(state)
+        self._sanitizer.load_state_dict(state["sanitizer"])
+        self._watchdog.load_state_dict(state["watchdog"])
+        self._calibration_monitor.load_state_dict(
+            state["calibration_monitor"]
+        )
+        self._widen_next = bool(state["widen_next"])
+        best = state["previous_wifi_best"]
+        self._previous_wifi_best = None if best is None else int(best)
+        self._coasting_streak = int(state["coasting_streak"])
+        self._last_health = None
+        self._g_coasting.set(self._coasting_streak)
+
     def on_interval(
         self,
         scan: Optional[Sequence[float]],

@@ -109,6 +109,19 @@ class DivergenceWatchdog:
         self._confidence = 1.0
         self._previous_fix = None
 
+    def state_dict(self) -> dict:
+        """The mutable session state, as a JSON-compatible dict."""
+        return {
+            "confidence": self._confidence,
+            "previous_fix": self._previous_fix,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore session state captured by :meth:`state_dict`."""
+        self._confidence = float(state["confidence"])
+        previous = state["previous_fix"]
+        self._previous_fix = None if previous is None else int(previous)
+
     def observe(
         self, fix_id: int, measured_offset_m: Optional[float]
     ) -> WatchdogVerdict:

@@ -347,6 +347,42 @@ class MoLocService:
         self._previous_fix = None
         self._last_steps = None
 
+    def state_dict(self) -> dict:
+        """Everything a checkpoint needs to resume this session exactly.
+
+        Covers the mutable session state that influences future fixes:
+        the retained candidate set, heading calibration, stride
+        personalization, and the stride-pairing bookkeeping.  Metrics
+        registries are deliberately excluded — observability restarts
+        fresh after a crash, the estimate stream does not.
+        """
+        return {
+            "kind": "moloc_session",
+            "placement_offset_deg": self._placement_offset_deg,
+            "fix_count": self._fix_count,
+            "previous_fix": self._previous_fix,
+            "last_steps": self._last_steps,
+            "stride": self._stride.state_dict(),
+            "localizer": self._localizer.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore session state captured by :meth:`state_dict`.
+
+        The service must have been constructed against the same
+        databases and configuration the checkpointed session used; the
+        checkpoint carries state, not the deployment.
+        """
+        offset = state["placement_offset_deg"]
+        self._placement_offset_deg = None if offset is None else float(offset)
+        self._fix_count = int(state["fix_count"])
+        previous = state["previous_fix"]
+        self._previous_fix = None if previous is None else int(previous)
+        steps = state["last_steps"]
+        self._last_steps = None if steps is None else float(steps)
+        self._stride.load_state_dict(state["stride"])
+        self._localizer.load_state_dict(state["localizer"])
+
     def extract_motion(
         self, imu: ImuSegment
     ) -> Tuple[Optional[MotionMeasurement], Optional[float]]:

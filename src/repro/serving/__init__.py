@@ -14,14 +14,22 @@ one fingerprint/motion database pair.  This package multiplexes them:
 * :mod:`~repro.serving.engine` — the :class:`BatchedServingEngine`
   orchestrating prepare → match → transitions → complete each tick,
   bitwise-equivalent to per-session ``on_interval`` calls (coasting and
-  fault handling dispatch through the robustness chain untouched);
+  fault handling dispatch through the robustness chain untouched), with
+  per-session fault isolation (quarantine, backoff, eviction), sequence
+  idempotency, and deadline shedding;
+* :mod:`~repro.serving.admission` — the :class:`AdmissionController`,
+  a bounded intake queue with a load-shedding policy;
+* :mod:`~repro.serving.checkpoint` — the :class:`WriteAheadLog` and
+  :func:`recover_engine`, kill-anywhere crash recovery around
+  :meth:`BatchedServingEngine.checkpoint`;
 * :mod:`~repro.serving.benchmark` — workload drivers, per-tick timing,
   and bit-level fix-stream checksums.
 
 See ``docs/serving.md`` for the architecture and the equivalence
-argument.
+argument, and ``docs/robustness.md`` for the fault model.
 """
 
+from .admission import AdmissionController
 from .benchmark import (
     ServeResult,
     build_session_services,
@@ -33,20 +41,32 @@ from .benchmark import (
     throughput_report,
     workload_checksum,
 )
-from .engine import BatchedServingEngine, IntervalEvent
+from .checkpoint import WriteAheadLog, recover_engine
+from .engine import (
+    BatchedServingEngine,
+    IntervalEvent,
+    SessionFault,
+    TickOutcome,
+)
 from .scheduler import BatchMatcher, MatchRequest
-from .session import SessionManager, SessionRecord
+from .session import QuarantinePolicy, SessionManager, SessionRecord
 from .transitions import TransitionEvaluator
 
 __all__ = [
+    "AdmissionController",
     "BatchMatcher",
     "BatchedServingEngine",
     "IntervalEvent",
     "MatchRequest",
+    "QuarantinePolicy",
     "ServeResult",
+    "SessionFault",
     "SessionManager",
     "SessionRecord",
+    "TickOutcome",
     "TransitionEvaluator",
+    "WriteAheadLog",
+    "recover_engine",
     "build_session_services",
     "deterministic_view",
     "fix_stream_checksum",
@@ -56,3 +76,4 @@ __all__ = [
     "throughput_report",
     "workload_checksum",
 ]
+

@@ -1,0 +1,126 @@
+"""Admission control: a bounded intake queue with load shedding.
+
+The engine's tick budget bounds how much work one tick *finishes*; this
+module bounds how much work ever gets *in*.  Incoming
+:class:`~repro.serving.engine.IntervalEvent` objects queue here, and
+when arrivals outrun serving the queue sheds by policy instead of
+growing without bound:
+
+* ``reject-newest`` (default) — a full queue refuses new arrivals.
+  Favors in-flight users: whoever is already queued will be served.
+* ``drop-oldest`` — a full queue evicts its oldest entry to admit the
+  new one.  Favors freshness: a localization fix for a five-tick-old
+  scan is worth less than one for the scan that just arrived.
+
+:meth:`AdmissionController.drain` builds engine-ready batches,
+enforcing the engine's one-event-per-session-per-tick contract: a
+session's second queued event stays queued for the next tick.
+
+Everything is counted (accepted / rejected / dropped / drained, plus a
+queue-depth gauge), so a saturated deployment is visible in the same
+metrics document as the engine's own counters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..observability import MetricsRegistry
+from .engine import IntervalEvent
+
+__all__ = ["AdmissionController"]
+
+_POLICIES = ("reject-newest", "drop-oldest")
+
+
+class AdmissionController:
+    """A bounded pre-engine event queue.
+
+    Args:
+        capacity: Maximum queued events; arrivals beyond it invoke the
+            shedding policy.
+        policy: ``"reject-newest"`` or ``"drop-oldest"`` (see module
+            docstring).
+        metrics: Registry for the admission counters (a fresh one when
+            omitted).  Pass the engine's registry to surface admission
+            metrics in its ``metrics_snapshot``.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "reject-newest",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in _POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; expected one of {_POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queue: Deque[IntervalEvent] = deque()
+        self._c_accepted = self.metrics.counter("admission.accepted")
+        self._c_rejected = self.metrics.counter("admission.rejected")
+        self._c_dropped = self.metrics.counter("admission.dropped")
+        self._c_drained = self.metrics.counter("admission.drained")
+        self._g_depth = self.metrics.gauge("admission.depth")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def offer(self, event: IntervalEvent) -> bool:
+        """Try to admit one event.
+
+        Returns:
+            True if the event is queued; False if it was rejected (the
+            ``reject-newest`` policy under a full queue).  Under
+            ``drop-oldest`` the return value is always True, but the
+            displaced oldest event is gone — check
+            ``admission.dropped`` to see how often.
+        """
+        if len(self._queue) >= self.capacity:
+            if self.policy == "reject-newest":
+                self._c_rejected.inc()
+                return False
+            self._queue.popleft()
+            self._c_dropped.inc()
+        self._queue.append(event)
+        self._c_accepted.inc()
+        self._g_depth.set(len(self._queue))
+        return True
+
+    def drain(self, max_batch: Optional[int] = None) -> List[IntervalEvent]:
+        """Build the next tick's batch from the queue head.
+
+        Takes events in arrival order, at most ``max_batch`` of them,
+        and at most one per session — a session's further events are
+        left queued (in order) for subsequent ticks, mirroring the
+        engine's events-of-one-session-are-sequential contract.
+
+        Args:
+            max_batch: Optional batch-size cap; None takes everything
+                eligible.
+        """
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        batch: List[IntervalEvent] = []
+        held: List[IntervalEvent] = []
+        sessions_in_batch = set()
+        while self._queue:
+            if max_batch is not None and len(batch) >= max_batch:
+                break
+            event = self._queue.popleft()
+            if event.session_id in sessions_in_batch:
+                held.append(event)
+                continue
+            sessions_in_batch.add(event.session_id)
+            batch.append(event)
+        # Held-back events rejoin the head, original order preserved.
+        self._queue.extendleft(reversed(held))
+        self._c_drained.inc(len(batch))
+        self._g_depth.set(len(self._queue))
+        return batch

@@ -154,6 +154,7 @@ def serve_batched(
                 session_id=interval.session_id,
                 scan=interval.scan,
                 imu=interval.imu,
+                sequence=interval.sequence,
             )
             for interval in tick
         ]

@@ -1,0 +1,213 @@
+"""Crash-safe persistence for the batched serving engine.
+
+Two pieces make serving kill-anywhere recoverable:
+
+* :meth:`~repro.serving.engine.BatchedServingEngine.checkpoint` — a
+  point-in-time snapshot of every session's full state (see the method
+  for what is and is not carried);
+* the :class:`WriteAheadLog` here — every tick's events, serialized and
+  flushed to disk *before* the tick is served.
+
+Recovery (:func:`recover_engine`) loads the newest checkpoint into a
+fresh engine and replays the logged events after the checkpoint's tick
+index.  Because serving is deterministic in (session state, events),
+the replay regenerates the post-checkpoint fix stream *bitwise* — the
+kill-at-every-tick test in ``tests/serving/test_checkpoint.py`` asserts
+exactly that for every possible crash point.
+
+Two determinism caveats the replay handles:
+
+* the tick *budget* is load-dependent (wall clock), so
+  :func:`recover_engine` disables it during replay — recovery re-serves
+  what the crashed process served, it does not re-shed;
+* fault injectors are left installed: a deterministic chaos schedule
+  keyed on the tick index re-injects the same faults at the same ticks,
+  reproducing the same quarantine decisions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..io.serialize import imu_segment_from_dict, imu_segment_to_dict
+from ..service import MoLocService
+from .engine import BatchedServingEngine, IntervalEvent
+
+__all__ = [
+    "WAL_FORMAT_VERSION",
+    "event_to_dict",
+    "event_from_dict",
+    "WriteAheadLog",
+    "recover_engine",
+]
+
+WAL_FORMAT_VERSION = 1
+
+
+def event_to_dict(event: IntervalEvent) -> Dict[str, object]:
+    """Serialize one interval event (JSON floats round-trip bit-exactly)."""
+    return {
+        "session_id": event.session_id,
+        "scan": (
+            None if event.scan is None else [float(v) for v in event.scan]
+        ),
+        "imu": None if event.imu is None else imu_segment_to_dict(event.imu),
+        "sequence": event.sequence,
+    }
+
+
+def event_from_dict(payload: Dict[str, object]) -> IntervalEvent:
+    """Rebuild an interval event written by :func:`event_to_dict`."""
+    scan = payload["scan"]
+    imu = payload["imu"]
+    sequence = payload["sequence"]
+    return IntervalEvent(
+        session_id=payload["session_id"],
+        scan=None if scan is None else [float(v) for v in scan],
+        imu=None if imu is None else imu_segment_from_dict(imu),
+        sequence=None if sequence is None else int(sequence),
+    )
+
+
+class WriteAheadLog:
+    """An append-only, per-tick event log (JSON lines).
+
+    Usage discipline: call :meth:`append` with a tick's events *before*
+    handing them to the engine.  Then a crash mid-tick loses no input —
+    on recovery the logged events replay against the last checkpoint
+    and the interrupted tick simply runs again.
+
+    Each line is one tick:
+    ``{"v": 1, "tick": <index>, "events": [...]}`` where ``tick`` is
+    the engine tick index the events were served under (1-based,
+    matching :attr:`~repro.serving.engine.BatchedServingEngine.tick_index`
+    after the tick).
+
+    Args:
+        path: The log file; created (with parents) if missing, appended
+            to if present.
+        fsync: Whether to fsync after every append.  True is the
+            durability contract (survives OS crash, not just process
+            crash); tests may pass False for speed.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._handle = self._path.open("a", encoding="utf-8")
+
+    @property
+    def path(self) -> Path:
+        """The log file."""
+        return self._path
+
+    def append(
+        self, tick_index: int, events: Sequence[IntervalEvent]
+    ) -> None:
+        """Durably log one tick's events (call before serving them)."""
+        line = json.dumps(
+            {
+                "v": WAL_FORMAT_VERSION,
+                "tick": tick_index,
+                "events": [event_to_dict(event) for event in events],
+            },
+            sort_keys=True,
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def replay(self) -> Iterator[Tuple[int, List[IntervalEvent]]]:
+        """Yield every logged tick as ``(tick_index, events)``.
+
+        A torn final line (the process died mid-write) is tolerated and
+        skipped: its tick was by construction never served, and its
+        events are lost with the crash — exactly the at-most-once edge
+        the WAL-before-serve discipline bounds to one tick.
+
+        Raises:
+            ValueError: for a *well-formed* line of an unsupported
+                version (torn tails are skipped, format drift is not).
+        """
+        if not self._path.exists():
+            return
+        self._handle.flush()
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                version = payload.get("v")
+                if version != WAL_FORMAT_VERSION:
+                    raise ValueError(
+                        f"unsupported WAL version {version} "
+                        f"(supported: {WAL_FORMAT_VERSION})"
+                    )
+                yield (
+                    int(payload["tick"]),
+                    [event_from_dict(entry) for entry in payload["events"]],
+                )
+
+    def events_after(
+        self, tick_index: int
+    ) -> Iterator[Tuple[int, List[IntervalEvent]]]:
+        """Logged ticks strictly after ``tick_index``, in order."""
+        for tick, events in self.replay():
+            if tick > tick_index:
+                yield tick, events
+
+
+def recover_engine(
+    engine: BatchedServingEngine,
+    checkpoint: Dict[str, object],
+    wal: WriteAheadLog,
+    make_service: Callable[[str], MoLocService],
+) -> int:
+    """Restore a checkpoint into a fresh engine and replay the WAL tail.
+
+    Args:
+        engine: A freshly constructed engine (same databases/config as
+            the crashed one; no sessions yet).
+        checkpoint: The newest available
+            :meth:`~repro.serving.engine.BatchedServingEngine.checkpoint`.
+        wal: The write-ahead log the crashed process appended to.
+        make_service: Per-session service factory, as in
+            :meth:`~repro.serving.engine.BatchedServingEngine.restore`.
+
+    Returns:
+        The number of ticks replayed from the log.
+
+    The tick budget is suspended for the replay: shedding is a
+    load-shedding response to *live* overload, and replaying a backlog
+    as fast as possible must not re-shed (or shed differently than) the
+    original run — determinism of the recovered state wins.
+    """
+    engine.restore(checkpoint, make_service)
+    budget, engine.tick_budget_s = engine.tick_budget_s, None
+    replayed = 0
+    try:
+        for _, events in wal.events_after(engine.tick_index):
+            engine.tick(events)
+            replayed += 1
+    finally:
+        engine.tick_budget_s = budget
+    return replayed

@@ -29,12 +29,27 @@ bitwise-equivalent to calling ``service.on_interval`` per session — the
 golden-trace tests in ``tests/serving/`` assert exactly that, fault
 injection included.
 
+On top of the batching, the engine is *fault-isolated per session*: an
+exception raised while preparing or completing one session's interval
+quarantines that session (exponential backoff, N-strike eviction —
+see :class:`~repro.serving.session.QuarantinePolicy`) instead of
+aborting the batch; :meth:`BatchedServingEngine.tick_detailed` reports
+the partial outcome.  Sequence numbers on
+:class:`IntervalEvent` make duplicate deliveries idempotent and drop
+stale reordered ones.  A per-tick time budget
+(``tick_budget_s``) sheds late completions to the WiFi-only fast path,
+and :meth:`BatchedServingEngine.checkpoint` /
+:meth:`BatchedServingEngine.restore` serialize the whole multi-session
+state for crash recovery (see :mod:`repro.serving.checkpoint` for the
+write-ahead log that makes recovery kill-anywhere exact).
+
 The engine is instrumented end to end through
 :mod:`repro.observability`: tick latency and batch-size histograms,
-per-phase span timing, cache and memo hit/miss counters, and an
-aggregated per-session view — all surfaced by
-:meth:`BatchedServingEngine.metrics_snapshot` as one JSON-serializable
-document (see ``docs/observability.md`` for the schema).
+per-phase span timing, cache and memo hit/miss counters, quarantine
+and shed counters, and an aggregated per-session view — all surfaced
+by :meth:`BatchedServingEngine.metrics_snapshot` as one
+JSON-serializable document (see ``docs/observability.md`` for the
+schema).
 """
 
 from __future__ import annotations
@@ -42,12 +57,13 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import MoLocConfig
 from ..core.fingerprint import FingerprintDatabase
 from ..core.matching import Candidate
 from ..core.motion_db import MotionDatabase
+from ..io.serialize import fix_from_dict, fix_to_dict
 from ..observability import (
     DEFAULT_SIZE_BUCKETS,
     MetricsRegistry,
@@ -55,17 +71,31 @@ from ..observability import (
     TickHook,
     TickProfile,
 )
+from ..robustness.health import FaultType, ServingMode
 from ..robustness.sanitizer import check_imu
-from ..robustness.service import ResilientMoLocService
+from ..robustness.service import ResilientMoLocService, ResilientPreparedInterval
 from ..sensors.imu import ImuSegment
 from ..service import MoLocService, PrecomputedInputs, PreparedInterval
 from .scheduler import BatchMatcher, MatchRequest
-from .session import SessionManager, SessionRecord
+from .session import QuarantinePolicy, SessionManager, SessionRecord
 from .transitions import TransitionEvaluator
 
-__all__ = ["IntervalEvent", "BatchedServingEngine"]
+__all__ = [
+    "IntervalEvent",
+    "SessionFault",
+    "TickOutcome",
+    "BatchedServingEngine",
+    "CHECKPOINT_FORMAT_VERSION",
+]
 
 _PHASES = ("prepare", "match", "transitions", "complete")
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+# Exceptions that must never be swallowed by per-session isolation or
+# hook error-shielding: they signal process-level failure (exhausted
+# memory, a blown stack), not a fault scoped to one session's inputs.
+_NON_ISOLABLE = (MemoryError, RecursionError)
 
 
 @dataclass(frozen=True)
@@ -77,11 +107,71 @@ class IntervalEvent:
         scan: The WiFi scan, or None if none arrived (resilient
             sessions coast; plain sessions raise, as sequentially).
         imu: The IMU segment since the session's previous interval.
+        sequence: Optional per-session monotonic sequence number.  When
+            supplied, the engine detects duplicate deliveries (same
+            number as the last served event — answered idempotently
+            from the cached fix) and stale reordered ones (smaller
+            number — dropped), and counts delivery gaps.  None opts the
+            event out of ordering checks entirely.
     """
 
     session_id: str
     scan: Optional[Sequence[float]]
     imu: Optional[ImuSegment] = None
+    sequence: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SessionFault:
+    """One session's failure during one tick.
+
+    Attributes:
+        session_id: The faulting session.
+        phase: Which phase raised (``prepare`` / ``match`` /
+            ``complete``).
+        error: ``repr`` of the exception.
+        strikes: The session's consecutive-fault count after this one.
+        action: ``"quarantined"`` or ``"evicted"``.
+        backoff_ticks: Quarantine length granted (0 when evicted).
+    """
+
+    session_id: str
+    phase: str
+    error: str
+    strikes: int
+    action: str
+    backoff_ticks: int
+
+
+@dataclass(frozen=True)
+class TickOutcome:
+    """The full report of one tick's partial success.
+
+    ``fixes`` aligns with the event list: a fix object where the event
+    was served (or answered from the duplicate cache), None where it
+    was not (faulted, quarantined, or dropped as stale).  The remaining
+    fields say *why* each non-served slot is empty.
+
+    Attributes:
+        fixes: One entry per event, in event order.
+        served: Session ids served fresh this tick (includes shed ones).
+        faulted: Per-session failures, in event order.
+        quarantined: Session ids skipped because they were quarantined.
+        duplicates: Session ids answered idempotently from the cache.
+        stale: Session ids whose event was dropped as out-of-order.
+        shed: Session ids degraded to the WiFi-only fast path by the
+            tick budget.
+        evicted: Session ids removed after reaching the strike limit.
+    """
+
+    fixes: List[object]
+    served: Tuple[str, ...]
+    faulted: Tuple[SessionFault, ...]
+    quarantined: Tuple[str, ...]
+    duplicates: Tuple[str, ...]
+    stale: Tuple[str, ...]
+    shed: Tuple[str, ...]
+    evicted: Tuple[str, ...]
 
 
 class BatchedServingEngine:
@@ -109,6 +199,21 @@ class BatchedServingEngine:
             when omitted).  Default-constructed matchers and transition
             evaluators get their own registries; all of them surface
             through :meth:`metrics_snapshot`.
+        quarantine: Fault-isolation policy (strikes, backoff, eviction);
+            defaults to :class:`~repro.serving.session.QuarantinePolicy`.
+        tick_budget_s: Optional per-tick wall-clock budget.  Once a
+            tick's completion loop crosses it, remaining motion-assisted
+            completions are shed to the WiFi-only fast path (resilient
+            sessions flag the fix ``DEADLINE_SHED``); None disables
+            shedding.
+        clock: Monotonic time source for tick timing and the budget.
+            Injectable so deadline behavior is testable without real
+            sleeps, and so the chaos harness can model latency spikes.
+        fault_injector: Optional hook ``(phase, session_id) -> None``
+            called before each session's work in each phase; exceptions
+            it raises are handled exactly like session faults.  The
+            chaos harness installs its schedule here; None (the
+            default) costs nothing.
     """
 
     def __init__(
@@ -121,6 +226,10 @@ class BatchedServingEngine:
         motion_memo_size: int = 4096,
         estimate_cache_size: int = 16384,
         metrics: Optional[MetricsRegistry] = None,
+        quarantine: Optional[QuarantinePolicy] = None,
+        tick_budget_s: Optional[float] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        fault_injector: Optional[Callable[[str, str], None]] = None,
     ) -> None:
         if motion_memo_size < 0:
             raise ValueError(
@@ -129,6 +238,10 @@ class BatchedServingEngine:
         if estimate_cache_size < 0:
             raise ValueError(
                 f"estimate_cache_size must be >= 0, got {estimate_cache_size}"
+            )
+        if tick_budget_s is not None and tick_budget_s <= 0:
+            raise ValueError(
+                f"tick_budget_s must be positive or None, got {tick_budget_s}"
             )
         self._fingerprint_db = fingerprint_db
         self._motion_db = motion_db
@@ -139,6 +252,11 @@ class BatchedServingEngine:
         self.transitions = transitions or TransitionEvaluator(
             motion_db, config
         )
+        self.quarantine_policy = quarantine or QuarantinePolicy()
+        self.tick_budget_s = tick_budget_s
+        self.clock = clock
+        self.fault_injector = fault_injector
+        self._tick_index = 0
         self._motion_memo_size = motion_memo_size
         # (segment identity, motion_state_key) -> (measurement, steps),
         # LRU.  _motion_refs pins each segment object while _ref_pins
@@ -173,6 +291,25 @@ class BatchedServingEngine:
         self._c_imu_misses = self.metrics.counter("engine.memo.imu_misses")
         self._c_memo_evictions = self.metrics.counter("engine.memo.evictions")
         self._c_hook_errors = self.metrics.counter("engine.tick_hook_errors")
+        self._c_faults = self.metrics.counter("engine.quarantine.faults")
+        self._c_quarantined = self.metrics.counter(
+            "engine.quarantine.entered"
+        )
+        self._c_quarantine_skips = self.metrics.counter(
+            "engine.quarantine.skipped"
+        )
+        self._c_evictions = self.metrics.counter(
+            "engine.quarantine.evictions"
+        )
+        self._c_recoveries = self.metrics.counter(
+            "engine.quarantine.recoveries"
+        )
+        self._c_seq_duplicates = self.metrics.counter(
+            "engine.sequence.duplicates"
+        )
+        self._c_seq_stale = self.metrics.counter("engine.sequence.stale")
+        self._c_seq_gaps = self.metrics.counter("engine.sequence.gaps")
+        self._c_shed = self.metrics.counter("engine.deadline.shed")
         self._h_tick = self.metrics.histogram("engine.tick.latency_s")
         self._h_batch = self.metrics.histogram(
             "engine.tick.batch_size", DEFAULT_SIZE_BUCKETS
@@ -198,6 +335,17 @@ class BatchedServingEngine:
     def ticks_served(self) -> int:
         """How many ticks :meth:`tick` has processed."""
         return self._c_ticks.value
+
+    @property
+    def tick_index(self) -> int:
+        """The durable tick counter (survives checkpoint/restore).
+
+        Unlike :attr:`ticks_served` this is *state*, not a metric: the
+        quarantine expiries reference it and the write-ahead log is
+        indexed by it, so :meth:`restore` resumes it while the metrics
+        registry restarts fresh.
+        """
+        return self._tick_index
 
     @property
     def intervals_served(self) -> int:
@@ -230,7 +378,8 @@ class BatchedServingEngine:
         :class:`~repro.observability.TickProfile` after every tick
         (outside the timed region).  Hooks are error-isolated: a raising
         hook increments ``engine.tick_hook_errors`` instead of failing
-        the tick.
+        the tick — except for process-level failures (``MemoryError``,
+        ``RecursionError``), which are never hook-scoped and propagate.
         """
         self._tick_hooks.append(hook)
 
@@ -297,6 +446,105 @@ class BatchedServingEngine:
         self._g_sessions.set(len(self.sessions))
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Serialize the engine's full multi-session state.
+
+        The checkpoint carries everything a fresh engine needs to
+        resume serving with bitwise-identical estimate streams: every
+        session's service state (retained candidates, calibration,
+        stride, robustness rolling state), the serving bookkeeping
+        (sequence numbers, strike counts, quarantine expiries, the
+        cached last fix for duplicate replies), and the durable tick
+        index.  Deliberately *not* carried: metrics (observability
+        restarts fresh), caches and memos (value-transparent — a cold
+        cache recomputes bitwise-equal results), and deployment objects
+        (databases, config, services themselves — :meth:`restore` takes
+        a factory for those).
+
+        Returns:
+            A JSON-compatible dict (round-trips through
+            :func:`repro.io.serialize.save_json`).
+        """
+        return {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "kind": "engine_checkpoint",
+            "tick_index": self._tick_index,
+            "sessions": [
+                {
+                    "session_id": record.session_id,
+                    "service": record.service.state_dict(),
+                    "intervals_served": record.intervals_served,
+                    "last_sequence": record.last_sequence,
+                    "strikes": record.strikes,
+                    "quarantined_until": record.quarantined_until,
+                    "last_fix": (
+                        None
+                        if record.last_fix is None
+                        else fix_to_dict(record.last_fix)
+                    ),
+                }
+                for record in self.sessions
+            ],
+        }
+
+    def restore(
+        self,
+        checkpoint: Dict[str, object],
+        make_service: Callable[[str], MoLocService],
+    ) -> None:
+        """Load a :meth:`checkpoint` into this (fresh) engine.
+
+        Args:
+            checkpoint: A dict produced by :meth:`checkpoint`.
+            make_service: Factory called once per checkpointed session
+                id; it must construct the same *kind* of service
+                against the same databases and config the crashed
+                process used (the checkpoint carries state, not the
+                deployment).  The restored state is then loaded into
+                the fresh service via ``load_state_dict``.
+
+        Raises:
+            ValueError: for a wrong kind/version, or if this engine
+                already has sessions (restore targets a fresh engine).
+        """
+        if checkpoint.get("kind") != "engine_checkpoint":
+            raise ValueError(
+                "expected an 'engine_checkpoint' document, got "
+                f"{checkpoint.get('kind')!r}"
+            )
+        version = checkpoint.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version} "
+                f"(supported: {CHECKPOINT_FORMAT_VERSION})"
+            )
+        if len(self.sessions):
+            raise ValueError(
+                "restore requires a fresh engine; this one already has "
+                f"{len(self.sessions)} session(s)"
+            )
+        for entry in checkpoint["sessions"]:
+            session_id = entry["session_id"]
+            service = make_service(session_id)
+            service.load_state_dict(entry["service"])
+            record = self.add_session(session_id, service)
+            record.intervals_served = int(entry["intervals_served"])
+            last_sequence = entry["last_sequence"]
+            record.last_sequence = (
+                None if last_sequence is None else int(last_sequence)
+            )
+            record.strikes = int(entry["strikes"])
+            record.quarantined_until = int(entry["quarantined_until"])
+            last_fix = entry["last_fix"]
+            record.last_fix = (
+                None if last_fix is None else fix_from_dict(last_fix)
+            )
+        self._tick_index = int(checkpoint["tick_index"])
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
 
@@ -309,13 +557,38 @@ class BatchedServingEngine:
                 tick are a scheduling bug).
 
         Returns:
-            One fix per event, in event order —
+            One entry per event, in event order — a
             :class:`~repro.core.localizer.LocationEstimate` for plain
-            sessions, :class:`~repro.robustness.ResilientFix` for
+            sessions, a :class:`~repro.robustness.ResilientFix` for
             resilient ones; exactly what ``service.on_interval`` would
-            have returned.
+            have returned.  A slot is None when its session could not
+            be served this tick (faulted and quarantined, already
+            quarantined, or a stale out-of-order delivery); see
+            :meth:`tick_detailed` for the full report.
+
+        Raises:
+            KeyError: for an event naming an unknown session (a
+                scheduling bug, not a session fault).
+            ValueError: for two events naming the same session.
         """
-        tick_started = time.perf_counter()
+        return self.tick_detailed(events).fixes
+
+    def tick_detailed(self, events: Sequence[IntervalEvent]) -> TickOutcome:
+        """Serve one tick and report its partial outcome.
+
+        Identical serving behavior to :meth:`tick`; additionally
+        reports which sessions were served, faulted, quarantined,
+        answered idempotently, dropped as stale, shed to the fast
+        path, or evicted.
+        """
+        tick_started = self.clock()
+        self._tick_index += 1
+        tick_index = self._tick_index
+        deadline = (
+            None
+            if self.tick_budget_s is None
+            else tick_started + self.tick_budget_s
+        )
         seen = set()
         for event in events:
             if event.session_id in seen:
@@ -325,28 +598,102 @@ class BatchedServingEngine:
                 )
             seen.add(event.session_id)
 
-        # Phase 1: per-session triage (+ shared motion extraction).
-        records: List[SessionRecord] = []
-        prepared_list: List[PreparedInterval] = []
-        with self.tracer.span("prepare"):
-            for event in events:
-                record = self.sessions.get(event.session_id)
-                precomputed = self._precompute(record.service, event.imu)
-                prepared = record.service.prepare_interval(
-                    event.scan, event.imu, precomputed=precomputed
+        n = len(events)
+        fixes: List[object] = [None] * n
+        records: List[Optional[SessionRecord]] = [None] * n
+        prepared_list: List[Optional[PreparedInterval]] = [None] * n
+        served: List[str] = []
+        faulted: List[SessionFault] = []
+        quarantined: List[str] = []
+        duplicates: List[str] = []
+        stale: List[str] = []
+        shed: List[str] = []
+        evicted: List[str] = []
+
+        def session_fault(slot: int, phase: str, error: Exception) -> None:
+            """Strike, quarantine or evict the faulting session."""
+            record = records[slot]
+            prepared_list[slot] = None
+            record.strikes += 1
+            self._c_faults.inc()
+            if record.strikes >= self.quarantine_policy.max_strikes:
+                action, backoff = "evicted", 0
+                self.remove_session(record.session_id)
+                evicted.append(record.session_id)
+                self._c_evictions.inc()
+            else:
+                action = "quarantined"
+                backoff = self.quarantine_policy.backoff_ticks(
+                    record.session_id, record.strikes
                 )
-                records.append(record)
-                prepared_list.append(prepared)
+                record.quarantined_until = tick_index + backoff
+                self._c_quarantined.inc()
+            faulted.append(
+                SessionFault(
+                    session_id=record.session_id,
+                    phase=phase,
+                    error=repr(error),
+                    strikes=record.strikes,
+                    action=action,
+                    backoff_ticks=backoff,
+                )
+            )
+
+        # Phase 1: per-session triage (+ shared motion extraction).
+        # Admission gates run first: quarantined sessions are skipped
+        # until their backoff expires (the retry is simply their next
+        # event), duplicate deliveries are answered from the cached fix
+        # without touching session state, stale ones are dropped.
+        with self.tracer.span("prepare"):
+            for slot, event in enumerate(events):
+                record = self.sessions.get(event.session_id)
+                records[slot] = record
+                if record.quarantined_until >= tick_index:
+                    quarantined.append(event.session_id)
+                    self._c_quarantine_skips.inc()
+                    continue
+                sequence = event.sequence
+                if sequence is not None and record.last_sequence is not None:
+                    if sequence == record.last_sequence:
+                        fixes[slot] = record.last_fix
+                        duplicates.append(event.session_id)
+                        self._c_seq_duplicates.inc()
+                        continue
+                    if sequence < record.last_sequence:
+                        stale.append(event.session_id)
+                        self._c_seq_stale.inc()
+                        continue
+                    if sequence > record.last_sequence + 1:
+                        self._c_seq_gaps.inc()
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector("prepare", event.session_id)
+                    precomputed = self._precompute(record.service, event.imu)
+                    prepared_list[slot] = record.service.prepare_interval(
+                        event.scan, event.imu, precomputed=precomputed
+                    )
+                except _NON_ISOLABLE:
+                    raise
+                except Exception as error:
+                    session_fault(slot, "prepare", error)
 
         # Phase 2: one einsum for every matchable fingerprint.
         with self.tracer.span("match"):
             requests: List[MatchRequest] = []
             request_slots: List[int] = []
-            match_keys: List[Optional[tuple]] = [None] * len(events)
+            match_keys: List[Optional[tuple]] = [None] * n
             for slot, (record, prepared) in enumerate(
                 zip(records, prepared_list)
             ):
-                if prepared.fingerprint is None:
+                if prepared is None or prepared.fingerprint is None:
+                    continue
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector("match", record.session_id)
+                except _NON_ISOLABLE:
+                    raise
+                except Exception as error:
+                    session_fault(slot, "match", error)
                     continue
                 request = MatchRequest(
                     fingerprint=prepared.fingerprint,
@@ -368,9 +715,7 @@ class BatchedServingEngine:
                     request.active_aps,
                     request.k,
                 )
-            matched: List[Optional[Tuple[Candidate, ...]]] = [None] * len(
-                events
-            )
+            matched: List[Optional[Tuple[Candidate, ...]]] = [None] * n
             for slot, candidates in zip(
                 request_slots, self.matcher.match_batch(requests)
             ):
@@ -380,87 +725,145 @@ class BatchedServingEngine:
         # on a posterior miss), then per-session completion in event
         # order (state mutation order matches the sequential loop).
         # Transition evaluation is interleaved with completion, so its
-        # time is accumulated here and reported as its own phase.
-        fixes: List[object] = []
+        # time is accumulated here and reported as its own phase.  Once
+        # the completion loop crosses the tick deadline, remaining
+        # motion-assisted completions shed their transition evaluation
+        # and serve WiFi-only.
         transitions_s = 0.0
-        complete_started = time.perf_counter()
-        for record, prepared, candidates, match_key in zip(
-            records, prepared_list, matched, match_keys
-        ):
+        complete_started = self.clock()
+        for slot, event in enumerate(events):
+            prepared = prepared_list[slot]
+            if prepared is None:
+                continue
+            record = records[slot]
             service = record.service
-            if candidates is None:
-                fix = service.complete_interval(prepared)
-            else:
-                localizer = service.localizer
-                prior = localizer.retained_candidates
-                motion = prepared.motion
-                estimate_key = (
-                    match_key,
-                    None if prior is None else tuple(prior),
-                    (
-                        None
-                        if motion is None or prior is None
-                        else (motion.direction_deg, motion.offset_m)
-                    ),
-                    localizer.retention,
-                )
-                cached = self._estimate_cache.get(estimate_key)
-                if cached is not None:
-                    self._estimate_cache.move_to_end(estimate_key)
-                    self._c_est_hits.inc()
-                    fix = service.complete_interval(
-                        prepared, estimate=cached
-                    )
+            candidates = matched[slot]
+            match_key = match_keys[slot]
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector("complete", event.session_id)
+                if (
+                    deadline is not None
+                    and prepared.motion is not None
+                    and candidates is not None
+                    and self.clock() > deadline
+                ):
+                    # Over budget: serve this interval from fingerprints
+                    # alone.  Dropping the motion skips Eq. 6 transition
+                    # evaluation — the expensive part of completion —
+                    # and resilient fixes carry the DEADLINE_SHED flag
+                    # so callers know the answer is degraded, not wrong.
+                    prepared.motion = None
+                    if isinstance(prepared, ResilientPreparedInterval):
+                        prepared.mode = ServingMode.WIFI_ONLY
+                        prepared.faults.append(FaultType.DEADLINE_SHED)
+                    shed.append(event.session_id)
+                    self._c_shed.inc()
+                if candidates is None:
+                    fix = service.complete_interval(prepared)
                 else:
-                    self._c_est_misses.inc()
-                    transition_probabilities = None
-                    if motion is not None and prior is not None:
-                        span_started = time.perf_counter()
-                        transition_probabilities = self.transitions.evaluate(
-                            prior,
-                            [c.location_id for c in candidates],
-                            motion,
-                        )
-                        transitions_s += time.perf_counter() - span_started
-                    fix = service.complete_interval(
-                        prepared,
-                        candidates=candidates,
-                        transition_probabilities=transition_probabilities,
+                    localizer = service.localizer
+                    prior = localizer.retained_candidates
+                    motion = prepared.motion
+                    estimate_key = (
+                        match_key,
+                        None if prior is None else tuple(prior),
+                        (
+                            None
+                            if motion is None or prior is None
+                            else (motion.direction_deg, motion.offset_m)
+                        ),
+                        localizer.retention,
                     )
-                    if self._estimate_cache_size > 0:
-                        estimate = getattr(fix, "estimate", fix)
-                        self._estimate_cache[estimate_key] = estimate
-                        if (
-                            len(self._estimate_cache)
-                            > self._estimate_cache_size
-                        ):
-                            self._estimate_cache.popitem(last=False)
-                            self._c_est_evictions.inc()
+                    cached = self._estimate_cache.get(estimate_key)
+                    if cached is not None:
+                        self._estimate_cache.move_to_end(estimate_key)
+                        self._c_est_hits.inc()
+                        fix = service.complete_interval(
+                            prepared, estimate=cached
+                        )
+                    else:
+                        self._c_est_misses.inc()
+                        transition_probabilities = None
+                        if motion is not None and prior is not None:
+                            span_started = time.perf_counter()
+                            transition_probabilities = (
+                                self.transitions.evaluate(
+                                    prior,
+                                    [c.location_id for c in candidates],
+                                    motion,
+                                )
+                            )
+                            transitions_s += (
+                                time.perf_counter() - span_started
+                            )
+                        fix = service.complete_interval(
+                            prepared,
+                            candidates=candidates,
+                            transition_probabilities=transition_probabilities,
+                        )
+                        if self._estimate_cache_size > 0:
+                            estimate = getattr(fix, "estimate", fix)
+                            self._estimate_cache[estimate_key] = estimate
+                            if (
+                                len(self._estimate_cache)
+                                > self._estimate_cache_size
+                            ):
+                                self._estimate_cache.popitem(last=False)
+                                self._c_est_evictions.inc()
+            except _NON_ISOLABLE:
+                raise
+            except Exception as error:
+                session_fault(slot, "complete", error)
+                continue
             record.intervals_served += 1
             record.last_fix = fix
-            fixes.append(fix)
-        complete_s = time.perf_counter() - complete_started - transitions_s
+            if event.sequence is not None:
+                record.last_sequence = event.sequence
+            if record.strikes:
+                # A full successful interval clears the strike count:
+                # quarantine punishes *consecutive* failures only.
+                record.strikes = 0
+                self._c_recoveries.inc()
+            fixes[slot] = fix
+            served.append(event.session_id)
+        complete_s = self.clock() - complete_started - transitions_s
         self.tracer.record("transitions", transitions_s)
         self.tracer.record("complete", complete_s)
 
         self._c_ticks.inc()
-        self._c_intervals.inc(len(events))
-        self._h_batch.observe(len(events))
-        tick_s = time.perf_counter() - tick_started
+        self._c_intervals.inc(len(served) + len(duplicates))
+        self._h_batch.observe(n)
+        tick_s = self.clock() - tick_started
         self._h_tick.observe(tick_s)
         if self._tick_hooks:
             profile = TickProfile(
                 tick=self._c_ticks.value,
-                batch_size=len(events),
+                batch_size=n,
                 duration_s=tick_s,
                 phases=self.last_tick_phases,
             )
             for hook in self._tick_hooks:
                 try:
                     hook(profile)
+                except _NON_ISOLABLE:
+                    # Exhausted memory or a blown stack is a process
+                    # problem, not a hook bug: shielding it here would
+                    # hide the failure until it strikes somewhere
+                    # unshielded.
+                    raise
                 except Exception:
                     self._c_hook_errors.inc()
-        return fixes
+        return TickOutcome(
+            fixes=fixes,
+            served=tuple(served),
+            faulted=tuple(faulted),
+            quarantined=tuple(quarantined),
+            duplicates=tuple(duplicates),
+            stale=tuple(stale),
+            shed=tuple(shed),
+            evicted=tuple(evicted),
+        )
 
     # ------------------------------------------------------------------
     # Shared per-segment work

@@ -294,11 +294,15 @@ class SessionInterval:
         scan: The WiFi scan (per-AP dBm), or None for a lost scan.
         imu: The IMU segment since the session's previous interval, or
             None on the session's first interval.
+        sequence: Per-session monotonic delivery number (0 for the
+            session's first interval), or None for workloads that do
+            not model message ordering.
     """
 
     session_id: str
     scan: Optional[Tuple[float, ...]]
     imu: Optional[ImuSegment]
+    sequence: Optional[int] = None
 
 
 @dataclass
@@ -390,12 +394,17 @@ def multi_session_workload(
         sessions[session_id] = trace
         intervals = [
             SessionInterval(
-                session_id, scan_of(trace.initial_fingerprint), None
+                session_id, scan_of(trace.initial_fingerprint), None, 0
             )
         ]
         intervals.extend(
-            SessionInterval(session_id, scan_of(hop.arrival_fingerprint), hop.imu)
-            for hop in trace.hops
+            SessionInterval(
+                session_id,
+                scan_of(hop.arrival_fingerprint),
+                hop.imu,
+                hop_index + 1,
+            )
+            for hop_index, hop in enumerate(trace.hops)
         )
         start_tick = stagger_ticks * (index // len(corpus))
         scripts.append((session_id, start_tick, intervals))

@@ -1,0 +1,102 @@
+"""Fault plans: seeded generation, validation, and exact serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import FaultKind, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_rejects_nonpositive_tick(self):
+        with pytest.raises(ValueError, match="tick"):
+            FaultSpec(tick=0, session_id="a", kind=FaultKind.RAISE)
+
+    def test_rejects_unknown_phase_for_phase_faults(self):
+        with pytest.raises(ValueError, match="phase"):
+            FaultSpec(
+                tick=1, session_id="a", kind=FaultKind.RAISE, phase="digest"
+            )
+
+    def test_phase_is_ignored_for_message_faults(self):
+        spec = FaultSpec(
+            tick=1,
+            session_id="a",
+            kind=FaultKind.DROP_MESSAGE,
+            phase="irrelevant",
+        )
+        assert spec.kind is FaultKind.DROP_MESSAGE
+
+    def test_latency_needs_positive_magnitude(self):
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultSpec(
+                tick=1, session_id="a", kind=FaultKind.LATENCY, magnitude=0.0
+            )
+
+
+class TestFaultPlan:
+    def test_one_fault_per_tick_session_pair(self):
+        spec = FaultSpec(tick=3, session_id="a", kind=FaultKind.DROP_MESSAGE)
+        other = FaultSpec(tick=3, session_id="a", kind=FaultKind.RAISE)
+        with pytest.raises(ValueError, match="multiple faults"):
+            FaultPlan([spec, other])
+
+    def test_iteration_is_tick_ordered(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(tick=5, session_id="b", kind=FaultKind.RAISE),
+                FaultSpec(tick=1, session_id="a", kind=FaultKind.RAISE),
+                FaultSpec(tick=5, session_id="a", kind=FaultKind.RAISE),
+            ]
+        )
+        assert [(f.tick, f.session_id) for f in plan] == [
+            (1, "a"),
+            (5, "a"),
+            (5, "b"),
+        ]
+        assert len(plan) == 3
+        assert len(plan.faults_at(5)) == 2
+        assert plan.faults_at(2) == ()
+
+    def test_random_is_deterministic_in_the_seed(self):
+        kwargs = dict(
+            n_ticks=20, session_ids=["a", "b", "c", "d"], rate=0.3
+        )
+        first = FaultPlan.random(seed=77, **kwargs)
+        second = FaultPlan.random(seed=77, **kwargs)
+        assert first.to_dict() == second.to_dict()
+        assert len(first) > 0
+        different = FaultPlan.random(seed=78, **kwargs)
+        assert first.to_dict() != different.to_dict()
+
+    def test_random_respects_the_kind_pool(self):
+        plan = FaultPlan.random(
+            seed=5,
+            n_ticks=30,
+            session_ids=["a", "b"],
+            rate=0.5,
+            kinds=[FaultKind.DROP_MESSAGE],
+        )
+        assert len(plan) > 0
+        assert all(spec.kind is FaultKind.DROP_MESSAGE for spec in plan)
+
+    def test_random_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan.random(seed=1, n_ticks=5, session_ids=["a"], rate=1.5)
+        with pytest.raises(ValueError, match="n_ticks"):
+            FaultPlan.random(seed=1, n_ticks=0, session_ids=["a"])
+        with pytest.raises(ValueError, match="fault kind"):
+            FaultPlan.random(seed=1, n_ticks=5, session_ids=["a"], kinds=[])
+
+    def test_round_trip_through_json(self):
+        plan = FaultPlan.random(
+            seed=11, n_ticks=15, session_ids=["a", "b"], rate=0.4
+        )
+        payload = json.loads(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_dict(payload).to_dict() == plan.to_dict()
+
+    def test_from_dict_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="fault_plan"):
+            FaultPlan.from_dict({"kind": "engine_checkpoint"})

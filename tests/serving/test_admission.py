@@ -1,0 +1,108 @@
+"""Admission control: the bounded intake queue and its shedding policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.serving import AdmissionController, IntervalEvent
+
+
+def _event(session_id: str, value: float = -60.0) -> IntervalEvent:
+    return IntervalEvent(session_id=session_id, scan=[value])
+
+
+class TestOffer:
+    def test_admits_until_capacity(self):
+        controller = AdmissionController(capacity=2)
+        assert controller.offer(_event("a"))
+        assert controller.offer(_event("b"))
+        assert len(controller) == 2
+
+    def test_reject_newest_refuses_when_full(self):
+        controller = AdmissionController(capacity=1, policy="reject-newest")
+        assert controller.offer(_event("a"))
+        assert not controller.offer(_event("b"))
+        # The in-flight event survived; the newcomer is gone.
+        assert [e.session_id for e in controller.drain()] == ["a"]
+        counters = controller.metrics.snapshot()["counters"]
+        assert counters["admission.rejected"] == 1
+        assert counters["admission.accepted"] == 1
+
+    def test_drop_oldest_evicts_the_head(self):
+        controller = AdmissionController(capacity=2, policy="drop-oldest")
+        for session_id in ("a", "b", "c"):
+            assert controller.offer(_event(session_id))
+        # "a" (the oldest) was displaced to admit "c".
+        assert [e.session_id for e in controller.drain()] == ["b", "c"]
+        counters = controller.metrics.snapshot()["counters"]
+        assert counters["admission.dropped"] == 1
+        assert counters["admission.accepted"] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            AdmissionController(capacity=0)
+        with pytest.raises(ValueError, match="policy"):
+            AdmissionController(capacity=1, policy="drop-random")
+
+
+class TestDrain:
+    def test_arrival_order_preserved(self):
+        controller = AdmissionController(capacity=8)
+        for session_id in ("c", "a", "b"):
+            controller.offer(_event(session_id))
+        assert [e.session_id for e in controller.drain()] == ["c", "a", "b"]
+        assert len(controller) == 0
+
+    def test_one_event_per_session_per_batch(self):
+        controller = AdmissionController(capacity=8)
+        controller.offer(_event("a", -50.0))
+        controller.offer(_event("b"))
+        controller.offer(_event("a", -55.0))  # a's *next* interval
+        batch = controller.drain()
+        assert [e.session_id for e in batch] == ["a", "b"]
+        assert batch[0].scan == [-50.0]
+        # The held-back event leads the next batch, order intact.
+        followup = controller.drain()
+        assert [e.session_id for e in followup] == ["a"]
+        assert followup[0].scan == [-55.0]
+
+    def test_held_events_keep_their_relative_order(self):
+        controller = AdmissionController(capacity=8)
+        for session_id, value in (
+            ("a", -1.0),
+            ("a", -2.0),
+            ("b", -3.0),
+            ("a", -4.0),
+        ):
+            controller.offer(_event(session_id, value))
+        assert [(e.session_id, e.scan[0]) for e in controller.drain()] == [
+            ("a", -1.0),
+            ("b", -3.0),
+        ]
+        assert [(e.session_id, e.scan[0]) for e in controller.drain()] == [
+            ("a", -2.0)
+        ]
+        assert [(e.session_id, e.scan[0]) for e in controller.drain()] == [
+            ("a", -4.0)
+        ]
+
+    def test_max_batch_caps_the_tick(self):
+        controller = AdmissionController(capacity=8)
+        for index in range(5):
+            controller.offer(_event(f"s{index}"))
+        batch = controller.drain(max_batch=2)
+        assert [e.session_id for e in batch] == ["s0", "s1"]
+        assert len(controller) == 3
+        with pytest.raises(ValueError, match="max_batch"):
+            controller.drain(max_batch=0)
+
+    def test_depth_gauge_tracks_the_queue(self):
+        registry = MetricsRegistry()
+        controller = AdmissionController(capacity=8, metrics=registry)
+        for index in range(3):
+            controller.offer(_event(f"s{index}"))
+        assert registry.snapshot()["gauges"]["admission.depth"] == 3
+        controller.drain()
+        assert registry.snapshot()["gauges"]["admission.depth"] == 0
+        assert registry.snapshot()["counters"]["admission.drained"] == 3

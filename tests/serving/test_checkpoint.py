@@ -1,0 +1,318 @@
+"""Crash safety: checkpoint/restore, the WAL, and kill-anywhere recovery.
+
+The contract under test is the strongest one serving makes: kill the
+process after *any* tick, restore the newest checkpoint into a fresh
+engine, replay the write-ahead log — and the post-crash fix stream is
+bitwise identical to the run that never crashed.  Serialization
+round-trips are property-tested (JSON floats round-trip exactly), and
+the WAL's torn-tail tolerance is exercised directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MoLocConfig
+from repro.io.serialize import (
+    fix_from_dict,
+    fix_to_dict,
+    imu_segment_from_dict,
+    imu_segment_to_dict,
+)
+from repro.motion.pedestrian import BodyProfile
+from repro.robustness import ResilientMoLocService
+from repro.serving import (
+    BatchedServingEngine,
+    IntervalEvent,
+    WriteAheadLog,
+    build_session_services,
+    fix_stream_checksum,
+    recover_engine,
+)
+from repro.serving.checkpoint import event_from_dict, event_to_dict
+from repro.sim.evaluation import multi_session_workload
+
+N_SESSIONS = 64
+
+
+@pytest.fixture(scope="module")
+def crash_world(small_study):
+    """A 64-session workload over truncated walks, plus its databases.
+
+    Five hops per walk keep the kill-at-every-tick sweep (a full serve
+    per possible crash point) affordable while still crossing every
+    checkpointed state: calibration, retention, stride personalization,
+    and the robustness monitors all engage within the first intervals.
+    """
+    fingerprint_db = small_study.fingerprint_db(6)
+    motion_db, _ = small_study.motion_db(6)
+    traces = [
+        dataclasses.replace(trace, hops=list(trace.hops[:5]))
+        for trace in small_study.test_traces[:4]
+    ]
+    workload = multi_session_workload(
+        traces, N_SESSIONS, corpus_size=4, stagger_ticks=0
+    )
+    return fingerprint_db, motion_db, small_study.config, workload
+
+
+def _make_service_factory(fingerprint_db, motion_db, config):
+    """The restore-side factory: same kind of service, fresh state."""
+
+    def make_service(session_id: str) -> ResilientMoLocService:
+        return ResilientMoLocService(
+            fingerprint_db,
+            motion_db,
+            body=BodyProfile(height_m=1.72),
+            config=config,
+        )
+
+    return make_service
+
+
+def _events_of(tick):
+    return [
+        IntervalEvent(
+            session_id=interval.session_id,
+            scan=interval.scan,
+            imu=interval.imu,
+            sequence=interval.sequence,
+        )
+        for interval in tick
+    ]
+
+
+def _checkpoint_text(engine: BatchedServingEngine) -> str:
+    return json.dumps(engine.checkpoint(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def baseline_run(crash_world, tmp_path_factory):
+    """The uninterrupted run: WAL, per-tick fixes, per-tick checkpoints.
+
+    Checkpoints are JSON-round-tripped before use, so every restore in
+    this module also proves the checkpoint survives serialization to
+    disk, not just in-memory hand-off.
+    """
+    fingerprint_db, motion_db, config, workload = crash_world
+    wal_path = tmp_path_factory.mktemp("wal") / "serving.wal"
+    services = build_session_services(
+        workload, fingerprint_db, motion_db, config, resilient=True
+    )
+    engine = BatchedServingEngine(fingerprint_db, motion_db, config)
+    for session_id, service in services.items():
+        engine.add_session(session_id, service)
+    tick_fixes = []  # one {session_id: fix} per tick, in tick order
+    checkpoints = {0: json.loads(json.dumps(engine.checkpoint()))}
+    with WriteAheadLog(wal_path, fsync=False) as wal:
+        for tick in workload.ticks:
+            events = _events_of(tick)
+            wal.append(engine.tick_index + 1, events)
+            fixes = engine.tick(events)
+            tick_fixes.append(
+                {
+                    event.session_id: fix
+                    for event, fix in zip(events, fixes)
+                }
+            )
+            checkpoints[engine.tick_index] = json.loads(
+                json.dumps(engine.checkpoint())
+            )
+    return engine, wal_path, tick_fixes, checkpoints
+
+
+class TestKillAnywhere:
+    def test_restore_and_replay_is_bitwise_exact_at_every_crash_point(
+        self, crash_world, baseline_run
+    ):
+        """Crash after tick t, for every t: identical streams and state."""
+        fingerprint_db, motion_db, config, workload = crash_world
+        engine, wal_path, tick_fixes, checkpoints = baseline_run
+        final_state = _checkpoint_text(engine)
+        make_service = _make_service_factory(fingerprint_db, motion_db, config)
+        n_ticks = len(workload.ticks)
+        assert engine.tick_index == n_ticks
+
+        for crash_after in range(n_ticks + 1):
+            fresh = BatchedServingEngine(fingerprint_db, motion_db, config)
+            fresh.restore(checkpoints[crash_after], make_service)
+            assert fresh.tick_index == crash_after
+            replayed = {sid: [] for sid in workload.sessions}
+            with WriteAheadLog(wal_path, fsync=False) as wal:
+                for _, events in wal.events_after(crash_after):
+                    for event, fix in zip(events, fresh.tick(events)):
+                        replayed[event.session_id].append(fix)
+            assert fresh.tick_index == n_ticks
+            # The replayed suffix matches the uninterrupted run bit for
+            # bit, for every session ...
+            for session_id, fixes in replayed.items():
+                baseline = [
+                    tick_fixes[t][session_id]
+                    for t in range(crash_after, n_ticks)
+                    if session_id in tick_fixes[t]
+                ]
+                assert fix_stream_checksum(fixes) == fix_stream_checksum(
+                    baseline
+                ), f"stream diverged for {session_id} (crash at {crash_after})"
+            # ... and so does the engine's own end state.
+            assert _checkpoint_text(fresh) == final_state
+
+    def test_recover_engine_replays_the_tail(self, crash_world, baseline_run):
+        fingerprint_db, motion_db, config, workload = crash_world
+        engine, wal_path, _, checkpoints = baseline_run
+        crash_after = 2
+        fresh = BatchedServingEngine(
+            fingerprint_db, motion_db, config, tick_budget_s=5.0
+        )
+        with WriteAheadLog(wal_path, fsync=False) as wal:
+            replayed = recover_engine(
+                fresh,
+                checkpoints[crash_after],
+                wal,
+                _make_service_factory(fingerprint_db, motion_db, config),
+            )
+        assert replayed == len(workload.ticks) - crash_after
+        assert fresh.tick_index == engine.tick_index
+        assert _checkpoint_text(fresh) == _checkpoint_text(engine)
+        # The budget was suspended for the replay, not lost.
+        assert fresh.tick_budget_s == 5.0
+
+
+class TestCheckpointValidation:
+    def test_restore_rejects_wrong_kind(self, crash_world):
+        fingerprint_db, motion_db, config, _ = crash_world
+        engine = BatchedServingEngine(fingerprint_db, motion_db, config)
+        with pytest.raises(ValueError, match="engine_checkpoint"):
+            engine.restore({"kind": "fault_plan"}, lambda sid: None)
+
+    def test_restore_rejects_unknown_version(self, crash_world):
+        fingerprint_db, motion_db, config, _ = crash_world
+        engine = BatchedServingEngine(fingerprint_db, motion_db, config)
+        with pytest.raises(ValueError, match="version"):
+            engine.restore(
+                {"kind": "engine_checkpoint", "format_version": 99},
+                lambda sid: None,
+            )
+
+    def test_restore_requires_a_fresh_engine(self, crash_world, baseline_run):
+        fingerprint_db, motion_db, config, _ = crash_world
+        _, _, _, checkpoints = baseline_run
+        engine = BatchedServingEngine(fingerprint_db, motion_db, config)
+        engine.add_session(
+            "occupant",
+            ResilientMoLocService(
+                fingerprint_db,
+                motion_db,
+                body=BodyProfile(height_m=1.72),
+                config=config,
+            ),
+        )
+        with pytest.raises(ValueError, match="fresh engine"):
+            engine.restore(
+                checkpoints[0],
+                _make_service_factory(fingerprint_db, motion_db, config),
+            )
+
+
+class TestWriteAheadLog:
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "torn.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append(1, [IntervalEvent("alice", [1.5, -2.25])])
+            wal.append(2, [IntervalEvent("alice", [0.5, -0.5])])
+        # The process died mid-write: a truncated JSON tail.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "tick": 3, "eve')
+        with WriteAheadLog(path, fsync=False) as wal:
+            ticks = [tick for tick, _ in wal.replay()]
+        assert ticks == [1, 2]
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "future.wal"
+        path.write_text('{"v": 99, "tick": 1, "events": []}\n')
+        with WriteAheadLog(path, fsync=False) as wal:
+            with pytest.raises(ValueError, match="unsupported WAL version"):
+                list(wal.replay())
+
+    def test_events_after_filters_by_tick(self, tmp_path):
+        path = tmp_path / "tail.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            for tick in (1, 2, 3):
+                wal.append(tick, [IntervalEvent("bob", [float(tick)])])
+            tail = list(wal.events_after(1))
+        assert [tick for tick, _ in tail] == [2, 3]
+        assert tail[0][1][0].scan == [2.0]
+
+
+finite = st.floats(allow_nan=False, allow_infinity=True, width=64)
+
+
+class TestSerializationRoundTrips:
+    @given(
+        scan=st.one_of(
+            st.none(), st.lists(finite, min_size=1, max_size=12)
+        ),
+        sequence=st.one_of(st.none(), st.integers(min_value=0, max_value=9999)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_event_round_trip_is_bitwise(self, scan, sequence):
+        event = IntervalEvent(
+            session_id="user-0001", scan=scan, imu=None, sequence=sequence
+        )
+        payload = json.loads(json.dumps(event_to_dict(event)))
+        back = event_from_dict(payload)
+        assert back.session_id == event.session_id
+        assert back.sequence == event.sequence
+        if scan is None:
+            assert back.scan is None
+        else:
+            # Exact float equality, sign of zero included.
+            assert [value.hex() for value in back.scan] == [
+                value.hex() for value in scan
+            ]
+
+    def test_event_round_trip_preserves_nan(self):
+        event = IntervalEvent("u", [float("nan"), -65.0])
+        back = event_from_dict(json.loads(json.dumps(event_to_dict(event))))
+        assert math.isnan(back.scan[0]) and back.scan[1] == -65.0
+
+    def test_imu_segment_round_trip_is_bitwise(self, small_study):
+        for hop in small_study.test_traces[0].hops[:3]:
+            payload = json.loads(json.dumps(imu_segment_to_dict(hop.imu)))
+            back = imu_segment_from_dict(payload)
+            np.testing.assert_array_equal(
+                back.accel.samples, hop.imu.accel.samples
+            )
+            np.testing.assert_array_equal(
+                back.compass_readings, hop.imu.compass_readings
+            )
+            assert back.accel.rate_hz == hop.imu.accel.rate_hz
+            assert back.true_course_deg == hop.imu.true_course_deg
+            assert back.true_distance_m == hop.imu.true_distance_m
+
+    def test_served_fix_round_trip_is_bitwise(self, crash_world):
+        """A real served fix (health, candidates and all) survives JSON."""
+        fingerprint_db, motion_db, config, workload = crash_world
+        services = build_session_services(
+            workload, fingerprint_db, motion_db, config, resilient=True
+        )
+        engine = BatchedServingEngine(fingerprint_db, motion_db, config)
+        session_id = next(iter(services))
+        engine.add_session(session_id, services[session_id])
+        fixes = []
+        for tick in workload.ticks[:3]:
+            for interval in tick:
+                if interval.session_id != session_id:
+                    continue
+                (fix,) = engine.tick(_events_of([interval]))
+                fixes.append(fix)
+        assert fixes
+        for fix in fixes:
+            back = fix_from_dict(json.loads(json.dumps(fix_to_dict(fix))))
+            assert fix_stream_checksum([back]) == fix_stream_checksum([fix])
