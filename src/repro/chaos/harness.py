@@ -17,9 +17,13 @@
 Every fault actually applied is counted in the engine's own metrics
 registry (``chaos.injected.<kind>``), so one
 ``engine.metrics_snapshot()`` documents the storm and the response —
-quarantines, sheds, evictions — side by side.  Faults whose victim has
-no event (already quarantined away, evicted, or scan-less) count as
-``chaos.skipped``: scheduled but nothing to break.
+quarantines, sheds, evictions — side by side.  Every scheduled fault is
+accounted for: one that never fires — its victim has no event, is
+quarantined away, is scan-less, or its injection point is never reached
+that tick (e.g. a match-phase RAISE for an interval with no matchable
+fingerprint) — counts as ``chaos.skipped``, so the sum of
+``chaos.injected.*`` and ``chaos.skipped`` equals the number of faults
+the plan scheduled for the ticks served.
 
 The harness never reaches into the engine's internals: everything runs
 through the same public seams (events in, injector hook, clock) a
@@ -35,7 +39,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..observability import MetricsRegistry
 from ..serving.engine import BatchedServingEngine, IntervalEvent, TickOutcome
-from .plan import MESSAGE_KINDS, FaultKind, FaultPlan, FaultSpec
+from .plan import MESSAGE_KINDS, PHASE_KINDS, FaultKind, FaultPlan, FaultSpec
 
 __all__ = ["ChaosError", "ChaosHarness"]
 
@@ -91,6 +95,7 @@ class ChaosHarness:
         self.metrics = metrics if metrics is not None else engine.metrics
         self._skew_s = 0.0
         self._pending: List[IntervalEvent] = []
+        self._fired_phase_faults: set = set()
         self._base_clock = engine.clock
         engine.clock = self._clock
         engine.fault_injector = self._inject
@@ -129,8 +134,10 @@ class ChaosHarness:
                 continue
             if spec.kind is FaultKind.LATENCY:
                 self._skew_s += spec.magnitude
+                self._fired_phase_faults.add(spec)
                 self._c_injected[spec.kind].inc()
             elif spec.kind is FaultKind.RAISE:
+                self._fired_phase_faults.add(spec)
                 self._c_injected[spec.kind].inc()
                 raise ChaosError(
                     f"injected failure in {phase!r} for session "
@@ -206,8 +213,10 @@ class ChaosHarness:
             self._c_injected[spec.kind].inc()
 
         # Events for sessions the engine no longer knows (evicted by an
-        # earlier strike-out) would be a scheduling bug to the engine;
-        # to the transport they are unroutable messages.
+        # earlier strike-out) are unroutable messages: the engine would
+        # drop them too (TickOutcome.unroutable), but the transport
+        # filters them here so the chaos report attributes them to the
+        # storm rather than to an engine-side anomaly.
         routable = []
         for event in mutable:
             if event.session_id in self.engine.sessions:
@@ -233,4 +242,16 @@ class ChaosHarness:
         """
         upcoming = self.engine.tick_index + 1
         faulted_events = self._apply_message_faults(upcoming, events)
-        return self.engine.tick_detailed(faulted_events)
+        self._fired_phase_faults.clear()
+        outcome = self.engine.tick_detailed(faulted_events)
+        # Reconcile the plan: a scheduled phase fault whose injection
+        # point was never reached this tick (victim quarantined, no
+        # event, or no matchable fingerprint for a match-phase fault)
+        # fired nowhere — count it, or the report undercounts the plan.
+        for spec in self.plan.faults_at(upcoming):
+            if (
+                spec.kind in PHASE_KINDS
+                and spec not in self._fired_phase_faults
+            ):
+                self._c_skipped.inc()
+        return outcome

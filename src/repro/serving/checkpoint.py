@@ -88,7 +88,11 @@ class WriteAheadLog:
 
     Args:
         path: The log file; created (with parents) if missing, appended
-            to if present.
+            to if present.  A pre-existing file that does not end in a
+            newline lost its tail to a crash mid-append: the torn
+            fragment is truncated away before appending, so a recovered
+            process never concatenates its first new tick onto it (which
+            would silently lose *that* tick on the next replay).
         fsync: Whether to fsync after every append.  True is the
             durability contract (survives OS crash, not just process
             crash); tests may pass False for speed.
@@ -98,7 +102,45 @@ class WriteAheadLog:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._fsync = fsync
+        self._trim_torn_tail()
         self._handle = self._path.open("a", encoding="utf-8")
+
+    def _trim_torn_tail(self) -> None:
+        """Truncate a partial final line left by a crash mid-append.
+
+        The torn fragment's tick was never served (append-before-serve
+        discipline), so dropping it loses nothing — and keeping it
+        would corrupt the *next* append into one undecodable line,
+        silently losing a tick that WAS served.
+        """
+        if not self._path.exists():
+            return
+        with self._path.open("rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            # Scan backwards for the last newline; everything after it
+            # is the torn fragment.
+            cut = 0
+            pos = size
+            chunk = 4096
+            while pos > 0:
+                start = max(0, pos - chunk)
+                handle.seek(start)
+                data = handle.read(pos - start)
+                index = data.rfind(b"\n")
+                if index != -1:
+                    cut = start + index + 1
+                    break
+                pos = start
+            handle.truncate(cut)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
 
     @property
     def path(self) -> Path:
@@ -135,37 +177,48 @@ class WriteAheadLog:
     def replay(self) -> Iterator[Tuple[int, List[IntervalEvent]]]:
         """Yield every logged tick as ``(tick_index, events)``.
 
-        A torn final line (the process died mid-write) is tolerated and
-        skipped: its tick was by construction never served, and its
-        events are lost with the crash — exactly the at-most-once edge
-        the WAL-before-serve discipline bounds to one tick.
+        Only a torn *final* line (the process died mid-write) is
+        tolerated and skipped: its tick was by construction never
+        served, and its events are lost with the crash — exactly the
+        at-most-once edge the WAL-before-serve discipline bounds to one
+        tick.  An undecodable line anywhere *else* means a served tick
+        was corrupted, and skipping it would replay into a silently
+        divergent state — so it raises instead.
 
         Raises:
-            ValueError: for a *well-formed* line of an unsupported
-                version (torn tails are skipped, format drift is not).
+            ValueError: for an undecodable non-final line (mid-file
+                corruption), or a *well-formed* line of an unsupported
+                version (format drift is an error, torn tails are not).
         """
         if not self._path.exists():
             return
         self._handle.flush()
         with self._path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
+            lines = handle.readlines()
+        for number, raw in enumerate(lines, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                if number == len(lines):
                     continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                version = payload.get("v")
-                if version != WAL_FORMAT_VERSION:
-                    raise ValueError(
-                        f"unsupported WAL version {version} "
-                        f"(supported: {WAL_FORMAT_VERSION})"
-                    )
-                yield (
-                    int(payload["tick"]),
-                    [event_from_dict(entry) for entry in payload["events"]],
+                raise ValueError(
+                    f"corrupt WAL: undecodable line {number} of "
+                    f"{len(lines)} in {self._path} — a served tick is "
+                    "unrecoverable, refusing to replay past it"
+                ) from error
+            version = payload.get("v")
+            if version != WAL_FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported WAL version {version} "
+                    f"(supported: {WAL_FORMAT_VERSION})"
                 )
+            yield (
+                int(payload["tick"]),
+                [event_from_dict(entry) for entry in payload["events"]],
+            )
 
     def events_after(
         self, tick_index: int

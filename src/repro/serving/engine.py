@@ -162,6 +162,10 @@ class TickOutcome:
         shed: Session ids degraded to the WiFi-only fast path by the
             tick budget.
         evicted: Session ids removed after reaching the strike limit.
+        unroutable: Session ids the engine does not know — e.g. events
+            stranded in an upstream queue after their session was
+            evicted by strike-out.  Dropped without touching any state,
+            so one dead session's backlog cannot abort a healthy batch.
     """
 
     fixes: List[object]
@@ -172,6 +176,7 @@ class TickOutcome:
     stale: Tuple[str, ...]
     shed: Tuple[str, ...]
     evicted: Tuple[str, ...]
+    unroutable: Tuple[str, ...] = ()
 
 
 class BatchedServingEngine:
@@ -309,6 +314,7 @@ class BatchedServingEngine:
         )
         self._c_seq_stale = self.metrics.counter("engine.sequence.stale")
         self._c_seq_gaps = self.metrics.counter("engine.sequence.gaps")
+        self._c_unroutable = self.metrics.counter("engine.unroutable")
         self._c_shed = self.metrics.counter("engine.deadline.shed")
         self._h_tick = self.metrics.histogram("engine.tick.latency_s")
         self._h_batch = self.metrics.histogram(
@@ -563,12 +569,12 @@ class BatchedServingEngine:
             resilient ones; exactly what ``service.on_interval`` would
             have returned.  A slot is None when its session could not
             be served this tick (faulted and quarantined, already
-            quarantined, or a stale out-of-order delivery); see
+            quarantined, a stale out-of-order delivery, or an
+            unroutable event naming a session the engine does not know
+            — e.g. stranded upstream after a strike-out eviction); see
             :meth:`tick_detailed` for the full report.
 
         Raises:
-            KeyError: for an event naming an unknown session (a
-                scheduling bug, not a session fault).
             ValueError: for two events naming the same session.
         """
         return self.tick_detailed(events).fixes
@@ -578,8 +584,8 @@ class BatchedServingEngine:
 
         Identical serving behavior to :meth:`tick`; additionally
         reports which sessions were served, faulted, quarantined,
-        answered idempotently, dropped as stale, shed to the fast
-        path, or evicted.
+        answered idempotently, dropped as stale or unroutable, shed to
+        the fast path, or evicted.
         """
         tick_started = self.clock()
         self._tick_index += 1
@@ -609,6 +615,7 @@ class BatchedServingEngine:
         stale: List[str] = []
         shed: List[str] = []
         evicted: List[str] = []
+        unroutable: List[str] = []
 
         def session_fault(slot: int, phase: str, error: Exception) -> None:
             """Strike, quarantine or evict the faulting session."""
@@ -640,18 +647,21 @@ class BatchedServingEngine:
             )
 
         # Phase 1: per-session triage (+ shared motion extraction).
-        # Admission gates run first: quarantined sessions are skipped
-        # until their backoff expires (the retry is simply their next
-        # event), duplicate deliveries are answered from the cached fix
-        # without touching session state, stale ones are dropped.
+        # Admission gates run first: events for sessions the engine no
+        # longer knows (stranded upstream after an eviction) are
+        # dropped as unroutable, duplicate deliveries are answered from
+        # the cached fix without touching session state (even during
+        # quarantine — answering re-faults nothing), quarantined
+        # sessions are skipped until their backoff expires (the retry
+        # is simply their next event), stale ones are dropped.
         with self.tracer.span("prepare"):
             for slot, event in enumerate(events):
+                if event.session_id not in self.sessions:
+                    unroutable.append(event.session_id)
+                    self._c_unroutable.inc()
+                    continue
                 record = self.sessions.get(event.session_id)
                 records[slot] = record
-                if record.quarantined_until >= tick_index:
-                    quarantined.append(event.session_id)
-                    self._c_quarantine_skips.inc()
-                    continue
                 sequence = event.sequence
                 if sequence is not None and record.last_sequence is not None:
                     if sequence == record.last_sequence:
@@ -659,6 +669,11 @@ class BatchedServingEngine:
                         duplicates.append(event.session_id)
                         self._c_seq_duplicates.inc()
                         continue
+                if record.quarantined_until >= tick_index:
+                    quarantined.append(event.session_id)
+                    self._c_quarantine_skips.inc()
+                    continue
+                if sequence is not None and record.last_sequence is not None:
                     if sequence < record.last_sequence:
                         stale.append(event.session_id)
                         self._c_seq_stale.inc()
@@ -863,6 +878,7 @@ class BatchedServingEngine:
             stale=tuple(stale),
             shed=tuple(shed),
             evicted=tuple(evicted),
+            unroutable=tuple(unroutable),
         )
 
     # ------------------------------------------------------------------

@@ -177,6 +177,19 @@ class TestStormInvariant:
             == counters["chaos.injected.raise"]
         )
 
+    def test_every_scheduled_fault_is_accounted_for(
+        self, storm_plan, storm_runs
+    ):
+        """injected + skipped reconciles exactly against the plan."""
+        _, (engine, _, _, _) = storm_runs
+        counters = engine.metrics_snapshot()["engine"]["counters"]
+        injected = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("chaos.injected.")
+        )
+        assert injected + counters["chaos.skipped"] == len(storm_plan)
+
     def test_identical_storms_converge_to_identical_state(
         self, storm_world, storm_plan, storm_runs
     ):
@@ -362,6 +375,65 @@ class TestHarnessMechanics:
         assert outcome.served == (other,)
         assert outcome.faulted[0].session_id == victim
         assert "ChaosError" in outcome.faulted[0].error
+
+    def test_unfired_phase_fault_counts_as_skipped(self, duo_world):
+        """A RAISE whose victim has no event that tick never fires —
+        it must land in chaos.skipped, not silently undercount."""
+        engine, workload = duo_world
+        victim, other = sorted(workload.sessions)
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    tick=1,
+                    session_id=victim,
+                    kind=FaultKind.RAISE,
+                    phase="complete",
+                )
+            ]
+        )
+        harness = ChaosHarness(engine, plan)
+        events = [
+            event
+            for event in _events_of(workload.ticks[0], engine)
+            if event.session_id != victim
+        ]
+        outcome = harness.tick_detailed(events)
+        assert outcome.served == (other,)
+        counters = engine.metrics_snapshot()["engine"]["counters"]
+        assert counters["chaos.skipped"] == 1
+        assert counters.get("chaos.injected.raise", 0) == 0
+
+    def test_quarantined_victims_fault_counts_as_skipped(self, duo_world):
+        """A phase fault aimed at a session inside its backoff window
+        is never reached by the injector; it must still be counted."""
+        engine, workload = duo_world
+        victim, other = sorted(workload.sessions)
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    tick=1,
+                    session_id=victim,
+                    kind=FaultKind.RAISE,
+                    phase="prepare",
+                ),
+                FaultSpec(
+                    tick=2,
+                    session_id=victim,
+                    kind=FaultKind.RAISE,
+                    phase="prepare",
+                ),
+            ]
+        )
+        harness = ChaosHarness(engine, plan)
+        outcome = harness.tick_detailed(_events_of(workload.ticks[0], engine))
+        assert outcome.faulted[0].action == "quarantined"
+        # Tick 2: the victim is inside its backoff window, so the
+        # scheduled fault has nowhere to fire.
+        outcome = harness.tick_detailed(_events_of(workload.ticks[1], engine))
+        assert victim in outcome.quarantined
+        counters = engine.metrics_snapshot()["engine"]["counters"]
+        assert counters["chaos.injected.raise"] == 1
+        assert counters["chaos.skipped"] == 1
 
     def test_unroutable_events_are_filtered_not_fatal(self, duo_world):
         engine, workload = duo_world

@@ -233,6 +233,41 @@ class TestWriteAheadLog:
             ticks = [tick for tick, _ in wal.replay()]
         assert ticks == [1, 2]
 
+    def test_torn_tail_is_truncated_before_appending(self, tmp_path):
+        """Crash, recover and keep appending, crash again: no lost tick.
+
+        Without the torn-tail guard the recovered process's first new
+        line concatenates onto the fragment, producing one undecodable
+        line — and a tick that WAS served silently vanishes from the
+        next replay.
+        """
+        path = tmp_path / "torn-append.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append(1, [IntervalEvent("alice", [1.5])])
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "tick": 2, "eve')  # died mid-append
+        # The recovered process re-runs tick 2 (the torn one was never
+        # served) and keeps appending to the same WAL.
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append(2, [IntervalEvent("alice", [0.5])])
+        with WriteAheadLog(path, fsync=False) as wal:
+            replayed = list(wal.replay())
+        assert [tick for tick, _ in replayed] == [1, 2]
+        assert replayed[1][1][0].scan == [0.5]
+
+    def test_mid_file_corruption_raises_instead_of_skipping(self, tmp_path):
+        """A corrupted *served* tick must fail loudly, not vanish."""
+        path = tmp_path / "corrupt.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            for tick in (1, 2, 3):
+                wal.append(tick, [IntervalEvent("bob", [float(tick)])])
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        lines[1] = '{"v": 1, "tick": 2, GARBAGE}\n'
+        path.write_text("".join(lines), encoding="utf-8")
+        with WriteAheadLog(path, fsync=False) as wal:
+            with pytest.raises(ValueError, match="undecodable line 2"):
+                list(wal.replay())
+
     def test_unsupported_version_raises(self, tmp_path):
         path = tmp_path / "future.wal"
         path.write_text('{"v": 99, "tick": 1, "events": []}\n')

@@ -79,11 +79,23 @@ def test_same_session_twice_in_one_tick_rejected(world):
         engine.tick(events)
 
 
-def test_unknown_session_raises(world):
-    engine, _, study = world
+def test_unknown_session_dropped_as_unroutable(world):
+    """A stranded event for a dead session must not abort the batch."""
+    engine, make_service, study = world
+    engine.add_session("alive", make_service())
     scan = study.test_traces[0].initial_fingerprint.rss
-    with pytest.raises(KeyError):
-        engine.tick([IntervalEvent(session_id="nobody", scan=scan)])
+    outcome = engine.tick_detailed(
+        [
+            IntervalEvent(session_id="nobody", scan=scan),
+            IntervalEvent(session_id="alive", scan=scan),
+        ]
+    )
+    assert outcome.unroutable == ("nobody",)
+    assert outcome.fixes[0] is None
+    assert outcome.served == ("alive",)
+    assert outcome.fixes[1] is not None
+    snapshot = engine.metrics.snapshot()
+    assert snapshot["counters"]["engine.unroutable"] == 1
 
 
 def test_tick_serves_and_counts(world):

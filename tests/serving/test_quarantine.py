@@ -142,9 +142,11 @@ class TestQuarantineLifecycle:
         snapshot = engine.metrics.snapshot()
         assert snapshot["counters"]["engine.quarantine.evictions"] == 1
         assert snapshot["counters"]["engine.quarantine.faults"] == max_strikes
-        # Post-eviction the id is unknown: scheduling it is a bug again.
-        with pytest.raises(KeyError):
-            engine.tick([next(events)])
+        # Post-eviction the id is unknown: a stranded event for it is
+        # dropped as unroutable instead of aborting the batch.
+        outcome = engine.tick_detailed([next(events)])
+        assert outcome.unroutable == (victim,)
+        assert outcome.fixes == [None]
 
     def test_faulty_neighbor_leaves_healthy_stream_bitwise_intact(
         self, small_study
@@ -260,6 +262,40 @@ class TestSequenceAdmission:
         assert record.intervals_served == served_before
         snapshot = engine.metrics.snapshot()
         assert snapshot["counters"]["engine.sequence.duplicates"] == 1
+
+    def test_duplicate_during_quarantine_is_answered_idempotently(
+        self, world
+    ):
+        """Answering from the cache re-faults nothing, so a backoff
+        window must not swallow a duplicate redelivery."""
+        engine, workload = world
+        victim = sorted(workload.sessions)[0]
+        victim_events = [
+            event
+            for tick in workload.ticks[:2]
+            for event in _events_of(tick)
+            if event.session_id == victim
+        ]
+        # Tick 1 serves cleanly: the victim now has a cached fix.
+        (cached,) = engine.tick([victim_events[0]])
+        assert cached is not None
+        # Tick 2 faults: the victim enters a backoff window.
+        engine.fault_injector = _raise_for(victim)
+        outcome = engine.tick_detailed([victim_events[1]])
+        assert outcome.faulted[0].action == "quarantined"
+        engine.fault_injector = None
+        record = engine.sessions.get(victim)
+        assert record.quarantined_until > engine.tick_index
+        strikes_before = record.strikes
+        # The transport re-delivers the already-served interval while
+        # the window is still open.
+        outcome = engine.tick_detailed([victim_events[0]])
+        assert outcome.duplicates == (victim,)
+        assert outcome.quarantined == ()
+        assert outcome.fixes[0] is cached
+        # The quarantine itself is untouched: no state, no strikes.
+        assert record.strikes == strikes_before
+        assert record.quarantined_until >= engine.tick_index
 
     def test_stale_delivery_is_dropped(self, world):
         engine, workload = world
