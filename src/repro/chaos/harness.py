@@ -39,7 +39,14 @@ from typing import Dict, List, Optional, Sequence
 
 from ..observability import MetricsRegistry
 from ..serving.engine import BatchedServingEngine, IntervalEvent, TickOutcome
-from .plan import MESSAGE_KINDS, PHASE_KINDS, FaultKind, FaultPlan, FaultSpec
+from .plan import (
+    CLUSTER_KINDS,
+    MESSAGE_KINDS,
+    PHASE_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
 
 __all__ = ["ChaosError", "ChaosHarness"]
 
@@ -95,6 +102,10 @@ class ChaosHarness:
         self.metrics = metrics if metrics is not None else engine.metrics
         self._skew_s = 0.0
         self._pending: List[IntervalEvent] = []
+        #: The events the engine actually received last tick, after the
+        #: message faults rewrote the batch.  The returned ``fixes``
+        #: align with this list, not with the caller's original one.
+        self.last_delivered: List[IntervalEvent] = []
         self._fired_phase_faults: set = set()
         self._base_clock = engine.clock
         engine.clock = self._clock
@@ -242,14 +253,18 @@ class ChaosHarness:
         """
         upcoming = self.engine.tick_index + 1
         faulted_events = self._apply_message_faults(upcoming, events)
+        self.last_delivered = list(faulted_events)
         self._fired_phase_faults.clear()
         outcome = self.engine.tick_detailed(faulted_events)
         # Reconcile the plan: a scheduled phase fault whose injection
         # point was never reached this tick (victim quarantined, no
         # event, or no matchable fingerprint for a match-phase fault)
         # fired nowhere — count it, or the report undercounts the plan.
+        # Cluster-level faults (worker kills) have no injection point in
+        # a single-engine harness at all, so they reconcile as skipped
+        # too: injected + skipped still sums exactly to the plan.
         for spec in self.plan.faults_at(upcoming):
-            if (
+            if spec.kind in CLUSTER_KINDS or (
                 spec.kind in PHASE_KINDS
                 and spec not in self._fired_phase_faults
             ):

@@ -51,10 +51,18 @@ class FaultKind(Enum):
     """The victim's event is delayed past its successor (the consumer
     sees a delivery gap, then a stale message)."""
 
+    WORKER_KILL = "worker-kill"
+    """The whole worker process hosting the victim's session dies
+    before the tick (exercises supervised respawn and checkpoint + WAL
+    recovery).  A cluster-level fault: only the
+    :class:`~repro.cluster.chaos.ClusterChaosHarness` can apply it —
+    the single-engine harness counts it as skipped."""
+
 
 # Kinds that target the message transport (applied to the event list
 # before the tick) vs. the serving phases (applied via the engine's
-# fault injector hook).
+# fault injector hook) vs. the cluster topology (applied by the cluster
+# harness to whole workers).
 MESSAGE_KINDS = (
     FaultKind.CORRUPT_SCAN,
     FaultKind.TRUNCATE_SCAN,
@@ -63,6 +71,14 @@ MESSAGE_KINDS = (
     FaultKind.REORDER_MESSAGE,
 )
 PHASE_KINDS = (FaultKind.RAISE, FaultKind.LATENCY)
+CLUSTER_KINDS = (FaultKind.WORKER_KILL,)
+
+# The default pool for FaultPlan.random: the engine-level kinds, in the
+# enum's historical order.  WORKER_KILL is deliberately excluded —
+# opting a storm into cluster faults takes an explicit ``kinds=`` — and
+# keeping the pool's length and order fixed keeps every pre-cluster
+# seed generating the exact same plan it always did.
+DEFAULT_RANDOM_KINDS = PHASE_KINDS + MESSAGE_KINDS
 
 _PHASES = ("prepare", "match", "complete")
 
@@ -172,7 +188,7 @@ class FaultPlan:
             raise ValueError(f"rate must be in [0, 1], got {rate}")
         if n_ticks < 1:
             raise ValueError(f"n_ticks must be >= 1, got {n_ticks}")
-        pool = list(kinds) if kinds is not None else list(FaultKind)
+        pool = list(kinds) if kinds is not None else list(DEFAULT_RANDOM_KINDS)
         if not pool:
             raise ValueError("need at least one fault kind to draw from")
         rng = random.Random(seed)

@@ -17,6 +17,13 @@ Commands:
   plan, the per-kind injection counts, the engine's quarantine/shed
   response, and the full metrics snapshot.  The CI chaos lane archives
   this document as its artifact.
+* ``cluster`` — serve the same batched workload twice, through a single
+  engine and through a sharded :mod:`repro.cluster` deployment (in-process
+  or spawned workers), optionally under one shared fault storm (message
+  faults plus worker kills), and print one JSON document with both
+  sides' per-session fix-stream checksums, an ``equal`` verdict (the
+  exit code: 0 iff bitwise equal), and the cluster's merged metrics.
+  The CI cluster lanes archive this document as their artifact.
 
 All commands are deterministic given ``--seed`` (wall-clock metrics in
 ``metrics``/``chaos`` output excepted).
@@ -27,7 +34,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -210,6 +217,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the JSON document here",
     )
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="serve a batched workload through a sharded cluster, verify "
+        "bitwise equality against a single engine, and print the report "
+        "as JSON (exit code 0 iff equal)",
+    )
+    cluster.add_argument(
+        "--shards", type=int, default=2, help="shard count (default 2)"
+    )
+    cluster.add_argument(
+        "--transport",
+        choices=("local", "process"),
+        default="local",
+        help="in-process workers (local, default) or spawned child "
+        "processes (process)",
+    )
+    cluster.add_argument(
+        "--sessions", type=int, default=8, help="concurrent sessions (default 8)"
+    )
+    cluster.add_argument(
+        "--corpus-size",
+        type=int,
+        default=4,
+        help="distinct walks replayed (default 4)",
+    )
+    cluster.add_argument(
+        "--n-aps", type=int, default=6, help="AP count (default 6)"
+    )
+    cluster.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="when set, run BOTH sides under the same seeded storm of "
+        "message faults and worker kills (default: no storm)",
+    )
+    cluster.add_argument(
+        "--rate",
+        type=float,
+        default=0.1,
+        help="per-(tick, session) fault probability (default 0.1)",
+    )
+    cluster.add_argument(
+        "--workdir",
+        type=Path,
+        default=None,
+        help="directory for shard WAL/checkpoint files (default: a "
+        "fresh temp dir)",
+    )
+    cluster.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the JSON document here",
+    )
     return parser
 
 
@@ -258,6 +320,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.chaos_seed,
             args.rate,
             args.tick_budget_ms,
+            args.output,
+        )
+    if args.command == "cluster":
+        return _cluster(
+            _study_from(args),
+            args.shards,
+            args.transport,
+            args.sessions,
+            args.corpus_size,
+            args.n_aps,
+            args.chaos_seed,
+            args.rate,
+            args.workdir,
             args.output,
         )
     raise AssertionError(f"unhandled command {args.command!r}")
@@ -573,6 +648,201 @@ def _chaos(
         output.write_text(text + "\n", encoding="utf-8")
     print(text)
     return 0
+
+
+def _cluster(
+    study: Study,
+    n_shards: int,
+    transport: str,
+    n_sessions: int,
+    corpus_size: int,
+    n_aps: int,
+    chaos_seed: Optional[int],
+    rate: float,
+    workdir: Optional[Path],
+    output: Optional[Path],
+) -> int:
+    """Serve one workload twice — single engine vs. cluster — and diff.
+
+    The two runs share everything: study, workload, calibrated
+    services, and (when ``--chaos-seed`` is given) one fault plan drawn
+    from the message-fault and worker-kill kinds.  Worker kills are
+    injected only on the cluster side (the single-engine harness counts
+    them skipped) and supervised recovery must make them invisible, so
+    the per-session fix streams are required to match bitwise either
+    way.  Exit code 0 iff they do.
+    """
+    import json
+    import tempfile
+
+    from .chaos import ChaosHarness, FaultPlan
+    from .chaos.plan import CLUSTER_KINDS, MESSAGE_KINDS
+    from .cluster import (
+        ClusterChaosHarness,
+        ClusterCoordinator,
+        LocalShard,
+        ProcessShard,
+        fresh_session_entry,
+        shard_spec,
+    )
+    from .serving import (
+        BatchedServingEngine,
+        IntervalEvent,
+        build_session_services,
+        fix_stream_checksum,
+    )
+    from .sim.evaluation import multi_session_workload
+
+    fingerprint_db = study.fingerprint_db(n_aps)
+    motion_db, _ = study.motion_db(n_aps)
+    plan = study.scenario.plan
+    workload = multi_session_workload(
+        study.test_traces,
+        n_sessions,
+        corpus_size=min(corpus_size, n_sessions),
+        stagger_ticks=2,
+    )
+    fault_plan = None
+    if chaos_seed is not None:
+        fault_plan = FaultPlan.random(
+            seed=chaos_seed,
+            n_ticks=len(workload.ticks),
+            session_ids=sorted(workload.sessions),
+            rate=rate,
+            kinds=tuple(MESSAGE_KINDS) + tuple(CLUSTER_KINDS),
+        )
+
+    def services() -> Dict[str, object]:
+        return build_session_services(
+            workload,
+            fingerprint_db,
+            motion_db,
+            study.config,
+            resilient=True,
+            plan=plan,
+        )
+
+    def events_of(tick) -> List[IntervalEvent]:
+        return [
+            IntervalEvent(
+                session_id=interval.session_id,
+                scan=interval.scan,
+                imu=interval.imu,
+                sequence=interval.sequence,
+            )
+            for interval in tick
+        ]
+
+    def digests(streams: Dict[str, List[object]]) -> Dict[str, object]:
+        # Under a storm a stream may carry None slots (an event dropped
+        # as stale); checksum the served fixes and record the gaps so
+        # "equal" still means slot-for-slot identical.
+        return {
+            session_id: {
+                "checksum": fix_stream_checksum(
+                    [fix for fix in stream if fix is not None]
+                ),
+                "fixes": len(stream),
+                "gaps": [
+                    slot for slot, fix in enumerate(stream) if fix is None
+                ],
+            }
+            for session_id, stream in sorted(streams.items())
+        }
+
+    def run_single() -> Dict[str, object]:
+        engine = BatchedServingEngine(
+            fingerprint_db, motion_db, study.config
+        )
+        harness = (
+            ChaosHarness(engine, fault_plan)
+            if fault_plan is not None
+            else None
+        )
+        for session_id, service in services().items():
+            engine.add_session(session_id, service)
+        streams = {sid: [] for sid in workload.sessions}
+        for tick in workload.ticks:
+            events = events_of(tick)
+            if harness is not None:
+                outcome = harness.tick_detailed(events)
+                delivered = harness.last_delivered
+            else:
+                outcome = engine.tick_detailed(events)
+                delivered = events
+            for event, fix in zip(delivered, outcome.fixes):
+                streams[event.session_id].append(fix)
+        return digests(streams)
+
+    def run_cluster(shard_dir: Path) -> Tuple[Dict[str, object], Dict]:
+        transport_cls = LocalShard if transport == "local" else ProcessShard
+        shards = [
+            transport_cls(
+                shard_spec(
+                    f"shard-{index}",
+                    fingerprint_db,
+                    motion_db,
+                    study.config,
+                    plan=plan,
+                    wal_path=shard_dir / f"shard-{index}.wal",
+                    checkpoint_path=shard_dir / f"shard-{index}.ckpt",
+                )
+            )
+            for index in range(n_shards)
+        ]
+        coordinator = ClusterCoordinator(shards)
+        harness = (
+            ClusterChaosHarness(coordinator, fault_plan)
+            if fault_plan is not None
+            else None
+        )
+        for session_id, service in sorted(services().items()):
+            coordinator.add_session(fresh_session_entry(session_id, service))
+        streams = {sid: [] for sid in workload.sessions}
+        for tick in workload.ticks:
+            events = events_of(tick)
+            if harness is not None:
+                outcome = harness.tick(events)
+                delivered = harness.last_delivered
+            else:
+                outcome = coordinator.tick_detailed(events)
+                delivered = events
+            for event, fix in zip(delivered, outcome.fixes):
+                streams[event.session_id].append(fix)
+        snapshot = coordinator.metrics_snapshot()
+        coordinator.shutdown()
+        return digests(streams), snapshot
+
+    if workdir is None:
+        shard_dir = Path(tempfile.mkdtemp(prefix="repro-cluster-"))
+    else:
+        shard_dir = workdir
+        shard_dir.mkdir(parents=True, exist_ok=True)
+
+    single_digests = run_single()
+    cluster_digests, snapshot = run_cluster(shard_dir)
+    equal = single_digests == cluster_digests
+    document = {
+        "report": "cluster",
+        "shards": n_shards,
+        "transport": transport,
+        "sessions": n_sessions,
+        "ticks": len(workload.ticks),
+        "chaos_seed": chaos_seed,
+        "rate": rate if chaos_seed is not None else None,
+        "scheduled_faults": 0 if fault_plan is None else len(fault_plan),
+        "equal": equal,
+        "single": single_digests,
+        "cluster": cluster_digests,
+        "coordinator": snapshot["coordinator"],
+        "merged_metrics": snapshot["merged"],
+    }
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    return 0 if equal else 1
 
 
 def _report(study: Study, output: Path) -> int:

@@ -1,0 +1,71 @@
+"""Sharded multi-process serving with migration and supervised recovery.
+
+The cluster layer scales the single-process
+:class:`~repro.serving.engine.BatchedServingEngine` horizontally while
+keeping its strongest guarantee intact: a cluster at any shard count
+produces *bitwise-identical* fix streams to one engine serving the
+same workload (asserted by ``tests/cluster/test_cluster_equivalence.py``
+on the golden-trace fixtures).
+
+The pieces, bottom up:
+
+* :mod:`~repro.cluster.routing` — rendezvous (HRW) hashing of session
+  id to home shard; pure, order-invariant, and minimally disruptive
+  under resizing.
+* :mod:`~repro.cluster.messages` — the versioned JSON wire format (no
+  pickle anywhere) carrying events, fixes, outcomes, and checkpoints
+  across shard boundaries.
+* :mod:`~repro.cluster.bootstrap` — the JSON shard spec that rebuilds
+  a worker's full deployment (databases, config, service kind, durable
+  file paths) in any process.
+* :mod:`~repro.cluster.worker` — one engine plus checkpoint + WAL
+  behind a message loop; recovers itself on construction, answers
+  post-recovery re-deliveries idempotently.
+* :mod:`~repro.cluster.transport` — :class:`LocalShard` (in-process,
+  deterministic tests) and :class:`ProcessShard` (spawned child, real
+  ``SIGKILL``), interchangeable behind one request/response surface.
+* :mod:`~repro.cluster.coordinator` — routing, lockstep ticking,
+  outcome and metrics merging, supervised respawn, and live
+  resharding by checkpoint handoff.
+* :mod:`~repro.cluster.chaos` — the cluster storm harness, adding
+  ``worker-kill`` to the fault vocabulary.
+
+See ``docs/serving.md`` (cluster section) for the protocol and the
+recovery/resharding flows.
+"""
+
+from .bootstrap import build_engine, fresh_session_entry, shard_spec
+from .chaos import ClusterChaosHarness
+from .coordinator import ClusterCoordinator, ClusterTickOutcome
+from .messages import (
+    WIRE_FORMAT_VERSION,
+    ClusterWireError,
+    decode_message,
+    encode_message,
+    outcome_from_dict,
+    outcome_to_dict,
+)
+from .routing import ShardRouter, rendezvous_shard
+from .transport import LocalShard, ProcessShard, ShardDown
+from .worker import ShardWorker
+
+__all__ = [
+    "WIRE_FORMAT_VERSION",
+    "ClusterChaosHarness",
+    "ClusterCoordinator",
+    "ClusterTickOutcome",
+    "ClusterWireError",
+    "LocalShard",
+    "ProcessShard",
+    "ShardDown",
+    "ShardRouter",
+    "ShardWorker",
+    "build_engine",
+    "decode_message",
+    "encode_message",
+    "fresh_session_entry",
+    "outcome_from_dict",
+    "outcome_to_dict",
+    "rendezvous_shard",
+    "shard_spec",
+]

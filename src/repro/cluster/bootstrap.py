@@ -1,0 +1,191 @@
+"""Shard bootstrap: a JSON spec that builds a worker in any process.
+
+A shard worker may live in the coordinator's process
+(:class:`~repro.cluster.transport.LocalShard`) or in a spawned child
+(:class:`~repro.cluster.transport.ProcessShard`); either way it must
+construct the exact same deployment — databases, configuration, service
+kind — or the cluster's bitwise-equivalence contract is void before the
+first tick.  The *shard spec* built here is that deployment, flattened
+to a JSON-compatible dict through the project's existing serializers
+(:mod:`repro.io.serialize`), so it crosses a process boundary as plain
+data: no pickled objects, no code, nothing a corrupted transport could
+turn into execution.
+
+The spec also pins the worker's durable files (checkpoint + WAL paths),
+which is what makes supervised respawn a pure function of the spec: the
+supervisor re-runs :func:`build_worker` with the same dict and the
+worker recovers itself from its own files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..core.config import MoLocConfig
+from ..core.fingerprint import FingerprintDatabase
+from ..core.motion_db import MotionDatabase
+from ..env.floorplan import FloorPlan
+from ..io.serialize import (
+    fingerprint_db_from_dict,
+    fingerprint_db_to_dict,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    motion_db_from_dict,
+    motion_db_to_dict,
+)
+from ..motion.pedestrian import BodyProfile
+from ..robustness.service import ResilientMoLocService
+from ..service import MoLocService
+from ..serving.engine import BatchedServingEngine
+
+__all__ = [
+    "SPEC_FORMAT_VERSION",
+    "shard_spec",
+    "build_engine",
+    "fresh_session_entry",
+]
+
+SPEC_FORMAT_VERSION = 1
+
+
+def shard_spec(
+    shard_id: str,
+    fingerprint_db: FingerprintDatabase,
+    motion_db: MotionDatabase,
+    config: MoLocConfig = MoLocConfig(),
+    *,
+    wal_path: Union[str, Path],
+    checkpoint_path: Union[str, Path],
+    resilient: bool = True,
+    plan: Optional[FloorPlan] = None,
+    body_height_m: float = 1.72,
+    checkpoint_every: int = 8,
+    tick_budget_s: Optional[float] = None,
+    fsync: bool = False,
+) -> Dict[str, object]:
+    """One shard's full deployment as a JSON-compatible dict.
+
+    Args:
+        shard_id: The shard's identity (the rendezvous-hash key).
+        fingerprint_db: The fingerprint database every session shares.
+        motion_db: The motion database every session shares.
+        config: The shared algorithm configuration.
+        wal_path: The worker's write-ahead log file.
+        checkpoint_path: The worker's checkpoint file.
+        resilient: Serve sessions through
+            :class:`~repro.robustness.service.ResilientMoLocService`
+            (True) or the plain service.
+        plan: Optional floor plan for the resilient watchdog.
+        body_height_m: Body profile height for restored services (the
+            checkpointed stride state overrides its step length).
+        checkpoint_every: Write the checkpoint file every N ticks (0
+            disables periodic checkpoints; membership changes always
+            checkpoint).
+        tick_budget_s: Optional per-tick deadline for the shard engine.
+        fsync: Whether the worker's WAL fsyncs every append.
+    """
+    if not shard_id:
+        raise ValueError("shard_id must be a non-empty string")
+    if checkpoint_every < 0:
+        raise ValueError(
+            f"checkpoint_every must be >= 0, got {checkpoint_every}"
+        )
+    return {
+        "kind": "shard_spec",
+        "format_version": SPEC_FORMAT_VERSION,
+        "shard_id": shard_id,
+        "fingerprint_db": fingerprint_db_to_dict(fingerprint_db),
+        "motion_db": motion_db_to_dict(motion_db),
+        "config": dataclasses.asdict(config),
+        "resilient": bool(resilient),
+        "floorplan": None if plan is None else floorplan_to_dict(plan),
+        "body_height_m": float(body_height_m),
+        "wal_path": str(wal_path),
+        "checkpoint_path": str(checkpoint_path),
+        "checkpoint_every": int(checkpoint_every),
+        "tick_budget_s": tick_budget_s,
+        "fsync": bool(fsync),
+    }
+
+
+def build_engine(
+    spec: Dict[str, object],
+) -> Tuple[BatchedServingEngine, Callable[[str], MoLocService]]:
+    """Rebuild a shard's engine and service factory from its spec.
+
+    Returns:
+        ``(engine, make_service)`` — a fresh engine over the spec's
+        databases and config, and the per-session factory its
+        checkpoint entries restore into.
+
+    Raises:
+        ValueError: for a non-spec document or an unsupported version.
+    """
+    if spec.get("kind") != "shard_spec":
+        raise ValueError(
+            f"expected a 'shard_spec' document, got {spec.get('kind')!r}"
+        )
+    version = spec.get("format_version")
+    if version != SPEC_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported shard spec version {version} "
+            f"(supported: {SPEC_FORMAT_VERSION})"
+        )
+    fingerprint_db = fingerprint_db_from_dict(spec["fingerprint_db"])
+    motion_db = motion_db_from_dict(spec["motion_db"])
+    config = MoLocConfig(**spec["config"])
+    plan = (
+        None
+        if spec["floorplan"] is None
+        else floorplan_from_dict(spec["floorplan"])
+    )
+    resilient = bool(spec["resilient"])
+    height_m = float(spec["body_height_m"])
+
+    def make_service(session_id: str) -> MoLocService:
+        if resilient:
+            return ResilientMoLocService(
+                fingerprint_db,
+                motion_db,
+                body=BodyProfile(height_m=height_m),
+                config=config,
+                plan=plan,
+            )
+        return MoLocService(
+            fingerprint_db,
+            motion_db,
+            body=BodyProfile(height_m=height_m),
+            config=config,
+        )
+
+    engine = BatchedServingEngine(
+        fingerprint_db,
+        motion_db,
+        config,
+        tick_budget_s=spec["tick_budget_s"],
+    )
+    return engine, make_service
+
+
+def fresh_session_entry(
+    session_id: str, service: MoLocService
+) -> Dict[str, object]:
+    """A checkpoint entry for a session that has never been served.
+
+    The cluster admits sessions *as checkpoint entries* — the same unit
+    :meth:`~repro.serving.engine.BatchedServingEngine.checkpoint_session`
+    emits for migration — so a calibrated service built in the
+    coordinator's process travels to its home shard as pure state and
+    is reconstructed there by the shard's own factory.
+    """
+    return {
+        "session_id": session_id,
+        "service": service.state_dict(),
+        "intervals_served": 0,
+        "last_sequence": None,
+        "strikes": 0,
+        "quarantined_until": 0,
+        "last_fix": None,
+    }

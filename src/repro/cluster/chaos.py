@@ -1,0 +1,172 @@
+"""Cluster-level chaos: worker kills and transport faults, scheduled.
+
+:class:`ClusterChaosHarness` drives a
+:class:`~repro.cluster.coordinator.ClusterCoordinator` through a
+:class:`~repro.chaos.plan.FaultPlan`, extending the single-engine
+harness's storm vocabulary with the one fault only a cluster can have:
+
+* :attr:`~repro.chaos.plan.FaultKind.WORKER_KILL` — before the tick is
+  delivered, the shard hosting the victim session is killed (a real
+  ``SIGKILL`` under :class:`~repro.cluster.transport.ProcessShard`, a
+  dropped worker under :class:`~repro.cluster.transport.LocalShard`).
+  The coordinator's supervision then respawns it mid-tick and the
+  recovered worker answers from checkpoint + WAL replay — the chaos
+  invariant under test is that the merged fix stream is *bitwise
+  identical* to a kill-free run.
+* Message faults (drop / duplicate / reorder / corrupt / truncate)
+  apply at the coordinator's front door, before routing, with the same
+  semantics as the engine-level harness — and because a shard WALs the
+  post-fault events it actually received, recovery after a kill
+  replays the faulted stream, not the pristine one.
+* Phase faults (RAISE / LATENCY) have no injection seam across a
+  process boundary, so a cluster harness counts them as skipped —
+  schedule cluster storms from ``MESSAGE_KINDS + CLUSTER_KINDS``.
+
+Accounting matches the engine harness invariant: every scheduled fault
+lands in exactly one of ``chaos.injected.*`` or ``chaos.skipped``, in
+the coordinator's metrics registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..chaos.harness import _corrupt_scan
+from ..chaos.plan import CLUSTER_KINDS, MESSAGE_KINDS, FaultKind, FaultPlan
+from ..observability import MetricsRegistry
+from ..serving.engine import IntervalEvent
+from .coordinator import ClusterCoordinator, ClusterTickOutcome
+
+__all__ = ["ClusterChaosHarness"]
+
+
+class ClusterChaosHarness:
+    """Runs a cluster through a fault schedule, kills included.
+
+    Args:
+        coordinator: The cluster under test.  Worker kills go through
+            its transports; its supervision performs the recovery being
+            exercised.
+        plan: The fault schedule; tick indices are cluster tick
+            indices.  RAISE/LATENCY entries are counted as skipped
+            (see module docstring).
+        metrics: Registry for the injection counters; defaults to the
+            coordinator's, so one snapshot holds storm and response.
+    """
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        plan: FaultPlan,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.coordinator = coordinator
+        self.plan = plan
+        self.metrics = (
+            metrics if metrics is not None else coordinator.metrics
+        )
+        self._pending: List[IntervalEvent] = []
+        #: The events the coordinator actually received last tick, after
+        #: message faults rewrote the batch.  ``ClusterTickOutcome.fixes``
+        #: aligns with this list, not with the caller's original one.
+        self.last_delivered: List[IntervalEvent] = []
+        self._c_injected: Dict[FaultKind, object] = {
+            kind: self.metrics.counter(f"chaos.injected.{kind.value}")
+            for kind in FaultKind
+        }
+        self._c_skipped = self.metrics.counter("chaos.skipped")
+
+    @property
+    def pending_redeliveries(self) -> int:
+        """Events held for later delivery (duplicates and reorders)."""
+        return len(self._pending)
+
+    def tick(self, events: Sequence[IntervalEvent]) -> ClusterTickOutcome:
+        """Serve one cluster tick through the storm.
+
+        Worker kills fire first (the victim's home shard dies before
+        the batch is routed), then message faults rewrite the event
+        list, then the coordinator serves — recovering any killed
+        shard the moment it tries to deliver to it.
+        """
+        upcoming = self.coordinator.tick_index + 1
+        for spec in self.plan.faults_at(upcoming):
+            if spec.kind not in CLUSTER_KINDS:
+                continue
+            shard_id = self.coordinator.router.route(spec.session_id)
+            shard = self.coordinator.shards[shard_id]
+            if shard.is_alive():
+                shard.kill()
+                self._c_injected[spec.kind].inc()
+            else:
+                # Two victims on one shard in one tick: the second kill
+                # finds it already dead.
+                self._c_skipped.inc()
+        faulted_events = self._apply_message_faults(upcoming, events)
+        self.last_delivered = list(faulted_events)
+        for spec in self.plan.faults_at(upcoming):
+            if spec.kind not in MESSAGE_KINDS and spec.kind not in CLUSTER_KINDS:
+                self._c_skipped.inc()
+        return self.coordinator.tick_detailed(faulted_events)
+
+    def _apply_message_faults(
+        self, tick_index: int, events: Sequence[IntervalEvent]
+    ) -> List[IntervalEvent]:
+        """Engine-harness message-fault semantics, at the cluster door."""
+        mutable = list(events)
+        if self._pending:
+            present = {event.session_id for event in mutable}
+            still_pending: List[IntervalEvent] = []
+            for event in self._pending:
+                if event.session_id in present:
+                    still_pending.append(event)
+                else:
+                    mutable.append(event)
+                    present.add(event.session_id)
+            self._pending = still_pending
+
+        for spec in self.plan.faults_at(tick_index):
+            if spec.kind not in MESSAGE_KINDS:
+                continue
+            slot = next(
+                (
+                    index
+                    for index, event in enumerate(mutable)
+                    if event.session_id == spec.session_id
+                ),
+                None,
+            )
+            if slot is None:
+                self._c_skipped.inc()
+                continue
+            event = mutable[slot]
+            if spec.kind is FaultKind.DROP_MESSAGE:
+                del mutable[slot]
+            elif spec.kind is FaultKind.DUPLICATE_MESSAGE:
+                self._pending.append(event)
+            elif spec.kind is FaultKind.REORDER_MESSAGE:
+                del mutable[slot]
+                self._pending.append(event)
+            elif spec.kind is FaultKind.CORRUPT_SCAN:
+                if event.scan is None:
+                    self._c_skipped.inc()
+                    continue
+                mutable[slot] = IntervalEvent(
+                    session_id=event.session_id,
+                    scan=_corrupt_scan(spec, event.scan),
+                    imu=event.imu,
+                    sequence=event.sequence,
+                )
+            elif spec.kind is FaultKind.TRUNCATE_SCAN:
+                if event.scan is None:
+                    self._c_skipped.inc()
+                    continue
+                scan = list(event.scan)
+                mutable[slot] = IntervalEvent(
+                    session_id=event.session_id,
+                    scan=scan[: max(1, len(scan) // 2)],
+                    imu=event.imu,
+                    sequence=event.sequence,
+                )
+            self._c_injected[spec.kind].inc()
+        return mutable

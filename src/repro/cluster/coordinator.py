@@ -1,0 +1,445 @@
+"""The cluster coordinator: route, tick, merge, supervise, reshard.
+
+A :class:`ClusterCoordinator` fronts a set of shard transports
+(:class:`~repro.cluster.transport.LocalShard` or
+:class:`~repro.cluster.transport.ProcessShard`, freely mixed) and
+presents the single-engine serving surface at cluster scale:
+
+* **Routing** — every session has one home shard, decided by
+  rendezvous hashing (:class:`~repro.cluster.routing.ShardRouter`);
+  each tick's events are partitioned by home and delivered as
+  per-shard sub-batches.
+* **Tick alignment** — *every* shard is ticked *every* tick, empty
+  sub-batch or not.  Quarantine expiries and WAL indexing are absolute
+  tick indices, so all shard engines must count the same clock; an
+  idle shard skipping ticks would drift its timeline.
+* **Merging** — per-shard
+  :class:`~repro.serving.engine.TickOutcome` responses merge into one
+  :class:`ClusterTickOutcome` whose ``fixes`` align with the
+  coordinator's original event order, and whose category tuples are
+  sorted back into event order — byte-for-byte the report a single
+  engine would produce for the same batch.
+* **Supervision** — a request that finds a shard dead
+  (:class:`~repro.cluster.transport.ShardDown`) triggers respawn; the
+  replacement worker recovers itself from its checkpoint + WAL, and
+  the coordinator re-delivers the unacknowledged request.  For a tick
+  that the dead worker had already served, the worker's
+  ``replay_tick`` path answers idempotently (see
+  :mod:`repro.cluster.worker`) — the merged fix stream stays bitwise
+  identical to a fault-free run.
+* **Resharding** — :meth:`ClusterCoordinator.reshard` moves sessions
+  to a new topology by checkpoint handoff: each moving session leaves
+  its old shard as a checkpoint entry and is loaded by its new home,
+  mid-run, without touching the sessions that stay put (rendezvous
+  hashing keeps that set to ~1/(N+1) when growing by one shard).
+
+The coordinator drains an optional
+:class:`~repro.serving.admission.AdmissionController` through
+:meth:`ClusterCoordinator.pump`, so overload shedding happens once at
+the front door, before routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..observability import MetricsRegistry
+from ..serving.admission import AdmissionController
+from ..serving.checkpoint import event_to_dict
+from ..serving.engine import (
+    CHECKPOINT_FORMAT_VERSION,
+    IntervalEvent,
+    SessionFault,
+    TickOutcome,
+)
+from .messages import outcome_from_dict
+from .routing import ShardRouter
+from .transport import ShardDown
+
+__all__ = ["ClusterTickOutcome", "ClusterCoordinator"]
+
+
+@dataclass(frozen=True)
+class ClusterTickOutcome:
+    """One cluster tick's merged report.
+
+    The first nine fields mirror
+    :class:`~repro.serving.engine.TickOutcome`, merged across shards
+    and re-sorted into the coordinator's event order.  The extras say
+    what the cluster layer itself did.
+
+    Attributes:
+        fixes: One entry per event, in the coordinator's event order.
+        served: Session ids served fresh this tick.
+        faulted: Per-session failures, in event order.
+        quarantined: Session ids skipped under quarantine.
+        duplicates: Session ids answered idempotently from the cache.
+        stale: Session ids whose event was dropped as out-of-order.
+        shed: Session ids degraded to the fast path by a tick budget.
+        evicted: Session ids removed by strike-out.
+        unroutable: Session ids no shard engine knows.
+        recovered_shards: Shards respawned while serving this tick.
+        replayed_shards: Shards that answered this tick from their
+            duplicate cache (a post-recovery re-delivery).
+        by_shard: Each shard's own outcome, for attribution.
+    """
+
+    fixes: List[object]
+    served: Tuple[str, ...]
+    faulted: Tuple[SessionFault, ...]
+    quarantined: Tuple[str, ...]
+    duplicates: Tuple[str, ...]
+    stale: Tuple[str, ...]
+    shed: Tuple[str, ...]
+    evicted: Tuple[str, ...]
+    unroutable: Tuple[str, ...] = ()
+    recovered_shards: Tuple[str, ...] = ()
+    replayed_shards: Tuple[str, ...] = ()
+    by_shard: Dict[str, TickOutcome] = field(default_factory=dict, repr=False)
+
+
+class ClusterCoordinator:
+    """Routes a shared event stream across supervised shard workers.
+
+    Args:
+        shards: The shard transports, already started; shard ids must
+            be unique.
+        admission: Optional front-door queue for :meth:`pump`.
+        metrics: Registry for the coordinator's own counters (a fresh
+            one when omitted).  Shard engines keep their own registries;
+            :meth:`metrics_snapshot` merges them.
+
+    Raises:
+        ValueError: for zero shards or duplicate shard ids.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[object],
+        admission: Optional[AdmissionController] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        ids = [shard.shard_id for shard in shards]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate shard ids in {ids!r}")
+        self._shards: Dict[str, object] = {
+            shard.shard_id: shard for shard in shards
+        }
+        self.router = ShardRouter(ids)
+        self.admission = admission
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tick_index = 0
+        self._c_ticks = self.metrics.counter("cluster.ticks")
+        self._c_events = self.metrics.counter("cluster.events")
+        self._c_recoveries = self.metrics.counter("cluster.recoveries")
+        self._c_redelivered = self.metrics.counter("cluster.redelivered")
+        self._c_reshards = self.metrics.counter("cluster.reshards")
+        self._c_migrated = self.metrics.counter("cluster.migrated_sessions")
+        self._g_shards = self.metrics.gauge("cluster.shards")
+        self._g_sessions = self.metrics.gauge("cluster.sessions")
+        self._g_shards.set(len(self._shards))
+
+    @property
+    def tick_index(self) -> int:
+        """The cluster-wide tick counter (every shard engine matches)."""
+        return self._tick_index
+
+    @property
+    def shards(self) -> Dict[str, object]:
+        """The live transports, by shard id."""
+        return dict(self._shards)
+
+    # ------------------------------------------------------------------
+    # Supervised requests
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, shard_id: str, payload: Dict[str, object]
+    ) -> Tuple[Dict[str, object], bool]:
+        """Send one request, respawning and retrying once on a dead shard.
+
+        Returns:
+            ``(reply, recovered)`` where ``recovered`` says the shard
+            had to be respawned to answer.
+        """
+        shard = self._shards[shard_id]
+        try:
+            return shard.request(payload), False
+        except ShardDown:
+            self._c_recoveries.inc()
+            shard.respawn()
+            return shard.request(payload), True
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def add_session(self, entry: Dict[str, object]) -> str:
+        """Admit one session (a checkpoint entry) to its home shard.
+
+        Build the entry with
+        :func:`~repro.cluster.bootstrap.fresh_session_entry` for a new
+        session, or hand over one produced by
+        :meth:`~repro.serving.engine.BatchedServingEngine.checkpoint_session`.
+
+        Returns:
+            The shard id the session now lives on.
+        """
+        shard_id = self.router.route(entry["session_id"])
+        self._request(shard_id, {"op": "add_session", "entry": entry})
+        self._g_sessions.set(len(self.session_homes()))
+        return shard_id
+
+    def session_homes(self) -> Dict[str, str]:
+        """Every live session's home shard (asks the workers)."""
+        homes: Dict[str, str] = {}
+        for shard_id in self.router.shard_ids:
+            reply, _ = self._request(shard_id, {"op": "ping"})
+            for session_id in reply["sessions"]:
+                homes[session_id] = shard_id
+        return homes
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def tick(self, events: Sequence[IntervalEvent]) -> List[object]:
+        """Serve one cluster tick (see :meth:`tick_detailed`)."""
+        return self.tick_detailed(events).fixes
+
+    def pump(self, max_batch: Optional[int] = None) -> ClusterTickOutcome:
+        """Drain the admission queue into one cluster tick.
+
+        Raises:
+            ValueError: if no admission controller was configured.
+        """
+        if self.admission is None:
+            raise ValueError("coordinator has no admission controller")
+        return self.tick_detailed(self.admission.drain(max_batch))
+
+    def tick_detailed(
+        self, events: Sequence[IntervalEvent]
+    ) -> ClusterTickOutcome:
+        """Route one tick's events, serve every shard, merge the outcomes.
+
+        Every shard receives a tick request — an empty one if no event
+        routed to it — so all shard engines advance in lockstep with
+        the cluster tick index.
+        """
+        self._tick_index += 1
+        self._c_ticks.inc()
+        self._c_events.inc(len(events))
+        order: Dict[str, int] = {}
+        groups: Dict[str, List[Tuple[int, IntervalEvent]]] = {
+            shard_id: [] for shard_id in self.router.shard_ids
+        }
+        for slot, event in enumerate(events):
+            order.setdefault(event.session_id, slot)
+            groups[self.router.route(event.session_id)].append((slot, event))
+
+        fixes: List[object] = [None] * len(events)
+        by_shard: Dict[str, TickOutcome] = {}
+        recovered: List[str] = []
+        replayed: List[str] = []
+        # Split-phase dispatch: write every shard's request before
+        # collecting any reply, so transports with a ``send``/``receive``
+        # pair (subprocess workers) serve the tick concurrently instead
+        # of in turn.  A shard that fails either half is routed through
+        # the supervised path in the collect phase: respawn from
+        # checkpoint + WAL, then re-deliver — the worker answers a tick
+        # its predecessor already served idempotently, so recovery here
+        # is bitwise invisible exactly as it is for a serial request.
+        payloads: Dict[str, Dict[str, object]] = {}
+        dispatched: Dict[str, bool] = {}
+        for shard_id in self.router.shard_ids:
+            payloads[shard_id] = {
+                "op": "tick",
+                "tick": self._tick_index,
+                "events": [
+                    event_to_dict(event) for _, event in groups[shard_id]
+                ],
+            }
+            sender = getattr(self._shards[shard_id], "send", None)
+            if sender is None:
+                dispatched[shard_id] = False
+                continue
+            try:
+                sender(payloads[shard_id])
+                dispatched[shard_id] = True
+            except ShardDown:
+                dispatched[shard_id] = False
+        for shard_id in self.router.shard_ids:
+            group = groups[shard_id]
+            if dispatched[shard_id]:
+                shard = self._shards[shard_id]
+                try:
+                    reply, respawned = shard.receive(), False
+                except ShardDown:
+                    self._c_recoveries.inc()
+                    shard.respawn()
+                    reply, respawned = shard.request(payloads[shard_id]), True
+            else:
+                reply, respawned = self._request(
+                    shard_id, payloads[shard_id]
+                )
+            if respawned:
+                recovered.append(shard_id)
+            if reply["replayed"]:
+                replayed.append(shard_id)
+                self._c_redelivered.inc()
+            outcome = outcome_from_dict(reply["outcome"])
+            by_shard[shard_id] = outcome
+            for (slot, _), fix in zip(group, outcome.fixes):
+                fixes[slot] = fix
+
+        def merge(name: str) -> Tuple[str, ...]:
+            ids = [
+                session_id
+                for shard_id in self.router.shard_ids
+                for session_id in getattr(by_shard[shard_id], name)
+            ]
+            return tuple(sorted(ids, key=lambda sid: order.get(sid, -1)))
+
+        faulted = tuple(
+            sorted(
+                (
+                    fault
+                    for shard_id in self.router.shard_ids
+                    for fault in by_shard[shard_id].faulted
+                ),
+                key=lambda fault: order.get(fault.session_id, -1),
+            )
+        )
+        return ClusterTickOutcome(
+            fixes=fixes,
+            served=merge("served"),
+            faulted=faulted,
+            quarantined=merge("quarantined"),
+            duplicates=merge("duplicates"),
+            stale=merge("stale"),
+            shed=merge("shed"),
+            evicted=merge("evicted"),
+            unroutable=merge("unroutable"),
+            recovered_shards=tuple(recovered),
+            replayed_shards=tuple(replayed),
+            by_shard=by_shard,
+        )
+
+    # ------------------------------------------------------------------
+    # Resharding
+    # ------------------------------------------------------------------
+
+    def reshard(self, shards: Sequence[object]) -> Dict[str, Tuple[str, str]]:
+        """Migrate to a new shard topology by checkpoint handoff.
+
+        Args:
+            shards: The complete new topology — surviving transports
+                (the same objects) plus newly started ones.  Shards
+                absent from the list are drained and shut down.
+
+        Returns:
+            ``{session_id: (old_shard, new_shard)}`` for every migrated
+            session.
+
+        New shards are first aligned to the cluster tick (an empty
+        restore pins their engines' tick index), then each moving
+        session is captured on its old shard
+        (``checkpoint_session`` + removal, one durable handoff op) and
+        loaded on its new home.  Sessions whose home is unchanged are
+        untouched — no serving pause, no state churn.
+        """
+        new_ids = [shard.shard_id for shard in shards]
+        if len(set(new_ids)) != len(new_ids):
+            raise ValueError(f"duplicate shard ids in {new_ids!r}")
+        new_by_id = {shard.shard_id: shard for shard in shards}
+        new_router = ShardRouter(new_ids)
+        old_homes = self.session_homes()
+
+        moved: Dict[str, Tuple[str, str]] = {}
+        outgoing: Dict[str, List[str]] = {}
+        for session_id, old_home in old_homes.items():
+            new_home = new_router.route(session_id)
+            if new_home != old_home:
+                moved[session_id] = (old_home, new_home)
+                outgoing.setdefault(old_home, []).append(session_id)
+
+        # Align brand-new shards to the cluster clock before they host
+        # anyone: an empty restore sets their engines' tick index.
+        added = [sid for sid in new_router.shard_ids if sid not in self._shards]
+        for shard_id in added:
+            new_by_id[shard_id].request(
+                {
+                    "op": "restore",
+                    "checkpoint": {
+                        "kind": "engine_checkpoint",
+                        "format_version": CHECKPOINT_FORMAT_VERSION,
+                        "tick_index": self._tick_index,
+                        "sessions": [],
+                    },
+                }
+            )
+
+        entries: List[Tuple[str, Dict[str, object]]] = []
+        for old_home, session_ids in outgoing.items():
+            reply, _ = self._request(
+                old_home, {"op": "handoff", "session_ids": session_ids}
+            )
+            for entry in reply["entries"]:
+                entries.append((moved[entry["session_id"]][1], entry))
+        retired = {
+            shard_id: self._shards[shard_id]
+            for shard_id in self.router.shard_ids
+            if shard_id not in new_by_id
+        }
+
+        self._shards = dict(new_by_id)
+        self.router = new_router
+        for new_home, entry in entries:
+            self._request(new_home, {"op": "add_session", "entry": entry})
+        for transport in retired.values():
+            transport.shutdown()
+        self._c_reshards.inc()
+        self._c_migrated.inc(len(moved))
+        self._g_shards.set(len(self._shards))
+        self._g_sessions.set(len(old_homes))
+        return moved
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The whole cluster's metrics as one JSON document.
+
+        Returns:
+            ``{"schema": 1, "coordinator": ..., "shards": {id: ...},
+            "merged": ...}`` where each shard contributes its engine's
+            full ``metrics_snapshot`` and ``merged`` aggregates the
+            shards section by section via
+            :meth:`~repro.observability.MetricsRegistry.aggregate` —
+            the same document shape a single engine produces, summed
+            across the fleet.
+        """
+        shard_snapshots: Dict[str, Dict[str, object]] = {}
+        for shard_id in self.router.shard_ids:
+            reply, _ = self._request(shard_id, {"op": "metrics"})
+            shard_snapshots[shard_id] = reply["metrics"]
+        merged = {
+            section: MetricsRegistry.aggregate(
+                snapshot[section] for snapshot in shard_snapshots.values()
+            )
+            for section in ("engine", "matcher", "transitions", "sessions")
+        }
+        merged["schema"] = 1
+        return {
+            "schema": 1,
+            "coordinator": self.metrics.snapshot(),
+            "shards": shard_snapshots,
+            "merged": merged,
+        }
+
+    def shutdown(self) -> None:
+        """Cleanly stop every shard."""
+        for shard in self._shards.values():
+            shard.shutdown()

@@ -1,0 +1,142 @@
+"""The cluster wire format: versioned JSON messages, no pickle.
+
+Everything that crosses a shard boundary — requests, responses, events,
+fixes, checkpoints — is a plain JSON document, the same serialization
+discipline the PR 4 checkpoint/WAL formats established:
+
+* floats survive bit-exactly (``json.dumps``/``loads`` round-trips
+  Python floats through shortest-repr, and the fix/event serializers in
+  :mod:`repro.io.serialize` and :mod:`repro.serving.checkpoint` are the
+  ones the kill-anywhere recovery tests already prove exact);
+* every request and response carries ``{"v": WIRE_FORMAT_VERSION}`` and
+  a decoder rejects anything else — a cluster of mixed-version workers
+  fails loudly at the first message, not with a silently divergent
+  stream;
+* no pickle anywhere: a worker only ever evaluates data, so a
+  compromised or corrupted transport cannot execute code in a peer.
+
+The encoded form is a single UTF-8 JSON line, which is also what makes
+:class:`~repro.cluster.transport.LocalShard` an honest test double —
+it pushes every message through the same ``encode``/``decode`` pair a
+process boundary would.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..io.serialize import fix_from_dict, fix_to_dict
+from ..serving.engine import SessionFault, TickOutcome
+
+__all__ = [
+    "WIRE_FORMAT_VERSION",
+    "ClusterWireError",
+    "encode_message",
+    "decode_message",
+    "outcome_to_dict",
+    "outcome_from_dict",
+]
+
+WIRE_FORMAT_VERSION = 1
+
+
+class ClusterWireError(ValueError):
+    """A malformed, wrong-version, or failed cluster message."""
+
+
+def encode_message(payload: Dict[str, object]) -> str:
+    """One message as a single JSON line (stamps the wire version)."""
+    document = dict(payload)
+    document["v"] = WIRE_FORMAT_VERSION
+    return json.dumps(document, sort_keys=True)
+
+
+def decode_message(line: str) -> Dict[str, object]:
+    """Decode and version-check one message line.
+
+    Raises:
+        ClusterWireError: for undecodable JSON, a non-object payload,
+            or a wire version this build does not speak.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ClusterWireError(
+            f"undecodable cluster message: {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise ClusterWireError(
+            f"cluster message must be a JSON object, got {type(payload).__name__}"
+        )
+    version = payload.get("v")
+    if version != WIRE_FORMAT_VERSION:
+        raise ClusterWireError(
+            f"unsupported cluster wire version {version!r} "
+            f"(supported: {WIRE_FORMAT_VERSION})"
+        )
+    return payload
+
+
+def _fault_to_dict(fault: SessionFault) -> Dict[str, object]:
+    return {
+        "session_id": fault.session_id,
+        "phase": fault.phase,
+        "error": fault.error,
+        "strikes": fault.strikes,
+        "action": fault.action,
+        "backoff_ticks": fault.backoff_ticks,
+    }
+
+
+def _fault_from_dict(payload: Dict[str, object]) -> SessionFault:
+    return SessionFault(
+        session_id=payload["session_id"],
+        phase=payload["phase"],
+        error=payload["error"],
+        strikes=int(payload["strikes"]),
+        action=payload["action"],
+        backoff_ticks=int(payload["backoff_ticks"]),
+    )
+
+
+def outcome_to_dict(outcome: TickOutcome) -> Dict[str, object]:
+    """Serialize a :class:`~repro.serving.engine.TickOutcome`.
+
+    Fix slots serialize through :func:`repro.io.serialize.fix_to_dict`
+    (bit-exact for plain and resilient fixes alike); None slots stay
+    None, so the event alignment survives the wire.
+    """
+    return {
+        "fixes": [
+            None if fix is None else fix_to_dict(fix)
+            for fix in outcome.fixes
+        ],
+        "served": list(outcome.served),
+        "faulted": [_fault_to_dict(fault) for fault in outcome.faulted],
+        "quarantined": list(outcome.quarantined),
+        "duplicates": list(outcome.duplicates),
+        "stale": list(outcome.stale),
+        "shed": list(outcome.shed),
+        "evicted": list(outcome.evicted),
+        "unroutable": list(outcome.unroutable),
+    }
+
+
+def outcome_from_dict(payload: Dict[str, object]) -> TickOutcome:
+    """Rebuild a tick outcome written by :func:`outcome_to_dict`."""
+    fixes: List[Optional[object]] = [
+        None if fix is None else fix_from_dict(fix)
+        for fix in payload["fixes"]
+    ]
+    return TickOutcome(
+        fixes=fixes,
+        served=tuple(payload["served"]),
+        faulted=tuple(_fault_from_dict(f) for f in payload["faulted"]),
+        quarantined=tuple(payload["quarantined"]),
+        duplicates=tuple(payload["duplicates"]),
+        stale=tuple(payload["stale"]),
+        shed=tuple(payload["shed"]),
+        evicted=tuple(payload["evicted"]),
+        unroutable=tuple(payload["unroutable"]),
+    )

@@ -1,0 +1,112 @@
+"""Session-to-shard routing via rendezvous (HRW) hashing.
+
+MoLoc's per-session state (the candidate set carried across intervals,
+Eq. 5-7) never crosses sessions, so a cluster can partition sessions
+across workers by id alone.  The routing function has to satisfy two
+deployment constraints:
+
+* **Stability under resizing.**  Growing a cluster from N to N+1
+  shards must not reshuffle the world: rendezvous hashing moves only
+  the sessions whose new highest-weight shard *is* the new shard — an
+  expected 1/(N+1) of them — and every other session keeps its home.
+  (Routing-stability properties in ``tests/cluster/test_routing.py``
+  assert exactly this.)
+* **Pure determinism.**  The shard for a session id is a function of
+  ``(session_id, shard_ids)`` and nothing else — no ring state, no
+  insertion order, no RNG — so the coordinator, a recovering
+  supervisor, and a test can all compute the same answer
+  independently.
+
+Weights are ``blake2b(shard_id ":" session_id)`` digests compared as
+big-endian integers (ties broken by shard id, which cannot collide
+because shard ids are unique), the same keyed-hash determinism the
+quarantine backoff jitter already relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["ShardRouter", "rendezvous_shard"]
+
+
+def _weight(shard_id: str, session_id: str) -> int:
+    digest = hashlib.blake2b(
+        f"{shard_id}:{session_id}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def rendezvous_shard(session_id: str, shard_ids: Sequence[str]) -> str:
+    """The highest-random-weight shard for a session id.
+
+    Pure in ``(session_id, shard_ids)``: the same arguments always give
+    the same shard, in any process, regardless of the order shard ids
+    are listed in.
+
+    Raises:
+        ValueError: for an empty shard list or duplicate shard ids.
+    """
+    if not shard_ids:
+        raise ValueError("cannot route with no shards")
+    if len(set(shard_ids)) != len(shard_ids):
+        raise ValueError(f"duplicate shard ids in {list(shard_ids)!r}")
+    return max(shard_ids, key=lambda sid: (_weight(sid, session_id), sid))
+
+
+class ShardRouter:
+    """Rendezvous-hash routing over a fixed set of shard ids.
+
+    Args:
+        shard_ids: The cluster's shard identities.  Order does not
+            matter (routing is order-invariant); ids must be unique.
+    """
+
+    def __init__(self, shard_ids: Sequence[str]) -> None:
+        if not shard_ids:
+            raise ValueError("a router needs at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValueError(f"duplicate shard ids in {list(shard_ids)!r}")
+        self._shard_ids: Tuple[str, ...] = tuple(sorted(shard_ids))
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        """The shard ids routed over (sorted)."""
+        return self._shard_ids
+
+    def route(self, session_id: str) -> str:
+        """The home shard of one session."""
+        return rendezvous_shard(session_id, self._shard_ids)
+
+    def assignments(
+        self, session_ids: Iterable[str]
+    ) -> Dict[str, List[str]]:
+        """Sessions grouped by home shard (every shard present).
+
+        Returns:
+            ``{shard_id: [session_id, ...]}`` with sessions in the
+            order given; shards with no sessions map to an empty list.
+        """
+        groups: Dict[str, List[str]] = {sid: [] for sid in self._shard_ids}
+        for session_id in session_ids:
+            groups[self.route(session_id)].append(session_id)
+        return groups
+
+    def moved_sessions(
+        self, other: "ShardRouter", session_ids: Iterable[str]
+    ) -> Dict[str, Tuple[str, str]]:
+        """Sessions whose home differs between this router and ``other``.
+
+        Returns:
+            ``{session_id: (here, there)}`` for every session routed
+            differently — the migration set for a resharding from this
+            topology to ``other``'s.
+        """
+        moved: Dict[str, Tuple[str, str]] = {}
+        for session_id in session_ids:
+            here = self.route(session_id)
+            there = other.route(session_id)
+            if here != there:
+                moved[session_id] = (here, there)
+        return moved

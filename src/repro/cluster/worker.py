@@ -1,0 +1,264 @@
+"""The shard worker: one serving engine behind a JSON message loop.
+
+A :class:`ShardWorker` owns one
+:class:`~repro.serving.engine.BatchedServingEngine` plus the durable
+files that make it kill-anywhere recoverable — a
+:class:`~repro.serving.checkpoint.WriteAheadLog` and a checkpoint file
+— and exposes everything through :meth:`ShardWorker.handle_line`: one
+versioned JSON request line in, one versioned JSON response line out
+(:mod:`repro.cluster.messages`).  The worker is transport-agnostic on
+purpose: :class:`~repro.cluster.transport.LocalShard` calls
+``handle_line`` in-process and :class:`~repro.cluster.transport.ProcessShard`
+calls it from a spawned child's receive loop, and because both push
+every message through the same encode/decode pair, the in-process
+transport is an honest double for the multiprocess one.
+
+Durability discipline (the same one PR 4's kill-at-every-tick test
+proves exact):
+
+* every ``tick`` request's events are appended to the WAL *before*
+  serving, so a crash mid-tick loses no input;
+* the checkpoint file is rewritten (atomically: temp file + ``rename``)
+  after every membership change — session admission, migration handoff,
+  restore — *before* the response is sent, and every
+  ``checkpoint_every`` ticks as a replay-shortening optimization;
+* on construction, a worker that finds its checkpoint file recovers
+  itself: restore the checkpoint, replay the WAL tail
+  (:func:`~repro.serving.checkpoint.recover_engine`).  Supervised
+  respawn is therefore just "build the worker again from the same
+  spec".
+
+Re-delivery after recovery: when the coordinator re-sends the tick a
+dead worker never answered, the tick index is *at or below* the
+recovered engine's (the WAL replay already served it).  The worker
+routes that request through
+:meth:`~repro.serving.engine.BatchedServingEngine.replay_tick`, which
+answers every sequenced event idempotently from the duplicate cache
+without advancing the durable tick index — bitwise the same fixes,
+no timeline drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from ..io.serialize import imu_segment_from_dict
+from ..sensors.imu import ImuSegment
+from ..serving.checkpoint import (
+    WriteAheadLog,
+    event_from_dict,
+    recover_engine,
+)
+from ..serving.engine import BatchedServingEngine
+from ..service import MoLocService
+from .bootstrap import build_engine
+from .messages import (
+    ClusterWireError,
+    decode_message,
+    encode_message,
+    outcome_to_dict,
+)
+
+__all__ = ["SegmentInternPool", "ShardWorker"]
+
+
+class SegmentInternPool:
+    """Content-addressed rebuild cache for wire-decoded IMU segments.
+
+    The engine's cross-session motion memos key on segment *identity*
+    (:meth:`~repro.serving.engine.BatchedServingEngine._precompute`):
+    in one process, sessions replaying the same recorded walk share
+    literal segment objects, so one step-count and heading extraction
+    serves them all.  Naive JSON decoding breaks that — every event
+    gets a fresh object and the memos never hit, which is why an
+    uninterned 1-shard cluster burns several times the single engine's
+    CPU on identical batches.  The pool rebuilds each distinct payload
+    once and hands every repeat the same object; keyed by the payload's
+    canonical encoding, so only bit-identical segments are ever shared.
+
+    Args:
+        size: LRU entry cap (0 disables interning entirely; every call
+            then decodes fresh).
+    """
+
+    def __init__(self, size: int = 4096) -> None:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self._size = size
+        self._segments: "OrderedDict[str, ImuSegment]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def rebuild(self, payload: Dict[str, object]) -> ImuSegment:
+        """The one shared segment for this payload (decoding on a miss)."""
+        if self._size == 0:
+            return imu_segment_from_dict(payload)
+        key = json.dumps(payload, sort_keys=True)
+        segment = self._segments.get(key)
+        if segment is not None:
+            self._segments.move_to_end(key)
+            return segment
+        segment = imu_segment_from_dict(payload)
+        if len(self._segments) >= self._size:
+            self._segments.popitem(last=False)
+        self._segments[key] = segment
+        return segment
+
+
+class ShardWorker:
+    """One shard: an engine, its durable files, and a message handler.
+
+    Args:
+        spec: A :func:`~repro.cluster.bootstrap.shard_spec` dict.  The
+            worker recovers itself from the spec's checkpoint file and
+            WAL when the checkpoint file exists (a respawn); otherwise
+            it starts empty (first boot).
+    """
+
+    def __init__(self, spec: Dict[str, object]) -> None:
+        self.spec = spec
+        self.shard_id: str = spec["shard_id"]
+        self._checkpoint_path = Path(spec["checkpoint_path"])
+        self._checkpoint_every = int(spec["checkpoint_every"])
+        self._segments = SegmentInternPool()
+        engine, make_service = build_engine(spec)
+        self.engine: BatchedServingEngine = engine
+        self._make_service: Callable[[str], MoLocService] = make_service
+        self.recovered_ticks = 0
+        self.recovered = self._checkpoint_path.exists()
+        self.wal = WriteAheadLog(spec["wal_path"], fsync=bool(spec["fsync"]))
+        if self.recovered:
+            with self._checkpoint_path.open("r", encoding="utf-8") as handle:
+                checkpoint = json.load(handle)
+            self.recovered_ticks = recover_engine(
+                self.engine, checkpoint, self.wal, self._make_service
+            )
+
+    # ------------------------------------------------------------------
+    # Durable checkpoint
+    # ------------------------------------------------------------------
+
+    def write_checkpoint(self) -> None:
+        """Atomically persist the engine's current checkpoint."""
+        document = self.engine.checkpoint()
+        tmp = self._checkpoint_path.with_suffix(
+            self._checkpoint_path.suffix + ".tmp"
+        )
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._checkpoint_path)
+
+    def close(self) -> None:
+        """Release the WAL file handle (clean shutdown only)."""
+        self.wal.close()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        """One request line in, one response line out (never raises).
+
+        Errors — malformed messages, unknown ops, engine rejections —
+        come back as ``{"ok": false, "error": ...}`` responses, so a
+        bad request cannot take the worker (and every session it
+        hosts) down with it.
+        """
+        try:
+            request = decode_message(line)
+            response = self.handle(request)
+        except Exception as error:  # noqa: BLE001 - the loop must survive
+            response = {"ok": False, "error": repr(error)}
+        return encode_message(response)
+
+    def handle(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Dispatch one decoded request to its operation."""
+        op = request.get("op")
+        if op == "ping":
+            return {
+                "ok": True,
+                "shard_id": self.shard_id,
+                "tick": self.engine.tick_index,
+                "sessions": self.engine.sessions.session_ids,
+                "recovered": self.recovered,
+                "recovered_ticks": self.recovered_ticks,
+            }
+        if op == "add_session":
+            record = self.engine.load_session(
+                request["entry"], self._make_service
+            )
+            self.write_checkpoint()
+            return {"ok": True, "session_id": record.session_id}
+        if op == "remove_session":
+            self.engine.remove_session(request["session_id"])
+            self.write_checkpoint()
+            return {"ok": True}
+        if op == "tick":
+            return self._handle_tick(request)
+        if op == "handoff":
+            return self._handle_handoff(request)
+        if op == "restore":
+            self.engine.restore(request["checkpoint"], self._make_service)
+            self.write_checkpoint()
+            return {"ok": True, "tick": self.engine.tick_index}
+        if op == "checkpoint":
+            self.write_checkpoint()
+            return {"ok": True, "path": str(self._checkpoint_path)}
+        if op == "metrics":
+            return {"ok": True, "metrics": self.engine.metrics_snapshot()}
+        if op == "shutdown":
+            return {"ok": True, "bye": True}
+        raise ClusterWireError(f"unknown cluster op {op!r}")
+
+    def _handle_tick(self, request: Dict[str, object]) -> Dict[str, object]:
+        tick = int(request["tick"])
+        events = [
+            event_from_dict(entry, imu_from_dict=self._segments.rebuild)
+            for entry in request["events"]
+        ]
+        current = self.engine.tick_index
+        if tick == current:
+            # The coordinator is re-delivering the tick this worker (or
+            # its predecessor) served but never acknowledged: answer
+            # idempotently without advancing the durable index.
+            outcome = self.engine.replay_tick(events)
+            replayed = True
+        elif tick == current + 1:
+            self.wal.append(tick, events)
+            outcome = self.engine.tick_detailed(events)
+            replayed = False
+            if self._checkpoint_every and tick % self._checkpoint_every == 0:
+                self.write_checkpoint()
+        else:
+            raise ClusterWireError(
+                f"shard {self.shard_id!r} at tick {current} cannot serve "
+                f"tick {tick}; only the next tick or a re-delivery of the "
+                "current one is valid"
+            )
+        return {
+            "ok": True,
+            "tick": self.engine.tick_index,
+            "replayed": replayed,
+            "outcome": outcome_to_dict(outcome),
+        }
+
+    def _handle_handoff(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        session_ids: List[str] = list(request["session_ids"])
+        entries = [
+            self.engine.checkpoint_session(session_id)
+            for session_id in session_ids
+        ]
+        for session_id in session_ids:
+            self.engine.remove_session(session_id)
+        self.write_checkpoint()
+        return {"ok": True, "entries": entries}

@@ -19,6 +19,7 @@ for the registry design, span semantics, and the snapshot schema.
 """
 
 from .metrics import (
+    DEFAULT_BYTE_BUCKETS,
     DEFAULT_LATENCY_BUCKETS_S,
     DEFAULT_SIZE_BUCKETS,
     Counter,
@@ -31,6 +32,7 @@ from .tracing import SpanHook, SpanTracer
 
 __all__ = [
     "Counter",
+    "DEFAULT_BYTE_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS_S",
     "DEFAULT_SIZE_BUCKETS",
     "Gauge",

@@ -33,6 +33,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS_S",
     "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_BYTE_BUCKETS",
 ]
 
 Number = Union[int, float]
@@ -69,6 +70,21 @@ DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
     1024,
 )
 """Default histogram boundaries for sizes/counts (batch widths etc.)."""
+
+DEFAULT_BYTE_BUCKETS: Tuple[float, ...] = (
+    256,
+    1024,
+    4096,
+    16384,
+    65536,
+    262144,
+    1048576,
+    4194304,
+    16777216,
+    67108864,
+)
+"""Default histogram boundaries for payload sizes in bytes (4x steps
+from 256 B to 64 MiB — checkpoint documents, wire messages)."""
 
 
 class Counter:
@@ -358,16 +374,37 @@ class MetricsRegistry:
         Counters and histogram buckets sum; gauges keep the maximum
         (the aggregate answers "how bad does it get anywhere", e.g. the
         longest live coasting streak across sessions).  Histograms must
-        agree on boundaries.
+        agree on boundaries.  Disjoint key sets merge by union: a
+        counter or histogram present in only some snapshots contributes
+        its values unchanged — cross-shard merges rely on this, since
+        shards create instruments lazily and an idle shard may never
+        have touched one its busier peers did.
+
+        Snapshots may carry a top-level ``"schema"`` version stamp (as
+        the engine's ``metrics_snapshot`` sections do when merged
+        across a cluster).  All stamped snapshots must agree on it —
+        silently summing counters from two different schema versions
+        would produce a document no reader can interpret — and the
+        agreed version is carried into the result.
 
         Raises:
             ValueError: if two snapshots disagree on a histogram's
-                boundaries.
+                boundaries, or on the ``"schema"`` version stamp.
         """
         counters: Dict[str, Number] = {}
         gauges: Dict[str, Optional[Number]] = {}
         histograms: Dict[str, Dict[str, object]] = {}
+        schema: Optional[object] = None
         for snapshot in snapshots:
+            if "schema" in snapshot:
+                if schema is None:
+                    schema = snapshot["schema"]
+                elif snapshot["schema"] != schema:
+                    raise ValueError(
+                        "cannot aggregate metrics snapshots of different "
+                        f"schema versions: {schema!r} vs "
+                        f"{snapshot['schema']!r}"
+                    )
             for name, value in snapshot.get("counters", {}).items():
                 counters[name] = counters.get(name, 0) + value
             for name, value in snapshot.get("gauges", {}).items():
@@ -405,8 +442,11 @@ class MetricsRegistry:
                             if merged[key] is None
                             else keep(merged[key], view[key])
                         )
-        return {
+        merged: Dict[str, Dict[str, object]] = {
             "counters": dict(sorted(counters.items())),
             "gauges": dict(sorted(gauges.items())),
             "histograms": dict(sorted(histograms.items())),
         }
+        if schema is not None:
+            merged["schema"] = schema
+        return merged

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..io.serialize import imu_segment_from_dict, imu_segment_to_dict
+from ..sensors.imu import ImuSegment
 from ..service import MoLocService
 from .engine import BatchedServingEngine, IntervalEvent
 
@@ -59,15 +60,29 @@ def event_to_dict(event: IntervalEvent) -> Dict[str, object]:
     }
 
 
-def event_from_dict(payload: Dict[str, object]) -> IntervalEvent:
-    """Rebuild an interval event written by :func:`event_to_dict`."""
+def event_from_dict(
+    payload: Dict[str, object],
+    imu_from_dict: Callable[
+        [Dict[str, object]], ImuSegment
+    ] = imu_segment_from_dict,
+) -> IntervalEvent:
+    """Rebuild an interval event written by :func:`event_to_dict`.
+
+    Args:
+        payload: The serialized event.
+        imu_from_dict: How to rebuild the IMU payload.  The default
+            decodes a fresh segment; a decoder that *interns* repeated
+            payloads (:class:`~repro.cluster.worker.SegmentInternPool`)
+            preserves the object sharing the engine's identity-keyed
+            motion memos rely on.
+    """
     scan = payload["scan"]
     imu = payload["imu"]
     sequence = payload["sequence"]
     return IntervalEvent(
         session_id=payload["session_id"],
         scan=None if scan is None else [float(v) for v in scan],
-        imu=None if imu is None else imu_segment_from_dict(imu),
+        imu=None if imu is None else imu_from_dict(imu),
         sequence=None if sequence is None else int(sequence),
     )
 

@@ -54,6 +54,7 @@ schema).
 
 from __future__ import annotations
 
+import json
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -65,6 +66,7 @@ from ..core.matching import Candidate
 from ..core.motion_db import MotionDatabase
 from ..io.serialize import fix_from_dict, fix_to_dict
 from ..observability import (
+    DEFAULT_BYTE_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
     MetricsRegistry,
     SpanTracer,
@@ -321,6 +323,18 @@ class BatchedServingEngine:
             "engine.tick.batch_size", DEFAULT_SIZE_BUCKETS
         )
         self._g_sessions = self.metrics.gauge("engine.sessions")
+        # Checkpoint serialization sits on the cluster's migration and
+        # recovery hot path, so its cost is measured like any other:
+        # document size plus encode/restore wall clock.
+        self._h_ckpt_bytes = self.metrics.histogram(
+            "checkpoint.bytes", DEFAULT_BYTE_BUCKETS
+        )
+        self._h_ckpt_encode = self.metrics.histogram(
+            "checkpoint.encode_seconds"
+        )
+        self._h_ckpt_restore = self.metrics.histogram(
+            "checkpoint.restore_seconds"
+        )
 
     @property
     def config(self) -> MoLocConfig:
@@ -474,27 +488,89 @@ class BatchedServingEngine:
             A JSON-compatible dict (round-trips through
             :func:`repro.io.serialize.save_json`).
         """
-        return {
+        started = time.perf_counter()
+        document = {
             "format_version": CHECKPOINT_FORMAT_VERSION,
             "kind": "engine_checkpoint",
             "tick_index": self._tick_index,
             "sessions": [
-                {
-                    "session_id": record.session_id,
-                    "service": record.service.state_dict(),
-                    "intervals_served": record.intervals_served,
-                    "last_sequence": record.last_sequence,
-                    "strikes": record.strikes,
-                    "quarantined_until": record.quarantined_until,
-                    "last_fix": (
-                        None
-                        if record.last_fix is None
-                        else fix_to_dict(record.last_fix)
-                    ),
-                }
-                for record in self.sessions
+                self._session_entry(record) for record in self.sessions
             ],
         }
+        encoded = json.dumps(document, sort_keys=True)
+        self._h_ckpt_encode.observe(time.perf_counter() - started)
+        self._h_ckpt_bytes.observe(len(encoded.encode("utf-8")))
+        return document
+
+    def _session_entry(self, record: SessionRecord) -> Dict[str, object]:
+        """One session's full serving state as a checkpoint entry."""
+        return {
+            "session_id": record.session_id,
+            "service": record.service.state_dict(),
+            "intervals_served": record.intervals_served,
+            "last_sequence": record.last_sequence,
+            "strikes": record.strikes,
+            "quarantined_until": record.quarantined_until,
+            "last_fix": (
+                None
+                if record.last_fix is None
+                else fix_to_dict(record.last_fix)
+            ),
+        }
+
+    def checkpoint_session(self, session_id: str) -> Dict[str, object]:
+        """One session's checkpoint entry (the migration handoff unit).
+
+        The entry is exactly one element of a full checkpoint's
+        ``sessions`` list: :meth:`load_session` on another engine (or
+        another process's engine) resumes the session bitwise — state,
+        sequence gating, quarantine bookkeeping, and the cached
+        duplicate answer all travel with it.
+
+        Raises:
+            KeyError: for an unknown session id.
+        """
+        started = time.perf_counter()
+        entry = self._session_entry(self.sessions.get(session_id))
+        encoded = json.dumps(entry, sort_keys=True)
+        self._h_ckpt_encode.observe(time.perf_counter() - started)
+        self._h_ckpt_bytes.observe(len(encoded.encode("utf-8")))
+        return entry
+
+    def load_session(
+        self,
+        entry: Dict[str, object],
+        make_service: Callable[[str], MoLocService],
+    ) -> SessionRecord:
+        """Register one session from a checkpoint entry.
+
+        The inverse of :meth:`checkpoint_session`; :meth:`restore` is a
+        loop of these.  ``make_service`` builds the fresh service the
+        entry's state is loaded into (same kind, same databases and
+        config — the entry carries state, not the deployment).
+
+        Raises:
+            ValueError: for a duplicate session id or a service bound
+                to different databases/config (see :meth:`add_session`).
+        """
+        started = time.perf_counter()
+        session_id = entry["session_id"]
+        service = make_service(session_id)
+        service.load_state_dict(entry["service"])
+        record = self.add_session(session_id, service)
+        record.intervals_served = int(entry["intervals_served"])
+        last_sequence = entry["last_sequence"]
+        record.last_sequence = (
+            None if last_sequence is None else int(last_sequence)
+        )
+        record.strikes = int(entry["strikes"])
+        record.quarantined_until = int(entry["quarantined_until"])
+        last_fix = entry["last_fix"]
+        record.last_fix = (
+            None if last_fix is None else fix_from_dict(last_fix)
+        )
+        self._h_ckpt_restore.observe(time.perf_counter() - started)
+        return record
 
     def restore(
         self,
@@ -533,21 +609,7 @@ class BatchedServingEngine:
                 f"{len(self.sessions)} session(s)"
             )
         for entry in checkpoint["sessions"]:
-            session_id = entry["session_id"]
-            service = make_service(session_id)
-            service.load_state_dict(entry["service"])
-            record = self.add_session(session_id, service)
-            record.intervals_served = int(entry["intervals_served"])
-            last_sequence = entry["last_sequence"]
-            record.last_sequence = (
-                None if last_sequence is None else int(last_sequence)
-            )
-            record.strikes = int(entry["strikes"])
-            record.quarantined_until = int(entry["quarantined_until"])
-            last_fix = entry["last_fix"]
-            record.last_fix = (
-                None if last_fix is None else fix_from_dict(last_fix)
-            )
+            self.load_session(entry, make_service)
         self._tick_index = int(checkpoint["tick_index"])
 
     # ------------------------------------------------------------------
@@ -880,6 +942,24 @@ class BatchedServingEngine:
             evicted=tuple(evicted),
             unroutable=tuple(unroutable),
         )
+
+    def replay_tick(self, events: Sequence[IntervalEvent]) -> TickOutcome:
+        """Re-serve an already-served tick without advancing the index.
+
+        The cluster supervisor's recovery seam: after a worker dies
+        mid-tick and is recovered from checkpoint + WAL, the
+        coordinator re-delivers the interrupted tick to collect its
+        fixes.  Every event in such a re-delivery carries the sequence
+        number of the session's last served interval, so the engine
+        answers the whole batch idempotently from the duplicate cache —
+        but :meth:`tick` would still advance the durable tick index,
+        drifting this engine's quarantine timeline and WAL indexing one
+        tick ahead of the rest of the cluster for good.  This method
+        serves the batch with the same semantics and leaves
+        :attr:`tick_index` where it was.
+        """
+        self._tick_index -= 1
+        return self.tick_detailed(events)
 
     # ------------------------------------------------------------------
     # Shared per-segment work

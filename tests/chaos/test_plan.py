@@ -100,3 +100,46 @@ class TestFaultPlan:
     def test_from_dict_rejects_wrong_kind(self):
         with pytest.raises(ValueError, match="fault_plan"):
             FaultPlan.from_dict({"kind": "engine_checkpoint"})
+
+
+class TestClusterKinds:
+    """``worker-kill`` extends the vocabulary without disturbing it."""
+
+    def test_worker_kill_is_a_cluster_kind(self):
+        from repro.chaos.plan import (
+            CLUSTER_KINDS,
+            DEFAULT_RANDOM_KINDS,
+            MESSAGE_KINDS,
+            PHASE_KINDS,
+        )
+
+        assert FaultKind.WORKER_KILL in CLUSTER_KINDS
+        assert FaultKind.WORKER_KILL not in MESSAGE_KINDS
+        assert FaultKind.WORKER_KILL not in PHASE_KINDS
+        # Seed stability: the default random pool predates the cluster
+        # kinds and must keep its exact membership and order, or every
+        # seeded storm in CI and the nightly lane silently changes.
+        assert FaultKind.WORKER_KILL not in DEFAULT_RANDOM_KINDS
+        assert DEFAULT_RANDOM_KINDS == PHASE_KINDS + MESSAGE_KINDS
+
+    def test_default_random_pool_never_draws_worker_kill(self):
+        plan = FaultPlan.random(
+            seed=13, n_ticks=40, session_ids=["a", "b", "c"], rate=0.5
+        )
+        assert len(plan) > 0
+        assert all(
+            spec.kind is not FaultKind.WORKER_KILL for spec in plan
+        )
+
+    def test_worker_kill_round_trips_through_json(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    tick=3, session_id="a", kind=FaultKind.WORKER_KILL
+                )
+            ]
+        )
+        payload = json.loads(json.dumps(plan.to_dict()))
+        rebuilt = FaultPlan.from_dict(payload)
+        assert rebuilt.to_dict() == plan.to_dict()
+        assert list(rebuilt)[0].kind is FaultKind.WORKER_KILL

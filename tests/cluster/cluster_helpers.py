@@ -1,0 +1,160 @@
+"""Shared builders for the cluster suite.
+
+A deliberately small world — four truncated walks replayed by eight
+staggered sessions — keeps every cluster test fast while still mixing
+sessions at different walk phases in each tick, which is what exercises
+routing, merging, and recovery for real.  The single-engine baseline
+built from the same world is the bitwise yardstick every cluster run is
+held to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster import (
+    ClusterCoordinator,
+    LocalShard,
+    fresh_session_entry,
+    shard_spec,
+)
+from repro.serving import (
+    BatchedServingEngine,
+    IntervalEvent,
+    build_session_services,
+    fix_stream_checksum,
+    serve_batched,
+)
+from repro.sim.evaluation import multi_session_workload
+
+N_SESSIONS = 8
+N_TRACES = 4
+N_HOPS = 5
+
+World = Tuple[object, object, object, object]
+
+
+def small_world(study) -> World:
+    """``(fingerprint_db, motion_db, config, workload)``, truncated walks."""
+    fingerprint_db = study.fingerprint_db(6)
+    motion_db, _ = study.motion_db(6)
+    traces = [
+        dataclasses.replace(trace, hops=list(trace.hops[:N_HOPS]))
+        for trace in study.test_traces[:N_TRACES]
+    ]
+    workload = multi_session_workload(
+        traces, N_SESSIONS, corpus_size=N_TRACES, stagger_ticks=1
+    )
+    return fingerprint_db, motion_db, study.config, workload
+
+
+def events_of(tick) -> List[IntervalEvent]:
+    return [
+        IntervalEvent(
+            session_id=interval.session_id,
+            scan=interval.scan,
+            imu=interval.imu,
+            sequence=interval.sequence,
+        )
+        for interval in tick
+    ]
+
+
+def make_shards(
+    world: World,
+    tmp_path,
+    n_shards: int,
+    transport=LocalShard,
+    **spec_kwargs,
+) -> List[object]:
+    """``n_shards`` started transports with durable files under ``tmp_path``."""
+    fingerprint_db, motion_db, config, _ = world
+    return [
+        transport(
+            shard_spec(
+                f"shard-{index}",
+                fingerprint_db,
+                motion_db,
+                config,
+                wal_path=tmp_path / f"shard-{index}.wal",
+                checkpoint_path=tmp_path / f"shard-{index}.ckpt",
+                **spec_kwargs,
+            )
+        )
+        for index in range(n_shards)
+    ]
+
+
+def admit_workload_sessions(
+    coordinator: ClusterCoordinator, world: World
+) -> None:
+    """Calibrate the workload's services and admit them as fresh entries."""
+    fingerprint_db, motion_db, config, workload = world
+    services = build_session_services(
+        workload, fingerprint_db, motion_db, config, resilient=True
+    )
+    for session_id in sorted(services):
+        coordinator.add_session(
+            fresh_session_entry(session_id, services[session_id])
+        )
+
+
+def make_cluster(
+    world: World,
+    tmp_path,
+    n_shards: int,
+    transport=LocalShard,
+    **spec_kwargs,
+) -> ClusterCoordinator:
+    """A coordinator over fresh shards with every workload session admitted."""
+    coordinator = ClusterCoordinator(
+        make_shards(world, tmp_path, n_shards, transport, **spec_kwargs)
+    )
+    admit_workload_sessions(coordinator, world)
+    return coordinator
+
+
+def run_cluster(
+    coordinator: ClusterCoordinator,
+    workload,
+    harness=None,
+    on_tick: Optional[Callable[[ClusterCoordinator], None]] = None,
+) -> Dict[str, List[object]]:
+    """Serve the whole workload; returns per-session fix streams.
+
+    Args:
+        harness: Optional ``ClusterChaosHarness`` to route ticks through.
+        on_tick: Called before each tick (e.g. to kill a shard mid-run).
+    """
+    fixes: Dict[str, List[object]] = {sid: [] for sid in workload.sessions}
+    for tick in workload.ticks:
+        if on_tick is not None:
+            on_tick(coordinator)
+        events = events_of(tick)
+        if harness is not None:
+            outcome = harness.tick(events)
+            delivered = harness.last_delivered
+        else:
+            outcome = coordinator.tick_detailed(events)
+            delivered = events
+        for event, fix in zip(delivered, outcome.fixes):
+            fixes[event.session_id].append(fix)
+    return fixes
+
+
+def single_engine_fixes(world: World) -> Dict[str, List[object]]:
+    """The one-engine fix streams the cluster must reproduce bitwise."""
+    fingerprint_db, motion_db, config, workload = world
+    services = build_session_services(
+        workload, fingerprint_db, motion_db, config, resilient=True
+    )
+    engine = BatchedServingEngine(fingerprint_db, motion_db, config)
+    return serve_batched(engine, workload, services).fixes
+
+
+def checksums(fixes: Dict[str, Sequence[object]]) -> Dict[str, str]:
+    return {
+        session_id: fix_stream_checksum(stream)
+        for session_id, stream in fixes.items()
+    }

@@ -1,0 +1,30 @@
+"""Cluster suite fixtures.
+
+The golden scenarios and fix serializers live with the serving suite;
+rootdir-style test directories don't share modules, so the serving
+directory is bridged onto ``sys.path`` here (the same trick its own
+tests rely on pytest performing implicitly).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "serving"))
+
+from cluster_helpers import single_engine_fixes, small_world  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def world(small_study):
+    """``(fingerprint_db, motion_db, config, workload)`` for cluster tests."""
+    return small_world(small_study)
+
+
+@pytest.fixture(scope="session")
+def baseline_fixes(world):
+    """Single-engine fix streams over the same world (the bitwise yardstick)."""
+    return single_engine_fixes(world)

@@ -1,0 +1,117 @@
+"""Live resharding: checkpoint handoff mid-run, bitwise invisible.
+
+Growing or shrinking the topology halfway through a workload must not
+perturb a single fix: moved sessions travel as checkpoint entries (the
+same unit recovery restores), stayers are untouched, and the merged
+streams still match the single-engine baseline bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import LocalShard, shard_spec
+
+from cluster_helpers import checksums, events_of, make_cluster, make_shards
+
+
+def _serve(coordinator, fixes, ticks):
+    for tick in ticks:
+        events = events_of(tick)
+        outcome = coordinator.tick_detailed(events)
+        for event, fix in zip(events, outcome.fixes):
+            fixes[event.session_id].append(fix)
+
+
+def test_growing_midrun_is_bitwise_invisible(
+    world, baseline_fixes, tmp_path
+):
+    fingerprint_db, motion_db, config, workload = world
+    coordinator = make_cluster(world, tmp_path, 2)
+    fixes = {sid: [] for sid in workload.sessions}
+    half = len(workload.ticks) // 2
+    _serve(coordinator, fixes, workload.ticks[:half])
+
+    old_router = coordinator.router
+    homes_before = coordinator.session_homes()
+    new_shard = LocalShard(
+        shard_spec(
+            "shard-2",
+            fingerprint_db,
+            motion_db,
+            config,
+            wal_path=tmp_path / "shard-2.wal",
+            checkpoint_path=tmp_path / "shard-2.ckpt",
+        )
+    )
+    moved = coordinator.reshard(
+        list(coordinator.shards.values()) + [new_shard]
+    )
+
+    # The migration set is exactly the router's prediction, every move
+    # targets the new shard, and the workers agree on the new homes.
+    assert moved == old_router.moved_sessions(
+        coordinator.router, homes_before
+    )
+    assert moved, "the fixture should move at least one session"
+    assert all(new_home == "shard-2" for _, new_home in moved.values())
+    homes_after = coordinator.session_homes()
+    for session_id, (_, new_home) in moved.items():
+        assert homes_after[session_id] == new_home
+    for session_id, home in homes_before.items():
+        if session_id not in moved:
+            assert homes_after[session_id] == home
+
+    _serve(coordinator, fixes, workload.ticks[half:])
+    snapshot = coordinator.metrics_snapshot()
+    coordinator.shutdown()
+    assert checksums(fixes) == checksums(baseline_fixes)
+    counters = snapshot["coordinator"]["counters"]
+    assert counters["cluster.reshards"] == 1
+    assert counters["cluster.migrated_sessions"] == len(moved)
+
+
+def test_shrinking_midrun_drains_and_retires_the_shard(
+    world, baseline_fixes, tmp_path
+):
+    workload = world[3]
+    coordinator = make_cluster(world, tmp_path, 3)
+    fixes = {sid: [] for sid in workload.sessions}
+    half = len(workload.ticks) // 2
+    _serve(coordinator, fixes, workload.ticks[:half])
+
+    old_router = coordinator.router
+    homes_before = coordinator.session_homes()
+    survivors = [
+        shard
+        for shard_id, shard in coordinator.shards.items()
+        if shard_id != "shard-2"
+    ]
+    retired = coordinator.shards["shard-2"]
+    moved = coordinator.reshard(survivors)
+
+    assert moved == old_router.moved_sessions(
+        coordinator.router, homes_before
+    )
+    assert all(old_home == "shard-2" for old_home, _ in moved.values())
+    assert not retired.is_alive(), "the drained shard must be shut down"
+    assert sorted(coordinator.router.shard_ids) == ["shard-0", "shard-1"]
+
+    _serve(coordinator, fixes, workload.ticks[half:])
+    coordinator.shutdown()
+    assert checksums(fixes) == checksums(baseline_fixes)
+
+
+def test_duplicate_shard_ids_rejected_on_reshard(world, tmp_path):
+    coordinator = make_cluster(world, tmp_path, 2)
+    clone_dir = tmp_path / "clone"
+    clone_dir.mkdir()
+    clone = make_shards(world, clone_dir, 1)[0]  # another "shard-0"
+    try:
+        with pytest.raises(ValueError, match="duplicate"):
+            coordinator.reshard(
+                list(coordinator.shards.values()) + [clone]
+            )
+    finally:
+        clone.shutdown()
+        coordinator.shutdown()

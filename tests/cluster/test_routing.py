@@ -1,0 +1,131 @@
+"""Rendezvous routing: pure, order-invariant, minimally disruptive.
+
+The properties a cluster's correctness hangs on: the same
+``(session_id, shard_ids)`` always routes the same way in any process
+(so coordinator, supervisor, and tests agree independently), and
+growing the cluster by one shard moves only the sessions whose new
+winner *is* the new shard — an expected 1/(N+1) of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ShardRouter, rendezvous_shard
+
+session_ids = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=24,
+)
+shard_id_lists = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=48, max_codepoint=122),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestValidation:
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ValueError, match="no shards"):
+            rendezvous_shard("user-0000", [])
+        with pytest.raises(ValueError, match="at least one"):
+            ShardRouter([])
+
+    def test_duplicate_shard_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            rendezvous_shard("user-0000", ["a", "b", "a"])
+        with pytest.raises(ValueError, match="duplicate"):
+            ShardRouter(["a", "b", "a"])
+
+    def test_single_shard_routes_everything_to_it(self):
+        router = ShardRouter(["only"])
+        assert router.route("user-0000") == "only"
+        assert router.route("user-9999") == "only"
+
+
+class TestPurity:
+    @settings(deadline=None)
+    @given(session_id=session_ids, shard_ids=shard_id_lists)
+    def test_route_is_pure_in_its_arguments(self, session_id, shard_ids):
+        first = rendezvous_shard(session_id, shard_ids)
+        second = rendezvous_shard(session_id, shard_ids)
+        assert first == second
+        assert first in shard_ids
+
+    @settings(deadline=None)
+    @given(
+        session_id=session_ids,
+        shard_ids=shard_id_lists,
+        data=st.data(),
+    )
+    def test_route_ignores_shard_listing_order(
+        self, session_id, shard_ids, data
+    ):
+        shuffled = data.draw(st.permutations(shard_ids))
+        assert rendezvous_shard(session_id, shard_ids) == rendezvous_shard(
+            session_id, shuffled
+        )
+        assert ShardRouter(shard_ids).route(session_id) == ShardRouter(
+            shuffled
+        ).route(session_id)
+
+    def test_assignments_partition_the_sessions(self):
+        router = ShardRouter([f"shard-{i}" for i in range(3)])
+        sessions = [f"user-{i:04d}" for i in range(64)]
+        groups = router.assignments(sessions)
+        assert sorted(groups) == sorted(router.shard_ids)
+        flattened = [sid for group in groups.values() for sid in group]
+        assert sorted(flattened) == sorted(sessions)
+        for shard_id, group in groups.items():
+            assert all(router.route(sid) == shard_id for sid in group)
+
+
+class TestResizeStability:
+    @settings(deadline=None)
+    @given(session_id=session_ids, n_shards=st.integers(1, 8))
+    def test_growing_moves_sessions_only_onto_the_new_shard(
+        self, session_id, n_shards
+    ):
+        old = [f"shard-{i}" for i in range(n_shards)]
+        before = rendezvous_shard(session_id, old)
+        after = rendezvous_shard(session_id, old + ["shard-new"])
+        assert after == before or after == "shard-new"
+
+    @pytest.mark.parametrize("n_shards", (1, 2, 4, 7))
+    def test_growth_moves_about_one_in_n_plus_one(self, n_shards):
+        """On a fixed 2000-session population the moved fraction is ~1/(N+1).
+
+        The bound allows five binomial standard deviations of slack, so
+        the test is deterministic (the population is fixed) yet would
+        catch any systematic routing bias.
+        """
+        sessions = [f"user-{i:04d}" for i in range(2000)]
+        old = ShardRouter([f"shard-{i}" for i in range(n_shards)])
+        new = ShardRouter(
+            [f"shard-{i}" for i in range(n_shards)] + ["shard-new"]
+        )
+        moved = old.moved_sessions(new, sessions)
+        expected = 1.0 / (n_shards + 1)
+        slack = 5.0 * (expected * (1.0 - expected) / len(sessions)) ** 0.5
+        assert len(moved) / len(sessions) <= expected + slack
+        assert all(there == "shard-new" for _, there in moved.values())
+
+    def test_moved_sessions_matches_per_session_routing(self):
+        sessions = [f"user-{i:04d}" for i in range(128)]
+        old = ShardRouter(["shard-0", "shard-1", "shard-2"])
+        new = ShardRouter(["shard-0", "shard-1"])
+        moved = old.moved_sessions(new, sessions)
+        for session_id in sessions:
+            here, there = old.route(session_id), new.route(session_id)
+            if here != there:
+                assert moved[session_id] == (here, there)
+            else:
+                assert session_id not in moved

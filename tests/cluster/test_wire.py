@@ -1,0 +1,123 @@
+"""The cluster wire format and the worker's message protocol.
+
+Every byte that crosses a shard boundary is versioned JSON; these tests
+pin the version handshake, the outcome serialization, and the worker's
+never-raise error discipline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    WIRE_FORMAT_VERSION,
+    ClusterWireError,
+    decode_message,
+    encode_message,
+    outcome_from_dict,
+    outcome_to_dict,
+)
+from repro.serving.engine import SessionFault, TickOutcome
+
+from cluster_helpers import make_shards
+
+
+class TestEnvelope:
+    def test_round_trip_stamps_the_version(self):
+        line = encode_message({"op": "ping", "payload": [1, 2.5, None]})
+        decoded = decode_message(line)
+        assert decoded["v"] == WIRE_FORMAT_VERSION
+        assert decoded["op"] == "ping"
+        assert decoded["payload"] == [1, 2.5, None]
+
+    def test_undecodable_json_rejected(self):
+        with pytest.raises(ClusterWireError, match="undecodable"):
+            decode_message("{not json")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ClusterWireError, match="JSON object"):
+            decode_message(json.dumps([1, 2, 3]))
+
+    @pytest.mark.parametrize("version", (None, 0, 2, "1"))
+    def test_wrong_wire_version_rejected(self, version):
+        document = {"op": "ping", "v": version}
+        with pytest.raises(ClusterWireError, match="wire version"):
+            decode_message(json.dumps(document))
+
+    def test_floats_survive_bit_exactly(self):
+        values = [0.1, 1e-300, 3.141592653589793, -0.0]
+        decoded = decode_message(encode_message({"values": values}))
+        assert [value.hex() for value in decoded["values"]] == [
+            value.hex() for value in values
+        ]
+
+
+class TestOutcomeSerialization:
+    def test_round_trip_preserves_alignment_and_faults(self):
+        fault = SessionFault(
+            session_id="user-0001",
+            phase="serve",
+            error="ValueError('boom')",
+            strikes=2,
+            action="quarantine",
+            backoff_ticks=4,
+        )
+        outcome = TickOutcome(
+            fixes=[None, None],
+            served=(),
+            faulted=(fault,),
+            quarantined=("user-0002",),
+            duplicates=("user-0003",),
+            stale=("user-0004",),
+            shed=("user-0005",),
+            evicted=("user-0006",),
+            unroutable=("user-0007",),
+        )
+        # Force the document through real JSON, as a pipe would.
+        document = json.loads(json.dumps(outcome_to_dict(outcome)))
+        rebuilt = outcome_from_dict(document)
+        assert rebuilt.fixes == [None, None]
+        assert rebuilt.faulted == (fault,)
+        assert rebuilt.quarantined == ("user-0002",)
+        assert rebuilt.duplicates == ("user-0003",)
+        assert rebuilt.stale == ("user-0004",)
+        assert rebuilt.shed == ("user-0005",)
+        assert rebuilt.evicted == ("user-0006",)
+        assert rebuilt.unroutable == ("user-0007",)
+
+
+class TestWorkerProtocol:
+    def test_malformed_line_answers_instead_of_raising(
+        self, world, tmp_path
+    ):
+        shard = make_shards(world, tmp_path, 1)[0]
+        worker = shard._worker
+        reply = decode_message(worker.handle_line("{not json"))
+        assert reply["ok"] is False
+        assert "undecodable" in reply["error"]
+        # The worker survived; a well-formed request still works.
+        assert shard.request({"op": "ping"})["shard_id"] == "shard-0"
+        shard.shutdown()
+
+    def test_unknown_op_is_a_wire_error(self, world, tmp_path):
+        shard = make_shards(world, tmp_path, 1)[0]
+        with pytest.raises(ClusterWireError, match="unknown cluster op"):
+            shard.request({"op": "frobnicate"})
+        shard.shutdown()
+
+    def test_out_of_sequence_tick_rejected(self, world, tmp_path):
+        shard = make_shards(world, tmp_path, 1)[0]
+        with pytest.raises(ClusterWireError, match="cannot serve"):
+            shard.request({"op": "tick", "tick": 9, "events": []})
+        shard.shutdown()
+
+    def test_ping_reports_identity_and_clock(self, world, tmp_path):
+        shard = make_shards(world, tmp_path, 1)[0]
+        reply = shard.request({"op": "ping"})
+        assert reply["shard_id"] == "shard-0"
+        assert reply["tick"] == 0
+        assert reply["sessions"] == []
+        assert reply["recovered"] is False
+        shard.shutdown()

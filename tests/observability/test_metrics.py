@@ -172,3 +172,36 @@ def test_aggregate_of_nothing_is_empty():
         "gauges": {},
         "histograms": {},
     }
+
+
+def test_aggregate_merges_disjoint_keys_by_union():
+    """An instrument only some shards ever touched still aggregates.
+
+    Shards create instruments lazily, so cross-shard merges routinely
+    see disjoint key sets; each lone value must pass through unchanged.
+    """
+    first = MetricsRegistry()
+    second = MetricsRegistry()
+    first.counter("only.first").inc(2)
+    second.counter("only.second").inc(3)
+    first.histogram("h.first", (1.0,)).observe(0.5)
+    second.gauge("g.second").set(7)
+    merged = MetricsRegistry.aggregate([first.snapshot(), second.snapshot()])
+    assert merged["counters"] == {"only.first": 2, "only.second": 3}
+    assert merged["gauges"]["g.second"] == 7
+    assert merged["histograms"]["h.first"]["count"] == 1
+
+
+def test_aggregate_rejects_schema_version_mismatch():
+    first = dict(MetricsRegistry().snapshot(), schema=1)
+    second = dict(MetricsRegistry().snapshot(), schema=2)
+    with pytest.raises(ValueError, match="schema"):
+        MetricsRegistry.aggregate([first, second])
+
+
+def test_aggregate_carries_the_agreed_schema():
+    stamped = dict(MetricsRegistry().snapshot(), schema=1)
+    unstamped = MetricsRegistry().snapshot()  # pre-stamp producers join
+    merged = MetricsRegistry.aggregate([unstamped, stamped])
+    assert merged["schema"] == 1
+    assert "schema" not in MetricsRegistry.aggregate([unstamped])

@@ -106,3 +106,61 @@ class TestDrain:
         controller.drain()
         assert registry.snapshot()["gauges"]["admission.depth"] == 0
         assert registry.snapshot()["counters"]["admission.drained"] == 3
+
+
+class TestDrainFairness:
+    """Drain fairness is deterministic — regression-pinned here because
+    the cluster coordinator drains this same queue at the front door,
+    and a fairness change would silently reshuffle cluster batches."""
+
+    def test_chatty_session_cannot_starve_the_queue(self):
+        controller = AdmissionController(capacity=64)
+        for index in range(6):
+            controller.offer(_event("chatty", float(-index)))
+        controller.offer(_event("quiet-1"))
+        controller.offer(_event("quiet-2"))
+        # One chatty event per batch; the quiet sessions ride along in
+        # the very first drain instead of waiting out chatty's backlog.
+        first = controller.drain()
+        assert [e.session_id for e in first] == [
+            "chatty",
+            "quiet-1",
+            "quiet-2",
+        ]
+        for index in range(1, 6):
+            batch = controller.drain()
+            assert [(e.session_id, e.scan[0]) for e in batch] == [
+                ("chatty", float(-index))
+            ]
+        assert len(controller) == 0
+
+    def test_drain_sequence_is_deterministic_in_the_arrival_order(self):
+        offers = [
+            ("a", -1.0),
+            ("b", -2.0),
+            ("a", -3.0),
+            ("c", -4.0),
+            ("b", -5.0),
+            ("a", -6.0),
+        ]
+
+        def run():
+            controller = AdmissionController(capacity=16)
+            for session_id, value in offers:
+                controller.offer(_event(session_id, value))
+            batches = []
+            while len(controller):
+                batches.append(
+                    [
+                        (e.session_id, e.scan[0])
+                        for e in controller.drain(max_batch=2)
+                    ]
+                )
+            return batches
+
+        assert run() == run()
+        assert run() == [
+            [("a", -1.0), ("b", -2.0)],
+            [("a", -3.0), ("c", -4.0)],
+            [("b", -5.0), ("a", -6.0)],
+        ]

@@ -153,3 +153,50 @@ def test_profiling_hooks_receive_profiles_and_are_isolated(world):
     assert len(profiler.profiles) == 3
     with pytest.raises(ValueError):
         engine.remove_profiling_hook(broken_hook)
+
+
+def test_checkpoint_serialization_is_instrumented(world):
+    """``checkpoint()``/``restore()`` observe size and timing histograms.
+
+    The snapshot pins the instrument names and semantics the cluster's
+    migration path budgets against: one ``checkpoint.bytes`` and
+    ``checkpoint.encode_seconds`` observation per full checkpoint, one
+    ``checkpoint.restore_seconds`` observation per session restored
+    (``restore`` and per-session ``load_session`` alike).
+    """
+    engine, make_service, study = world
+    engine.add_session("gil", make_service())
+    engine.add_session("hana", make_service())
+    scan = study.test_traces[0].initial_fingerprint.rss
+    engine.tick(
+        [
+            IntervalEvent(session_id="gil", scan=scan),
+            IntervalEvent(session_id="hana", scan=scan),
+        ]
+    )
+    document = engine.checkpoint()
+    engine.checkpoint()
+    histograms = engine.metrics_snapshot()["engine"]["histograms"]
+    assert histograms["checkpoint.bytes"]["count"] == 2
+    # The observed size is the actual JSON encoding's byte length.
+    import json as _json
+
+    encoded = len(_json.dumps(document, sort_keys=True).encode("utf-8"))
+    assert histograms["checkpoint.bytes"]["min"] <= encoded
+    assert histograms["checkpoint.bytes"]["max"] >= encoded
+    assert histograms["checkpoint.encode_seconds"]["count"] == 2
+    assert histograms["checkpoint.encode_seconds"]["sum"] >= 0.0
+    assert histograms["checkpoint.restore_seconds"]["count"] == 0
+
+    other = BatchedServingEngine(
+        study.fingerprint_db(6), study.motion_db(6)[0], study.config
+    )
+    other.restore(document, lambda session_id: make_service())
+    restored = other.metrics_snapshot()["engine"]["histograms"]
+    assert restored["checkpoint.restore_seconds"]["count"] == 2
+
+    entry = engine.checkpoint_session("gil")
+    other.remove_session("gil")
+    other.load_session(entry, lambda session_id: make_service())
+    restored = other.metrics_snapshot()["engine"]["histograms"]
+    assert restored["checkpoint.restore_seconds"]["count"] == 3

@@ -139,3 +139,63 @@ class TestCommands:
         assert len(restored) == 2
         out = capsys.readouterr().out
         assert "2 test traces" in out
+
+
+class TestClusterParser:
+    def test_cluster_parses_with_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.command == "cluster"
+        assert args.shards == 2
+        assert args.transport == "local"
+        assert args.chaos_seed is None
+        assert args.workdir is None
+
+    def test_cluster_transport_choices(self):
+        args = build_parser().parse_args(
+            ["cluster", "--shards", "4", "--transport", "process"]
+        )
+        assert args.shards == 4
+        assert args.transport == "process"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--transport", "tcp"])
+
+
+@pytest.mark.slow
+class TestClusterCommand:
+    def test_cluster_smoke_verifies_bitwise_equality(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "cluster.json"
+        assert main(
+            [
+                "--training-traces", "60", "--test-traces", "6",
+                "cluster", "--shards", "2", "--sessions", "6",
+                "--corpus-size", "3", "--chaos-seed", "3",
+                "--workdir", str(tmp_path / "shards"),
+                "--output", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(path.read_text())
+        assert document["report"] == "cluster"
+        assert document["equal"] is True
+        assert document["shards"] == 2
+        counters = document["coordinator"]["counters"]
+        injected = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("chaos.injected.")
+        )
+        assert injected + counters["chaos.skipped"] == document[
+            "scheduled_faults"
+        ]
+        assert counters["cluster.recoveries"] == counters[
+            "chaos.injected.worker-kill"
+        ]
+        # Metrics are in-memory state, so a killed worker's pre-checkpoint
+        # tick counts are lost on respawn: merged ticks is bounded by the
+        # lockstep total, not equal to it under a kill storm.
+        merged_ticks = document["merged_metrics"]["engine"]["counters"][
+            "engine.ticks"
+        ]
+        assert 0 < merged_ticks <= document["ticks"] * document["shards"]
