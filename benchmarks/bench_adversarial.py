@@ -1,0 +1,135 @@
+"""Red team — adversarial attacks vs the trust-scored defense.
+
+PR-4 hardened the serving path against *accidents*: dead APs, dropped
+scans, flat-lined IMUs.  This bench attacks it on purpose.  The
+injectors in :mod:`repro.sim.adversary` forge a rogue transmitter on a
+surveyed BSSID, re-power an AP mid-walk, replay stale scans, and spoof
+the compass; :func:`repro.analysis.redteam.run_redteam` replays the
+held-out walks through each attack against three systems — the plain
+service, the resilient service, and the resilient service with an
+``ApTrustMonitor`` wired in.
+
+The committed gate (``BENCH_adversarial.json`` at the repo root):
+
+* single rogue AP appearing mid-walk: defended mean error within 1.5x
+  the clean baseline (measured ~1.34x — repair re-matches the poisoned
+  interval the moment exactly one AP's residual clears ~30 dB, then
+  quarantine keeps the liar benched);
+* fault-free walks: the trust layer is a bitwise no-op — zero maskings,
+  zero repairs, and a fix stream identical to the trust-less service.
+
+The sweep also records what trust scoring *cannot* catch — cold-capture
+rogues, floor-adjacent forgeries, replayed whole scans — so nobody
+mistakes the gate for blanket adversarial immunity; see ``limitations``
+in the JSON and ``docs/robustness.md``.
+
+The timed operation is the smoke sweep (clean + gate conditions over
+six walks), the same workload CI's fast lane runs via
+``python -m repro redteam --smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.redteam import GATE_RATIO, run_redteam
+from repro.analysis.tables import format_table
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_adversarial.json"
+
+
+def test_adversarial_redteam(benchmark, study, report):
+    benchmark(lambda: run_redteam(study, smoke=True))
+
+    document = run_redteam(study)
+    OUTPUT_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+    rows = []
+    for label, cell in document["conditions"].items():
+        systems = cell["systems"]
+        rows.append(
+            [
+                label,
+                f"{systems['plain']['mean_error_m']:.2f}",
+                f"{systems['resilient']['mean_error_m']:.2f}",
+                f"{systems['defended']['mean_error_m']:.2f}",
+                f"{cell['defended_over_clean_ratio']:.2f}",
+                str(cell["trust_events"]["quarantines"]),
+                str(cell["trust_events"]["repairs"]),
+            ]
+        )
+    report(
+        "Red team — mean error (m) by attack and defense",
+        format_table(
+            [
+                "attack",
+                "plain",
+                "resilient",
+                "defended",
+                "vs clean",
+                "quarantines",
+                "repairs",
+            ],
+            rows,
+        ),
+    )
+
+    conditions = document["conditions"]
+
+    # The committed gate: rogue AP mid-walk, defended, within 1.5x clean.
+    gate = document["gate"]
+    assert gate["mode"] == "full"
+    assert gate["observed_ratio"] <= GATE_RATIO, gate
+    assert gate["passed"], gate
+
+    # Fault-free fast path: the defense must cost exactly nothing.
+    assert document["clean_defense_untouched"]
+    assert document["clean_fix_stream_bitwise_identical"]
+    clean = conditions["clean"]["systems"]
+    assert clean["defended"]["mean_error_m"] == clean["resilient"][
+        "mean_error_m"
+    ]
+
+    # The defense must engage and pay for itself under every rogue-AP
+    # variant, even the documented partial blind spots.
+    for label in (
+        "rogue_ap5_onset2",
+        "rogue_ap0_onset2",
+        "rogue_ap5_onset0",
+        "repower_ap5_shift20_onset2",
+    ):
+        cell = conditions[label]
+        assert cell["trust_events"]["quarantines"] > 0, label
+        assert (
+            cell["systems"]["defended"]["mean_error_m"]
+            < cell["systems"]["resilient"]["mean_error_m"]
+        ), label
+
+    # Twin confusion: a rogue AP inflates confusion at the fingerprint
+    # twins; the defense must pull it back toward the clean rate.
+    twin_clean = clean["defended"]["twin_confusion_rate"]
+    twin_rogue = conditions["rogue_ap5_onset2"]["systems"]
+    assert twin_rogue["plain"]["twin_confusion_rate"] > twin_clean
+    assert (
+        twin_rogue["defended"]["twin_confusion_rate"]
+        < twin_rogue["plain"]["twin_confusion_rate"]
+    )
+
+    # Spoofed IMU is the heading-rate veto's job (unconditional in the
+    # resilient service), not trust scoring's: resilient beats plain,
+    # and the trust layer stays silent.
+    imu = conditions["imu_spoof_onset1"]
+    assert (
+        imu["systems"]["resilient"]["mean_error_m"]
+        < imu["systems"]["plain"]["mean_error_m"]
+    )
+    assert imu["trust_events"]["quarantines"] == 0
+
+    # Honesty check: the documented limitations stay documented.  A
+    # replayed scan is self-consistent, so no defense here catches it.
+    replay = conditions["replay_onset3"]["systems"]
+    assert replay["defended"]["mean_error_m"] > 2.0
+    assert document["limitations"]

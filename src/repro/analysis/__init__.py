@@ -4,6 +4,7 @@ from .ambiguity import AmbiguityReport, TwinPair, analyze_ambiguity
 from .cdf import EmpiricalCdf
 from .comparison import SystemComparison, compare_systems
 from .coverage import CoverageReport, LocationCoverage, analyze_coverage
+from .redteam import GATE_RATIO, run_redteam
 from .stats import SummaryStats, bootstrap_ci, summarize
 from .tables import format_cdf_series, format_table
 
@@ -17,6 +18,8 @@ __all__ = [
     "CoverageReport",
     "LocationCoverage",
     "analyze_coverage",
+    "GATE_RATIO",
+    "run_redteam",
     "SummaryStats",
     "summarize",
     "bootstrap_ci",

@@ -7,6 +7,11 @@
 * **message faults** (drop / duplicate / reorder / corrupt / truncate)
   are applied to the event list *before* the engine sees it — the
   harness plays the flaky transport;
+* **adversarial faults** (rogue-AP forgery, AP repower, scan replay,
+  IMU spoofing) are applied the same way, but with *plausible* payload
+  rewrites (see :mod:`repro.sim.adversary`) instead of garbage — the
+  harness plays the attacker, and the defense under test is the trust
+  layer, not the sanitizer;
 * **phase faults** (raise / latency) are delivered through the engine's
   ``fault_injector`` hook, firing inside the targeted serving phase for
   the targeted session — the harness plays the failing dependency;
@@ -39,7 +44,9 @@ from typing import Dict, List, Optional, Sequence
 
 from ..observability import MetricsRegistry
 from ..serving.engine import BatchedServingEngine, IntervalEvent, TickOutcome
+from ..sim.adversary import forge_rogue_reading, shift_ap_reading, spoof_compass
 from .plan import (
+    ADVERSARY_KINDS,
     CLUSTER_KINDS,
     MESSAGE_KINDS,
     PHASE_KINDS,
@@ -48,7 +55,7 @@ from .plan import (
     FaultSpec,
 )
 
-__all__ = ["ChaosError", "ChaosHarness"]
+__all__ = ["ChaosError", "ChaosHarness", "apply_transport_faults"]
 
 
 class ChaosError(RuntimeError):
@@ -66,6 +73,137 @@ def _corrupt_scan(spec: FaultSpec, scan: Sequence[float]) -> List[float]:
     rng = random.Random(f"{spec.tick}:{spec.session_id}:corrupt")
     garbage = (float("nan"), float("inf"), 20.0, -200.0)
     return [rng.choice(garbage) for _ in scan]
+
+
+def apply_transport_faults(
+    plan: FaultPlan,
+    tick_index: int,
+    events: Sequence[IntervalEvent],
+    pending: List[IntervalEvent],
+    scan_history: Dict[str, List[float]],
+    injected: Dict[FaultKind, object],
+    skipped,
+) -> List[IntervalEvent]:
+    """Rewrite one tick's event batch per the plan's transport faults.
+
+    The shared front door of both the engine-level and the cluster
+    chaos harness: redeliveries from earlier duplicate/reorder faults
+    join first, then every MESSAGE_KINDS / ADVERSARY_KINDS spec
+    scheduled for ``tick_index`` rewrites (or removes, or re-queues)
+    its victim's event.  ``pending`` and ``scan_history`` are mutated
+    in place — they are harness state; ``scan_history`` feeds
+    REPLAY_SCAN with each session's most recent previously *delivered*
+    scan.  Every handled spec lands in exactly one of ``injected`` /
+    ``skipped``, preserving the chaos accounting invariant.
+    """
+    mutable = list(events)
+
+    # Redeliveries from earlier duplicate/reorder faults join the
+    # first tick whose batch has room for their session (one event
+    # per session per tick).
+    if pending:
+        present = {event.session_id for event in mutable}
+        still_pending: List[IntervalEvent] = []
+        for event in pending:
+            if event.session_id in present:
+                still_pending.append(event)
+            else:
+                mutable.append(event)
+                present.add(event.session_id)
+        pending[:] = still_pending
+
+    for spec in plan.faults_at(tick_index):
+        if spec.kind not in MESSAGE_KINDS and spec.kind not in ADVERSARY_KINDS:
+            continue
+        slot = next(
+            (
+                index
+                for index, event in enumerate(mutable)
+                if event.session_id == spec.session_id
+            ),
+            None,
+        )
+        if slot is None:
+            skipped.inc()
+            continue
+        event = mutable[slot]
+        if spec.kind is FaultKind.DROP_MESSAGE:
+            del mutable[slot]
+        elif spec.kind is FaultKind.DUPLICATE_MESSAGE:
+            pending.append(event)
+        elif spec.kind is FaultKind.REORDER_MESSAGE:
+            del mutable[slot]
+            pending.append(event)
+        elif spec.kind is FaultKind.CORRUPT_SCAN:
+            if event.scan is None:
+                skipped.inc()
+                continue
+            mutable[slot] = IntervalEvent(
+                session_id=event.session_id,
+                scan=_corrupt_scan(spec, event.scan),
+                imu=event.imu,
+                sequence=event.sequence,
+            )
+        elif spec.kind is FaultKind.TRUNCATE_SCAN:
+            if event.scan is None:
+                skipped.inc()
+                continue
+            scan = list(event.scan)
+            mutable[slot] = IntervalEvent(
+                session_id=event.session_id,
+                scan=scan[: max(1, len(scan) // 2)],
+                imu=event.imu,
+                sequence=event.sequence,
+            )
+        elif spec.kind in (FaultKind.ROGUE_AP, FaultKind.AP_REPOWER):
+            # The forged transmitter (or repowered AP) needs a scan to
+            # strike and a slot that exists in it.
+            if event.scan is None or not 0 <= spec.ap_id < len(event.scan):
+                skipped.inc()
+                continue
+            rewrite = (
+                forge_rogue_reading(event.scan, spec.ap_id, spec.magnitude)
+                if spec.kind is FaultKind.ROGUE_AP
+                else shift_ap_reading(event.scan, spec.ap_id, spec.magnitude)
+            )
+            mutable[slot] = IntervalEvent(
+                session_id=event.session_id,
+                scan=rewrite,
+                imu=event.imu,
+                sequence=event.sequence,
+            )
+        elif spec.kind is FaultKind.REPLAY_SCAN:
+            # The attacker can only replay a capture that exists: the
+            # victim must have had a scan delivered earlier, and must
+            # carry a scan now for the replay to replace.
+            captured = scan_history.get(spec.session_id)
+            if event.scan is None or captured is None:
+                skipped.inc()
+                continue
+            mutable[slot] = IntervalEvent(
+                session_id=event.session_id,
+                scan=list(captured),
+                imu=event.imu,
+                sequence=event.sequence,
+            )
+        elif spec.kind is FaultKind.SPOOF_IMU:
+            if event.imu is None:
+                skipped.inc()
+                continue
+            mutable[slot] = IntervalEvent(
+                session_id=event.session_id,
+                scan=event.scan,
+                imu=spoof_compass(event.imu, spec.magnitude),
+                sequence=event.sequence,
+            )
+        injected[spec.kind].inc()
+
+    # Record what each session's scan looked like as delivered, so a
+    # later REPLAY_SCAN replays what actually went over the wire.
+    for event in mutable:
+        if event.scan is not None:
+            scan_history[event.session_id] = [float(v) for v in event.scan]
+    return mutable
 
 
 class ChaosHarness:
@@ -102,6 +240,7 @@ class ChaosHarness:
         self.metrics = metrics if metrics is not None else engine.metrics
         self._skew_s = 0.0
         self._pending: List[IntervalEvent] = []
+        self._scan_history: Dict[str, List[float]] = {}
         #: The events the engine actually received last tick, after the
         #: message faults rewrote the batch.  The returned ``fixes``
         #: align with this list, not with the caller's original one.
@@ -162,66 +301,15 @@ class ChaosHarness:
     def _apply_message_faults(
         self, tick_index: int, events: Sequence[IntervalEvent]
     ) -> List[IntervalEvent]:
-        mutable = list(events)
-
-        # Redeliveries from earlier duplicate/reorder faults join the
-        # first tick whose batch has room for their session (one event
-        # per session per tick).
-        if self._pending:
-            present = {event.session_id for event in mutable}
-            still_pending: List[IntervalEvent] = []
-            for event in self._pending:
-                if event.session_id in present:
-                    still_pending.append(event)
-                else:
-                    mutable.append(event)
-                    present.add(event.session_id)
-            self._pending = still_pending
-
-        for spec in self.plan.faults_at(tick_index):
-            if spec.kind not in MESSAGE_KINDS:
-                continue
-            slot = next(
-                (
-                    index
-                    for index, event in enumerate(mutable)
-                    if event.session_id == spec.session_id
-                ),
-                None,
-            )
-            if slot is None:
-                self._c_skipped.inc()
-                continue
-            event = mutable[slot]
-            if spec.kind is FaultKind.DROP_MESSAGE:
-                del mutable[slot]
-            elif spec.kind is FaultKind.DUPLICATE_MESSAGE:
-                self._pending.append(event)
-            elif spec.kind is FaultKind.REORDER_MESSAGE:
-                del mutable[slot]
-                self._pending.append(event)
-            elif spec.kind is FaultKind.CORRUPT_SCAN:
-                if event.scan is None:
-                    self._c_skipped.inc()
-                    continue
-                mutable[slot] = IntervalEvent(
-                    session_id=event.session_id,
-                    scan=_corrupt_scan(spec, event.scan),
-                    imu=event.imu,
-                    sequence=event.sequence,
-                )
-            elif spec.kind is FaultKind.TRUNCATE_SCAN:
-                if event.scan is None:
-                    self._c_skipped.inc()
-                    continue
-                scan = list(event.scan)
-                mutable[slot] = IntervalEvent(
-                    session_id=event.session_id,
-                    scan=scan[: max(1, len(scan) // 2)],
-                    imu=event.imu,
-                    sequence=event.sequence,
-                )
-            self._c_injected[spec.kind].inc()
+        mutable = apply_transport_faults(
+            self.plan,
+            tick_index,
+            events,
+            self._pending,
+            self._scan_history,
+            self._c_injected,
+            self._c_skipped,
+        )
 
         # Events for sessions the engine no longer knows (evicted by an
         # earlier strike-out) are unroutable messages: the engine would

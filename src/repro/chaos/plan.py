@@ -58,11 +58,38 @@ class FaultKind(Enum):
     :class:`~repro.cluster.chaos.ClusterChaosHarness` can apply it —
     the single-engine harness counts it as skipped."""
 
+    ROGUE_AP = "rogue-ap"
+    """An attacker forges the BSSID of AP ``ap_id`` and replays a
+    stronger signal: the victim's scan reads ``magnitude`` dBm at that
+    slot instead of the honest field value (exercises per-AP trust
+    scoring — a rogue slot poisons every Eq. 1 dissimilarity the way a
+    dead one does, but at full power instead of the floor)."""
+
+    AP_REPOWER = "ap-repower"
+    """AP ``ap_id`` was power-cycled and came back at a different
+    transmit power: the victim's reading at that slot shifts by
+    ``magnitude`` dB (clipped to physical range).  A benign field
+    change that a trust monitor must treat exactly like an attack — the
+    database is stale either way."""
+
+    REPLAY_SCAN = "replay-scan"
+    """An attacker replays a fingerprint captured earlier in the walk:
+    the victim's scan is replaced wholesale with its most recent
+    previously delivered scan (a relocation attack — the radio
+    evidence says "you never moved")."""
+
+    SPOOF_IMU = "spoof-imu"
+    """The victim's compass stream is spoofed: readings oscillate by
+    ``magnitude`` degrees at a rate no pedestrian can turn (exercises
+    the heading-rate credibility check — a confidently lying IMU must
+    be vetoed, not fused)."""
+
 
 # Kinds that target the message transport (applied to the event list
 # before the tick) vs. the serving phases (applied via the engine's
 # fault injector hook) vs. the cluster topology (applied by the cluster
-# harness to whole workers).
+# harness to whole workers) vs. adversarial payload rewrites (applied
+# to scan/IMU contents in flight, by either harness).
 MESSAGE_KINDS = (
     FaultKind.CORRUPT_SCAN,
     FaultKind.TRUNCATE_SCAN,
@@ -72,12 +99,22 @@ MESSAGE_KINDS = (
 )
 PHASE_KINDS = (FaultKind.RAISE, FaultKind.LATENCY)
 CLUSTER_KINDS = (FaultKind.WORKER_KILL,)
+ADVERSARY_KINDS = (
+    FaultKind.ROGUE_AP,
+    FaultKind.AP_REPOWER,
+    FaultKind.REPLAY_SCAN,
+    FaultKind.SPOOF_IMU,
+)
+
+# Adversarial kinds that strike one AP slot and therefore need ap_id.
+AP_TARGETED_KINDS = (FaultKind.ROGUE_AP, FaultKind.AP_REPOWER)
 
 # The default pool for FaultPlan.random: the engine-level kinds, in the
-# enum's historical order.  WORKER_KILL is deliberately excluded —
-# opting a storm into cluster faults takes an explicit ``kinds=`` — and
-# keeping the pool's length and order fixed keeps every pre-cluster
-# seed generating the exact same plan it always did.
+# enum's historical order.  WORKER_KILL and the adversarial kinds are
+# deliberately excluded — opting a storm into cluster faults or attacks
+# takes an explicit ``kinds=`` — and keeping the pool's length and
+# order fixed keeps every pre-cluster seed generating the exact same
+# plan it always did.
 DEFAULT_RANDOM_KINDS = PHASE_KINDS + MESSAGE_KINDS
 
 _PHASES = ("prepare", "match", "complete")
@@ -98,7 +135,13 @@ class FaultSpec:
             which serving phase the injection fires in (``prepare`` /
             ``match`` / ``complete``).  Ignored for message faults.
         magnitude: Kind-specific size — seconds of latency for
-            :attr:`FaultKind.LATENCY`, unused otherwise.
+            :attr:`FaultKind.LATENCY`, the forged dBm reading for
+            :attr:`FaultKind.ROGUE_AP`, the dB power shift for
+            :attr:`FaultKind.AP_REPOWER`, the heading-oscillation
+            amplitude in degrees for :attr:`FaultKind.SPOOF_IMU`,
+            unused otherwise.
+        ap_id: The struck AP slot, required (and only meaningful) for
+            :attr:`FaultKind.ROGUE_AP` / :attr:`FaultKind.AP_REPOWER`.
     """
 
     tick: int
@@ -106,6 +149,7 @@ class FaultSpec:
     kind: FaultKind
     phase: str = "prepare"
     magnitude: float = 0.0
+    ap_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.tick < 1:
@@ -117,6 +161,21 @@ class FaultSpec:
         if self.kind is FaultKind.LATENCY and self.magnitude <= 0:
             raise ValueError(
                 f"latency magnitude must be positive, got {self.magnitude}"
+            )
+        if self.kind in AP_TARGETED_KINDS:
+            if self.ap_id is None or self.ap_id < 0:
+                raise ValueError(
+                    f"{self.kind.value} faults need a non-negative ap_id, "
+                    f"got {self.ap_id}"
+                )
+        if self.kind is FaultKind.AP_REPOWER and self.magnitude == 0:
+            raise ValueError(
+                "ap-repower magnitude must be a non-zero dB shift"
+            )
+        if self.kind is FaultKind.SPOOF_IMU and self.magnitude <= 0:
+            raise ValueError(
+                f"spoof-imu magnitude must be a positive heading amplitude, "
+                f"got {self.magnitude}"
             )
 
 
@@ -168,21 +227,34 @@ class FaultPlan:
         kinds: Optional[Sequence[FaultKind]] = None,
         phases: Sequence[str] = _PHASES,
         latency_s: float = 0.05,
+        n_aps: Optional[int] = None,
+        rogue_dbm: float = -30.0,
+        repower_shift_db: float = 8.0,
+        spoof_heading_deg: float = 90.0,
     ) -> "FaultPlan":
         """A seeded storm: each (tick, session) faults with probability ``rate``.
 
         Deterministic in its arguments — the schedule is drawn from a
         private :class:`random.Random` seeded once, so the same call
-        produces the same plan on every machine and run.
+        produces the same plan on every machine and run.  Adversarial
+        draws consume extra randomness only when an adversarial kind is
+        actually drawn, so pools without them generate the exact plans
+        they always did.
 
         Args:
             seed: The storm's identity.
             n_ticks: Ticks 1..n_ticks are eligible.
             session_ids: The victim pool.
             rate: Per-(tick, session) fault probability.
-            kinds: Fault kinds to draw from (default: all).
+            kinds: Fault kinds to draw from (default: all engine-level
+                kinds; adversarial and cluster kinds are opt-in).
             phases: Phases RAISE/LATENCY faults may target.
             latency_s: Magnitude of LATENCY faults.
+            n_aps: AP count to draw struck slots from; required when the
+                pool contains ROGUE_AP or AP_REPOWER.
+            rogue_dbm: Forged reading of ROGUE_AP faults.
+            repower_shift_db: Power shift of AP_REPOWER faults.
+            spoof_heading_deg: Oscillation amplitude of SPOOF_IMU faults.
         """
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")
@@ -191,6 +263,19 @@ class FaultPlan:
         pool = list(kinds) if kinds is not None else list(DEFAULT_RANDOM_KINDS)
         if not pool:
             raise ValueError("need at least one fault kind to draw from")
+        if any(kind in AP_TARGETED_KINDS for kind in pool) and (
+            n_aps is None or n_aps < 1
+        ):
+            raise ValueError(
+                "n_aps must be given (>= 1) when the pool contains "
+                "AP-targeted adversarial kinds"
+            )
+        magnitudes = {
+            FaultKind.LATENCY: latency_s,
+            FaultKind.ROGUE_AP: rogue_dbm,
+            FaultKind.AP_REPOWER: repower_shift_db,
+            FaultKind.SPOOF_IMU: spoof_heading_deg,
+        }
         rng = random.Random(seed)
         faults: List[FaultSpec] = []
         for tick in range(1, n_ticks + 1):
@@ -204,8 +289,11 @@ class FaultPlan:
                         session_id=session_id,
                         kind=kind,
                         phase=rng.choice(list(phases)),
-                        magnitude=(
-                            latency_s if kind is FaultKind.LATENCY else 0.0
+                        magnitude=magnitudes.get(kind, 0.0),
+                        ap_id=(
+                            rng.randrange(n_aps)
+                            if kind in AP_TARGETED_KINDS
+                            else None
                         ),
                     )
                 )
@@ -223,6 +311,13 @@ class FaultPlan:
                     "fault": fault.kind.value,
                     "phase": fault.phase,
                     "magnitude": fault.magnitude,
+                    # ap_id only appears when set, so pre-adversarial
+                    # plan documents are byte-for-byte unchanged.
+                    **(
+                        {"ap_id": fault.ap_id}
+                        if fault.ap_id is not None
+                        else {}
+                    ),
                 }
                 for fault in self
             ],
@@ -243,6 +338,11 @@ class FaultPlan:
                     kind=FaultKind(entry["fault"]),
                     phase=entry["phase"],
                     magnitude=float(entry["magnitude"]),
+                    ap_id=(
+                        None
+                        if entry.get("ap_id") is None
+                        else int(entry["ap_id"])
+                    ),
                 )
                 for entry in payload["faults"]
             ]

@@ -212,6 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-tick completion budget in ms (default: no shedding)",
     )
     chaos.add_argument(
+        "--adversarial",
+        action="store_true",
+        help="add the attack kinds (rogue AP, AP repower, scan replay, "
+        "IMU spoof) to the storm pool and serve trust-defended sessions",
+    )
+    chaos.add_argument(
         "--output",
         type=Path,
         default=None,
@@ -272,6 +278,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the JSON document here",
     )
+
+    redteam = subparsers.add_parser(
+        "redteam",
+        help="replay the held-out walks through adversarial attacks "
+        "(rogue AP, re-powered AP, replayed scans, spoofed IMU) against "
+        "plain / resilient / trust-defended serving and print the report "
+        "as JSON (exit code 0 iff the defense gate passes)",
+    )
+    redteam.add_argument(
+        "--smoke",
+        action="store_true",
+        help="clean + gate conditions over six walks only (CI fast lane); "
+        "checks defense mechanics instead of the calibrated 1.5x gate",
+    )
+    redteam.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the JSON document here",
+    )
     return parser
 
 
@@ -321,6 +347,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.rate,
             args.tick_budget_ms,
             args.output,
+            adversarial=args.adversarial,
         )
     if args.command == "cluster":
         return _cluster(
@@ -335,6 +362,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.workdir,
             args.output,
         )
+    if args.command == "redteam":
+        return _redteam(_study_from(args), args.smoke, args.output)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -557,6 +586,7 @@ def _chaos(
     rate: float,
     tick_budget_ms: Optional[float],
     output: Optional[Path],
+    adversarial: bool = False,
 ) -> int:
     """Serve a workload under a seeded storm, print the chaos report."""
     import json
@@ -577,6 +607,23 @@ def _chaos(
         corpus_size=min(corpus_size, n_sessions),
         stagger_ticks=2,
     )
+    make_service = None
+    if adversarial:
+        from .motion.pedestrian import BodyProfile
+        from .robustness import ResilientMoLocService
+        from .robustness.trust import ApTrustMonitor
+
+        def make_service(trace):
+            # One monitor per session: trust state is per-user.
+            return ResilientMoLocService(
+                fingerprint_db,
+                motion_db,
+                body=BodyProfile(height_m=1.72),
+                config=study.config,
+                plan=study.scenario.plan,
+                trust=ApTrustMonitor(n_aps=n_aps),
+            )
+
     services = build_session_services(
         workload,
         fingerprint_db,
@@ -584,6 +631,7 @@ def _chaos(
         study.config,
         resilient=True,
         plan=study.scenario.plan,
+        make_service=make_service,
     )
     engine = BatchedServingEngine(
         fingerprint_db,
@@ -593,11 +641,18 @@ def _chaos(
             None if tick_budget_ms is None else tick_budget_ms / 1e3
         ),
     )
+    storm_kinds = None
+    if adversarial:
+        from .chaos.plan import ADVERSARY_KINDS, DEFAULT_RANDOM_KINDS
+
+        storm_kinds = list(DEFAULT_RANDOM_KINDS) + list(ADVERSARY_KINDS)
     plan = FaultPlan.random(
         seed=chaos_seed,
         n_ticks=len(workload.ticks),
         session_ids=sorted(workload.sessions),
         rate=rate,
+        kinds=storm_kinds,
+        n_aps=n_aps if adversarial else None,
     )
     harness = ChaosHarness(engine, plan)
     for session_id, service in services.items():
@@ -633,6 +688,7 @@ def _chaos(
     document = {
         "report": "chaos",
         "chaos_seed": chaos_seed,
+        "adversarial": adversarial,
         "rate": rate,
         "sessions": n_sessions,
         "ticks": len(workload.ticks),
@@ -938,6 +994,21 @@ def _report(study: Study, output: Path) -> int:
     output.write_text("\n".join(lines), encoding="utf-8")
     print(f"wrote report to {output}")
     return 0
+
+
+def _redteam(study: Study, smoke: bool, output: Optional[Path]) -> int:
+    """Run the adversarial sweep, print the report, gate the exit code."""
+    import json
+
+    from .analysis.redteam import run_redteam
+
+    document = run_redteam(study, smoke=smoke)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    return 0 if document["gate"]["passed"] else 1
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from ..io.serialize import (
 )
 from ..motion.pedestrian import BodyProfile
 from ..robustness.service import ResilientMoLocService
+from ..robustness.trust import ApTrustMonitor
 from ..service import MoLocService
 from ..serving.engine import BatchedServingEngine
 
@@ -59,6 +60,7 @@ def shard_spec(
     wal_path: Union[str, Path],
     checkpoint_path: Union[str, Path],
     resilient: bool = True,
+    defended: bool = False,
     plan: Optional[FloorPlan] = None,
     body_height_m: float = 1.72,
     checkpoint_every: int = 8,
@@ -77,6 +79,12 @@ def shard_spec(
         resilient: Serve sessions through
             :class:`~repro.robustness.service.ResilientMoLocService`
             (True) or the plain service.
+        defended: Give each resilient service a fresh
+            :class:`~repro.robustness.trust.ApTrustMonitor` (the
+            adversarial defense).  Required when admitted sessions
+            carry trust state: a trust-less worker would silently drop
+            it on restore and the bitwise contract across migration
+            would be void.
         plan: Optional floor plan for the resilient watchdog.
         body_height_m: Body profile height for restored services (the
             checkpointed stride state overrides its step length).
@@ -92,6 +100,11 @@ def shard_spec(
         raise ValueError(
             f"checkpoint_every must be >= 0, got {checkpoint_every}"
         )
+    if defended and not resilient:
+        raise ValueError(
+            "defended requires resilient: the trust monitor lives in "
+            "ResilientMoLocService"
+        )
     return {
         "kind": "shard_spec",
         "format_version": SPEC_FORMAT_VERSION,
@@ -100,6 +113,7 @@ def shard_spec(
         "motion_db": motion_db_to_dict(motion_db),
         "config": dataclasses.asdict(config),
         "resilient": bool(resilient),
+        "defended": bool(defended),
         "floorplan": None if plan is None else floorplan_to_dict(plan),
         "body_height_m": float(body_height_m),
         "wal_path": str(wal_path),
@@ -142,6 +156,9 @@ def build_engine(
         else floorplan_from_dict(spec["floorplan"])
     )
     resilient = bool(spec["resilient"])
+    # Pre-adversarial spec documents carry no "defended" key; they keep
+    # building exactly the workers they always did.
+    defended = bool(spec.get("defended", False))
     height_m = float(spec["body_height_m"])
 
     def make_service(session_id: str) -> MoLocService:
@@ -152,6 +169,11 @@ def build_engine(
                 body=BodyProfile(height_m=height_m),
                 config=config,
                 plan=plan,
+                trust=(
+                    ApTrustMonitor(n_aps=fingerprint_db.n_aps)
+                    if defended
+                    else None
+                ),
             )
         return MoLocService(
             fingerprint_db,

@@ -14,10 +14,11 @@ harness's storm vocabulary with the one fault only a cluster can have:
   invariant under test is that the merged fix stream is *bitwise
   identical* to a kill-free run.
 * Message faults (drop / duplicate / reorder / corrupt / truncate)
-  apply at the coordinator's front door, before routing, with the same
-  semantics as the engine-level harness — and because a shard WALs the
-  post-fault events it actually received, recovery after a kill
-  replays the faulted stream, not the pristine one.
+  and adversarial faults (rogue-AP forgery, AP repower, scan replay,
+  IMU spoofing) apply at the coordinator's front door, before routing,
+  with the same semantics as the engine-level harness — and because a
+  shard WALs the post-fault events it actually received, recovery
+  after a kill replays the attacked stream, not the pristine one.
 * Phase faults (RAISE / LATENCY) have no injection seam across a
   process boundary, so a cluster harness counts them as skipped —
   schedule cluster storms from ``MESSAGE_KINDS + CLUSTER_KINDS``.
@@ -31,8 +32,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..chaos.harness import _corrupt_scan
-from ..chaos.plan import CLUSTER_KINDS, MESSAGE_KINDS, FaultKind, FaultPlan
+from ..chaos.harness import apply_transport_faults
+from ..chaos.plan import (
+    ADVERSARY_KINDS,
+    CLUSTER_KINDS,
+    MESSAGE_KINDS,
+    FaultKind,
+    FaultPlan,
+)
 from ..observability import MetricsRegistry
 from ..serving.engine import IntervalEvent
 from .coordinator import ClusterCoordinator, ClusterTickOutcome
@@ -66,6 +73,7 @@ class ClusterChaosHarness:
             metrics if metrics is not None else coordinator.metrics
         )
         self._pending: List[IntervalEvent] = []
+        self._scan_history: Dict[str, List[float]] = {}
         #: The events the coordinator actually received last tick, after
         #: message faults rewrote the batch.  ``ClusterTickOutcome.fixes``
         #: aligns with this list, not with the caller's original one.
@@ -105,68 +113,24 @@ class ClusterChaosHarness:
         faulted_events = self._apply_message_faults(upcoming, events)
         self.last_delivered = list(faulted_events)
         for spec in self.plan.faults_at(upcoming):
-            if spec.kind not in MESSAGE_KINDS and spec.kind not in CLUSTER_KINDS:
+            if (
+                spec.kind not in MESSAGE_KINDS
+                and spec.kind not in CLUSTER_KINDS
+                and spec.kind not in ADVERSARY_KINDS
+            ):
                 self._c_skipped.inc()
         return self.coordinator.tick_detailed(faulted_events)
 
     def _apply_message_faults(
         self, tick_index: int, events: Sequence[IntervalEvent]
     ) -> List[IntervalEvent]:
-        """Engine-harness message-fault semantics, at the cluster door."""
-        mutable = list(events)
-        if self._pending:
-            present = {event.session_id for event in mutable}
-            still_pending: List[IntervalEvent] = []
-            for event in self._pending:
-                if event.session_id in present:
-                    still_pending.append(event)
-                else:
-                    mutable.append(event)
-                    present.add(event.session_id)
-            self._pending = still_pending
-
-        for spec in self.plan.faults_at(tick_index):
-            if spec.kind not in MESSAGE_KINDS:
-                continue
-            slot = next(
-                (
-                    index
-                    for index, event in enumerate(mutable)
-                    if event.session_id == spec.session_id
-                ),
-                None,
-            )
-            if slot is None:
-                self._c_skipped.inc()
-                continue
-            event = mutable[slot]
-            if spec.kind is FaultKind.DROP_MESSAGE:
-                del mutable[slot]
-            elif spec.kind is FaultKind.DUPLICATE_MESSAGE:
-                self._pending.append(event)
-            elif spec.kind is FaultKind.REORDER_MESSAGE:
-                del mutable[slot]
-                self._pending.append(event)
-            elif spec.kind is FaultKind.CORRUPT_SCAN:
-                if event.scan is None:
-                    self._c_skipped.inc()
-                    continue
-                mutable[slot] = IntervalEvent(
-                    session_id=event.session_id,
-                    scan=_corrupt_scan(spec, event.scan),
-                    imu=event.imu,
-                    sequence=event.sequence,
-                )
-            elif spec.kind is FaultKind.TRUNCATE_SCAN:
-                if event.scan is None:
-                    self._c_skipped.inc()
-                    continue
-                scan = list(event.scan)
-                mutable[slot] = IntervalEvent(
-                    session_id=event.session_id,
-                    scan=scan[: max(1, len(scan) // 2)],
-                    imu=event.imu,
-                    sequence=event.sequence,
-                )
-            self._c_injected[spec.kind].inc()
-        return mutable
+        """Engine-harness transport-fault semantics, at the cluster door."""
+        return apply_transport_faults(
+            self.plan,
+            tick_index,
+            events,
+            self._pending,
+            self._scan_history,
+            self._c_injected,
+            self._c_skipped,
+        )

@@ -413,7 +413,7 @@ class ClusterCoordinator:
         """The whole cluster's metrics as one JSON document.
 
         Returns:
-            ``{"schema": 1, "coordinator": ..., "shards": {id: ...},
+            ``{"schema": 2, "coordinator": ..., "shards": {id: ...},
             "merged": ...}`` where each shard contributes its engine's
             full ``metrics_snapshot`` and ``merged`` aggregates the
             shards section by section via
@@ -431,9 +431,9 @@ class ClusterCoordinator:
             )
             for section in ("engine", "matcher", "transitions", "sessions")
         }
-        merged["schema"] = 1
+        merged["schema"] = 2
         return {
-            "schema": 1,
+            "schema": 2,
             "coordinator": self.metrics.snapshot(),
             "shards": shard_snapshots,
             "merged": merged,

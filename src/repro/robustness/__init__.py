@@ -9,6 +9,9 @@ but.  This package wraps the serving path in a fault barrier:
   EWMA confidence, widen/reset recovery;
 * :mod:`~repro.robustness.calibration` — stale placement-offset
   detection and automatic Zee-style recalibration;
+* :mod:`~repro.robustness.trust` — per-AP residual statistics and
+  hysteresis quarantine against rogue/repowered APs
+  (:class:`ApTrustMonitor`);
 * :mod:`~repro.robustness.fallback` — the motion-assisted → WiFi-only →
   dead-reckoning chain;
 * :mod:`~repro.robustness.health` — the :class:`HealthStatus` contract
@@ -22,20 +25,24 @@ See ``docs/robustness.md`` for the fault model and the serving contract.
 from .calibration import CalibrationMonitor
 from .fallback import choose_mode, coast
 from .health import FaultType, HealthStatus, ResilientFix, ServingMode
-from .sanitizer import SanitizedScan, ScanSanitizer, check_imu
+from .sanitizer import ImuCheck, SanitizedScan, ScanSanitizer, check_imu
 from .service import ResilientMoLocService
+from .trust import ApTrustMonitor, TrustObservation
 from .watchdog import DivergenceWatchdog, WatchdogAction, WatchdogVerdict
 
 __all__ = [
+    "ApTrustMonitor",
     "CalibrationMonitor",
     "DivergenceWatchdog",
     "FaultType",
     "HealthStatus",
+    "ImuCheck",
     "ResilientFix",
     "ResilientMoLocService",
     "SanitizedScan",
     "ScanSanitizer",
     "ServingMode",
+    "TrustObservation",
     "WatchdogAction",
     "WatchdogVerdict",
     "check_imu",

@@ -77,6 +77,17 @@ class FaultType(Enum):
     the tick's time budget was exhausted before its motion evidence could
     be evaluated."""
 
+    ROGUE_AP_MASKED = "rogue-ap-masked"
+    """One or more APs quarantined by the trust monitor (sustained
+    observed-vs-expected RSS residuals) and excluded from matching this
+    interval; when a majority of the scan is untrusted, the whole scan
+    is treated as lost instead."""
+
+    IMU_SPOOF = "imu-spoof"
+    """Compass stream physically implausible (heading whipping faster
+    than a pedestrian can turn): the segment is vetoed as spoofed, not
+    merely dropped out."""
+
 
 @dataclass(frozen=True)
 class HealthStatus:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from ..core.fingerprint import RSS_CEILING_DBM, RSS_FLOOR_DBM, Fingerprint
 from ..sensors.imu import ImuSegment
 from .health import FaultType
 
-__all__ = ["SanitizedScan", "ScanSanitizer", "check_imu"]
+__all__ = ["ImuCheck", "SanitizedScan", "ScanSanitizer", "check_imu"]
 
 
 @dataclass(frozen=True)
@@ -210,23 +210,57 @@ _MIN_CREDIBLE_ACCEL_STD = 0.02
 stream is a flat line no physical sensor produces; real idle noise is an
 order of magnitude larger."""
 
+_MAX_CREDIBLE_HEADING_STEP_DEG = 40.0
+"""Mean absolute heading change between consecutive compass readings
+(degrees) above which the stream is spoofed: a walking pedestrian's
+readings wander by per-reading noise (a few degrees) around one course,
+while a forged stream that whips the heading every reading shows mean
+steps of the oscillation amplitude.  Clean synthetic segments sit well
+under 10°; the margin keeps honest noisy compasses out of quarantine."""
 
-def check_imu(imu: Optional[ImuSegment]) -> Tuple[bool, Tuple[FaultType, ...]]:
+
+class ImuCheck(NamedTuple):
+    """The outcome of :func:`check_imu`, with the tripping check named.
+
+    Attributes:
+        usable: Whether motion may be extracted from the segment.
+        faults: Fault classes to report (empty when usable).
+        tripped: Which credibility check rejected the segment —
+            ``"missing"``, ``"empty"``, ``"non-finite"``,
+            ``"flat-line"`` or ``"heading-rate"`` — or None when the
+            segment passed.  Distinguishes the dropout veto from the
+            spoof veto in metrics: a flat-lined sensor and a lying one
+            are different operational events.
+    """
+
+    usable: bool
+    faults: Tuple[FaultType, ...]
+    tripped: Optional[str]
+
+
+def check_imu(imu: Optional[ImuSegment]) -> ImuCheck:
     """Whether an IMU segment is credible enough to extract motion from.
 
     Returns:
-        ``(usable, faults)`` — ``usable`` is False for a missing segment,
-        empty or non-finite streams, or a flat-lined accelerometer; every
-        rejection carries :data:`FaultType.IMU_DROPOUT`.
+        An :class:`ImuCheck` — ``usable`` is False for a missing
+        segment, empty or non-finite streams, a flat-lined
+        accelerometer (all :data:`FaultType.IMU_DROPOUT`), or a
+        physically impossible heading rate
+        (:data:`FaultType.IMU_SPOOF`); ``tripped`` names the check
+        that fired.
     """
     if imu is None:
-        return False, (FaultType.IMU_DROPOUT,)
+        return ImuCheck(False, (FaultType.IMU_DROPOUT,), "missing")
     samples = np.asarray(imu.accel.samples, dtype=float)
     readings = np.asarray(imu.compass_readings, dtype=float)
     if samples.size == 0 or readings.size == 0:
-        return False, (FaultType.IMU_DROPOUT,)
+        return ImuCheck(False, (FaultType.IMU_DROPOUT,), "empty")
     if not np.isfinite(samples).all() or not np.isfinite(readings).all():
-        return False, (FaultType.IMU_DROPOUT,)
+        return ImuCheck(False, (FaultType.IMU_DROPOUT,), "non-finite")
     if float(samples.std()) < _MIN_CREDIBLE_ACCEL_STD:
-        return False, (FaultType.IMU_DROPOUT,)
-    return True, ()
+        return ImuCheck(False, (FaultType.IMU_DROPOUT,), "flat-line")
+    if readings.size >= 2:
+        steps = np.abs((np.diff(readings) + 180.0) % 360.0 - 180.0)
+        if float(steps.mean()) > _MAX_CREDIBLE_HEADING_STEP_DEG:
+            return ImuCheck(False, (FaultType.IMU_SPOOF,), "heading-rate")
+    return ImuCheck(True, (), None)

@@ -33,7 +33,7 @@ each returned :class:`~repro.robustness.health.ResilientFix`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.config import MoLocConfig
 from ..core.fingerprint import FingerprintDatabase
@@ -49,6 +49,7 @@ from .calibration import CalibrationMonitor
 from .fallback import choose_mode, coast
 from .health import FaultType, HealthStatus, ResilientFix, ServingMode
 from .sanitizer import SanitizedScan, ScanSanitizer, check_imu
+from .trust import ApTrustMonitor
 from .watchdog import DivergenceWatchdog, WatchdogAction
 
 __all__ = ["ResilientMoLocService", "ResilientPreparedInterval"]
@@ -73,6 +74,9 @@ class ResilientPreparedInterval(PreparedInterval):
             coasting path consumes it even when ``motion`` is None.
         previous_fix: The previous fix at prepare time (stride pairing).
         imu: The segment as received (calibration monitor input).
+        trust_masked: APs the trust monitor quarantined out of this
+            interval's matching (empty when the defense is off or
+            nothing is benched).
     """
 
     mode: ServingMode = ServingMode.WIFI_ONLY
@@ -81,6 +85,7 @@ class ResilientPreparedInterval(PreparedInterval):
     measurement: Optional[MotionMeasurement] = None
     previous_fix: Optional[int] = None
     imu: Optional[ImuSegment] = None
+    trust_masked: Tuple[int, ...] = ()
 
 
 class ResilientMoLocService(MoLocService):
@@ -99,6 +104,14 @@ class ResilientMoLocService(MoLocService):
             the fingerprint database).
         watchdog: Divergence watchdog override.
         calibration_monitor: Calibration monitor override.
+        trust: Optional :class:`~repro.robustness.trust.ApTrustMonitor`
+            enabling the adversarial defense: quarantined APs are
+            masked out of matching through the same ``active_aps``
+            plumbing as dead-AP masking, a majority-untrusted scan is
+            treated as WiFi loss, and every anchored fix feeds
+            observed-vs-expected residuals back to the monitor.  Off
+            (None) by default: with no monitor the serving path is
+            bit-for-bit the pre-trust one.
         metrics: As in :class:`~repro.service.MoLocService`; this
             subclass additionally counts fixes by serving mode, faults
             by type, sanitizer masks, watchdog trips, recalibrations,
@@ -117,6 +130,7 @@ class ResilientMoLocService(MoLocService):
         sanitizer: Optional[ScanSanitizer] = None,
         watchdog: Optional[DivergenceWatchdog] = None,
         calibration_monitor: Optional[CalibrationMonitor] = None,
+        trust: Optional[ApTrustMonitor] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
@@ -134,11 +148,26 @@ class ResilientMoLocService(MoLocService):
         self._calibration_monitor = calibration_monitor or CalibrationMonitor(
             motion_db
         )
+        self._trust = trust
         self._widen_next = False
         self._last_health: Optional[HealthStatus] = None
         self._previous_wifi_best: Optional[int] = None
         self._coasting_streak = 0
         self._c_masks = self.metrics.counter("service.sanitizer_masks")
+        self._c_trust_masked = self.metrics.counter(
+            "service.trust.masked_intervals"
+        )
+        self._c_trust_demotions = self.metrics.counter(
+            "service.trust.scan_demotions"
+        )
+        self._c_trust_repairs = self.metrics.counter("service.trust.repairs")
+        self._c_trust_quarantines = self.metrics.counter(
+            "service.trust.quarantines"
+        )
+        self._c_trust_paroles = self.metrics.counter("service.trust.paroles")
+        self._g_trust_quarantined = self.metrics.gauge(
+            "service.trust.quarantined_aps"
+        )
         self._c_widen = self.metrics.counter("service.watchdog.widen_trips")
         self._c_reset = self.metrics.counter("service.watchdog.reset_trips")
         self._c_recalibrations = self.metrics.counter(
@@ -161,6 +190,11 @@ class ResilientMoLocService(MoLocService):
         """The health status of the most recent fix, if any."""
         return self._last_health
 
+    @property
+    def trust(self) -> Optional[ApTrustMonitor]:
+        """The AP trust monitor, when the adversarial defense is on."""
+        return self._trust
+
     def calibrate_heading(self, calibration) -> float:
         offset = super().calibrate_heading(calibration)
         # A fresh offset must be judged on fresh hops.
@@ -172,6 +206,9 @@ class ResilientMoLocService(MoLocService):
         self._sanitizer.reset()
         self._watchdog.reset()
         self._calibration_monitor.reset()
+        if self._trust is not None:
+            self._trust.reset()
+            self._g_trust_quarantined.set(0)
         self._widen_next = False
         self._last_health = None
         self._previous_wifi_best = None
@@ -197,6 +234,10 @@ class ResilientMoLocService(MoLocService):
         state["widen_next"] = self._widen_next
         state["previous_wifi_best"] = self._previous_wifi_best
         state["coasting_streak"] = self._coasting_streak
+        # The trust key appears only when the defense is on, so
+        # checkpoints of trust-less sessions are unchanged documents.
+        if self._trust is not None:
+            state["trust"] = self._trust.state_dict()
         return state
 
     def load_state_dict(self, state: dict) -> None:
@@ -211,6 +252,17 @@ class ResilientMoLocService(MoLocService):
         best = state["previous_wifi_best"]
         self._previous_wifi_best = None if best is None else int(best)
         self._coasting_streak = int(state["coasting_streak"])
+        if self._trust is not None:
+            trust_state = state.get("trust")
+            if trust_state is not None:
+                self._trust.load_state_dict(trust_state)
+            else:
+                # A pre-trust checkpoint restored into a defended
+                # session: start the monitor from scratch.
+                self._trust.reset()
+            self._g_trust_quarantined.set(
+                len(self._trust.quarantined_ap_ids)
+            )
         self._last_health = None
         self._g_coasting.set(self._coasting_streak)
 
@@ -264,6 +316,37 @@ class ResilientMoLocService(MoLocService):
         sanitized = self._sanitizer.sanitize(scan)
         faults.extend(sanitized.faults)
 
+        # The trust layer's verdict on the surviving scan: quarantined
+        # APs leave the match through the same active_aps plumbing as
+        # dead ones, and a majority-untrusted scan is demoted to WiFi
+        # loss — a poisoned posterior is worse than a coasted one.
+        scan_usable = sanitized.usable
+        active_aps = sanitized.active_aps
+        trust_masked: Tuple[int, ...] = ()
+        if self._trust is not None and sanitized.usable:
+            benched = tuple(
+                i
+                for i in self._trust.quarantined_ap_ids
+                if active_aps[i]
+            )
+            if benched:
+                trust_masked = benched
+                faults.append(FaultType.ROGUE_AP_MASKED)
+                self._c_trust_masked.inc()
+                combined = tuple(
+                    alive and i not in benched
+                    for i, alive in enumerate(active_aps)
+                )
+                if (
+                    2 * len(benched) > self._trust.n_aps
+                    or sum(combined) < self._trust.min_trusted_aps
+                ):
+                    scan_usable = False
+                    faults.append(FaultType.SCAN_LOSS)
+                    self._c_trust_demotions.inc()
+                else:
+                    active_aps = combined
+
         if imu is None:
             imu_usable = False
             if self._fix_count > 0:
@@ -273,16 +356,17 @@ class ResilientMoLocService(MoLocService):
                 faults.append(FaultType.IMU_DROPOUT)
         else:
             if precomputed is not None and precomputed.imu_check is not None:
-                imu_usable, imu_faults = precomputed.imu_check
+                imu_check = precomputed.imu_check
             else:
-                imu_usable, imu_faults = check_imu(imu)
-            faults.extend(imu_faults)
+                imu_check = check_imu(imu)
+            imu_usable = imu_check[0]
+            faults.extend(imu_check[1])
 
         calibrated = self.is_calibrated
         if imu_usable and not calibrated:
             faults.append(FaultType.UNCALIBRATED)
 
-        mode = choose_mode(sanitized.usable, imu_usable, calibrated)
+        mode = choose_mode(scan_usable, imu_usable, calibrated)
 
         measurement: Optional[MotionMeasurement] = None
         if imu_usable and calibrated:
@@ -304,8 +388,9 @@ class ResilientMoLocService(MoLocService):
                 measurement if mode is ServingMode.MOTION_ASSISTED else None
             ),
             active_aps=(
-                sanitized.active_aps
-                if not coasting and sanitized.masked_ap_ids
+                active_aps
+                if not coasting
+                and (sanitized.masked_ap_ids or trust_masked)
                 else None
             ),
             k=(
@@ -319,6 +404,7 @@ class ResilientMoLocService(MoLocService):
             measurement=measurement,
             previous_fix=self._previous_fix,
             imu=imu,
+            trust_masked=trust_masked,
         )
 
     def complete_interval(
@@ -352,6 +438,16 @@ class ResilientMoLocService(MoLocService):
         measurement = prepared.measurement
         previous_fix = prepared.previous_fix
 
+        # Snapshot the prior so a trust repair can replay this interval's
+        # match from the exact same retained set (trust-off sessions skip
+        # even the copy).
+        repair_armed = (
+            self._trust is not None
+            and mode is not ServingMode.DEAD_RECKONING
+            and sanitized.usable
+        )
+        prior = self._localizer.retained_candidates if repair_armed else None
+
         if mode is ServingMode.DEAD_RECKONING:
             if estimate is not None:
                 raise ValueError(
@@ -371,6 +467,38 @@ class ResilientMoLocService(MoLocService):
             estimate = self._localizer.evaluate(
                 candidates, prepared.motion, transition_probabilities
             )
+
+        # Same-interval repair: one AP lying egregiously about *this*
+        # fix does not get to keep it.  The interval is re-matched from
+        # the snapshotted prior with the liar masked; the hysteresis
+        # quarantine below handles subtler, persistent attacks.
+        repaired_ap: Optional[int] = None
+        if repair_armed:
+            match_mask = prepared.active_aps
+            suspect = self._trust.attributable_suspect(
+                sanitized.fingerprint.rss,
+                self.fingerprint_db.fingerprint_of(estimate.location_id).rss,
+                match_mask,
+            )
+            if suspect is not None:
+                combined = tuple(
+                    (match_mask is None or match_mask[i]) and i != suspect
+                    for i in range(self._trust.n_aps)
+                )
+                if sum(combined) >= self._trust.min_trusted_aps:
+                    if prior is None:
+                        self._localizer.reset()
+                    else:
+                        self._localizer.seed_candidates(prior)
+                    estimate = self._localizer.locate(
+                        prepared.fingerprint,
+                        prepared.motion,
+                        active_aps=combined,
+                        k=prepared.k,
+                    )
+                    repaired_ap = suspect
+                    faults.append(FaultType.ROGUE_AP_MASKED)
+                    self._c_trust_repairs.inc()
 
         self._fix_count += 1
         self._c_fixes.inc()
@@ -453,11 +581,32 @@ class ResilientMoLocService(MoLocService):
 
         if recalibrated:
             self._c_recalibrations.inc()
+
+        # Residual feedback: the scan as received vs. the database's
+        # expectation at the fix.  Quarantined APs stay observed — their
+        # readings no longer move the estimate, so a persistently clean
+        # residual is exactly the parole evidence the hysteresis needs.
+        if self._trust is not None and sanitized.usable:
+            transition = self._trust.observe(
+                sanitized.fingerprint.rss,
+                self.fingerprint_db.fingerprint_of(estimate.location_id).rss,
+                sanitized.active_aps,
+            )
+            self._c_trust_quarantines.inc(len(transition.newly_quarantined))
+            self._c_trust_paroles.inc(len(transition.newly_paroled))
+            self._g_trust_quarantined.set(
+                len(self._trust.quarantined_ap_ids)
+            )
+
         health = HealthStatus(
             mode=mode,
             faults=tuple(dict.fromkeys(faults)),
             confidence=verdict.confidence,
-            masked_ap_ids=sanitized.masked_ap_ids,
+            masked_ap_ids=(
+                sanitized.masked_ap_ids
+                + prepared.trust_masked
+                + (() if repaired_ap is None else (repaired_ap,))
+            ),
             recalibrated=recalibrated,
         )
         for fault in health.faults:

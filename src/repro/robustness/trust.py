@@ -1,0 +1,418 @@
+"""Per-AP trust scoring: notice the transmitter that stopped telling the truth.
+
+The sanitizer catches APs that go *silent* (floored slots) and garbage
+that violates physics, but a rogue AP is neither: a forged BSSID
+replaying a strong signal produces readings that are individually
+plausible and persistently *wrong* — and because Eq. 1 sums squared
+per-AP differences, one wrong slot poisons every dissimilarity.  The
+only observable that separates an honest AP from a forged (or
+repowered, or stale-database) one is its **residual**: observed RSS
+minus the database's expected RSS at the location the system currently
+believes it is at.  Honest APs produce small, zero-mean residuals
+(noise plus a little estimate error); a lying AP produces a large,
+persistent one at every location.
+
+:class:`ApTrustMonitor` tracks those residuals per AP with an EWMA of
+the residual and of its square (mean + variance), converts them into
+trust scores, and drives a hysteresis quarantine: an AP whose residual
+stays suspect for ``quarantine_after`` consecutive observations is
+quarantined — masked out of matching through the same ``active_aps``
+plumbing that dead-AP masking uses — and paroled again only after
+``parole_after`` consecutive clean observations.  The hysteresis keeps
+one unlucky fix from benching an honest AP and keeps an attacker from
+flapping in and out of the match on alternate ticks.
+
+A residual only incriminates an AP when the estimate itself is sound,
+and a steered or twin-confused estimate inflates residuals across
+*many* honest slots at once.  The monitor therefore attributes blame
+only on unambiguous evidence: when more than ``max_attributable``
+trusted APs look suspect in the same interval, the interval is charged
+to estimate error and every streak holds.  A lone AP persistently
+disagreeing with an otherwise self-consistent scan is the rogue
+signature; everyone disagreeing is the system being lost (the
+majority-honest assumption — an attacker forging most of the
+deployment's APs at once is outside this defense's threat model and is
+caught instead by the serving layer's majority-untrusted demotion).
+
+Everything is plain-float arithmetic in fixed order, and the full
+rolling state round-trips through :meth:`ApTrustMonitor.state_dict` —
+a restored or resharded session continues producing bitwise-identical
+decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+__all__ = ["ApTrustMonitor", "TrustObservation"]
+
+
+class TrustObservation(NamedTuple):
+    """What one :meth:`ApTrustMonitor.observe` call changed.
+
+    Attributes:
+        newly_quarantined: APs that crossed into quarantine this
+            observation (in AP-id order).
+        newly_paroled: APs released from quarantine this observation.
+    """
+
+    newly_quarantined: Tuple[int, ...]
+    newly_paroled: Tuple[int, ...]
+
+
+class ApTrustMonitor:
+    """Rolling per-AP residual statistics with hysteresis quarantine.
+
+    Args:
+        n_aps: The deployment's AP count (scan / database width).
+        ewma_alpha: Weight of the newest residual in the EWMA.
+        suspect_residual_db: Absolute residual (dB) above which an AP
+            counts as suspect this observation.  Honest residuals are
+            scan noise plus a little estimate error — mostly single
+            digits of dB, with rare ~20 dB excursions — while a rogue
+            transmitter or a repowered AP shifts readings by tens of
+            dB; the default sits where an honest AP essentially never
+            strings ``quarantine_after`` consecutive solo exceedances
+            together.
+        quarantine_after: Consecutive suspect observations before an AP
+            is quarantined.
+        parole_after: Consecutive clean observations before a
+            quarantined AP is trusted again.
+        max_attributable: Most *trusted* APs that may look suspect in
+            one interval for the blame to still be attributable to the
+            APs themselves; when more do, the interval is charged to
+            estimate error and no streak moves (see module docstring).
+        repair_residual_db: Absolute residual (dB) beyond which a lone
+            suspect warrants *same-interval repair* — re-matching the
+            interval with the liar masked (see
+            :meth:`attributable_suspect`).  Must exceed
+            ``suspect_residual_db``: repair acts instantly, with no
+            hysteresis to absorb a false positive, so its threshold
+            sits above the worst single-scan noise excursion an honest
+            AP produces (~25 dB in the office-hall field) while a
+            forged transmitter still clears it comfortably.
+        min_trusted_aps: Never quarantine below this many trusted APs —
+            an attacker must not be able to talk the defense into
+            blinding the radio entirely (that demotion decision belongs
+            to the serving layer, which treats a majority-untrusted
+            scan as WiFi loss).
+    """
+
+    def __init__(
+        self,
+        n_aps: int,
+        ewma_alpha: float = 0.25,
+        suspect_residual_db: float = 16.0,
+        quarantine_after: int = 2,
+        parole_after: int = 4,
+        min_trusted_aps: int = 2,
+        max_attributable: int = 1,
+        repair_residual_db: float = 30.0,
+    ) -> None:
+        if n_aps < 1:
+            raise ValueError(f"n_aps must be >= 1, got {n_aps}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if suspect_residual_db <= 0:
+            raise ValueError(
+                f"suspect_residual_db must be positive, got "
+                f"{suspect_residual_db}"
+            )
+        if quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
+        if parole_after < 1:
+            raise ValueError(f"parole_after must be >= 1, got {parole_after}")
+        if min_trusted_aps < 1:
+            raise ValueError(
+                f"min_trusted_aps must be >= 1, got {min_trusted_aps}"
+            )
+        if max_attributable < 1:
+            raise ValueError(
+                f"max_attributable must be >= 1, got {max_attributable}"
+            )
+        if repair_residual_db <= suspect_residual_db:
+            raise ValueError(
+                f"repair_residual_db ({repair_residual_db}) must exceed "
+                f"suspect_residual_db ({suspect_residual_db})"
+            )
+        self._n_aps = n_aps
+        self._alpha = ewma_alpha
+        self._suspect_db = suspect_residual_db
+        self._quarantine_after = quarantine_after
+        self._parole_after = parole_after
+        self._min_trusted = min_trusted_aps
+        self._max_attributable = max_attributable
+        self._repair_db = repair_residual_db
+        self._ewma: List[Optional[float]] = [None] * n_aps
+        self._ewma_sq: List[Optional[float]] = [None] * n_aps
+        self._suspect_streak: List[int] = [0] * n_aps
+        self._clean_streak: List[int] = [0] * n_aps
+        self._quarantined: List[bool] = [False] * n_aps
+
+    @property
+    def n_aps(self) -> int:
+        """The monitored AP count."""
+        return self._n_aps
+
+    @property
+    def min_trusted_aps(self) -> int:
+        """The quarantine floor (see constructor)."""
+        return self._min_trusted
+
+    @property
+    def config(self) -> Dict[str, float]:
+        """The tuning knobs, JSON-plain (for bench/report provenance)."""
+        return {
+            "ewma_alpha": self._alpha,
+            "suspect_residual_db": self._suspect_db,
+            "repair_residual_db": self._repair_db,
+            "quarantine_after": self._quarantine_after,
+            "parole_after": self._parole_after,
+            "max_attributable": self._max_attributable,
+            "min_trusted_aps": self._min_trusted,
+        }
+
+    @property
+    def quarantined_ap_ids(self) -> Tuple[int, ...]:
+        """Currently quarantined APs, in AP-id order."""
+        return tuple(
+            i for i, benched in enumerate(self._quarantined) if benched
+        )
+
+    @property
+    def trust_scores(self) -> Tuple[float, ...]:
+        """Per-AP trust in ``[0, 1]``: 1 = no evidence of lying.
+
+        ``threshold / (threshold + |smoothed residual|)`` — 1.0 for an
+        unobserved or perfectly honest AP, 0.5 exactly at the suspect
+        threshold, approaching 0 as the residual dwarfs it.
+        """
+        scores = []
+        for mean in self._ewma:
+            if mean is None:
+                scores.append(1.0)
+            else:
+                scores.append(
+                    self._suspect_db / (self._suspect_db + abs(mean))
+                )
+        return tuple(scores)
+
+    @property
+    def residual_means(self) -> Tuple[Optional[float], ...]:
+        """Per-AP smoothed residual (dB), None before any observation."""
+        return tuple(self._ewma)
+
+    @property
+    def residual_variances(self) -> Tuple[Optional[float], ...]:
+        """Per-AP EWMA residual variance (dB²), None before any observation."""
+        variances: List[Optional[float]] = []
+        for mean, mean_sq in zip(self._ewma, self._ewma_sq):
+            if mean is None or mean_sq is None:
+                variances.append(None)
+            else:
+                variances.append(max(0.0, mean_sq - mean * mean))
+        return tuple(variances)
+
+    def reset(self) -> None:
+        """Forget all rolling statistics and quarantines (new session)."""
+        self._ewma = [None] * self._n_aps
+        self._ewma_sq = [None] * self._n_aps
+        self._suspect_streak = [0] * self._n_aps
+        self._clean_streak = [0] * self._n_aps
+        self._quarantined = [False] * self._n_aps
+
+    def state_dict(self) -> dict:
+        """The full rolling state, as a JSON-compatible dict.
+
+        Plain Python floats round-trip exactly through JSON, so a
+        restored monitor makes bitwise-identical decisions.
+        """
+        return {
+            "ewma": list(self._ewma),
+            "ewma_sq": list(self._ewma_sq),
+            "suspect_streak": list(self._suspect_streak),
+            "clean_streak": list(self._clean_streak),
+            "quarantined": list(self._quarantined),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore rolling state captured by :meth:`state_dict`.
+
+        Raises:
+            ValueError: if the stored vectors do not match this
+                monitor's AP count.
+        """
+        ewma = [None if v is None else float(v) for v in state["ewma"]]
+        ewma_sq = [None if v is None else float(v) for v in state["ewma_sq"]]
+        suspect = [int(v) for v in state["suspect_streak"]]
+        clean = [int(v) for v in state["clean_streak"]]
+        quarantined = [bool(v) for v in state["quarantined"]]
+        for name, vector in (
+            ("ewma", ewma),
+            ("ewma_sq", ewma_sq),
+            ("suspect_streak", suspect),
+            ("clean_streak", clean),
+            ("quarantined", quarantined),
+        ):
+            if len(vector) != self._n_aps:
+                raise ValueError(
+                    f"checkpoint has {len(vector)} {name} entries for a "
+                    f"{self._n_aps}-AP trust monitor"
+                )
+        self._ewma = ewma
+        self._ewma_sq = ewma_sq
+        self._suspect_streak = suspect
+        self._clean_streak = clean
+        self._quarantined = quarantined
+
+    def attributable_suspect(
+        self,
+        observed_rss: Sequence[float],
+        expected_rss: Sequence[float],
+        active_aps: Optional[Sequence[bool]] = None,
+    ) -> Optional[int]:
+        """The one AP whose residual is egregious enough to repair now.
+
+        Pure (no rolling state moves): the serving layer calls this
+        after matching to decide whether the interval deserves a
+        *second* match with the liar masked — hysteresis protects
+        honest APs from noise, but a 30+ dB lie steering this very fix
+        should not get ``quarantine_after`` free intervals of damage.
+
+        Returns:
+            The AP id when exactly one active AP's absolute residual
+            exceeds ``repair_residual_db``; None when none does (nothing
+            to repair) or several do (a wrong estimate inflates many
+            residuals at once — re-matching on that evidence would
+            punish honest APs).
+
+        Raises:
+            ValueError: on a vector length mismatch.
+        """
+        if len(observed_rss) != self._n_aps or len(expected_rss) != self._n_aps:
+            raise ValueError(
+                f"attributable_suspect needs {self._n_aps}-AP vectors, got "
+                f"{len(observed_rss)} observed / {len(expected_rss)} expected"
+            )
+        if active_aps is not None and len(active_aps) != self._n_aps:
+            raise ValueError(
+                f"active_aps has {len(active_aps)} entries for a "
+                f"{self._n_aps}-AP trust monitor"
+            )
+        suspect: Optional[int] = None
+        for i in range(self._n_aps):
+            if active_aps is not None and not active_aps[i]:
+                continue
+            residual = float(observed_rss[i]) - float(expected_rss[i])
+            if abs(residual) > self._repair_db:
+                if suspect is not None:
+                    return None
+                suspect = i
+        return suspect
+
+    def observe(
+        self,
+        observed_rss: Sequence[float],
+        expected_rss: Sequence[float],
+        active_aps: Optional[Sequence[bool]] = None,
+    ) -> TrustObservation:
+        """Fold one interval's residuals into the rolling statistics.
+
+        Quarantined APs keep being observed — their readings no longer
+        influence the estimate (they are masked from matching), so
+        their residual against the estimate is exactly the evidence
+        parole needs when the attack ends.  When more than
+        ``max_attributable`` trusted APs look suspect at once the
+        interval is charged to estimate error: EWMA statistics still
+        update (they are observability), but no streak moves and no
+        quarantine or parole fires.
+
+        Args:
+            observed_rss: The sanitized scan actually received.
+            expected_rss: The database fingerprint of the location the
+                fix placed the user at.
+            active_aps: Optional mask; APs inactive per the *sanitizer*
+                (floored/dead slots) carry no residual information and
+                are skipped — their streaks hold.
+
+        Returns:
+            The quarantine/parole transitions this observation caused.
+
+        Raises:
+            ValueError: on a vector length mismatch.
+        """
+        if len(observed_rss) != self._n_aps or len(expected_rss) != self._n_aps:
+            raise ValueError(
+                f"observe needs {self._n_aps}-AP vectors, got "
+                f"{len(observed_rss)} observed / {len(expected_rss)} expected"
+            )
+        if active_aps is not None and len(active_aps) != self._n_aps:
+            raise ValueError(
+                f"active_aps has {len(active_aps)} entries for a "
+                f"{self._n_aps}-AP trust monitor"
+            )
+        alpha = self._alpha
+        residuals: List[Optional[float]] = [None] * self._n_aps
+        for i in range(self._n_aps):
+            if active_aps is not None and not active_aps[i]:
+                continue
+            residual = float(observed_rss[i]) - float(expected_rss[i])
+            residuals[i] = residual
+            mean = self._ewma[i]
+            if mean is None:
+                self._ewma[i] = residual
+                self._ewma_sq[i] = residual * residual
+            else:
+                self._ewma[i] = alpha * residual + (1.0 - alpha) * mean
+                self._ewma_sq[i] = (
+                    alpha * residual * residual
+                    + (1.0 - alpha) * self._ewma_sq[i]
+                )
+        # Blame attribution: suspicion only means "this AP lies" when
+        # the rest of the scan agrees with the estimate.  Quarantined
+        # APs are already distrusted and do not count against the
+        # attribution budget — a persisting attack on a benched AP must
+        # not veto the detection of a second one... but neither can two
+        # simultaneously-large trusted residuals be told apart from a
+        # wrong estimate, so those intervals convict nobody.
+        trusted_suspects = sum(
+            1
+            for i, residual in enumerate(residuals)
+            if residual is not None
+            and not self._quarantined[i]
+            and abs(residual) > self._suspect_db
+        )
+        newly_quarantined: List[int] = []
+        newly_paroled: List[int] = []
+        if trusted_suspects > self._max_attributable:
+            return TrustObservation((), ())
+        for i, residual in enumerate(residuals):
+            if residual is None:
+                continue
+            if abs(residual) > self._suspect_db:
+                self._suspect_streak[i] += 1
+                self._clean_streak[i] = 0
+            else:
+                self._clean_streak[i] += 1
+                self._suspect_streak[i] = 0
+            if (
+                not self._quarantined[i]
+                and self._suspect_streak[i] >= self._quarantine_after
+                and self._trusted_count() > self._min_trusted
+            ):
+                self._quarantined[i] = True
+                newly_quarantined.append(i)
+            elif (
+                self._quarantined[i]
+                and self._clean_streak[i] >= self._parole_after
+            ):
+                self._quarantined[i] = False
+                newly_paroled.append(i)
+        return TrustObservation(
+            tuple(newly_quarantined), tuple(newly_paroled)
+        )
+
+    def _trusted_count(self) -> int:
+        return self._n_aps - sum(self._quarantined)

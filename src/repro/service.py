@@ -85,8 +85,9 @@ class PrecomputedInputs:
     inputs the computation reads).
 
     Attributes:
-        imu_check: ``(usable, faults)`` from the robustness layer's
-            ``check_imu`` — pure in the segment.
+        imu_check: The ``ImuCheck`` named tuple ``(usable, faults,
+            tripped)`` from the robustness layer's ``check_imu`` — pure
+            in the segment.
         motion: ``(measurement, steps)`` from
             :meth:`MoLocService.extract_motion` — pure in the segment
             plus calibration/stride/fusion settings.  The inner
@@ -95,7 +96,7 @@ class PrecomputedInputs:
             user yields a zero-offset measurement, not None.
     """
 
-    imu_check: Optional[Tuple[bool, tuple]] = None
+    imu_check: Optional[Tuple[bool, tuple, Optional[str]]] = None
     motion: Optional[Tuple[Optional[MotionMeasurement], Optional[float]]] = None
 
 

@@ -168,6 +168,10 @@ class TickOutcome:
             stranded in an upstream queue after their session was
             evicted by strike-out.  Dropped without touching any state,
             so one dead session's backlog cannot abort a healthy batch.
+        trust_masked: Session ids whose fix this tick carried the
+            ``ROGUE_AP_MASKED`` fault — their trust monitor benched at
+            least one AP (or demoted the whole scan).  Per-tick attack
+            attribution for dashboards and the red-team bench.
     """
 
     fixes: List[object]
@@ -179,6 +183,7 @@ class TickOutcome:
     shed: Tuple[str, ...]
     evicted: Tuple[str, ...]
     unroutable: Tuple[str, ...] = ()
+    trust_masked: Tuple[str, ...] = ()
 
 
 class BatchedServingEngine:
@@ -271,7 +276,7 @@ class BatchedServingEngine:
         # when the *last* such entry is evicted, so a recycled id() can
         # never alias a dead key.
         self._motion_memo: "OrderedDict[tuple, tuple]" = OrderedDict()
-        self._imu_checks: "OrderedDict[int, Tuple[bool, tuple]]" = OrderedDict()
+        self._imu_checks: "OrderedDict[int, Tuple[bool, tuple, Optional[str]]]" = OrderedDict()
         self._motion_refs: Dict[int, ImuSegment] = {}
         self._ref_pins: Dict[int, int] = {}
         # Posterior cache: (candidates, prior, motion, retention) fully
@@ -318,6 +323,9 @@ class BatchedServingEngine:
         self._c_seq_gaps = self.metrics.counter("engine.sequence.gaps")
         self._c_unroutable = self.metrics.counter("engine.unroutable")
         self._c_shed = self.metrics.counter("engine.deadline.shed")
+        self._c_trust_masked = self.metrics.counter(
+            "engine.trust.masked_sessions"
+        )
         self._h_tick = self.metrics.histogram("engine.tick.latency_s")
         self._h_batch = self.metrics.histogram(
             "engine.tick.batch_size", DEFAULT_SIZE_BUCKETS
@@ -415,15 +423,18 @@ class BatchedServingEngine:
         """Everything the serving stack measures, as one JSON document.
 
         Returns:
-            ``{"schema": 1, "engine": ..., "matcher": ...,
+            ``{"schema": 2, "engine": ..., "matcher": ...,
             "transitions": ..., "sessions": ...}`` where the first three
             sections are each component's registry snapshot and
             ``sessions`` aggregates the per-session service registries
             (counters and histograms sum, gauges keep the maximum).
             Sessions removed from the engine leave the aggregate.
+            Schema 2 adds the trust-layer counters/gauges —
+            ``engine.trust.masked_sessions`` plus the per-session
+            ``service.trust.*`` family in the aggregate.
         """
         return {
-            "schema": 1,
+            "schema": 2,
             "engine": self.metrics.snapshot(),
             "matcher": self.matcher.metrics.snapshot(),
             "transitions": self.transitions.metrics.snapshot(),
@@ -678,6 +689,7 @@ class BatchedServingEngine:
         shed: List[str] = []
         evicted: List[str] = []
         unroutable: List[str] = []
+        trust_masked: List[str] = []
 
         def session_fault(slot: int, phase: str, error: Exception) -> None:
             """Strike, quarantine or evict the faulting session."""
@@ -904,6 +916,10 @@ class BatchedServingEngine:
                 self._c_recoveries.inc()
             fixes[slot] = fix
             served.append(event.session_id)
+            health = getattr(fix, "health", None)
+            if health is not None and FaultType.ROGUE_AP_MASKED in health.faults:
+                trust_masked.append(event.session_id)
+                self._c_trust_masked.inc()
         complete_s = self.clock() - complete_started - transitions_s
         self.tracer.record("transitions", transitions_s)
         self.tracer.record("complete", complete_s)
@@ -941,6 +957,7 @@ class BatchedServingEngine:
             shed=tuple(shed),
             evicted=tuple(evicted),
             unroutable=tuple(unroutable),
+            trust_masked=tuple(trust_masked),
         )
 
     def replay_tick(self, events: Sequence[IntervalEvent]) -> TickOutcome:

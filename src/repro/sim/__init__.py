@@ -17,6 +17,12 @@ from .evaluation import (
     evaluate_service,
     evaluate_smoother,
 )
+from .adversary import (
+    inject_ap_repower,
+    inject_imu_spoof,
+    inject_rogue_ap,
+    inject_scan_replay,
+)
 from .failures import (
     inject_ap_outage,
     inject_grip_shift,
@@ -53,7 +59,11 @@ __all__ = [
     "evaluate_smoother",
     "silence_ap",
     "inject_ap_outage",
+    "inject_ap_repower",
     "inject_grip_shift",
+    "inject_imu_spoof",
+    "inject_rogue_ap",
+    "inject_scan_replay",
     "inject_step_length_bias",
     "inject_imu_dropout",
     "ambiguous_location_ids",

@@ -1,0 +1,315 @@
+"""Adversarial injection: attacks on the radio and inertial evidence.
+
+Where :mod:`repro.sim.failures` models *benign* degradation (an AP
+dies, a sensor service crashes), this module models an *adversary* —
+someone who wants the localizer to answer, confidently, with the wrong
+place.  MoLoc's twin disambiguation assumes both evidence streams are
+honest; each injector here breaks exactly one of those assumptions:
+
+* **Rogue AP** — the attacker forges a known BSSID and transmits at
+  high power near the victim, so one scan slot reads an implausibly
+  strong value.  Because Eq. 1 sums squared per-AP differences, a
+  single forged slot dominates every dissimilarity and can steer the
+  candidate set to the attacker's chosen twin.
+* **AP repower** — a benign cousin: facilities power-cycles an AP and
+  it comes back at a different transmit power, shifting the field
+  mid-walk while the database stays stale.  A trust monitor must treat
+  both identically; intent is not observable, residuals are.
+* **Scan replay / relocation** — the attacker records a fingerprint at
+  one place and replays it at another, so the radio evidence insists
+  the victim never moved (or moved somewhere else entirely).
+* **IMU spoofing** — a compromised sensor feed reports a compass walk
+  no pedestrian could produce (heading whipping back and forth every
+  reading) and/or a replayed stride stream.
+
+All injectors are pure and deterministic: they return new traces or
+segments and never mutate inputs, so every attacked workload is exactly
+reproducible from its parameters.  The low-level primitives
+(:func:`forge_rogue_reading`, :func:`shift_ap_reading`,
+:func:`spoof_compass`) are shared with the chaos harnesses, which apply
+the same rewrites to in-flight events scheduled by a
+:class:`~repro.chaos.plan.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.fingerprint import RSS_CEILING_DBM, RSS_FLOOR_DBM, Fingerprint
+from ..motion.trace import TraceHop, WalkTrace
+from ..sensors.imu import ImuSegment
+from .failures import _check_ap_slot
+
+__all__ = [
+    "forge_rogue_reading",
+    "shift_ap_reading",
+    "spoof_compass",
+    "inject_rogue_ap",
+    "inject_ap_repower",
+    "inject_scan_replay",
+    "inject_imu_spoof",
+]
+
+DEFAULT_ROGUE_DBM = -30.0
+"""Default forged reading: stronger than any honest indoor observation
+in the office-hall field, but inside physical range — a sanitizer
+cannot reject it, only a trust monitor can."""
+
+
+def forge_rogue_reading(
+    scan: Sequence[float], ap_id: int, forged_dbm: float = DEFAULT_ROGUE_DBM
+) -> List[float]:
+    """One scan with slot ``ap_id`` overwritten by the attacker's signal.
+
+    Raises:
+        ValueError: if ``ap_id`` is out of range for the scan.
+    """
+    values = [float(v) for v in scan]
+    _check_ap_slot(ap_id, len(values))
+    values[ap_id] = float(forged_dbm)
+    return values
+
+
+def shift_ap_reading(
+    scan: Sequence[float],
+    ap_id: int,
+    shift_db: float,
+    floor_dbm: float = RSS_FLOOR_DBM,
+    ceiling_dbm: float = RSS_CEILING_DBM,
+) -> List[float]:
+    """One scan with slot ``ap_id`` shifted by a transmit-power change.
+
+    The shifted reading is clipped to physical range; an already-floored
+    slot stays floored (a silent AP does not get louder by being
+    power-cycled harder).
+
+    Raises:
+        ValueError: if ``ap_id`` is out of range for the scan.
+    """
+    values = [float(v) for v in scan]
+    _check_ap_slot(ap_id, len(values))
+    if values[ap_id] > floor_dbm:
+        values[ap_id] = min(
+            max(values[ap_id] + float(shift_db), floor_dbm), ceiling_dbm
+        )
+    return values
+
+
+def spoof_compass(
+    imu: ImuSegment, amplitude_deg: float = 90.0
+) -> ImuSegment:
+    """The segment with its compass stream spoofed.
+
+    Readings oscillate around the honest stream by ``amplitude_deg``,
+    alternating sign every reading — a heading rate far beyond what a
+    walking human produces, which is exactly the signature the
+    :func:`~repro.robustness.sanitizer.check_imu` heading-rate veto
+    hunts.  The accelerometer stream is untouched: the attack claims a
+    *plausible number of steps in an impossible direction pattern*.
+
+    Raises:
+        ValueError: for a non-positive amplitude.
+    """
+    if amplitude_deg <= 0:
+        raise ValueError(
+            f"amplitude_deg must be positive, got {amplitude_deg}"
+        )
+    readings = np.asarray(imu.compass_readings, dtype=float)
+    signs = np.where(np.arange(readings.size) % 2 == 0, 1.0, -1.0)
+    return ImuSegment(
+        accel=imu.accel,
+        compass_readings=(readings + amplitude_deg * signs) % 360.0,
+        true_course_deg=imu.true_course_deg,
+        true_distance_m=imu.true_distance_m,
+        gyro_rates_dps=imu.gyro_rates_dps,
+    )
+
+
+def _forge_fingerprint(
+    fingerprint: Fingerprint, ap_id: int, forged_dbm: float
+) -> Fingerprint:
+    return Fingerprint.from_values(
+        forge_rogue_reading(fingerprint.rss, ap_id, forged_dbm)
+    )
+
+
+def _shift_fingerprint(
+    fingerprint: Fingerprint, ap_id: int, shift_db: float
+) -> Fingerprint:
+    return Fingerprint.from_values(
+        shift_ap_reading(fingerprint.rss, ap_id, shift_db)
+    )
+
+
+def _check_onset(trace: WalkTrace, onset_interval: int) -> None:
+    """Validate a 0-based interval index (0 = the initial scan)."""
+    if not 0 <= onset_interval <= len(trace.hops):
+        raise ValueError(
+            f"onset_interval {onset_interval} out of range for a trace "
+            f"with {1 + len(trace.hops)} intervals"
+        )
+
+
+def inject_rogue_ap(
+    trace: WalkTrace,
+    ap_id: int,
+    onset_interval: int = 0,
+    forged_dbm: float = DEFAULT_ROGUE_DBM,
+) -> WalkTrace:
+    """The trace as scanned with a rogue AP forging slot ``ap_id``.
+
+    From interval ``onset_interval`` on (interval 0 is the initial
+    scan, interval ``i`` is hop ``i-1``'s arrival scan), the forged
+    transmitter overrides the honest field value at the struck slot.
+
+    Raises:
+        ValueError: for an out-of-range AP id or onset interval.
+    """
+    _check_ap_slot(ap_id, trace.initial_fingerprint.n_aps)
+    _check_onset(trace, onset_interval)
+    initial = trace.initial_fingerprint
+    if onset_interval == 0:
+        initial = _forge_fingerprint(initial, ap_id, forged_dbm)
+    hops: List[TraceHop] = []
+    for index, hop in enumerate(trace.hops):
+        if index + 1 < onset_interval:
+            hops.append(hop)
+            continue
+        hops.append(
+            dataclasses.replace(
+                hop,
+                arrival_fingerprint=_forge_fingerprint(
+                    hop.arrival_fingerprint, ap_id, forged_dbm
+                ),
+            )
+        )
+    return dataclasses.replace(trace, initial_fingerprint=initial, hops=hops)
+
+
+def inject_ap_repower(
+    trace: WalkTrace,
+    ap_id: int,
+    onset_interval: int,
+    shift_db: float,
+) -> WalkTrace:
+    """The trace as scanned after AP ``ap_id`` was power-cycled mid-walk.
+
+    From interval ``onset_interval`` on, the slot's readings shift by
+    ``shift_db`` (clipped to physical range): the field moved, the
+    database did not.
+
+    Raises:
+        ValueError: for an out-of-range AP id or onset interval, or a
+            zero shift (which would be no fault at all).
+    """
+    _check_ap_slot(ap_id, trace.initial_fingerprint.n_aps)
+    _check_onset(trace, onset_interval)
+    if shift_db == 0:
+        raise ValueError("shift_db must be a non-zero dB shift")
+    initial = trace.initial_fingerprint
+    if onset_interval == 0:
+        initial = _shift_fingerprint(initial, ap_id, shift_db)
+    hops: List[TraceHop] = []
+    for index, hop in enumerate(trace.hops):
+        if index + 1 < onset_interval:
+            hops.append(hop)
+            continue
+        hops.append(
+            dataclasses.replace(
+                hop,
+                arrival_fingerprint=_shift_fingerprint(
+                    hop.arrival_fingerprint, ap_id, shift_db
+                ),
+            )
+        )
+    return dataclasses.replace(trace, initial_fingerprint=initial, hops=hops)
+
+
+def inject_scan_replay(
+    trace: WalkTrace,
+    onset_interval: int,
+    captured_interval: int = 0,
+) -> WalkTrace:
+    """The trace under a fingerprint replay (relocation) attack.
+
+    From interval ``onset_interval`` on, every scan is replaced with the
+    fingerprint the attacker captured at ``captured_interval`` — the
+    radio evidence freezes at a place the victim has already left, while
+    the IMU keeps honestly reporting motion.
+
+    Raises:
+        ValueError: for out-of-range interval indices, or a capture at
+            or after the onset (the attacker cannot replay the future).
+    """
+    _check_onset(trace, onset_interval)
+    _check_onset(trace, captured_interval)
+    if captured_interval >= onset_interval:
+        raise ValueError(
+            f"captured_interval {captured_interval} must precede "
+            f"onset_interval {onset_interval}"
+        )
+    captured = (
+        trace.initial_fingerprint
+        if captured_interval == 0
+        else trace.hops[captured_interval - 1].arrival_fingerprint
+    )
+    initial = trace.initial_fingerprint
+    if onset_interval == 0:
+        initial = captured
+    hops: List[TraceHop] = []
+    for index, hop in enumerate(trace.hops):
+        if index + 1 < onset_interval:
+            hops.append(hop)
+            continue
+        hops.append(dataclasses.replace(hop, arrival_fingerprint=captured))
+    return dataclasses.replace(trace, initial_fingerprint=initial, hops=hops)
+
+
+def inject_imu_spoof(
+    trace: WalkTrace,
+    onset_hop: int = 0,
+    amplitude_deg: float = 90.0,
+    step_replay_hop: Optional[int] = None,
+) -> WalkTrace:
+    """The trace with its IMU stream spoofed from ``onset_hop`` on.
+
+    Compass readings oscillate by ``amplitude_deg`` per reading (see
+    :func:`spoof_compass`); when ``step_replay_hop`` is given, the
+    accelerometer stream of every spoofed hop is additionally replaced
+    with a replay of that hop's recording — the step-spoofing half of
+    the attack, claiming someone else's stride.
+
+    Raises:
+        ValueError: for out-of-range hop indices or a non-positive
+            amplitude.
+    """
+    if not 0 <= onset_hop < len(trace.hops):
+        raise ValueError(
+            f"onset_hop {onset_hop} out of range for "
+            f"{len(trace.hops)}-hop trace"
+        )
+    if step_replay_hop is not None and not (
+        0 <= step_replay_hop < len(trace.hops)
+    ):
+        raise ValueError(
+            f"step_replay_hop {step_replay_hop} out of range for "
+            f"{len(trace.hops)}-hop trace"
+        )
+    donor_accel = (
+        trace.hops[step_replay_hop].imu.accel
+        if step_replay_hop is not None
+        else None
+    )
+    hops: List[TraceHop] = []
+    for index, hop in enumerate(trace.hops):
+        if index < onset_hop:
+            hops.append(hop)
+            continue
+        spoofed = spoof_compass(hop.imu, amplitude_deg)
+        if donor_accel is not None:
+            spoofed = dataclasses.replace(spoofed, accel=donor_accel)
+        hops.append(dataclasses.replace(hop, imu=spoofed))
+    return dataclasses.replace(trace, hops=hops)

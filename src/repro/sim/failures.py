@@ -35,6 +35,23 @@ __all__ = [
 ]
 
 
+def _check_ap_slot(ap_id: int, n_aps: int) -> None:
+    """Validate an AP slot index against a fingerprint's AP count.
+
+    Shared by every injector that strikes one AP slot — benign
+    (:func:`silence_ap`) and adversarial
+    (:mod:`repro.sim.adversary`) alike — so out-of-range ids fail with
+    one message shape everywhere.
+
+    Raises:
+        ValueError: if ``ap_id`` is out of range.
+    """
+    if not 0 <= ap_id < n_aps:
+        raise ValueError(
+            f"ap_id {ap_id} out of range for {n_aps}-AP fingerprint"
+        )
+
+
 def silence_ap(
     fingerprint: Fingerprint,
     ap_id: int,
@@ -48,10 +65,7 @@ def silence_ap(
     Raises:
         ValueError: if ``ap_id`` is out of range.
     """
-    if not 0 <= ap_id < fingerprint.n_aps:
-        raise ValueError(
-            f"ap_id {ap_id} out of range for {fingerprint.n_aps}-AP fingerprint"
-        )
+    _check_ap_slot(ap_id, fingerprint.n_aps)
     values = list(fingerprint.rss)
     values[ap_id] = floor_dbm
     return Fingerprint.from_values(values)

@@ -143,3 +143,141 @@ class TestClusterKinds:
         rebuilt = FaultPlan.from_dict(payload)
         assert rebuilt.to_dict() == plan.to_dict()
         assert list(rebuilt)[0].kind is FaultKind.WORKER_KILL
+
+
+class TestAdversaryKinds:
+    """The adversarial vocabulary: opt-in, validated, exactly serialized."""
+
+    def test_adversary_kinds_are_their_own_family(self):
+        from repro.chaos.plan import (
+            ADVERSARY_KINDS,
+            AP_TARGETED_KINDS,
+            CLUSTER_KINDS,
+            DEFAULT_RANDOM_KINDS,
+            MESSAGE_KINDS,
+            PHASE_KINDS,
+        )
+
+        assert ADVERSARY_KINDS == (
+            FaultKind.ROGUE_AP,
+            FaultKind.AP_REPOWER,
+            FaultKind.REPLAY_SCAN,
+            FaultKind.SPOOF_IMU,
+        )
+        assert AP_TARGETED_KINDS == (
+            FaultKind.ROGUE_AP,
+            FaultKind.AP_REPOWER,
+        )
+        for kind in ADVERSARY_KINDS:
+            assert kind not in MESSAGE_KINDS
+            assert kind not in PHASE_KINDS
+            assert kind not in CLUSTER_KINDS
+            # Seed stability: attacks are opt-in; the default pool's
+            # membership and order must not move.
+            assert kind not in DEFAULT_RANDOM_KINDS
+        assert DEFAULT_RANDOM_KINDS == PHASE_KINDS + MESSAGE_KINDS
+
+    def test_default_pool_plans_are_unchanged_by_the_new_kinds(self):
+        """Pre-adversarial seeds keep generating byte-identical plans.
+
+        The plan document is pinned structurally: no entry of a
+        default-pool storm may carry an ap_id key, so serialized plans
+        from before this vocabulary existed compare equal.
+        """
+        plan = FaultPlan.random(
+            seed=13, n_ticks=40, session_ids=["a", "b", "c"], rate=0.5
+        )
+        document = plan.to_dict()
+        assert len(document["faults"]) > 0
+        for entry in document["faults"]:
+            assert "ap_id" not in entry
+
+    @pytest.mark.parametrize(
+        "kind,kwargs",
+        [
+            (FaultKind.ROGUE_AP, {"ap_id": 3, "magnitude": -30.0}),
+            (FaultKind.AP_REPOWER, {"ap_id": 0, "magnitude": 12.0}),
+            (FaultKind.REPLAY_SCAN, {}),
+            (FaultKind.SPOOF_IMU, {"magnitude": 90.0}),
+        ],
+    )
+    def test_each_kind_round_trips_through_json(self, kind, kwargs):
+        plan = FaultPlan(
+            [FaultSpec(tick=2, session_id="victim", kind=kind, **kwargs)]
+        )
+        payload = json.loads(json.dumps(plan.to_dict()))
+        rebuilt = FaultPlan.from_dict(payload)
+        assert rebuilt.to_dict() == plan.to_dict()
+        spec = list(rebuilt)[0]
+        assert spec.kind is kind
+        assert spec.ap_id == kwargs.get("ap_id")
+        assert spec.magnitude == kwargs.get("magnitude", 0.0)
+
+    def test_ap_targeted_kinds_require_an_ap_id(self):
+        with pytest.raises(ValueError, match="ap_id"):
+            FaultSpec(
+                tick=1, session_id="a", kind=FaultKind.ROGUE_AP,
+                magnitude=-30.0,
+            )
+        with pytest.raises(ValueError, match="ap_id"):
+            FaultSpec(
+                tick=1,
+                session_id="a",
+                kind=FaultKind.AP_REPOWER,
+                magnitude=10.0,
+                ap_id=-1,
+            )
+
+    def test_repower_needs_a_nonzero_shift(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            FaultSpec(
+                tick=1,
+                session_id="a",
+                kind=FaultKind.AP_REPOWER,
+                ap_id=0,
+                magnitude=0.0,
+            )
+
+    def test_spoof_needs_a_positive_amplitude(self):
+        with pytest.raises(ValueError, match="positive"):
+            FaultSpec(
+                tick=1,
+                session_id="a",
+                kind=FaultKind.SPOOF_IMU,
+                magnitude=0.0,
+            )
+
+    def test_random_adversarial_pool_requires_n_aps(self):
+        from repro.chaos.plan import ADVERSARY_KINDS
+
+        with pytest.raises(ValueError, match="n_aps"):
+            FaultPlan.random(
+                seed=1,
+                n_ticks=5,
+                session_ids=["a"],
+                kinds=list(ADVERSARY_KINDS),
+            )
+
+    def test_random_adversarial_storm_is_valid_and_deterministic(self):
+        from repro.chaos.plan import ADVERSARY_KINDS, AP_TARGETED_KINDS
+
+        kwargs = dict(
+            n_ticks=30,
+            session_ids=["a", "b"],
+            rate=0.5,
+            kinds=list(ADVERSARY_KINDS),
+            n_aps=6,
+        )
+        plan = FaultPlan.random(seed=21, **kwargs)
+        assert len(plan) > 0
+        assert {spec.kind for spec in plan} <= set(ADVERSARY_KINDS)
+        for spec in plan:
+            if spec.kind in AP_TARGETED_KINDS:
+                assert 0 <= spec.ap_id < 6
+            else:
+                assert spec.ap_id is None
+        assert (
+            FaultPlan.random(seed=21, **kwargs).to_dict() == plan.to_dict()
+        )
+        payload = json.loads(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_dict(payload).to_dict() == plan.to_dict()

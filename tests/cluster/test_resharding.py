@@ -3,14 +3,25 @@
 Growing or shrinking the topology halfway through a workload must not
 perturb a single fix: moved sessions travel as checkpoint entries (the
 same unit recovery restores), stayers are untouched, and the merged
-streams still match the single-engine baseline bit for bit.
+streams still match the single-engine baseline bit for bit.  The same
+contract is held with the adversarial defense live: a session mid-way
+through a quarantine streak migrates with its trust state intact.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+
 import pytest
 
-from repro.cluster import LocalShard, shard_spec
+from repro.cluster import ClusterCoordinator, LocalShard, shard_spec
+from repro.motion.pedestrian import BodyProfile
+from repro.robustness import ResilientMoLocService
+from repro.robustness.trust import ApTrustMonitor
+from repro.serving import build_session_services
+from repro.sim.adversary import inject_rogue_ap
+from repro.sim.evaluation import multi_session_workload
 
 from cluster_helpers import checksums, events_of, make_cluster, make_shards
 
@@ -100,6 +111,119 @@ def test_shrinking_midrun_drains_and_retires_the_shard(
     _serve(coordinator, fixes, workload.ticks[half:])
     coordinator.shutdown()
     assert checksums(fixes) == checksums(baseline_fixes)
+
+
+ROGUE_AP = 5
+N_APS = 6
+
+
+@pytest.fixture(scope="module")
+def attacked_world(small_study):
+    """A defended-cluster world whose every walk carries a rogue AP."""
+    fingerprint_db = small_study.fingerprint_db(N_APS)
+    motion_db, _ = small_study.motion_db(N_APS)
+    traces = [
+        inject_rogue_ap(
+            dataclasses.replace(trace, hops=list(trace.hops[:5])),
+            ROGUE_AP,
+            2,
+        )
+        for trace in small_study.test_traces[:4]
+    ]
+    workload = multi_session_workload(
+        traces, 8, corpus_size=4, stagger_ticks=1
+    )
+    return fingerprint_db, motion_db, small_study.config, workload
+
+
+def _defended_cluster(world, tmp_path, n_shards) -> ClusterCoordinator:
+    """Defended shards plus admitted trust-enabled sessions."""
+    fingerprint_db, motion_db, config, workload = world
+    from repro.cluster import fresh_session_entry
+
+    coordinator = ClusterCoordinator(
+        make_shards(world, tmp_path, n_shards, defended=True)
+    )
+    services = build_session_services(
+        workload,
+        fingerprint_db,
+        motion_db,
+        config,
+        # One monitor per session: trust state is per-user.
+        make_service=lambda trace: ResilientMoLocService(
+            fingerprint_db,
+            motion_db,
+            body=BodyProfile(height_m=1.72),
+            config=config,
+            trust=ApTrustMonitor(n_aps=N_APS),
+        ),
+    )
+    for session_id in sorted(services):
+        coordinator.add_session(
+            fresh_session_entry(session_id, services[session_id])
+        )
+    return coordinator
+
+
+def test_defended_reshard_migrates_trust_state_bitwise(
+    attacked_world, tmp_path
+):
+    """Growing a defended cluster mid-attack perturbs no defended fix.
+
+    The reshard lands while quarantine streaks and EWMA residuals are
+    mid-flight; if the checkpoint handoff dropped any of it, the moved
+    sessions' post-migration quarantine decisions — and therefore their
+    fix streams — would diverge from the undisturbed cluster's.
+    """
+    fingerprint_db, motion_db, config, workload = attacked_world
+    baseline = _defended_cluster(attacked_world, tmp_path / "base", 2)
+    baseline_fixes = {sid: [] for sid in workload.sessions}
+    _serve(baseline, baseline_fixes, workload.ticks)
+    baseline.shutdown()
+
+    coordinator = _defended_cluster(attacked_world, tmp_path / "grown", 2)
+    fixes = {sid: [] for sid in workload.sessions}
+    half = len(workload.ticks) // 2
+    _serve(coordinator, fixes, workload.ticks[:half])
+    new_shard = LocalShard(
+        shard_spec(
+            "shard-2",
+            fingerprint_db,
+            motion_db,
+            config,
+            wal_path=tmp_path / "shard-2.wal",
+            checkpoint_path=tmp_path / "shard-2.ckpt",
+            defended=True,
+        )
+    )
+    moved = coordinator.reshard(
+        list(coordinator.shards.values()) + [new_shard]
+    )
+    assert moved, "the fixture should move at least one session"
+    assert all(new_home == "shard-2" for _, new_home in moved.values())
+    # The migrated entries landed with their trust state explicitly.
+    new_shard.request({"op": "checkpoint"})
+    landed = json.loads(
+        (tmp_path / "shard-2.ckpt").read_text(encoding="utf-8")
+    )
+    landed_entries = {
+        entry["session_id"]: entry for entry in landed["sessions"]
+    }
+    for session_id in moved:
+        assert "trust" in landed_entries[session_id]["service"]
+    _serve(coordinator, fixes, workload.ticks[half:])
+    coordinator.shutdown()
+
+    assert checksums(fixes) == checksums(baseline_fixes)
+    # The defense was live, not idle: the rogue AP got masked.
+    masked = {
+        ap
+        for stream in baseline_fixes.values()
+        for fix in stream
+        if fix is not None
+        for ap in fix.health.masked_ap_ids
+    }
+    assert ROGUE_AP in masked
 
 
 def test_duplicate_shard_ids_rejected_on_reshard(world, tmp_path):

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.robustness.health import FaultType
 from repro.robustness.sanitizer import ScanSanitizer, check_imu
@@ -118,11 +121,49 @@ class TestDeadApDetection:
         assert sanitizer.sanitize(dead).masked_ap_ids == ()
 
 
+class TestStateRoundTrip:
+    def test_wrong_width_checkpoint_is_rejected(self, sanitizer):
+        with pytest.raises(ValueError, match="4-AP sanitizer"):
+            sanitizer.load_state_dict({"consecutive_floored": [0, 0]})
+
+    @given(
+        scans=st.lists(
+            st.lists(
+                st.one_of(
+                    st.floats(-100.0, 0.0, allow_nan=False),
+                    st.just(-100.0),  # weight the floor: dead-AP streaks
+                ),
+                min_size=4,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_state_dict_fixpoint_property(self, scans):
+        """load_state_dict(state_dict()) is exact after any scan history."""
+        source = ScanSanitizer(n_aps=4, dead_ap_scans=3)
+        for scan in scans:
+            source.sanitize(scan)
+        state = source.state_dict()
+        clone = ScanSanitizer(n_aps=4, dead_ap_scans=3)
+        clone.load_state_dict(json.loads(json.dumps(state)))
+        assert clone.state_dict() == state
+        assert clone.consecutive_floored == source.consecutive_floored
+        # The clone's next verdict — mask, faults and all — matches
+        # bitwise, dead-AP streak continuation included.
+        probe = [-100.0, -60.0, -70.0, -55.0]
+        assert clone.sanitize(probe) == source.sanitize(probe)
+        assert clone.state_dict() == source.state_dict()
+
+
 class TestImuCheck:
     def test_none_is_dropout(self):
-        usable, faults = check_imu(None)
-        assert not usable
-        assert faults == (FaultType.IMU_DROPOUT,)
+        check = check_imu(None)
+        assert not check.usable
+        assert check.faults == (FaultType.IMU_DROPOUT,)
+        assert check.tripped == "missing"
 
     def test_flat_lined_accel_is_dropout(self, rng):
         from repro.sensors.accelerometer import AccelerometerModel
@@ -139,9 +180,10 @@ class TestImuCheck:
             true_course_deg=90.0,
             true_distance_m=0.0,
         )
-        usable, faults = check_imu(flat)
-        assert not usable
-        assert FaultType.IMU_DROPOUT in faults
+        check = check_imu(flat)
+        assert not check.usable
+        assert FaultType.IMU_DROPOUT in check.faults
+        assert check.tripped == "flat-line"
 
     def test_real_idle_noise_is_credible(self, rng):
         """A genuinely idle sensor still shows noise: not a dropout."""
@@ -154,9 +196,10 @@ class TestImuCheck:
             true_course_deg=90.0,
             true_distance_m=0.0,
         )
-        usable, faults = check_imu(segment)
-        assert usable
-        assert faults == ()
+        check = check_imu(segment)
+        assert check.usable
+        assert check.faults == ()
+        assert check.tripped is None
 
     def test_non_finite_readings_are_dropout(self, rng):
         from repro.sensors.accelerometer import AccelerometerModel
@@ -168,5 +211,57 @@ class TestImuCheck:
             true_course_deg=90.0,
             true_distance_m=0.0,
         )
-        usable, _ = check_imu(segment)
+        check = check_imu(segment)
+        assert not check.usable
+        assert check.tripped == "non-finite"
+
+    def test_tuple_unpacking_still_works(self):
+        """ImuCheck stays a (usable, faults, tripped) named tuple."""
+        usable, faults, tripped = check_imu(None)
         assert not usable
+        assert faults == (FaultType.IMU_DROPOUT,)
+        assert tripped == "missing"
+
+
+class TestImuSpoofDetection:
+    def _segment(self, rng, readings):
+        from repro.sensors.accelerometer import AccelerometerModel
+        from repro.sensors.imu import ImuSegment
+
+        return ImuSegment(
+            accel=AccelerometerModel().idle(2.0, rng),
+            compass_readings=np.asarray(readings, dtype=float),
+            true_course_deg=90.0,
+            true_distance_m=0.0,
+        )
+
+    def test_oscillating_compass_is_spoof(self, rng):
+        """A ±90° alternating heading is physically implausible walking."""
+        readings = 90.0 + 90.0 * np.array([1.0, -1.0] * 5)
+        check = check_imu(self._segment(rng, readings))
+        assert not check.usable
+        assert check.faults == (FaultType.IMU_SPOOF,)
+        assert check.tripped == "heading-rate"
+
+    def test_noisy_but_steady_heading_is_credible(self, rng):
+        """Realistic compass noise (a few degrees) stays under the veto."""
+        readings = 90.0 + rng.normal(0.0, 4.0, size=12)
+        check = check_imu(self._segment(rng, readings))
+        assert check.usable
+        assert check.faults == ()
+
+    def test_gentle_turn_is_credible(self, rng):
+        """A genuine 90° corner spread over a hop does not trip the veto."""
+        readings = np.linspace(0.0, 90.0, 12) + rng.normal(0.0, 4.0, size=12)
+        check = check_imu(self._segment(rng, readings))
+        assert check.usable
+
+    def test_wraparound_does_not_false_positive(self, rng):
+        """Heading noise straddling 0°/360° is circular, not a spoof."""
+        readings = (rng.normal(0.0, 4.0, size=12)) % 360.0
+        check = check_imu(self._segment(rng, readings))
+        assert check.usable
+
+    def test_single_reading_cannot_trip_heading_rate(self, rng):
+        check = check_imu(self._segment(rng, [90.0]))
+        assert check.usable

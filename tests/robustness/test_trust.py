@@ -1,0 +1,302 @@
+"""Tests for per-AP trust scoring and hysteresis quarantine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.robustness.trust import ApTrustMonitor, TrustObservation
+
+N_APS = 4
+EXPECTED = [-50.0, -60.0, -70.0, -55.0]
+
+
+def monitor(**kwargs) -> ApTrustMonitor:
+    defaults = dict(
+        n_aps=N_APS,
+        suspect_residual_db=16.0,
+        quarantine_after=2,
+        parole_after=3,
+        min_trusted_aps=2,
+    )
+    defaults.update(kwargs)
+    return ApTrustMonitor(**defaults)
+
+
+def lying_scan(ap_id: int, lie_db: float = 25.0):
+    scan = list(EXPECTED)
+    scan[ap_id] += lie_db
+    return scan
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_aps": 0},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"suspect_residual_db": 0.0},
+            {"quarantine_after": 0},
+            {"parole_after": 0},
+            {"min_trusted_aps": 0},
+            {"max_attributable": 0},
+            # Repair must be the rarer, higher bar.
+            {"suspect_residual_db": 20.0, "repair_residual_db": 20.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        merged = dict(n_aps=N_APS)
+        merged.update(kwargs)
+        with pytest.raises(ValueError):
+            ApTrustMonitor(**merged)
+
+    def test_fresh_monitor_trusts_everyone(self):
+        m = monitor()
+        assert m.quarantined_ap_ids == ()
+        assert m.trust_scores == (1.0,) * N_APS
+        assert m.residual_means == (None,) * N_APS
+        assert m.residual_variances == (None,) * N_APS
+
+    def test_config_is_json_plain(self):
+        m = monitor()
+        config = m.config
+        assert json.loads(json.dumps(config)) == config
+        assert config["quarantine_after"] == 2
+
+
+class TestResidualStatistics:
+    def test_first_observation_seeds_the_ewma(self):
+        m = monitor()
+        m.observe(lying_scan(1, 10.0), EXPECTED)
+        assert m.residual_means[1] == pytest.approx(10.0)
+        assert m.residual_means[0] == pytest.approx(0.0)
+        assert m.residual_variances[1] == pytest.approx(0.0)
+
+    def test_ewma_converges_toward_a_persistent_residual(self):
+        m = monitor(  # statistics only: thresholds out of reach
+            suspect_residual_db=50.0, repair_residual_db=90.0
+        )
+        for _ in range(40):
+            m.observe(lying_scan(2, 12.0), EXPECTED)
+        assert m.residual_means[2] == pytest.approx(12.0, abs=1e-6)
+        assert m.residual_variances[2] == pytest.approx(0.0, abs=1e-6)
+
+    def test_trust_score_halves_at_the_suspect_threshold(self):
+        m = monitor(suspect_residual_db=16.0, quarantine_after=99)
+        m.observe(lying_scan(3, 16.0), EXPECTED)
+        assert m.trust_scores[3] == pytest.approx(0.5)
+
+    def test_inactive_aps_carry_no_information(self):
+        m = monitor()
+        m.observe(
+            lying_scan(0, 30.0), EXPECTED, active_aps=(False, True, True, True)
+        )
+        assert m.residual_means[0] is None
+        assert m.trust_scores[0] == 1.0
+
+    def test_length_mismatches_raise(self):
+        m = monitor()
+        with pytest.raises(ValueError, match="4-AP"):
+            m.observe([-50.0], EXPECTED)
+        with pytest.raises(ValueError, match="active_aps"):
+            m.observe(EXPECTED, EXPECTED, active_aps=(True,))
+
+
+class TestHysteresis:
+    def test_quarantine_needs_the_full_streak(self):
+        m = monitor(quarantine_after=3)
+        assert m.observe(lying_scan(1), EXPECTED) == TrustObservation((), ())
+        assert m.observe(lying_scan(1), EXPECTED) == TrustObservation((), ())
+        result = m.observe(lying_scan(1), EXPECTED)
+        assert result.newly_quarantined == (1,)
+        assert m.quarantined_ap_ids == (1,)
+
+    def test_one_clean_interval_resets_the_streak(self):
+        m = monitor(quarantine_after=2)
+        m.observe(lying_scan(1), EXPECTED)
+        m.observe(EXPECTED, EXPECTED)  # honest again
+        m.observe(lying_scan(1), EXPECTED)
+        assert m.quarantined_ap_ids == ()
+
+    def test_parole_after_sustained_honesty(self):
+        m = monitor(quarantine_after=2, parole_after=3)
+        m.observe(lying_scan(1), EXPECTED)
+        m.observe(lying_scan(1), EXPECTED)
+        assert m.quarantined_ap_ids == (1,)
+        m.observe(EXPECTED, EXPECTED)
+        m.observe(EXPECTED, EXPECTED)
+        assert m.quarantined_ap_ids == (1,)  # not yet
+        result = m.observe(EXPECTED, EXPECTED)
+        assert result.newly_paroled == (1,)
+        assert m.quarantined_ap_ids == ()
+
+    def test_relapse_during_parole_countdown_holds_quarantine(self):
+        m = monitor(quarantine_after=2, parole_after=3)
+        m.observe(lying_scan(1), EXPECTED)
+        m.observe(lying_scan(1), EXPECTED)
+        m.observe(EXPECTED, EXPECTED)
+        m.observe(lying_scan(1), EXPECTED)  # the attacker is back
+        m.observe(EXPECTED, EXPECTED)
+        m.observe(EXPECTED, EXPECTED)
+        assert m.quarantined_ap_ids == (1,)
+
+    def test_quarantine_floor_is_never_crossed(self):
+        m = monitor(min_trusted_aps=3, quarantine_after=2)
+        for _ in range(2):
+            m.observe(lying_scan(0), EXPECTED)
+        assert m.quarantined_ap_ids == (0,)  # 3 trusted left: allowed
+        for _ in range(2):
+            m.observe(lying_scan(1), EXPECTED)
+        # Benching AP 1 would leave only 2 trusted APs — refused.
+        assert m.quarantined_ap_ids == (0,)
+
+    def test_reset_forgets_everything(self):
+        m = monitor(quarantine_after=2)
+        m.observe(lying_scan(1), EXPECTED)
+        m.observe(lying_scan(1), EXPECTED)
+        m.reset()
+        assert m.quarantined_ap_ids == ()
+        assert m.residual_means == (None,) * N_APS
+
+
+class TestBlameAttribution:
+    def test_many_suspects_convict_nobody(self):
+        """Two trusted APs suspect at once = a wrong estimate, not liars."""
+        m = monitor(quarantine_after=2)
+        scan = list(EXPECTED)
+        scan[0] += 25.0
+        scan[1] -= 25.0
+        for _ in range(5):
+            result = m.observe(scan, EXPECTED)
+            assert result == TrustObservation((), ())
+        assert m.quarantined_ap_ids == ()
+        # EWMA observability still tracked the residuals.
+        assert m.residual_means[0] == pytest.approx(25.0)
+
+    def test_ambiguous_interval_holds_streaks_rather_than_resetting(self):
+        m = monitor(quarantine_after=2)
+        m.observe(lying_scan(1), EXPECTED)  # streak 1 for AP 1
+        scan = list(EXPECTED)
+        scan[0] += 25.0
+        scan[1] += 25.0
+        m.observe(scan, EXPECTED)  # ambiguous: streak must hold at 1
+        result = m.observe(lying_scan(1), EXPECTED)
+        assert result.newly_quarantined == (1,)
+
+    def test_quarantined_aps_do_not_consume_the_budget(self):
+        """A persisting attack on a benched AP must not veto detection
+        of a second rogue."""
+        m = monitor(quarantine_after=2)
+        m.observe(lying_scan(0), EXPECTED)
+        m.observe(lying_scan(0), EXPECTED)
+        assert m.quarantined_ap_ids == (0,)
+        both = list(EXPECTED)
+        both[0] += 25.0  # still lying from the bench
+        both[1] += 25.0  # the new rogue
+        m.observe(both, EXPECTED)
+        result = m.observe(both, EXPECTED)
+        assert result.newly_quarantined == (1,)
+        assert m.quarantined_ap_ids == (0, 1)
+
+
+class TestAttributableSuspect:
+    def test_single_egregious_residual_is_named(self):
+        m = monitor(repair_residual_db=30.0)
+        assert m.attributable_suspect(lying_scan(2, 35.0), EXPECTED) == 2
+
+    def test_no_suspect_below_the_repair_bar(self):
+        m = monitor(repair_residual_db=30.0)
+        assert m.attributable_suspect(lying_scan(2, 25.0), EXPECTED) is None
+
+    def test_two_egregious_residuals_repair_nothing(self):
+        m = monitor(repair_residual_db=30.0)
+        scan = list(EXPECTED)
+        scan[0] += 35.0
+        scan[2] -= 35.0
+        assert m.attributable_suspect(scan, EXPECTED) is None
+
+    def test_masked_slots_are_ignored(self):
+        m = monitor(repair_residual_db=30.0)
+        assert (
+            m.attributable_suspect(
+                lying_scan(0, 40.0),
+                EXPECTED,
+                active_aps=(False, True, True, True),
+            )
+            is None
+        )
+
+    def test_is_pure(self):
+        m = monitor()
+        before = m.state_dict()
+        m.attributable_suspect(lying_scan(1, 40.0), EXPECTED)
+        assert m.state_dict() == before
+
+    def test_length_mismatch_raises(self):
+        m = monitor()
+        with pytest.raises(ValueError):
+            m.attributable_suspect([-50.0], EXPECTED)
+
+
+class TestStateRoundTrip:
+    def _exercised(self) -> ApTrustMonitor:
+        m = monitor(quarantine_after=2, parole_after=3)
+        m.observe(lying_scan(1), EXPECTED)
+        m.observe(lying_scan(1), EXPECTED)
+        m.observe(EXPECTED, EXPECTED)
+        return m
+
+    def test_round_trip_restores_exact_decisions(self):
+        source = self._exercised()
+        clone = monitor(quarantine_after=2, parole_after=3)
+        clone.load_state_dict(source.state_dict())
+        assert clone.state_dict() == source.state_dict()
+        # The next decisions match bitwise, parole countdown included.
+        for _ in range(2):
+            assert clone.observe(EXPECTED, EXPECTED) == source.observe(
+                EXPECTED, EXPECTED
+            )
+            assert clone.state_dict() == source.state_dict()
+
+    def test_state_survives_json(self):
+        source = self._exercised()
+        encoded = json.dumps(source.state_dict(), sort_keys=True)
+        clone = monitor(quarantine_after=2, parole_after=3)
+        clone.load_state_dict(json.loads(encoded))
+        assert clone.state_dict() == source.state_dict()
+
+    def test_wrong_width_checkpoint_is_rejected(self):
+        source = self._exercised()
+        narrow = ApTrustMonitor(n_aps=2)
+        with pytest.raises(ValueError, match="2-AP trust monitor"):
+            narrow.load_state_dict(source.state_dict())
+
+    @given(
+        residuals=st.lists(
+            st.lists(
+                st.floats(-40.0, 40.0, allow_nan=False),
+                min_size=N_APS,
+                max_size=N_APS,
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_state_dict_fixpoint_property(self, residuals):
+        """load_state_dict(state_dict()) is exact after any history."""
+        m = monitor()
+        for offsets in residuals:
+            scan = [e + r for e, r in zip(EXPECTED, offsets)]
+            m.observe(scan, EXPECTED)
+        state = m.state_dict()
+        clone = monitor()
+        clone.load_state_dict(json.loads(json.dumps(state)))
+        assert clone.state_dict() == state
+        # And the clone's next observation is bitwise the same decision.
+        probe = [e + 1.0 for e in EXPECTED]
+        assert clone.observe(probe, EXPECTED) == m.observe(probe, EXPECTED)
+        assert clone.state_dict() == m.state_dict()

@@ -39,7 +39,7 @@ def test_metrics_snapshot_shape(world):
     scan = study.test_traces[0].initial_fingerprint.rss
     engine.tick([IntervalEvent(session_id="ana", scan=scan)])
     snapshot = engine.metrics_snapshot()
-    assert snapshot["schema"] == 1
+    assert snapshot["schema"] == 2
     assert set(snapshot) == {
         "schema",
         "engine",

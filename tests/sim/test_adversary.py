@@ -1,0 +1,241 @@
+"""Tests for adversarial injection (rogue AP, replay, IMU spoofing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import RSS_CEILING_DBM, RSS_FLOOR_DBM
+from repro.sim.adversary import (
+    DEFAULT_ROGUE_DBM,
+    forge_rogue_reading,
+    inject_ap_repower,
+    inject_imu_spoof,
+    inject_rogue_ap,
+    inject_scan_replay,
+    shift_ap_reading,
+    spoof_compass,
+)
+
+
+@pytest.fixture()
+def trace(small_study):
+    return small_study.test_traces[0]
+
+
+class TestForgeRogueReading:
+    def test_struck_slot_overwritten(self):
+        forged = forge_rogue_reading([-50.0, -60.0, -70.0], 1)
+        assert forged == [-50.0, DEFAULT_ROGUE_DBM, -70.0]
+
+    def test_input_unchanged(self):
+        scan = [-50.0, -60.0]
+        forge_rogue_reading(scan, 0)
+        assert scan == [-50.0, -60.0]
+
+    def test_out_of_range_matches_silence_ap_shape(self):
+        # Both injector families validate slots through _check_ap_slot,
+        # so the error message shape is shared.
+        with pytest.raises(ValueError, match="out of range"):
+            forge_rogue_reading([-50.0], 1)
+        with pytest.raises(ValueError, match="out of range"):
+            forge_rogue_reading([-50.0], -1)
+
+
+class TestShiftApReading:
+    def test_shift_applied(self):
+        assert shift_ap_reading([-50.0, -60.0], 1, 15.0) == [-50.0, -45.0]
+
+    def test_clipped_to_physical_range(self):
+        shifted = shift_ap_reading([-5.0, -98.0], 0, 50.0)
+        assert shifted[0] == RSS_CEILING_DBM
+        shifted = shift_ap_reading([-5.0, -98.0], 1, -50.0)
+        assert shifted[1] == RSS_FLOOR_DBM
+
+    def test_floored_slot_stays_floored(self):
+        """A silent AP does not get louder by being power-cycled."""
+        shifted = shift_ap_reading([RSS_FLOOR_DBM, -60.0], 0, 30.0)
+        assert shifted[0] == RSS_FLOOR_DBM
+
+
+class TestSpoofCompass:
+    def test_oscillates_around_the_honest_stream(self, trace):
+        imu = trace.hops[0].imu
+        spoofed = spoof_compass(imu, 90.0)
+        honest = np.asarray(imu.compass_readings)
+        signs = np.where(np.arange(honest.size) % 2 == 0, 1.0, -1.0)
+        np.testing.assert_allclose(
+            spoofed.compass_readings, (honest + 90.0 * signs) % 360.0
+        )
+
+    def test_accel_and_truth_untouched(self, trace):
+        imu = trace.hops[0].imu
+        spoofed = spoof_compass(imu)
+        assert spoofed.accel is imu.accel
+        assert spoofed.true_course_deg == imu.true_course_deg
+
+    def test_non_positive_amplitude_rejected(self, trace):
+        with pytest.raises(ValueError, match="amplitude"):
+            spoof_compass(trace.hops[0].imu, 0.0)
+
+
+class TestInjectRogueAp:
+    def test_onset_zero_strikes_every_interval(self, trace):
+        attacked = inject_rogue_ap(trace, 5, 0)
+        assert attacked.initial_fingerprint.rss[5] == DEFAULT_ROGUE_DBM
+        for hop in attacked.hops:
+            assert hop.arrival_fingerprint.rss[5] == DEFAULT_ROGUE_DBM
+
+    def test_onset_semantics(self, trace):
+        """Interval 0 is the initial scan; interval i is hop i-1."""
+        attacked = inject_rogue_ap(trace, 5, 2)
+        assert (
+            attacked.initial_fingerprint.rss == trace.initial_fingerprint.rss
+        )
+        assert (
+            attacked.hops[0].arrival_fingerprint.rss
+            == trace.hops[0].arrival_fingerprint.rss
+        )
+        for hop in attacked.hops[1:]:
+            assert hop.arrival_fingerprint.rss[5] == DEFAULT_ROGUE_DBM
+
+    def test_other_slots_untouched(self, trace):
+        attacked = inject_rogue_ap(trace, 5, 0)
+        for original, forged in zip(trace.hops, attacked.hops):
+            assert (
+                forged.arrival_fingerprint.rss[:5]
+                == original.arrival_fingerprint.rss[:5]
+            )
+
+    def test_ground_truth_preserved(self, trace):
+        attacked = inject_rogue_ap(trace, 0, 0)
+        assert attacked.true_locations == trace.true_locations
+
+    def test_out_of_range_rejected(self, trace):
+        with pytest.raises(ValueError, match="out of range"):
+            inject_rogue_ap(trace, 99, 0)
+        with pytest.raises(ValueError, match="onset_interval"):
+            inject_rogue_ap(trace, 0, len(trace.hops) + 2)
+
+
+class TestInjectApRepower:
+    def test_shifts_from_onset_on(self, trace):
+        attacked = inject_ap_repower(trace, 5, 1, 15.0)
+        assert (
+            attacked.initial_fingerprint.rss == trace.initial_fingerprint.rss
+        )
+        for original, shifted in zip(trace.hops, attacked.hops):
+            expected = min(
+                original.arrival_fingerprint.rss[5] + 15.0, RSS_CEILING_DBM
+            )
+            if original.arrival_fingerprint.rss[5] == RSS_FLOOR_DBM:
+                expected = RSS_FLOOR_DBM
+            assert shifted.arrival_fingerprint.rss[5] == expected
+
+    def test_zero_shift_rejected(self, trace):
+        with pytest.raises(ValueError, match="non-zero"):
+            inject_ap_repower(trace, 5, 1, 0.0)
+
+
+class TestInjectScanReplay:
+    def test_scans_freeze_at_the_captured_interval(self, trace):
+        attacked = inject_scan_replay(trace, 3, 0)
+        captured = trace.initial_fingerprint
+        for index, hop in enumerate(attacked.hops):
+            if index + 1 < 3:
+                assert (
+                    hop.arrival_fingerprint.rss
+                    == trace.hops[index].arrival_fingerprint.rss
+                )
+            else:
+                assert hop.arrival_fingerprint.rss == captured.rss
+
+    def test_capture_from_a_later_hop(self, trace):
+        attacked = inject_scan_replay(trace, 4, 2)
+        captured = trace.hops[1].arrival_fingerprint
+        assert attacked.hops[5].arrival_fingerprint.rss == captured.rss
+
+    def test_imu_left_honest(self, trace):
+        attacked = inject_scan_replay(trace, 3, 0)
+        for original, replayed in zip(trace.hops, attacked.hops):
+            assert replayed.imu is original.imu
+
+    def test_cannot_replay_the_future(self, trace):
+        with pytest.raises(ValueError, match="must precede"):
+            inject_scan_replay(trace, 2, 2)
+        with pytest.raises(ValueError, match="must precede"):
+            inject_scan_replay(trace, 2, 5)
+
+
+class TestInjectImuSpoof:
+    def test_spoofed_from_onset_hop(self, trace):
+        attacked = inject_imu_spoof(trace, 2)
+        for index, (original, spoofed) in enumerate(
+            zip(trace.hops, attacked.hops)
+        ):
+            if index < 2:
+                assert spoofed.imu is original.imu
+            else:
+                assert not np.array_equal(
+                    spoofed.imu.compass_readings,
+                    original.imu.compass_readings,
+                )
+                assert spoofed.imu.accel is original.imu.accel
+
+    def test_step_replay_substitutes_the_donor_stride(self, trace):
+        attacked = inject_imu_spoof(trace, 1, step_replay_hop=0)
+        donor = trace.hops[0].imu.accel
+        for hop in attacked.hops[1:]:
+            assert hop.imu.accel is donor
+
+    def test_scans_left_honest(self, trace):
+        attacked = inject_imu_spoof(trace, 0)
+        for original, spoofed in zip(trace.hops, attacked.hops):
+            assert (
+                spoofed.arrival_fingerprint.rss
+                == original.arrival_fingerprint.rss
+            )
+
+    def test_out_of_range_rejected(self, trace):
+        with pytest.raises(ValueError, match="onset_hop"):
+            inject_imu_spoof(trace, len(trace.hops))
+        with pytest.raises(ValueError, match="step_replay_hop"):
+            inject_imu_spoof(trace, 0, step_replay_hop=99)
+
+
+class TestInjectorPurity:
+    """Adversarial injectors are pure: inputs never mutate."""
+
+    @staticmethod
+    def _trace_snapshot(trace):
+        return (
+            trace.initial_fingerprint.rss,
+            tuple(
+                (
+                    hop.arrival_fingerprint.rss,
+                    hop.imu.accel.samples.tobytes(),
+                    hop.imu.compass_readings.tobytes(),
+                )
+                for hop in trace.hops
+            ),
+        )
+
+    @pytest.mark.parametrize(
+        "inject",
+        [
+            lambda t: inject_rogue_ap(t, 3, 1),
+            lambda t: inject_ap_repower(t, 3, 1, 12.0),
+            lambda t: inject_scan_replay(t, 2, 0),
+            lambda t: inject_imu_spoof(t, 1, step_replay_hop=0),
+        ],
+        ids=["rogue_ap", "ap_repower", "scan_replay", "imu_spoof"],
+    )
+    def test_injectors_do_not_mutate(self, trace, inject):
+        before = self._trace_snapshot(trace)
+        inject(trace)
+        assert self._trace_snapshot(trace) == before
+
+    def test_injections_are_deterministic(self, trace):
+        first = inject_rogue_ap(trace, 4, 2)
+        second = inject_rogue_ap(trace, 4, 2)
+        assert self._trace_snapshot(first) == self._trace_snapshot(second)
