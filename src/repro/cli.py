@@ -298,6 +298,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the JSON document here",
     )
+
+    matrix = subparsers.add_parser(
+        "matrix",
+        help="sweep generated environments x session loads x fault plans "
+        "through the standard evaluation and serving engines and write "
+        "BENCH_matrix.json (exit code 0 iff every cell validates, "
+        "including verified bitwise environment reproducibility)",
+    )
+    matrix.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the 12-cell CI profile (3 small topologies x 2 loads x 2 "
+        "fault plans) instead of the full weekly sweep",
+    )
+    matrix.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_matrix.json"),
+        help="where to write the matrix document (default: %(default)s)",
+    )
+    matrix.add_argument(
+        "--specs-dir",
+        type=Path,
+        default=None,
+        help="also write each generated environment's spec JSON here",
+    )
     return parser
 
 
@@ -364,6 +390,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.command == "redteam":
         return _redteam(_study_from(args), args.smoke, args.output)
+    if args.command == "matrix":
+        return _matrix(args.seed, args.smoke, args.output, args.specs_dir)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -1009,6 +1037,32 @@ def _redteam(study: Study, smoke: bool, output: Optional[Path]) -> int:
         output.write_text(text + "\n", encoding="utf-8")
     print(text)
     return 0 if document["gate"]["passed"] else 1
+
+
+def _matrix(
+    seed: int, smoke: bool, output: Path, specs_dir: Optional[Path]
+) -> int:
+    """Run the scenario matrix, write the artifact, gate the exit code."""
+    from .analysis.matrix import (
+        FULL_PROFILE,
+        SMOKE_PROFILE,
+        run_matrix,
+        validate_matrix_document,
+        write_matrix_artifacts,
+    )
+
+    profile = SMOKE_PROFILE if smoke else FULL_PROFILE
+    document = run_matrix(profile, seed=seed)
+    write_matrix_artifacts(document, output, specs_dir=specs_dir)
+    problems = validate_matrix_document(document)
+    print(
+        f"matrix: {document['n_cells']} cells over "
+        f"{document['n_environments']} environments in "
+        f"{document['elapsed_s']:.1f}s -> {output}"
+    )
+    for problem in problems:
+        print(f"INVALID: {problem}", file=sys.stderr)
+    return 0 if not problems else 1
 
 
 if __name__ == "__main__":

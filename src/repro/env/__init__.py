@@ -16,6 +16,15 @@ from .geometry import (
 )
 from .graph import WalkableGraph
 from .office_hall import GRID_COLS, GRID_ROWS, OfficeHall, office_hall
+from .procedural import (
+    PLACEMENT_POLICIES,
+    TOPOLOGIES,
+    EnvironmentSpec,
+    GeneratedEnvironment,
+    environment_checksum,
+    generate_environment,
+    register_placement_policy,
+)
 from .render import render_floorplan
 
 __all__ = [
@@ -38,4 +47,11 @@ __all__ = [
     "GRID_COLS",
     "render_floorplan",
     "grid_floorplan",
+    "TOPOLOGIES",
+    "PLACEMENT_POLICIES",
+    "EnvironmentSpec",
+    "GeneratedEnvironment",
+    "generate_environment",
+    "register_placement_policy",
+    "environment_checksum",
 ]

@@ -56,12 +56,25 @@ def grid_floorplan(
         The assembled :class:`OfficeHall` (plan + aisle graph).
 
     Raises:
-        ValueError: on degenerate dimensions or inconsistent blocks.
+        ValueError: on non-integer or non-positive grid dimensions,
+            degenerate hall extents, out-of-bounds AP mounts, or
+            inconsistent blocks.
     """
+    for label, value in (("rows", rows), ("cols", cols)):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"{label} must be an integer, got {value!r}")
     if rows < 1 or cols < 1:
         raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
     if width <= 0 or height <= 0:
-        raise ValueError("hall dimensions must be positive")
+        raise ValueError(
+            f"hall dimensions must be positive, got {width}x{height}"
+        )
+    for position in ap_positions:
+        if not (0.0 <= position.x <= width and 0.0 <= position.y <= height):
+            raise ValueError(
+                f"AP mount at {position} lies outside the "
+                f"{width:g}m x {height:g}m hall"
+            )
 
     if x_margin is None:
         x_margin = width / (2 * cols)

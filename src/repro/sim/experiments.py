@@ -130,13 +130,25 @@ def prepare_study(
     n_test_traces: int = 34,
     trace_config: TraceGenerationConfig = TraceGenerationConfig(),
     config: MoLocConfig = MoLocConfig(),
+    hall=None,
+    n_aps: Optional[int] = None,
+    samples_per_location: int = 60,
+    training_samples: int = 40,
 ) -> Study:
     """Assemble the full experimental data set (Sec. VI-A protocol).
 
     Defaults reproduce the paper's volumes: 150 motion-training walks and
-    34 held-out test walks over the 28-location hall with 6 APs.
+    34 held-out test walks over the 28-location hall with 6 APs.  Pass a
+    generated world (see :mod:`repro.env.procedural`) as ``hall`` to run
+    the identical protocol over any environment.
     """
-    scenario = build_scenario(seed=seed)
+    scenario = build_scenario(
+        seed=seed,
+        hall=hall,
+        n_aps=n_aps,
+        samples_per_location=samples_per_location,
+        training_samples=training_samples,
+    )
     training_rng = np.random.default_rng([seed, 10])
     test_rng = np.random.default_rng([seed, 11])
     training = generate_traces(

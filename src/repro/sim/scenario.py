@@ -66,15 +66,18 @@ def build_scenario(
     path_loss: Optional[PathLossModel] = None,
     samples_per_location: int = 60,
     training_samples: int = 40,
+    hall: Optional[OfficeHall] = None,
+    n_aps: Optional[int] = None,
 ) -> Scenario:
-    """Build the paper's experimental setup from one seed.
+    """Build one experimental setup from a seed.
 
-    Constructs the office hall, a radio environment over all six AP
-    sites, runs the site survey (60 scans per location, 40 into the
-    database, matching Sec. VI-A), and samples the crowdsourcing users
-    ("4 users with diverse height and walking speed"), all of whom share
-    the hall's magnetic-disturbance field but carry individually biased
-    compasses.
+    Defaults to the paper's office hall: a radio environment over all six
+    AP sites, the site survey (60 scans per location, 40 into the
+    database, matching Sec. VI-A), and the crowdsourcing users ("4 users
+    with diverse height and walking speed"), all of whom share the hall's
+    magnetic-disturbance field but carry individually biased compasses.
+    Pass a generated world (see :mod:`repro.env.procedural`) as ``hall``
+    to run the identical pipeline over any environment.
 
     Args:
         seed: Master seed; every random draw descends from it.
@@ -84,15 +87,40 @@ def build_scenario(
         path_loss: Deterministic propagation model override.
         samples_per_location: Survey scans per location (paper: 60).
         training_samples: Scans entering the database (paper: 40).
+        hall: Environment to simulate in; defaults to the paper's hall.
+        n_aps: Deploy only the first ``n_aps`` of the plan's AP mounts;
+            defaults to all of them.
 
     Returns:
         A fully wired :class:`Scenario`.
+
+    Raises:
+        ValueError: on non-positive user/sample counts, training samples
+            exceeding the survey size, or ``n_aps`` exceeding the plan's
+            mount capacity — before any simulation runs.
     """
     if n_users < 1:
         raise ValueError(f"need at least one user, got {n_users}")
-    hall = office_hall()
+    if samples_per_location < 1:
+        raise ValueError(
+            f"samples_per_location must be >= 1, got {samples_per_location}"
+        )
+    if not 1 <= training_samples <= samples_per_location:
+        raise ValueError(
+            f"training_samples must be in [1, {samples_per_location}], "
+            f"got {training_samples}"
+        )
+    if hall is None:
+        hall = office_hall()
+    n_mounts = len(hall.plan.selected_aps())
+    if n_aps is not None and not 1 <= n_aps <= n_mounts:
+        raise ValueError(
+            f"n_aps must be in [1, {n_mounts}]: the plan "
+            f"{hall.plan.name!r} defines {n_mounts} AP mounts, got {n_aps}"
+        )
     environment = RadioEnvironment.for_plan(
         hall.plan,
+        n_aps=n_aps,
         path_loss=path_loss,
         parameters=radio_parameters,
         seed=seed,

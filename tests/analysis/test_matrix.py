@@ -1,0 +1,182 @@
+"""Tests for the scenario-matrix runner and its artifact schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.matrix import (
+    FULL_PROFILE,
+    SMOKE_PROFILE,
+    FaultPlanSpec,
+    LoadLevel,
+    MatrixProfile,
+    run_matrix,
+    twin_confusion_rate,
+    validate_matrix_document,
+    write_matrix_artifacts,
+)
+from repro.env.procedural import EnvironmentSpec
+
+
+class _Record:
+    def __init__(self, true_id, estimated_id):
+        self.true_id = true_id
+        self.estimated_id = estimated_id
+
+
+class _Pair:
+    def __init__(self, a, b):
+        self.location_a = a
+        self.location_b = b
+
+
+class TestTwinConfusionRate:
+    def test_counts_only_partner_hits(self):
+        twins = [_Pair(1, 5)]
+        records = [
+            _Record(1, 5),   # confused with its twin
+            _Record(1, 2),   # wrong, but not the twin
+            _Record(5, 1),   # confused (symmetric)
+            _Record(3, 4),   # not a twin location at all
+        ]
+        assert twin_confusion_rate(records, twins) == pytest.approx(0.5)
+
+    def test_twin_free_world_scores_zero(self):
+        assert twin_confusion_rate([_Record(1, 2)], []) == 0.0
+
+    def test_empty_records_score_zero(self):
+        assert twin_confusion_rate([], [_Pair(1, 2)]) == 0.0
+
+
+class TestSpecs:
+    def test_load_level_validation(self):
+        with pytest.raises(ValueError, match="n_sessions"):
+            LoadLevel("bad", n_sessions=0, corpus_size=1)
+        with pytest.raises(ValueError, match="corpus_size"):
+            LoadLevel("bad", n_sessions=2, corpus_size=3)
+
+    def test_fault_plan_validation(self):
+        with pytest.raises(ValueError, match="none|faults|adversarial"):
+            FaultPlanSpec("bad", kind="meteor")
+        with pytest.raises(ValueError, match="positive rate"):
+            FaultPlanSpec("bad", kind="faults", rate=0.0)
+
+    def test_builtin_profiles_meet_the_acceptance_floor(self):
+        for profile in (SMOKE_PROFILE, FULL_PROFILE):
+            topologies = {spec.topology for _, spec in profile.environments}
+            assert len(topologies) >= 3
+            assert len(profile.loads) >= 2
+            assert len(profile.fault_plans) >= 2
+            assert profile.n_cells >= 12
+
+
+_MICRO_PROFILE = MatrixProfile(
+    name="micro",
+    environments=(
+        (303, EnvironmentSpec(topology="warehouse", rows=4, cols=3,
+                              floor_width_m=20.0, floor_height_m=18.0,
+                              n_aps=4, placement="sparse-adversarial")),
+    ),
+    loads=(LoadLevel("light", n_sessions=2, corpus_size=2),),
+    fault_plans=(
+        FaultPlanSpec("none"),
+        FaultPlanSpec("storm", kind="faults", rate=0.2, chaos_seed=5),
+    ),
+    samples_per_location=8,
+    training_samples=6,
+    n_training_traces=12,
+    n_test_traces=4,
+    trace_hops=5,
+)
+
+
+@pytest.fixture(scope="module")
+def micro_document():
+    return run_matrix(_MICRO_PROFILE, seed=7)
+
+
+class TestRunMatrix:
+    def test_micro_matrix_validates(self, micro_document):
+        assert validate_matrix_document(micro_document) == []
+        assert micro_document["n_cells"] == 2
+
+    def test_cells_carry_the_required_metrics(self, micro_document):
+        for cell in micro_document["cells"]:
+            assert cell["bitwise_reproducible"] is True
+            assert 0.0 <= cell["accuracy"]["moloc"] <= 1.0
+            assert 0.0 <= cell["twin_confusion_rate"] <= 1.0
+            assert cell["throughput"]["intervals_per_s"] > 0
+            assert cell["fault_accounting"]["served"] > 0
+            assert len(cell["fix_checksum"]) == 64
+
+    def test_storm_cell_accounts_for_faults(self, micro_document):
+        storm = [
+            cell for cell in micro_document["cells"]
+            if cell["fault_plan"]["name"] == "storm"
+        ]
+        assert storm and all(
+            cell["fault_plan"]["scheduled_faults"] > 0 for cell in storm
+        )
+
+    def test_document_is_json_serializable_and_rerun_stable(self, micro_document):
+        text = json.dumps(micro_document, sort_keys=True)
+        assert json.loads(text)["n_cells"] == 2
+        again = run_matrix(_MICRO_PROFILE, seed=7)
+        for first, second in zip(micro_document["cells"], again["cells"]):
+            assert first["fix_checksum"] == second["fix_checksum"]
+            assert first["environment_checksum"] == second["environment_checksum"]
+
+    def test_artifact_writer_emits_specs(self, micro_document, tmp_path):
+        output = tmp_path / "BENCH_matrix.json"
+        specs = tmp_path / "specs"
+        write_matrix_artifacts(micro_document, output, specs_dir=specs)
+        assert json.loads(output.read_text())["report"] == "matrix"
+        spec_files = sorted(specs.glob("*.json"))
+        assert len(spec_files) == 1
+        restored = EnvironmentSpec.from_dict(
+            json.loads(spec_files[0].read_text())
+        )
+        assert restored.topology == "warehouse"
+
+
+class TestValidateMatrixDocument:
+    def test_rejects_wrong_report_kind(self):
+        assert validate_matrix_document({"report": "chaos"})
+
+    def test_rejects_empty_cells(self):
+        problems = validate_matrix_document(
+            {"report": "matrix", "format_version": 1, "cells": []}
+        )
+        assert any("no cells" in p for p in problems)
+
+    def test_flags_missing_keys_and_failed_reproducibility(self, micro_document):
+        broken = json.loads(json.dumps(micro_document))
+        broken["cells"][0].pop("fix_checksum")
+        broken["cells"][0]["bitwise_reproducible"] = False
+        problems = validate_matrix_document(broken)
+        assert any("fix_checksum" in p for p in problems)
+        assert any("bitwise reproducibility" in p for p in problems)
+
+    def test_flags_spec_that_cannot_round_trip(self, micro_document):
+        broken = json.loads(json.dumps(micro_document))
+        broken["environments"][0]["spec"]["topology"] = "dungeon"
+        problems = validate_matrix_document(broken)
+        assert any("round-trip" in p for p in problems)
+
+
+@pytest.mark.slow
+class TestFullProfiles:
+    def test_smoke_profile_end_to_end(self):
+        document = run_matrix(SMOKE_PROFILE, seed=7)
+        assert validate_matrix_document(document) == []
+        assert document["n_cells"] >= 12
+        assert not any(cell["twin_free"] for cell in document["cells"])
+
+    def test_full_profile_end_to_end(self):
+        document = run_matrix(FULL_PROFILE, seed=7)
+        assert validate_matrix_document(document) == []
+        assert document["n_cells"] >= 12
+        topologies = {cell["topology"] for cell in document["cells"]}
+        assert topologies >= {"tower", "mall", "warehouse", "stadium", "corridor"}

@@ -58,6 +58,39 @@ def small_study(scenario: Scenario) -> Study:
     )
 
 
+@pytest.fixture(scope="session")
+def generated_study() -> Study:
+    """A study over a procedurally generated (non-office) warehouse.
+
+    The cross-environment invariant suites run the serving and cluster
+    equality checks over this world, proving those guarantees are not
+    office-hall-specific.  Smoke scale: the invariants under test are
+    bitwise, not statistical, so small volumes lose nothing.
+    """
+    from repro.env.procedural import EnvironmentSpec, generate_environment
+    from repro.sim.experiments import prepare_study
+
+    spec = EnvironmentSpec(
+        topology="warehouse",
+        rows=4,
+        cols=3,
+        floor_width_m=20.0,
+        floor_height_m=18.0,
+        n_aps=4,
+        placement="sparse-adversarial",
+    )
+    environment = generate_environment(spec, seed=303)
+    return prepare_study(
+        seed=7,
+        n_training_traces=24,
+        n_test_traces=8,
+        trace_config=TraceGenerationConfig(n_hops=6),
+        hall=environment.hall,
+        samples_per_location=12,
+        training_samples=8,
+    )
+
+
 @pytest.fixture()
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""

@@ -1,0 +1,141 @@
+"""The three golden generated environments and their pipeline records.
+
+Shared between ``tests/integration/test_matrix_golden.py`` and
+``generate_fixtures.py`` (the regeneration script), so the fixtures on
+disk and the assertions in the suite can never disagree about what a
+world contains.
+
+Each fixture pins one small generated environment (the same specs the
+matrix smoke profile sweeps) and the bit-level checksums of the full
+pipeline run over it: the serialized plan, the surveyed radio map, the
+twin census, and an 8-session batched serving run's fix streams.
+Floats ride through JSON ``repr`` (bit-exact) or ``float.hex``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.analysis.ambiguity import analyze_ambiguity
+from repro.core.config import MoLocConfig
+from repro.env.procedural import (
+    EnvironmentSpec,
+    GeneratedEnvironment,
+    environment_checksum,
+    generate_environment,
+)
+from repro.io.serialize import (
+    fingerprint_db_to_dict,
+    floorplan_to_dict,
+    graph_to_dict,
+)
+from repro.serving import (
+    BatchedServingEngine,
+    build_session_services,
+    serve_batched,
+    workload_checksum,
+)
+from repro.sim.crowdsource import TraceGenerationConfig
+from repro.sim.evaluation import multi_session_workload
+from repro.sim.experiments import Study, prepare_study
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+STUDY_SEED = 7
+N_SESSIONS = 8
+
+FIXTURE_SPECS: Dict[str, Tuple[int, EnvironmentSpec]] = {
+    "tower": (101, EnvironmentSpec(topology="tower", floors=2, rows=2, cols=3,
+                                   floor_width_m=24.0, floor_height_m=10.0,
+                                   n_aps=5, placement="grid")),
+    "mall": (202, EnvironmentSpec(topology="mall", rows=4, cols=4,
+                                  floor_width_m=28.0, floor_height_m=16.0,
+                                  n_aps=5, placement="perimeter")),
+    "warehouse": (303, EnvironmentSpec(topology="warehouse", rows=4, cols=3,
+                                       floor_width_m=20.0, floor_height_m=18.0,
+                                       n_aps=4, placement="sparse-adversarial")),
+}
+"""The matrix smoke profile's environments, pinned as golden worlds."""
+
+
+def build_world(name: str) -> Tuple[GeneratedEnvironment, Study]:
+    """Generate one golden world and prepare its (smoke-scale) study."""
+    env_seed, spec = FIXTURE_SPECS[name]
+    environment = generate_environment(spec, seed=env_seed)
+    study = prepare_study(
+        seed=STUDY_SEED,
+        n_training_traces=24,
+        n_test_traces=8,
+        trace_config=TraceGenerationConfig(n_hops=6),
+        config=MoLocConfig(),
+        hall=environment.hall,
+        samples_per_location=12,
+        training_samples=8,
+    )
+    return environment, study
+
+
+def _canonical_checksum(payload: object) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def serve_world(environment: GeneratedEnvironment, study: Study) -> str:
+    """The 8-session batched serving run; returns the fix checksum."""
+    n_aps = environment.spec.n_aps
+    fingerprint_db = study.fingerprint_db(n_aps)
+    motion_db, _ = study.motion_db(n_aps)
+    workload = multi_session_workload(
+        study.test_traces, N_SESSIONS, corpus_size=4, stagger_ticks=1
+    )
+    services = build_session_services(
+        workload,
+        fingerprint_db,
+        motion_db,
+        study.config,
+        resilient=True,
+        plan=study.scenario.plan,
+    )
+    engine = BatchedServingEngine(fingerprint_db, motion_db, study.config)
+    return workload_checksum(serve_batched(engine, workload, services))
+
+
+def build_record(name: str) -> Dict[str, object]:
+    """The full golden record for one world: spec, plan, and checksums."""
+    env_seed, spec = FIXTURE_SPECS[name]
+    environment, study = build_world(name)
+    report = analyze_ambiguity(
+        study.scenario.survey.database, study.scenario.plan
+    )
+    twins = report.twins
+    return {
+        "kind": "environment_golden",
+        "name": name,
+        "env_seed": env_seed,
+        "study_seed": STUDY_SEED,
+        "spec": spec.to_dict(),
+        "environment_checksum": environment_checksum(environment),
+        "floorplan": floorplan_to_dict(environment.plan),
+        "graph": graph_to_dict(environment.graph),
+        "radio_map_checksum": _canonical_checksum(
+            fingerprint_db_to_dict(study.scenario.survey.database)
+        ),
+        "twin_census": {
+            "twin_threshold_db_hex": report.twin_threshold_db.hex(),
+            "n_twins": len(twins),
+            "n_distant_twins": len(report.distant_twins(6.0)),
+            "twin_free": not twins,
+        },
+        "fix_checksum": serve_world(environment, study),
+    }
+
+
+def fixture_path(name: str) -> Path:
+    return FIXTURES_DIR / f"{name}.json"
+
+
+def load_fixture(name: str) -> Dict[str, object]:
+    return json.loads(fixture_path(name).read_text())

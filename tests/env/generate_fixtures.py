@@ -1,0 +1,37 @@
+"""Regenerate the golden environment fixtures in ``tests/env/fixtures/``.
+
+Run from the repo root after an *intentional* change to the generator or
+to any numerical stage of the pipeline (survey, ambiguity, serving):
+
+    PYTHONPATH=src:tests/env python tests/env/generate_fixtures.py
+
+Each fixture pins a generated world plus bit-level checksums of the full
+pipeline over it (radio map, twin census, 8-session serving run); the
+suite in ``tests/integration/test_matrix_golden.py`` requires exact
+reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+
+from fixture_worlds import FIXTURE_SPECS, FIXTURES_DIR, build_record, fixture_path
+
+
+def main() -> None:
+    FIXTURES_DIR.mkdir(exist_ok=True)
+    for name in FIXTURE_SPECS:
+        record = build_record(name)
+        path = fixture_path(name)
+        path.write_text(
+            json.dumps(record, indent=1, sort_keys=True) + "\n"
+        )
+        census = record["twin_census"]
+        print(
+            f"wrote {path} ({census['n_twins']} twins, "
+            f"fix checksum {record['fix_checksum'][:12]}...)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -90,3 +90,48 @@ class TestGridFloorplan:
         for lid in reference.plan.location_ids:
             assert built.plan.position_of(lid) == reference.plan.position_of(lid)
         assert built.graph.edge_list == reference.graph.edge_list
+
+
+class TestInputValidation:
+    """Clear up-front ValueErrors instead of downstream index errors."""
+
+    def test_rejects_non_integer_rows(self):
+        with pytest.raises(ValueError, match="rows must be an integer"):
+            grid_floorplan(2.5, 3, width=10.0, height=10.0)
+
+    def test_rejects_non_integer_cols(self):
+        with pytest.raises(ValueError, match="cols must be an integer"):
+            grid_floorplan(2, "3", width=10.0, height=10.0)
+
+    def test_rejects_bool_dims(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            grid_floorplan(True, 3, width=10.0, height=10.0)
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(ValueError, match="grid must be at least 1x1"):
+            grid_floorplan(0, 3, width=10.0, height=10.0)
+        with pytest.raises(ValueError, match="grid must be at least 1x1"):
+            grid_floorplan(2, -1, width=10.0, height=10.0)
+
+    def test_rejects_non_positive_extents(self):
+        with pytest.raises(ValueError, match="dimensions must be positive"):
+            grid_floorplan(2, 2, width=0.0, height=10.0)
+        with pytest.raises(ValueError, match="dimensions must be positive"):
+            grid_floorplan(2, 2, width=10.0, height=-4.0)
+
+    def test_rejects_out_of_bounds_ap_mounts(self):
+        with pytest.raises(ValueError, match="outside the"):
+            grid_floorplan(
+                2, 2, width=10.0, height=10.0, ap_positions=[Point(11.0, 5.0)]
+            )
+        with pytest.raises(ValueError, match="outside the"):
+            grid_floorplan(
+                2, 2, width=10.0, height=10.0, ap_positions=[Point(5.0, -0.1)]
+            )
+
+    def test_boundary_ap_mounts_are_allowed(self):
+        hall = grid_floorplan(
+            2, 2, width=10.0, height=10.0,
+            ap_positions=[Point(0.0, 0.0), Point(10.0, 10.0)],
+        )
+        assert len(hall.plan.selected_aps()) == 2

@@ -1,0 +1,134 @@
+"""Property-based tests for the procedural environment generator.
+
+For all ``(seed, spec)``: walls never intersect reference locations,
+every reference location is graph-reachable, AP mounts lie in bounds,
+regeneration from the same seed is bitwise identical, and the spec
+round-trips through JSON to an equal plan.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.env.procedural import (
+    PLACEMENT_POLICIES,
+    EnvironmentSpec,
+    environment_checksum,
+    generate_environment,
+)
+from repro.io.serialize import floorplan_to_dict
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+placements = st.sampled_from(sorted(PLACEMENT_POLICIES))
+
+
+@st.composite
+def environment_specs(draw):
+    """Any valid spec, kept small enough for fast generation."""
+    topology = draw(st.sampled_from(
+        ["tower", "mall", "warehouse", "stadium", "corridor"]
+    ))
+    if topology == "tower":
+        floors = draw(st.integers(min_value=1, max_value=4))
+        rows = draw(st.integers(min_value=2, max_value=5))
+        cols = draw(st.integers(min_value=2, max_value=6))
+    elif topology == "mall":
+        floors, rows = 1, 4
+        cols = draw(st.integers(min_value=2, max_value=8))
+    elif topology == "warehouse":
+        floors = 1
+        rows = draw(st.integers(min_value=3, max_value=7))
+        cols = draw(st.integers(min_value=2, max_value=6))
+    elif topology == "stadium":
+        floors = 1
+        rows = draw(st.integers(min_value=2, max_value=4))
+        cols = draw(st.integers(min_value=8, max_value=16))
+    else:  # corridor
+        floors = 1
+        rows = draw(st.integers(min_value=1, max_value=6))
+        cols = draw(st.integers(min_value=2, max_value=8))
+    # Generous per-cell spacing keeps every topology's extent valid.
+    width = cols * draw(st.floats(min_value=3.0, max_value=8.0))
+    height = rows * draw(st.floats(min_value=3.0, max_value=8.0))
+    if topology == "stadium":
+        extent = max(width, height, rows * 10.0)
+        width = height = extent
+    return EnvironmentSpec(
+        topology=topology,
+        floors=floors,
+        rows=rows,
+        cols=cols,
+        floor_width_m=width,
+        floor_height_m=height,
+        n_aps=draw(st.integers(min_value=1, max_value=12)),
+        placement=draw(placements),
+        ap_clusters=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+def _point_segment_distance(point, segment) -> float:
+    ax, ay = segment.start.x, segment.start.y
+    bx, by = segment.end.x, segment.end.y
+    dx, dy = bx - ax, by - ay
+    norm_sq = dx * dx + dy * dy
+    if norm_sq == 0.0:
+        return point.distance_to(segment.start)
+    t = max(0.0, min(1.0, ((point.x - ax) * dx + (point.y - ay) * dy) / norm_sq))
+    return math.hypot(point.x - (ax + t * dx), point.y - (ay + t * dy))
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=environment_specs(), seed=seeds)
+def test_walls_never_intersect_reference_locations(spec, seed):
+    env = generate_environment(spec, seed=seed)
+    for location in env.plan.locations:
+        for wall in env.plan.walls:
+            assert _point_segment_distance(location.position, wall) > 0.05, (
+                f"wall {wall} touches location {location.location_id}"
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=environment_specs(), seed=seeds)
+def test_every_reference_location_is_reachable(spec, seed):
+    env = generate_environment(spec, seed=seed)
+    assert env.graph.is_connected()
+    # Connectivity covers every node only if every node has an edge.
+    for location_id in env.plan.location_ids:
+        assert env.graph.neighbors(location_id), (
+            f"location {location_id} is isolated"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=environment_specs(), seed=seeds)
+def test_ap_mounts_lie_in_bounds(spec, seed):
+    env = generate_environment(spec, seed=seed)
+    assert len(env.plan.selected_aps()) == spec.n_aps
+    for position in env.plan.selected_aps():
+        assert env.plan.contains(position), f"AP at {position} out of bounds"
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=environment_specs(), seed=seeds)
+def test_same_seed_regeneration_is_bitwise_identical(spec, seed):
+    first = generate_environment(spec, seed=seed)
+    second = generate_environment(spec, seed=seed)
+    assert environment_checksum(first) == environment_checksum(second)
+    assert floorplan_to_dict(first.plan) == floorplan_to_dict(second.plan)
+    assert first.graph.edge_list == second.graph.edge_list
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=environment_specs(), seed=seeds)
+def test_spec_json_round_trips_to_an_equal_plan(spec, seed):
+    payload = json.loads(json.dumps(spec.to_dict()))
+    restored = EnvironmentSpec.from_dict(payload)
+    assert restored == spec
+    original = generate_environment(spec, seed=seed)
+    rebuilt = generate_environment(restored, seed=seed)
+    assert floorplan_to_dict(original.plan) == floorplan_to_dict(rebuilt.plan)
+    assert environment_checksum(original) == environment_checksum(rebuilt)

@@ -1,0 +1,69 @@
+"""Golden-fixture tests: the full pipeline over generated worlds is frozen.
+
+Three small generated environments (tower / mall / warehouse — the same
+specs the matrix smoke profile sweeps) are committed as JSON fixtures.
+For each, regenerating the world and re-running the full pipeline —
+radio map survey, twin census, 8-session batched serving — must
+reproduce the committed checksums bit for bit.  Any numerical drift in
+the generator, the channel, the ambiguity analysis, or the serving
+engine shows up here as a checksum mismatch; regenerate intentionally
+with ``PYTHONPATH=src:tests/env python tests/env/generate_fixtures.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "env"))
+
+from fixture_worlds import (  # noqa: E402
+    FIXTURE_SPECS,
+    build_record,
+    fixture_path,
+    load_fixture,
+)
+
+WORLDS = sorted(FIXTURE_SPECS)
+
+
+@pytest.fixture(scope="module", params=WORLDS)
+def world(request):
+    """``(name, committed fixture, freshly rebuilt record)`` per world."""
+    name = request.param
+    assert fixture_path(name).exists(), (
+        f"fixture {name}.json missing; run tests/env/generate_fixtures.py"
+    )
+    return name, load_fixture(name), build_record(name)
+
+
+class TestGoldenWorlds:
+    def test_environment_regenerates_bitwise(self, world):
+        name, golden, rebuilt = world
+        assert rebuilt["environment_checksum"] == golden["environment_checksum"]
+        assert rebuilt["floorplan"] == golden["floorplan"]
+        assert rebuilt["graph"] == golden["graph"]
+
+    def test_radio_map_is_bitwise_stable(self, world):
+        name, golden, rebuilt = world
+        assert rebuilt["radio_map_checksum"] == golden["radio_map_checksum"]
+
+    def test_twin_census_matches(self, world):
+        name, golden, rebuilt = world
+        assert rebuilt["twin_census"] == golden["twin_census"]
+        # The golden worlds were chosen because they exhibit twins; a
+        # twin-free regeneration means the RSS field changed.
+        assert not rebuilt["twin_census"]["twin_free"]
+
+    def test_serving_fix_streams_are_bitwise_stable(self, world):
+        name, golden, rebuilt = world
+        assert rebuilt["fix_checksum"] == golden["fix_checksum"], (
+            f"world {name!r}: 8-session serving run diverged from the "
+            "committed fix checksum"
+        )
+
+    def test_spec_on_disk_matches_source(self, world):
+        name, golden, rebuilt = world
+        assert rebuilt["spec"] == golden["spec"]

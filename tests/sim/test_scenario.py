@@ -48,3 +48,63 @@ class TestBuildScenario:
         fp_a = a.survey.database.fingerprint_of(1)
         fp_b = b.survey.database.fingerprint_of(1)
         assert fp_a != fp_b
+
+
+class TestScenarioInputValidation:
+    """build_scenario fails fast with clear messages, not index errors."""
+
+    def test_rejects_zero_samples_per_location(self):
+        with pytest.raises(ValueError, match="samples_per_location"):
+            build_scenario(samples_per_location=0)
+
+    def test_rejects_training_samples_beyond_survey(self):
+        with pytest.raises(ValueError, match="training_samples must be in"):
+            build_scenario(samples_per_location=6, training_samples=7)
+
+    def test_rejects_ap_count_beyond_mount_capacity(self):
+        with pytest.raises(ValueError, match=r"n_aps must be in \[1, 6\]"):
+            build_scenario(
+                samples_per_location=6, training_samples=4, n_aps=7
+            )
+
+    def test_rejects_zero_ap_count(self):
+        with pytest.raises(ValueError, match="n_aps must be in"):
+            build_scenario(
+                samples_per_location=6, training_samples=4, n_aps=0
+            )
+
+    def test_ap_subset_deploys_prefix(self):
+        scenario = build_scenario(
+            samples_per_location=6, training_samples=4, n_aps=4
+        )
+        assert scenario.survey.database.n_aps == 4
+
+
+class TestGeneratedHall:
+    """The identical pipeline runs over procedurally generated worlds."""
+
+    def test_scenario_over_generated_environment(self):
+        from repro.env.procedural import EnvironmentSpec, generate_environment
+
+        spec = EnvironmentSpec(topology="warehouse", rows=4, cols=3,
+                               floor_width_m=20.0, floor_height_m=18.0,
+                               n_aps=4)
+        env = generate_environment(spec, seed=3)
+        scenario = build_scenario(
+            seed=5, hall=env.hall, samples_per_location=6, training_samples=4
+        )
+        assert scenario.plan is env.plan
+        assert scenario.survey.database.n_aps == 4
+        assert set(scenario.survey.database.location_ids) == set(
+            env.plan.location_ids
+        )
+
+    def test_capacity_error_names_the_generated_plan(self):
+        from repro.env.procedural import EnvironmentSpec, generate_environment
+
+        spec = EnvironmentSpec(topology="corridor", rows=3, cols=4,
+                               floor_width_m=20.0, floor_height_m=12.0,
+                               n_aps=3)
+        env = generate_environment(spec, seed=3)
+        with pytest.raises(ValueError, match="defines 3 AP mounts"):
+            build_scenario(hall=env.hall, n_aps=4)

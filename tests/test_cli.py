@@ -199,3 +199,38 @@ class TestClusterCommand:
             "engine.ticks"
         ]
         assert 0 < merged_ticks <= document["ticks"] * document["shards"]
+
+
+class TestMatrixCommand:
+    def test_matrix_parses_with_defaults(self):
+        args = build_parser().parse_args(["matrix"])
+        assert args.command == "matrix"
+        assert args.smoke is False
+        assert args.output.name == "BENCH_matrix.json"
+        assert args.specs_dir is None
+
+    def test_matrix_smoke_writes_valid_gated_artifact(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_matrix.json"
+        specs_dir = tmp_path / "specs"
+        assert main(
+            [
+                "matrix",
+                "--smoke",
+                "--output",
+                str(output),
+                "--specs-dir",
+                str(specs_dir),
+            ]
+        ) == 0
+        capsys.readouterr()
+        from repro.analysis.matrix import validate_matrix_document
+        from repro.env.procedural import EnvironmentSpec
+
+        document = json.loads(output.read_text())
+        assert document["report"] == "matrix"
+        assert document["n_cells"] >= 12
+        assert validate_matrix_document(document) == []
+        spec_files = sorted(specs_dir.glob("*.json"))
+        assert len(spec_files) == document["n_environments"]
+        for spec_file in spec_files:
+            EnvironmentSpec.from_dict(json.loads(spec_file.read_text()))
