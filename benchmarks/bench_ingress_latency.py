@@ -1,0 +1,375 @@
+"""Ingress — end-to-end latency of the asyncio front door, under SLO.
+
+The event-driven ingress (:mod:`repro.ingress`) replaces coordinator
+lockstep with per-shard loops behind a TCP line protocol.  This bench
+measures what that buys and proves what it must not cost:
+
+* **bitwise equality first** — at 1, 2, and 4 shards, an open-loop
+  schedule is replayed over a real loopback socket and every session's
+  reassembled fix stream is required to equal the lockstep
+  :class:`~repro.cluster.ClusterCoordinator` reference on the same
+  arrivals.  An ingress that does not reproduce the lockstep streams
+  has no business being benchmarked.
+* **open-loop latency** — seeded Poisson schedules (diurnal-modulated)
+  at 16, 64, and 256 concurrent sessions are replayed at their
+  scheduled instants against a 2-shard server; the client never waits
+  for answers, so offered load does not adapt to server speed and the
+  measured accept-to-answer latencies are honest queueing latencies.
+  Both the server's ``ingress.latency_s`` histogram quantiles and the
+  client's own send-to-answer quantiles are reported.
+* **the SLO gate** — at the 64-session load, the server-side p99 must
+  come in under ``SLO_P99_S``.  A level that misses is re-measured up
+  to twice (a single sample on a noisy host can land in a slow phase)
+  before judging.  The 256-session row is reported ungated: on a small
+  host it documents where saturation sets in, which is the row a
+  capacity planner actually wants.
+
+Every arrival must be answered exactly once — replies are counted
+against the schedule and rejected/dropped are asserted zero at the
+sized admission capacity — so the latency distributions describe clean
+serving, not shedding.
+
+The full report is written to ``BENCH_ingress.json`` at the repo root
+with the machine fingerprint.  The timed operation is the gated
+64-session replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.cluster import (
+    ClusterCoordinator,
+    LocalShard,
+    fresh_session_entry,
+    shard_spec,
+)
+from repro.ingress import (
+    IngressConfig,
+    IngressServer,
+    lockstep_fix_streams,
+    replay_schedule,
+)
+from repro.io.serialize import fix_from_dict
+from repro.serving import build_session_services, fix_stream_checksum
+from repro.sim.evaluation import multi_session_workload, open_loop_schedule
+
+SESSION_LOADS = (16, 64, 256)
+EQUALITY_SHARD_COUNTS = (1, 2, 4)
+# The latency topology: enough shards to show per-shard independence
+# without pretending a small host can parallelize further.
+LATENCY_SHARDS = 2
+CORPUS = 8
+HOPS = 5
+STAGGER_TICKS = 2
+MEAN_RATE_HZ = 4.0
+SCHEDULE_SEED = 11
+# The gate: server-side p99 accept-to-answer seconds at 64 sessions.
+GATED_SESSIONS = 64
+SLO_P99_S = 0.25
+RETRIES = 2
+CONFIG = IngressConfig(
+    batch_window_s=0.01, max_batch=32, admission_capacity=1024
+)
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingress.json"
+
+
+def _machine_fingerprint() -> dict:
+    """Identity of the machine wall-clock numbers were produced on."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def _truncated_traces(study) -> list:
+    """Walks cut to ``HOPS`` hops: per-arrival work stays bench-scale."""
+    return [
+        dataclasses.replace(trace, hops=list(trace.hops[:HOPS]))
+        for trace in study.test_traces
+    ]
+
+
+def _workload(study, n_sessions: int):
+    return multi_session_workload(
+        _truncated_traces(study),
+        n_sessions,
+        corpus_size=min(CORPUS, n_sessions),
+        stagger_ticks=STAGGER_TICKS,
+    )
+
+
+def _schedule(workload):
+    return open_loop_schedule(
+        workload,
+        mean_rate_hz=MEAN_RATE_HZ,
+        seed=SCHEDULE_SEED,
+        diurnal_amplitude=0.5,
+        diurnal_period_s=1.0,
+    )
+
+
+def _make_shards(study, workdir: Path, n_shards: int) -> list:
+    workdir.mkdir(parents=True, exist_ok=True)
+    fingerprint_db = study.fingerprint_db(6)
+    motion_db, _ = study.motion_db(6)
+    return [
+        LocalShard(
+            shard_spec(
+                f"shard-{index}",
+                fingerprint_db,
+                motion_db,
+                study.config,
+                plan=study.scenario.plan,
+                wal_path=workdir / f"shard-{index}.wal",
+                checkpoint_path=workdir / f"shard-{index}.ckpt",
+            )
+        )
+        for index in range(n_shards)
+    ]
+
+
+def _services(study, workload) -> dict:
+    fingerprint_db = study.fingerprint_db(6)
+    motion_db, _ = study.motion_db(6)
+    return build_session_services(
+        workload,
+        fingerprint_db,
+        motion_db,
+        study.config,
+        resilient=True,
+        plan=study.scenario.plan,
+    )
+
+
+def _replay(study, workdir, workload, schedule, n_shards, time_scale):
+    """One server lifetime: admit, replay the schedule, snapshot, stop.
+
+    Returns ``(replies, quantiles, snapshot, elapsed_s)``.
+    """
+
+    async def main():
+        server = IngressServer(
+            _make_shards(study, workdir, n_shards), config=CONFIG
+        )
+        for session_id, service in sorted(_services(study, workload).items()):
+            server.admit_session(fresh_session_entry(session_id, service))
+        host, port = await server.start()
+        try:
+            start_s = time.perf_counter()
+            replies = await replay_schedule(
+                host, port, schedule.arrivals, time_scale=time_scale
+            )
+            elapsed_s = time.perf_counter() - start_s
+            return (
+                replies,
+                server.latency_quantiles((0.5, 0.99)),
+                server.metrics_snapshot(),
+                elapsed_s,
+            )
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+def _stream_checksums(arrivals, replies) -> dict:
+    """Per-session checksums of the wire's reassembled fix streams."""
+    streams: dict = {}
+    for arrival, reply in zip(
+        sorted(arrivals, key=lambda a: a.t_s), replies
+    ):
+        assert reply["ok"], reply
+        if reply["status"] in ("rejected", "dropped"):
+            continue
+        fix = reply["fix"]
+        streams.setdefault(arrival.interval.session_id, []).append(
+            None if fix is None else fix_from_dict(fix)
+        )
+    return {
+        session_id: fix_stream_checksum(stream)
+        for session_id, stream in streams.items()
+    }
+
+
+def _lockstep_checksums(study, workdir, workload, schedule) -> dict:
+    coordinator = ClusterCoordinator(_make_shards(study, workdir, 1))
+    for session_id, service in sorted(_services(study, workload).items()):
+        coordinator.add_session(fresh_session_entry(session_id, service))
+    streams = lockstep_fix_streams(coordinator, schedule.arrivals)
+    coordinator.shutdown()
+    return {
+        session_id: fix_stream_checksum(stream)
+        for session_id, stream in streams.items()
+    }
+
+
+def _measure_load(study, workdir, n_sessions: int) -> dict:
+    """One latency row: open-loop replay at the schedule's real pace."""
+    workload = _workload(study, n_sessions)
+    schedule = _schedule(workload)
+    replies, quantiles, snapshot, elapsed_s = _replay(
+        study, workdir, workload, schedule, LATENCY_SHARDS, time_scale=1.0
+    )
+    assert len(replies) == schedule.n_arrivals
+    statuses: dict = {}
+    for reply in replies:
+        statuses[reply["status"]] = statuses.get(reply["status"], 0) + 1
+    # Latency, not shedding: the admission capacity is sized so nothing
+    # is refused and every latency sample is a served answer.
+    assert statuses.get("rejected", 0) == 0, statuses
+    assert statuses.get("dropped", 0) == 0, statuses
+    client_latencies = np.array(
+        [reply["client_latency_s"] for reply in replies]
+    )
+    counters = snapshot["ingress"]["counters"]
+    batch = snapshot["ingress"]["histograms"]["ingress.batch_size"]
+    return {
+        "sessions": n_sessions,
+        "arrivals": schedule.n_arrivals,
+        "schedule_s": schedule.duration_s,
+        "elapsed_s": elapsed_s,
+        "offered_hz": schedule.n_arrivals / max(schedule.duration_s, 1e-9),
+        "p50_s": quantiles["p50"],
+        "p99_s": quantiles["p99"],
+        "client_p50_s": float(np.quantile(client_latencies, 0.5)),
+        "client_p99_s": float(np.quantile(client_latencies, 0.99)),
+        "ticks": counters["ingress.ticks"],
+        "mean_batch": batch["sum"] / max(batch["count"], 1),
+        "statuses": statuses,
+    }
+
+
+@pytest.mark.bench
+def test_ingress_latency(benchmark, study, report, tmp_path):
+    machine = _machine_fingerprint()
+
+    # Bitwise first: the wire path must reproduce lockstep exactly.
+    equality_workload = _workload(study, SESSION_LOADS[0])
+    equality_schedule = _schedule(equality_workload)
+    want = _lockstep_checksums(
+        study, tmp_path / "lockstep", equality_workload, equality_schedule
+    )
+    equality = {}
+    for n_shards in EQUALITY_SHARD_COUNTS:
+        replies, _, _, _ = _replay(
+            study,
+            tmp_path / f"equality-{n_shards}",
+            equality_workload,
+            equality_schedule,
+            n_shards,
+            time_scale=0.0,
+        )
+        got = _stream_checksums(equality_schedule.arrivals, replies)
+        equality[str(n_shards)] = got == want
+        assert got == want, (
+            f"{n_shards}-shard wire streams diverge from lockstep"
+        )
+
+    rows = {}
+    for n_sessions in SESSION_LOADS:
+        if n_sessions == GATED_SESSIONS:
+            # The timed operation: the gated 64-session open-loop replay.
+            holder = {}
+
+            def replay_gated():
+                holder["row"] = _measure_load(
+                    study, tmp_path / f"load-{n_sessions}", n_sessions
+                )
+
+            benchmark.pedantic(replay_gated, rounds=1, iterations=1)
+            rows[n_sessions] = holder["row"]
+        else:
+            rows[n_sessions] = _measure_load(
+                study, tmp_path / f"load-{n_sessions}", n_sessions
+            )
+
+    gated = rows[GATED_SESSIONS]
+    retries_used = 0
+    while gated["p99_s"] >= SLO_P99_S and retries_used < RETRIES:
+        retries_used += 1
+        gated = _measure_load(
+            study, tmp_path / f"retry-{retries_used}", GATED_SESSIONS
+        )
+        rows[GATED_SESSIONS] = gated
+
+    table = []
+    for n_sessions in SESSION_LOADS:
+        row = rows[n_sessions]
+        table.append(
+            [
+                f"{n_sessions}",
+                f"{row['arrivals']}",
+                f"{row['offered_hz']:.0f}/s",
+                f"{row['p50_s'] * 1e3:.1f} ms",
+                f"{row['p99_s'] * 1e3:.1f} ms",
+                f"{row['client_p99_s'] * 1e3:.1f} ms",
+                f"{row['mean_batch']:.1f}",
+            ]
+        )
+    report(
+        "Ingress latency: open-loop TCP replay, per-shard loops",
+        format_table(
+            [
+                "sessions",
+                "arrivals",
+                "offered",
+                "p50",
+                "p99",
+                "client p99",
+                "batch",
+            ],
+            table,
+        )
+        + f"\nbitwise vs lockstep at {EQUALITY_SHARD_COUNTS} shards: "
+        f"{all(equality.values())}; gate: p99 < {SLO_P99_S * 1e3:.0f} ms "
+        f"at {GATED_SESSIONS} sessions ({LATENCY_SHARDS} shards, window "
+        f"{CONFIG.batch_window_s * 1e3:.0f} ms)"
+        + f"\nfull report: {OUTPUT_PATH.name}",
+    )
+
+    document = {
+        "benchmark": "ingress_latency",
+        "machine": machine,
+        "config": {
+            "batch_window_s": CONFIG.batch_window_s,
+            "max_batch": CONFIG.max_batch,
+            "admission_capacity": CONFIG.admission_capacity,
+            "admission_policy": CONFIG.admission_policy,
+            "latency_shards": LATENCY_SHARDS,
+            "mean_rate_hz": MEAN_RATE_HZ,
+            "schedule_seed": SCHEDULE_SEED,
+        },
+        "bitwise_vs_lockstep": {
+            "equal": all(equality.values()),
+            "shard_counts": equality,
+            "sessions": SESSION_LOADS[0],
+            "arrivals": equality_schedule.n_arrivals,
+        },
+        "loads": [rows[n_sessions] for n_sessions in SESSION_LOADS],
+        "gate": {
+            "sessions": GATED_SESSIONS,
+            "metric": "p99_s",
+            "slo_s": SLO_P99_S,
+            "value_s": gated["p99_s"],
+            "retries_used": retries_used,
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(document, indent=2, sort_keys=True))
+
+    assert gated["p99_s"] < SLO_P99_S, (
+        f"{GATED_SESSIONS}-session p99 {gated['p99_s'] * 1e3:.1f} ms >= "
+        f"SLO {SLO_P99_S * 1e3:.0f} ms (after {retries_used} retries)"
+    )

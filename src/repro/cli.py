@@ -24,6 +24,14 @@ Commands:
   sides' per-session fix-stream checksums, an ``equal`` verdict (the
   exit code: 0 iff bitwise equal), and the cluster's merged metrics.
   The CI cluster lanes archive this document as their artifact.
+* ``serve`` — boot the asyncio TCP ingress (:mod:`repro.ingress`) over
+  a sharded deployment with a seeded workload's sessions pre-admitted,
+  print the bound address as one JSON line, and run until a
+  ``shutdown`` op or Ctrl-C.  With ``--selftest``, instead replay one
+  open-loop schedule (reconnect storms and jitter included) through
+  the deterministic per-shard driver at 1/2/4 shards and exit 0 iff
+  every session's fix stream is bitwise equal to the lockstep
+  coordinator's — the CI fast lane's ingress gate.
 
 All commands are deterministic given ``--seed`` (wall-clock metrics in
 ``metrics``/``chaos`` output excepted).
@@ -279,6 +287,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON document here",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the asyncio TCP ingress (event-driven per-shard loops "
+        "over a sharded deployment) until a shutdown op or Ctrl-C; with "
+        "--selftest, instead verify the async path bitwise against the "
+        "lockstep coordinator at 1/2/4 shards and exit 0 iff equal",
+    )
+    serve.add_argument(
+        "--selftest",
+        action="store_true",
+        help="no socket: replay one open-loop schedule (with reconnect "
+        "storms and jitter) through the deterministic per-shard driver "
+        "at 1/2/4 shards and diff every session's fix stream against "
+        "the lockstep ClusterCoordinator reference (CI fast lane)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="listen address (default %(default)s)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default 0: pick a free one and print it)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2, help="shard count (default 2)"
+    )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=8,
+        help="workload sessions pre-admitted at boot (default 8)",
+    )
+    serve.add_argument(
+        "--corpus-size",
+        type=int,
+        default=4,
+        help="distinct walks behind the pre-admitted sessions (default 4)",
+    )
+    serve.add_argument(
+        "--n-aps", type=int, default=6, help="AP count (default 6)"
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=50.0,
+        help="per-shard batch window in ms (default 50)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="tick early once a shard queues this many events (default 16)",
+    )
+    serve.add_argument(
+        "--capacity",
+        type=int,
+        default=256,
+        help="per-shard admission-queue bound (default 256)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("reject-newest", "drop-oldest"),
+        default="reject-newest",
+        help="admission shedding policy (default %(default)s)",
+    )
+    serve.add_argument(
+        "--workdir",
+        type=Path,
+        default=None,
+        help="directory for shard WAL/checkpoint files (default: a "
+        "fresh temp dir)",
+    )
+    serve.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="(selftest) also write the JSON verdict document here",
+    )
+
     redteam = subparsers.add_parser(
         "redteam",
         help="replay the held-out walks through adversarial attacks "
@@ -388,6 +476,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.workdir,
             args.output,
         )
+    if args.command == "serve":
+        return _serve(_study_from(args), args)
     if args.command == "redteam":
         return _redteam(_study_from(args), args.smoke, args.output)
     if args.command == "matrix":
@@ -927,6 +1017,229 @@ def _cluster(
         output.write_text(text + "\n", encoding="utf-8")
     print(text)
     return 0 if equal else 1
+
+
+def _serve(study: Study, args) -> int:
+    """The ingress front door — or, with ``--selftest``, its bitwise gate.
+
+    Selftest replays one seeded open-loop schedule (diurnal bursts,
+    a reconnect storm, arrival jitter) through the deterministic
+    per-shard :class:`~repro.ingress.IngressDriver` at 1/2/4 shards and
+    requires every session's fix stream to equal the lockstep
+    :class:`~repro.cluster.ClusterCoordinator` reference slot for slot
+    (``None`` gaps included).  Exit code 0 iff all shard counts match.
+
+    Server mode boots the same deployment behind
+    :class:`~repro.ingress.IngressServer`, pre-admits the workload's
+    sessions, prints one JSON line with the bound address, and runs
+    until a ``shutdown`` op or Ctrl-C.
+    """
+    import asyncio
+    import dataclasses
+    import json
+    import tempfile
+
+    from .cluster import (
+        ClusterCoordinator,
+        LocalShard,
+        fresh_session_entry,
+        shard_spec,
+    )
+    from .ingress import (
+        IngressConfig,
+        IngressDriver,
+        IngressServer,
+        lockstep_fix_streams,
+    )
+    from .serving import build_session_services, fix_stream_checksum
+    from .sim.evaluation import multi_session_workload, open_loop_schedule
+
+    fingerprint_db = study.fingerprint_db(args.n_aps)
+    motion_db, _ = study.motion_db(args.n_aps)
+    config = IngressConfig(
+        batch_window_s=args.batch_window_ms / 1e3,
+        max_batch=args.max_batch,
+        admission_capacity=args.capacity,
+        admission_policy=args.policy,
+    )
+    if args.workdir is None:
+        shard_dir = Path(tempfile.mkdtemp(prefix="repro-ingress-"))
+    else:
+        shard_dir = args.workdir
+        shard_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.selftest:
+        # Truncated walks keep the gate a seconds-scale CI smoke while
+        # still mixing sessions at different walk phases per batch.
+        traces = [
+            dataclasses.replace(trace, hops=list(trace.hops[:5]))
+            for trace in study.test_traces[: args.corpus_size]
+        ]
+        workload = multi_session_workload(
+            traces,
+            args.sessions,
+            corpus_size=min(args.corpus_size, args.sessions),
+            stagger_ticks=1,
+        )
+        schedule = open_loop_schedule(
+            workload,
+            mean_rate_hz=8.0,
+            seed=args.seed,
+            diurnal_amplitude=0.5,
+            diurnal_period_s=3.0,
+            reconnect_storms=2,
+            storm_fraction=0.25,
+            jitter_s=0.02,
+        )
+
+        def services() -> Dict[str, object]:
+            return build_session_services(
+                workload,
+                fingerprint_db,
+                motion_db,
+                study.config,
+                resilient=True,
+                plan=study.scenario.plan,
+            )
+
+        def make_shards(n_shards: int, tag: str) -> List[LocalShard]:
+            return [
+                LocalShard(
+                    shard_spec(
+                        f"shard-{index}",
+                        fingerprint_db,
+                        motion_db,
+                        study.config,
+                        plan=study.scenario.plan,
+                        wal_path=shard_dir / f"{tag}-{index}.wal",
+                        checkpoint_path=shard_dir / f"{tag}-{index}.ckpt",
+                    )
+                )
+                for index in range(n_shards)
+            ]
+
+        def digests(streams: Dict[str, List[object]]) -> Dict[str, object]:
+            return {
+                session_id: {
+                    "checksum": fix_stream_checksum(stream),
+                    "fixes": len(stream),
+                }
+                for session_id, stream in sorted(streams.items())
+            }
+
+        verdicts: Dict[str, object] = {}
+        all_equal = True
+        for n_shards in (1, 2, 4):
+            reference = ClusterCoordinator(
+                make_shards(n_shards, f"lockstep-{n_shards}")
+            )
+            for session_id, service in sorted(services().items()):
+                reference.add_session(
+                    fresh_session_entry(session_id, service)
+                )
+            expected = digests(
+                lockstep_fix_streams(reference, schedule.arrivals)
+            )
+            reference.shutdown()
+
+            driver = IngressDriver(
+                make_shards(n_shards, f"async-{n_shards}"), config
+            )
+            for session_id, service in sorted(services().items()):
+                driver.add_session(fresh_session_entry(session_id, service))
+            result = driver.run(schedule.arrivals)
+            actual = digests(result.fixes)
+            for ticker in driver.tickers.values():
+                ticker.shard.shutdown()
+
+            equal = actual == expected
+            all_equal = all_equal and equal
+            verdicts[str(n_shards)] = {
+                "equal": equal,
+                "ticks_by_shard": result.ticks_by_shard,
+                "duplicates": result.count("duplicate"),
+                "stale": result.count("stale"),
+                "async": actual,
+                "lockstep": expected,
+            }
+        document = {
+            "report": "ingress-selftest",
+            "sessions": args.sessions,
+            "arrivals": schedule.n_arrivals,
+            "redeliveries": schedule.n_redeliveries,
+            "duration_s": schedule.duration_s,
+            "equal": all_equal,
+            "shard_counts": verdicts,
+        }
+        text = json.dumps(document, indent=2, sort_keys=True)
+        if args.output is not None:
+            args.output.parent.mkdir(parents=True, exist_ok=True)
+            args.output.write_text(text + "\n", encoding="utf-8")
+        print(text)
+        return 0 if all_equal else 1
+
+    workload = multi_session_workload(
+        study.test_traces,
+        args.sessions,
+        corpus_size=min(args.corpus_size, args.sessions),
+        stagger_ticks=2,
+    )
+    services = build_session_services(
+        workload,
+        fingerprint_db,
+        motion_db,
+        study.config,
+        resilient=True,
+        plan=study.scenario.plan,
+    )
+    shards = [
+        LocalShard(
+            shard_spec(
+                f"shard-{index}",
+                fingerprint_db,
+                motion_db,
+                study.config,
+                plan=study.scenario.plan,
+                wal_path=shard_dir / f"shard-{index}.wal",
+                checkpoint_path=shard_dir / f"shard-{index}.ckpt",
+            )
+        )
+        for index in range(args.shards)
+    ]
+
+    async def run_server() -> None:
+        server = IngressServer(
+            shards, config, host=args.host, port=args.port
+        )
+        for session_id, service in sorted(services.items()):
+            server.admit_session(fresh_session_entry(session_id, service))
+        host, port = await server.start()
+        print(
+            json.dumps(
+                {
+                    "report": "ingress-serve",
+                    "host": host,
+                    "port": port,
+                    "shards": args.shards,
+                    "sessions": sorted(services),
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        try:
+            await server.wait_stopped()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run_server())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for shard in shards:
+            shard.shutdown()
+    return 0
 
 
 def _report(study: Study, output: Path) -> int:

@@ -20,6 +20,7 @@ worker recovers itself from its own files.
 from __future__ import annotations
 
 import dataclasses
+import time
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
 
@@ -39,7 +40,10 @@ from ..motion.pedestrian import BodyProfile
 from ..robustness.service import ResilientMoLocService
 from ..robustness.trust import ApTrustMonitor
 from ..service import MoLocService
+from ..serving.clock import LogicalClock
 from ..serving.engine import BatchedServingEngine
+
+_CLOCK_KINDS = ("monotonic", "logical")
 
 __all__ = [
     "SPEC_FORMAT_VERSION",
@@ -65,6 +69,8 @@ def shard_spec(
     body_height_m: float = 1.72,
     checkpoint_every: int = 8,
     tick_budget_s: Optional[float] = None,
+    clock: str = "monotonic",
+    clock_auto_advance_s: float = 0.0,
     fsync: bool = False,
 ) -> Dict[str, object]:
     """One shard's full deployment as a JSON-compatible dict.
@@ -92,6 +98,18 @@ def shard_spec(
             disables periodic checkpoints; membership changes always
             checkpoint).
         tick_budget_s: Optional per-tick deadline for the shard engine.
+        clock: The shard engine's time source — ``"monotonic"``
+            (``time.perf_counter``, wall-clock deadlines) or
+            ``"logical"`` (a :class:`~repro.serving.clock.LogicalClock`,
+            so deadline shedding under ``tick_budget_s`` is a
+            deterministic function of the event schedule instead of
+            machine load, and replay is bit-reproducible).  Serialized
+            as plain data, so every respawn rebuilds the same time
+            source.
+        clock_auto_advance_s: With the logical clock, seconds the clock
+            advances per reading (deterministic "work takes time";
+            see :class:`~repro.serving.clock.LogicalClock`).  Must be 0
+            with the monotonic clock.
         fsync: Whether the worker's WAL fsyncs every append.
     """
     if not shard_id:
@@ -104,6 +122,19 @@ def shard_spec(
         raise ValueError(
             "defended requires resilient: the trust monitor lives in "
             "ResilientMoLocService"
+        )
+    if clock not in _CLOCK_KINDS:
+        raise ValueError(
+            f"unknown clock {clock!r}; expected one of {_CLOCK_KINDS}"
+        )
+    if clock_auto_advance_s < 0:
+        raise ValueError(
+            f"clock_auto_advance_s must be >= 0, got {clock_auto_advance_s}"
+        )
+    if clock == "monotonic" and clock_auto_advance_s:
+        raise ValueError(
+            "clock_auto_advance_s requires the logical clock; the "
+            "monotonic clock advances itself"
         )
     return {
         "kind": "shard_spec",
@@ -120,6 +151,8 @@ def shard_spec(
         "checkpoint_path": str(checkpoint_path),
         "checkpoint_every": int(checkpoint_every),
         "tick_budget_s": tick_budget_s,
+        "clock": clock,
+        "clock_auto_advance_s": float(clock_auto_advance_s),
         "fsync": bool(fsync),
     }
 
@@ -182,11 +215,26 @@ def build_engine(
             config=config,
         )
 
+    # Pre-ingress spec documents carry no clock keys; they keep the
+    # wall-clock engines they always built.
+    clock_kind = spec.get("clock", "monotonic")
+    if clock_kind == "logical":
+        engine_clock = LogicalClock(
+            auto_advance_s=float(spec.get("clock_auto_advance_s", 0.0))
+        )
+    elif clock_kind == "monotonic":
+        engine_clock = time.perf_counter
+    else:
+        raise ValueError(
+            f"unknown clock {clock_kind!r} in shard spec; expected one "
+            f"of {_CLOCK_KINDS}"
+        )
     engine = BatchedServingEngine(
         fingerprint_db,
         motion_db,
         config,
         tick_budget_s=spec["tick_budget_s"],
+        clock=engine_clock,
     )
     return engine, make_service
 

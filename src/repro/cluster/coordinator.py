@@ -46,16 +46,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..observability import MetricsRegistry
 from ..serving.admission import AdmissionController
-from ..serving.checkpoint import event_to_dict
 from ..serving.engine import (
     CHECKPOINT_FORMAT_VERSION,
     IntervalEvent,
     SessionFault,
     TickOutcome,
 )
-from .messages import outcome_from_dict
+from .core import ShardTicker, partition_events, supervised_request
 from .routing import ShardRouter
-from .transport import ShardDown
 
 __all__ = ["ClusterTickOutcome", "ClusterCoordinator"]
 
@@ -126,6 +124,9 @@ class ClusterCoordinator:
         self._shards: Dict[str, object] = {
             shard.shard_id: shard for shard in shards
         }
+        self._tickers: Dict[str, ShardTicker] = {
+            shard.shard_id: ShardTicker(shard) for shard in shards
+        }
         self.router = ShardRouter(ids)
         self.admission = admission
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -163,13 +164,10 @@ class ClusterCoordinator:
             ``(reply, recovered)`` where ``recovered`` says the shard
             had to be respawned to answer.
         """
-        shard = self._shards[shard_id]
-        try:
-            return shard.request(payload), False
-        except ShardDown:
+        reply, recovered = supervised_request(self._shards[shard_id], payload)
+        if recovered:
             self._c_recoveries.inc()
-            shard.respawn()
-            return shard.request(payload), True
+        return reply, recovered
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -230,67 +228,36 @@ class ClusterCoordinator:
         self._tick_index += 1
         self._c_ticks.inc()
         self._c_events.inc(len(events))
-        order: Dict[str, int] = {}
-        groups: Dict[str, List[Tuple[int, IntervalEvent]]] = {
-            shard_id: [] for shard_id in self.router.shard_ids
-        }
-        for slot, event in enumerate(events):
-            order.setdefault(event.session_id, slot)
-            groups[self.router.route(event.session_id)].append((slot, event))
+        order, groups = partition_events(self.router, events)
 
         fixes: List[object] = [None] * len(events)
         by_shard: Dict[str, TickOutcome] = {}
         recovered: List[str] = []
         replayed: List[str] = []
-        # Split-phase dispatch: write every shard's request before
-        # collecting any reply, so transports with a ``send``/``receive``
-        # pair (subprocess workers) serve the tick concurrently instead
-        # of in turn.  A shard that fails either half is routed through
-        # the supervised path in the collect phase: respawn from
+        # Split-phase dispatch through the shared tick core: write every
+        # shard's request before collecting any reply, so transports
+        # with a ``send``/``receive`` pair (subprocess workers) serve
+        # the tick concurrently instead of in turn.  A shard that fails
+        # either half is recovered in the collect phase: respawn from
         # checkpoint + WAL, then re-deliver — the worker answers a tick
         # its predecessor already served idempotently, so recovery here
         # is bitwise invisible exactly as it is for a serial request.
-        payloads: Dict[str, Dict[str, object]] = {}
-        dispatched: Dict[str, bool] = {}
         for shard_id in self.router.shard_ids:
-            payloads[shard_id] = {
-                "op": "tick",
-                "tick": self._tick_index,
-                "events": [
-                    event_to_dict(event) for _, event in groups[shard_id]
-                ],
-            }
-            sender = getattr(self._shards[shard_id], "send", None)
-            if sender is None:
-                dispatched[shard_id] = False
-                continue
-            try:
-                sender(payloads[shard_id])
-                dispatched[shard_id] = True
-            except ShardDown:
-                dispatched[shard_id] = False
+            self._tickers[shard_id].send(
+                [event for _, event in groups[shard_id]]
+            )
         for shard_id in self.router.shard_ids:
-            group = groups[shard_id]
-            if dispatched[shard_id]:
-                shard = self._shards[shard_id]
-                try:
-                    reply, respawned = shard.receive(), False
-                except ShardDown:
-                    self._c_recoveries.inc()
-                    shard.respawn()
-                    reply, respawned = shard.request(payloads[shard_id]), True
-            else:
-                reply, respawned = self._request(
-                    shard_id, payloads[shard_id]
-                )
-            if respawned:
+            outcome, was_replayed, was_recovered = self._tickers[
+                shard_id
+            ].collect()
+            if was_recovered:
                 recovered.append(shard_id)
-            if reply["replayed"]:
+                self._c_recoveries.inc()
+            if was_replayed:
                 replayed.append(shard_id)
                 self._c_redelivered.inc()
-            outcome = outcome_from_dict(reply["outcome"])
             by_shard[shard_id] = outcome
-            for (slot, _), fix in zip(group, outcome.fixes):
+            for (slot, _), fix in zip(groups[shard_id], outcome.fixes):
                 fixes[slot] = fix
 
         def merge(name: str) -> Tuple[str, ...]:
@@ -394,6 +361,13 @@ class ClusterCoordinator:
         }
 
         self._shards = dict(new_by_id)
+        # Fresh tickers, pinned to the shared cluster tick: surviving
+        # shards are already there, and added shards were aligned by
+        # their empty restore above.
+        self._tickers = {
+            shard_id: ShardTicker(shard, tick_index=self._tick_index)
+            for shard_id, shard in new_by_id.items()
+        }
         self.router = new_router
         for new_home, entry in entries:
             self._request(new_home, {"op": "add_session", "entry": entry})

@@ -164,11 +164,32 @@ class ProcessShard:
             Must be JSON-compatible (it is shipped as a JSON string).
         start: Spawn now (True) or leave the shard down until
             :meth:`respawn`.
+        receive_timeout_s: How long :meth:`receive`/:meth:`request`
+            wait for the child's reply before declaring it *wedged*.
+            A wedged child — alive but not making progress (paused,
+            deadlocked, livelocked) — is escalated exactly like a dead
+            one: the child is SIGKILLed so the supervisor's normal
+            respawn-and-redeliver recovery applies, instead of the
+            whole coordinator tick stalling behind one stuck pipe.
+            Defaults to the spawn timeout (120 s).
     """
 
-    def __init__(self, spec: Dict[str, object], start: bool = True) -> None:
+    def __init__(
+        self,
+        spec: Dict[str, object],
+        start: bool = True,
+        receive_timeout_s: Optional[float] = None,
+    ) -> None:
+        if receive_timeout_s is not None and receive_timeout_s <= 0:
+            raise ValueError(
+                "receive_timeout_s must be positive or None, got "
+                f"{receive_timeout_s}"
+            )
         self.spec = spec
         self.shard_id: str = spec["shard_id"]
+        self.receive_timeout_s = (
+            _SPAWN_TIMEOUT_S if receive_timeout_s is None else receive_timeout_s
+        )
         self._process: Optional[object] = None
         self._conn: Optional[object] = None
         self.hello: Optional[Dict[str, object]] = None
@@ -187,13 +208,29 @@ class ProcessShard:
         child_conn.close()
         self._process = process
         self._conn = parent_conn
-        self.hello = _check_reply(decode_message(self._recv()))
+        # The hello waits out the full spawn budget regardless of the
+        # (possibly much shorter) receive timeout: database rebuild and
+        # recovery replay legitimately take a while on a cold start.
+        self.hello = _check_reply(
+            decode_message(self._recv(timeout_s=_SPAWN_TIMEOUT_S))
+        )
 
-    def _recv(self) -> str:
-        if not self._conn.poll(_SPAWN_TIMEOUT_S):
+    def _recv(self, timeout_s: Optional[float] = None) -> str:
+        timeout_s = self.receive_timeout_s if timeout_s is None else timeout_s
+        if not self._conn.poll(timeout_s):
+            # The child is alive but not answering — wedged, not dead.
+            # SIGKILL it so is_alive() goes false and the supervisor's
+            # respawn-and-redeliver path (built for crashed workers)
+            # handles the escalation; without the kill, respawn() would
+            # refuse to replace a still-running process and the whole
+            # tick would stay stuck behind this one pipe.
+            if self._process is not None:
+                self._process.kill()
+                self._process.join()
+            self._teardown()
             raise ShardDown(
                 f"shard {self.shard_id!r} did not respond within "
-                f"{_SPAWN_TIMEOUT_S:.0f}s"
+                f"{timeout_s:.3g}s; killed the wedged worker"
             )
         try:
             return self._conn.recv_bytes().decode("utf-8")

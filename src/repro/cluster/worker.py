@@ -53,6 +53,7 @@ from ..serving.checkpoint import (
     event_from_dict,
     recover_engine,
 )
+from ..serving.clock import LogicalClock
 from ..serving.engine import BatchedServingEngine
 from ..service import MoLocService
 from .bootstrap import build_engine
@@ -214,6 +215,17 @@ class ShardWorker:
             return {"ok": True, "path": str(self._checkpoint_path)}
         if op == "metrics":
             return {"ok": True, "metrics": self.engine.metrics_snapshot()}
+        if op == "advance_clock":
+            # Deterministic deployments drive their shard engines'
+            # logical clocks over the wire, so deadline behavior can be
+            # scripted (and reproduced) across any process boundary.
+            clock = self.engine.clock
+            if not isinstance(clock, LogicalClock):
+                raise ClusterWireError(
+                    f"shard {self.shard_id!r} runs a wall clock; "
+                    "advance_clock requires a spec with clock='logical'"
+                )
+            return {"ok": True, "now_s": clock.advance(float(request["dt_s"]))}
         if op == "shutdown":
             return {"ok": True, "bye": True}
         raise ClusterWireError(f"unknown cluster op {op!r}")

@@ -210,6 +210,48 @@ class Histogram:
         self._min = None
         self._max = None
 
+    def quantile(self, q: float) -> Optional[float]:
+        """A bucket-interpolated quantile estimate (None when empty).
+
+        The estimate interpolates linearly within the bucket holding
+        the ``q``-th observation and is clamped to the observed
+        ``[min, max]`` range, so ``quantile(0.0) == min`` and
+        ``quantile(1.0) == max`` exactly.  Between those it is only as
+        precise as the bucket boundaries — the usual fixed-bucket
+        trade; deployments that need exact percentiles (the latency
+        benchmarks) keep the raw samples instead.
+
+        Raises:
+            ValueError: for ``q`` outside ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return None
+        if q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
+        target = q * self._count
+        cumulative = 0
+        for index, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            if cumulative + count >= target:
+                lower = (
+                    self.boundaries[index - 1] if index > 0 else self._min
+                )
+                upper = (
+                    self.boundaries[index]
+                    if index < len(self.boundaries)
+                    else self._max
+                )
+                fraction = (target - cumulative) / count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self._min), self._max)
+            cumulative += count
+        return self._max
+
     def to_dict(self) -> Dict[str, object]:
         """The JSON-serializable view of this histogram."""
         return {

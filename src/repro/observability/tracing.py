@@ -53,6 +53,7 @@ class SpanTracer:
         self._hooks: List[SpanHook] = []
         self._hook_errors = self.registry.counter(f"{prefix}.hook_errors")
         self.last: Dict[str, float] = {}
+        self.last_hook_error: Optional[str] = None
 
     @property
     def hooks(self) -> List[SpanHook]:
@@ -94,8 +95,9 @@ class SpanTracer:
         for hook in self._hooks:
             try:
                 hook(name, duration_s)
-            except Exception:
+            except Exception as error:
                 self._hook_errors.inc()
+                self.last_hook_error = repr(error)
 
     def phase_snapshot(self) -> Dict[str, float]:
         """The most recent duration of every span seen so far (a copy)."""

@@ -42,6 +42,7 @@ from .benchmark import (
     workload_checksum,
 )
 from .checkpoint import WriteAheadLog, recover_engine
+from .clock import LogicalClock
 from .engine import (
     BatchedServingEngine,
     IntervalEvent,
@@ -57,6 +58,7 @@ __all__ = [
     "BatchMatcher",
     "BatchedServingEngine",
     "IntervalEvent",
+    "LogicalClock",
     "MatchRequest",
     "QuarantinePolicy",
     "ServeResult",

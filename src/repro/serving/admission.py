@@ -24,7 +24,7 @@ metrics document as the engine's own counters.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Callable, Deque, List, Optional
 
 from ..observability import MetricsRegistry
 from .engine import IntervalEvent
@@ -45,6 +45,13 @@ class AdmissionController:
         metrics: Registry for the admission counters (a fresh one when
             omitted).  Pass the engine's registry to surface admission
             metrics in its ``metrics_snapshot``.
+        on_evict: Optional callback invoked with each event the
+            ``drop-oldest`` policy displaces.  The ingress server uses
+            it to answer the displaced event's waiting client instead
+            of leaving the connection hanging; the accounting tests use
+            it to prove every offered event reaches exactly one
+            terminal state.  Exceptions propagate to the ``offer``
+            caller (the callback is part of admission, not a hook).
     """
 
     def __init__(
@@ -52,6 +59,7 @@ class AdmissionController:
         capacity: int,
         policy: str = "reject-newest",
         metrics: Optional[MetricsRegistry] = None,
+        on_evict: Optional[Callable[[IntervalEvent], None]] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -61,6 +69,7 @@ class AdmissionController:
             )
         self.capacity = capacity
         self.policy = policy
+        self.on_evict = on_evict
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._queue: Deque[IntervalEvent] = deque()
         self._c_accepted = self.metrics.counter("admission.accepted")
@@ -86,8 +95,10 @@ class AdmissionController:
             if self.policy == "reject-newest":
                 self._c_rejected.inc()
                 return False
-            self._queue.popleft()
+            evicted = self._queue.popleft()
             self._c_dropped.inc()
+            if self.on_evict is not None:
+                self.on_evict(evicted)
         self._queue.append(event)
         self._c_accepted.inc()
         self._g_depth.set(len(self._queue))

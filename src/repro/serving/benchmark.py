@@ -200,10 +200,16 @@ def fix_stream_checksum(fixes: Sequence[object]) -> str:
     Covers location ids, exact (hex) probabilities, the full candidate
     sets, motion usage, and — for resilient fixes — the serving mode and
     fault list; two streams agree on the checksum iff the engine and the
-    sequential path produced the same fixes bit for bit.
+    sequential path produced the same fixes bit for bit.  A None entry
+    (a stale-dropped event's empty slot in
+    :attr:`~repro.serving.engine.TickOutcome.fixes`) is digested as an
+    explicit marker, so streams with drops stay position-comparable.
     """
     digest = hashlib.sha256()
     for fix in fixes:
+        if fix is None:
+            digest.update(b"<none>\n")
+            continue
         estimate = getattr(fix, "estimate", fix)
         digest.update(
             f"{estimate.location_id}|{estimate.probability.hex()}|"

@@ -1,0 +1,92 @@
+"""Injectable time sources for deterministic serving.
+
+The serving engine's deadline shedding (``tick_budget_s``) and the
+ingress layer's batching windows are *time policies*: given the same
+inputs and the same clock readings they must make the same decisions.
+``time.perf_counter`` breaks that — two runs of the same workload shed
+different intervals depending on machine load — which is why every
+component that reads time takes an injectable ``clock`` callable.
+
+:class:`LogicalClock` is the deterministic implementation: a monotonic
+counter advanced explicitly (:meth:`LogicalClock.advance` /
+:meth:`LogicalClock.set`) or implicitly by a fixed amount per reading
+(``auto_advance_s``).  Auto-advance models "work takes time" without
+wall time: an engine completion loop that reads the clock once per
+session crosses a tick budget after a *fixed, reproducible* number of
+completions, so deadline shedding becomes a pure function of the event
+schedule — the property both the chaos latency-skew tests and the
+cluster's bitwise-equality contract rely on.
+
+A shard spec serializes its clock choice as plain data
+(``{"clock": "logical", "clock_auto_advance_s": ...}``, see
+:func:`repro.cluster.bootstrap.shard_spec`), so every worker of a
+deterministic deployment rebuilds the same time source in any process.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LogicalClock"]
+
+
+class LogicalClock:
+    """A deterministic, explicitly advanced monotonic clock.
+
+    Instances are callable with the same signature as
+    ``time.perf_counter`` so they drop into every ``clock=`` seam
+    (engine, chaos harness, ingress loops).
+
+    Args:
+        start_s: The initial reading.
+        auto_advance_s: Seconds the clock moves forward *after* each
+            reading (0 disables).  Models deterministic elapsing time:
+            N readings always span exactly ``N * auto_advance_s``.
+    """
+
+    __slots__ = ("_now_s", "auto_advance_s", "readings")
+
+    def __init__(self, start_s: float = 0.0, auto_advance_s: float = 0.0) -> None:
+        if auto_advance_s < 0:
+            raise ValueError(
+                f"auto_advance_s must be >= 0, got {auto_advance_s}"
+            )
+        self._now_s = float(start_s)
+        self.auto_advance_s = float(auto_advance_s)
+        self.readings = 0
+
+    @property
+    def now_s(self) -> float:
+        """The current reading, without advancing."""
+        return self._now_s
+
+    def __call__(self) -> float:
+        """Read the clock (then auto-advance, when configured)."""
+        reading = self._now_s
+        self.readings += 1
+        if self.auto_advance_s:
+            self._now_s += self.auto_advance_s
+        return reading
+
+    def advance(self, dt_s: float) -> float:
+        """Move time forward by ``dt_s`` seconds; returns the new reading.
+
+        Raises:
+            ValueError: for a negative step (the clock is monotonic).
+        """
+        if dt_s < 0:
+            raise ValueError(f"cannot advance by {dt_s} (monotonic clock)")
+        self._now_s += float(dt_s)
+        return self._now_s
+
+    def set(self, t_s: float) -> float:
+        """Jump to absolute time ``t_s``; returns the new reading.
+
+        Raises:
+            ValueError: for a jump backwards (the clock is monotonic).
+        """
+        if t_s < self._now_s:
+            raise ValueError(
+                f"cannot set clock to {t_s} (already at {self._now_s}; "
+                "monotonic clock)"
+            )
+        self._now_s = float(t_s)
+        return self._now_s

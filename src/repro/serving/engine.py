@@ -286,6 +286,7 @@ class BatchedServingEngine:
         self._estimate_cache: "OrderedDict[tuple, object]" = OrderedDict()
         self.tracer = SpanTracer(self.metrics, prefix="engine.phase")
         self._tick_hooks: List[TickHook] = []
+        self.last_hook_error: Optional[str] = None
         self._c_ticks = self.metrics.counter("engine.ticks")
         self._c_intervals = self.metrics.counter("engine.intervals")
         self._c_est_hits = self.metrics.counter("engine.estimate_cache.hits")
@@ -405,8 +406,9 @@ class BatchedServingEngine:
         The hook receives one
         :class:`~repro.observability.TickProfile` after every tick
         (outside the timed region).  Hooks are error-isolated: a raising
-        hook increments ``engine.tick_hook_errors`` instead of failing
-        the tick — except for process-level failures (``MemoryError``,
+        hook increments ``engine.tick_hook_errors`` and records its
+        repr in :attr:`last_hook_error` instead of failing the tick —
+        except for process-level failures (``MemoryError``,
         ``RecursionError``), which are never hook-scoped and propagate.
         """
         self._tick_hooks.append(hook)
@@ -945,8 +947,13 @@ class BatchedServingEngine:
                     # hide the failure until it strikes somewhere
                     # unshielded.
                     raise
-                except Exception:
+                except Exception as error:
+                    # Error-isolated like SpanTracer's hooks: count it,
+                    # keep the repr for diagnosis, serve the next tick.
+                    # A silently swallowed hook failure would read as
+                    # "profiling just stopped" with nothing to grep for.
                     self._c_hook_errors.inc()
+                    self.last_hook_error = repr(error)
         return TickOutcome(
             fixes=fixes,
             served=tuple(served),

@@ -35,10 +35,13 @@ __all__ = [
     "ConvergenceStatistics",
     "SessionInterval",
     "MultiSessionWorkload",
+    "Arrival",
+    "ArrivalSchedule",
     "evaluate_localizer",
     "evaluate_service",
     "evaluate_smoother",
     "multi_session_workload",
+    "open_loop_schedule",
     "ambiguous_location_ids",
     "convergence_statistics",
 ]
@@ -424,6 +427,188 @@ def multi_session_workload(
         for tick in ticks:
             width.observe(len(tick))
     return MultiSessionWorkload(sessions=sessions, ticks=ticks)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One interval's arrival at the ingress front door.
+
+    Attributes:
+        t_s: Arrival time on the schedule's clock (seconds from start).
+        interval: The session interval that arrives.
+        redelivery: Whether this is a reconnect-storm re-send of an
+            interval already delivered earlier (same session, same
+            sequence number) — the duplicate the serving engine's
+            sequence gate must answer idempotently.
+    """
+
+    t_s: float
+    interval: SessionInterval
+    redelivery: bool = False
+
+
+@dataclass
+class ArrivalSchedule:
+    """An open-loop serving load: timestamped arrivals, no think time.
+
+    Unlike :class:`MultiSessionWorkload` — a closed-loop script where
+    the harness feeds the engine one tick batch at a time and the load
+    implicitly waits for the server — an open-loop schedule fixes *when*
+    every event arrives up front.  Arrivals do not slow down when the
+    server does, which is the regime where queueing delay, admission
+    backpressure, and deadline shedding actually show themselves.
+
+    Attributes:
+        sessions: Each session id mapped to the walk it replays.
+        arrivals: Every arrival, sorted by time (stable in generation
+            order on ties, so the schedule is deterministic).
+    """
+
+    sessions: Dict[str, WalkTrace]
+    arrivals: List[Arrival]
+
+    @property
+    def n_arrivals(self) -> int:
+        """Total arrivals, redeliveries included."""
+        return len(self.arrivals)
+
+    @property
+    def n_redeliveries(self) -> int:
+        """How many arrivals are reconnect-storm duplicates."""
+        return sum(1 for arrival in self.arrivals if arrival.redelivery)
+
+    @property
+    def duration_s(self) -> float:
+        """Time of the last arrival (0.0 for an empty schedule)."""
+        return self.arrivals[-1].t_s if self.arrivals else 0.0
+
+
+def open_loop_schedule(
+    workload: MultiSessionWorkload,
+    mean_rate_hz: float = 4.0,
+    seed: int = 0,
+    diurnal_amplitude: float = 0.0,
+    diurnal_period_s: float = 60.0,
+    reconnect_storms: int = 0,
+    storm_fraction: float = 0.25,
+    jitter_s: float = 0.0,
+) -> ArrivalSchedule:
+    """Timestamp a workload's intervals as seeded open-loop traffic.
+
+    Each session's intervals keep their recorded order but arrive on
+    their own Poisson process: successive gaps are exponential with the
+    instantaneous rate ``mean_rate_hz * (1 + amplitude * sin(2*pi*t /
+    period))`` — a diurnal curve, so burst troughs and crests sweep
+    through the run instead of the load being flat.  Three knobs model
+    the messy parts of a real front door:
+
+    * **diurnal bursts** (``diurnal_amplitude``) — arrival-rate swings
+      that overrun a fixed-capacity admission queue at the crest;
+    * **reconnect storms** (``reconnect_storms``) — at seeded storm
+      times, a fraction of sessions re-send their most recently
+      delivered interval (same sequence number), the duplicate flood a
+      mass reconnect produces;
+    * **delivery jitter** (``jitter_s``) — independent per-arrival
+      delay, which can reorder a session's own events in flight and so
+      exercises the engine's stale-sequence drop path.
+
+    Everything is drawn from one seeded generator: the same arguments
+    always produce the identical schedule, which is what lets the
+    async-vs-lockstep equality gate replay it bit-for-bit.
+
+    Args:
+        workload: The closed-loop script to timestamp (its per-session
+            interval order is preserved; its tick grouping is ignored).
+        mean_rate_hz: Each session's mean arrival rate.
+        seed: RNG seed for gaps, storm times, storm membership, jitter.
+        diurnal_amplitude: Rate modulation depth in [0, 1).
+        diurnal_period_s: Period of the diurnal curve.
+        reconnect_storms: How many storm instants to inject.
+        storm_fraction: Fraction of sessions re-sending per storm.
+        jitter_s: Upper bound of the uniform per-arrival delivery delay.
+
+    Returns:
+        The schedule, arrivals sorted by time.
+    """
+    if mean_rate_hz <= 0:
+        raise ValueError(f"mean_rate_hz must be > 0, got {mean_rate_hz}")
+    if not 0.0 <= diurnal_amplitude < 1.0:
+        raise ValueError(
+            f"diurnal_amplitude must be in [0, 1), got {diurnal_amplitude}"
+        )
+    if diurnal_period_s <= 0:
+        raise ValueError(
+            f"diurnal_period_s must be > 0, got {diurnal_period_s}"
+        )
+    if reconnect_storms < 0:
+        raise ValueError(
+            f"reconnect_storms must be >= 0, got {reconnect_storms}"
+        )
+    if not 0.0 <= storm_fraction <= 1.0:
+        raise ValueError(
+            f"storm_fraction must be in [0, 1], got {storm_fraction}"
+        )
+    if jitter_s < 0:
+        raise ValueError(f"jitter_s must be >= 0, got {jitter_s}")
+    rng = np.random.default_rng(seed)
+
+    def rate_at(t_s: float) -> float:
+        return mean_rate_hz * (
+            1.0
+            + diurnal_amplitude
+            * float(np.sin(2.0 * np.pi * t_s / diurnal_period_s))
+        )
+
+    # Per-session interval scripts, in the workload's session order.
+    scripts: Dict[str, List[SessionInterval]] = {
+        session_id: [] for session_id in workload.sessions
+    }
+    for tick in workload.ticks:
+        for interval in tick:
+            scripts[interval.session_id].append(interval)
+
+    arrivals: List[Arrival] = []
+    delivered: Dict[str, List[Tuple[float, SessionInterval]]] = {}
+    for session_id, intervals in scripts.items():
+        t_s = 0.0
+        timeline: List[Tuple[float, SessionInterval]] = []
+        for interval in intervals:
+            t_s += float(rng.exponential(1.0 / rate_at(t_s)))
+            send_s = t_s + (
+                float(rng.uniform(0.0, jitter_s)) if jitter_s else 0.0
+            )
+            timeline.append((t_s, interval))
+            arrivals.append(Arrival(send_s, interval))
+        delivered[session_id] = timeline
+    horizon_s = max((t for a in arrivals for t in (a.t_s,)), default=0.0)
+
+    session_ids = list(scripts)
+    per_storm = int(round(storm_fraction * len(session_ids)))
+    for _ in range(reconnect_storms):
+        storm_s = float(rng.uniform(0.0, horizon_s)) if horizon_s else 0.0
+        members = rng.choice(
+            len(session_ids), size=min(per_storm, len(session_ids)),
+            replace=False,
+        )
+        for member in sorted(int(m) for m in members):
+            timeline = delivered[session_ids[member]]
+            # The interval this session most recently sent before the
+            # storm — the one a reconnecting client re-sends because it
+            # never saw the ack.  A session that hadn't started yet has
+            # nothing to re-send.
+            latest = None
+            for sent_s, interval in timeline:
+                if sent_s <= storm_s:
+                    latest = interval
+                else:
+                    break
+            if latest is None:
+                continue
+            resend_s = storm_s + float(rng.uniform(0.0, 0.050))
+            arrivals.append(Arrival(resend_s, latest, redelivery=True))
+
+    arrivals.sort(key=lambda arrival: arrival.t_s)
+    return ArrivalSchedule(sessions=dict(workload.sessions), arrivals=arrivals)
 
 
 def ambiguous_location_ids(

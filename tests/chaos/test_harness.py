@@ -453,3 +453,61 @@ class TestHarnessMechanics:
         assert outcome.served == (other,)
         counters = engine.metrics_snapshot()["engine"]["counters"]
         assert counters["chaos.unroutable"] == 1
+
+
+class TestLogicalClockStorms:
+    """Latency skew on an injectable logical clock: no wall time anywhere."""
+
+    def test_latency_skew_shedding_is_deterministic(self, storm_world):
+        """Deadline shedding under injected latency is schedule-pure.
+
+        The engine runs on a :class:`~repro.serving.LogicalClock`
+        (auto-advancing per reading) with a tick budget, and the storm
+        injects latency as clock skew — so *which* sessions get shed to
+        the fast path is a pure function of the plan, and two runs
+        agree exactly.  On a wall clock this assertion is impossible:
+        machine load would move the shed boundary between runs.
+        """
+        from repro.serving import LogicalClock
+
+        fingerprint_db, motion_db, config, workload = storm_world
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    tick=2,
+                    session_id=victim,
+                    kind=FaultKind.LATENCY,
+                    phase="prepare",
+                    magnitude=0.5,
+                )
+                for victim in VICTIMS[:2]
+            ]
+        )
+
+        def run():
+            services = build_session_services(
+                workload, fingerprint_db, motion_db, config
+            )
+            engine = BatchedServingEngine(
+                fingerprint_db,
+                motion_db,
+                config,
+                tick_budget_s=0.25,
+                clock=LogicalClock(auto_advance_s=0.01),
+            )
+            harness = ChaosHarness(engine, plan)
+            for session_id, service in services.items():
+                engine.add_session(session_id, service)
+            shed = []
+            for tick in workload.ticks:
+                outcome = harness.tick_detailed(_events_of(tick, engine))
+                shed.append(outcome.shed)
+            return shed, harness.clock_skew_s
+
+        first_shed, first_skew = run()
+        second_shed, second_skew = run()
+        assert first_shed == second_shed
+        assert first_skew == second_skew == 1.0
+        # The injected second of skew blows the quarter-second budget:
+        # the tick the faults land on must shed somebody.
+        assert any(shed for shed in first_shed)

@@ -66,6 +66,7 @@ def make_shards(
     tmp_path,
     n_shards: int,
     transport=LocalShard,
+    transport_kwargs: Optional[Dict[str, object]] = None,
     **spec_kwargs,
 ) -> List[object]:
     """``n_shards`` started transports with durable files under ``tmp_path``."""
@@ -80,7 +81,8 @@ def make_shards(
                 wal_path=tmp_path / f"shard-{index}.wal",
                 checkpoint_path=tmp_path / f"shard-{index}.ckpt",
                 **spec_kwargs,
-            )
+            ),
+            **(transport_kwargs or {}),
         )
         for index in range(n_shards)
     ]
@@ -105,11 +107,19 @@ def make_cluster(
     tmp_path,
     n_shards: int,
     transport=LocalShard,
+    transport_kwargs: Optional[Dict[str, object]] = None,
     **spec_kwargs,
 ) -> ClusterCoordinator:
     """A coordinator over fresh shards with every workload session admitted."""
     coordinator = ClusterCoordinator(
-        make_shards(world, tmp_path, n_shards, transport, **spec_kwargs)
+        make_shards(
+            world,
+            tmp_path,
+            n_shards,
+            transport,
+            transport_kwargs=transport_kwargs,
+            **spec_kwargs,
+        )
     )
     admit_workload_sessions(coordinator, world)
     return coordinator

@@ -1,0 +1,98 @@
+"""Wedged workers: alive-but-stuck children must escalate, not hang.
+
+The bug this closes: :meth:`ProcessShard._recv`'s poll timeout raised
+``ShardDown`` but left the stuck child *running*, and ``respawn()``
+refuses to replace a live process — so the supervisor's
+respawn-and-redeliver path deadlocked on the one failure mode it was
+built for.  The fix kills the wedged child on receive timeout, which
+turns "wedged" into "dead" and lets the ordinary supervised recovery
+(respawn from checkpoint + WAL, redeliver, idempotent replay) finish
+the tick.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+from cluster_helpers import checksums, make_cluster, run_cluster
+
+from repro.cluster import ProcessShard, ShardDown
+from repro.cluster.core import supervised_request
+
+
+def test_receive_timeout_validation():
+    with pytest.raises(ValueError, match="receive_timeout_s"):
+        ProcessShard({"shard_id": "s0"}, start=False, receive_timeout_s=0.0)
+
+
+@pytest.mark.slow
+def test_wedged_worker_is_killed_and_recovered(world, tmp_path):
+    """SIGSTOP a child mid-conversation: the supervisor must not hang.
+
+    The stopped child never answers, so the receive times out; the
+    transport must escalate by killing it (making ``is_alive`` false)
+    so the standard respawn-and-redeliver recovery applies — and the
+    redelivered request is answered by the recovered worker.
+    """
+    coordinator = make_cluster(
+        world,
+        tmp_path,
+        1,
+        transport=ProcessShard,
+        transport_kwargs={"receive_timeout_s": 2.0},
+    )
+    try:
+        shard = next(iter(coordinator.shards.values()))
+        assert shard.receive_timeout_s == 2.0
+        os.kill(shard._process.pid, signal.SIGSTOP)
+
+        with pytest.raises(ShardDown, match="wedged"):
+            shard.request({"op": "ping"})
+        # The escalation killed the child: the shard now reads as dead,
+        # which is exactly what respawn() requires.
+        assert not shard.is_alive()
+
+        reply, recovered = supervised_request(shard, {"op": "ping"})
+        assert recovered
+        assert reply["recovered"]
+        assert shard.is_alive()
+    finally:
+        coordinator.shutdown()
+
+
+@pytest.mark.slow
+def test_cluster_tick_survives_a_wedge_bitwise(world, tmp_path, baseline_fixes):
+    """A mid-run wedge is as invisible as a mid-run kill.
+
+    The coordinator's supervised tick path turns the receive timeout
+    into respawn-and-redeliver; the recovered worker replays the
+    redelivered tick idempotently, so the full run's fix streams stay
+    bitwise equal to the single engine's.
+    """
+    _, _, _, workload = world
+    coordinator = make_cluster(
+        world,
+        tmp_path,
+        2,
+        transport=ProcessShard,
+        transport_kwargs={"receive_timeout_s": 3.0},
+    )
+    wedged = {"done": False}
+
+    def wedge_once(coord):
+        if not wedged["done"] and coord.tick_index == 2:
+            victim = sorted(coord.shards)[0]
+            os.kill(coord.shards[victim]._process.pid, signal.SIGSTOP)
+            wedged["done"] = True
+
+    try:
+        fixes = run_cluster(coordinator, workload, on_tick=wedge_once)
+        assert wedged["done"]
+        assert coordinator.metrics.snapshot()["counters"][
+            "cluster.recoveries"
+        ] >= 1
+        assert checksums(fixes) == checksums(baseline_fixes)
+    finally:
+        coordinator.shutdown()

@@ -1,0 +1,29 @@
+"""Ingress suite fixtures: the cluster suite's small world, reused.
+
+The async ingress path is gated against the same bitwise yardsticks the
+cluster suite established — the lockstep coordinator and the single
+engine — so the fixtures are shared wholesale.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "cluster"))
+
+from cluster_helpers import single_engine_fixes, small_world  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def world(small_study):
+    """``(fingerprint_db, motion_db, config, workload)`` for ingress tests."""
+    return small_world(small_study)
+
+
+@pytest.fixture(scope="session")
+def baseline_fixes(world):
+    """Single-engine fix streams over the same world (the bitwise yardstick)."""
+    return single_engine_fixes(world)

@@ -1,0 +1,230 @@
+"""The asyncio TCP front door: protocol, backpressure, equality over wire.
+
+Every test drives a real ``asyncio.start_server`` socket on loopback —
+the events cross TCP as versioned JSON lines, fixes come back the same
+way, and the reassembled per-session streams are held to the lockstep
+coordinator's checksums, so the wire itself is inside the bitwise gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from cluster_helpers import checksums, make_shards
+from repro.cluster import (
+    ClusterCoordinator,
+    encode_message,
+    decode_message,
+    fresh_session_entry,
+)
+from repro.ingress import (
+    IngressConfig,
+    IngressServer,
+    lockstep_fix_streams,
+    replay_schedule,
+)
+from repro.io.serialize import fix_from_dict
+from repro.serving import build_session_services, fix_stream_checksum
+from repro.sim.evaluation import open_loop_schedule
+
+
+def make_schedule(world, **overrides):
+    _, _, _, workload = world
+    kwargs = dict(mean_rate_hz=8.0, seed=11)
+    kwargs.update(overrides)
+    return open_loop_schedule(workload, **kwargs)
+
+
+def session_services(world):
+    fingerprint_db, motion_db, config, workload = world
+    return build_session_services(
+        workload, fingerprint_db, motion_db, config, resilient=True
+    )
+
+
+def run_server(world, tmp_path, n_shards, config, client):
+    """Start a server over fresh shards, run ``client(server)``, stop."""
+
+    async def main():
+        server = IngressServer(
+            make_shards(world, tmp_path, n_shards), config=config
+        )
+        await server.start()
+        for session_id, service in sorted(session_services(world).items()):
+            entry = fresh_session_entry(session_id, service)
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                (
+                    encode_message({"op": "add_session", "entry": entry})
+                    + "\n"
+                ).encode()
+            )
+            await writer.drain()
+            reply = decode_message((await reader.readline()).decode())
+            assert reply["ok"], reply
+            writer.close()
+        try:
+            return await client(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+def stream_checksums(arrivals, replies):
+    """Rebuild per-session fix streams from wire replies, in served order.
+
+    Refused events (rejected/dropped) never produce a stream entry;
+    answered ones slot in per-session arrival order, exactly as the
+    driver's :class:`~repro.ingress.IngressResult` records them.
+    """
+    streams = {}
+    for arrival, reply in zip(
+        sorted(arrivals, key=lambda a: a.t_s), replies
+    ):
+        assert reply["ok"], reply
+        if reply["status"] in ("rejected", "dropped"):
+            continue
+        fix = reply["fix"]
+        streams.setdefault(arrival.interval.session_id, []).append(
+            None if fix is None else fix_from_dict(fix)
+        )
+    return {
+        session_id: fix_stream_checksum(stream)
+        for session_id, stream in streams.items()
+    }
+
+
+class TestServedOverTcp:
+    @pytest.mark.parametrize("n_shards", [1, 2])
+    def test_wire_streams_match_lockstep(self, world, tmp_path, n_shards):
+        schedule = make_schedule(world)
+        config = IngressConfig(batch_window_s=0.01, max_batch=8)
+
+        async def client(server):
+            host, port = server.address
+            return await replay_schedule(
+                host, port, schedule.arrivals, time_scale=0.0
+            )
+
+        replies = run_server(
+            world, tmp_path / "serve", n_shards, config, client
+        )
+        assert len(replies) == schedule.n_arrivals
+        assert all(r["status"] != "rejected" for r in replies)
+
+        fingerprint_db, motion_db, cfg, workload = world
+        coordinator = ClusterCoordinator(
+            make_shards(world, tmp_path / "lockstep", n_shards)
+        )
+        for session_id, service in sorted(session_services(world).items()):
+            coordinator.add_session(fresh_session_entry(session_id, service))
+        want = checksums(
+            lockstep_fix_streams(coordinator, schedule.arrivals)
+        )
+        assert stream_checksums(schedule.arrivals, replies) == want
+
+    def test_latency_histogram_fills(self, world, tmp_path):
+        schedule = make_schedule(world)
+        config = IngressConfig(batch_window_s=0.01, max_batch=8)
+
+        async def client(server):
+            host, port = server.address
+            await replay_schedule(
+                host, port, schedule.arrivals, time_scale=0.0
+            )
+            return server.latency_quantiles((0.5, 0.99))
+
+        quantiles = run_server(world, tmp_path, 2, config, client)
+        assert quantiles["p50"] is not None
+        assert 0.0 <= quantiles["p50"] <= quantiles["p99"]
+
+
+class TestBackpressureOverTcp:
+    def test_full_queue_rejects_immediately(self, world, tmp_path):
+        schedule = make_schedule(world)
+        # One shard, a 2-deep queue, and a window long enough that the
+        # flood outruns serving: refusals must come back anyway.
+        config = IngressConfig(
+            batch_window_s=0.25, max_batch=None, admission_capacity=2
+        )
+
+        async def client(server):
+            host, port = server.address
+            return await replay_schedule(
+                host, port, schedule.arrivals, time_scale=0.0
+            )
+
+        replies = run_server(world, tmp_path, 1, config, client)
+        statuses = [r["status"] for r in replies]
+        assert "rejected" in statuses
+        assert all(r["fix"] is None for r in replies if r["status"] == "rejected")
+
+    def test_drop_oldest_answers_displaced_clients(self, world, tmp_path):
+        schedule = make_schedule(world)
+        config = IngressConfig(
+            batch_window_s=0.25,
+            max_batch=None,
+            admission_capacity=2,
+            admission_policy="drop-oldest",
+        )
+
+        async def client(server):
+            host, port = server.address
+            return await replay_schedule(
+                host, port, schedule.arrivals, time_scale=0.0
+            )
+
+        replies = run_server(world, tmp_path, 1, config, client)
+        statuses = [r["status"] for r in replies]
+        assert "dropped" in statuses
+        assert "rejected" not in statuses
+        # Every arrival was answered — no client left hanging.
+        assert len(replies) == schedule.n_arrivals
+
+
+class TestProtocol:
+    def test_ping_metrics_and_unknown_op(self, world, tmp_path):
+        config = IngressConfig(batch_window_s=0.01)
+
+        async def client(server):
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+
+            async def roundtrip(payload):
+                writer.write((encode_message(payload) + "\n").encode())
+                await writer.drain()
+                return decode_message((await reader.readline()).decode())
+
+            ping = await roundtrip({"op": "ping", "id": 7})
+            metrics = await roundtrip({"op": "metrics"})
+            bogus = await roundtrip({"op": "frobnicate"})
+            writer.close()
+            return ping, metrics, bogus
+
+        ping, metrics, bogus = run_server(world, tmp_path, 2, config, client)
+        assert ping["ok"] and ping["id"] == 7
+        assert sorted(ping["shards"]) == ["shard-0", "shard-1"]
+        assert metrics["ok"]
+        assert "ingress" in metrics["metrics"]
+        assert set(metrics["metrics"]["shards"]) == {"shard-0", "shard-1"}
+        assert not bogus["ok"]
+        assert "frobnicate" in bogus["error"]
+
+    def test_shutdown_op_stops_the_server(self, world, tmp_path):
+        config = IngressConfig(batch_window_s=0.01)
+
+        async def client(server):
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write((encode_message({"op": "shutdown"}) + "\n").encode())
+            await writer.drain()
+            reply = decode_message((await reader.readline()).decode())
+            writer.close()
+            await asyncio.wait_for(server.wait_stopped(), timeout=5.0)
+            return reply
+
+        reply = run_server(world, tmp_path, 1, config, client)
+        assert reply["ok"] and reply["bye"]

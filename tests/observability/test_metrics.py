@@ -205,3 +205,50 @@ def test_aggregate_carries_the_agreed_schema():
     merged = MetricsRegistry.aggregate([unstamped, stamped])
     assert merged["schema"] == 1
     assert "schema" not in MetricsRegistry.aggregate([unstamped])
+
+
+def test_quantile_empty_and_bounds():
+    histogram = Histogram("h", (1.0, 2.0, 4.0))
+    assert histogram.quantile(0.5) is None
+    for value in (0.5, 1.5, 3.0, 8.0):
+        histogram.observe(value)
+    assert histogram.quantile(0.0) == 0.5
+    assert histogram.quantile(1.0) == 8.0
+    with pytest.raises(ValueError):
+        histogram.quantile(-0.01)
+    with pytest.raises(ValueError):
+        histogram.quantile(1.01)
+
+
+def test_quantile_interpolates_within_buckets():
+    histogram = Histogram("h", (10.0, 20.0, 40.0))
+    # 10 observations in [10, 20): the median sits mid-bucket.
+    for _ in range(10):
+        histogram.observe(15.0)
+    assert histogram.quantile(0.5) == pytest.approx(15.0)
+    # A skewed split: 9 in the first bucket, 1 far out in the overflow.
+    histogram.reset()
+    for _ in range(9):
+        histogram.observe(5.0)
+    histogram.observe(100.0)
+    p50 = histogram.quantile(0.5)
+    p99 = histogram.quantile(0.99)
+    assert 5.0 <= p50 <= 10.0
+    assert p50 <= p99 <= 100.0
+
+
+def test_quantile_is_clamped_to_observed_range():
+    histogram = Histogram("h", (10.0, 20.0))
+    histogram.observe(12.0)
+    histogram.observe(13.0)
+    # Interpolation alone would wander toward the bucket edges; the
+    # observed range pins it.
+    for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+        assert 12.0 <= histogram.quantile(q) <= 13.0
+
+
+def test_quantile_single_observation_is_that_observation():
+    histogram = Histogram("h", (10.0, 20.0))
+    histogram.observe(17.5)
+    for q in (0.0, 0.5, 1.0):
+        assert histogram.quantile(q) == 17.5

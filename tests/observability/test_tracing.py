@@ -45,9 +45,11 @@ def test_hooks_fire_and_are_error_isolated():
         raise ValueError("hook bug")
 
     tracer.add_hook(bad_hook)
+    assert tracer.last_hook_error is None
     tracer.record("phase", 0.1)  # must not raise
     assert calls == [("phase", 0.1)]
     assert tracer.registry.counter("p.hook_errors").value == 1
+    assert "hook bug" in tracer.last_hook_error
     tracer.remove_hook(bad_hook)
     tracer.record("phase", 0.2)
     assert tracer.registry.counter("p.hook_errors").value == 1

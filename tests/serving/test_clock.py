@@ -1,0 +1,134 @@
+"""The logical clock and its threading through spec, worker, and engine.
+
+The wall-clock determinism bug this closes: engines defaulted to
+``time.perf_counter`` with no way to build a shard on anything else, so
+every deadline-shed decision — and therefore every latency-skew chaos
+replay — depended on machine load.  The spec's ``clock`` field and the
+worker's ``advance_clock`` op make shard time injectable end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterWireError,
+    LocalShard,
+    build_engine,
+    shard_spec,
+)
+from repro.serving import LogicalClock
+from repro.serving.clock import LogicalClock as DirectLogicalClock
+
+
+class TestLogicalClock:
+    def test_starts_at_zero_and_reads_advance(self):
+        clock = LogicalClock(auto_advance_s=0.5)
+        assert clock.now_s == 0.0
+        assert clock() == 0.0
+        assert clock() == 0.5
+        assert clock.now_s == 1.0
+        assert clock.readings == 2
+
+    def test_no_auto_advance_is_frozen(self):
+        clock = LogicalClock()
+        assert clock() == clock() == 0.0
+        assert clock.readings == 2
+
+    def test_advance_and_set_move_forward_only(self):
+        clock = LogicalClock()
+        assert clock.advance(1.5) == 1.5
+        clock.set(4.0)
+        assert clock.now_s == 4.0
+        with pytest.raises(ValueError, match="monotonic"):
+            clock.advance(-0.1)
+        with pytest.raises(ValueError, match="monotonic"):
+            clock.set(3.0)
+
+    def test_rejects_negative_auto_advance(self):
+        with pytest.raises(ValueError):
+            LogicalClock(auto_advance_s=-1.0)
+
+    def test_package_export_is_the_same_class(self):
+        assert LogicalClock is DirectLogicalClock
+
+
+class TestSpecClockThreading:
+    def spec(self, world, tmp_path, **kwargs):
+        fingerprint_db, motion_db, config, _ = world
+        return shard_spec(
+            "s0",
+            fingerprint_db,
+            motion_db,
+            config,
+            wal_path=tmp_path / "s0.wal",
+            checkpoint_path=tmp_path / "s0.ckpt",
+            **kwargs,
+        )
+
+    @pytest.fixture()
+    def world(self, small_study):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parent.parent / "cluster")
+        )
+        from cluster_helpers import small_world
+
+        return small_world(small_study)
+
+    def test_default_spec_builds_a_wall_clock_engine(self, world, tmp_path):
+        import time
+
+        engine, _ = build_engine(self.spec(world, tmp_path))
+        assert engine.clock is time.perf_counter
+
+    def test_logical_spec_builds_a_logical_clock(self, world, tmp_path):
+        spec = self.spec(
+            world, tmp_path, clock="logical", clock_auto_advance_s=0.25
+        )
+        engine, _ = build_engine(spec)
+        assert isinstance(engine.clock, LogicalClock)
+        assert engine.clock.auto_advance_s == 0.25
+        # Respawning from the same spec rebuilds the same time source
+        # from zero — recovery cannot inherit wall time.
+        again, _ = build_engine(spec)
+        assert isinstance(again.clock, LogicalClock)
+        assert again.clock.now_s == 0.0
+
+    def test_pre_clock_specs_still_build(self, world, tmp_path):
+        import time
+
+        spec = self.spec(world, tmp_path)
+        del spec["clock"], spec["clock_auto_advance_s"]
+        engine, _ = build_engine(spec)
+        assert engine.clock is time.perf_counter
+
+    def test_spec_validation(self, world, tmp_path):
+        with pytest.raises(ValueError, match="unknown clock"):
+            self.spec(world, tmp_path, clock="sundial")
+        with pytest.raises(ValueError, match="clock_auto_advance_s"):
+            self.spec(world, tmp_path, clock_auto_advance_s=-1.0)
+        with pytest.raises(ValueError, match="requires the logical clock"):
+            self.spec(
+                world, tmp_path, clock="monotonic", clock_auto_advance_s=0.5
+            )
+
+    def test_advance_clock_op_drives_a_logical_shard(self, world, tmp_path):
+        shard = LocalShard(
+            self.spec(world, tmp_path, clock="logical")
+        )
+        reply = shard.request({"op": "advance_clock", "dt_s": 2.5})
+        assert reply["now_s"] == 2.5
+        reply = shard.request({"op": "advance_clock", "dt_s": 0.5})
+        assert reply["now_s"] == 3.0
+        shard.shutdown()
+
+    def test_advance_clock_op_refuses_a_wall_clock_shard(
+        self, world, tmp_path
+    ):
+        shard = LocalShard(self.spec(world, tmp_path))
+        with pytest.raises(ClusterWireError, match="wall clock"):
+            shard.request({"op": "advance_clock", "dt_s": 1.0})
+        shard.shutdown()

@@ -137,6 +137,7 @@ def test_profiling_hooks_receive_profiles_and_are_isolated(world):
         raise RuntimeError("hook bug")
 
     engine.add_profiling_hook(broken_hook)
+    assert engine.last_hook_error is None
     engine.tick([event])
     engine.tick([event])
 
@@ -146,6 +147,9 @@ def test_profiling_hooks_receive_profiles_and_are_isolated(world):
     assert first.duration_s > 0.0
     assert set(first.phases) == set(PHASES)
     assert engine.metrics.counter("engine.tick_hook_errors").value == 2
+    # The swallowed exception is still diagnosable: the last error's
+    # repr is kept alongside the counter.
+    assert "hook bug" in engine.last_hook_error
 
     engine.remove_profiling_hook(broken_hook)
     engine.tick([event])
