@@ -176,7 +176,7 @@ def _replay(study, workdir, workload, schedule, n_shards, time_scale):
             return (
                 replies,
                 server.latency_quantiles((0.5, 0.99)),
-                server.metrics_snapshot(),
+                await server.metrics_snapshot_async(),
                 elapsed_s,
             )
         finally:

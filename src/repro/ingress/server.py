@@ -142,6 +142,7 @@ class IngressServer:
         self._loops: List[asyncio.Task] = []
         self._connections: Dict[int, asyncio.StreamWriter] = {}
         self._conn_closed: Dict[int, asyncio.Event] = {}
+        self._handlers: set = set()
         self._stopping: Optional[asyncio.Event] = None
         self._c_arrivals = self.metrics.counter("ingress.arrivals")
         self._c_rejected = self.metrics.counter("ingress.rejected")
@@ -215,10 +216,16 @@ class IngressServer:
                     {"ok": False, "error": "ingress server stopped"}
                 )
         self._pending.clear()
-        # Only after every in-flight request has an answer: close live
-        # connections so their handlers unwind through EOF rather than
-        # being cancelled at loop teardown (a cancelled handler makes
-        # asyncio's stream protocol log a traceback).
+        # Resolving the futures only schedules the respond tasks; the
+        # transports must stay open until those tasks have written and
+        # drained their replies, or the "stopped" answers are dropped
+        # and clients see bare EOF.
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        # Only after every in-flight request has an answer on the wire:
+        # close live connections so their handlers unwind through EOF
+        # rather than being cancelled at loop teardown (a cancelled
+        # handler makes asyncio's stream protocol log a traceback).
         for writer in list(self._connections.values()):
             writer.close()
         for closed in list(self._conn_closed.values()):
@@ -359,6 +366,8 @@ class IngressServer:
                 )
                 in_flight.add(task)
                 task.add_done_callback(in_flight.discard)
+                self._handlers.add(task)
+                task.add_done_callback(self._handlers.discard)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -402,14 +411,16 @@ class IngressServer:
             loop = asyncio.get_event_loop()
             entry = request["entry"]
             shard_id = self.router.route(entry["session_id"])
-            await loop.run_in_executor(
+            _, recovered = await loop.run_in_executor(
                 self._executors[shard_id],
                 self._tickers[shard_id].request,
                 {"op": "add_session", "entry": entry},
             )
+            if recovered:
+                self._c_recoveries.inc()
             return {"ok": True, "shard_id": shard_id}
         if op == "metrics":
-            return {"ok": True, "metrics": self.metrics_snapshot()}
+            return {"ok": True, "metrics": await self.metrics_snapshot_async()}
         if op == "shutdown":
             self._stopping.set()
             for work in self._work.values():
@@ -420,6 +431,11 @@ class IngressServer:
     async def _handle_serve(
         self, request: Dict[str, object]
     ) -> Dict[str, object]:
+        if self._stopping is not None and self._stopping.is_set():
+            # Late arrival racing the shutdown sweep: answering now
+            # keeps stop()'s handler gather from waiting on a future
+            # nothing will ever resolve.
+            return {"ok": False, "error": "ingress server stopped"}
         event = event_from_dict(
             request["event"], imu_from_dict=self._segments.rebuild
         )
@@ -443,7 +459,15 @@ class IngressServer:
     # ------------------------------------------------------------------
 
     def metrics_snapshot(self) -> Dict[str, object]:
-        """Ingress counters plus every shard worker's own snapshot."""
+        """Ingress counters plus every shard worker's own snapshot.
+
+        Talks to the shard transports directly, so it is only safe when
+        no shard loop is running (before :meth:`start`, after
+        :meth:`stop`).  While the server is live, use
+        :meth:`metrics_snapshot_async` — it serializes transport access
+        through each shard's executor so a snapshot can never interleave
+        with that shard's in-flight tick.
+        """
         shard_snapshots: Dict[str, object] = {}
         for shard_id in self.router.shard_ids:
             reply, recovered = self._tickers[shard_id].request(
@@ -452,6 +476,26 @@ class IngressServer:
             if recovered:
                 self._c_recoveries.inc()
             shard_snapshots[shard_id] = reply["metrics"]
+        return self._snapshot_document(shard_snapshots)
+
+    async def metrics_snapshot_async(self) -> Dict[str, object]:
+        """:meth:`metrics_snapshot`, safe while the shard loops run."""
+        loop = asyncio.get_event_loop()
+        shard_snapshots: Dict[str, object] = {}
+        for shard_id in self.router.shard_ids:
+            reply, recovered = await loop.run_in_executor(
+                self._executors[shard_id],
+                self._tickers[shard_id].request,
+                {"op": "metrics"},
+            )
+            if recovered:
+                self._c_recoveries.inc()
+            shard_snapshots[shard_id] = reply["metrics"]
+        return self._snapshot_document(shard_snapshots)
+
+    def _snapshot_document(
+        self, shard_snapshots: Dict[str, object]
+    ) -> Dict[str, object]:
         return {
             "schema": 1,
             "ingress": self.metrics.snapshot(),
@@ -482,10 +526,10 @@ async def replay_schedule(
     """Open-loop client: send a schedule's events at their instants.
 
     Sessions are spread over ``connections`` pipelined TCP connections
-    (each with its own reader task matching replies by ``id``) — one
-    connection per session, as a real client would hold, so a session's
-    events stay ordered on the wire even when everything is sent at
-    once.  Each arrival is written at ``t_s * time_scale`` seconds
+    (each with its own reader task matching replies by ``id``); each
+    session is pinned to one of those shared connections, so a
+    session's events stay ordered on the wire even when everything is
+    sent at once.  Each arrival is written at ``t_s * time_scale`` seconds
     after the replay starts — *without* waiting for earlier answers, so
     the offered load never adapts to server speed.
 
@@ -517,25 +561,46 @@ async def replay_schedule(
         session_id = arrival.interval.session_id
         if session_id not in lane_of:
             lane_of[session_id] = len(lane_of) % connections
-    waiting: Dict[int, Tuple[asyncio.Future, float]] = {}
+    # One waiting map per connection: when a connection dies, only its
+    # own unanswered requests can be failed, and they all must be.
+    waiting: List[Dict[int, Tuple[asyncio.Future, float]]] = [
+        {} for _ in range(connections)
+    ]
     replies: List[Optional[Dict[str, object]]] = [None] * len(ordered)
 
-    async def read_replies(reader: asyncio.StreamReader) -> None:
-        while True:
-            line = await reader.readline()
-            if not line:
-                return
-            reply = decode_message(line.decode("utf-8").strip())
-            entry = waiting.pop(int(reply["id"]), None)
-            if entry is None:
-                continue
-            future, sent_s = entry
-            reply["client_latency_s"] = time.perf_counter() - sent_s
-            if not future.done():
-                future.set_result(reply)
+    async def read_replies(lane: int, reader: asyncio.StreamReader) -> None:
+        pending = waiting[lane]
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                reply = decode_message(line.decode("utf-8").strip())
+                entry = pending.pop(int(reply["id"]), None)
+                if entry is None:
+                    continue
+                future, sent_s = entry
+                reply["client_latency_s"] = time.perf_counter() - sent_s
+                if not future.done():
+                    future.set_result(reply)
+        finally:
+            # EOF, reset, or decode failure: no further replies can
+            # arrive on this connection, so fail whatever is still
+            # waiting instead of hanging the final gather forever.
+            for slot, (future, _) in pending.items():
+                if not future.done():
+                    future.set_result(
+                        {
+                            "ok": False,
+                            "id": slot,
+                            "error": "connection closed before reply",
+                        }
+                    )
+            pending.clear()
 
     readers = [
-        asyncio.ensure_future(read_replies(reader)) for reader, _ in streams
+        asyncio.ensure_future(read_replies(lane, reader))
+        for lane, (reader, _) in enumerate(streams)
     ]
     try:
         start_s = time.perf_counter()
@@ -545,9 +610,23 @@ async def replay_schedule(
             delay_s = due_s - time.perf_counter()
             if delay_s > 0:
                 await asyncio.sleep(delay_s)
-            _, writer = streams[lane_of[arrival.interval.session_id]]
+            lane = lane_of[arrival.interval.session_id]
+            _, writer = streams[lane]
             future: asyncio.Future = loop.create_future()
-            waiting[slot] = (future, time.perf_counter())
+            if readers[lane].done():
+                # The lane's reader already hit EOF: nothing sent now
+                # can be answered, and nothing will fail the future, so
+                # answer it here.
+                future.set_result(
+                    {
+                        "ok": False,
+                        "id": slot,
+                        "error": "connection closed before reply",
+                    }
+                )
+                replies[slot] = future
+                continue
+            waiting[lane][slot] = (future, time.perf_counter())
             line = encode_message(
                 {
                     "op": "serve",
