@@ -50,7 +50,12 @@ __all__ = [
     "twin_confusion_rate",
 ]
 
-MATRIX_FORMAT_VERSION = 1
+MATRIX_FORMAT_VERSION = 2
+
+# Version 1 documents (no db_churn fault columns) remain fully valid;
+# version 2 only *adds* the optional axis, so the validator accepts
+# both and existing cell checksums are untouched.
+_SUPPORTED_MATRIX_VERSIONS = (1, 2)
 
 _DISTANT_TWIN_MIN_M = 6.0
 """Fig. 8's large-error threshold: twins at least this far apart."""
@@ -93,8 +98,10 @@ class FaultPlanSpec:
     Attributes:
         name: Column label, e.g. ``storm``.
         kind: ``none`` (clean serving), ``faults`` (the default random
-            storm pool), or ``adversarial`` (adds the attack kinds and
-            serves through trust-defended sessions).
+            storm pool), ``adversarial`` (adds the attack kinds and
+            serves through trust-defended sessions), or ``db_churn``
+            (environment-truth changes — AP death/repower and seasonal
+            drift — accumulating against a stale database).
         rate: Expected faults per session-tick.
         chaos_seed: Seed of the drawn fault plan.
     """
@@ -105,9 +112,10 @@ class FaultPlanSpec:
     chaos_seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("none", "faults", "adversarial"):
+        if self.kind not in ("none", "faults", "adversarial", "db_churn"):
             raise ValueError(
-                f"fault kind must be none|faults|adversarial, got {self.kind!r}"
+                "fault kind must be none|faults|adversarial|db_churn, "
+                f"got {self.kind!r}"
             )
         if self.kind != "none" and self.rate <= 0.0:
             raise ValueError(f"{self.kind} plans need a positive rate")
@@ -202,6 +210,7 @@ FULL_PROFILE = MatrixProfile(
         FaultPlanSpec("none"),
         FaultPlanSpec("storm", kind="faults", rate=0.15, chaos_seed=11),
         FaultPlanSpec("adversary", kind="adversarial", rate=0.2, chaos_seed=23),
+        FaultPlanSpec("churn", kind="db_churn", rate=0.02, chaos_seed=31),
     ),
     samples_per_location=30,
     training_samples=20,
@@ -209,7 +218,7 @@ FULL_PROFILE = MatrixProfile(
     n_test_traces=12,
     trace_hops=10,
 )
-"""5 topologies x 2 loads x 3 fault plans = 30 cells, the weekly sweep."""
+"""5 topologies x 2 loads x 4 fault plans = 40 cells, the weekly sweep."""
 
 
 def twin_confusion_rate(records: Sequence[Any], twins: Sequence[Any]) -> float:
@@ -327,13 +336,21 @@ def _serve_cell(
             from ..chaos.plan import ADVERSARY_KINDS, DEFAULT_RANDOM_KINDS
 
             storm_kinds = list(DEFAULT_RANDOM_KINDS) + list(ADVERSARY_KINDS)
+        elif fault_plan.kind == "db_churn":
+            from ..chaos.plan import DB_CHURN_KINDS
+
+            storm_kinds = list(DB_CHURN_KINDS)
         plan = FaultPlan.random(
             seed=fault_plan.chaos_seed,
             n_ticks=len(workload.ticks),
             session_ids=sorted(workload.sessions),
             rate=fault_plan.rate,
             kinds=storm_kinds,
-            n_aps=n_aps if fault_plan.kind == "adversarial" else None,
+            n_aps=(
+                n_aps
+                if fault_plan.kind in ("adversarial", "db_churn")
+                else None
+            ),
         )
         scheduled_faults = len(plan)
         harness = ChaosHarness(engine, plan)
@@ -519,7 +536,7 @@ def validate_matrix_document(document: Dict[str, Any]) -> List[str]:
     if document.get("report") != "matrix":
         problems.append(f"not a matrix report: {document.get('report')!r}")
         return problems
-    if document.get("format_version") != MATRIX_FORMAT_VERSION:
+    if document.get("format_version") not in _SUPPORTED_MATRIX_VERSIONS:
         problems.append(
             f"unsupported format_version {document.get('format_version')!r}"
         )

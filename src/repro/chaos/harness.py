@@ -12,6 +12,13 @@
   rewrites (see :mod:`repro.sim.adversary`) instead of garbage — the
   harness plays the attacker, and the defense under test is the trust
   layer, not the sanitizer;
+* **database churn faults** (env-ap-die / env-ap-repower / env-drift)
+  activate a persistent :class:`EnvironmentOverlay`: from the scheduled
+  tick onward every session's honest scan is re-sampled from the
+  *changed* field while the serving database still describes the old
+  one — the harness plays a world that moved out from under the survey
+  (the defense under test is epochal database refresh, not any
+  per-session machinery);
 * **phase faults** (raise / latency) are delivered through the engine's
   ``fault_injector`` hook, firing inside the targeted serving phase for
   the targeted session — the harness plays the failing dependency;
@@ -42,12 +49,15 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence
 
+from ..core.fingerprint import RSS_CEILING_DBM, RSS_FLOOR_DBM
+from ..db.epochs import ApRemoved, ApRepowered, DriftDelta, Update
 from ..observability import MetricsRegistry
 from ..serving.engine import BatchedServingEngine, IntervalEvent, TickOutcome
 from ..sim.adversary import forge_rogue_reading, shift_ap_reading, spoof_compass
 from .plan import (
     ADVERSARY_KINDS,
     CLUSTER_KINDS,
+    DB_CHURN_KINDS,
     MESSAGE_KINDS,
     PHASE_KINDS,
     FaultKind,
@@ -55,7 +65,12 @@ from .plan import (
     FaultSpec,
 )
 
-__all__ = ["ChaosError", "ChaosHarness", "apply_transport_faults"]
+__all__ = [
+    "ChaosError",
+    "ChaosHarness",
+    "EnvironmentOverlay",
+    "apply_transport_faults",
+]
 
 
 class ChaosError(RuntimeError):
@@ -75,6 +90,104 @@ def _corrupt_scan(spec: FaultSpec, scan: Sequence[float]) -> List[float]:
     return [rng.choice(garbage) for _ in scan]
 
 
+class EnvironmentOverlay:
+    """Persistent field-truth changes accumulated by DB_CHURN faults.
+
+    A churn fault does not rewrite one victim's payload; it changes the
+    *environment* — from its scheduled tick onward, every session's
+    honest scan reads the changed field while the serving database
+    still describes the old one.  The overlay holds the active changes
+    and applies them, in activation order, to each delivered scan.
+
+    The overlay is also the churn's ground truth for repair:
+    :meth:`repair_updates` maps each active change to the
+    :mod:`repro.db.epochs` update that folds the same change into the
+    database, so advancing an epoch with exactly those updates is the
+    "a surveyor re-measured the changed field" experiment the staleness
+    benchmark runs.
+    """
+
+    def __init__(self) -> None:
+        self._churn: List[FaultSpec] = []
+
+    def __len__(self) -> int:
+        return len(self._churn)
+
+    @property
+    def active(self) -> Sequence[FaultSpec]:
+        """The activated churn specs, in activation order."""
+        return tuple(self._churn)
+
+    def activate(self, spec: FaultSpec) -> None:
+        """Make one scheduled churn fault part of the field truth.
+
+        Raises:
+            ValueError: for a spec that is not a DB_CHURN kind.
+        """
+        if spec.kind not in DB_CHURN_KINDS:
+            raise ValueError(
+                f"{spec.kind.value} is not a DB churn kind; the overlay "
+                "only models environment-truth changes"
+            )
+        self._churn.append(spec)
+
+    def apply_scan(self, scan: Sequence[float]) -> List[float]:
+        """One honest scan as the *changed* field would produce it."""
+        out = [float(v) for v in scan]
+        for spec in self._churn:
+            if spec.kind is FaultKind.ENV_AP_DIE:
+                if 0 <= spec.ap_id < len(out):
+                    out[spec.ap_id] = RSS_FLOOR_DBM
+            elif spec.kind is FaultKind.ENV_AP_REPOWER:
+                if 0 <= spec.ap_id < len(out):
+                    out = shift_ap_reading(out, spec.ap_id, spec.magnitude)
+            elif spec.kind is FaultKind.ENV_DRIFT:
+                out = [
+                    (
+                        v
+                        if v <= RSS_FLOOR_DBM
+                        else min(
+                            RSS_CEILING_DBM,
+                            max(RSS_FLOOR_DBM, v + spec.magnitude),
+                        )
+                    )
+                    for v in out
+                ]
+        return out
+
+    def apply_event(self, event: IntervalEvent) -> IntervalEvent:
+        """The event as delivered from the changed environment."""
+        if event.scan is None or not self._churn:
+            return event
+        return IntervalEvent(
+            session_id=event.session_id,
+            scan=self.apply_scan(event.scan),
+            imu=event.imu,
+            sequence=event.sequence,
+        )
+
+    def repair_updates(self, n_aps: int) -> List[Update]:
+        """The database updates that fold the active churn back in.
+
+        Args:
+            n_aps: The deployment's AP vector length (drift deltas are
+                per-AP offset vectors).
+        """
+        updates: List[Update] = []
+        for spec in self._churn:
+            if spec.kind is FaultKind.ENV_AP_DIE:
+                updates.append(ApRemoved(ap_id=spec.ap_id))
+            elif spec.kind is FaultKind.ENV_AP_REPOWER:
+                updates.append(
+                    ApRepowered(ap_id=spec.ap_id, shift_db=spec.magnitude)
+                )
+            elif spec.kind is FaultKind.ENV_DRIFT:
+                updates.append(
+                    DriftDelta(offsets_db=[spec.magnitude] * n_aps)
+                )
+        return updates
+
+
 def apply_transport_faults(
     plan: FaultPlan,
     tick_index: int,
@@ -83,20 +196,36 @@ def apply_transport_faults(
     scan_history: Dict[str, List[float]],
     injected: Dict[FaultKind, object],
     skipped,
+    overlay: Optional[EnvironmentOverlay] = None,
 ) -> List[IntervalEvent]:
     """Rewrite one tick's event batch per the plan's transport faults.
 
     The shared front door of both the engine-level and the cluster
-    chaos harness: redeliveries from earlier duplicate/reorder faults
-    join first, then every MESSAGE_KINDS / ADVERSARY_KINDS spec
-    scheduled for ``tick_index`` rewrites (or removes, or re-queues)
-    its victim's event.  ``pending`` and ``scan_history`` are mutated
-    in place — they are harness state; ``scan_history`` feeds
-    REPLAY_SCAN with each session's most recent previously *delivered*
-    scan.  Every handled spec lands in exactly one of ``injected`` /
-    ``skipped``, preserving the chaos accounting invariant.
+    chaos harness: DB_CHURN specs scheduled for ``tick_index`` activate
+    on the ``overlay`` (skipped when no overlay is given) and the
+    changed field rewrites every *fresh* scan; then redeliveries from
+    earlier duplicate/reorder faults join — carrying the bytes of their
+    original delivery, a replayed wire message does not re-sample the
+    field — and every MESSAGE_KINDS / ADVERSARY_KINDS spec rewrites (or
+    removes, or re-queues) its victim's event.  ``pending`` and
+    ``scan_history`` are mutated in place — they are harness state;
+    ``scan_history`` feeds REPLAY_SCAN with each session's most recent
+    previously *delivered* scan.  Every handled spec lands in exactly
+    one of ``injected`` / ``skipped``, preserving the chaos accounting
+    invariant.
     """
-    mutable = list(events)
+    for spec in plan.faults_at(tick_index):
+        if spec.kind not in DB_CHURN_KINDS:
+            continue
+        if overlay is None:
+            skipped.inc()
+        else:
+            overlay.activate(spec)
+            injected[spec.kind].inc()
+    if overlay is not None and len(overlay):
+        mutable = [overlay.apply_event(event) for event in events]
+    else:
+        mutable = list(events)
 
     # Redeliveries from earlier duplicate/reorder faults join the
     # first tick whose batch has room for their session (one event
@@ -241,6 +370,10 @@ class ChaosHarness:
         self._skew_s = 0.0
         self._pending: List[IntervalEvent] = []
         self._scan_history: Dict[str, List[float]] = {}
+        #: The accumulated environment-truth changes (DB churn faults).
+        #: Exposed so a driver can fold the matching repairs into an
+        #: epoch advance (``overlay.repair_updates(n_aps)``).
+        self.overlay = EnvironmentOverlay()
         #: The events the engine actually received last tick, after the
         #: message faults rewrote the batch.  The returned ``fixes``
         #: align with this list, not with the caller's original one.
@@ -309,6 +442,7 @@ class ChaosHarness:
             self._scan_history,
             self._c_injected,
             self._c_skipped,
+            overlay=self.overlay,
         )
 
         # Events for sessions the engine no longer knows (evicted by an

@@ -84,6 +84,28 @@ class FaultKind(Enum):
     the heading-rate credibility check — a confidently lying IMU must
     be vetoed, not fused)."""
 
+    ENV_AP_DIE = "env-ap-die"
+    """AP ``ap_id``'s radio goes dark for good: from this tick on,
+    *every* session's scan reads the floor at that slot.  A database
+    churn fault — the environment truth changed and the serving
+    database is now stale (distinct from the adversarial kinds, which
+    rewrite one victim's payload while the field stays honest).  The
+    spec's ``session_id`` is only the schedule key; the change is
+    global."""
+
+    ENV_AP_REPOWER = "env-ap-repower"
+    """AP ``ap_id`` is replaced (or power-cycled) at a new transmit
+    power: from this tick on, every session's reading at that slot
+    shifts by ``magnitude`` dB (clipped to physical range; a dead slot
+    stays dead).  Database churn: the persistent, all-sessions cousin
+    of the transient single-victim :attr:`AP_REPOWER`."""
+
+    ENV_DRIFT = "env-drift"
+    """Seasonal propagation drift: from this tick on, every non-floored
+    reading of every session's scan shifts by ``magnitude`` dB
+    (humidity, furniture, crowd density — the slow environmental change
+    a crowdsourced database must track)."""
+
 
 # Kinds that target the message transport (applied to the event list
 # before the tick) vs. the serving phases (applied via the engine's
@@ -105,16 +127,30 @@ ADVERSARY_KINDS = (
     FaultKind.REPLAY_SCAN,
     FaultKind.SPOOF_IMU,
 )
+# Persistent environment-truth changes (the database goes stale), as
+# opposed to transient per-victim payload rewrites.  Applied by the
+# harnesses' EnvironmentOverlay from the scheduled tick onward, to
+# every session.
+DB_CHURN_KINDS = (
+    FaultKind.ENV_AP_DIE,
+    FaultKind.ENV_AP_REPOWER,
+    FaultKind.ENV_DRIFT,
+)
 
-# Adversarial kinds that strike one AP slot and therefore need ap_id.
-AP_TARGETED_KINDS = (FaultKind.ROGUE_AP, FaultKind.AP_REPOWER)
+# Kinds that strike one AP slot and therefore need ap_id.
+AP_TARGETED_KINDS = (
+    FaultKind.ROGUE_AP,
+    FaultKind.AP_REPOWER,
+    FaultKind.ENV_AP_DIE,
+    FaultKind.ENV_AP_REPOWER,
+)
 
 # The default pool for FaultPlan.random: the engine-level kinds, in the
-# enum's historical order.  WORKER_KILL and the adversarial kinds are
-# deliberately excluded — opting a storm into cluster faults or attacks
-# takes an explicit ``kinds=`` — and keeping the pool's length and
-# order fixed keeps every pre-cluster seed generating the exact same
-# plan it always did.
+# enum's historical order.  WORKER_KILL, the adversarial kinds, and the
+# DB churn kinds are deliberately excluded — opting a storm into
+# cluster faults, attacks, or environment churn takes an explicit
+# ``kinds=`` — and keeping the pool's length and order fixed keeps
+# every pre-cluster seed generating the exact same plan it always did.
 DEFAULT_RANDOM_KINDS = PHASE_KINDS + MESSAGE_KINDS
 
 _PHASES = ("prepare", "match", "complete")
@@ -168,9 +204,16 @@ class FaultSpec:
                     f"{self.kind.value} faults need a non-negative ap_id, "
                     f"got {self.ap_id}"
                 )
-        if self.kind is FaultKind.AP_REPOWER and self.magnitude == 0:
+        if (
+            self.kind in (FaultKind.AP_REPOWER, FaultKind.ENV_AP_REPOWER)
+            and self.magnitude == 0
+        ):
             raise ValueError(
-                "ap-repower magnitude must be a non-zero dB shift"
+                f"{self.kind.value} magnitude must be a non-zero dB shift"
+            )
+        if self.kind is FaultKind.ENV_DRIFT and self.magnitude == 0:
+            raise ValueError(
+                "env-drift magnitude must be a non-zero dB shift"
             )
         if self.kind is FaultKind.SPOOF_IMU and self.magnitude <= 0:
             raise ValueError(
@@ -231,6 +274,7 @@ class FaultPlan:
         rogue_dbm: float = -30.0,
         repower_shift_db: float = 8.0,
         spoof_heading_deg: float = 90.0,
+        drift_shift_db: float = 3.0,
     ) -> "FaultPlan":
         """A seeded storm: each (tick, session) faults with probability ``rate``.
 
@@ -253,8 +297,10 @@ class FaultPlan:
             n_aps: AP count to draw struck slots from; required when the
                 pool contains ROGUE_AP or AP_REPOWER.
             rogue_dbm: Forged reading of ROGUE_AP faults.
-            repower_shift_db: Power shift of AP_REPOWER faults.
+            repower_shift_db: Power shift of AP_REPOWER and
+                ENV_AP_REPOWER faults.
             spoof_heading_deg: Oscillation amplitude of SPOOF_IMU faults.
+            drift_shift_db: Field shift of ENV_DRIFT faults.
         """
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")
@@ -275,6 +321,8 @@ class FaultPlan:
             FaultKind.ROGUE_AP: rogue_dbm,
             FaultKind.AP_REPOWER: repower_shift_db,
             FaultKind.SPOOF_IMU: spoof_heading_deg,
+            FaultKind.ENV_AP_REPOWER: repower_shift_db,
+            FaultKind.ENV_DRIFT: drift_shift_db,
         }
         rng = random.Random(seed)
         faults: List[FaultSpec] = []

@@ -412,6 +412,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each generated environment's spec JSON here",
     )
+
+    epochs = subparsers.add_parser(
+        "epochs",
+        help="serve one workload across a mid-run database-epoch flip at "
+        "several shard counts — plus a worker killed during the flip's "
+        "prepare phase — and require every fix stream bitwise equal to "
+        "a single epochal engine's (exit code 0 iff all gates pass; "
+        "without --smoke also runs the accuracy-vs-staleness sweep)",
+    )
+    epochs.add_argument(
+        "--smoke",
+        action="store_true",
+        help="1/2-shard flip equivalence only, skipping the 4-shard run "
+        "and the staleness sweep (CI fast lane)",
+    )
+    epochs.add_argument(
+        "--transport",
+        choices=("local", "process"),
+        default="local",
+        help="shard transport (default %(default)s)",
+    )
+    epochs.add_argument(
+        "--sessions",
+        type=int,
+        default=8,
+        help="concurrent sessions (default 8)",
+    )
+    epochs.add_argument(
+        "--corpus-size",
+        type=int,
+        default=4,
+        help="distinct walks replayed (default 4)",
+    )
+    epochs.add_argument(
+        "--n-aps", type=int, default=6, help="AP count (default 6)"
+    )
+    epochs.add_argument(
+        "--workdir",
+        type=Path,
+        default=None,
+        help="directory for shard WAL/checkpoint files (default: a "
+        "fresh temp dir)",
+    )
+    epochs.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the JSON document here",
+    )
     return parser
 
 
@@ -482,6 +531,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _redteam(_study_from(args), args.smoke, args.output)
     if args.command == "matrix":
         return _matrix(args.seed, args.smoke, args.output, args.specs_dir)
+    if args.command == "epochs":
+        return _epochs(
+            _study_from(args),
+            args.smoke,
+            args.transport,
+            args.sessions,
+            args.corpus_size,
+            args.n_aps,
+            args.workdir,
+            args.output,
+        )
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -1017,6 +1077,283 @@ def _cluster(
         output.write_text(text + "\n", encoding="utf-8")
     print(text)
     return 0 if equal else 1
+
+
+def _epochs(
+    study: Study,
+    smoke: bool,
+    transport: str,
+    n_sessions: int,
+    corpus_size: int,
+    n_aps: int,
+    workdir: Optional[Path],
+    output: Optional[Path],
+) -> int:
+    """The epochal-database gate: one mid-run flip, many deployments.
+
+    Serves one seeded workload through a single epochal engine and
+    through epochal clusters at several shard counts, flipping every
+    deployment to epoch 1 with the *same* churn-repair update batch at
+    the same tick boundary, and requires every per-session fix stream
+    to match the single engine's bitwise.  Three hostile variants ride
+    along: a worker killed during the flip's prepare phase (its staged
+    epoch dies with the process; the commit must carry it back), an
+    epoch-0 cluster that never flips (the epochal wrapper must cost
+    zero bytes vs the frozen single engine), and — without ``--smoke``
+    — the accuracy-vs-staleness sweep with its recovery gate.  Exit
+    code 0 iff every gate passes.
+    """
+    import json
+    import tempfile
+
+    from .analysis.staleness import churn_schedule, run_staleness
+    from .chaos.harness import EnvironmentOverlay
+    from .cluster import (
+        ClusterCoordinator,
+        LocalShard,
+        ProcessShard,
+        fresh_session_entry,
+        shard_spec,
+    )
+    from .db.epochs import EpochalDatabase, Observation, update_to_dict
+    from .serving import (
+        BatchedServingEngine,
+        IntervalEvent,
+        build_session_services,
+        fix_stream_checksum,
+    )
+    from .sim.evaluation import multi_session_workload
+
+    fingerprint_db = study.fingerprint_db(n_aps)
+    motion_db, _ = study.motion_db(n_aps)
+    plan = study.scenario.plan
+    workload = multi_session_workload(
+        study.test_traces,
+        n_sessions,
+        corpus_size=min(corpus_size, n_sessions),
+        stagger_ticks=2,
+    )
+    flip_tick = len(workload.ticks) // 2
+
+    # The flip batch: the canonical churn schedule's repair updates
+    # (dead AP, re-powered AP, site drift) plus one crowdsourced
+    # observation, so the flip exercises every update kind the epoch
+    # compactor merges.
+    overlay = EnvironmentOverlay()
+    for spec in churn_schedule(n_aps):
+        overlay.activate(spec)
+    first_location = fingerprint_db.location_ids[0]
+    updates = overlay.repair_updates(n_aps) + [
+        Observation(
+            location_id=first_location,
+            rss=[
+                min(v + 1.5, 0.0)
+                for v in fingerprint_db.fingerprint_of(first_location).rss
+            ],
+        )
+    ]
+
+    def services() -> Dict[str, object]:
+        return build_session_services(
+            workload,
+            fingerprint_db,
+            motion_db,
+            study.config,
+            resilient=True,
+            plan=plan,
+        )
+
+    def events_of(tick) -> List[IntervalEvent]:
+        return [
+            IntervalEvent(
+                session_id=interval.session_id,
+                scan=interval.scan,
+                imu=interval.imu,
+                sequence=interval.sequence,
+            )
+            for interval in tick
+        ]
+
+    def digests(streams: Dict[str, List[object]]) -> Dict[str, object]:
+        return {
+            session_id: {
+                "checksum": fix_stream_checksum(
+                    [fix for fix in stream if fix is not None]
+                ),
+                "fixes": len(stream),
+            }
+            for session_id, stream in sorted(streams.items())
+        }
+
+    def run_single(epochal: bool, flip: bool) -> Tuple[Dict, Optional[Dict]]:
+        engine_db = (
+            EpochalDatabase(fingerprint_db) if epochal else fingerprint_db
+        )
+        engine = BatchedServingEngine(engine_db, motion_db, study.config)
+        for session_id, service in services().items():
+            engine.add_session(session_id, service)
+        streams = {sid: [] for sid in workload.sessions}
+        flip_result = None
+        for index, tick in enumerate(workload.ticks):
+            if flip and index == flip_tick:
+                snapshot = engine.advance_epoch(updates)
+                flip_result = {
+                    "epoch": snapshot.epoch_id,
+                    "checksum": snapshot.checksum,
+                }
+            events = events_of(tick)
+            outcome = engine.tick_detailed(events)
+            for event, fix in zip(events, outcome.fixes):
+                streams[event.session_id].append(fix)
+        return digests(streams), flip_result
+
+    def run_cluster(
+        n_shards: int,
+        shard_dir: Path,
+        label: str,
+        flip: bool,
+        kill_during_prepare: bool = False,
+    ) -> Tuple[Dict, Optional[Dict], Dict]:
+        transport_cls = LocalShard if transport == "local" else ProcessShard
+        shards = [
+            transport_cls(
+                shard_spec(
+                    f"shard-{index}",
+                    fingerprint_db,
+                    motion_db,
+                    study.config,
+                    plan=plan,
+                    wal_path=shard_dir / f"{label}-{index}.wal",
+                    checkpoint_path=shard_dir / f"{label}-{index}.ckpt",
+                    epochal=True,
+                )
+            )
+            for index in range(n_shards)
+        ]
+        coordinator = ClusterCoordinator(shards)
+        for session_id, service in sorted(services().items()):
+            coordinator.add_session(fresh_session_entry(session_id, service))
+        streams = {sid: [] for sid in workload.sessions}
+        flip_result = None
+        for index, tick in enumerate(workload.ticks):
+            if flip and index == flip_tick:
+                if kill_during_prepare:
+                    # Stage the epoch on every shard, then kill one: its
+                    # staged snapshot dies with the process, and the
+                    # flip's commit (which carries the update batch) must
+                    # restage it on the respawned worker.
+                    serialized = [update_to_dict(u) for u in updates]
+                    for shard in coordinator.shards.values():
+                        shard.request(
+                            {
+                                "op": "epoch_prepare",
+                                "target": 1,
+                                "updates": serialized,
+                            }
+                        )
+                    victim = coordinator.shards[
+                        coordinator.router.shard_ids[0]
+                    ]
+                    victim.kill()
+                flip_result = coordinator.advance_epoch(updates)
+            events = events_of(tick)
+            outcome = coordinator.tick_detailed(events)
+            for event, fix in zip(events, outcome.fixes):
+                streams[event.session_id].append(fix)
+        epochs = coordinator.epoch_status()
+        coordinator_metrics = coordinator.metrics.snapshot()
+        coordinator.shutdown()
+        return digests(streams), flip_result, {
+            "epochs": epochs,
+            "counters": coordinator_metrics["counters"],
+        }
+
+    if workdir is None:
+        shard_dir = Path(tempfile.mkdtemp(prefix="repro-epochs-"))
+    else:
+        shard_dir = workdir
+        shard_dir.mkdir(parents=True, exist_ok=True)
+
+    shard_counts = [1, 2] if smoke else [1, 2, 4]
+    frozen_digests, _ = run_single(epochal=False, flip=False)
+    reference_digests, reference_flip = run_single(epochal=True, flip=True)
+
+    runs: Dict[str, object] = {}
+    flip_checksums = {reference_flip["checksum"]}
+    flips_equal = True
+    for n_shards in shard_counts:
+        cluster_digests, flip_result, status = run_cluster(
+            n_shards, shard_dir, f"flip{n_shards}", flip=True
+        )
+        equal = cluster_digests == reference_digests
+        flips_equal = flips_equal and equal
+        flip_checksums.add(flip_result["checksum"])
+        runs[f"flip_{n_shards}_shards"] = {
+            "shards": n_shards,
+            "equal": equal,
+            "flip": flip_result,
+            "epochs": status["epochs"],
+            "digests": cluster_digests,
+        }
+
+    kill_digests, kill_flip, kill_status = run_cluster(
+        2, shard_dir, "kill", flip=True, kill_during_prepare=True
+    )
+    kill_equal = kill_digests == reference_digests
+    flip_checksums.add(kill_flip["checksum"])
+    runs["flip_2_shards_kill_during_prepare"] = {
+        "shards": 2,
+        "equal": kill_equal,
+        "flip": kill_flip,
+        "epochs": kill_status["epochs"],
+        "recoveries": kill_status["counters"].get("cluster.recoveries", 0),
+        "digests": kill_digests,
+    }
+
+    epoch0_digests, _, epoch0_status = run_cluster(
+        2, shard_dir, "epoch0", flip=False
+    )
+    epoch0_equal = epoch0_digests == frozen_digests
+    runs["epoch0_2_shards"] = {
+        "shards": 2,
+        "equal": epoch0_equal,
+        "epochs": epoch0_status["epochs"],
+        "digests": epoch0_digests,
+    }
+
+    checksums_agree = len(flip_checksums) == 1
+    gates = {
+        "flip_streams_equal": flips_equal,
+        "flip_survives_kill_during_prepare": kill_equal,
+        "epoch0_bitwise_free": epoch0_equal,
+        "flip_checksums_agree": checksums_agree,
+    }
+    document: Dict[str, object] = {
+        "report": "epochs",
+        "smoke": smoke,
+        "transport": transport,
+        "sessions": n_sessions,
+        "ticks": len(workload.ticks),
+        "flip_tick": flip_tick,
+        "updates": [update_to_dict(u) for u in updates],
+        "reference_flip": reference_flip,
+        "reference": reference_digests,
+        "runs": runs,
+        "gates": gates,
+    }
+    if not smoke:
+        staleness = run_staleness(study)
+        document["staleness"] = staleness
+        gates["staleness_recovery"] = staleness["gate"]["passed"]
+    passed = all(gates.values())
+    document["passed"] = passed
+
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    return 0 if passed else 1
 
 
 def _serve(study: Study, args) -> int:

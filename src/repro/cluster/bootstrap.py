@@ -26,6 +26,7 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..core.config import MoLocConfig
 from ..core.fingerprint import FingerprintDatabase
+from ..db.epochs import EpochalDatabase
 from ..core.motion_db import MotionDatabase
 from ..env.floorplan import FloorPlan
 from ..io.serialize import (
@@ -72,6 +73,7 @@ def shard_spec(
     clock: str = "monotonic",
     clock_auto_advance_s: float = 0.0,
     fsync: bool = False,
+    epochal: bool = False,
 ) -> Dict[str, object]:
     """One shard's full deployment as a JSON-compatible dict.
 
@@ -111,6 +113,12 @@ def shard_spec(
             see :class:`~repro.serving.clock.LogicalClock`).  Must be 0
             with the monotonic clock.
         fsync: Whether the worker's WAL fsyncs every append.
+        epochal: Wrap the fingerprint database in an
+            :class:`~repro.db.epochs.EpochalDatabase` so the worker
+            accepts cluster-wide epoch flips (``epoch_prepare`` /
+            ``epoch_commit``).  The spec's database becomes epoch 0.
+            Serialized only when set, so pre-epoch spec documents stay
+            byte-identical.
     """
     if not shard_id:
         raise ValueError("shard_id must be a non-empty string")
@@ -136,7 +144,7 @@ def shard_spec(
             "clock_auto_advance_s requires the logical clock; the "
             "monotonic clock advances itself"
         )
-    return {
+    spec: Dict[str, object] = {
         "kind": "shard_spec",
         "format_version": SPEC_FORMAT_VERSION,
         "shard_id": shard_id,
@@ -155,6 +163,11 @@ def shard_spec(
         "clock_auto_advance_s": float(clock_auto_advance_s),
         "fsync": bool(fsync),
     }
+    # Pre-epoch spec documents carry no "epochal" key — omitting it
+    # keeps them byte-identical (same convention as "defended").
+    if epochal:
+        spec["epochal"] = True
+    return spec
 
 
 def build_engine(
@@ -195,21 +208,26 @@ def build_engine(
     height_m = float(spec["body_height_m"])
 
     def make_service(session_id: str) -> MoLocService:
+        # Build against the engine's *current* database, not the spec's
+        # epoch-0 copy: after an epoch flip (or a restore of an epochal
+        # checkpoint) admitted sessions must share the served epoch, and
+        # the engine's identity check enforces exactly that.
+        serving_db = engine.fingerprint_db
         if resilient:
             return ResilientMoLocService(
-                fingerprint_db,
+                serving_db,
                 motion_db,
                 body=BodyProfile(height_m=height_m),
                 config=config,
                 plan=plan,
                 trust=(
-                    ApTrustMonitor(n_aps=fingerprint_db.n_aps)
+                    ApTrustMonitor(n_aps=serving_db.n_aps)
                     if defended
                     else None
                 ),
             )
         return MoLocService(
-            fingerprint_db,
+            serving_db,
             motion_db,
             body=BodyProfile(height_m=height_m),
             config=config,
@@ -229,8 +247,13 @@ def build_engine(
             f"unknown clock {clock_kind!r} in shard spec; expected one "
             f"of {_CLOCK_KINDS}"
         )
+    # Pre-epoch spec documents carry no "epochal" key; they keep the
+    # frozen-database engines they always built.
+    engine_db: object = fingerprint_db
+    if spec.get("epochal", False):
+        engine_db = EpochalDatabase(fingerprint_db)
     engine = BatchedServingEngine(
-        fingerprint_db,
+        engine_db,
         motion_db,
         config,
         tick_budget_s=spec["tick_budget_s"],

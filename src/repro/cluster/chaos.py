@@ -13,12 +13,15 @@ harness's storm vocabulary with the one fault only a cluster can have:
   recovered worker answers from checkpoint + WAL replay — the chaos
   invariant under test is that the merged fix stream is *bitwise
   identical* to a kill-free run.
-* Message faults (drop / duplicate / reorder / corrupt / truncate)
-  and adversarial faults (rogue-AP forgery, AP repower, scan replay,
-  IMU spoofing) apply at the coordinator's front door, before routing,
-  with the same semantics as the engine-level harness — and because a
-  shard WALs the post-fault events it actually received, recovery
-  after a kill replays the attacked stream, not the pristine one.
+* Message faults (drop / duplicate / reorder / corrupt / truncate),
+  adversarial faults (rogue-AP forgery, AP repower, scan replay,
+  IMU spoofing), and database churn faults (env-ap-die /
+  env-ap-repower / env-drift, via a persistent
+  :class:`~repro.chaos.harness.EnvironmentOverlay`) apply at the
+  coordinator's front door, before routing, with the same semantics as
+  the engine-level harness — and because a shard WALs the post-fault
+  events it actually received, recovery after a kill replays the
+  attacked (and churned) stream, not the pristine one.
 * Phase faults (RAISE / LATENCY) have no injection seam across a
   process boundary, so a cluster harness counts them as skipped —
   schedule cluster storms from ``MESSAGE_KINDS + CLUSTER_KINDS``.
@@ -32,10 +35,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..chaos.harness import apply_transport_faults
+from ..chaos.harness import EnvironmentOverlay, apply_transport_faults
 from ..chaos.plan import (
     ADVERSARY_KINDS,
     CLUSTER_KINDS,
+    DB_CHURN_KINDS,
     MESSAGE_KINDS,
     FaultKind,
     FaultPlan,
@@ -74,6 +78,10 @@ class ClusterChaosHarness:
         )
         self._pending: List[IntervalEvent] = []
         self._scan_history: Dict[str, List[float]] = {}
+        #: Accumulated environment-truth changes (DB churn faults),
+        #: applied at the front door so every shard WALs the changed
+        #: field and recovery replays it bitwise.
+        self.overlay = EnvironmentOverlay()
         #: The events the coordinator actually received last tick, after
         #: message faults rewrote the batch.  ``ClusterTickOutcome.fixes``
         #: aligns with this list, not with the caller's original one.
@@ -117,6 +125,7 @@ class ClusterChaosHarness:
                 spec.kind not in MESSAGE_KINDS
                 and spec.kind not in CLUSTER_KINDS
                 and spec.kind not in ADVERSARY_KINDS
+                and spec.kind not in DB_CHURN_KINDS
             ):
                 self._c_skipped.inc()
         return self.coordinator.tick_detailed(faulted_events)
@@ -133,4 +142,5 @@ class ClusterChaosHarness:
             self._scan_history,
             self._c_injected,
             self._c_skipped,
+            overlay=self.overlay,
         )

@@ -44,15 +44,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..db.epochs import Update, update_to_dict
 from ..observability import MetricsRegistry
 from ..serving.admission import AdmissionController
 from ..serving.engine import (
     CHECKPOINT_FORMAT_VERSION,
+    EPOCHAL_CHECKPOINT_FORMAT_VERSION,
     IntervalEvent,
     SessionFault,
     TickOutcome,
 )
-from .core import ShardTicker, partition_events, supervised_request
+from .core import (
+    ShardTicker,
+    flip_cluster_epoch,
+    partition_events,
+    supervised_request,
+)
 from .routing import ShardRouter
 
 __all__ = ["ClusterTickOutcome", "ClusterCoordinator"]
@@ -137,6 +144,8 @@ class ClusterCoordinator:
         self._c_redelivered = self.metrics.counter("cluster.redelivered")
         self._c_reshards = self.metrics.counter("cluster.reshards")
         self._c_migrated = self.metrics.counter("cluster.migrated_sessions")
+        self._c_epoch_flips = self.metrics.counter("cluster.epoch_flips")
+        self._c_epoch_aborts = self.metrics.counter("cluster.epoch_aborts")
         self._g_shards = self.metrics.gauge("cluster.shards")
         self._g_sessions = self.metrics.gauge("cluster.sessions")
         self._g_shards.set(len(self._shards))
@@ -294,6 +303,83 @@ class ClusterCoordinator:
         )
 
     # ------------------------------------------------------------------
+    # Epoch flips
+    # ------------------------------------------------------------------
+
+    def epoch_status(self) -> Dict[str, int]:
+        """Every shard's current epoch id (asks the workers).
+
+        Raises:
+            ValueError: if the shards span more than two consecutive
+                epochs — a state no (possibly interrupted) flip can
+                produce, so something other than this coordinator moved
+                them.
+        """
+        epochs: Dict[str, int] = {}
+        for shard_id in self.router.shard_ids:
+            reply, _ = self._request(shard_id, {"op": "epoch_status"})
+            epochs[shard_id] = int(reply["epoch"])
+        if max(epochs.values()) - min(epochs.values()) > 1:
+            raise ValueError(
+                f"cluster epochs diverged beyond one flip: {epochs!r}"
+            )
+        return epochs
+
+    def advance_epoch(self, updates: Sequence[Update]) -> Dict[str, object]:
+        """Flip the whole cluster to the next database epoch, atomically.
+
+        Two phases over the line protocol:
+
+        1. **Prepare** — every shard stages the next epoch from the
+           update batch (a pure computation; no serving or durable state
+           changes) and answers with its content checksum.  Staging is
+           deterministic and order-insensitive, so agreement on the
+           checksum proves every shard computed the *same* database.
+           Any prepare failure — a shard error, or checksum
+           disagreement — aborts the flip on every shard and raises; the
+           cluster keeps serving the old epoch as if nothing happened.
+        2. **Commit** — every shard WAL-logs the flip and adopts the
+           staged epoch.  The commit carries the update batch, so a
+           worker killed after prepare (its staged snapshot died with
+           the process) re-stages and commits in one idempotent step
+           after its supervised respawn.
+
+        A coordinator (or caller) killed between the phases leaves the
+        shards split across two consecutive epochs; calling this method
+        again with the *same* batch completes the interrupted flip —
+        committed shards re-prove their checksum, lagging shards catch
+        up.  A *different* batch fails the prepare checksum comparison
+        and aborts.
+
+        Args:
+            updates: The update batch to compact into the next epoch
+                (may be empty: an epoch bump with identical contents).
+
+        Returns:
+            ``{"epoch": <new id>, "checksum": <content checksum>}``.
+
+        Raises:
+            ValueError: on checksum disagreement between shards.
+            ClusterWireError: if any shard rejects a phase (e.g. a
+                non-epochal deployment).
+        """
+        serialized = [update_to_dict(update) for update in updates]
+
+        def ask(shard_id: str, payload: Dict[str, object]) -> Dict[str, object]:
+            reply, _ = self._request(shard_id, payload)
+            return reply
+
+        try:
+            result = flip_cluster_epoch(
+                ask, self.router.shard_ids, serialized
+            )
+        except Exception:
+            self._c_epoch_aborts.inc()
+            raise
+        self._c_epoch_flips.inc()
+        return result
+
+    # ------------------------------------------------------------------
     # Resharding
     # ------------------------------------------------------------------
 
@@ -332,19 +418,33 @@ class ClusterCoordinator:
                 outgoing.setdefault(old_home, []).append(session_id)
 
         # Align brand-new shards to the cluster clock before they host
-        # anyone: an empty restore sets their engines' tick index.
+        # anyone: an empty restore sets their engines' tick index.  On
+        # an epochal cluster the restore also carries the served epoch
+        # (snapshot contents travel with the checkpoint), so a shard
+        # added after N flips joins at epoch N, not at its spec's
+        # epoch 0 — migrated sessions land on the database they left.
         added = [sid for sid in new_router.shard_ids if sid not in self._shards]
+        epoch_payload: Optional[Dict[str, object]] = None
+        if added:
+            reply, _ = self._request(
+                self.router.shard_ids[0], {"op": "epoch_status"}
+            )
+            if reply.get("epochal"):
+                epoch_payload = reply["snapshot"]
         for shard_id in added:
+            checkpoint: Dict[str, object] = {
+                "kind": "engine_checkpoint",
+                "format_version": CHECKPOINT_FORMAT_VERSION,
+                "tick_index": self._tick_index,
+                "sessions": [],
+            }
+            if epoch_payload is not None:
+                checkpoint["format_version"] = (
+                    EPOCHAL_CHECKPOINT_FORMAT_VERSION
+                )
+                checkpoint["epoch"] = epoch_payload
             new_by_id[shard_id].request(
-                {
-                    "op": "restore",
-                    "checkpoint": {
-                        "kind": "engine_checkpoint",
-                        "format_version": CHECKPOINT_FORMAT_VERSION,
-                        "tick_index": self._tick_index,
-                        "sessions": [],
-                    },
-                }
+                {"op": "restore", "checkpoint": checkpoint}
             )
 
         entries: List[Tuple[str, Dict[str, object]]] = []

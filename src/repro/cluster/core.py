@@ -42,7 +42,12 @@ from ..serving.engine import IntervalEvent, TickOutcome
 from .messages import outcome_from_dict
 from .transport import ShardDown
 
-__all__ = ["supervised_request", "ShardTicker", "partition_events"]
+__all__ = [
+    "supervised_request",
+    "ShardTicker",
+    "partition_events",
+    "flip_cluster_epoch",
+]
 
 
 def supervised_request(
@@ -164,6 +169,96 @@ class ShardTicker:
         """One supervised tick round trip (``send`` + ``collect``)."""
         self.send(events)
         return self.collect()
+
+
+def flip_cluster_epoch(
+    request,
+    shard_ids: Sequence[str],
+    updates: Sequence[Dict[str, object]],
+) -> Dict[str, object]:
+    """Drive one two-phase epoch flip over a set of shards.
+
+    The protocol both drivers share (the lockstep coordinator and the
+    async ingress front door), expressed over a ``request(shard_id,
+    payload) -> reply`` callable so each driver supplies its own
+    supervision and threading discipline:
+
+    1. **Status** — read every shard's epoch.  All-equal means a fresh
+       flip to the next epoch; a one-apart split means an interrupted
+       flip, and the target is the epoch the leaders already committed
+       (re-running with the same batch completes it).
+    2. **Prepare** — every shard stages the target epoch from the
+       update batch (pure, no durable change) and answers with its
+       content checksum.  Staging is deterministic and
+       order-insensitive, so checksum agreement proves every shard
+       computed the same database.  Any failure or disagreement aborts
+       the flip on every reachable shard and re-raises — staged state
+       is process-local, so abort is best-effort by design.
+    3. **Commit** — every shard WAL-logs the flip and adopts the staged
+       epoch.  The commit carries the batch, so a worker respawned
+       after prepare re-stages and commits in one idempotent step.
+
+    Args:
+        request: ``(shard_id, payload) -> reply`` — must raise on
+            failure.
+        shard_ids: The shards to flip, in dispatch order.
+        updates: The update batch, already serialized
+            (:func:`~repro.db.epochs.update_to_dict`).
+
+    Returns:
+        ``{"epoch": <new id>, "checksum": <content checksum>}``.
+
+    Raises:
+        ValueError: if shard epochs diverge beyond one interrupted
+            flip, or the prepare checksums disagree.
+    """
+    updates = list(updates)
+    epochs = {
+        shard_id: int(request(shard_id, {"op": "epoch_status"})["epoch"])
+        for shard_id in shard_ids
+    }
+    low, high = min(epochs.values()), max(epochs.values())
+    if high - low > 1:
+        raise ValueError(
+            f"cluster epochs diverged beyond one flip: {epochs!r}"
+        )
+    target = high + 1 if high == low else high
+
+    checksums: Dict[str, str] = {}
+    try:
+        for shard_id in shard_ids:
+            reply = request(
+                shard_id,
+                {"op": "epoch_prepare", "target": target, "updates": updates},
+            )
+            checksums[shard_id] = str(reply["checksum"])
+        if len(set(checksums.values())) > 1:
+            short = {sid: c[:12] for sid, c in checksums.items()}
+            raise ValueError(
+                f"epoch {target} prepare disagreed on contents: {short!r}"
+            )
+    except Exception:
+        for shard_id in shard_ids:
+            try:
+                request(shard_id, {"op": "epoch_abort", "target": target})
+            except Exception:
+                # Best-effort rollback: staged state is process-local
+                # and dies with the worker anyway; the prepare failure
+                # is the error worth surfacing.
+                continue
+        raise
+    checksum = next(iter(checksums.values()))
+    for shard_id in shard_ids:
+        request(
+            shard_id,
+            {
+                "op": "epoch_commit",
+                "target": target,
+                "checksum": checksum,
+                "updates": updates,
+            },
+        )
+    return {"epoch": target, "checksum": checksum}
 
 
 def partition_events(

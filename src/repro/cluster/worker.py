@@ -46,6 +46,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, List
 
+from ..db.epochs import EpochSnapshot, update_from_dict
 from ..io.serialize import imu_segment_from_dict
 from ..sensors.imu import ImuSegment
 from ..serving.checkpoint import (
@@ -127,6 +128,7 @@ class ShardWorker:
         self._checkpoint_path = Path(spec["checkpoint_path"])
         self._checkpoint_every = int(spec["checkpoint_every"])
         self._segments = SegmentInternPool()
+        self._staged_epoch: "EpochSnapshot | None" = None
         engine, make_service = build_engine(spec)
         self.engine: BatchedServingEngine = engine
         self._make_service: Callable[[str], MoLocService] = make_service
@@ -226,9 +228,119 @@ class ShardWorker:
                     "advance_clock requires a spec with clock='logical'"
                 )
             return {"ok": True, "now_s": clock.advance(float(request["dt_s"]))}
+        if op == "epoch_status":
+            epochal = self.engine.epochal_db
+            status: Dict[str, object] = {
+                "ok": True,
+                "epochal": epochal is not None,
+                "epoch": self.engine.epoch_id,
+            }
+            if epochal is not None:
+                status["snapshot"] = epochal.current.to_dict()
+            return status
+        if op == "epoch_prepare":
+            return self._handle_epoch_prepare(request)
+        if op == "epoch_commit":
+            return self._handle_epoch_commit(request)
+        if op == "epoch_abort":
+            target = int(request["target"])
+            if (
+                self._staged_epoch is not None
+                and self._staged_epoch.epoch_id == target
+            ):
+                self._staged_epoch = None
+            return {"ok": True, "epoch": self.engine.epoch_id}
         if op == "shutdown":
             return {"ok": True, "bye": True}
         raise ClusterWireError(f"unknown cluster op {op!r}")
+
+    def _require_epochal(self):
+        epochal = self.engine.epochal_db
+        if epochal is None:
+            raise ClusterWireError(
+                f"shard {self.shard_id!r} serves a frozen database; epoch "
+                "ops require a spec with epochal=true"
+            )
+        return epochal
+
+    def _handle_epoch_prepare(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Phase one of the cluster flip: stage epoch N+1, prove it.
+
+        Pure — no durable or serving state changes, so a prepare that
+        never commits (straggler timeout, checksum disagreement) leaves
+        the shard exactly where it was.  Idempotent under supervised
+        re-delivery: a target this shard already committed (it recovered
+        past the flip) answers with the committed checksum.
+        """
+        epochal = self._require_epochal()
+        target = int(request["target"])
+        if target <= self.engine.epoch_id:
+            committed = epochal.snapshot(target)
+            return {
+                "ok": True,
+                "epoch": self.engine.epoch_id,
+                "checksum": committed.checksum,
+                "committed": True,
+            }
+        if target != self.engine.epoch_id + 1:
+            raise ClusterWireError(
+                f"shard {self.shard_id!r} at epoch {self.engine.epoch_id} "
+                f"cannot prepare epoch {target}; only the next epoch is "
+                "valid"
+            )
+        updates = [update_from_dict(entry) for entry in request["updates"]]
+        staged = epochal.stage(updates)
+        self._staged_epoch = staged
+        return {
+            "ok": True,
+            "epoch": self.engine.epoch_id,
+            "checksum": staged.checksum,
+            "committed": False,
+        }
+
+    def _handle_epoch_commit(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Phase two: durably log the flip, then serve the new epoch.
+
+        The commit carries the update batch, so a worker respawned
+        between prepare and commit (its staged snapshot died with it)
+        re-stages and commits in one step.  Idempotent: an
+        already-committed target just re-proves its checksum.  The WAL
+        record is appended *before* the flip is applied — a kill between
+        the two replays the flip on recovery.
+        """
+        epochal = self._require_epochal()
+        target = int(request["target"])
+        checksum = str(request["checksum"])
+        if target <= self.engine.epoch_id:
+            committed = epochal.snapshot(target)
+            if committed.checksum != checksum:
+                raise ClusterWireError(
+                    f"shard {self.shard_id!r} committed epoch {target} as "
+                    f"{committed.checksum[:12]}… but the coordinator "
+                    f"expects {checksum[:12]}…; refusing to split-brain"
+                )
+            return {"ok": True, "epoch": self.engine.epoch_id}
+        updates = [update_from_dict(entry) for entry in request["updates"]]
+        staged = self._staged_epoch
+        if staged is None or staged.epoch_id != target:
+            staged = epochal.stage(updates)
+        if staged.checksum != checksum:
+            raise ClusterWireError(
+                f"shard {self.shard_id!r} staged epoch {target} as "
+                f"{staged.checksum[:12]}… but the coordinator expects "
+                f"{checksum[:12]}…; aborting the flip"
+            )
+        self.wal.append_epoch(
+            self.engine.tick_index, target, checksum, updates
+        )
+        self.engine.adopt_epoch(staged)
+        self._staged_epoch = None
+        self.write_checkpoint()
+        return {"ok": True, "epoch": self.engine.epoch_id}
 
     def _handle_tick(self, request: Dict[str, object]) -> Dict[str, object]:
         tick = int(request["tick"])

@@ -41,6 +41,14 @@ class Fingerprint:
 
     rss: Tuple[float, ...]
 
+    def __post_init__(self) -> None:
+        # A caller-supplied list (or tuple of non-floats) must not survive
+        # construction: the cached array and every downstream consumer
+        # assume the vector is frozen at snapshot time.
+        rss = self.rss
+        if type(rss) is not tuple or any(type(v) is not float for v in rss):
+            object.__setattr__(self, "rss", tuple(float(v) for v in rss))
+
     @classmethod
     def from_values(
         cls,
@@ -158,7 +166,13 @@ class FingerprintDatabase:
         if len(lengths) != 1:
             raise ValueError(f"inconsistent fingerprint lengths in database: {lengths}")
         self._means: Dict[int, Fingerprint] = dict(means)
-        self._stds: Dict[int, Tuple[float, ...]] = dict(stds or {})
+        # Copy the std *vectors*, not just the mapping: a caller-retained
+        # list must not alias into the database (epoch snapshots depend
+        # on construction freezing the contents).
+        self._stds: Dict[int, Tuple[float, ...]] = {
+            lid: tuple(float(v) for v in std)
+            for lid, std in (stds or {}).items()
+        }
         (self._n_aps,) = lengths
         # Dense views for vectorized matching, built once: row r of the
         # matrix is the mean fingerprint of self._matrix_ids[r].

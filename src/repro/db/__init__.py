@@ -1,0 +1,43 @@
+"""Epochal fingerprint database: live updates behind immutable snapshots.
+
+The serving stack assumes a frozen :class:`~repro.core.fingerprint.FingerprintDatabase`
+per deployment; this package makes the database a *versioned* subsystem
+without breaking that assumption.  Every epoch is an immutable
+copy-on-write snapshot (monotonic id + content checksum); crowdsourced
+observations, AP lifecycle events, and drift deltas accumulate in an
+:class:`UpdateLog` and fold into the next epoch through a deterministic
+:meth:`EpochalDatabase.advance_epoch` compaction.  See
+``docs/database.md`` for the epoch model and the cluster flip protocol.
+"""
+
+from .epochs import (
+    DB_FORMAT_VERSION,
+    ApRemoved,
+    ApRepowered,
+    ApRestored,
+    DriftDelta,
+    EpochSnapshot,
+    EpochalDatabase,
+    Observation,
+    UpdateLog,
+    apply_updates,
+    database_checksum,
+    update_from_dict,
+    update_to_dict,
+)
+
+__all__ = [
+    "DB_FORMAT_VERSION",
+    "ApRemoved",
+    "ApRepowered",
+    "ApRestored",
+    "DriftDelta",
+    "EpochSnapshot",
+    "EpochalDatabase",
+    "Observation",
+    "UpdateLog",
+    "apply_updates",
+    "database_checksum",
+    "update_from_dict",
+    "update_to_dict",
+]

@@ -34,8 +34,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..cluster.core import ShardTicker
+from ..cluster.core import ShardTicker, flip_cluster_epoch
 from ..cluster.routing import ShardRouter
+from ..db.epochs import update_to_dict
 from ..observability import MetricsRegistry
 from ..serving.admission import AdmissionController
 from ..serving.engine import IntervalEvent
@@ -261,6 +262,31 @@ class IngressDriver:
         if recovered:
             self._c_recoveries.inc()
         return reply
+
+    def advance_epoch(self, updates: Sequence[object]) -> Dict[str, object]:
+        """Flip every shard to the next database epoch between drains.
+
+        The driver is synchronous, so the flip runs inline through the
+        shared two-phase protocol
+        (:func:`~repro.cluster.core.flip_cluster_epoch`); call it
+        between :meth:`run` invocations to model a mid-deployment flip
+        on the deterministic timeline.
+
+        Args:
+            updates: :data:`~repro.db.epochs.Update` objects to compact
+                into the next epoch.
+
+        Returns:
+            ``{"epoch": <new id>, "checksum": <content checksum>}``.
+        """
+        serialized = [update_to_dict(update) for update in updates]
+
+        def ask(shard_id: str, payload: Dict[str, object]) -> Dict[str, object]:
+            return self.request(shard_id, payload)
+
+        return flip_cluster_epoch(
+            ask, list(self.router.shard_ids), serialized
+        )
 
     def _on_evict(self, shard_id: str, event: IntervalEvent) -> None:
         disposition = self._inflight.pop(id(event), None)

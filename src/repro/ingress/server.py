@@ -29,7 +29,8 @@ deterministic :class:`~repro.ingress.loops.IngressDriver` models:
   SLO gate in ``benchmarks/bench_ingress_latency.py``.
 
 Wire ops: ``serve``, ``add_session``, ``ping``, ``metrics``,
-``shutdown``.  Every request may carry an ``id`` echoed in its reply,
+``advance_epoch``, ``shutdown``.  Every request may carry an ``id``
+echoed in its reply,
 so clients can pipeline requests on one connection even though answers
 complete out of order (different batches, different shards).
 
@@ -47,7 +48,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..cluster.core import ShardTicker
+from ..cluster.core import ShardTicker, flip_cluster_epoch
 from ..cluster.messages import (
     ClusterWireError,
     decode_message,
@@ -421,12 +422,54 @@ class IngressServer:
             return {"ok": True, "shard_id": shard_id}
         if op == "metrics":
             return {"ok": True, "metrics": await self.metrics_snapshot_async()}
+        if op == "advance_epoch":
+            return await self._handle_advance_epoch(request)
         if op == "shutdown":
             self._stopping.set()
             for work in self._work.values():
                 work.set()
             return {"ok": True, "bye": True}
         raise ClusterWireError(f"unknown ingress op {op!r}")
+
+    async def _handle_advance_epoch(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Flip every shard to the next database epoch, mid-serving.
+
+        Runs the shared two-phase protocol
+        (:func:`~repro.cluster.core.flip_cluster_epoch`) with each
+        shard request routed through that shard's single-thread
+        executor — the same serialization discipline as ticks, so a
+        flip can never interleave with a shard's in-flight batch.  The
+        protocol itself runs in a helper thread: it blocks on one shard
+        at a time, and the event loop must keep accepting (and
+        rejecting or queueing) arrivals meanwhile.
+        """
+        updates = list(request.get("updates", []))
+
+        def ask(shard_id: str, payload: Dict[str, object]) -> Dict[str, object]:
+            reply, recovered = (
+                self._executors[shard_id]
+                .submit(self._tickers[shard_id].request, payload)
+                .result()
+            )
+            if recovered:
+                self._c_recoveries.inc()
+            return reply
+
+        loop = asyncio.get_event_loop()
+        result = await loop.run_in_executor(
+            None,
+            flip_cluster_epoch,
+            ask,
+            list(self.router.shard_ids),
+            updates,
+        )
+        return {
+            "ok": True,
+            "epoch": result["epoch"],
+            "checksum": result["checksum"],
+        }
 
     async def _handle_serve(
         self, request: Dict[str, object]

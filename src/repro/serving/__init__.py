@@ -44,6 +44,8 @@ from .benchmark import (
 from .checkpoint import WriteAheadLog, recover_engine
 from .clock import LogicalClock
 from .engine import (
+    CHECKPOINT_FORMAT_VERSION,
+    EPOCHAL_CHECKPOINT_FORMAT_VERSION,
     BatchedServingEngine,
     IntervalEvent,
     SessionFault,
@@ -57,6 +59,8 @@ __all__ = [
     "AdmissionController",
     "BatchMatcher",
     "BatchedServingEngine",
+    "CHECKPOINT_FORMAT_VERSION",
+    "EPOCHAL_CHECKPOINT_FORMAT_VERSION",
     "IntervalEvent",
     "LogicalClock",
     "MatchRequest",

@@ -32,6 +32,7 @@ import os
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..db.epochs import Update, update_from_dict, update_to_dict
 from ..io.serialize import imu_segment_from_dict, imu_segment_to_dict
 from ..sensors.imu import ImuSegment
 from ..service import MoLocService
@@ -179,6 +180,38 @@ class WriteAheadLog:
         if self._fsync:
             os.fsync(self._handle.fileno())
 
+    def append_epoch(
+        self,
+        tick_index: int,
+        target_epoch: int,
+        checksum: str,
+        updates: Sequence[Update],
+    ) -> None:
+        """Durably log an epoch flip committed after ``tick_index``.
+
+        Written *before* the flip is applied (same append-before-act
+        discipline as ticks), so a process killed mid-commit replays the
+        flip on recovery and lands on the same epoch it promised the
+        cluster.  Only epochal deployments ever write these lines; a
+        pre-epoch WAL stays byte-stable.
+        """
+        line = json.dumps(
+            {
+                "v": WAL_FORMAT_VERSION,
+                "tick": tick_index,
+                "epoch": {
+                    "target": target_epoch,
+                    "checksum": checksum,
+                    "updates": [update_to_dict(u) for u in updates],
+                },
+            },
+            sort_keys=True,
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
     def close(self) -> None:
         """Close the underlying file handle."""
         self._handle.close()
@@ -189,15 +222,17 @@ class WriteAheadLog:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def replay(self) -> Iterator[Tuple[int, List[IntervalEvent]]]:
-        """Yield every logged tick as ``(tick_index, events)``.
+    def records(self) -> Iterator[Tuple[str, int, object]]:
+        """Yield every logged record in file order.
 
-        Only a torn *final* line (the process died mid-write) is
-        tolerated and skipped: its tick was by construction never
-        served, and its events are lost with the crash — exactly the
-        at-most-once edge the WAL-before-serve discipline bounds to one
-        tick.  An undecodable line anywhere *else* means a served tick
-        was corrupted, and skipping it would replay into a silently
+        Each record is ``("tick", tick_index, events)`` for a served
+        tick or ``("epoch", tick_index, payload)`` for an epoch flip
+        committed after that tick, where ``payload`` is the decoded
+        ``{"target", "checksum", "updates"}`` dict.  Only a torn
+        *final* line (the process died mid-write) is tolerated and
+        skipped: its record was by construction never acted on.  An
+        undecodable line anywhere *else* means a served record was
+        corrupted, and skipping it would replay into a silently
         divergent state — so it raises instead.
 
         Raises:
@@ -230,10 +265,24 @@ class WriteAheadLog:
                     f"unsupported WAL version {version} "
                     f"(supported: {WAL_FORMAT_VERSION})"
                 )
-            yield (
-                int(payload["tick"]),
-                [event_from_dict(entry) for entry in payload["events"]],
-            )
+            if "epoch" in payload:
+                yield "epoch", int(payload["tick"]), payload["epoch"]
+            else:
+                yield (
+                    "tick",
+                    int(payload["tick"]),
+                    [event_from_dict(entry) for entry in payload["events"]],
+                )
+
+    def replay(self) -> Iterator[Tuple[int, List[IntervalEvent]]]:
+        """Yield every logged tick as ``(tick_index, events)``.
+
+        The tick-only view of :meth:`records` (epoch flip lines are
+        skipped); see there for the corruption/torn-tail contract.
+        """
+        for kind, tick, payload in self.records():
+            if kind == "tick":
+                yield tick, payload
 
     def events_after(
         self, tick_index: int
@@ -242,6 +291,24 @@ class WriteAheadLog:
         for tick, events in self.replay():
             if tick > tick_index:
                 yield tick, events
+
+    def records_after(
+        self, tick_index: int
+    ) -> Iterator[Tuple[str, int, object]]:
+        """Records a recovery from tick ``tick_index`` must act on.
+
+        Tick records strictly after the index, plus epoch flips at *or*
+        after it: a flip logged at the checkpoint's own tick may or may
+        not already be folded into the checkpoint (the crash could land
+        between the flip and the next checkpoint write), so it is
+        yielded and the consumer skips it when the checkpoint's epoch
+        already covers it.
+        """
+        for kind, tick, payload in self.records():
+            if kind == "tick" and tick > tick_index:
+                yield kind, tick, payload
+            elif kind == "epoch" and tick >= tick_index:
+                yield kind, tick, payload
 
 
 def recover_engine(
@@ -273,8 +340,22 @@ def recover_engine(
     budget, engine.tick_budget_s = engine.tick_budget_s, None
     replayed = 0
     try:
-        for _, events in wal.events_after(engine.tick_index):
-            engine.tick(events)
+        for kind, _, payload in wal.records_after(engine.tick_index):
+            if kind == "epoch":
+                target = int(payload["target"])
+                if target <= engine.epoch_id:
+                    # Already folded into the checkpoint (or replayed
+                    # earlier in this recovery) — commit is idempotent.
+                    continue
+                engine.advance_epoch(
+                    updates=[
+                        update_from_dict(entry)
+                        for entry in payload["updates"]
+                    ],
+                    expected_checksum=payload["checksum"],
+                )
+                continue
+            engine.tick(payload)
             replayed += 1
     finally:
         engine.tick_budget_s = budget

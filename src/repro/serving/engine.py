@@ -64,6 +64,7 @@ from ..core.config import MoLocConfig
 from ..core.fingerprint import FingerprintDatabase
 from ..core.matching import Candidate
 from ..core.motion_db import MotionDatabase
+from ..db.epochs import EpochSnapshot, EpochalDatabase, Update
 from ..io.serialize import fix_from_dict, fix_to_dict
 from ..observability import (
     DEFAULT_BYTE_BUCKETS,
@@ -88,11 +89,21 @@ __all__ = [
     "TickOutcome",
     "BatchedServingEngine",
     "CHECKPOINT_FORMAT_VERSION",
+    "EPOCHAL_CHECKPOINT_FORMAT_VERSION",
 ]
 
 _PHASES = ("prepare", "match", "transitions", "complete")
 
 CHECKPOINT_FORMAT_VERSION = 1
+"""The pre-epoch checkpoint format; still what non-epochal engines
+write, byte for byte, so existing checkpoints and the empty aligned
+documents the cluster reshard fabricates stay valid."""
+
+EPOCHAL_CHECKPOINT_FORMAT_VERSION = 2
+"""Version 2 adds the ``epoch`` key: the full current epoch snapshot
+(id, checksum, contents), written only by engines serving an
+:class:`~repro.db.epochs.EpochalDatabase`.  A version-1 checkpoint
+restores into an epochal engine with an implicit epoch-0 pin."""
 
 # Exceptions that must never be swallowed by per-session isolation or
 # hook error-shielding: they signal process-level failure (exhausted
@@ -255,12 +266,29 @@ class BatchedServingEngine:
             raise ValueError(
                 f"tick_budget_s must be positive or None, got {tick_budget_s}"
             )
-        self._fingerprint_db = fingerprint_db
+        if isinstance(fingerprint_db, EpochalDatabase):
+            if matcher is not None:
+                raise ValueError(
+                    "matcher override is not supported with an epochal "
+                    "database; the engine keys matchers by epoch"
+                )
+            self._epochal: Optional[EpochalDatabase] = fingerprint_db
+            self._fingerprint_db = fingerprint_db.database
+        else:
+            self._epochal = None
+            self._fingerprint_db = fingerprint_db
         self._motion_db = motion_db
         self._config = config
         self.sessions = SessionManager()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.matcher = matcher or BatchMatcher(fingerprint_db)
+        self.matcher = matcher or BatchMatcher(self._fingerprint_db)
+        # Matchers are epoch-keyed: each epoch's content-addressed
+        # candidate cache is isolated behind its own matcher, so a flip
+        # can never serve candidates computed against another epoch's
+        # mean matrix (bitwise determinism is *per epoch*).
+        self._matchers: Dict[int, BatchMatcher] = {
+            (0 if self._epochal is None else self._epochal.epoch_id): self.matcher
+        }
         self.transitions = transitions or TransitionEvaluator(
             motion_db, config
         )
@@ -349,6 +377,108 @@ class BatchedServingEngine:
     def config(self) -> MoLocConfig:
         """The shared algorithm configuration."""
         return self._config
+
+    @property
+    def fingerprint_db(self) -> FingerprintDatabase:
+        """The database the engine currently serves against.
+
+        For an epochal engine this is the current epoch's snapshot;
+        session services must be constructed against exactly this
+        object (see :meth:`add_session`).
+        """
+        return self._fingerprint_db
+
+    @property
+    def epochal_db(self) -> Optional[EpochalDatabase]:
+        """The epochal database, or None for a frozen deployment."""
+        return self._epochal
+
+    @property
+    def epoch_id(self) -> int:
+        """The epoch currently served (0 for a non-epochal engine)."""
+        return 0 if self._epochal is None else self._epochal.epoch_id
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle
+    # ------------------------------------------------------------------
+
+    def _bind_epoch(self, snapshot: EpochSnapshot) -> None:
+        """Rebind serving state to a (newly current) epoch snapshot.
+
+        Only ever called between ticks: the new epoch's database becomes
+        the identity sessions are checked against, matching flips to the
+        epoch's own matcher (fresh caches unless this epoch was served
+        before), and every live session's localizer is re-pointed so
+        the very next interval matches against the new field.
+        """
+        self._fingerprint_db = snapshot.database
+        matcher = self._matchers.get(snapshot.epoch_id)
+        if matcher is None:
+            matcher = BatchMatcher(snapshot.database)
+            self._matchers[snapshot.epoch_id] = matcher
+        self.matcher = matcher
+        for record in self.sessions:
+            record.service.localizer.fingerprint_db = snapshot.database
+
+    def advance_epoch(
+        self,
+        updates: Optional[Sequence[Update]] = None,
+        expected_checksum: Optional[str] = None,
+    ) -> EpochSnapshot:
+        """Compact updates into the next epoch and flip serving to it.
+
+        Args:
+            updates: The batch to compact; defaults to (and then clears)
+                the epochal database's pending log.
+            expected_checksum: Optional agreement check — the flip
+                aborts (no state change) if the staged epoch's content
+                checksum differs, which is how a cluster worker proves
+                it computed the same epoch as every other shard.
+
+        Raises:
+            ValueError: if the engine has no epochal database, an update
+                is inconsistent with the current epoch, or the staged
+                checksum does not match ``expected_checksum``.
+        """
+        if self._epochal is None:
+            raise ValueError(
+                "engine serves a frozen database; construct it with an "
+                "EpochalDatabase to advance epochs"
+            )
+        staged = self._epochal.stage(updates)
+        if (
+            expected_checksum is not None
+            and staged.checksum != expected_checksum
+        ):
+            raise ValueError(
+                f"staged epoch {staged.epoch_id} checksum "
+                f"{staged.checksum[:12]}… does not match expected "
+                f"{expected_checksum[:12]}…"
+            )
+        if updates is None:
+            self._epochal.log.clear()
+        self._epochal.adopt(staged)
+        self._bind_epoch(staged)
+        return staged
+
+    def adopt_epoch(self, snapshot: EpochSnapshot) -> None:
+        """Flip serving to an externally produced epoch snapshot.
+
+        The recovery/handoff seam: a checkpoint or a cluster commit
+        carries a fully built snapshot rather than an update batch.
+        Idempotent when the snapshot is already current.
+
+        Raises:
+            ValueError: if the engine has no epochal database or a
+                retained epoch id reappears with different contents.
+        """
+        if self._epochal is None:
+            raise ValueError(
+                "engine serves a frozen database; construct it with an "
+                "EpochalDatabase to adopt epochs"
+            )
+        self._epochal.adopt(snapshot)
+        self._bind_epoch(self._epochal.current)
 
     @property
     def estimate_cache_hits(self) -> int:
@@ -503,13 +633,23 @@ class BatchedServingEngine:
         """
         started = time.perf_counter()
         document = {
-            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "format_version": (
+                CHECKPOINT_FORMAT_VERSION
+                if self._epochal is None
+                else EPOCHAL_CHECKPOINT_FORMAT_VERSION
+            ),
             "kind": "engine_checkpoint",
             "tick_index": self._tick_index,
             "sessions": [
                 self._session_entry(record) for record in self.sessions
             ],
         }
+        if self._epochal is not None:
+            # The epoch travels *with* the checkpoint (contents, not
+            # just the id): a handoff target or a recovering process
+            # must serve the exact epoch this state was produced
+            # against, even if it never computed that epoch itself.
+            document["epoch"] = self._epochal.current.to_dict()
         encoded = json.dumps(document, sort_keys=True)
         self._h_ckpt_encode.observe(time.perf_counter() - started)
         self._h_ckpt_bytes.observe(len(encoded.encode("utf-8")))
@@ -611,16 +751,45 @@ class BatchedServingEngine:
                 f"{checkpoint.get('kind')!r}"
             )
         version = checkpoint.get("format_version")
-        if version != CHECKPOINT_FORMAT_VERSION:
+        if version == CHECKPOINT_FORMAT_VERSION:
+            epoch_payload = None
+        elif version == EPOCHAL_CHECKPOINT_FORMAT_VERSION:
+            epoch_payload = checkpoint["epoch"]
+        elif (
+            isinstance(version, int)
+            and version > EPOCHAL_CHECKPOINT_FORMAT_VERSION
+        ):
             raise ValueError(
-                f"unsupported checkpoint version {version} "
-                f"(supported: {CHECKPOINT_FORMAT_VERSION})"
+                f"checkpoint version {version} is newer than this build "
+                f"supports (max {EPOCHAL_CHECKPOINT_FORMAT_VERSION}); "
+                "upgrade the serving code before restoring it"
+            )
+        else:
+            raise ValueError(
+                f"unsupported checkpoint version {version} (supported: "
+                f"{CHECKPOINT_FORMAT_VERSION}.."
+                f"{EPOCHAL_CHECKPOINT_FORMAT_VERSION})"
             )
         if len(self.sessions):
             raise ValueError(
                 "restore requires a fresh engine; this one already has "
                 f"{len(self.sessions)} session(s)"
             )
+        # Bind the epoch *before* loading sessions: make_service builds
+        # against the engine's current database, and add_session checks
+        # identity against it.
+        if epoch_payload is not None:
+            if self._epochal is None:
+                raise ValueError(
+                    "checkpoint carries an epoch pin but the engine "
+                    "serves a frozen database; construct it with an "
+                    "EpochalDatabase to restore epochal checkpoints"
+                )
+            self.adopt_epoch(EpochSnapshot.from_dict(epoch_payload))
+        elif self._epochal is not None and self._epochal.epoch_id != 0:
+            # A pre-epoch (version 1) checkpoint loads with an implicit
+            # epoch-0 pin, mirroring the pre-trust convention.
+            self.adopt_epoch(self._epochal.snapshot(0))
         for entry in checkpoint["sessions"]:
             self.load_session(entry, make_service)
         self._tick_index = int(checkpoint["tick_index"])
@@ -857,6 +1026,7 @@ class BatchedServingEngine:
                     prior = localizer.retained_candidates
                     motion = prepared.motion
                     estimate_key = (
+                        self.epoch_id,
                         match_key,
                         None if prior is None else tuple(prior),
                         (

@@ -164,16 +164,25 @@ class TestAdversaryKinds:
             FaultKind.REPLAY_SCAN,
             FaultKind.SPOOF_IMU,
         )
+        from repro.chaos.plan import DB_CHURN_KINDS
+
         assert AP_TARGETED_KINDS == (
             FaultKind.ROGUE_AP,
             FaultKind.AP_REPOWER,
+            FaultKind.ENV_AP_DIE,
+            FaultKind.ENV_AP_REPOWER,
         )
-        for kind in ADVERSARY_KINDS:
+        assert DB_CHURN_KINDS == (
+            FaultKind.ENV_AP_DIE,
+            FaultKind.ENV_AP_REPOWER,
+            FaultKind.ENV_DRIFT,
+        )
+        for kind in ADVERSARY_KINDS + DB_CHURN_KINDS:
             assert kind not in MESSAGE_KINDS
             assert kind not in PHASE_KINDS
             assert kind not in CLUSTER_KINDS
-            # Seed stability: attacks are opt-in; the default pool's
-            # membership and order must not move.
+            # Seed stability: attacks and churn are opt-in; the default
+            # pool's membership and order must not move.
             assert kind not in DEFAULT_RANDOM_KINDS
         assert DEFAULT_RANDOM_KINDS == PHASE_KINDS + MESSAGE_KINDS
 

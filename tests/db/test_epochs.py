@@ -1,0 +1,451 @@
+"""Epochal database: updates, compaction, snapshots, and hygiene.
+
+The contract under test is what the cluster flip protocol leans on:
+:func:`~repro.db.epochs.apply_updates` is a *pure, deterministic,
+permutation-insensitive* function of (database, update multiset), and a
+snapshot's sha256 content checksum identifies a database bit-exactly —
+so independent shards can stage the same flip and prove agreement by
+checksum alone.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fingerprint import (
+    RSS_CEILING_DBM,
+    RSS_FLOOR_DBM,
+    Fingerprint,
+    FingerprintDatabase,
+)
+from repro.db.epochs import (
+    DEFAULT_SURVEY_WEIGHT,
+    ApRemoved,
+    ApRepowered,
+    ApRestored,
+    DriftDelta,
+    EpochSnapshot,
+    EpochalDatabase,
+    Observation,
+    UpdateLog,
+    apply_updates,
+    database_checksum,
+    update_from_dict,
+    update_to_dict,
+)
+
+N_APS = 4
+
+
+def small_db() -> FingerprintDatabase:
+    means = {
+        0: Fingerprint((-40.0, -55.0, -70.0, RSS_FLOOR_DBM)),
+        1: Fingerprint((-60.0, -45.0, -80.0, -65.0)),
+        2: Fingerprint((-75.0, -66.0, -50.0, -58.0)),
+    }
+    stds = {
+        0: (2.0, 3.0, 4.0, 0.0),
+        1: (1.0, 1.0, 1.0, 1.0),
+        2: (2.5, 2.5, 2.5, 2.5),
+    }
+    return FingerprintDatabase(means, stds)
+
+
+class TestUpdateSerialization:
+    @pytest.mark.parametrize(
+        "update",
+        [
+            Observation(location_id=1, rss=(-60.5, -45.0, -79.25, -64.0)),
+            ApRemoved(ap_id=2),
+            ApRestored(ap_id=3, values=((0, -70.0), (2, -61.5))),
+            ApRepowered(ap_id=0, shift_db=-9.0),
+            DriftDelta(offsets_db=(1.5, -2.0, 0.0, 3.25)),
+        ],
+    )
+    def test_round_trips_through_json(self, update):
+        payload = json.loads(json.dumps(update_to_dict(update)))
+        assert update_from_dict(payload) == update
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown database update"):
+            update_from_dict({"kind": "teleport"})
+
+    def test_non_update_raises(self):
+        with pytest.raises(TypeError, match="not a database update"):
+            update_to_dict({"kind": "observation"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="location_id"):
+            Observation(location_id=-1, rss=(-60.0,))
+        with pytest.raises(ValueError, match="finite"):
+            Observation(location_id=0, rss=(float("nan"),))
+        with pytest.raises(ValueError, match="ap_id"):
+            ApRemoved(ap_id=-2)
+        with pytest.raises(ValueError, match="twice"):
+            ApRestored(ap_id=0, values=((1, -60.0), (1, -61.0)))
+        with pytest.raises(ValueError, match="at least one"):
+            ApRestored(ap_id=0, values=())
+        with pytest.raises(ValueError, match="non-zero"):
+            ApRepowered(ap_id=0, shift_db=0.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            DriftDelta(offsets_db=())
+
+    def test_restored_values_are_stored_sorted(self):
+        update = ApRestored(ap_id=1, values=((2, -50.0), (0, -61.0)))
+        assert update.values == ((0, -61.0), (2, -50.0))
+
+
+class TestApplyUpdates:
+    def test_observation_folds_with_the_survey_prior(self):
+        db = small_db()
+        obs = Observation(location_id=1, rss=(-58.0, -47.0, -78.0, -63.0))
+        out = apply_updates(db, [obs])
+        for before, seen, after in zip(
+            db.fingerprint_of(1).rss, obs.rss, out.fingerprint_of(1).rss
+        ):
+            expected = (DEFAULT_SURVEY_WEIGHT * before + 1.0 * seen) / (
+                DEFAULT_SURVEY_WEIGHT + 1.0
+            )
+            assert after == pytest.approx(expected, abs=1e-12)
+        # Other locations untouched, bit for bit.
+        assert out.fingerprint_of(0).rss == db.fingerprint_of(0).rss
+
+    def test_observation_flood_weight_is_capped(self):
+        db = small_db()
+        flood = [
+            Observation(location_id=1, rss=(-30.0, -30.0, -30.0, -30.0))
+        ] * 500
+        capped = apply_updates(db, flood, observation_weight_cap=32.0)
+        for before, after in zip(
+            db.fingerprint_of(1).rss, capped.fingerprint_of(1).rss
+        ):
+            expected = (DEFAULT_SURVEY_WEIGHT * before + 32.0 * -30.0) / (
+                DEFAULT_SURVEY_WEIGHT + 32.0
+            )
+            assert after == pytest.approx(expected, abs=1e-12)
+
+    def test_ap_removed_floors_the_column_and_zeroes_stds(self):
+        out = apply_updates(small_db(), [ApRemoved(ap_id=1)])
+        for lid in out.location_ids:
+            assert out.fingerprint_of(lid).rss[1] == RSS_FLOOR_DBM
+            assert out.std_of(lid)[1] == 0.0
+
+    def test_ap_restored_sets_listed_locations_only(self):
+        out = apply_updates(
+            small_db(), [ApRestored(ap_id=3, values=((0, -62.5),))]
+        )
+        assert out.fingerprint_of(0).rss[3] == -62.5
+        assert out.fingerprint_of(1).rss[3] == -65.0
+
+    def test_ap_repowered_shifts_non_floored_readings_clipped(self):
+        out = apply_updates(small_db(), [ApRepowered(ap_id=0, shift_db=50.0)])
+        assert out.fingerprint_of(0).rss[0] == RSS_CEILING_DBM  # clipped
+        # The floored slot of AP 3 stays floored under a repower there.
+        floored = apply_updates(
+            small_db(), [ApRepowered(ap_id=3, shift_db=10.0)]
+        )
+        assert floored.fingerprint_of(0).rss[3] == RSS_FLOOR_DBM
+
+    def test_drift_shifts_every_non_floored_slot(self):
+        offsets = (1.0, -2.0, 0.5, 3.0)
+        out = apply_updates(small_db(), [DriftDelta(offsets_db=offsets)])
+        db = small_db()
+        for lid in db.location_ids:
+            for ap_id, (before, after) in enumerate(
+                zip(db.fingerprint_of(lid).rss, out.fingerprint_of(lid).rss)
+            ):
+                if before <= RSS_FLOOR_DBM:
+                    assert after == before
+                else:
+                    assert after == pytest.approx(
+                        min(
+                            RSS_CEILING_DBM,
+                            max(RSS_FLOOR_DBM, before + offsets[ap_id]),
+                        )
+                    )
+
+    def test_inconsistent_updates_raise(self):
+        db = small_db()
+        with pytest.raises(ValueError, match="unknown location"):
+            apply_updates(db, [Observation(location_id=9, rss=(-60.0,) * 4)])
+        with pytest.raises(ValueError, match="APs"):
+            apply_updates(db, [Observation(location_id=0, rss=(-60.0,))])
+        with pytest.raises(ValueError, match="out of range"):
+            apply_updates(db, [ApRemoved(ap_id=7)])
+        with pytest.raises(ValueError, match="unknown location"):
+            apply_updates(db, [ApRestored(ap_id=0, values=((9, -60.0),))])
+        with pytest.raises(ValueError, match="offsets"):
+            apply_updates(db, [DriftDelta(offsets_db=(1.0,))])
+
+    def test_is_a_pure_function(self):
+        db = small_db()
+        before = database_checksum(db)
+        apply_updates(
+            db,
+            [
+                Observation(location_id=0, rss=(-50.0,) * 4),
+                ApRemoved(ap_id=2),
+                DriftDelta(offsets_db=(1.0,) * 4),
+            ],
+        )
+        assert database_checksum(db) == before
+
+
+_updates = st.lists(
+    st.one_of(
+        st.builds(
+            Observation,
+            location_id=st.sampled_from([0, 1, 2]),
+            rss=st.tuples(
+                *[
+                    st.floats(min_value=-95.0, max_value=-30.0)
+                    for _ in range(N_APS)
+                ]
+            ),
+        ),
+        st.builds(ApRemoved, ap_id=st.sampled_from(range(N_APS))),
+        st.builds(
+            ApRepowered,
+            ap_id=st.sampled_from(range(N_APS)),
+            shift_db=st.sampled_from([-12.0, -3.5, 4.0, 9.0]),
+        ),
+        st.builds(
+            ApRestored,
+            ap_id=st.sampled_from(range(N_APS)),
+            values=st.lists(
+                st.tuples(
+                    st.sampled_from([0, 1, 2]),
+                    st.floats(min_value=-95.0, max_value=-30.0),
+                ),
+                min_size=1,
+                max_size=3,
+                unique_by=lambda pair: pair[0],
+            ).map(tuple),
+        ),
+        st.builds(
+            DriftDelta,
+            offsets_db=st.tuples(
+                *[
+                    st.floats(min_value=-6.0, max_value=6.0)
+                    for _ in range(N_APS)
+                ]
+            ),
+        ),
+    ),
+    max_size=8,
+)
+
+
+class TestDeterminism:
+    @given(updates=_updates, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_compaction_is_deterministic_and_order_insensitive(
+        self, updates, seed
+    ):
+        """Any permutation of an update batch compacts bit-identically."""
+        db = small_db()
+        reference = database_checksum(apply_updates(db, updates))
+        shuffled = list(updates)
+        random.Random(seed).shuffle(shuffled)
+        assert database_checksum(apply_updates(db, shuffled)) == reference
+        # ... and so does a second run of the same permutation.
+        assert database_checksum(apply_updates(db, shuffled)) == reference
+
+    @given(updates=_updates, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_advance_epoch_agrees_across_independent_replicas(
+        self, updates, seed
+    ):
+        """Two replicas staging permuted batches prove the same checksum."""
+        left = EpochalDatabase(small_db())
+        right = EpochalDatabase(small_db())
+        shuffled = list(updates)
+        random.Random(seed).shuffle(shuffled)
+        assert (
+            left.advance_epoch(updates).checksum
+            == right.advance_epoch(shuffled).checksum
+        )
+
+
+class TestEpochSnapshot:
+    def test_of_checksums_the_contents(self):
+        db = small_db()
+        snapshot = EpochSnapshot.of(0, db)
+        assert snapshot.checksum == database_checksum(db)
+
+    def test_round_trips_through_json(self):
+        snapshot = EpochSnapshot.of(3, small_db())
+        payload = json.loads(json.dumps(snapshot.to_dict()))
+        back = EpochSnapshot.from_dict(payload)
+        assert back.epoch_id == 3
+        assert back.checksum == snapshot.checksum
+        assert database_checksum(back.database) == snapshot.checksum
+
+    def test_from_dict_verifies_the_checksum(self):
+        payload = EpochSnapshot.of(1, small_db()).to_dict()
+        payload["database"]["entries"][0]["rss"][0] = -33.0
+        with pytest.raises(ValueError, match="checksum"):
+            EpochSnapshot.from_dict(payload)
+
+    def test_from_dict_rejects_wrong_kind_and_version(self):
+        with pytest.raises(ValueError, match="db_epoch"):
+            EpochSnapshot.from_dict({"kind": "engine_checkpoint"})
+        payload = EpochSnapshot.of(0, small_db()).to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            EpochSnapshot.from_dict(payload)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError, match="epoch_id"):
+            EpochSnapshot.of(-1, small_db())
+
+
+class TestUpdateLog:
+    def test_records_in_arrival_order_and_clears(self):
+        log = UpdateLog()
+        first = ApRemoved(ap_id=0)
+        second = Observation(location_id=1, rss=(-60.0,) * 4)
+        log.record(first)
+        log.record(second)
+        assert log.pending == (first, second)
+        assert len(log) == 2
+        log.clear()
+        assert log.pending == ()
+
+    def test_rejects_non_updates(self):
+        with pytest.raises(TypeError, match="not a database update"):
+            UpdateLog().record("observation")
+
+    def test_round_trips_through_json(self):
+        log = UpdateLog(
+            [ApRepowered(ap_id=1, shift_db=4.0), ApRemoved(ap_id=0)]
+        )
+        payload = json.loads(json.dumps(log.to_dict()))
+        assert UpdateLog.from_dict(payload).pending == log.pending
+
+    def test_from_dict_rejects_wrong_kind_and_version(self):
+        with pytest.raises(ValueError, match="db_update_log"):
+            UpdateLog.from_dict({"kind": "db_epoch"})
+        payload = UpdateLog().to_dict()
+        payload["format_version"] = 42
+        with pytest.raises(ValueError, match="version"):
+            UpdateLog.from_dict(payload)
+
+
+class TestEpochalDatabase:
+    def test_epoch_zero_is_the_base_database_itself(self):
+        db = small_db()
+        epochal = EpochalDatabase(db)
+        assert epochal.epoch_id == 0
+        assert epochal.database is db
+        assert epochal.checksum == database_checksum(db)
+
+    def test_advance_compacts_and_clears_the_log(self):
+        epochal = EpochalDatabase(small_db())
+        epochal.record(ApRemoved(ap_id=1))
+        snapshot = epochal.advance_epoch()
+        assert snapshot.epoch_id == 1
+        assert len(epochal.log) == 0
+        assert epochal.current is snapshot
+        assert snapshot.database.fingerprint_of(0).rss[1] == RSS_FLOOR_DBM
+        # Both epochs stay retrievable; unknown ids fail loudly.
+        assert epochal.snapshot(0).epoch_id == 0
+        assert epochal.snapshot(1) is snapshot
+        with pytest.raises(KeyError, match="not retained"):
+            epochal.snapshot(5)
+
+    def test_explicit_batch_leaves_the_log_untouched(self):
+        epochal = EpochalDatabase(small_db())
+        epochal.record(ApRemoved(ap_id=0))
+        epochal.advance_epoch([ApRepowered(ap_id=1, shift_db=3.0)])
+        assert epochal.log.pending == (ApRemoved(ap_id=0),)
+
+    def test_stage_is_pure(self):
+        epochal = EpochalDatabase(small_db())
+        staged = epochal.stage([ApRemoved(ap_id=2)])
+        assert staged.epoch_id == 1
+        assert epochal.epoch_id == 0
+        assert len(epochal.log) == 0
+
+    def test_adopt_is_idempotent_but_checksum_strict(self):
+        epochal = EpochalDatabase(small_db())
+        snapshot = epochal.advance_epoch([ApRemoved(ap_id=0)])
+        epochal.adopt(snapshot)  # no-op re-adopt
+        assert epochal.epoch_id == 1
+        impostor = EpochSnapshot.of(
+            1, apply_updates(small_db(), [ApRemoved(ap_id=1)])
+        )
+        with pytest.raises(ValueError, match="different"):
+            epochal.adopt(impostor)
+
+    def test_adopt_accepts_a_foreign_forward_snapshot(self):
+        epochal = EpochalDatabase(small_db())
+        foreign = EpochSnapshot.of(
+            4, apply_updates(small_db(), [ApRemoved(ap_id=3)])
+        )
+        epochal.adopt(foreign)
+        assert epochal.epoch_id == 4
+        assert epochal.snapshot(4).checksum == foreign.checksum
+
+    def test_constructor_accepts_a_snapshot_and_rejects_junk(self):
+        snapshot = EpochSnapshot.of(2, small_db())
+        resumed = EpochalDatabase(snapshot)
+        assert resumed.epoch_id == 2
+        with pytest.raises(TypeError, match="base must be"):
+            EpochalDatabase({"kind": "db_epoch"})
+
+
+class TestMutationHygiene:
+    """Snapshot freezing: a caller-retained buffer must never alias in."""
+
+    def test_caller_mutations_leave_the_checksum_unchanged(self):
+        mean_rows = {
+            0: [-40.0, -55.0, -70.0, -62.0],
+            1: [-60.0, -45.0, -80.0, -65.0],
+        }
+        std_rows = {0: [2.0, 3.0, 4.0, 1.0], 1: [1.0, 1.0, 1.0, 1.0]}
+        db = FingerprintDatabase(
+            {lid: Fingerprint(row) for lid, row in mean_rows.items()},
+            std_rows,
+        )
+        before = database_checksum(db)
+        # The surveyor keeps editing their buffers after the snapshot.
+        for row in mean_rows.values():
+            row[0] = 0.0
+        for row in std_rows.values():
+            row[0] = 99.0
+        assert database_checksum(db) == before
+
+    def test_fingerprint_coerces_caller_lists_to_frozen_tuples(self):
+        row = [-40.0, -55.0]
+        fingerprint = Fingerprint(row)
+        row[0] = 0.0
+        assert fingerprint.rss == (-40.0, -55.0)
+        assert isinstance(fingerprint.rss, tuple)
+
+    def test_dense_views_are_read_only(self):
+        db = small_db()
+        with pytest.raises(ValueError, match="read-only"):
+            db.mean_matrix[0, 0] = 0.0
+        fp = db.fingerprint_of(0)
+        with pytest.raises(ValueError, match="read-only"):
+            fp.as_array()[0] = 0.0
+
+    def test_epoch_snapshot_checksum_survives_source_mutation(self):
+        rows = {0: [-40.0, -55.0], 1: [-60.0, -45.0]}
+        db = FingerprintDatabase(
+            {lid: Fingerprint(row) for lid, row in rows.items()}
+        )
+        snapshot = EpochSnapshot.of(0, db)
+        for row in rows.values():
+            row[1] = -1.0
+        assert database_checksum(snapshot.database) == snapshot.checksum
+        np.testing.assert_array_equal(
+            snapshot.database.mean_matrix,
+            np.array([[-40.0, -55.0], [-60.0, -45.0]]),
+        )

@@ -1,0 +1,186 @@
+"""Epoch flips through the ingress front doors.
+
+Both ingress paths expose the cluster's two-phase epoch flip — the
+synchronous :meth:`IngressDriver.advance_epoch` (between drains on the
+deterministic timeline) and the TCP server's ``advance_epoch`` op
+(serialized through the per-shard executors, mid-serving).  Under test:
+the flip lands on every shard with the locally-compacted checksum, the
+flipped deployment keeps serving, and the served streams stay bitwise
+identical across shard counts and across the two front doors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from cluster_helpers import checksums, make_shards
+from repro.cluster import encode_message, decode_message, fresh_session_entry
+from repro.db.epochs import (
+    ApRepowered,
+    DriftDelta,
+    apply_updates,
+    database_checksum,
+    update_to_dict,
+)
+from repro.ingress import IngressConfig, IngressDriver, replay_schedule
+from repro.ingress.server import IngressServer
+from repro.io.serialize import fix_from_dict
+from repro.serving import build_session_services, fix_stream_checksum
+from repro.sim.evaluation import open_loop_schedule
+
+
+@pytest.fixture(scope="module")
+def updates(world):
+    fingerprint_db, _, _, _ = world
+    return [
+        ApRepowered(ap_id=0, shift_db=-6.0),
+        DriftDelta(offsets_db=(1.0,) * fingerprint_db.n_aps),
+    ]
+
+
+@pytest.fixture(scope="module")
+def flipped_checksum(world, updates):
+    fingerprint_db, _, _, _ = world
+    return database_checksum(apply_updates(fingerprint_db, updates))
+
+
+def make_schedule(world):
+    _, _, _, workload = world
+    return open_loop_schedule(workload, mean_rate_hz=8.0, seed=11)
+
+
+def make_driver(world, tmp_path, n_shards):
+    fingerprint_db, motion_db, cfg, workload = world
+    driver = IngressDriver(
+        make_shards(world, tmp_path, n_shards, epochal=True),
+        config=IngressConfig(),
+    )
+    services = build_session_services(
+        workload, fingerprint_db, motion_db, cfg, resilient=True
+    )
+    for session_id in sorted(services):
+        driver.add_session(
+            fresh_session_entry(session_id, services[session_id])
+        )
+    return driver
+
+
+def drive_with_midway_flip(world, tmp_path, n_shards, updates, schedule):
+    """Drain half the schedule, flip, drain the rest."""
+    driver = make_driver(world, tmp_path, n_shards)
+    arrivals = sorted(schedule.arrivals, key=lambda a: a.t_s)
+    half = len(arrivals) // 2
+    first = driver.run(arrivals[:half])
+    flip = driver.advance_epoch(updates)
+    second = driver.run(arrivals[half:])
+    fixes = {
+        sid: first.fixes.get(sid, []) + second.fixes.get(sid, [])
+        for sid in set(first.fixes) | set(second.fixes)
+    }
+    return flip, fixes
+
+
+class TestDriverFlip:
+    def test_flip_lands_with_the_compacted_checksum(
+        self, world, updates, flipped_checksum, tmp_path
+    ):
+        driver = make_driver(world, tmp_path, 2)
+        result = driver.advance_epoch(updates)
+        assert result == {"epoch": 1, "checksum": flipped_checksum}
+        # A second flip proves every shard really adopted epoch 1
+        # (a lagging shard would refuse to prepare epoch 2).
+        assert driver.advance_epoch([])["epoch"] == 2
+
+    def test_midway_flip_is_bitwise_identical_across_shard_counts(
+        self, world, updates, tmp_path
+    ):
+        schedule = make_schedule(world)
+        flip_1, fixes_1 = drive_with_midway_flip(
+            world, tmp_path / "one", 1, updates, schedule
+        )
+        flip_2, fixes_2 = drive_with_midway_flip(
+            world, tmp_path / "two", 2, updates, schedule
+        )
+        assert flip_1 == flip_2
+        assert checksums(fixes_1) == checksums(fixes_2)
+        assert any(fixes_1.values()), "nothing was served"
+
+
+class TestServerFlip:
+    def _flip_then_serve(self, world, tmp_path, n_shards, updates, schedule):
+        fingerprint_db, motion_db, cfg, workload = world
+        serialized = [update_to_dict(update) for update in updates]
+        services = build_session_services(
+            workload, fingerprint_db, motion_db, cfg, resilient=True
+        )
+
+        async def main():
+            server = IngressServer(
+                make_shards(world, tmp_path, n_shards, epochal=True),
+                config=IngressConfig(batch_window_s=0.01, max_batch=8),
+            )
+            await server.start()
+            try:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+
+                async def roundtrip(payload):
+                    writer.write((encode_message(payload) + "\n").encode())
+                    await writer.drain()
+                    return decode_message((await reader.readline()).decode())
+
+                for session_id in sorted(services):
+                    reply = await roundtrip(
+                        {
+                            "op": "add_session",
+                            "entry": fresh_session_entry(
+                                session_id, services[session_id]
+                            ),
+                        }
+                    )
+                    assert reply["ok"], reply
+                flip = await roundtrip(
+                    {"op": "advance_epoch", "updates": serialized}
+                )
+                writer.close()
+                replies = await replay_schedule(
+                    host, port, schedule.arrivals, time_scale=0.0
+                )
+                return flip, replies
+            finally:
+                await server.stop()
+
+        return asyncio.run(main())
+
+    def test_flip_over_tcp_then_serving_stays_bitwise(
+        self, world, updates, flipped_checksum, tmp_path
+    ):
+        """The wire op flips the deployment, and post-flip serving is
+        identical across shard counts — through real sockets."""
+        schedule = make_schedule(world)
+        results = {}
+        for n_shards in (1, 2):
+            flip, replies = self._flip_then_serve(
+                world, tmp_path / str(n_shards), n_shards, updates, schedule
+            )
+            assert flip["ok"], flip
+            assert flip["epoch"] == 1
+            assert flip["checksum"] == flipped_checksum
+            assert len(replies) == schedule.n_arrivals
+            streams = {}
+            for arrival, reply in zip(
+                sorted(schedule.arrivals, key=lambda a: a.t_s), replies
+            ):
+                assert reply["ok"], reply
+                if reply["status"] in ("rejected", "dropped"):
+                    continue
+                fix = reply["fix"]
+                streams.setdefault(
+                    arrival.interval.session_id, []
+                ).append(None if fix is None else fix_from_dict(fix))
+            results[n_shards] = {
+                session_id: fix_stream_checksum(stream)
+                for session_id, stream in streams.items()
+            }
+        assert results[1] == results[2]

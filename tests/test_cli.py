@@ -201,6 +201,56 @@ class TestClusterCommand:
         assert 0 < merged_ticks <= document["ticks"] * document["shards"]
 
 
+class TestEpochsParser:
+    def test_epochs_parses_with_defaults(self):
+        args = build_parser().parse_args(["epochs"])
+        assert args.command == "epochs"
+        assert args.smoke is False
+        assert args.transport == "local"
+        assert args.sessions == 8
+        assert args.corpus_size == 4
+        assert args.workdir is None
+        assert args.output is None
+
+    def test_epochs_transport_choices(self):
+        args = build_parser().parse_args(
+            ["epochs", "--smoke", "--transport", "process"]
+        )
+        assert args.smoke is True and args.transport == "process"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["epochs", "--transport", "tcp"])
+
+
+@pytest.mark.slow
+class TestEpochsCommand:
+    def test_epochs_smoke_passes_every_gate(self, capsys, tmp_path):
+        path = tmp_path / "epochs.json"
+        assert main(
+            [
+                "--training-traces", "60", "--test-traces", "6",
+                "epochs", "--smoke", "--sessions", "6",
+                "--corpus-size", "3",
+                "--workdir", str(tmp_path / "shards"),
+                "--output", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(path.read_text())
+        assert document["report"] == "epochs"
+        assert document["passed"] is True
+        assert document["gates"] == {
+            "flip_streams_equal": True,
+            "flip_survives_kill_during_prepare": True,
+            "epoch0_bitwise_free": True,
+            "flip_checksums_agree": True,
+        }
+        # The kill scenario must actually have exercised a respawn.
+        kill_run = document["runs"]["flip_2_shards_kill_during_prepare"]
+        assert kill_run["recoveries"] == 1
+        # Smoke skips the staleness sweep (the full run gates on it).
+        assert "staleness" not in document
+
+
 class TestMatrixCommand:
     def test_matrix_parses_with_defaults(self):
         args = build_parser().parse_args(["matrix"])
