@@ -1,4 +1,4 @@
-"""Scenario-matrix runner: environment x load x fault validation sweeps.
+"""Scenario-matrix runner: environment x load x fault x gait sweeps.
 
 One number from one hall proves nothing about a localization system;
 MoLoc's twin phenomenon is a property of the RSS field, which changes
@@ -37,6 +37,7 @@ from ..env.procedural import (
     environment_checksum,
     generate_environment,
 )
+from ..sim.gait import MOTION_MIXES, gait_trace_config
 from .ambiguity import analyze_ambiguity
 
 __all__ = [
@@ -50,12 +51,13 @@ __all__ = [
     "twin_confusion_rate",
 ]
 
-MATRIX_FORMAT_VERSION = 2
+MATRIX_FORMAT_VERSION = 3
 
 # Version 1 documents (no db_churn fault columns) remain fully valid;
-# version 2 only *adds* the optional axis, so the validator accepts
-# both and existing cell checksums are untouched.
-_SUPPORTED_MATRIX_VERSIONS = (1, 2)
+# version 2 only *adds* the optional axis, and version 3 adds the
+# motion-mix axis (cells gain a "motion_mix" label), so the validator
+# accepts all three and existing cell checksums are untouched.
+_SUPPORTED_MATRIX_VERSIONS = (1, 2, 3)
 
 _DISTANT_TWIN_MIN_M = 6.0
 """Fig. 8's large-error threshold: twins at least this far apart."""
@@ -130,6 +132,10 @@ class MatrixProfile:
         environments: The worlds to generate, as ``(env_seed, spec)``.
         loads: Session-load levels (every environment sees each).
         fault_plans: Fault columns (every environment x load sees each).
+        motion_mixes: Named gait mixes (:data:`~repro.sim.gait.MOTION_MIXES`)
+            the walk corpus is generated under; every environment is
+            studied once per mix.  ``"paper-walk"`` is the legacy
+            single-gait workload.
         samples_per_location: Site-survey scans per location.
         training_samples: Survey scans entering the database.
         n_training_traces: Crowdsourced motion-training walks.
@@ -141,16 +147,32 @@ class MatrixProfile:
     environments: Tuple[Tuple[int, EnvironmentSpec], ...]
     loads: Tuple[LoadLevel, ...]
     fault_plans: Tuple[FaultPlanSpec, ...]
+    motion_mixes: Tuple[str, ...] = ("paper-walk",)
     samples_per_location: int = 60
     training_samples: int = 40
     n_training_traces: int = 150
     n_test_traces: int = 34
     trace_hops: int = 15
 
+    def __post_init__(self) -> None:
+        if not self.motion_mixes:
+            raise ValueError("a profile needs at least one motion mix")
+        for mix in self.motion_mixes:
+            if mix not in MOTION_MIXES:
+                raise ValueError(
+                    f"unknown motion mix {mix!r}; expected one of "
+                    f"{tuple(sorted(MOTION_MIXES))}"
+                )
+
     @property
     def n_cells(self) -> int:
         """Cells the sweep will produce."""
-        return len(self.environments) * len(self.loads) * len(self.fault_plans)
+        return (
+            len(self.environments)
+            * len(self.loads)
+            * len(self.fault_plans)
+            * len(self.motion_mixes)
+        )
 
 
 SMOKE_PROFILE = MatrixProfile(
@@ -214,11 +236,13 @@ FULL_PROFILE = MatrixProfile(
     ),
     samples_per_location=30,
     training_samples=20,
+    motion_mixes=("paper-walk", "mixed-gait"),
     n_training_traces=60,
     n_test_traces=12,
     trace_hops=10,
 )
-"""5 topologies x 2 loads x 4 fault plans = 40 cells, the weekly sweep."""
+"""5 topologies x 2 loads x 4 fault plans x 2 mixes = 80 cells, the
+weekly sweep."""
 
 
 def twin_confusion_rate(records: Sequence[Any], twins: Sequence[Any]) -> float:
@@ -422,10 +446,12 @@ def run_matrix(
     Per environment the world is generated *twice* and the checksums
     compared, so every cell's ``bitwise_reproducible`` flag is evidence,
     not assertion.  Evaluation (accuracy, twin-confusion) runs once per
-    environment at its full AP count; serving runs per (load, fault)
-    cell with freshly built services.
+    (environment, motion mix) at the environment's full AP count —
+    ``"paper-walk"`` is the bitwise-legacy workload, other mixes drive
+    the same study through gait-scheduled walks — and serving runs per
+    (load, fault) cell with freshly built services.  The per-environment
+    record reports the profile's *first* mix (the baseline).
     """
-    from ..sim.crowdsource import TraceGenerationConfig
     from ..sim.experiments import evaluate_systems, prepare_study
 
     environments: List[Dict[str, Any]] = []
@@ -437,54 +463,65 @@ def run_matrix(
         checksum = environment_checksum(environment)
         regenerated = environment_checksum(generate_environment(spec, seed=env_seed))
         reproducible = checksum == regenerated
+        env_recorded = False
 
-        study = prepare_study(
-            seed=seed,
-            n_training_traces=profile.n_training_traces,
-            n_test_traces=profile.n_test_traces,
-            trace_config=TraceGenerationConfig(n_hops=profile.trace_hops),
-            hall=environment.hall,
-            samples_per_location=profile.samples_per_location,
-            training_samples=profile.training_samples,
-        )
-        census, twins = _census(study)
-        results = evaluate_systems(study, spec.n_aps)
-        moloc = results["moloc"]
-        accuracy = {name: result.accuracy for name, result in results.items()}
-        mean_error = {
-            name: result.mean_error_m for name, result in results.items()
-        }
-        confusion = twin_confusion_rate(moloc.records, twins)
+        for mix_name in profile.motion_mixes:
+            study = prepare_study(
+                seed=seed,
+                n_training_traces=profile.n_training_traces,
+                n_test_traces=profile.n_test_traces,
+                trace_config=gait_trace_config(
+                    mix_name, n_hops=profile.trace_hops
+                ),
+                hall=environment.hall,
+                samples_per_location=profile.samples_per_location,
+                training_samples=profile.training_samples,
+            )
+            census, twins = _census(study)
+            results = evaluate_systems(study, spec.n_aps)
+            moloc = results["moloc"]
+            accuracy = {
+                name: result.accuracy for name, result in results.items()
+            }
+            mean_error = {
+                name: result.mean_error_m for name, result in results.items()
+            }
+            confusion = twin_confusion_rate(moloc.records, twins)
 
-        env_record = {
-            "name": spec.display_name,
-            "topology": spec.topology,
-            "env_seed": env_seed,
-            "spec": spec.to_dict(),
-            "n_locations": spec.n_locations,
-            "environment_checksum": checksum,
-            "bitwise_reproducible": reproducible,
-            "twin_census": census,
-            "accuracy": accuracy,
-            "mean_error_m": mean_error,
-            "twin_confusion_rate": confusion,
-        }
-        environments.append(env_record)
-
-        for load in profile.loads:
-            for fault_plan in profile.fault_plans:
-                cell = {
-                    "environment": spec.display_name,
+            if not env_recorded:
+                env_recorded = True
+                environments.append({
+                    "name": spec.display_name,
                     "topology": spec.topology,
                     "env_seed": env_seed,
+                    "spec": spec.to_dict(),
+                    "n_locations": spec.n_locations,
                     "environment_checksum": checksum,
                     "bitwise_reproducible": reproducible,
-                    "twin_free": census["twin_free"],
+                    "twin_census": census,
+                    "motion_mix": mix_name,
                     "accuracy": accuracy,
+                    "mean_error_m": mean_error,
                     "twin_confusion_rate": confusion,
-                }
-                cell.update(_serve_cell(study, environment, load, fault_plan))
-                cells.append(cell)
+                })
+
+            for load in profile.loads:
+                for fault_plan in profile.fault_plans:
+                    cell = {
+                        "environment": spec.display_name,
+                        "topology": spec.topology,
+                        "env_seed": env_seed,
+                        "environment_checksum": checksum,
+                        "bitwise_reproducible": reproducible,
+                        "twin_free": census["twin_free"],
+                        "motion_mix": mix_name,
+                        "accuracy": accuracy,
+                        "twin_confusion_rate": confusion,
+                    }
+                    cell.update(
+                        _serve_cell(study, environment, load, fault_plan)
+                    )
+                    cells.append(cell)
 
     return {
         "report": "matrix",
@@ -544,8 +581,13 @@ def validate_matrix_document(document: Dict[str, Any]) -> List[str]:
     if not isinstance(cells, list) or not cells:
         problems.append("document has no cells")
         return problems
+    # The motion-mix label is required from version 3 on; older
+    # documents predate the axis and stay valid without it.
+    required_keys = _CELL_REQUIRED_KEYS
+    if document.get("format_version", 0) >= 3:
+        required_keys = required_keys + ("motion_mix",)
     for index, cell in enumerate(cells):
-        for key in _CELL_REQUIRED_KEYS:
+        for key in required_keys:
             if key not in cell:
                 problems.append(f"cell {index} is missing {key!r}")
         if not cell.get("bitwise_reproducible", False):

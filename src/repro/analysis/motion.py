@@ -1,0 +1,305 @@
+"""Motion benchmark: fixed vs speed-adaptive serving across gait mixes.
+
+The paper's transition model is calibrated for one gait: every survey
+walker moves at ~1.35 m/s, so the Eq. 5 offset interval ``beta`` = 1 m
+absorbs exactly the offset scatter that gait produces.  Real populations
+stroll, run, stand, and push carts, and each regime feeds the model
+offsets scaled by the *wrong* stride: a runner's per-step distance is
+~40% longer than the calibrated walk stride, so the measured offset
+underestimates the hop and the fixed interval rejects the true
+transition.
+
+This bench sweeps ``{fixed-pedestrian, speed-adaptive}`` over the named
+gait mixes in :data:`repro.sim.gait.MOTION_MIXES` and reports, per
+cell:
+
+* overall and per-regime exact-location accuracy and mean error;
+* the twin-confusion rate (fixes landing exactly on the true location's
+  fingerprint twin — the paper's failure mode);
+* the online speed estimate's RMSE against the simulator's per-hop
+  ground-truth speed (speed-adaptive runs only).
+
+The committed gate (``BENCH_motion.json``) is evaluated on the
+``mixed-gait`` mix: speed-adaptive mean error must stay within
+:data:`GATE_ERROR_RATIO` of the fixed model's, and its twin-confusion
+rate must be strictly lower.  ``cart-heavy`` is reported but not gated:
+a wheeled hop emits no steps at all, so *no* step-frequency speed
+estimate can recover it — the honest limitation section of this
+subsystem (see ``docs/motion.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Any, Callable, Dict, List
+
+import numpy as np
+
+from ..motion.pedestrian import BodyProfile
+from ..service import MoLocService
+from ..sim.evaluation import LocalizationRecord
+from ..sim.gait import gait_trace_config
+from .ambiguity import analyze_ambiguity
+from .matrix import twin_confusion_rate
+
+__all__ = [
+    "BENCH_MIXES",
+    "GATE_ERROR_RATIO",
+    "GATE_MIX",
+    "SMOKE_MIXES",
+    "run_motion_bench",
+    "validate_motion_document",
+]
+
+GATE_MIX = "mixed-gait"
+"""The mix the committed gate is evaluated on."""
+
+GATE_ERROR_RATIO = 0.8
+"""Speed-adaptive mean error must be <= this multiple of fixed's."""
+
+BENCH_MIXES = ("paper-walk", "mixed-gait", "cart-heavy", "dwell-heavy")
+"""Every named mix, swept in this order."""
+
+SMOKE_MIXES = ("paper-walk", GATE_MIX)
+"""The smoke subset: the paper baseline plus the gated mix.
+
+Volumes are *not* reduced in smoke mode — the gate margin comes from a
+well-trained motion database (sparse 40-trace databases are noisy enough
+that neither model can beat the other), so shrinking volumes makes the
+smoke verdict meaningless.  A single mix costs ~3 s; smoke trims the
+sweep, not the science."""
+
+_N_APS = 6
+
+
+def _session_factory(
+    study, config
+) -> Callable[[object], MoLocService]:
+    """Per-trace calibrated plain-service sessions under ``config``."""
+    fingerprint_db = study.fingerprint_db(_N_APS)
+    motion_db, _ = study.motion_db(_N_APS)
+
+    def make_session(trace) -> MoLocService:
+        service = MoLocService(
+            fingerprint_db,
+            motion_db,
+            body=BodyProfile(height_m=1.72),
+            config=config,
+        )
+        service._stride.step_length_m = trace.estimated_step_length_m
+        service.calibrate_heading(
+            [
+                (hop.imu.compass_readings, hop.imu.true_course_deg)
+                for hop in trace.hops[:2]
+            ]
+        )
+        return service
+
+    return make_session
+
+
+def _drive(make_session, traces, plan) -> Dict[str, Any]:
+    """Serve every trace; collect per-regime records and speed samples."""
+    records: List[LocalizationRecord] = []
+    by_regime: Dict[str, List[LocalizationRecord]] = defaultdict(list)
+    speed_errors: List[float] = []
+    for trace in traces:
+        service = make_session(trace)
+        fix = service.on_interval(trace.initial_fingerprint.rss)
+        records.append(_record(plan, trace.true_start, fix, initial=True))
+        for hop in trace.hops:
+            fix = service.on_interval(hop.arrival_fingerprint.rss, hop.imu)
+            record = _record(plan, hop.true_to, fix, initial=False)
+            records.append(record)
+            # Legacy traces carry no regime label; they are the paper
+            # walk by construction.
+            by_regime[hop.regime or "walk"].append(record)
+            estimator = service.speed_estimator
+            if (
+                estimator is not None
+                and estimator.speed_mps is not None
+                and hop.true_speed_mps is not None
+                and hop.true_speed_mps > 0.0
+            ):
+                speed_errors.append(
+                    estimator.speed_mps - hop.true_speed_mps
+                )
+    return {
+        "records": records,
+        "by_regime": dict(by_regime),
+        "speed_errors": speed_errors,
+    }
+
+
+def _record(plan, true_id, fix, initial: bool) -> LocalizationRecord:
+    error = plan.position_of(true_id).distance_to(
+        plan.position_of(fix.location_id)
+    )
+    return LocalizationRecord(
+        true_id=true_id,
+        estimated_id=fix.location_id,
+        error_m=error,
+        used_motion=fix.used_motion,
+        is_initial=initial,
+    )
+
+
+def _summary(records: List[LocalizationRecord]) -> Dict[str, Any]:
+    errors = np.array([r.error_m for r in records])
+    return {
+        "n_fixes": len(records),
+        "accuracy": sum(r.is_accurate for r in records) / len(records),
+        "mean_error_m": float(errors.mean()),
+        "max_error_m": float(errors.max()),
+    }
+
+
+def _system_cell(driven: Dict[str, Any], twins) -> Dict[str, Any]:
+    speed_errors = driven["speed_errors"]
+    return {
+        **_summary(driven["records"]),
+        "twin_confusion_rate": twin_confusion_rate(
+            driven["records"], twins
+        ),
+        "per_regime": {
+            regime: _summary(records)
+            for regime, records in sorted(driven["by_regime"].items())
+        },
+        "speed_rmse_mps": (
+            None
+            if not speed_errors
+            else float(np.sqrt(np.mean(np.square(speed_errors))))
+        ),
+        "speed_samples": len(speed_errors),
+    }
+
+
+def run_motion_bench(seed: int = 7, smoke: bool = False) -> Dict[str, Any]:
+    """Sweep {fixed, speed-adaptive} x the named gait mixes.
+
+    Returns the ``BENCH_motion.json`` document.  Every mix gets its own
+    study (traces generated under that mix's gait schedule; survey and
+    environment identical across mixes, so the twin census is shared),
+    and both systems replay the *same* held-out walks through per-trace
+    calibrated plain services — the only difference between the two
+    columns is ``config.speed_adaptive``.
+    """
+    import time
+
+    from ..sim.experiments import prepare_study
+
+    n_training = 120
+    n_test = 24
+    n_hops = 15
+
+    started = time.perf_counter()
+    mixes: Dict[str, Any] = {}
+    for mix in SMOKE_MIXES if smoke else BENCH_MIXES:
+        # The database side reproduces the paper: surveyed and
+        # crowdsourced by single-gait walkers.  Only the *served*
+        # population walks the mix — the deployment story the subsystem
+        # exists for.
+        study = prepare_study(
+            seed=seed,
+            n_training_traces=n_training,
+            n_test_traces=n_test,
+            trace_config=gait_trace_config("paper-walk", n_hops=n_hops),
+            test_trace_config=gait_trace_config(mix, n_hops=n_hops),
+        )
+        report = analyze_ambiguity(
+            study.scenario.survey.database, study.scenario.plan
+        )
+        twins = report.twins
+        fixed = _drive(
+            _session_factory(study, study.config),
+            study.test_traces,
+            study.scenario.plan,
+        )
+        adaptive_config = dataclasses.replace(
+            study.config, speed_adaptive=True
+        )
+        adaptive = _drive(
+            _session_factory(study, adaptive_config),
+            study.test_traces,
+            study.scenario.plan,
+        )
+        mixes[mix] = {
+            "n_twins": len(twins),
+            "systems": {
+                "fixed": _system_cell(fixed, twins),
+                "speed_adaptive": _system_cell(adaptive, twins),
+            },
+        }
+
+    gate_cell = mixes[GATE_MIX]["systems"]
+    fixed_error = gate_cell["fixed"]["mean_error_m"]
+    adaptive_error = gate_cell["speed_adaptive"]["mean_error_m"]
+    fixed_twin = gate_cell["fixed"]["twin_confusion_rate"]
+    adaptive_twin = gate_cell["speed_adaptive"]["twin_confusion_rate"]
+    error_ok = adaptive_error <= GATE_ERROR_RATIO * fixed_error
+    twin_ok = adaptive_twin < fixed_twin
+    return {
+        "report": "motion",
+        "seed": seed,
+        "smoke": smoke,
+        "scale": {
+            "n_training_traces": n_training,
+            "n_test_traces": n_test,
+            "trace_hops": n_hops,
+            "n_aps": _N_APS,
+        },
+        "mixes": mixes,
+        "gate": {
+            "mix": GATE_MIX,
+            "error_ratio_limit": GATE_ERROR_RATIO,
+            "observed_error_ratio": (
+                adaptive_error / fixed_error if fixed_error > 0 else None
+            ),
+            "twin_confusion_fixed": fixed_twin,
+            "twin_confusion_adaptive": adaptive_twin,
+            "error_ok": error_ok,
+            "twin_ok": twin_ok,
+            "passed": error_ok and twin_ok,
+        },
+        "limitations": [
+            "cart-heavy is reported, not gated: wheeled hops emit no "
+            "steps, so a step-frequency speed estimate cannot see the "
+            "translation; the fixed and adaptive models both treat the "
+            "hop as a dwell",
+        ],
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
+def validate_motion_document(document: Dict[str, Any]) -> List[str]:
+    """Schema-check one motion document; return the problems found."""
+    problems: List[str] = []
+    if document.get("report") != "motion":
+        problems.append(f"not a motion report: {document.get('report')!r}")
+        return problems
+    mixes = document.get("mixes", {})
+    expected = SMOKE_MIXES if document.get("smoke") else BENCH_MIXES
+    for mix in expected:
+        if mix not in mixes:
+            problems.append(f"mix {mix!r} is missing")
+            continue
+        systems = mixes[mix].get("systems", {})
+        for system in ("fixed", "speed_adaptive"):
+            cell = systems.get(system)
+            if cell is None:
+                problems.append(f"{mix}: system {system!r} is missing")
+                continue
+            if cell.get("n_fixes", 0) <= 0:
+                problems.append(f"{mix}/{system}: no fixes recorded")
+            # paper-walk runs the legacy generator (no gait labels, so
+            # no ground-truth speed); cart-heavy hops may emit no steps.
+            if system == "speed_adaptive" and mix == GATE_MIX:
+                if cell.get("speed_rmse_mps") is None:
+                    problems.append(
+                        f"{mix}/{system}: no speed estimate recorded"
+                    )
+    gate = document.get("gate", {})
+    if not gate.get("passed", False):
+        problems.append(f"gate failed: {gate}")
+    return problems

@@ -32,6 +32,11 @@ Commands:
   the deterministic per-shard driver at 1/2/4 shards and exit 0 iff
   every session's fix stream is bitwise equal to the lockstep
   coordinator's — the CI fast lane's ingress gate.
+* ``gait`` — the heterogeneous-gait gate: gait-disabled serving must be
+  bitwise-identical to the paper engine over a mixed-gait workload
+  (batched vs sequential plus 1/2/4-shard clusters), the speed-adaptive
+  opt-in must be shard-consistent, and the fixed-vs-adaptive motion
+  bench gate must pass.  Exit code 0 iff all gates hold.
 
 All commands are deterministic given ``--seed`` (wall-clock metrics in
 ``metrics``/``chaos`` output excepted).
@@ -461,6 +466,56 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the JSON document here",
     )
+
+    gait = subparsers.add_parser(
+        "gait",
+        help="the heterogeneous-gait gate: prove gait-disabled serving is "
+        "bitwise-identical to the paper engine over a mixed-gait workload "
+        "(batched vs sequential, 1/2/4-shard clusters), prove the "
+        "speed-adaptive path is shard-consistent, and run the "
+        "fixed-vs-adaptive motion bench (exit code 0 iff every gate "
+        "passes)",
+    )
+    gait.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bench only the paper-walk and mixed-gait mixes (CI fast "
+        "lane) instead of the full four-mix sweep",
+    )
+    gait.add_argument(
+        "--transport",
+        choices=("local", "process"),
+        default="local",
+        help="shard transport for the equality runs (default %(default)s)",
+    )
+    gait.add_argument(
+        "--sessions",
+        type=int,
+        default=6,
+        help="concurrent sessions in the equality workload (default 6)",
+    )
+    gait.add_argument(
+        "--corpus-size",
+        type=int,
+        default=4,
+        help="distinct mixed-gait walks replayed (default 4)",
+    )
+    gait.add_argument(
+        "--n-aps", type=int, default=6, help="AP count (default 6)"
+    )
+    gait.add_argument(
+        "--workdir",
+        type=Path,
+        default=None,
+        help="directory for shard WAL/checkpoint files (default: a "
+        "fresh temp dir)",
+    )
+    gait.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the JSON document here",
+    )
     return parser
 
 
@@ -534,6 +589,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "epochs":
         return _epochs(
             _study_from(args),
+            args.smoke,
+            args.transport,
+            args.sessions,
+            args.corpus_size,
+            args.n_aps,
+            args.workdir,
+            args.output,
+        )
+    if args.command == "gait":
+        return _gait(
+            args.seed,
             args.smoke,
             args.transport,
             args.sessions,
@@ -1713,6 +1779,203 @@ def _matrix(
     for problem in problems:
         print(f"INVALID: {problem}", file=sys.stderr)
     return 0 if not problems else 1
+
+
+def _gait(
+    seed: int,
+    smoke: bool,
+    transport: str,
+    n_sessions: int,
+    corpus_size: int,
+    n_aps: int,
+    workdir: Optional[Path],
+    output: Optional[Path],
+) -> int:
+    """The heterogeneous-gait gate: disabled path free, adaptive path won.
+
+    Three proofs over one seeded mixed-gait workload:
+
+    1. With speed adaptation *off* (the default), batched serving and
+       1/2/4-shard clusters produce fix streams bitwise equal to the
+       sequential paper engine — the new subsystem costs zero bytes
+       until somebody turns it on.
+    2. With speed adaptation *on*, a single adaptive engine and a
+       2-shard cluster admitted via ``shard_spec(..., gait=True)``
+       agree bitwise — the opt-in flag survives spec serialization,
+       worker bootstrap, and checkpointed session state.
+    3. The motion bench gate: on the mixed-gait mix the speed-adaptive
+       model must beat the fixed model on mean error (by
+       :data:`~repro.analysis.motion.GATE_ERROR_RATIO`) *and*
+       twin-confusion rate.
+
+    Exit code 0 iff all three hold.
+    """
+    import dataclasses
+    import json
+    import tempfile
+
+    from .analysis.motion import run_motion_bench, validate_motion_document
+    from .cluster import (
+        ClusterCoordinator,
+        LocalShard,
+        ProcessShard,
+        fresh_session_entry,
+        shard_spec,
+    )
+    from .serving import (
+        BatchedServingEngine,
+        IntervalEvent,
+        build_session_services,
+        fix_stream_checksum,
+        serve_batched,
+        serve_sequential,
+    )
+    from .sim.evaluation import multi_session_workload
+    from .sim.gait import gait_trace_config
+
+    study = prepare_study(
+        seed=seed,
+        n_training_traces=60,
+        n_test_traces=max(corpus_size, 4),
+        trace_config=gait_trace_config("paper-walk", n_hops=12),
+        test_trace_config=gait_trace_config("mixed-gait", n_hops=12),
+    )
+    fingerprint_db = study.fingerprint_db(n_aps)
+    motion_db, _ = study.motion_db(n_aps)
+    plan = study.scenario.plan
+    workload = multi_session_workload(
+        study.test_traces,
+        n_sessions,
+        corpus_size=min(corpus_size, n_sessions),
+        stagger_ticks=2,
+    )
+    if workdir is None:
+        shard_dir = Path(tempfile.mkdtemp(prefix="repro-gait-"))
+    else:
+        shard_dir = workdir
+        shard_dir.mkdir(parents=True, exist_ok=True)
+    transport_cls = LocalShard if transport == "local" else ProcessShard
+
+    def services(config) -> Dict[str, object]:
+        return build_session_services(
+            workload,
+            fingerprint_db,
+            motion_db,
+            config,
+            resilient=True,
+            plan=plan,
+        )
+
+    def digests(fixes: Dict[str, List[object]]) -> Dict[str, object]:
+        return {
+            session_id: {
+                "checksum": fix_stream_checksum(stream),
+                "fixes": len(stream),
+            }
+            for session_id, stream in sorted(fixes.items())
+        }
+
+    def run_engine(config) -> Dict[str, object]:
+        engine = BatchedServingEngine(fingerprint_db, motion_db, config)
+        return digests(serve_batched(engine, workload, services(config)).fixes)
+
+    def run_cluster(n_shards: int, label: str, config, gait: bool) -> Dict:
+        shards = [
+            transport_cls(
+                shard_spec(
+                    f"shard-{index}",
+                    fingerprint_db,
+                    motion_db,
+                    config,
+                    plan=plan,
+                    wal_path=shard_dir / f"{label}-{index}.wal",
+                    checkpoint_path=shard_dir / f"{label}-{index}.ckpt",
+                    gait=gait,
+                )
+            )
+            for index in range(n_shards)
+        ]
+        coordinator = ClusterCoordinator(shards)
+        for session_id, service in sorted(services(config).items()):
+            coordinator.add_session(fresh_session_entry(session_id, service))
+        streams = {sid: [] for sid in workload.sessions}
+        for tick in workload.ticks:
+            events = [
+                IntervalEvent(
+                    session_id=interval.session_id,
+                    scan=interval.scan,
+                    imu=interval.imu,
+                    sequence=interval.sequence,
+                )
+                for interval in tick
+            ]
+            outcome = coordinator.tick_detailed(events)
+            for event, fix in zip(events, outcome.fixes):
+                streams[event.session_id].append(fix)
+        coordinator.shutdown()
+        return digests(streams)
+
+    # Proof 1: the disabled path is bitwise-free.
+    reference = digests(
+        serve_sequential(workload, services(study.config)).fixes
+    )
+    batched_equal = run_engine(study.config) == reference
+    shard_runs: Dict[str, object] = {}
+    shards_equal = True
+    for n_shards in (1, 2, 4):
+        cluster_digests = run_cluster(
+            n_shards, f"off{n_shards}", study.config, gait=False
+        )
+        equal = cluster_digests == reference
+        shards_equal = shards_equal and equal
+        shard_runs[f"disabled_{n_shards}_shards"] = {
+            "shards": n_shards,
+            "equal": equal,
+        }
+
+    # Proof 2: the opt-in flag round-trips through the cluster.
+    adaptive_config = dataclasses.replace(study.config, speed_adaptive=True)
+    adaptive_reference = run_engine(adaptive_config)
+    adaptive_cluster = run_cluster(2, "on2", adaptive_config, gait=True)
+    adaptive_equal = adaptive_cluster == adaptive_reference
+    adaptive_differs = adaptive_reference != reference
+
+    # Proof 3: the motion bench gate.
+    bench = run_motion_bench(seed=seed, smoke=smoke)
+    problems = validate_motion_document(bench)
+
+    gates = {
+        "disabled_batched_equals_sequential": batched_equal,
+        "disabled_shard_streams_equal": shards_equal,
+        "adaptive_cluster_consistent": adaptive_equal,
+        "adaptive_changes_serving": adaptive_differs,
+        "bench_gate": bench["gate"]["passed"],
+        "bench_document_valid": not problems,
+    }
+    passed = all(gates.values())
+    document: Dict[str, object] = {
+        "report": "gait",
+        "smoke": smoke,
+        "transport": transport,
+        "sessions": n_sessions,
+        "ticks": len(workload.ticks),
+        "reference": reference,
+        "runs": shard_runs,
+        "adaptive": {
+            "equal": adaptive_equal,
+            "differs_from_disabled": adaptive_differs,
+        },
+        "bench": bench,
+        "problems": problems,
+        "gates": gates,
+        "passed": passed,
+    }
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    return 0 if passed else 1
 
 
 if __name__ == "__main__":

@@ -74,6 +74,7 @@ def shard_spec(
     clock_auto_advance_s: float = 0.0,
     fsync: bool = False,
     epochal: bool = False,
+    gait: bool = False,
 ) -> Dict[str, object]:
     """One shard's full deployment as a JSON-compatible dict.
 
@@ -119,6 +120,10 @@ def shard_spec(
             ``epoch_commit``).  The spec's database becomes epoch 0.
             Serialized only when set, so pre-epoch spec documents stay
             byte-identical.
+        gait: Turn on speed-adaptive serving (``config.speed_adaptive``)
+            for every session this worker builds, regardless of the
+            spec's config document.  Serialized only when set, so
+            pre-gait spec documents stay byte-identical.
     """
     if not shard_id:
         raise ValueError("shard_id must be a non-empty string")
@@ -167,6 +172,9 @@ def shard_spec(
     # keeps them byte-identical (same convention as "defended").
     if epochal:
         spec["epochal"] = True
+    # Same convention: only gait-enabled specs carry the key.
+    if gait:
+        spec["gait"] = True
     return spec
 
 
@@ -196,6 +204,11 @@ def build_engine(
     fingerprint_db = fingerprint_db_from_dict(spec["fingerprint_db"])
     motion_db = motion_db_from_dict(spec["motion_db"])
     config = MoLocConfig(**spec["config"])
+    # Pre-gait spec documents carry no "gait" key; they keep building
+    # fixed-pedestrian workers.  The flag wins over the config document
+    # so one spec knob flips the whole worker.
+    if spec.get("gait", False):
+        config = dataclasses.replace(config, speed_adaptive=True)
     plan = (
         None
         if spec["floorplan"] is None

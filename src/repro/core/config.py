@@ -34,6 +34,21 @@ class MoLocConfig:
         min_offset_std_m: Floor on the stored offset standard deviation.
         stay_sigma_m: Scale of the zero-mean offset model used for the
             "user did not move" self-transition.
+        speed_adaptive: Opt-in for the speed-adaptive transition model.
+            When False (the default) every speed field below is inert and
+            the pipeline is bitwise-identical to the fixed-pedestrian
+            model.
+        speed_reference_mps: The walking speed the motion database was
+            surveyed at; the offset interval ``beta_m`` is scaled by
+            ``estimated_speed / speed_reference_mps``.
+        speed_beta_scale_min: Lower clamp on the ``beta_m`` scale factor.
+        speed_beta_scale_max: Upper clamp on the ``beta_m`` scale factor.
+        speed_smoothing: EWMA learning rate for the online speed
+            estimate (0 < rate <= 1; 1 means "trust only the newest
+            sample").
+        dwell_cadence_hz: Step cadence below which an interval is
+            treated as an explicit dwell (the user is standing still)
+            rather than a slow walk.
     """
 
     k: int = 12
@@ -46,6 +61,12 @@ class MoLocConfig:
     min_direction_std_deg: float = 3.0
     min_offset_std_m: float = 0.1
     stay_sigma_m: float = 0.5
+    speed_adaptive: bool = False
+    speed_reference_mps: float = 1.35
+    speed_beta_scale_min: float = 0.5
+    speed_beta_scale_max: float = 3.0
+    speed_smoothing: float = 0.3
+    dwell_cadence_hz: float = 0.5
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -64,3 +85,17 @@ class MoLocConfig:
             raise ValueError("standard-deviation floors must be positive")
         if self.stay_sigma_m <= 0:
             raise ValueError("stay_sigma_m must be positive")
+        if self.speed_reference_mps <= 0:
+            raise ValueError("speed_reference_mps must be positive")
+        if self.speed_beta_scale_min <= 0:
+            raise ValueError("speed_beta_scale_min must be positive")
+        if self.speed_beta_scale_max < self.speed_beta_scale_min:
+            raise ValueError(
+                "speed_beta_scale_max must be >= speed_beta_scale_min"
+            )
+        if not 0.0 < self.speed_smoothing <= 1.0:
+            raise ValueError(
+                f"speed_smoothing must be in (0, 1], got {self.speed_smoothing}"
+            )
+        if self.dwell_cadence_hz < 0:
+            raise ValueError("dwell_cadence_hz must be non-negative")

@@ -182,6 +182,8 @@ class MoLocLocalizer:
         motion: Optional[MotionMeasurement] = None,
         active_aps: Optional[Sequence[bool]] = None,
         k: Optional[int] = None,
+        beta_scale: Optional[float] = None,
+        dwell: Optional[bool] = None,
     ) -> LocationEstimate:
         """Process one localization interval.
 
@@ -194,6 +196,10 @@ class MoLocLocalizer:
             k: Candidate-set size override for this interval only (the
                 divergence watchdog widens the set during recovery);
                 defaults to the configured ``k``.
+            beta_scale: Speed-adaptive offset-interval widening from the
+                session's speed estimator; None means the fixed model
+                (bitwise-unchanged).
+            dwell: Explicit dwell verdict for the stay model.
 
         Returns:
             The location estimate with its evaluated candidate set.
@@ -204,13 +210,17 @@ class MoLocLocalizer:
             self.config.k if k is None else k,
             active_aps,
         )
-        return self.evaluate(candidates, motion)
+        return self.evaluate(
+            candidates, motion, beta_scale=beta_scale, dwell=dwell
+        )
 
     def evaluate(
         self,
         candidates: Sequence[Candidate],
         motion: Optional[MotionMeasurement] = None,
         transition_probabilities: Optional[Sequence[float]] = None,
+        beta_scale: Optional[float] = None,
+        dwell: Optional[bool] = None,
     ) -> LocationEstimate:
         """Candidate evaluation (Eq. 6/7) over an already-matched set.
 
@@ -230,6 +240,11 @@ class MoLocLocalizer:
                 :func:`~repro.core.motion_matching.set_transition_probability`.
                 Ignored unless both a retained set and a motion
                 measurement exist.
+            beta_scale: Speed-adaptive offset-interval widening; None is
+                the fixed model.  Precomputed transition probabilities
+                must already reflect it (the engine keys its caches on
+                the speed state).
+            dwell: Explicit dwell verdict for the stay model.
 
         Raises:
             ValueError: for an empty candidate set, or a transition list
@@ -241,6 +256,7 @@ class MoLocLocalizer:
         posteriors = [c.probability for c in candidates]
         if self._retained is not None and motion is not None:
             if transition_probabilities is None:
+                scale = 1.0 if beta_scale is None else beta_scale
                 transition_probabilities = [
                     set_transition_probability(
                         self.motion_db,
@@ -248,6 +264,8 @@ class MoLocLocalizer:
                         c.location_id,
                         motion,
                         self.config,
+                        scale,
+                        dwell,
                     )
                     for c in candidates
                 ]

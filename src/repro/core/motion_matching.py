@@ -17,12 +17,22 @@ the mixture
 A self-transition (the user stayed at ``j``) is not in the paper's motion
 database; we model it with a zero-mean offset Gaussian so a stationary
 user is handled gracefully instead of being assigned probability zero.
+
+Speed adaptation: the paper surveys its motion database at one walking
+speed, so its ``beta`` interval is tuned to pedestrian offsets.  Every
+offset scorer here accepts an optional ``beta_scale`` that widens (or
+narrows) the interval to ``beta_m * beta_scale`` for users estimated to
+move faster or slower than the survey gait.  ``beta_scale=1.0`` computes
+the exact same float expression as before — the disabled path stays
+bitwise-identical.  ``stay_probability`` additionally accepts an explicit
+``dwell`` verdict: a detected dwell scores the stay interval at its
+center instead of at the (noise-driven) measured offset.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
 from ..env.geometry import bearing_difference, normalize_bearing
 from ..motion.rlm import MotionMeasurement
@@ -82,20 +92,38 @@ def direction_probability(
     )
 
 
-def offset_probability(stats: PairStatistics, offset_m: float, beta_m: float) -> float:
-    """``O_{i,j}(o)``: mass of the pair's offset Gaussian around ``o``."""
+def offset_probability(
+    stats: PairStatistics,
+    offset_m: float,
+    beta_m: float,
+    beta_scale: float = 1.0,
+) -> float:
+    """``O_{i,j}(o)``: mass of the pair's offset Gaussian around ``o``.
+
+    ``beta_scale`` widens the discretization interval for users moving
+    faster (or slower) than the survey gait; ``1.0`` is the exact
+    fixed-pedestrian computation.
+    """
     return gaussian_interval_probability(
-        mean=stats.offset_mean_m, std=stats.offset_std_m, center=offset_m, width=beta_m
+        mean=stats.offset_mean_m,
+        std=stats.offset_std_m,
+        center=offset_m,
+        width=beta_m * beta_scale,
     )
 
 
 def pair_probability(
-    stats: PairStatistics, measurement: MotionMeasurement, config: MoLocConfig
+    stats: PairStatistics,
+    measurement: MotionMeasurement,
+    config: MoLocConfig,
+    beta_scale: float = 1.0,
 ) -> float:
     """``P_{i,j}(d, o) = D_{i,j}(d) * O_{i,j}(o)`` (Eq. 5)."""
     return direction_probability(
         stats, measurement.direction_deg, config.alpha_deg
-    ) * offset_probability(stats, measurement.offset_m, config.beta_m)
+    ) * offset_probability(
+        stats, measurement.offset_m, config.beta_m, beta_scale
+    )
 
 
 def pair_probability_from_parameters(
@@ -106,6 +134,7 @@ def pair_probability_from_parameters(
     direction_deg: float,
     offset_m: float,
     config: MoLocConfig,
+    beta_scale: float = 1.0,
 ) -> float:
     """Eq. 5 from raw Gaussian parameters instead of a stats object.
 
@@ -122,21 +151,33 @@ def pair_probability_from_parameters(
         mean=offset_mean_m,
         std=offset_std_m,
         center=offset_m,
-        width=config.beta_m,
+        width=config.beta_m * beta_scale,
     )
 
 
-def stay_probability(measurement: MotionMeasurement, config: MoLocConfig) -> float:
+def stay_probability(
+    measurement: MotionMeasurement,
+    config: MoLocConfig,
+    beta_scale: float = 1.0,
+    dwell: Optional[bool] = None,
+) -> float:
     """Probability that the measured motion means "the user did not move".
 
     Direction is uninformative while standing, so only the offset is
     scored, against a zero-mean Gaussian of scale ``stay_sigma_m``.
+
+    ``dwell`` is the speed estimator's explicit verdict: ``True`` means
+    the interval was detected as a standing dwell, so the stay interval
+    is scored at its center (full mass, instead of wherever accelerometer
+    noise happened to put the measured offset).  ``None``/``False`` keeps
+    the legacy step-absence behavior of scoring at the measured offset.
     """
+    center = 0.0 if dwell else measurement.offset_m
     return gaussian_interval_probability(
         mean=0.0,
         std=config.stay_sigma_m,
-        center=measurement.offset_m,
-        width=config.beta_m,
+        center=center,
+        width=config.beta_m * beta_scale,
     )
 
 
@@ -146,6 +187,8 @@ def set_transition_probability(
     end_id: int,
     measurement: MotionMeasurement,
     config: MoLocConfig,
+    beta_scale: float = 1.0,
+    dwell: Optional[bool] = None,
 ) -> float:
     """``P_{S,j}(d, o)``: mixture over the prior candidate set (Eq. 6).
 
@@ -156,6 +199,10 @@ def set_transition_probability(
         end_id: The candidate end location ``j``.
         measurement: The measured direction and offset.
         config: Discretization intervals and the stay model.
+        beta_scale: Speed-adaptive widening of the offset interval
+            (``1.0`` = fixed-pedestrian model, bitwise-unchanged).
+        dwell: Explicit dwell verdict forwarded to
+            :func:`stay_probability`.
 
     Pairs unknown to the motion database contribute zero: the database is
     the authority on which hops are walkable.
@@ -165,8 +212,12 @@ def set_transition_probability(
         if probability <= 0.0:
             continue
         if start_id == end_id:
-            total += probability * stay_probability(measurement, config)
+            total += probability * stay_probability(
+                measurement, config, beta_scale, dwell
+            )
         elif motion_db.has_pair(start_id, end_id):
             stats = motion_db.entry(start_id, end_id)
-            total += probability * pair_probability(stats, measurement, config)
+            total += probability * pair_probability(
+                stats, measurement, config, beta_scale
+            )
     return total

@@ -62,16 +62,24 @@ def trace_to_dict(trace: WalkTrace) -> Dict[str, Any]:
         "initial_fingerprint": list(trace.initial_fingerprint.rss),
         "placement_offset_estimate_deg": trace.placement_offset_estimate_deg,
         "estimated_step_length_m": trace.estimated_step_length_m,
-        "hops": [
-            {
-                "true_from": hop.true_from,
-                "true_to": hop.true_to,
-                "arrival_fingerprint": list(hop.arrival_fingerprint.rss),
-                "imu": _imu_to_dict(hop.imu),
-            }
-            for hop in trace.hops
-        ],
+        "hops": [_hop_to_dict(hop) for hop in trace.hops],
     }
+
+
+def _hop_to_dict(hop: TraceHop) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "true_from": hop.true_from,
+        "true_to": hop.true_to,
+        "arrival_fingerprint": list(hop.arrival_fingerprint.rss),
+        "imu": _imu_to_dict(hop.imu),
+    }
+    # Gait labels only when present, so pre-gait documents stay
+    # byte-stable (the gyro_rates_dps convention).
+    if hop.regime is not None:
+        entry["regime"] = hop.regime
+    if hop.true_speed_mps is not None:
+        entry["true_speed_mps"] = hop.true_speed_mps
+    return entry
 
 
 def trace_from_dict(payload: Dict[str, Any]) -> WalkTrace:
@@ -93,6 +101,12 @@ def trace_from_dict(payload: Dict[str, Any]) -> WalkTrace:
             imu=_imu_from_dict(entry["imu"]),
             arrival_fingerprint=Fingerprint.from_values(
                 entry["arrival_fingerprint"]
+            ),
+            regime=entry.get("regime"),
+            true_speed_mps=(
+                None
+                if entry.get("true_speed_mps") is None
+                else float(entry["true_speed_mps"])
             ),
         )
         for entry in payload["hops"]

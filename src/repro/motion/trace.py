@@ -10,7 +10,7 @@ when passing a reference location, used solely to report accuracy).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from ..core.fingerprint import Fingerprint
 from ..sensors.imu import ImuSegment
@@ -27,12 +27,18 @@ class TraceHop:
         true_to: Ground-truth location id the hop arrived at.
         imu: IMU recording covering the hop (one localization interval).
         arrival_fingerprint: WiFi scan taken on arrival.
+        regime: Ground-truth gait-regime label, when the hop came from
+            gait-aware generation (scoring only; None on legacy traces).
+        true_speed_mps: Ground-truth translation speed over the hop,
+            when gait-aware generation recorded it (scoring only).
     """
 
     true_from: int
     true_to: int
     imu: ImuSegment
     arrival_fingerprint: Fingerprint
+    regime: Optional[str] = None
+    true_speed_mps: Optional[float] = None
 
 
 @dataclass(frozen=True)

@@ -205,10 +205,14 @@ class ScanSanitizer:
         )
 
 
-_MIN_CREDIBLE_ACCEL_STD = 0.02
+_FLAT_LINE_ACCEL_STD = 1e-6
 """Accelerometer-magnitude standard deviation (m/s²) below which the
-stream is a flat line no physical sensor produces; real idle noise is an
-order of magnitude larger."""
+stream is a flat line no physical sensor produces.  A dead register
+repeats one value exactly (std 0.0), while even the quietest MEMS
+accelerometer resting on a table shows thermal noise orders of magnitude
+above this; a standing user's quiescent noise (~0.008 m/s²) must not be
+vetoed as a dropout — standing still is legitimate motion state, not a
+sensor fault."""
 
 _MAX_CREDIBLE_HEADING_STEP_DEG = 40.0
 """Mean absolute heading change between consecutive compass readings
@@ -257,7 +261,7 @@ def check_imu(imu: Optional[ImuSegment]) -> ImuCheck:
         return ImuCheck(False, (FaultType.IMU_DROPOUT,), "empty")
     if not np.isfinite(samples).all() or not np.isfinite(readings).all():
         return ImuCheck(False, (FaultType.IMU_DROPOUT,), "non-finite")
-    if float(samples.std()) < _MIN_CREDIBLE_ACCEL_STD:
+    if float(samples.std()) < _FLAT_LINE_ACCEL_STD:
         return ImuCheck(False, (FaultType.IMU_DROPOUT,), "flat-line")
     if readings.size >= 2:
         steps = np.abs((np.diff(readings) + 180.0) % 360.0 - 180.0)

@@ -381,12 +381,24 @@ class ResilientMoLocService(MoLocService):
             # previous interval's count.
             self._last_steps = None
 
+        # The speed estimator observes whenever motion was extracted —
+        # even on a coasting interval — so its estimate stays warm; its
+        # verdict only steers scoring on motion-assisted intervals (the
+        # coast path stays on the legacy model in both serving paths).
+        beta_scale, dwell = self._observe_speed(
+            imu if measurement is not None else None, measurement
+        )
+        if mode is not ServingMode.MOTION_ASSISTED:
+            beta_scale, dwell = None, None
+
         coasting = mode is ServingMode.DEAD_RECKONING
         return ResilientPreparedInterval(
             fingerprint=None if coasting else sanitized.fingerprint,
             motion=(
                 measurement if mode is ServingMode.MOTION_ASSISTED else None
             ),
+            beta_scale=beta_scale,
+            dwell=dwell,
             active_aps=(
                 active_aps
                 if not coasting
@@ -462,10 +474,16 @@ class ResilientMoLocService(MoLocService):
                 prepared.motion,
                 active_aps=prepared.active_aps,
                 k=prepared.k,
+                beta_scale=prepared.beta_scale,
+                dwell=prepared.dwell,
             )
         else:
             estimate = self._localizer.evaluate(
-                candidates, prepared.motion, transition_probabilities
+                candidates,
+                prepared.motion,
+                transition_probabilities,
+                beta_scale=prepared.beta_scale,
+                dwell=prepared.dwell,
             )
 
         # Same-interval repair: one AP lying egregiously about *this*
@@ -495,6 +513,8 @@ class ResilientMoLocService(MoLocService):
                         prepared.motion,
                         active_aps=combined,
                         k=prepared.k,
+                        beta_scale=prepared.beta_scale,
+                        dwell=prepared.dwell,
                     )
                     repaired_ap = suspect
                     faults.append(FaultType.ROGUE_AP_MASKED)

@@ -67,12 +67,18 @@ class PreparedInterval:
             (already gated by serving mode), or None.
         active_aps: Per-AP mask for matching, or None.
         k: Candidate-set size override, or None for the configured k.
+        beta_scale: Speed-adaptive offset-interval widening for this
+            interval's transition scoring; None (always, unless the
+            session runs speed-adaptive) means the fixed model.
+        dwell: The speed estimator's explicit dwell verdict, or None.
     """
 
     fingerprint: Optional[Fingerprint]
     motion: Optional[MotionMeasurement]
     active_aps: Optional[Sequence[bool]] = None
     k: Optional[int] = None
+    beta_scale: Optional[float] = None
+    dwell: Optional[bool] = None
 
 
 @dataclass
@@ -131,8 +137,15 @@ class MoLocService:
     ) -> None:
         self._localizer = MoLocLocalizer(fingerprint_db, motion_db, config)
         self._motion_db = motion_db
+        self._config = config
         self._stride = StepLengthEstimator(body.estimated_step_length_m)
         self._personalize_stride = personalize_stride
+        self._speed = None
+        if config.speed_adaptive:
+            # Local import: repro.serving imports this module at load.
+            from .serving.speed import SpeedEstimator
+
+            self._speed = SpeedEstimator(config)
         self._placement_offset_deg: Optional[float] = None
         self._use_gyro_fusion = use_gyro_fusion
         self._fix_count = 0
@@ -179,6 +192,14 @@ class MoLocService:
             self._stride.step_length_m,
             self._use_gyro_fusion,
         )
+
+    @property
+    def speed_estimator(self):
+        """The session's :class:`~repro.serving.speed.SpeedEstimator`.
+
+        None unless the configuration enables ``speed_adaptive``.
+        """
+        return self._speed
 
     @property
     def is_calibrated(self) -> bool:
@@ -274,7 +295,31 @@ class MoLocService:
             # with the upcoming hop in stride personalization.
             motion = None
             self._last_steps = None
-        return PreparedInterval(fingerprint=fingerprint, motion=motion)
+        beta_scale, dwell = self._observe_speed(imu, motion)
+        return PreparedInterval(
+            fingerprint=fingerprint,
+            motion=motion,
+            beta_scale=beta_scale,
+            dwell=dwell,
+        )
+
+    def _observe_speed(
+        self, imu: Optional[ImuSegment], motion: Optional[MotionMeasurement]
+    ) -> Tuple[Optional[float], Optional[bool]]:
+        """Feed the speed estimator one interval; return its verdict.
+
+        ``(None, None)`` — the fixed model — unless the session runs
+        speed-adaptive and this interval carried motion.  The estimator
+        consumes the step count ``prepare`` just recorded, so the
+        batched (precomputed) and sequential paths feed it identical
+        inputs.
+        """
+        if self._speed is None or imu is None or motion is None:
+            return None, None
+        self._speed.observe(
+            self._last_steps, imu.duration_s, self._stride.step_length_m
+        )
+        return self._speed.beta_scale, self._speed.dwell
 
     def complete_interval(
         self,
@@ -305,10 +350,16 @@ class MoLocService:
                 prepared.motion,
                 active_aps=prepared.active_aps,
                 k=prepared.k,
+                beta_scale=prepared.beta_scale,
+                dwell=prepared.dwell,
             )
         else:
             estimate = self._localizer.evaluate(
-                candidates, prepared.motion, transition_probabilities
+                candidates,
+                prepared.motion,
+                transition_probabilities,
+                beta_scale=prepared.beta_scale,
+                dwell=prepared.dwell,
             )
         self._fix_count += 1
         self._c_fixes.inc()
@@ -347,6 +398,10 @@ class MoLocService:
         self._fix_count = 0
         self._previous_fix = None
         self._last_steps = None
+        if self._speed is not None:
+            from .serving.speed import SpeedEstimator
+
+            self._speed = SpeedEstimator(self._config)
 
     def state_dict(self) -> dict:
         """Everything a checkpoint needs to resume this session exactly.
@@ -357,7 +412,7 @@ class MoLocService:
         registries are deliberately excluded — observability restarts
         fresh after a crash, the estimate stream does not.
         """
-        return {
+        state = {
             "kind": "moloc_session",
             "placement_offset_deg": self._placement_offset_deg,
             "fix_count": self._fix_count,
@@ -366,6 +421,11 @@ class MoLocService:
             "stride": self._stride.state_dict(),
             "localizer": self._localizer.state_dict(),
         }
+        # Only speed-adaptive sessions carry a speed key, so checkpoints
+        # of the paper configuration stay byte-stable.
+        if self._speed is not None:
+            state["speed"] = self._speed.state_dict()
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         """Restore session state captured by :meth:`state_dict`.
@@ -383,6 +443,16 @@ class MoLocService:
         self._last_steps = None if steps is None else float(steps)
         self._stride.load_state_dict(state["stride"])
         self._localizer.load_state_dict(state["localizer"])
+        if self._speed is not None:
+            speed_state = state.get("speed")
+            if speed_state is not None:
+                self._speed.load_state_dict(speed_state)
+            else:
+                # A pre-gait checkpoint restored into a speed-adaptive
+                # session: start the estimator fresh.
+                from .serving.speed import SpeedEstimator
+
+                self._speed = SpeedEstimator(self._config)
 
     def extract_motion(
         self, imu: ImuSegment
@@ -414,8 +484,20 @@ class MoLocService:
             direction = course_from_readings(
                 imu.compass_readings, self._placement_offset_deg
             )
+        step_length = self._stride.step_length_m
+        if self._speed is not None and steps > 0 and imu.duration_s > 0:
+            # Speed-adaptive sessions rescale the stride by the observed
+            # cadence (linear stride-cadence model): a runner's steps are
+            # longer than the calibrated walk stride, and the raw product
+            # would understate every fast hop.  Pure in (segment, stride,
+            # config), so the engine's extraction memo stays valid.
+            from .serving.speed import adaptive_step_length_m
+
+            step_length = adaptive_step_length_m(
+                steps / imu.duration_s, step_length, self._config
+            )
         measurement = MotionMeasurement(
-            direction_deg=direction, offset_m=steps * self._stride.step_length_m
+            direction_deg=direction, offset_m=steps * step_length
         )
         return measurement, steps
 

@@ -53,6 +53,7 @@ from .engine import (
 )
 from .scheduler import BatchMatcher, MatchRequest
 from .session import QuarantinePolicy, SessionManager, SessionRecord
+from .speed import SpeedEstimator
 from .transitions import TransitionEvaluator
 
 __all__ = [
@@ -69,6 +70,7 @@ __all__ = [
     "SessionFault",
     "SessionManager",
     "SessionRecord",
+    "SpeedEstimator",
     "TickOutcome",
     "TransitionEvaluator",
     "WriteAheadLog",

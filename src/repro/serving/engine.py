@@ -1025,6 +1025,10 @@ class BatchedServingEngine:
                     localizer = service.localizer
                     prior = localizer.retained_candidates
                     motion = prepared.motion
+                    # The motion element carries the speed state: two
+                    # sessions at different estimated speeds (or dwell
+                    # verdicts) score transitions differently and must
+                    # not share a cached posterior.
                     estimate_key = (
                         self.epoch_id,
                         match_key,
@@ -1032,7 +1036,12 @@ class BatchedServingEngine:
                         (
                             None
                             if motion is None or prior is None
-                            else (motion.direction_deg, motion.offset_m)
+                            else (
+                                motion.direction_deg,
+                                motion.offset_m,
+                                prepared.beta_scale,
+                                prepared.dwell,
+                            )
                         ),
                         localizer.retention,
                     )
@@ -1053,6 +1062,8 @@ class BatchedServingEngine:
                                     prior,
                                     [c.location_id for c in candidates],
                                     motion,
+                                    prepared.beta_scale,
+                                    prepared.dwell,
                                 )
                             )
                             transitions_s += (

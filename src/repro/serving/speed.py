@@ -1,0 +1,190 @@
+"""Online walking-speed estimation for the speed-adaptive transition model.
+
+The paper's motion database is surveyed at one pedestrian gait, so its
+offset discretization interval ``beta`` (Eq. 5) is tuned to pedestrian
+hop offsets.  A user who strolls, runs, or pushes a cart produces offsets
+systematically off that survey scale; with a fixed ``beta`` the Eq. 6
+mixture collapses toward zero and motion stops disambiguating twins.
+
+:class:`SpeedEstimator` closes the loop online, with no extra sensors:
+each interval's step count and duration give a cadence, cadence times an
+adaptively scaled step length gives a speed sample, and an EWMA smooths
+the samples into a stable estimate.  The step-length model is
+:func:`adaptive_step_length_m`: stride grows roughly linearly with
+cadence across human gaits (strollers take short slow steps, runners
+long fast ones), so the calibrated walk stride is rescaled by the ratio
+of the observed cadence to the calibration cadence implied by the
+reference speed.  The same model corrects the *measured offset* in
+:meth:`repro.service.MoLocService.extract_motion` when speed adaptation
+is on — without it, a runner's offsets are ~30% short of the motion
+database's survey-scale hop distances and no interval widening can
+recover the lost transitions.  The estimate maps to a
+``beta_scale`` — the factor the transition scorers in
+:mod:`repro.core.motion_matching` widen their offset interval by — via
+the ratio to the survey gait's reference speed, clamped to a configured
+band.  Intervals with cadence below ``dwell_cadence_hz`` (or with no
+detected steps at all) are explicit dwells: the estimator holds its speed
+estimate (a standing user has not changed gait) and reports
+``dwell=True`` so :func:`~repro.core.motion_matching.stay_probability`
+can score the stay interval at its center.
+
+State is JSON-plain (:meth:`state_dict` / :meth:`load_state_dict`) so it
+round-trips through checkpoints and the WAL exactly like the stride
+estimator and :class:`~repro.robustness.trust.ApTrustMonitor`: a restored
+estimator makes bitwise-identical decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import MoLocConfig
+
+__all__ = ["SpeedEstimator", "adaptive_step_length_m"]
+
+_MIN_ADAPTIVE_STRIDE_M = 0.3
+_MAX_ADAPTIVE_STRIDE_M = 1.3
+"""Plausibility clamp for the cadence-scaled stride — slightly wider
+than the stride personalizer's acceptance band because running strides
+legitimately exceed a walking-plausible 1.1 m."""
+
+
+def adaptive_step_length_m(
+    cadence_hz: float, base_step_length_m: float, config: MoLocConfig
+) -> float:
+    """Cadence-scaled step length under the linear stride-cadence model.
+
+    The calibrated ``base_step_length_m`` is assumed to correspond to
+    the cadence a ``config.speed_reference_mps`` walk implies
+    (``reference / base``); the observed cadence rescales it
+    proportionally, clamped to a plausible human stride band.  Pure in
+    its inputs, so the serving engine's motion-extraction memo stays
+    valid.
+
+    Raises:
+        ValueError: for a non-positive cadence or base step length.
+    """
+    if cadence_hz <= 0:
+        raise ValueError(f"cadence must be positive, got {cadence_hz}")
+    if base_step_length_m <= 0:
+        raise ValueError(
+            f"step length must be positive, got {base_step_length_m}"
+        )
+    reference_cadence_hz = config.speed_reference_mps / base_step_length_m
+    length = base_step_length_m * (cadence_hz / reference_cadence_hz)
+    if length < _MIN_ADAPTIVE_STRIDE_M:
+        return _MIN_ADAPTIVE_STRIDE_M
+    if length > _MAX_ADAPTIVE_STRIDE_M:
+        return _MAX_ADAPTIVE_STRIDE_M
+    return length
+
+
+class SpeedEstimator:
+    """EWMA walking-speed estimate feeding the speed-adaptive model.
+
+    Args:
+        config: Supplies the reference speed, the ``beta_scale`` clamp
+            band, the EWMA rate, and the dwell cadence threshold.
+    """
+
+    def __init__(self, config: MoLocConfig) -> None:
+        self._config = config
+        self._speed_mps: Optional[float] = None
+        self._dwell: bool = False
+        self._samples: int = 0
+        self._dwells: int = 0
+
+    @property
+    def speed_mps(self) -> Optional[float]:
+        """The smoothed speed estimate, or None before any walked sample."""
+        return self._speed_mps
+
+    @property
+    def dwell(self) -> bool:
+        """Whether the most recent interval was an explicit dwell."""
+        return self._dwell
+
+    @property
+    def samples(self) -> int:
+        """Walked intervals that updated the estimate."""
+        return self._samples
+
+    @property
+    def dwells(self) -> int:
+        """Intervals classified as standing dwells."""
+        return self._dwells
+
+    @property
+    def beta_scale(self) -> float:
+        """The offset-interval widening factor for the current estimate.
+
+        ``1.0`` until the first walked sample: an unknown speed must not
+        perturb the paper model.
+        """
+        if self._speed_mps is None:
+            return 1.0
+        scale = self._speed_mps / self._config.speed_reference_mps
+        if scale < self._config.speed_beta_scale_min:
+            return self._config.speed_beta_scale_min
+        if scale > self._config.speed_beta_scale_max:
+            return self._config.speed_beta_scale_max
+        return scale
+
+    def observe(
+        self,
+        steps: Optional[float],
+        duration_s: float,
+        step_length_m: float,
+    ) -> None:
+        """Feed one serving interval.
+
+        Args:
+            steps: Steps counted over the interval, or None when the
+                step counter declared the user non-walking.
+            duration_s: The interval's IMU duration.
+            step_length_m: The stride estimator's current step length;
+                rescaled by :func:`adaptive_step_length_m` before the
+                speed sample is formed.
+
+        Raises:
+            ValueError: for a non-positive duration or step length.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        if step_length_m <= 0:
+            raise ValueError(
+                f"step length must be positive, got {step_length_m}"
+            )
+        cadence_hz = 0.0 if steps is None else steps / duration_s
+        if steps is None or cadence_hz < self._config.dwell_cadence_hz:
+            # Standing still is not a gait change: hold the estimate.
+            self._dwell = True
+            self._dwells += 1
+            return
+        self._dwell = False
+        sample = cadence_hz * adaptive_step_length_m(
+            cadence_hz, step_length_m, self._config
+        )
+        if self._speed_mps is None:
+            self._speed_mps = sample
+        else:
+            rate = self._config.speed_smoothing
+            self._speed_mps = (1.0 - rate) * self._speed_mps + rate * sample
+        self._samples += 1
+
+    def state_dict(self) -> dict:
+        """The mutable estimator state (JSON-compatible)."""
+        return {
+            "speed_mps": self._speed_mps,
+            "dwell": self._dwell,
+            "samples": self._samples,
+            "dwells": self._dwells,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        speed = state["speed_mps"]
+        self._speed_mps = None if speed is None else float(speed)
+        self._dwell = bool(state["dwell"])
+        self._samples = int(state["samples"])
+        self._dwells = int(state["dwells"])

@@ -117,18 +117,24 @@ class TransitionEvaluator:
         prior: Sequence[Tuple[int, float]],
         end_ids: Sequence[int],
         measurement: MotionMeasurement,
+        beta_scale: Optional[float] = None,
+        dwell: Optional[bool] = None,
     ) -> List[float]:
         """Eq. 6 for every candidate end location, in order.
 
         Bitwise-identical to calling
         :func:`~repro.core.motion_matching.set_transition_probability`
-        per end id with the same prior, measurement, and config.
+        per end id with the same prior, measurement, config, and speed
+        state.  ``beta_scale``/``dwell`` are part of the vector's cache
+        key: two sessions at different estimated speeds must not share a
+        cached vector even when their priors and measurements agree.
         """
         prior_key = tuple(prior)
         ends_key = tuple(end_ids)
         direction = measurement.direction_deg
         offset = measurement.offset_m
-        set_key = (prior_key, ends_key, direction, offset)
+        scale = 1.0 if beta_scale is None else beta_scale
+        set_key = (prior_key, ends_key, direction, offset, scale, dwell)
         if self._set_cache_size > 0:
             cached = self._set_cache.get(set_key)
             if cached is not None:
@@ -161,7 +167,9 @@ class TransitionEvaluator:
             for start_id, probability, start_index in resolved:
                 if start_id == end_id:
                     if stay is None:
-                        stay = stay_probability(measurement, config)
+                        stay = stay_probability(
+                            measurement, config, scale, dwell
+                        )
                     total += probability * stay
                 elif (
                     start_index is not None
@@ -176,6 +184,7 @@ class TransitionEvaluator:
                         direction,
                         offset,
                         config,
+                        scale,
                     )
             values.append(total)
 

@@ -134,13 +134,18 @@ def prepare_study(
     n_aps: Optional[int] = None,
     samples_per_location: int = 60,
     training_samples: int = 40,
+    test_trace_config: Optional[TraceGenerationConfig] = None,
 ) -> Study:
     """Assemble the full experimental data set (Sec. VI-A protocol).
 
     Defaults reproduce the paper's volumes: 150 motion-training walks and
     34 held-out test walks over the 28-location hall with 6 APs.  Pass a
     generated world (see :mod:`repro.env.procedural`) as ``hall`` to run
-    the identical protocol over any environment.
+    the identical protocol over any environment.  ``test_trace_config``
+    lets the held-out population walk differently from the crowdsourcing
+    population (the motion benchmark serves mixed-gait walkers against a
+    database crowdsourced at the paper gait); when omitted both use
+    ``trace_config``.
     """
     scenario = build_scenario(
         seed=seed,
@@ -158,7 +163,7 @@ def prepare_study(
         scenario,
         n_test_traces,
         test_rng,
-        config=trace_config,
+        config=trace_config if test_trace_config is None else test_trace_config,
         start_time_s=3600.0,
     )
     return Study(

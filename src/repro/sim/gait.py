@@ -1,0 +1,513 @@
+"""Heterogeneous motion regimes: gait profiles, schedules, hop recording.
+
+Every walker in the paper moves at one pedestrian gait, so the motion
+database — and the fixed ``beta`` transition model built on it — only
+ever sees pedestrian offsets.  Real populations stand still, stroll,
+run, and push wheeled carts, and each regime breaks the fixed model in a
+different way: standers flat-line the IMU, runners overshoot the offset
+scale, carts move without emitting a single step.
+
+This module is the simulation side of the gait subsystem:
+
+* :class:`GaitProfile` — one motion regime (speed, cadence, heading
+  scatter, accelerometer character, a ``wheeled`` flag for step-free
+  motion), with the built-in registry :data:`GAIT_PROFILES`.
+* :class:`GaitScheduleSpec` / :class:`GaitSchedule` — a seeded Markov
+  regime-switching schedule with dwell segments, bitwise-reproducible
+  from ``(spec, seed)`` and JSON-round-trippable, following the
+  :mod:`repro.env.procedural` spec conventions.
+* :func:`record_gait_hop` — renders one hop's
+  :class:`~repro.sensors.imu.ImuSegment` under a profile (standing
+  dwells hold position with a quiescent accelerometer; wheeled hops move
+  without heel strikes), used by
+  :func:`repro.sim.crowdsource.generate_trace` when gait generation is
+  enabled.
+* :data:`MOTION_MIXES` / :func:`gait_trace_config` — the named workload
+  mixes the motion benchmark and the scenario matrix sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..env.geometry import Point, bearing_between
+from ..sensors.imu import ImuSegment
+from ..motion.pedestrian import Pedestrian
+
+__all__ = [
+    "GAIT_PROFILES",
+    "GAIT_SCHEDULE_FORMAT_VERSION",
+    "MOTION_MIXES",
+    "GaitProfile",
+    "GaitSchedule",
+    "GaitScheduleSpec",
+    "draw_regimes",
+    "gait_trace_config",
+    "record_gait_hop",
+    "validate_gait_name",
+]
+
+GAIT_SCHEDULE_FORMAT_VERSION = 1
+
+_DWELL_HOP_DURATION_S = 4.0
+"""Duration of one standing-dwell interval (one 'hop' spent in place)."""
+
+_SCHEDULE_STREAM = 97
+"""Seed-sequence stream id for :class:`GaitSchedule`'s private generator."""
+
+_ROW_SUM_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class GaitProfile:
+    """One motion regime.
+
+    Attributes:
+        name: Registry key and the regime label traces carry.
+        speed_mps: Ground-truth translation speed; 0 for standing.
+        step_period_s: Cadence for stepped gaits; None for regimes that
+            produce no heel strikes (standing, wheeled).
+        heading_noise_deg: Per-hop scatter of the course the compass
+            sees — sloppy fast gaits swing the phone more.
+        wheeled: Motion without steps (a pushed cart): the accelerometer
+            stays quiescent while the user translates.
+        accel_noise_std: Accelerometer noise while not stepping; the
+            ``stand`` regime is quieter than a held phone mid-walk but
+            never exactly flat (a dead sensor is).
+    """
+
+    name: str
+    speed_mps: float
+    step_period_s: Optional[float]
+    heading_noise_deg: float = 0.0
+    wheeled: bool = False
+    accel_noise_std: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.speed_mps < 0:
+            raise ValueError(f"speed must be non-negative, got {self.speed_mps}")
+        if self.step_period_s is not None and self.step_period_s <= 0:
+            raise ValueError("step period must be positive when present")
+        if self.wheeled and self.step_period_s is not None:
+            raise ValueError("wheeled profiles must not define a step period")
+        if self.speed_mps > 0 and not self.wheeled and self.step_period_s is None:
+            raise ValueError("stepped moving profiles need a step period")
+        if self.heading_noise_deg < 0:
+            raise ValueError("heading noise must be non-negative")
+        if self.accel_noise_std <= 0:
+            raise ValueError("accelerometer noise must be positive")
+
+    @property
+    def moving(self) -> bool:
+        """Whether the regime translates the user at all."""
+        return self.speed_mps > 0
+
+    @property
+    def stepped(self) -> bool:
+        """Whether the regime emits heel strikes."""
+        return self.moving and not self.wheeled
+
+    @property
+    def step_length_m(self) -> Optional[float]:
+        """Implied stride for stepped regimes (speed x period)."""
+        if not self.stepped:
+            return None
+        return self.speed_mps * self.step_period_s
+
+
+GAIT_PROFILES: Dict[str, GaitProfile] = {
+    profile.name: profile
+    for profile in (
+        GaitProfile(
+            name="stand",
+            speed_mps=0.0,
+            step_period_s=None,
+            accel_noise_std=0.008,
+        ),
+        GaitProfile(
+            name="stroll",
+            speed_mps=0.9,
+            step_period_s=0.62,
+            heading_noise_deg=2.0,
+        ),
+        # The paper's survey gait: 0.52 s/step at ~0.70 m strides.
+        GaitProfile(name="walk", speed_mps=1.35, step_period_s=0.52),
+        GaitProfile(
+            name="brisk",
+            speed_mps=1.75,
+            step_period_s=0.47,
+            heading_noise_deg=1.0,
+        ),
+        GaitProfile(
+            name="run",
+            speed_mps=2.6,
+            step_period_s=0.38,
+            heading_noise_deg=4.0,
+        ),
+        GaitProfile(
+            name="cart",
+            speed_mps=1.0,
+            step_period_s=None,
+            heading_noise_deg=1.0,
+            wheeled=True,
+            accel_noise_std=0.15,
+        ),
+    )
+}
+"""The built-in motion regimes, by name."""
+
+
+def validate_gait_name(name: str) -> str:
+    """Return ``name`` if it is a registered gait, else a clear error.
+
+    Raises:
+        ValueError: naming the unknown gait and listing the known ones.
+    """
+    if name not in GAIT_PROFILES:
+        raise ValueError(
+            f"unknown gait {name!r}; expected one of "
+            f"{tuple(sorted(GAIT_PROFILES))}"
+        )
+    return name
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GaitScheduleSpec:
+    """A JSON-round-trippable Markov regime-switching schedule.
+
+    Together with a seed this determines the regime sequence bit for
+    bit, the same contract :class:`~repro.env.procedural.EnvironmentSpec`
+    gives generated worlds.
+
+    Attributes:
+        regimes: The gait names the chain switches between.
+        transitions: Row-stochastic matrix; ``transitions[i][j]`` is the
+            probability of switching from ``regimes[i]`` to
+            ``regimes[j]`` when a dwell segment ends.
+        min_dwell_hops: Shortest segment, in hops.
+        max_dwell_hops: Longest segment, in hops (inclusive).
+        initial: Index of the starting regime.
+    """
+
+    regimes: Tuple[str, ...]
+    transitions: Tuple[Tuple[float, ...], ...]
+    min_dwell_hops: int = 1
+    max_dwell_hops: int = 4
+    initial: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.regimes:
+            raise ValueError("a schedule needs at least one regime")
+        for name in self.regimes:
+            validate_gait_name(name)
+        if len(self.transitions) != len(self.regimes):
+            raise ValueError(
+                f"transition matrix has {len(self.transitions)} rows for "
+                f"{len(self.regimes)} regimes"
+            )
+        for index, row in enumerate(self.transitions):
+            if len(row) != len(self.regimes):
+                raise ValueError(
+                    f"transition row {index} has {len(row)} entries for "
+                    f"{len(self.regimes)} regimes"
+                )
+            if any(p < 0 for p in row):
+                raise ValueError(f"transition row {index} has a negative entry")
+            if abs(sum(row) - 1.0) > _ROW_SUM_TOLERANCE:
+                raise ValueError(
+                    f"transition row {index} sums to {sum(row)}, not 1"
+                )
+        if not 1 <= self.min_dwell_hops <= self.max_dwell_hops:
+            raise ValueError(
+                "dwell bounds need 1 <= min <= max, got "
+                f"[{self.min_dwell_hops}, {self.max_dwell_hops}]"
+            )
+        if not 0 <= self.initial < len(self.regimes):
+            raise ValueError(
+                f"initial regime index {self.initial} out of range"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON representation (format-versioned)."""
+        return {
+            "format_version": GAIT_SCHEDULE_FORMAT_VERSION,
+            "regimes": list(self.regimes),
+            "transitions": [list(row) for row in self.transitions],
+            "min_dwell_hops": self.min_dwell_hops,
+            "max_dwell_hops": self.max_dwell_hops,
+            "initial": self.initial,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "GaitScheduleSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        version = document.get("format_version", GAIT_SCHEDULE_FORMAT_VERSION)
+        if version != GAIT_SCHEDULE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported gait-schedule format version {version!r}"
+            )
+        return cls(
+            regimes=tuple(document["regimes"]),
+            transitions=tuple(
+                tuple(float(p) for p in row) for row in document["transitions"]
+            ),
+            min_dwell_hops=int(document["min_dwell_hops"]),
+            max_dwell_hops=int(document["max_dwell_hops"]),
+            initial=int(document["initial"]),
+        )
+
+
+def _draw_segments(
+    spec: GaitScheduleSpec, rng: np.random.Generator, n_segments: int
+) -> List[Tuple[str, int]]:
+    """``n_segments`` (regime, dwell-hops) pairs from the Markov chain."""
+    segments: List[Tuple[str, int]] = []
+    state = spec.initial
+    for _ in range(n_segments):
+        dwell = int(
+            rng.integers(spec.min_dwell_hops, spec.max_dwell_hops + 1)
+        )
+        segments.append((spec.regimes[state], dwell))
+        draw = float(rng.random())
+        cumulative = 0.0
+        next_state = len(spec.regimes) - 1
+        for index, probability in enumerate(spec.transitions[state]):
+            cumulative += probability
+            if draw < cumulative:
+                next_state = index
+                break
+        state = next_state
+    return segments
+
+
+def draw_regimes(
+    spec: GaitScheduleSpec, rng: np.random.Generator, n_hops: int
+) -> List[str]:
+    """Per-hop regime labels for one walk, drawn from ``rng``.
+
+    Segments are drawn until ``n_hops`` hops are covered; the last
+    segment is truncated.  Trace generation calls this with its own
+    generator; :class:`GaitSchedule` wraps it with a private seeded one.
+    """
+    if n_hops < 1:
+        raise ValueError(f"n_hops must be >= 1, got {n_hops}")
+    regimes: List[str] = []
+    state = spec.initial
+    while len(regimes) < n_hops:
+        dwell = int(
+            rng.integers(spec.min_dwell_hops, spec.max_dwell_hops + 1)
+        )
+        regimes.extend([spec.regimes[state]] * dwell)
+        draw = float(rng.random())
+        cumulative = 0.0
+        next_state = len(spec.regimes) - 1
+        for index, probability in enumerate(spec.transitions[state]):
+            cumulative += probability
+            if draw < cumulative:
+                next_state = index
+                break
+        state = next_state
+    return regimes[:n_hops]
+
+
+class GaitSchedule:
+    """A seeded, replayable regime schedule.
+
+    Every call re-derives its sequence from ``(spec, seed)`` with a
+    fresh private generator, so two schedules built from equal inputs
+    produce bitwise-identical output — the
+    :mod:`repro.env.procedural` reproducibility contract.
+    """
+
+    def __init__(self, spec: GaitScheduleSpec, seed: int) -> None:
+        self.spec = spec
+        self.seed = int(seed)
+
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng([self.seed, _SCHEDULE_STREAM])
+
+    def regimes(self, n_hops: int) -> List[str]:
+        """Per-hop regime labels (deterministic in ``(spec, seed)``)."""
+        return draw_regimes(self.spec, self._rng(), n_hops)
+
+    def segments(self, n_segments: int) -> List[Tuple[str, int]]:
+        """``(regime, dwell-hops)`` segments (deterministic as above)."""
+        if n_segments < 1:
+            raise ValueError(f"n_segments must be >= 1, got {n_segments}")
+        return _draw_segments(self.spec, self._rng(), n_segments)
+
+
+# ----------------------------------------------------------------------
+# Hop recording
+# ----------------------------------------------------------------------
+
+
+def record_gait_hop(
+    user: Pedestrian,
+    profile: GaitProfile,
+    start: Point,
+    end: Point,
+    rng: np.random.Generator,
+    previous_course_deg: float = 0.0,
+) -> Tuple[ImuSegment, float, float]:
+    """Record one hop's IMU under a gait profile.
+
+    Standing dwells (``speed_mps == 0``) hold the start position for
+    :data:`_DWELL_HOP_DURATION_S` with a quiescent accelerometer and a
+    compass still pointing wherever the last movement left it; wheeled
+    hops translate without heel strikes; stepped hops walk the segment
+    at the profile's cadence with its heading scatter applied to the
+    course the compass sees (ground truth stays the geometric bearing).
+
+    Returns:
+        ``(segment, duration_s, true_speed_mps)``.
+    """
+    accelerometer = user.imu.accelerometer
+    if not profile.moving:
+        duration = _DWELL_HOP_DURATION_S
+        quiet = dataclasses.replace(
+            accelerometer, noise_std=profile.accel_noise_std
+        )
+        accel = quiet.idle(duration, rng)
+        course = previous_course_deg
+        readings = np.array(
+            [
+                user.imu.compass.read(course, start, rng)
+                for _ in range(len(accel.samples))
+            ]
+        )
+        segment = ImuSegment(
+            accel=accel,
+            compass_readings=readings,
+            true_course_deg=course,
+            true_distance_m=0.0,
+            gyro_rates_dps=_gyro(user, len(accel.samples), rng),
+        )
+        return segment, duration, 0.0
+
+    course = bearing_between(start, end)
+    distance = start.distance_to(end)
+    duration = distance / profile.speed_mps
+    if profile.wheeled:
+        rolling = dataclasses.replace(
+            accelerometer, noise_std=profile.accel_noise_std
+        )
+        accel = rolling.idle(duration, rng)
+    else:
+        accel = accelerometer.walking(duration, profile.step_period_s, rng)
+    sensed_course = course
+    if profile.heading_noise_deg > 0:
+        sensed_course = course + float(
+            rng.normal(0.0, profile.heading_noise_deg)
+        )
+    n_samples = len(accel.samples)
+    fractions = (
+        np.arange(n_samples) / max(n_samples - 1, 1)
+        if n_samples > 1
+        else [0.0]
+    )
+    readings = np.array(
+        [
+            user.imu.compass.read(
+                sensed_course,
+                Point(
+                    start.x + f * (end.x - start.x),
+                    start.y + f * (end.y - start.y),
+                ),
+                rng,
+            )
+            for f in fractions
+        ]
+    )
+    segment = ImuSegment(
+        accel=accel,
+        compass_readings=readings,
+        true_course_deg=course,
+        true_distance_m=distance,
+        gyro_rates_dps=_gyro(user, n_samples, rng),
+    )
+    return segment, duration, profile.speed_mps
+
+
+def _gyro(
+    user: Pedestrian, n_samples: int, rng: np.random.Generator
+) -> Optional[np.ndarray]:
+    if user.imu.gyroscope is None:
+        return None
+    return user.imu.gyroscope.record_straight_walk(n_samples, rng)
+
+
+# ----------------------------------------------------------------------
+# Named workload mixes
+# ----------------------------------------------------------------------
+
+
+MOTION_MIXES: Dict[str, Optional[GaitScheduleSpec]] = {
+    # The legacy single-gait workload; None keeps trace generation on
+    # the bitwise-unchanged paper path.
+    "paper-walk": None,
+    "mixed-gait": GaitScheduleSpec(
+        regimes=("stroll", "walk", "brisk", "run"),
+        transitions=(
+            (0.25, 0.25, 0.25, 0.25),
+            (0.25, 0.25, 0.25, 0.25),
+            (0.25, 0.25, 0.25, 0.25),
+            (0.25, 0.25, 0.25, 0.25),
+        ),
+        min_dwell_hops=2,
+        max_dwell_hops=4,
+        initial=1,
+    ),
+    "cart-heavy": GaitScheduleSpec(
+        regimes=("walk", "cart"),
+        transitions=(
+            (0.25, 0.75),
+            (0.25, 0.75),
+        ),
+        min_dwell_hops=2,
+        max_dwell_hops=4,
+        initial=1,
+    ),
+    "dwell-heavy": GaitScheduleSpec(
+        regimes=("walk", "stand"),
+        transitions=(
+            (0.4, 0.6),
+            (0.6, 0.4),
+        ),
+        min_dwell_hops=1,
+        max_dwell_hops=3,
+        initial=0,
+    ),
+}
+"""The benchmark's named gait mixes; ``None`` means the paper workload."""
+
+
+def gait_trace_config(
+    mix: str, n_hops: int = 15, calibration_hops: int = 2
+):
+    """The :class:`~repro.sim.crowdsource.TraceGenerationConfig` for a mix.
+
+    Raises:
+        ValueError: for an unknown mix name.
+    """
+    from .crowdsource import TraceGenerationConfig  # local: avoid cycle
+
+    if mix not in MOTION_MIXES:
+        raise ValueError(
+            f"unknown motion mix {mix!r}; expected one of "
+            f"{tuple(sorted(MOTION_MIXES))}"
+        )
+    return TraceGenerationConfig(
+        n_hops=n_hops,
+        calibration_hops=calibration_hops,
+        gait_schedule=MOTION_MIXES[mix],
+    )

@@ -73,11 +73,19 @@ def build_scenario(
 
     Defaults to the paper's office hall: a radio environment over all six
     AP sites, the site survey (60 scans per location, 40 into the
-    database, matching Sec. VI-A), and the crowdsourcing users ("4 users
-    with diverse height and walking speed"), all of whom share the hall's
-    magnetic-disturbance field but carry individually biased compasses.
-    Pass a generated world (see :mod:`repro.env.procedural`) as ``hall``
-    to run the identical pipeline over any environment.
+    database, matching Sec. VI-A), and the crowdsourcing users, all of
+    whom share the hall's magnetic-disturbance field but carry
+    individually biased compasses.  The users are sampled with diverse
+    heights and a few percent of cadence spread (the paper's "4 users
+    with diverse height and walking speed"); genuinely different walking
+    *speeds* — strolling, running, standing dwells, wheeled carts — are
+    assigned per user through
+    :class:`~repro.sim.crowdsource.TraceGenerationConfig` (``gait``,
+    ``gait_schedule``, or the cyclic per-user ``user_gaits``), validated
+    against :data:`repro.sim.gait.GAIT_PROFILES` with a clear
+    ``ValueError`` on unknown names.  Pass a generated world (see
+    :mod:`repro.env.procedural`) as ``hall`` to run the identical
+    pipeline over any environment.
 
     Args:
         seed: Master seed; every random draw descends from it.

@@ -165,6 +165,53 @@ class TestValidateMatrixDocument:
         problems = validate_matrix_document(broken)
         assert any("round-trip" in p for p in problems)
 
+    def test_v3_documents_require_the_motion_mix_key(self, micro_document):
+        broken = json.loads(json.dumps(micro_document))
+        broken["cells"][0].pop("motion_mix")
+        problems = validate_matrix_document(broken)
+        assert any("motion_mix" in p for p in problems)
+
+    def test_older_documents_are_exempt_from_motion_mix(self, micro_document):
+        legacy = json.loads(json.dumps(micro_document))
+        legacy["format_version"] = 2
+        for cell in legacy["cells"]:
+            cell.pop("motion_mix")
+        assert validate_matrix_document(legacy) == []
+
+
+class TestMotionMixAxis:
+    def test_unknown_mix_rejected_at_profile_build(self):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="unknown motion mix"):
+            dataclasses.replace(_MICRO_PROFILE, motion_mixes=("jog-heavy",))
+
+    def test_mix_axis_multiplies_cells_and_labels_them(self):
+        profile = MatrixProfile(
+            name="micro-gait",
+            environments=_MICRO_PROFILE.environments,
+            loads=_MICRO_PROFILE.loads,
+            fault_plans=(FaultPlanSpec("none"),),
+            motion_mixes=("paper-walk", "mixed-gait"),
+            samples_per_location=8,
+            training_samples=6,
+            n_training_traces=12,
+            n_test_traces=4,
+            trace_hops=5,
+        )
+        assert profile.n_cells == 2
+        document = run_matrix(profile, seed=7)
+        assert validate_matrix_document(document) == []
+        mixes = {cell["motion_mix"] for cell in document["cells"]}
+        assert mixes == {"paper-walk", "mixed-gait"}
+        # Different served populations, different streams.
+        checksums = {cell["fix_checksum"] for cell in document["cells"]}
+        assert len(checksums) == 2
+
+    def test_full_profile_sweeps_the_mixed_gait_population(self):
+        assert "mixed-gait" in FULL_PROFILE.motion_mixes
+        assert SMOKE_PROFILE.motion_mixes == ("paper-walk",)
+
 
 @pytest.mark.slow
 class TestFullProfiles:

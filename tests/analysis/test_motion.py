@@ -1,0 +1,109 @@
+"""The motion-bench document schema and gate arithmetic.
+
+The expensive end-to-end run lives in the slow CLI gait test and the
+committed benchmark; these tests pin the validator's contract on
+fabricated documents.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.motion import (
+    BENCH_MIXES,
+    GATE_ERROR_RATIO,
+    GATE_MIX,
+    SMOKE_MIXES,
+    validate_motion_document,
+)
+
+
+def _cell(mean_error, twin, rmse):
+    return {
+        "n_fixes": 10,
+        "accuracy": 0.8,
+        "mean_error_m": mean_error,
+        "max_error_m": 3 * mean_error,
+        "twin_confusion_rate": twin,
+        "per_regime": {},
+        "speed_rmse_mps": rmse,
+        "speed_samples": 0 if rmse is None else 8,
+    }
+
+
+def _document(smoke=False, ratio=0.5):
+    fixed_error = 3.0
+    mixes = {
+        mix: {
+            "n_twins": 2,
+            "systems": {
+                "fixed": _cell(fixed_error, 0.2, None),
+                "speed_adaptive": _cell(
+                    ratio * fixed_error,
+                    0.1,
+                    None if mix in ("paper-walk", "cart-heavy") else 0.4,
+                ),
+            },
+        }
+        for mix in (SMOKE_MIXES if smoke else BENCH_MIXES)
+    }
+    return {
+        "report": "motion",
+        "smoke": smoke,
+        "mixes": mixes,
+        "gate": {
+            "mix": GATE_MIX,
+            "error_ratio_limit": GATE_ERROR_RATIO,
+            "observed_error_ratio": ratio,
+            "twin_confusion_fixed": 0.2,
+            "twin_confusion_adaptive": 0.1,
+            "error_ok": ratio <= GATE_ERROR_RATIO,
+            "twin_ok": True,
+            "passed": ratio <= GATE_ERROR_RATIO,
+        },
+        "limitations": ["cart-heavy is reported, not gated"],
+    }
+
+
+class TestValidateMotionDocument:
+    def test_accepts_a_complete_full_document(self):
+        assert validate_motion_document(_document()) == []
+
+    def test_accepts_a_smoke_document_with_the_smoke_mixes(self):
+        assert validate_motion_document(_document(smoke=True)) == []
+
+    def test_rejects_wrong_report_kind(self):
+        assert validate_motion_document({"report": "matrix"})
+
+    def test_full_documents_require_every_mix(self):
+        document = _document()
+        del document["mixes"]["cart-heavy"]
+        problems = validate_motion_document(document)
+        assert any("cart-heavy" in p for p in problems)
+
+    def test_smoke_documents_are_exempt_from_unswept_mixes(self):
+        document = _document(smoke=True)
+        assert "cart-heavy" not in document["mixes"]
+        assert validate_motion_document(document) == []
+
+    def test_missing_system_flagged(self):
+        document = _document()
+        del document["mixes"]["mixed-gait"]["systems"]["speed_adaptive"]
+        problems = validate_motion_document(document)
+        assert any("speed_adaptive" in p for p in problems)
+
+    def test_gated_mix_requires_a_speed_estimate(self):
+        document = _document()
+        document["mixes"][GATE_MIX]["systems"]["speed_adaptive"][
+            "speed_rmse_mps"
+        ] = None
+        problems = validate_motion_document(document)
+        assert any("speed estimate" in p for p in problems)
+
+    def test_failed_gate_is_a_problem(self):
+        problems = validate_motion_document(_document(ratio=0.95))
+        assert any("gate failed" in p for p in problems)
+
+    def test_round_trips_through_json(self):
+        document = json.loads(json.dumps(_document()))
+        assert validate_motion_document(document) == []

@@ -201,6 +201,33 @@ class TestImuCheck:
         assert check.faults == ()
         assert check.tripped is None
 
+    def test_standing_dwell_is_not_a_dropout(self, rng):
+        """Regression: a legitimate standing user must not be vetoed.
+
+        The flat-line threshold used to sit at 0.02 m/s² — above the
+        ~0.008 quiescent noise of a phone held still — so every standing
+        dwell was misdiagnosed as a dead accelerometer and served
+        WiFi-only.  Only *exact* flatness (a dead register repeating one
+        value, std 0.0) is a dropout.
+        """
+        from repro.env.geometry import Point
+        from repro.motion.pedestrian import Pedestrian
+        from repro.sim.gait import GAIT_PROFILES, record_gait_hop
+
+        user = Pedestrian.sample("user-0", rng)
+        segment, _, speed = record_gait_hop(
+            user,
+            GAIT_PROFILES["stand"],
+            Point(0.0, 0.0),
+            Point(6.0, 0.0),
+            rng,
+            previous_course_deg=90.0,
+        )
+        assert speed == 0.0
+        check = check_imu(segment)
+        assert check.usable
+        assert check.faults == ()
+
     def test_non_finite_readings_are_dropout(self, rng):
         from repro.sensors.accelerometer import AccelerometerModel
         from repro.sensors.imu import ImuSegment

@@ -1,0 +1,116 @@
+"""The online speed estimator and the stride-cadence model."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MoLocConfig
+from repro.serving.speed import SpeedEstimator, adaptive_step_length_m
+
+_CONFIG = MoLocConfig()
+
+
+def _observations():
+    """Random (steps-or-None, duration, stride) observation sequences."""
+    one = st.tuples(
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=30.0)),
+        st.floats(min_value=0.5, max_value=20.0),
+        st.floats(min_value=0.4, max_value=1.1),
+    )
+    return st.lists(one, min_size=0, max_size=20)
+
+
+class TestAdaptiveStepLength:
+    def test_reference_cadence_returns_the_base_stride(self):
+        base = 0.70
+        reference_cadence = _CONFIG.speed_reference_mps / base
+        assert adaptive_step_length_m(
+            reference_cadence, base, _CONFIG
+        ) == pytest.approx(base)
+
+    def test_grows_linearly_with_cadence(self):
+        base = 0.70
+        reference = _CONFIG.speed_reference_mps / base
+        assert adaptive_step_length_m(
+            1.2 * reference, base, _CONFIG
+        ) == pytest.approx(1.2 * base)
+
+    def test_clamped_to_a_plausible_stride_band(self):
+        assert adaptive_step_length_m(0.1, 0.70, _CONFIG) == 0.3
+        assert adaptive_step_length_m(9.0, 0.70, _CONFIG) == 1.3
+
+    def test_rejects_non_positive_inputs(self):
+        with pytest.raises(ValueError, match="cadence"):
+            adaptive_step_length_m(0.0, 0.7, _CONFIG)
+        with pytest.raises(ValueError, match="step length"):
+            adaptive_step_length_m(2.0, 0.0, _CONFIG)
+
+
+class TestSpeedEstimator:
+    def test_unknown_speed_leaves_the_paper_model_alone(self):
+        estimator = SpeedEstimator(_CONFIG)
+        assert estimator.speed_mps is None
+        assert estimator.beta_scale == 1.0
+        assert not estimator.dwell
+
+    def test_walked_interval_updates_the_estimate(self):
+        estimator = SpeedEstimator(_CONFIG)
+        # The paper gait: 0.52 s steps at a 0.70 m stride.
+        estimator.observe(10.0, 5.2, 0.70)
+        assert estimator.speed_mps == pytest.approx(1.35, rel=0.05)
+        assert estimator.samples == 1
+        assert estimator.beta_scale == pytest.approx(1.0, rel=0.05)
+
+    def test_dwell_holds_the_estimate(self):
+        estimator = SpeedEstimator(_CONFIG)
+        estimator.observe(10.0, 5.2, 0.70)
+        before = estimator.speed_mps
+        estimator.observe(None, 4.0, 0.70)
+        assert estimator.dwell
+        assert estimator.dwells == 1
+        assert estimator.speed_mps == before
+        # Sub-threshold shuffling is a dwell too.
+        estimator.observe(0.1, 10.0, 0.70)
+        assert estimator.dwell
+        assert estimator.speed_mps == before
+
+    def test_beta_scale_clamps_to_the_configured_band(self):
+        estimator = SpeedEstimator(_CONFIG)
+        for _ in range(40):
+            estimator.observe(28.0, 5.0, 1.1)  # absurdly fast
+        assert estimator.beta_scale == _CONFIG.speed_beta_scale_max
+
+    def test_running_widening_and_offsets_exceed_walking(self):
+        walk = SpeedEstimator(_CONFIG)
+        run = SpeedEstimator(_CONFIG)
+        for _ in range(10):
+            walk.observe(10.0, 5.2, 0.70)
+            run.observe(10.0, 3.8, 0.70)  # run cadence, walk-calibrated
+        assert run.speed_mps > walk.speed_mps
+        assert run.beta_scale > walk.beta_scale
+
+    def test_rejects_non_positive_duration_and_stride(self):
+        estimator = SpeedEstimator(_CONFIG)
+        with pytest.raises(ValueError, match="duration"):
+            estimator.observe(10.0, 0.0, 0.7)
+        with pytest.raises(ValueError, match="step length"):
+            estimator.observe(10.0, 5.0, -1.0)
+
+    @given(_observations())
+    @settings(max_examples=60, deadline=None)
+    def test_state_dict_restore_is_a_fixpoint(self, observations):
+        source = SpeedEstimator(_CONFIG)
+        for steps, duration, stride in observations:
+            source.observe(steps, duration, stride)
+        state = json.loads(json.dumps(source.state_dict()))
+        clone = SpeedEstimator(_CONFIG)
+        clone.load_state_dict(state)
+        assert clone.state_dict() == source.state_dict()
+        assert clone.beta_scale == source.beta_scale
+        # The clone continues identically.
+        clone.observe(11.0, 5.0, 0.68)
+        source.observe(11.0, 5.0, 0.68)
+        assert clone.state_dict() == source.state_dict()

@@ -284,3 +284,53 @@ class TestMatrixCommand:
         assert len(spec_files) == document["n_environments"]
         for spec_file in spec_files:
             EnvironmentSpec.from_dict(json.loads(spec_file.read_text()))
+
+
+class TestGaitParser:
+    def test_gait_parses_with_defaults(self):
+        args = build_parser().parse_args(["gait"])
+        assert args.command == "gait"
+        assert args.smoke is False
+        assert args.transport == "local"
+        assert args.sessions == 6
+        assert args.corpus_size == 4
+        assert args.workdir is None
+        assert args.output is None
+
+    def test_gait_transport_choices(self):
+        args = build_parser().parse_args(
+            ["gait", "--smoke", "--transport", "process"]
+        )
+        assert args.smoke is True and args.transport == "process"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gait", "--transport", "tcp"])
+
+
+@pytest.mark.slow
+class TestGaitCommand:
+    def test_gait_smoke_passes_every_gate(self, capsys, tmp_path):
+        path = tmp_path / "gait.json"
+        assert main(
+            [
+                "gait", "--smoke",
+                "--workdir", str(tmp_path / "shards"),
+                "--output", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(path.read_text())
+        assert document["report"] == "gait"
+        assert document["passed"] is True
+        assert document["gates"] == {
+            "disabled_batched_equals_sequential": True,
+            "disabled_shard_streams_equal": True,
+            "adaptive_cluster_consistent": True,
+            "adaptive_changes_serving": True,
+            "bench_gate": True,
+            "bench_document_valid": True,
+        }
+        # Smoke benches only the paper baseline and the gated mix.
+        assert set(document["bench"]["mixes"]) == {
+            "paper-walk", "mixed-gait",
+        }
+        assert document["bench"]["gate"]["passed"] is True
